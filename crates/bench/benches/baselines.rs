@@ -1,0 +1,51 @@
+//! Wall time of the parallelizable baselines on the simulator (the E7
+//! contrast as throughput numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_mpc_algos::{ConnectivityConfig, SampleSortConfig, TreeSumConfig, WordCountConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = 8;
+
+    let keys: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..1u64 << 30)).collect();
+    let sort = SampleSortConfig { m, key_width: 32, samples_per_machine: 8 };
+    c.bench_function("baseline/sample_sort_2000", |b| {
+        b.iter(|| {
+            let mut sim = sort.build(&keys, 1 << 18);
+            sim.run_until_output(16).unwrap().rounds()
+        })
+    });
+
+    let values: Vec<u64> = (0..2000).collect();
+    let sum = TreeSumConfig { m };
+    c.bench_function("baseline/tree_sum_2000", |b| {
+        b.iter(|| {
+            let mut sim = sum.build(&values, 1 << 18);
+            sim.run_until_output(16).unwrap().rounds()
+        })
+    });
+
+    let words: Vec<u64> = (0..2000).map(|_| rng.gen_range(0..100)).collect();
+    let wc = WordCountConfig { m, id_width: 20 };
+    c.bench_function("baseline/wordcount_2000", |b| {
+        b.iter(|| {
+            let mut sim = wc.build(&words, 1 << 17);
+            sim.run_until_output(8).unwrap().rounds()
+        })
+    });
+
+    let edges: Vec<(u64, u64)> = (0..63).map(|i| (i, i + 1)).collect();
+    let conn = ConnectivityConfig { m, vertices: 64, id_width: 16, propagation_rounds: 64 };
+    c.bench_function("baseline/connectivity_path64", |b| {
+        b.iter(|| {
+            let mut sim = conn.build(&edges, 1 << 17);
+            sim.run_until_output(70).unwrap().rounds()
+        })
+    });
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

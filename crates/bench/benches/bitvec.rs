@@ -1,0 +1,55 @@
+//! Substrate microbenchmarks: the bit-vector operations every simulated
+//! query, message, and encoding goes through.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mph_bits::{BitVec, Layout};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let big = mph_bits::random_bitvec(&mut rng, 4096);
+    let other = mph_bits::random_bitvec(&mut rng, 4096);
+
+    let mut group = c.benchmark_group("bitvec");
+    group.bench_function("slice_64_of_4096", |b| {
+        b.iter(|| black_box(&big).slice(black_box(1000), 64))
+    });
+    group.bench_function("read_u64_unaligned", |b| {
+        b.iter(|| black_box(&big).read_u64(black_box(1001), 63))
+    });
+    group.bench_function("concat_2x4096", |b| {
+        b.iter(|| BitVec::concat(&[black_box(&big), black_box(&other)]))
+    });
+    group.bench_function("xor_4096", |b| {
+        b.iter_batched(
+            || big.clone(),
+            |mut x| {
+                x.xor_assign(&other);
+                x
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("chunks_16x256", |b| b.iter(|| black_box(&big).chunks(16)));
+    group.finish();
+
+    // Layout packing — the per-oracle-query cost in the simulator.
+    let layout = Layout::builder(64).field("i", 9).field("x", 21).field("r", 21).build().unwrap();
+    let x = mph_bits::random_bitvec(&mut rng, 21);
+    let r = mph_bits::random_bitvec(&mut rng, 21);
+    c.bench_function("layout/pack_line_query", |b| {
+        b.iter(|| {
+            layout
+                .pack(&[
+                    mph_bits::FieldValue::Int(black_box(137)),
+                    x.clone().into(),
+                    r.clone().into(),
+                ])
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_bitvec);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Cost of evaluating the paper's bound formulas in log₂-space (all
+//! cheap — the point is they stay cheap at any parameter magnitude).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mph_bounds::{regimes, LineBoundInputs, SimLineBoundInputs};
+
+fn bench_bounds(c: &mut Criterion) {
+    let line = LineBoundInputs::from_nst(
+        2f64.powi(14),
+        2f64.powi(18),
+        2f64.powi(20),
+        2f64.powi(10),
+        2f64.powi(15),
+        2f64.powi(12),
+    );
+    c.bench_function("theorem31_success_bound", |b| {
+        b.iter(|| black_box(&line).theorem31_success_bound())
+    });
+
+    let simline = SimLineBoundInputs::from_nst(
+        3000.0,
+        2f64.powi(16),
+        2f64.powi(24),
+        256.0,
+        2f64.powi(13),
+        2f64.powi(10),
+    );
+    c.bench_function("theoremA1_success_bound", |b| {
+        b.iter(|| black_box(&simline).theorem_a1_success_bound())
+    });
+
+    c.bench_function("regime_point", |b| {
+        b.iter(|| {
+            regimes::evaluate_point(
+                black_box(2f64.powi(14)),
+                2f64.powi(18),
+                2f64.powi(20),
+                0.125,
+                1024.0,
+                4096.0,
+            )
+        })
+    });
+
+    c.bench_function("min_certifying_n_search", |b| {
+        b.iter(|| {
+            regimes::min_certifying_n(2f64.powi(18), 2f64.powi(20), 0.125, 1024.0, 4096.0, 6, 24)
+        })
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The compression argument's cost: `Enc` and `Dec` wall time for the
+//! Claim A.4 scheme and the Claim 3.7 scheme (whose encoder replays the
+//! machine against all `v^p` rewired oracles — the enumeration is the
+//! price of pointer-independence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mph_bits::BitVec;
+use mph_compression::{LineEncoder, PipelineRound, SimLineEncoder};
+use mph_core::algorithms::pipeline::{Pipeline, Target};
+use mph_core::algorithms::BlockAssignment;
+use mph_core::LineParams;
+use mph_oracle::TableOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_compression(c: &mut Criterion) {
+    // SimLine / Claim A.4.
+    let params = LineParams::new(12, 12, 4, 6);
+    let mut rng = StdRng::seed_from_u64(1);
+    let oracle = TableOracle::random(&mut rng, 12, 12);
+    let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(6, 2, 3), Target::SimLine);
+    let adv = PipelineRound::new(pipeline.clone(), 0, 0);
+    let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, pipeline.required_s());
+    let enc = SimLineEncoder::new(params, 64);
+    let encoding = enc.encode(&oracle, &blocks, &memory, &adv);
+
+    c.bench_function("claimA4/encode_n12", |b| {
+        b.iter(|| enc.encode(&oracle, &blocks, &memory, &adv))
+    });
+    c.bench_function("claimA4/decode_n12", |b| b.iter(|| enc.decode(&encoding.bits, &adv)));
+
+    // Line / Claim 3.7 with v^p rewirings.
+    let params = LineParams::new(14, 12, 4, 6);
+    let mut rng = StdRng::seed_from_u64(2);
+    let oracle = TableOracle::random(&mut rng, 14, 14);
+    let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(6, 2, 3), Target::Line);
+    let adv = PipelineRound::new(pipeline.clone(), 0, 0);
+    let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, pipeline.required_s());
+    let zero = BitVec::zeros(params.u);
+
+    let mut group = c.benchmark_group("claim37");
+    group.sample_size(20);
+    for p in [1usize, 2] {
+        let enc = LineEncoder::new(params, p, 64);
+        group.bench_function(format!("encode_vpow{p}"), |b| {
+            b.iter(|| enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &zero))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

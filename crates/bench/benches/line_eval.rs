@@ -1,0 +1,46 @@
+//! The upper-bound side of Theorem 3.1, benchmarked: sequential `Line`
+//! evaluation — native and on the generated word-RAM program — scaling in
+//! `w = T` and in `n`. The shape to see: wall time linear in `w`,
+//! per-node cost growing with `n` (the paper's `O(T·n)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_core::{theorem, Line, LineParams, SimLine};
+
+fn bench_line_eval(c: &mut Criterion) {
+    // Scaling in w (figure E2/E6's RAM column).
+    let mut group = c.benchmark_group("line_eval_vs_w");
+    for w in [100u64, 400, 1600] {
+        let params = LineParams::new(64, w, 16, 16);
+        let (oracle, blocks) = theorem::draw_instance(&params, 1);
+        let line = Line::new(params);
+        group.bench_with_input(BenchmarkId::new("native", w), &w, |b, _| {
+            b.iter(|| line.eval(&*oracle, &blocks))
+        });
+        group.bench_with_input(BenchmarkId::new("ram_program", w), &w, |b, _| {
+            b.iter(|| line.eval_on_ram(&*oracle, &blocks).unwrap())
+        });
+    }
+    group.finish();
+
+    // Scaling in n at fixed w.
+    let mut group = c.benchmark_group("line_eval_vs_n");
+    for n in [64usize, 192, 576] {
+        let params = LineParams::new(n, 200, n / 3, 8);
+        let (oracle, blocks) = theorem::draw_instance(&params, 2);
+        let line = Line::new(params);
+        group.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            b.iter(|| line.eval(&*oracle, &blocks))
+        });
+    }
+    group.finish();
+
+    // SimLine for comparison (same cost profile sequentially — the gap is
+    // only parallel).
+    let params = LineParams::new(64, 400, 16, 16);
+    let (oracle, blocks) = theorem::draw_instance(&params, 3);
+    let simline = SimLine::new(params);
+    c.bench_function("simline_eval_w400", |b| b.iter(|| simline.eval(&*oracle, &blocks)));
+}
+
+criterion_group!(benches, bench_line_eval);
+criterion_main!(benches);

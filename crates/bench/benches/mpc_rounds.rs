@@ -1,0 +1,58 @@
+//! The lower-bound side, benchmarked: full MPC pipeline runs for `Line`
+//! and `SimLine` across memory windows (the E1/E2 sweeps as wall time —
+//! round counts themselves are printed by the experiment binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_core::algorithms::pipeline::{Pipeline, Target};
+use mph_core::algorithms::BlockAssignment;
+use mph_core::{theorem, LineParams};
+
+fn bench_mpc_rounds(c: &mut Criterion) {
+    let params = LineParams::new(64, 128, 16, 32);
+
+    let mut group = c.benchmark_group("mpc_full_run");
+    group.sample_size(10);
+    for (target, label) in [(Target::Line, "line"), (Target::SimLine, "simline")] {
+        for window in [8usize, 16] {
+            let pipeline =
+                Pipeline::new(params, BlockAssignment::new(32, 8, window), target);
+            group.bench_with_input(
+                BenchmarkId::new(label, window),
+                &window,
+                |b, _| {
+                    b.iter(|| {
+                        let m = theorem::measure_rounds(&pipeline, 42, None, None, 100_000);
+                        assert!(m.correct);
+                        m.rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // One simulator round in isolation (m machines re-sending windows).
+    let pipeline = Pipeline::new(params, BlockAssignment::new(32, 8, 16), Target::Line);
+    c.bench_function("mpc_single_step", |b| {
+        b.iter_batched(
+            || {
+                let (oracle, blocks) = theorem::draw_instance(&params, 7);
+                pipeline.build_simulation(
+                    oracle,
+                    mph_oracle::RandomTape::new(0),
+                    pipeline.required_s(),
+                    None,
+                    &blocks,
+                )
+            },
+            |mut sim| {
+                sim.step().unwrap();
+                sim
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_mpc_rounds);
+criterion_main!(benches);

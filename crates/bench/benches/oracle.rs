@@ -1,0 +1,40 @@
+//! Oracle substrate benchmarks: one query through each presentation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mph_bits::BitVec;
+use mph_oracle::{CountingOracle, LazyOracle, Oracle, PatchedOracle, TableOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_query");
+    for n in [64usize, 256, 1024] {
+        let lazy = LazyOracle::square(1, n);
+        let q = BitVec::ones(n);
+        group.bench_function(format!("lazy_n{n}"), |b| b.iter(|| lazy.query(black_box(&q))));
+    }
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let table = TableOracle::random(&mut rng, 16, 16);
+    let q16 = BitVec::from_u64(12345, 16);
+    group.bench_function("table_n16", |b| b.iter(|| table.query(black_box(&q16))));
+
+    let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(3, 64));
+    let mut patched = PatchedOracle::new(base.clone());
+    for i in 0..32u64 {
+        patched.patch(BitVec::from_u64(i, 64), BitVec::zeros(64));
+    }
+    let hit = BitVec::from_u64(5, 64);
+    let miss = BitVec::from_u64(1 << 20, 64);
+    group.bench_function("patched_hit", |b| b.iter(|| patched.query(black_box(&hit))));
+    group.bench_function("patched_miss", |b| b.iter(|| patched.query(black_box(&miss))));
+
+    let counted = CountingOracle::with_budget(base, u64::MAX);
+    let q64 = BitVec::from_u64(77, 64);
+    group.bench_function("counting_overhead", |b| b.iter(|| counted.query(black_box(&q64))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Throughput of the from-scratch SHA-256 and the `HashOracle`
+//! instantiation built on it (the `t_h` of the paper's `O(T·t_h)`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mph_bits::BitVec;
+use mph_oracle::sha256::sha256;
+use mph_oracle::{HashOracle, Oracle};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hash_oracle");
+    for n in [64usize, 256, 1024] {
+        let h = HashOracle::square("bench", n);
+        let q = BitVec::ones(n);
+        group.bench_function(format!("query_n{n}"), |b| b.iter(|| h.query(black_box(&q))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256);
+criterion_main!(benches);

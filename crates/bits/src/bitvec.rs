@@ -1,0 +1,679 @@
+//! A word-packed, growable bit vector.
+//!
+//! [`BitVec`] is the universal currency of the workspace: oracle
+//! inputs/outputs, machine memories, messages, encodings, and RAM memory
+//! images are all `BitVec`s. Bits are indexed `0..len` with bit `0` the
+//! *least significant* bit of word `0` (LSB-first order). Integer views
+//! ([`BitVec::read_u64`], [`BitVec::from_u64`]) therefore round-trip
+//! little-endian within a field, which keeps field packing in
+//! [`crate::layout`] free of byte-order surprises.
+//!
+//! The representation invariant maintained by every method: all bits at
+//! positions `>= len` inside the backing words are zero. This makes `Eq` and
+//! `Hash` structural, and lets bulk operations work word-at-a-time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A growable vector of bits, packed into `u64` words, LSB-first.
+///
+/// # Examples
+///
+/// ```
+/// use mph_bits::BitVec;
+///
+/// let mut bv = BitVec::zeros(8);
+/// bv.set(3, true);
+/// assert_eq!(bv.get(3), true);
+/// assert_eq!(bv.read_u64(0, 8), 0b0000_1000);
+/// assert_eq!(bv.count_ones(), 1);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// The empty bit vector.
+    pub fn new() -> Self {
+        BitVec { words: Vec::new(), len: 0 }
+    }
+
+    /// An empty bit vector with room for `cap` bits before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        BitVec { words: Vec::with_capacity(cap.div_ceil(WORD_BITS)), len: 0 }
+    }
+
+    /// `len` zero bits — the string `0^len` used for `r_1 = 0^u` and padding.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut bv = BitVec { words: vec![u64::MAX; len.div_ceil(WORD_BITS)], len };
+        bv.mask_tail();
+        bv
+    }
+
+    /// Builds a bit vector from a boolean slice, `bools[0]` becoming bit 0.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bv = BitVec::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bv.set(i, true);
+            }
+        }
+        bv
+    }
+
+    /// The low `width` bits of `value` as a bit vector (`width <= 64`).
+    ///
+    /// Panics if `width > 64`, or if `value` does not fit in `width` bits —
+    /// silently truncating an index would corrupt oracle queries, so we fail
+    /// loudly instead.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!(width <= 64, "from_u64 width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        let mut bv = BitVec::zeros(width);
+        if width > 0
+            && !bv.words.is_empty() {
+                bv.words[0] = value;
+            }
+        bv.mask_tail();
+        bv
+    }
+
+    /// Bit vector from bytes, `bytes[0]` providing bits `0..8` (bit 0 = LSB
+    /// of `bytes[0]`). The length is `8 * bytes.len()`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let len = bytes.len() * 8;
+        let mut words = vec![0u64; len.div_ceil(WORD_BITS)];
+        for (i, &b) in bytes.iter().enumerate() {
+            words[i / 8] |= (b as u64) << ((i % 8) * 8);
+        }
+        BitVec { words, len }
+    }
+
+    /// Serializes to bytes (inverse of [`BitVec::from_bytes`] when the length
+    /// is a multiple of 8; otherwise the final byte is zero-padded).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = ((self.words[i / 8] >> ((i % 8) * 8)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words (tail bits beyond `len` are guaranteed zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `idx`.
+    ///
+    /// Panics if `idx >= len`.
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        let w = idx / WORD_BITS;
+        let b = idx % WORD_BITS;
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        let idx = self.len - 1;
+        if value {
+            self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+        }
+    }
+
+    /// Appends the low `width` bits of `value` (`width <= 64`).
+    ///
+    /// Panics on overflow like [`BitVec::from_u64`].
+    pub fn push_u64(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "push_u64 width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        self.extend_raw(value, width);
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_bits(&mut self, other: &BitVec) {
+        // Fast path: word-aligned append.
+        if self.len.is_multiple_of(WORD_BITS) {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            self.words.truncate(self.len.div_ceil(WORD_BITS));
+            self.mask_tail();
+            return;
+        }
+        let mut remaining = other.len;
+        for &word in &other.words {
+            let take = remaining.min(WORD_BITS);
+            self.extend_raw(word & mask(take), take);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Appends `count` zero bits (padding, the `0^*` of oracle queries).
+    pub fn extend_zeros(&mut self, count: usize) {
+        self.len += count;
+        self.words.resize(self.len.div_ceil(WORD_BITS), 0);
+    }
+
+    /// Truncates to the first `new_len` bits. No-op if already shorter.
+    pub fn truncate(&mut self, new_len: usize) {
+        if new_len >= self.len {
+            return;
+        }
+        self.len = new_len;
+        self.words.truncate(new_len.div_ceil(WORD_BITS));
+        self.mask_tail();
+    }
+
+    /// The sub-vector of bits `start..start + width`.
+    ///
+    /// Panics if the range exceeds `len`.
+    pub fn slice(&self, start: usize, width: usize) -> BitVec {
+        assert!(
+            start + width <= self.len,
+            "slice {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        let mut out = BitVec::zeros(width);
+        let mut done = 0;
+        while done < width {
+            let take = (width - done).min(64);
+            let chunk = self.read_raw(start + done, take);
+            out.write_raw(done, chunk, take);
+            done += take;
+        }
+        out
+    }
+
+    /// Overwrites bits `start..start + src.len()` with `src`.
+    ///
+    /// Panics if the range exceeds `len`.
+    pub fn splice(&mut self, start: usize, src: &BitVec) {
+        assert!(
+            start + src.len() <= self.len,
+            "splice {start}..{} out of range (len {})",
+            start + src.len(),
+            self.len
+        );
+        let mut done = 0;
+        while done < src.len() {
+            let take = (src.len() - done).min(64);
+            let chunk = src.read_raw(done, take);
+            self.write_raw(start + done, chunk, take);
+            done += take;
+        }
+    }
+
+    /// Reads bits `start..start + width` as a little-endian integer
+    /// (`width <= 64`).
+    ///
+    /// Panics if the range exceeds `len` or `width > 64`.
+    #[inline]
+    pub fn read_u64(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64, "read_u64 width {width} exceeds 64");
+        assert!(
+            start + width <= self.len,
+            "read {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        self.read_raw(start, width)
+    }
+
+    /// Writes the low `width` bits of `value` at `start..start + width`.
+    ///
+    /// Panics on out-of-range or if `value` does not fit.
+    pub fn write_u64(&mut self, start: usize, value: u64, width: usize) {
+        assert!(width <= 64, "write_u64 width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        assert!(
+            start + width <= self.len,
+            "write {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        self.write_raw(start, value, width);
+    }
+
+    /// XORs `other` into `self` (lengths must match).
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "xor_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// ANDs `other` into `self` (lengths must match).
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "and_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// ORs `other` into `self` (lengths must match).
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "or_assign length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterator over bits, LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Concatenation of `parts`, in order.
+    pub fn concat(parts: &[&BitVec]) -> BitVec {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut out = BitVec::with_capacity(total);
+        for p in parts {
+            out.extend_bits(p);
+        }
+        out
+    }
+
+    /// Splits into consecutive chunks of `width` bits.
+    ///
+    /// Panics unless `len` is a multiple of `width`. This is how an input
+    /// `X ∈ {0,1}^{uv}` is parsed into `v` blocks `x_i ∈ {0,1}^u`.
+    pub fn chunks(&self, width: usize) -> Vec<BitVec> {
+        assert!(width > 0, "chunk width must be positive");
+        assert_eq!(
+            self.len % width,
+            0,
+            "length {} is not a multiple of chunk width {width}",
+            self.len
+        );
+        (0..self.len / width).map(|i| self.slice(i * width, width)).collect()
+    }
+
+    /// Lowercase-hex rendering, 4 bits per digit, bit 0 in the first digit's
+    /// low position; the final digit covers any partial nibble.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(self.len.div_ceil(4));
+        for i in 0..self.len.div_ceil(4) {
+            let start = i * 4;
+            let take = (self.len - start).min(4);
+            let nib = self.read_raw(start, take);
+            s.push(char::from_digit(nib as u32, 16).unwrap());
+        }
+        s
+    }
+
+    // ---- internal helpers -------------------------------------------------
+
+    /// Zeroes any bits beyond `len` in the final word, restoring the
+    /// representation invariant.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= mask(rem);
+            }
+        }
+        debug_assert_eq!(self.words.len(), self.len.div_ceil(WORD_BITS));
+    }
+
+    /// Unchecked multi-word bit read, `width <= 64`.
+    #[inline]
+    fn read_raw(&self, start: usize, width: usize) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let w = start / WORD_BITS;
+        let b = start % WORD_BITS;
+        let lo = self.words[w] >> b;
+        let out = if b + width <= WORD_BITS {
+            lo
+        } else {
+            lo | (self.words[w + 1] << (WORD_BITS - b))
+        };
+        out & mask(width)
+    }
+
+    /// Unchecked multi-word bit write, `width <= 64`, `value` pre-masked.
+    #[inline]
+    fn write_raw(&mut self, start: usize, value: u64, width: usize) {
+        if width == 0 {
+            return;
+        }
+        let w = start / WORD_BITS;
+        let b = start % WORD_BITS;
+        let m = mask(width);
+        self.words[w] = (self.words[w] & !(m << b)) | ((value & m) << b);
+        if b + width > WORD_BITS {
+            let spill = b + width - WORD_BITS;
+            let m2 = mask(spill);
+            self.words[w + 1] =
+                (self.words[w + 1] & !m2) | ((value >> (WORD_BITS - b)) & m2);
+        }
+    }
+
+    /// Appends `width` bits of `value` (pre-masked) at the tail.
+    fn extend_raw(&mut self, value: u64, width: usize) {
+        let start = self.len;
+        self.len += width;
+        self.words.resize(self.len.div_ceil(WORD_BITS), 0);
+        self.write_raw(start, value & mask(width), width);
+    }
+}
+
+/// Low-`width`-bit mask; `width <= 64`.
+#[inline]
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len <= 64 {
+            write!(f, "BitVec[{}; ", self.len)?;
+            for i in 0..self.len {
+                write!(f, "{}", self.get(i) as u8)?;
+            }
+            write!(f, "]")
+        } else {
+            write!(f, "BitVec[{}; 0x{}…]", self.len, &self.to_hex()[..16.min(self.to_hex().len())])
+        }
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bv = BitVec::new();
+        for b in iter {
+            bv.push(b);
+        }
+        bv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.len(), 130);
+        assert!(z.is_zero());
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        // invariant: tail bits beyond len are zero
+        assert_eq!(o.words().last().copied().unwrap() >> (130 % 64), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::zeros(100);
+        for i in (0..100).step_by(7) {
+            bv.set(i, true);
+        }
+        for i in 0..100 {
+            assert_eq!(bv.get(i), i % 7 == 0);
+        }
+    }
+
+    #[test]
+    fn push_and_from_bools_agree() {
+        let pattern: Vec<bool> = (0..77).map(|i| i % 3 == 1).collect();
+        let mut pushed = BitVec::new();
+        for &b in &pattern {
+            pushed.push(b);
+        }
+        assert_eq!(pushed, BitVec::from_bools(&pattern));
+    }
+
+    #[test]
+    fn u64_views() {
+        let bv = BitVec::from_u64(0xDEAD_BEEF, 32);
+        assert_eq!(bv.len(), 32);
+        assert_eq!(bv.read_u64(0, 32), 0xDEAD_BEEF);
+        assert_eq!(bv.read_u64(8, 16), 0xADBE);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn from_u64_rejects_overflow() {
+        let _ = BitVec::from_u64(16, 4);
+    }
+
+    #[test]
+    fn write_u64_across_word_boundary() {
+        let mut bv = BitVec::zeros(128);
+        bv.write_u64(60, 0b1011, 4); // straddles words 0 and 1
+        assert_eq!(bv.read_u64(60, 4), 0b1011);
+        assert!(bv.get(60) && !bv.get(62));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes = [0x01u8, 0xFF, 0x80, 0x7E];
+        let bv = BitVec::from_bytes(&bytes);
+        assert_eq!(bv.len(), 32);
+        assert_eq!(bv.to_bytes(), bytes);
+        assert!(bv.get(0)); // LSB of first byte
+        assert!(!bv.get(1));
+        assert!(!bv.get(31)); // MSB of 0x7E (= 0b0111_1110) is 0
+        assert!(bv.get(30)); // bit 6 of 0x7E is 1
+    }
+
+    #[test]
+    fn bytes_bit_order() {
+        let bv = BitVec::from_bytes(&[0b0000_0010]);
+        assert!(!bv.get(0));
+        assert!(bv.get(1));
+    }
+
+    #[test]
+    fn slice_and_splice_inverse() {
+        let mut bv = BitVec::zeros(200);
+        bv.write_u64(3, 0xABCD, 16);
+        bv.write_u64(120, 0x1234_5678, 32);
+        let s = bv.slice(100, 80);
+        let mut other = BitVec::zeros(200);
+        other.splice(100, &s);
+        assert_eq!(other.read_u64(120, 32), 0x1234_5678);
+        assert_eq!(bv.slice(0, 200), bv);
+    }
+
+    #[test]
+    fn extend_bits_unaligned() {
+        let mut a = BitVec::from_u64(0b101, 3);
+        let b = BitVec::from_u64(0xFFFF_FFFF_FFFF_FFFF, 64);
+        a.extend_bits(&b);
+        assert_eq!(a.len(), 67);
+        assert_eq!(a.read_u64(0, 3), 0b101);
+        assert_eq!(a.read_u64(3, 64), u64::MAX);
+    }
+
+    #[test]
+    fn extend_bits_aligned_fast_path() {
+        let mut a = BitVec::from_u64(7, 64);
+        let b = BitVec::from_u64(9, 5);
+        a.extend_bits(&b);
+        assert_eq!(a.len(), 69);
+        assert_eq!(a.read_u64(64, 5), 9);
+    }
+
+    #[test]
+    fn concat_matches_manual_extend() {
+        let a = BitVec::from_u64(0b11, 2);
+        let b = BitVec::from_u64(0b0101, 4);
+        let c = BitVec::from_u64(0b1, 1);
+        let cat = BitVec::concat(&[&a, &b, &c]);
+        assert_eq!(cat.len(), 7);
+        assert_eq!(cat.read_u64(0, 2), 0b11);
+        assert_eq!(cat.read_u64(2, 4), 0b0101);
+        assert_eq!(cat.read_u64(6, 1), 1);
+    }
+
+    #[test]
+    fn chunks_partition() {
+        let mut bv = BitVec::zeros(30);
+        bv.write_u64(10, 0x1F, 5);
+        let ch = bv.chunks(10);
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch[1].read_u64(0, 5), 0x1F);
+        assert!(ch[0].is_zero() && ch[2].is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of chunk width")]
+    fn chunks_rejects_ragged() {
+        BitVec::zeros(7).chunks(2);
+    }
+
+    #[test]
+    fn truncate_masks_tail() {
+        let mut bv = BitVec::ones(100);
+        bv.truncate(65);
+        assert_eq!(bv.len(), 65);
+        assert_eq!(bv.count_ones(), 65);
+        bv.truncate(3);
+        assert_eq!(bv.count_ones(), 3);
+        // re-extend must see zeros, not stale ones
+        bv.extend_zeros(10);
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn xor_and_or() {
+        let mut a = BitVec::from_u64(0b1100, 4);
+        let b = BitVec::from_u64(0b1010, 4);
+        a.xor_assign(&b);
+        assert_eq!(a.read_u64(0, 4), 0b0110);
+        a.or_assign(&b);
+        assert_eq!(a.read_u64(0, 4), 0b1110);
+        a.and_assign(&b);
+        assert_eq!(a.read_u64(0, 4), 0b1010);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let bv = BitVec::from_u64(0xA5, 8);
+        assert_eq!(bv.to_hex(), "5a"); // nibble order: low nibble first
+        let bv = BitVec::from_u64(0b110, 3);
+        assert_eq!(bv.to_hex(), "6");
+    }
+
+    #[test]
+    fn eq_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let mut a = BitVec::ones(10);
+        a.truncate(5);
+        let b = BitVec::ones(5);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let bv: BitVec = (0..9).map(|i| i % 2 == 0).collect();
+        assert_eq!(bv.len(), 9);
+        assert_eq!(bv.count_ones(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut bv = BitVec::zeros(77);
+        bv.write_u64(33, 0x5A5A, 16);
+        let json = serde_json::to_string(&bv).unwrap();
+        let back: BitVec = serde_json::from_str(&json).unwrap();
+        assert_eq!(bv, back);
+    }
+
+    #[test]
+    fn width_64_edge_cases() {
+        let bv = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(bv.read_u64(0, 64), u64::MAX);
+        let mut z = BitVec::zeros(64);
+        z.write_u64(0, u64::MAX, 64);
+        assert_eq!(z, bv);
+    }
+
+    #[test]
+    fn zero_width_operations() {
+        let bv = BitVec::zeros(10);
+        assert_eq!(bv.read_u64(5, 0), 0);
+        assert_eq!(bv.slice(5, 0).len(), 0);
+        let empty = BitVec::new();
+        assert!(empty.is_empty());
+        assert_eq!(BitVec::concat(&[&empty, &empty]).len(), 0);
+    }
+}

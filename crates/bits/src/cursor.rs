@@ -1,0 +1,135 @@
+//! Sequential bit readers and writers.
+//!
+//! The compression argument's encodings are single bit strings assembled
+//! from heterogeneous parts ("add the entire RO to our encoding … add M …
+//! add the index of each query"). [`BitWriter`] and [`BitReader`] are the
+//! cursors that build and parse such strings, with every part's width
+//! accounted exactly — encoding *length* is the quantity the proof is
+//! about, so nothing may be implicit.
+
+use crate::bitvec::BitVec;
+
+/// An append-only bit cursor.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bits: BitVec,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `value`.
+    pub fn write_u64(&mut self, value: u64, width: usize) {
+        self.bits.push_u64(value, width);
+    }
+
+    /// Appends a whole bit string.
+    pub fn write_bits(&mut self, bits: &BitVec) {
+        self.bits.extend_bits(bits);
+    }
+
+    /// Bits written so far — the encoding length.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Finishes, returning the assembled string.
+    pub fn finish(self) -> BitVec {
+        self.bits
+    }
+}
+
+/// A forward-only bit cursor over an encoded string.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bits: &'a BitVec,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader at position 0.
+    pub fn new(bits: &'a BitVec) -> Self {
+        BitReader { bits, pos: 0 }
+    }
+
+    /// Reads `width` bits as an integer (`width ≤ 64`).
+    ///
+    /// Panics if the string is exhausted — a decoder reading past the end
+    /// is a codec bug, never valid data.
+    pub fn read_u64(&mut self, width: usize) -> u64 {
+        let v = self.bits.read_u64(self.pos, width);
+        self.pos += width;
+        v
+    }
+
+    /// Reads `width` bits as a bit string.
+    pub fn read_bits(&mut self, width: usize) -> BitVec {
+        let v = self.bits.slice(self.pos, width);
+        self.pos += width;
+        v
+    }
+
+    /// Current position in bits.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Whether every bit has been consumed — decoders assert this to catch
+    /// length-accounting drift.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_u64(0b101, 3);
+        w.write_bits(&BitVec::ones(70));
+        w.write_u64(12345, 20);
+        assert_eq!(w.len(), 93);
+        let bits = w.finish();
+
+        let mut r = BitReader::new(&bits);
+        assert_eq!(r.read_u64(3), 0b101);
+        assert_eq!(r.read_bits(70), BitVec::ones(70));
+        assert_eq!(r.read_u64(20), 12345);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn position_tracking() {
+        let bits = BitVec::zeros(100);
+        let mut r = BitReader::new(&bits);
+        r.read_u64(10);
+        assert_eq!(r.position(), 10);
+        assert_eq!(r.remaining(), 90);
+        r.read_bits(90);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let bits = BitVec::zeros(8);
+        let mut r = BitReader::new(&bits);
+        r.read_u64(9);
+    }
+}

@@ -1,0 +1,114 @@
+//! Integer base-2 logarithms, as used by the paper's parameter tables.
+//!
+//! Table 3 of the paper allocates `⌈log v⌉` bits to the pointer field `ℓ_i`
+//! and the proofs repeatedly charge `log v`, `log q`, `log w` bits in
+//! encoding-length accounting. These helpers pin down the exact integer
+//! conventions once, so every crate charges the same number of bits.
+
+/// `⌊log₂ x⌋` for `x ≥ 1`.
+///
+/// Panics on `x = 0` (the logarithm is undefined and a silent `0` would
+/// corrupt bit accounting).
+pub fn floor_log2(x: u64) -> u32 {
+    assert!(x > 0, "floor_log2(0) is undefined");
+    63 - x.leading_zeros()
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x > 0, "ceil_log2(0) is undefined");
+    if x == 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// Number of bits needed to address an index in `[count]` (i.e. to store a
+/// value in `0..count`), with a minimum of one bit.
+///
+/// This is the paper's "`ℓ_i` takes `⌈log v⌉` bits" convention: even when
+/// `v = 1` (a single input block) the field occupies one bit so the layout
+/// is never empty.
+pub fn bits_for_index(count: u64) -> u32 {
+    assert!(count > 0, "cannot index an empty domain");
+    ceil_log2(count).max(1)
+}
+
+/// Whether `x` is a power of two.
+pub fn is_power_of_two(x: u64) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 40), 40);
+        assert_eq!(ceil_log2((1 << 40) + 1), 41);
+    }
+
+    #[test]
+    fn floor_ceil_relationship() {
+        for x in 1u64..1000 {
+            let f = floor_log2(x);
+            let c = ceil_log2(x);
+            if is_power_of_two(x) {
+                assert_eq!(f, c);
+            } else {
+                assert_eq!(c, f + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bits_for_index_minimum_one() {
+        assert_eq!(bits_for_index(1), 1);
+        assert_eq!(bits_for_index(2), 1);
+        assert_eq!(bits_for_index(3), 2);
+        assert_eq!(bits_for_index(256), 8);
+        assert_eq!(bits_for_index(257), 9);
+    }
+
+    #[test]
+    fn bits_for_index_covers_domain() {
+        for count in 1u64..500 {
+            let b = bits_for_index(count);
+            assert!(
+                (count - 1) < (1u64 << b),
+                "largest index {} must fit in {b} bits",
+                count - 1
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn floor_log2_zero_panics() {
+        floor_log2(0);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1 << 63));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(6));
+    }
+}

@@ -1,0 +1,408 @@
+//! Fixed-width field layouts over bit strings.
+//!
+//! The hard functions of the paper pack several typed values into one
+//! `n`-bit oracle input, e.g. the `Line` query `(i, x_{ℓ_i}, r_i, 0^*)`:
+//! an iteration counter, a `u`-bit input block, a `u`-bit chaining value,
+//! and zero padding out to exactly `n` bits. Oracle *answers* are split the
+//! same way: `(ℓ_{i+1}, r_{i+1}, z_{i+1})` with widths
+//! `⌈log v⌉ + u + (rest)` (paper Table 3).
+//!
+//! [`Layout`] describes such a format once — ordered named fields plus an
+//! implicit zero-pad to a total width — and provides checked `pack` /
+//! `unpack` that are exact inverses. Every oracle query in the workspace is
+//! built through a `Layout`, so field-width bugs surface as
+//! [`LayoutError`]s rather than silent bit corruption.
+
+use crate::bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named fixed-width field in a [`Layout`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name, used in error messages and debugging output.
+    pub name: String,
+    /// Width in bits. Fields wider than 64 bits are packed/unpacked as
+    /// [`BitVec`]s; narrower ones may also use the `u64` convenience forms.
+    pub width: usize,
+}
+
+/// A value supplied to [`Layout::pack`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldValue {
+    /// An integer value for a field of width ≤ 64.
+    Int(u64),
+    /// An arbitrary-width bit-string value; its length must equal the field
+    /// width exactly.
+    Bits(BitVec),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::Int(v)
+    }
+}
+
+impl From<BitVec> for FieldValue {
+    fn from(v: BitVec) -> Self {
+        FieldValue::Bits(v)
+    }
+}
+
+impl From<&BitVec> for FieldValue {
+    fn from(v: &BitVec) -> Self {
+        FieldValue::Bits(v.clone())
+    }
+}
+
+/// Errors from layout construction and packing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The declared fields need more bits than the total width provides.
+    Overflow {
+        /// Sum of field widths.
+        needed: usize,
+        /// Declared total width.
+        total: usize,
+    },
+    /// `pack` was called with the wrong number of values.
+    ArityMismatch {
+        /// Number of declared fields.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A supplied value does not fit its field.
+    ValueMismatch {
+        /// Name of the offending field.
+        field: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// `unpack` was called on a bit string of the wrong length.
+    LengthMismatch {
+        /// Declared total width.
+        expected: usize,
+        /// Length of the supplied bit string.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Overflow { needed, total } => {
+                write!(f, "fields need {needed} bits but layout total is {total}")
+            }
+            LayoutError::ArityMismatch { expected, got } => {
+                write!(f, "layout has {expected} fields but {got} values were supplied")
+            }
+            LayoutError::ValueMismatch { field, detail } => {
+                write!(f, "value for field `{field}` invalid: {detail}")
+            }
+            LayoutError::LengthMismatch { expected, got } => {
+                write!(f, "expected a {expected}-bit string but got {got} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// An ordered sequence of named fixed-width fields packed LSB-first into a
+/// bit string of exactly `total_width` bits, with zero padding after the
+/// last field (the paper's `0^*`).
+///
+/// # Examples
+///
+/// ```
+/// use mph_bits::{Layout, BitVec, FieldValue};
+///
+/// // The Line query (i, x, r, 0^*) with 8-bit counter, 5-bit block,
+/// // 5-bit chain value, padded to 24 bits.
+/// let layout = Layout::builder(24)
+///     .field("i", 8)
+///     .field("x", 5)
+///     .field("r", 5)
+///     .build()
+///     .unwrap();
+///
+/// let x = BitVec::from_u64(0b10110, 5);
+/// let q = layout
+///     .pack(&[FieldValue::Int(3), x.clone().into(), FieldValue::Int(0)])
+///     .unwrap();
+/// assert_eq!(q.len(), 24);
+/// assert_eq!(layout.extract_u64(&q, 0).unwrap(), 3);
+/// assert_eq!(layout.extract(&q, 1).unwrap(), x);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    fields: Vec<Field>,
+    offsets: Vec<usize>,
+    total_width: usize,
+}
+
+/// Builder for [`Layout`].
+#[derive(Clone, Debug)]
+pub struct LayoutBuilder {
+    fields: Vec<Field>,
+    total_width: usize,
+}
+
+impl LayoutBuilder {
+    /// Appends a field of `width` bits.
+    pub fn field(mut self, name: &str, width: usize) -> Self {
+        self.fields.push(Field { name: name.to_string(), width });
+        self
+    }
+
+    /// Finalizes the layout, checking that the fields fit the total width.
+    pub fn build(self) -> Result<Layout, LayoutError> {
+        let needed: usize = self.fields.iter().map(|f| f.width).sum();
+        if needed > self.total_width {
+            return Err(LayoutError::Overflow { needed, total: self.total_width });
+        }
+        let mut offsets = Vec::with_capacity(self.fields.len());
+        let mut off = 0;
+        for f in &self.fields {
+            offsets.push(off);
+            off += f.width;
+        }
+        Ok(Layout { fields: self.fields, offsets, total_width: self.total_width })
+    }
+}
+
+impl Layout {
+    /// Starts building a layout with the given total width.
+    pub fn builder(total_width: usize) -> LayoutBuilder {
+        LayoutBuilder { fields: Vec::new(), total_width }
+    }
+
+    /// Total width in bits of a packed string (fields + zero padding).
+    pub fn total_width(&self) -> usize {
+        self.total_width
+    }
+
+    /// The declared fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of padding bits after the last field.
+    pub fn padding(&self) -> usize {
+        self.total_width - self.fields.iter().map(|f| f.width).sum::<usize>()
+    }
+
+    /// Bit offset of field `idx`.
+    pub fn offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// Index of the field named `name`, if any.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Packs one value per field into a `total_width`-bit string, padding
+    /// with zeros.
+    pub fn pack(&self, values: &[FieldValue]) -> Result<BitVec, LayoutError> {
+        if values.len() != self.fields.len() {
+            return Err(LayoutError::ArityMismatch {
+                expected: self.fields.len(),
+                got: values.len(),
+            });
+        }
+        let mut out = BitVec::zeros(self.total_width);
+        for ((field, value), &off) in self.fields.iter().zip(values).zip(&self.offsets) {
+            match value {
+                FieldValue::Int(v) => {
+                    if field.width > 64 {
+                        return Err(LayoutError::ValueMismatch {
+                            field: field.name.clone(),
+                            detail: format!(
+                                "field is {} bits wide; use FieldValue::Bits",
+                                field.width
+                            ),
+                        });
+                    }
+                    if field.width < 64 && *v >= (1u64 << field.width) {
+                        return Err(LayoutError::ValueMismatch {
+                            field: field.name.clone(),
+                            detail: format!("{v} does not fit in {} bits", field.width),
+                        });
+                    }
+                    out.write_u64(off, *v, field.width);
+                }
+                FieldValue::Bits(b) => {
+                    if b.len() != field.width {
+                        return Err(LayoutError::ValueMismatch {
+                            field: field.name.clone(),
+                            detail: format!(
+                                "value is {} bits but field is {} bits",
+                                b.len(),
+                                field.width
+                            ),
+                        });
+                    }
+                    out.splice(off, b);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Unpacks every field from a packed string (ignoring padding bits).
+    pub fn unpack(&self, bits: &BitVec) -> Result<Vec<BitVec>, LayoutError> {
+        if bits.len() != self.total_width {
+            return Err(LayoutError::LengthMismatch {
+                expected: self.total_width,
+                got: bits.len(),
+            });
+        }
+        Ok(self
+            .fields
+            .iter()
+            .zip(&self.offsets)
+            .map(|(f, &off)| bits.slice(off, f.width))
+            .collect())
+    }
+
+    /// Extracts field `idx` as a bit string.
+    pub fn extract(&self, bits: &BitVec, idx: usize) -> Result<BitVec, LayoutError> {
+        if bits.len() != self.total_width {
+            return Err(LayoutError::LengthMismatch {
+                expected: self.total_width,
+                got: bits.len(),
+            });
+        }
+        let f = &self.fields[idx];
+        Ok(bits.slice(self.offsets[idx], f.width))
+    }
+
+    /// Extracts field `idx` as an integer (field width must be ≤ 64).
+    pub fn extract_u64(&self, bits: &BitVec, idx: usize) -> Result<u64, LayoutError> {
+        let f = &self.fields[idx];
+        if f.width > 64 {
+            return Err(LayoutError::ValueMismatch {
+                field: f.name.clone(),
+                detail: format!("field is {} bits wide; use extract()", f.width),
+            });
+        }
+        if bits.len() != self.total_width {
+            return Err(LayoutError::LengthMismatch {
+                expected: self.total_width,
+                got: bits.len(),
+            });
+        }
+        Ok(bits.read_u64(self.offsets[idx], f.width))
+    }
+
+    /// Checks that the padding region of `bits` is all zeros — a well-formed
+    /// `0^*`-padded query. Malformed queries (garbage in the pad) are how
+    /// tests model algorithms probing outside the function's query format.
+    pub fn padding_is_zero(&self, bits: &BitVec) -> bool {
+        let pad_start = self.total_width - self.padding();
+        bits.len() == self.total_width && bits.slice(pad_start, self.padding()).is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_layout() -> Layout {
+        Layout::builder(48)
+            .field("i", 16)
+            .field("x", 12)
+            .field("r", 12)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_inverse() {
+        let l = line_layout();
+        let x = BitVec::from_u64(0xABC, 12);
+        let packed = l
+            .pack(&[FieldValue::Int(513), x.clone().into(), FieldValue::Int(0x5A5)])
+            .unwrap();
+        assert_eq!(packed.len(), 48);
+        let parts = l.unpack(&packed).unwrap();
+        assert_eq!(parts[0].read_u64(0, 16), 513);
+        assert_eq!(parts[1], x);
+        assert_eq!(parts[2].read_u64(0, 12), 0x5A5);
+    }
+
+    #[test]
+    fn padding_is_zero_after_pack() {
+        let l = line_layout();
+        assert_eq!(l.padding(), 8);
+        let packed = l
+            .pack(&[0.into(), BitVec::zeros(12).into(), 0.into()])
+            .unwrap();
+        assert!(l.padding_is_zero(&packed));
+        let mut corrupted = packed.clone();
+        corrupted.set(47, true);
+        assert!(!l.padding_is_zero(&corrupted));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let l = line_layout();
+        let err = l.pack(&[FieldValue::Int(1)]).unwrap_err();
+        assert!(matches!(err, LayoutError::ArityMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn value_width_checked() {
+        let l = line_layout();
+        let err = l
+            .pack(&[FieldValue::Int(1 << 16), BitVec::zeros(12).into(), 0.into()])
+            .unwrap_err();
+        assert!(matches!(err, LayoutError::ValueMismatch { .. }));
+        let err = l
+            .pack(&[0.into(), BitVec::zeros(13).into(), 0.into()])
+            .unwrap_err();
+        assert!(matches!(err, LayoutError::ValueMismatch { .. }));
+    }
+
+    #[test]
+    fn overflow_rejected_at_build() {
+        let err = Layout::builder(10).field("a", 8).field("b", 8).build().unwrap_err();
+        assert!(matches!(err, LayoutError::Overflow { needed: 16, total: 10 }));
+    }
+
+    #[test]
+    fn unpack_length_checked() {
+        let l = line_layout();
+        let err = l.unpack(&BitVec::zeros(47)).unwrap_err();
+        assert!(matches!(err, LayoutError::LengthMismatch { expected: 48, got: 47 }));
+    }
+
+    #[test]
+    fn wide_fields_roundtrip_as_bits() {
+        // An x-field wider than 64 bits, as happens for u = n/3 with n ≥ 200.
+        let l = Layout::builder(300).field("x", 100).field("r", 100).build().unwrap();
+        let mut x = BitVec::zeros(100);
+        x.write_u64(70, 0x3FF, 10);
+        let packed = l.pack(&[x.clone().into(), BitVec::ones(100).into()]).unwrap();
+        assert_eq!(l.extract(&packed, 0).unwrap(), x);
+        assert_eq!(l.extract(&packed, 1).unwrap(), BitVec::ones(100));
+        assert!(l.extract_u64(&packed, 0).is_err());
+    }
+
+    #[test]
+    fn field_index_lookup() {
+        let l = line_layout();
+        assert_eq!(l.field_index("x"), Some(1));
+        assert_eq!(l.field_index("nope"), None);
+        assert_eq!(l.offset(2), 28);
+    }
+
+    #[test]
+    fn int_field_width_exactly_64() {
+        let l = Layout::builder(64).field("w", 64).build().unwrap();
+        let packed = l.pack(&[FieldValue::Int(u64::MAX)]).unwrap();
+        assert_eq!(l.extract_u64(&packed, 0).unwrap(), u64::MAX);
+    }
+}

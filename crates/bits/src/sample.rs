@@ -1,0 +1,93 @@
+//! Uniform sampling of bit strings.
+//!
+//! The paper's average-case correctness (Definition 2.5) draws the input
+//! `X ← {0,1}^{uv}` uniformly, and the lazily sampled random oracle of
+//! `mph-oracle` draws each fresh answer from `{0,1}^n`. Both reduce to the
+//! single primitive here: a uniformly random [`BitVec`] of a given length,
+//! driven by any [`rand::Rng`] so experiments are reproducible from a seed.
+
+use crate::bitvec::BitVec;
+use rand::Rng;
+
+/// A uniformly random bit string of `len` bits.
+pub fn random_bitvec<R: Rng + ?Sized>(rng: &mut R, len: usize) -> BitVec {
+    let mut out = BitVec::zeros(len);
+    let mut filled = 0;
+    while filled < len {
+        let take = (len - filled).min(64);
+        let word: u64 = rng.gen();
+        out.write_u64(filled, word & mask(take), take);
+        filled += take;
+    }
+    out
+}
+
+/// `count` independent uniform blocks of `width` bits each — the input
+/// `x_1, …, x_v` of the hard functions.
+pub fn random_blocks<R: Rng + ?Sized>(rng: &mut R, count: usize, width: usize) -> Vec<BitVec> {
+    (0..count).map(|_| random_bitvec(rng, width)).collect()
+}
+
+#[inline]
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_bitvec(&mut StdRng::seed_from_u64(7), 1000);
+        let b = random_bitvec(&mut StdRng::seed_from_u64(7), 1000);
+        assert_eq!(a, b);
+        let c = random_bitvec(&mut StdRng::seed_from_u64(8), 1000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exact_length_including_non_word_multiples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let bv = random_bitvec(&mut rng, len);
+            assert_eq!(bv.len(), len);
+        }
+    }
+
+    #[test]
+    fn tail_invariant_holds() {
+        // The representation invariant (bits beyond len are zero) must
+        // survive random filling of a partial final word.
+        let mut rng = StdRng::seed_from_u64(2);
+        let bv = random_bitvec(&mut rng, 70);
+        let mut copy = bv.clone();
+        copy.extend_zeros(10);
+        assert_eq!(copy.count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn roughly_unbiased() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bv = random_bitvec(&mut rng, 100_000);
+        let ones = bv.count_ones() as f64;
+        assert!((ones - 50_000.0).abs() < 1_500.0, "ones = {ones}");
+    }
+
+    #[test]
+    fn blocks_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let blocks = random_blocks(&mut rng, 16, 21);
+        assert_eq!(blocks.len(), 16);
+        assert!(blocks.iter().all(|b| b.len() == 21));
+        // overwhelmingly likely all distinct at 21 bits x 16 blocks
+        let distinct: std::collections::HashSet<_> = blocks.iter().collect();
+        assert!(distinct.len() > 10);
+    }
+}

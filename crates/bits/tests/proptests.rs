@@ -1,0 +1,155 @@
+//! Property-based tests for the bit-string substrate.
+//!
+//! These pin down the algebraic laws the rest of the workspace relies on:
+//! slicing/concatenation inverses, integer-view round-trips, layout
+//! pack/unpack inverses, and the tail-masking representation invariant.
+
+use mph_bits::{BitVec, FieldValue, Layout};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary bit vector up to `max_len` bits.
+fn bitvec_strategy(max_len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), 0..=max_len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+proptest! {
+    #[test]
+    fn bytes_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let bv = BitVec::from_bytes(&bytes);
+        prop_assert_eq!(bv.len(), bytes.len() * 8);
+        prop_assert_eq!(bv.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn bools_roundtrip(bools in prop::collection::vec(any::<bool>(), 0..300)) {
+        let bv = BitVec::from_bools(&bools);
+        let back: Vec<bool> = bv.iter().collect();
+        prop_assert_eq!(back, bools);
+    }
+
+    #[test]
+    fn u64_read_write_roundtrip(
+        value in any::<u64>(),
+        width in 1usize..=64,
+        start in 0usize..200,
+    ) {
+        let value = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        let mut bv = BitVec::zeros(start + width + 17);
+        bv.write_u64(start, value, width);
+        prop_assert_eq!(bv.read_u64(start, width), value);
+        // Bits outside the written window stay zero.
+        prop_assert_eq!(bv.count_ones(), value.count_ones() as usize);
+    }
+
+    #[test]
+    fn slice_concat_identity(bv in bitvec_strategy(400), cut in 0usize..=400) {
+        let cut = cut.min(bv.len());
+        let left = bv.slice(0, cut);
+        let right = bv.slice(cut, bv.len() - cut);
+        prop_assert_eq!(BitVec::concat(&[&left, &right]), bv);
+    }
+
+    #[test]
+    fn splice_then_slice_identity(
+        base in bitvec_strategy(300),
+        patch in bitvec_strategy(300),
+        start_frac in 0.0f64..1.0,
+    ) {
+        let patch_len = patch.len().min(base.len());
+        let patch = patch.slice(0, patch_len);
+        let max_start = base.len() - patch_len;
+        let start = ((max_start as f64) * start_frac) as usize;
+        let mut spliced = base.clone();
+        spliced.splice(start, &patch);
+        prop_assert_eq!(spliced.slice(start, patch_len), patch);
+        // Bits before and after the patch are untouched.
+        prop_assert_eq!(spliced.slice(0, start), base.slice(0, start));
+        let tail = start + patch_len;
+        prop_assert_eq!(
+            spliced.slice(tail, base.len() - tail),
+            base.slice(tail, base.len() - tail)
+        );
+    }
+
+    #[test]
+    fn xor_is_involutive(a in bitvec_strategy(300), b in bitvec_strategy(300)) {
+        let n = a.len().min(b.len());
+        let a = a.slice(0, n);
+        let b = b.slice(0, n);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        c.xor_assign(&b);
+        prop_assert_eq!(c, a);
+    }
+
+    #[test]
+    fn truncate_preserves_prefix(bv in bitvec_strategy(300), new_len in 0usize..=300) {
+        let new_len = new_len.min(bv.len());
+        let mut t = bv.clone();
+        t.truncate(new_len);
+        prop_assert_eq!(t.clone(), bv.slice(0, new_len));
+        // Representation invariant: extending with zeros adds no ones.
+        let ones = t.count_ones();
+        t.extend_zeros(64);
+        prop_assert_eq!(t.count_ones(), ones);
+    }
+
+    #[test]
+    fn chunks_concat_identity(widths in 1usize..40, count in 0usize..20, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bv: BitVec = (0..widths * count).map(|_| rng.gen::<bool>()).collect();
+        let chunks = bv.chunks(widths);
+        prop_assert_eq!(chunks.len(), count);
+        let refs: Vec<&BitVec> = chunks.iter().collect();
+        prop_assert_eq!(BitVec::concat(&refs), bv);
+    }
+
+    #[test]
+    fn layout_pack_unpack_inverse(
+        widths in prop::collection::vec(1usize..80, 1..6),
+        pad in 0usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let total: usize = widths.iter().sum::<usize>() + pad;
+        let mut builder = Layout::builder(total);
+        for (i, w) in widths.iter().enumerate() {
+            builder = builder.field(&format!("f{i}"), *w);
+        }
+        let layout = builder.build().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let values: Vec<BitVec> = widths
+            .iter()
+            .map(|&w| mph_bits::random_bitvec(&mut rng, w))
+            .collect();
+        let field_values: Vec<FieldValue> =
+            values.iter().map(|v| FieldValue::Bits(v.clone())).collect();
+        let packed = layout.pack(&field_values).unwrap();
+        prop_assert_eq!(packed.len(), total);
+        prop_assert!(layout.padding_is_zero(&packed));
+        let unpacked = layout.unpack(&packed).unwrap();
+        prop_assert_eq!(unpacked, values);
+    }
+
+    #[test]
+    fn extend_bits_matches_concat(a in bitvec_strategy(200), b in bitvec_strategy(200)) {
+        let mut ext = a.clone();
+        ext.extend_bits(&b);
+        prop_assert_eq!(ext, BitVec::concat(&[&a, &b]));
+    }
+
+    #[test]
+    fn hex_length(bv in bitvec_strategy(200)) {
+        prop_assert_eq!(bv.to_hex().len(), bv.len().div_ceil(4));
+    }
+
+    #[test]
+    fn ceil_log2_bound(x in 1u64..u64::MAX / 2) {
+        let c = mph_bits::ceil_log2(x);
+        prop_assert!(x <= 1u64.checked_shl(c).unwrap_or(u64::MAX));
+        if c > 0 {
+            prop_assert!(x > 1u64 << (c - 1));
+        }
+    }
+}

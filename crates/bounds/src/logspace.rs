@@ -1,0 +1,189 @@
+//! Base-2 log-space arithmetic.
+//!
+//! A [`Log2`] holds `log₂` of a nonnegative quantity, so products are sums,
+//! powers are multiplications, and quantities like `2^{-4096}` or
+//! `v^{log² w}` (astronomically small/large) stay representable. Addition
+//! uses the stable log-sum-exp identity
+//! `log(a + b) = log a + log(1 + 2^{log b − log a})` for `a ≥ b`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul};
+
+/// A nonnegative quantity stored as its base-2 logarithm.
+///
+/// Zero is `log₂ = −∞`, which the arithmetic handles naturally.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Log2(pub f64);
+
+impl Log2 {
+    /// The quantity 0.
+    pub const ZERO: Log2 = Log2(f64::NEG_INFINITY);
+    /// The quantity 1.
+    pub const ONE: Log2 = Log2(0.0);
+
+    /// From a plain value (must be ≥ 0).
+    pub fn from_value(x: f64) -> Self {
+        assert!(x >= 0.0, "Log2 represents nonnegative quantities");
+        Log2(x.log2())
+    }
+
+    /// The quantity `2^e`.
+    pub fn from_exp(e: f64) -> Self {
+        Log2(e)
+    }
+
+    /// `log₂` of the quantity.
+    pub fn log2(self) -> f64 {
+        self.0
+    }
+
+    /// Back to a plain value (may overflow to `inf` / underflow to 0).
+    pub fn value(self) -> f64 {
+        self.0.exp2()
+    }
+
+    /// `self^k`.
+    pub fn powf(self, k: f64) -> Self {
+        if self.0 == f64::NEG_INFINITY && k == 0.0 {
+            return Log2::ONE; // 0^0 = 1 by convention
+        }
+        Log2(self.0 * k)
+    }
+
+    /// Whether the quantity is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// `min(self, 1)` — clamp to a probability.
+    pub fn clamp_prob(self) -> Self {
+        if self.0 > 0.0 {
+            Log2::ONE
+        } else {
+            self
+        }
+    }
+}
+
+impl Mul for Log2 {
+    type Output = Log2;
+    fn mul(self, rhs: Log2) -> Log2 {
+        if self.is_zero() || rhs.is_zero() {
+            return Log2::ZERO;
+        }
+        Log2(self.0 + rhs.0)
+    }
+}
+
+impl Div for Log2 {
+    type Output = Log2;
+    fn div(self, rhs: Log2) -> Log2 {
+        assert!(!rhs.is_zero(), "division by zero quantity");
+        if self.is_zero() {
+            return Log2::ZERO;
+        }
+        Log2(self.0 - rhs.0)
+    }
+}
+
+impl Add for Log2 {
+    type Output = Log2;
+    fn add(self, rhs: Log2) -> Log2 {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        let (hi, lo) = if self.0 >= rhs.0 { (self.0, rhs.0) } else { (rhs.0, self.0) };
+        Log2(hi + (1.0 + (lo - hi).exp2()).log2())
+    }
+}
+
+impl fmt::Display for Log2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else if self.0.abs() < 20.0 {
+            let v = self.value();
+            let text = format!("{v:.6}");
+            let text = text.trim_end_matches('0').trim_end_matches('.');
+            write!(f, "{text}")
+        } else {
+            write!(f, "2^{:.1}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn products_and_powers() {
+        let a = Log2::from_value(8.0);
+        let b = Log2::from_value(4.0);
+        assert!(close((a * b).value(), 32.0));
+        assert!(close((a / b).value(), 2.0));
+        assert!(close(a.powf(3.0).value(), 512.0));
+    }
+
+    #[test]
+    fn addition_log_sum_exp() {
+        let a = Log2::from_value(3.0);
+        let b = Log2::from_value(5.0);
+        assert!(close((a + b).value(), 8.0));
+        // Wildly different magnitudes: a + tiny ≈ a without drama.
+        let tiny = Log2::from_exp(-10_000.0);
+        let sum = a + tiny;
+        assert!(close(sum.value(), 3.0));
+        assert!(!sum.0.is_nan());
+    }
+
+    #[test]
+    fn zero_behaviour() {
+        let z = Log2::ZERO;
+        let a = Log2::from_value(7.0);
+        assert!((z * a).is_zero());
+        assert!(close((z + a).value(), 7.0));
+        assert_eq!(Log2::from_value(0.0), Log2::ZERO);
+        assert_eq!(z.powf(0.0), Log2::ONE);
+    }
+
+    #[test]
+    fn astronomical_magnitudes_survive() {
+        // v^{log² w} with v = 2^20, w = 2^40: log2 = 20 * 1600 = 32000.
+        let v = Log2::from_exp(20.0);
+        let big = v.powf(1600.0);
+        assert!(close(big.log2(), 32_000.0));
+        // Multiply by 2^-40000: still fine.
+        let product = big * Log2::from_exp(-40_000.0);
+        assert!(close(product.log2(), -8_000.0));
+        assert_eq!(product.value(), 0.0); // underflow only at extraction
+    }
+
+    #[test]
+    fn clamp_prob() {
+        assert_eq!(Log2::from_value(3.0).clamp_prob(), Log2::ONE);
+        let p = Log2::from_exp(-2.0);
+        assert_eq!(p.clamp_prob(), p);
+    }
+
+    #[test]
+    fn ordering_matches_values() {
+        assert!(Log2::from_exp(-100.0) < Log2::from_exp(-50.0));
+        assert!(Log2::from_value(10.0) > Log2::ONE);
+    }
+
+    #[test]
+    fn display_switches_notation() {
+        assert_eq!(format!("{}", Log2::from_value(0.25)), "0.25");
+        assert_eq!(format!("{}", Log2::from_exp(-100.0)), "2^-100.0");
+        assert_eq!(format!("{}", Log2::ZERO), "0");
+    }
+}

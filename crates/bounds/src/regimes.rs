@@ -1,0 +1,150 @@
+//! Parameter-regime exploration.
+//!
+//! Theorem 3.1 states ranges (`n ≤ S < 2^{O(n^{1/4})}`, `S ≤ T <
+//! 2^{O(n^{1/4})}`, `q < 2^{n/4}`, `s ≤ S/c`); this module makes the
+//! ranges quantitative by sweeping concrete parameters and recording, for
+//! each point, whether the machinery actually certifies hardness — i.e.
+//! whether Lemma 3.6's hypothesis holds and the success bound lands below
+//! `1/3`. The sweep is the data behind the paper's Table 2.
+
+use crate::line_bounds::LineBoundInputs;
+use crate::logspace::Log2;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated parameter point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RegimePoint {
+    /// Oracle width `n`.
+    pub n: f64,
+    /// RAM space `S` in bits.
+    pub s_ram: f64,
+    /// RAM time `T`.
+    pub t: f64,
+    /// Local memory fraction `s/S`.
+    pub memory_fraction: f64,
+    /// Lemma 3.6's denominator (`> 0` required).
+    pub lemma36_denominator: f64,
+    /// The success bound of Theorem 3.1 (log₂).
+    pub success_bound_log2: f64,
+    /// Whether hardness is certified (`denominator > 0` and bound `< 1/3`).
+    pub certified: bool,
+    /// The certified round lower bound `w/log² w` (meaningful only when
+    /// `certified`).
+    pub rounds: f64,
+}
+
+/// Evaluates one parameter point with `m` machines and query bound `q`.
+pub fn evaluate_point(
+    n: f64,
+    s_ram: f64,
+    t: f64,
+    memory_fraction: f64,
+    m: f64,
+    q: f64,
+) -> RegimePoint {
+    let inputs = LineBoundInputs::from_nst(n, s_ram, t, m, s_ram * memory_fraction, q);
+    let denom = inputs.lemma36_denominator();
+    let bound = if denom > 0.0 { inputs.theorem31_success_bound() } else { Log2::ONE };
+    let certified = denom > 0.0 && bound.log2() < (1.0f64 / 3.0).log2();
+    RegimePoint {
+        n,
+        s_ram,
+        t,
+        memory_fraction,
+        lemma36_denominator: denom,
+        success_bound_log2: bound.log2(),
+        certified,
+        rounds: inputs.certified_rounds(),
+    }
+}
+
+/// Sweeps `n` over powers of two and reports each point — charts where the
+/// theorem "turns on".
+pub fn regime_sweep(
+    n_values: &[f64],
+    s_ram: f64,
+    t: f64,
+    memory_fraction: f64,
+    m: f64,
+    q: f64,
+) -> Vec<RegimePoint> {
+    n_values
+        .iter()
+        .map(|&n| evaluate_point(n, s_ram, t, memory_fraction, m, q))
+        .collect()
+}
+
+/// Binary-searches the smallest `n` (within `[lo, hi]`, powers of 2) at
+/// which the theorem certifies hardness for the given configuration.
+pub fn min_certifying_n(
+    s_ram: f64,
+    t: f64,
+    memory_fraction: f64,
+    m: f64,
+    q: f64,
+    lo: u32,
+    hi: u32,
+) -> Option<f64> {
+    let mut result = None;
+    let (mut lo, mut hi) = (lo, hi);
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let n = 2f64.powi(mid as i32);
+        if evaluate_point(n, s_ram, t, memory_fraction, m, q).certified {
+            result = Some(n);
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_a_threshold() {
+        // Fixed workload; growing n must flip points from uncertified to
+        // certified (Lemma 3.6 needs u = n/3 to beat (log²w + 2) log v).
+        let ns: Vec<f64> = (6..=16).map(|e| 2f64.powi(e)).collect();
+        let points = regime_sweep(&ns, 2f64.powi(18), 2f64.powi(20), 0.125, 1024.0, 4096.0);
+        assert!(!points.first().unwrap().certified, "small n must fail");
+        assert!(points.last().unwrap().certified, "large n must certify");
+        // Monotone flip: once certified, stays certified.
+        let first_on = points.iter().position(|p| p.certified).unwrap();
+        assert!(points[first_on..].iter().all(|p| p.certified));
+    }
+
+    #[test]
+    fn min_certifying_n_matches_sweep() {
+        let n = min_certifying_n(2f64.powi(18), 2f64.powi(20), 0.125, 1024.0, 4096.0, 6, 20)
+            .expect("certifiable in range");
+        let before = evaluate_point(n / 2.0, 2f64.powi(18), 2f64.powi(20), 0.125, 1024.0, 4096.0);
+        let at = evaluate_point(n, 2f64.powi(18), 2f64.powi(20), 0.125, 1024.0, 4096.0);
+        assert!(!before.certified);
+        assert!(at.certified);
+    }
+
+    #[test]
+    fn full_memory_never_certifies() {
+        // s = S: any machine stores everything; the theorem must not claim
+        // hardness at any n.
+        for e in 8..=16 {
+            let p = evaluate_point(2f64.powi(e), 2f64.powi(18), 2f64.powi(20), 1.0, 64.0, 256.0);
+            assert!(!p.certified, "certified at n = 2^{e} with s = S");
+        }
+    }
+
+    #[test]
+    fn rounds_reported_are_w_over_log2w() {
+        let p = evaluate_point(2f64.powi(14), 2f64.powi(18), 2f64.powi(20), 0.125, 64.0, 256.0);
+        let w = 2f64.powi(20);
+        let expected = w / (w.log2() * w.log2());
+        assert!((p.rounds - expected).abs() < 1.0);
+    }
+}

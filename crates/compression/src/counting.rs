@@ -1,0 +1,125 @@
+//! Claim 3.8 / A.5: the information-theoretic floor.
+//!
+//! Any deterministic encoding scheme that is exactly decodable on a set
+//! `F` must have some codeword of length at least `log₂|F| − 1`: with
+//! maximum length `t` there are at most `Σ_{i≤t} 2^i ≤ 2^{t+1}` codewords,
+//! and injectivity needs `2^{t+1} ≥ |F|`. The compression argument closes
+//! by comparing this floor against the encoder's achieved length.
+//!
+//! The floor is arithmetic ([`counting_floor_bits`]); [`CountingDemo`]
+//! *demonstrates* it by exhaustive pigeonhole: any claimed compressor that
+//! maps `k`-bit strings to shorter strings must collide, and we find the
+//! collision.
+
+use mph_bits::BitVec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// `⌈log₂ count⌉ − 1` — the minimum worst-case codeword length (in bits)
+/// of any injective encoding of `count` messages, per Claim 3.8.
+///
+/// `log2_count` is supplied in log-space (the sets in the paper have
+/// `2^{n·2^n + uv}` elements; their cardinality only ever appears as a
+/// logarithm).
+pub fn counting_floor_bits(log2_count: f64) -> f64 {
+    log2_count - 1.0
+}
+
+/// Result of the pigeonhole demonstration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountingDemo {
+    /// Message length `k` (all `2^k` messages were enumerated).
+    pub message_bits: usize,
+    /// The compressor's claimed maximum output length.
+    pub claimed_max_bits: usize,
+    /// A colliding pair of distinct messages, if the claim is impossible.
+    pub collision: Option<(BitVec, BitVec)>,
+}
+
+/// Exhaustively tests a claimed compressor on all `2^k` messages of `k`
+/// bits. If the compressor ever outputs more than `claimed_max_bits` bits
+/// the claim is vacuous (reported as no collision); otherwise, whenever
+/// `claimed_max_bits < k − 1`, Claim 3.8 guarantees a collision and this
+/// function finds it.
+pub fn pigeonhole_demo<F>(
+    message_bits: usize,
+    claimed_max_bits: usize,
+    mut compress: F,
+) -> CountingDemo
+where
+    F: FnMut(&BitVec) -> BitVec,
+{
+    assert!(message_bits <= 24, "exhaustive enumeration capped at 2^24 messages");
+    let mut seen: HashMap<BitVec, BitVec> = HashMap::new();
+    for code in 0..(1u64 << message_bits) {
+        let msg = BitVec::from_u64(code, message_bits).slice(0, message_bits);
+        let compressed = compress(&msg);
+        assert!(
+            compressed.len() <= claimed_max_bits,
+            "compressor exceeded its claimed max length"
+        );
+        if let Some(prev) = seen.get(&compressed) {
+            return CountingDemo {
+                message_bits,
+                claimed_max_bits,
+                collision: Some((prev.clone(), msg)),
+            };
+        }
+        seen.insert(compressed, msg);
+    }
+    CountingDemo { message_bits, claimed_max_bits, collision: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_arithmetic() {
+        // 2^10 messages need a 9-bit worst case at minimum.
+        assert_eq!(counting_floor_bits(10.0), 9.0);
+        // Paper-scale: |F| = eps * 2^{n·2^n + uv}.
+        let log_f = 64.0 * 2f64.powi(64).log2() + 1e6; // symbolic sanity
+        assert!(counting_floor_bits(log_f) > 0.0);
+    }
+
+    #[test]
+    fn truncation_compressor_collides() {
+        // "Compress" 10-bit strings to 8 bits by truncation: pigeonhole
+        // must find a collision (Claim 3.8 with t = 8 < 10 - 1).
+        let demo = pigeonhole_demo(10, 8, |m| m.slice(0, 8));
+        let (a, b) = demo.collision.expect("collision must exist");
+        assert_ne!(a, b);
+        assert_eq!(a.slice(0, 8), b.slice(0, 8));
+    }
+
+    #[test]
+    fn identity_compressor_never_collides() {
+        let demo = pigeonhole_demo(10, 10, |m| m.clone());
+        assert!(demo.collision.is_none());
+    }
+
+    #[test]
+    fn variable_length_below_floor_collides() {
+        // A length-dropping scheme: drop trailing zeros (prefix-ambiguous),
+        // max 9 bits on 10-bit inputs — still must collide because
+        // Σ_{i≤9} 2^i < 2^10.
+        let demo = pigeonhole_demo(10, 9, |m| {
+            let mut end = m.len();
+            while end > 0 && !m.get(end - 1) {
+                end -= 1;
+            }
+            m.slice(0, end.min(9))
+        });
+        assert!(demo.collision.is_some());
+    }
+
+    #[test]
+    fn one_bit_of_slack_is_not_enough_to_be_safe() {
+        // t = k - 1 satisfies Claim 3.8's necessary condition; whether a
+        // scheme collides then depends on the scheme. Truncation to 9 of 10
+        // bits still collides (it wastes short codewords).
+        let demo = pigeonhole_demo(10, 9, |m| m.slice(0, 9));
+        assert!(demo.collision.is_some());
+    }
+}

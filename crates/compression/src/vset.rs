@@ -1,0 +1,177 @@
+//! The reachable-entry sets `V^{(j)}` of Lemma 3.3.
+//!
+//! For each correct entry `j` on the line, the paper defines `V^{(j)}`: the
+//! set of oracle entries lying on *any* rewired continuation of depth
+//! `log² w` from `j` — i.e. every entry an algorithm could possibly treat
+//! as "the next correct query" under some pointer sequence `a_1, …, a_p`.
+//! Lemma 3.3 then bounds the probability of querying any element of
+//! `⋃_j V^{(j)}` before its predecessor, using `|V^{(j)}| < v^{log² w}`.
+//!
+//! [`v_set`] materializes `V^{(j)}` for executable depths: a breadth-first
+//! walk over pointer prefixes, chaining true oracle answers exactly as
+//! Definition 3.4 does. The tests pin the size bound and the containment
+//! facts the proof uses (the true continuation lies inside; the rewired
+//! oracle's patch points lie inside).
+
+use mph_bits::BitVec;
+use mph_core::{Line, LineParams};
+use mph_oracle::Oracle;
+use std::collections::HashSet;
+
+/// One entry of `V^{(j)}`: the query bits plus the pointer prefix that
+/// reaches it (its "previous entry" chain, in the lemma's terms).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReachableEntry {
+    /// The node index this entry would be queried at.
+    pub node: u64,
+    /// The full query bits `(node, x_a, r', 0^*)`.
+    pub query: BitVec,
+    /// Depth from the frontier (1 = the entry immediately after node `j`).
+    pub depth: usize,
+}
+
+/// Materializes `V^{(j)}` to `depth` levels (the paper's `log² w`).
+///
+/// `j = 0` means the initial frontier (nothing queried; the first entry is
+/// node 1 with `ℓ_1 = 0`, `r_1 = 0^u`). Requires `(RO, X)` because the
+/// chain values along rewired paths are true oracle answers.
+///
+/// Returns the distinct entries; their count is
+/// `1 + v + v² + … + v^{depth−1} < v^{depth}` before query-level
+/// deduplication, matching the lemma's `|V^{(j)}| < v^{log² w}`.
+pub fn v_set<O: Oracle + ?Sized>(
+    params: &LineParams,
+    oracle: &O,
+    blocks: &[BitVec],
+    j: u64,
+    depth: usize,
+) -> Vec<ReachableEntry> {
+    assert!(depth >= 1, "need at least one level");
+    assert!(
+        (params.v as f64).powi(depth as i32 - 1) <= 1e6,
+        "v^depth too large to materialize"
+    );
+    // Frontier state after node j: the pointer and chain value entering
+    // node j+1.
+    let (a0, r_next) = if j == 0 {
+        (0usize, BitVec::zeros(params.u))
+    } else {
+        let trace = Line::new(*params).trace(oracle, blocks);
+        let prev = &trace.nodes[(j - 1) as usize];
+        (params.extract_pointer(&prev.answer), params.extract_chain(&prev.answer))
+    };
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<BitVec> = HashSet::new();
+    // Level 1: the single entry fixed by the true frontier.
+    let first = params.pack_query(j + 1, &blocks[a0], &r_next);
+    let first_answer = oracle.query(&first);
+    if seen.insert(first.clone()) {
+        out.push(ReachableEntry { node: j + 1, query: first, depth: 1 });
+    }
+
+    // Levels 2..=depth: branch over every pointer choice; chain values are
+    // the true answers along the path (the pointer field is what the
+    // rewiring overrides, not the chain).
+    let mut frontier: Vec<BitVec> = vec![params.extract_chain(&first_answer)];
+    for level in 2..=depth {
+        let mut next_frontier = Vec::with_capacity(frontier.len() * params.v);
+        for r_prime in &frontier {
+            for block in blocks.iter().take(params.v) {
+                let query = params.pack_query(j + level as u64, block, r_prime);
+                let answer = oracle.query(&query);
+                next_frontier.push(params.extract_chain(&answer));
+                if seen.insert(query.clone()) {
+                    out.push(ReachableEntry { node: j + level as u64, query, depth: level });
+                }
+            }
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_enc::RewiredOracle;
+    use mph_oracle::TableOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (LineParams, TableOracle, Vec<BitVec>) {
+        let params = LineParams::new(14, 12, 4, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let oracle = TableOracle::random(&mut rng, 14, 14);
+        let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+        (params, oracle, blocks)
+    }
+
+    #[test]
+    fn size_bound_of_lemma_33() {
+        let (params, oracle, blocks) = setup(1);
+        for depth in 1..=3 {
+            let set = v_set(&params, &oracle, &blocks, 0, depth);
+            // 1 + v + v^2 + ... + v^{depth-1} entries before dedup; dedup
+            // only shrinks. Strictly below v^depth for v >= 2.
+            let cap = (params.v as u64).pow(depth as u32);
+            assert!(
+                (set.len() as u64) < cap,
+                "|V| = {} at depth {depth}, cap v^depth = {cap}",
+                set.len()
+            );
+            // And at least the undeduplicated level-1 entry + (depth-1)
+            // levels exist.
+            assert!(set.len() as u64 >= 1 + (depth as u64 - 1) * params.v as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn true_continuation_is_contained() {
+        // The actual next `depth` correct entries of the line lie in V^{(j)}.
+        let (params, oracle, blocks) = setup(2);
+        let trace = Line::new(params).trace(&oracle, &blocks);
+        for j in [0u64, 3, 7] {
+            let set = v_set(&params, &oracle, &blocks, j, 3);
+            let queries: HashSet<&BitVec> = set.iter().map(|e| &e.query).collect();
+            for t in 0..3usize {
+                let node = &trace.nodes[j as usize + t];
+                assert!(
+                    queries.contains(&node.query),
+                    "true entry at node {} missing from V^({j})",
+                    node.i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rewired_oracle_patch_points_are_contained() {
+        // Definition 3.4's patched entries are exactly paths in V^{(j)}:
+        // walk a rewiring and check each front query is a member.
+        let (params, oracle, blocks) = setup(3);
+        let set = v_set(&params, &oracle, &blocks, 0, 3);
+        let queries: HashSet<&BitVec> = set.iter().map(|e| &e.query).collect();
+
+        let seq = vec![4usize, 2];
+        let rewired = RewiredOracle::new(&oracle, params, 0, BitVec::zeros(params.u), &seq);
+        let mut r = BitVec::zeros(params.u);
+        let mut block = 0usize;
+        for (t, forced) in [(1u64, seq[0]), (2u64, seq[1])] {
+            let q = params.pack_query(t, &blocks[block], &r);
+            assert!(queries.contains(&q), "patch point at node {t} not in V");
+            let a = rewired.query(&q);
+            assert_eq!(params.extract_pointer(&a), forced);
+            r = params.extract_chain(&a);
+            block = forced;
+        }
+    }
+
+    #[test]
+    fn depths_are_labeled() {
+        let (params, oracle, blocks) = setup(4);
+        let set = v_set(&params, &oracle, &blocks, 2, 3);
+        assert_eq!(set.iter().filter(|e| e.depth == 1).count(), 1);
+        assert!(set.iter().all(|e| e.node == 2 + e.depth as u64));
+    }
+}

@@ -1,0 +1,132 @@
+//! The skip-ahead guessing adversary of Lemma 3.3 / Lemma A.7.
+//!
+//! Both lemmas formalize "you cannot jump ahead on the line": an algorithm
+//! that has *not* queried the previous entry can hit a correct entry only
+//! by guessing the unknown chain value `r`, which is uniform over `2^u`
+//! possibilities — so each guess succeeds with probability `≤ 2^{-u}`, and
+//! a `g`-guess round succeeds with probability `≈ g·2^{-u}`.
+//!
+//! [`guess_ahead_experiment`] measures that directly: the adversary is
+//! given everything *except* the chain value (all input blocks, the target
+//! node index, even the correct block pointer — strictly more than the
+//! lemma allows) and still only hits at the predicted rate. Run at small
+//! `u` so the rate is observable.
+
+use crate::line::Line;
+use crate::params::LineParams;
+use mph_bits::random_bitvec;
+use mph_oracle::LazyOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of a guessing experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GuessOutcome {
+    /// Trials run (independent `(RO, X)` draws).
+    pub trials: usize,
+    /// Guesses per trial `g`.
+    pub guesses_per_trial: usize,
+    /// Trials in which some guess hit the correct entry.
+    pub hits: usize,
+    /// The measured per-trial success rate.
+    pub measured_rate: f64,
+    /// The lemma's prediction `1 − (1 − 2^{-u})^g ≈ g·2^{-u}`.
+    pub predicted_rate: f64,
+}
+
+impl GuessOutcome {
+    /// Ratio measured/predicted (≈ 1 when the lemma's bound is tight).
+    pub fn ratio(&self) -> f64 {
+        if self.predicted_rate == 0.0 {
+            f64::NAN
+        } else {
+            self.measured_rate / self.predicted_rate
+        }
+    }
+}
+
+/// Runs the skip-ahead experiment.
+///
+/// For each of `trials` independent `(RO, X)` draws: evaluate the line to
+/// find the correct entry at node `target` (1-based, `target ≥ 2`); the
+/// adversary — who knows `i = target`, the correct block `x_{ℓ_target}`,
+/// but not `r_target` — makes `guesses` uniform guesses at the chain value.
+/// A trial is a hit if any guess reproduces the correct query.
+pub fn guess_ahead_experiment(
+    params: LineParams,
+    target: u64,
+    guesses: usize,
+    trials: usize,
+    base_seed: u64,
+) -> GuessOutcome {
+    assert!(target >= 2 && target <= params.w, "target must be on the line, past node 1");
+    let hits: usize = (0..trials)
+        .into_par_iter()
+        .map(|trial| {
+            let seed = base_seed.wrapping_add(trial as u64);
+            let oracle = LazyOracle::square(seed, params.n);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+            let trace = Line::new(params).trace(&oracle, &blocks);
+            let node = &trace.nodes[(target - 1) as usize];
+            // The adversary knows i and x_{ℓ_target}, guesses r.
+            let mut guess_rng = StdRng::seed_from_u64(seed ^ 0xBADCAFE);
+            let hit = (0..guesses).any(|_| {
+                let r_guess = random_bitvec(&mut guess_rng, params.u);
+                params.pack_query(target, &blocks[node.block], &r_guess) == node.query
+            });
+            usize::from(hit)
+        })
+        .sum();
+    let p_single = 2f64.powi(-(params.u as i32));
+    let predicted_rate = 1.0 - (1.0 - p_single).powi(guesses as i32);
+    GuessOutcome {
+        trials,
+        guesses_per_trial: guesses,
+        hits,
+        measured_rate: hits as f64 / trials as f64,
+        predicted_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guessing_hits_at_the_lemma_rate() {
+        // u = 6: per-guess success 1/64; g = 16 guesses -> ~22.3% per trial.
+        let params = LineParams::new(32, 10, 6, 4);
+        let outcome = guess_ahead_experiment(params, 5, 16, 600, 42);
+        assert!(outcome.predicted_rate > 0.2 && outcome.predicted_rate < 0.25);
+        // Within 3 sigma of the binomial prediction.
+        let sigma = (outcome.predicted_rate * (1.0 - outcome.predicted_rate)
+            / outcome.trials as f64)
+            .sqrt();
+        assert!(
+            (outcome.measured_rate - outcome.predicted_rate).abs() < 3.5 * sigma,
+            "measured {} predicted {} sigma {sigma}",
+            outcome.measured_rate,
+            outcome.predicted_rate
+        );
+    }
+
+    #[test]
+    fn larger_u_makes_guessing_hopeless() {
+        // u = 16: per-guess success 2^-16; 8 guesses, 200 trials -> expect 0
+        // hits with overwhelming probability.
+        let params = LineParams::new(64, 10, 16, 4);
+        let outcome = guess_ahead_experiment(params, 4, 8, 200, 7);
+        assert_eq!(outcome.hits, 0);
+        assert!(outcome.predicted_rate < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "on the line")]
+    fn target_validated() {
+        let params = LineParams::new(32, 10, 6, 4);
+        guess_ahead_experiment(params, 1, 4, 10, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The honest token-walking MPC algorithm.
+//!
+//! Machines hold replicated contiguous windows of input blocks
+//! ([`super::BlockAssignment`]); a single *token* `(i, ℓ, r)` carries the
+//! evaluation front. Per round, the machine holding the token advances the
+//! line as far as its local blocks allow — each advance is one oracle query
+//! — then hands the token to the machine routed for the next needed block.
+//! Blocks persist by self-messaging, so the *entire* cross-round state is
+//! message traffic, charged bit-for-bit against `s`.
+//!
+//! This is the strategy the paper's intuition describes ("the machines can
+//! only learn the value of at most `s/u` new nodes" per round), and its
+//! measured round complexity is exactly the theorems' envelope:
+//!
+//! * `SimLine`, contiguous windows: advances `≈ window` nodes per visit →
+//!   `≈ w·u/s` rounds (Theorem A.1 tight).
+//! * `Line`: each advance survives locally with probability `window/v`, so
+//!   visits advance `≈ 1/(1 − window/v)` nodes → `≈ w·(1 − s/S)` rounds —
+//!   `Ω(w)` for any `s ≤ S/c` (Theorem 3.1's shape).
+//! * `window = v` (i.e. `s ≥ S` plus overhead): one round.
+
+use super::{BlockAssignment, Codec, ParsedMsg};
+use crate::params::LineParams;
+use mph_bits::BitVec;
+use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_oracle::{Oracle, RandomTape};
+use std::sync::Arc;
+
+/// Which function the pipeline computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// `Line` (Section 3): oracle-chosen pointers.
+    Line,
+    /// `SimLine` (Appendix A): the public cyclic schedule.
+    SimLine,
+}
+
+/// The pipeline algorithm: configuration plus [`MachineLogic`].
+pub struct Pipeline {
+    params: LineParams,
+    assignment: BlockAssignment,
+    codec: Codec,
+    target: Target,
+}
+
+impl Pipeline {
+    /// A pipeline for `params` over `assignment`, computing `target`.
+    pub fn new(params: LineParams, assignment: BlockAssignment, target: Target) -> Arc<Self> {
+        assert_eq!(assignment.v, params.v, "assignment/params block count mismatch");
+        Arc::new(Pipeline { params, assignment, codec: Codec::new(params), target })
+    }
+
+    /// The widest-memory configuration: one machine holds everything and
+    /// finishes in one round (the trivial upper bound when `s ≥ S`).
+    pub fn wide(params: LineParams, m: usize, target: Target) -> Arc<Self> {
+        Self::new(params, BlockAssignment::new(params.v, m, params.v), target)
+    }
+
+    /// The instance parameters.
+    pub fn params(&self) -> &LineParams {
+        &self.params
+    }
+
+    /// The block assignment.
+    pub fn assignment(&self) -> &BlockAssignment {
+        &self.assignment
+    }
+
+    /// The wire codec.
+    pub fn codec(&self) -> &Codec {
+        &self.codec
+    }
+
+    /// Which function this pipeline computes.
+    pub fn target(&self) -> Target {
+        self.target
+    }
+
+    /// The local memory `s` (bits) this configuration needs.
+    pub fn required_s(&self) -> usize {
+        self.codec.required_s(self.assignment.window)
+    }
+
+    /// Builds a ready-to-run simulation: installs the logic on all `m`
+    /// machines, seeds every machine's block window and the initial token
+    /// `(i=1, ℓ=0, r=0^u)` at the machine routed for block 0.
+    pub fn build_simulation(
+        self: &Arc<Self>,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        s_bits: usize,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) -> Simulation {
+        assert_eq!(blocks.len(), self.params.v, "expected v blocks");
+        let m = self.assignment.m;
+        let mut sim = Simulation::new(m, s_bits, oracle, tape);
+        if let Some(q) = q {
+            sim.set_query_budget(q);
+        }
+        let logic: Arc<dyn MachineLogic> = Arc::clone(self) as Arc<dyn MachineLogic>;
+        sim.set_uniform_logic(logic);
+        for machine in 0..m {
+            for idx in self.assignment.blocks_of(machine) {
+                sim.seed_memory(machine, self.codec.encode_block(idx, &blocks[idx]));
+            }
+        }
+        let start = self.assignment.route(0);
+        sim.seed_memory(start, self.codec.encode_token(1, 0, &BitVec::zeros(self.params.u)));
+        sim
+    }
+
+    /// The block needed by node `i` when the current pointer is `l`.
+    fn needed_block(&self, i: u64, l: usize) -> usize {
+        match self.target {
+            Target::Line => l,
+            Target::SimLine => ((i - 1) % self.params.v as u64) as usize,
+        }
+    }
+
+    /// One oracle step: query node `i` with block `x` and chain `r`,
+    /// returning the updated `(l, r, answer)`.
+    fn advance(
+        &self,
+        ctx: &RoundCtx<'_>,
+        i: u64,
+        x: &BitVec,
+        r: &BitVec,
+    ) -> Result<(usize, BitVec, BitVec), ModelViolation> {
+        let query = match self.target {
+            Target::Line => self.params.pack_query(i, x, r),
+            Target::SimLine => self.params.pack_simline_query(x, r),
+        };
+        let answer = ctx.query(&query)?;
+        let (l, r_next) = match self.target {
+            Target::Line => (
+                self.params.extract_pointer(&answer),
+                self.params.extract_chain(&answer),
+            ),
+            // SimLine answers are (r, z): the chain value leads, and the
+            // pointer is unused (the schedule is public).
+            Target::SimLine => (0, answer.slice(0, self.params.u)),
+        };
+        Ok((l, r_next, answer))
+    }
+}
+
+impl MachineLogic for Pipeline {
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        // Parse memory: the block window and (possibly) the token.
+        let mut local: Vec<Option<BitVec>> = vec![None; self.params.v];
+        let mut token: Option<(u64, usize, BitVec)> = None;
+        for msg in incoming {
+            match self.codec.decode(&msg.payload) {
+                Some(ParsedMsg::Block { idx, x }) => local[idx] = Some(x),
+                Some(ParsedMsg::Token { i, l, r }) => token = Some((i, l, r)),
+                None => {
+                    return Err(ctx.error(format!(
+                        "malformed message ({} bits) in memory",
+                        msg.payload.len()
+                    )))
+                }
+            }
+        }
+
+        // Persist the window by self-messaging (the only legal way to keep
+        // state; the executor charges it against s).
+        let mut out = Outbox::new();
+        for (idx, slot) in local.iter().enumerate() {
+            if let Some(x) = slot {
+                out.push(ctx.machine(), self.codec.encode_block(idx, x));
+            }
+        }
+
+        // Walk the line as far as local blocks allow.
+        if let Some((mut i, mut l, mut r)) = token {
+            loop {
+                debug_assert!(i <= self.params.w, "token index past the line");
+                let needed = self.needed_block(i, l);
+                match &local[needed] {
+                    Some(x) => {
+                        let (l_next, r_next, answer) = self.advance(ctx, i, x, &r)?;
+                        l = l_next;
+                        r = r_next;
+                        i += 1;
+                        if i > self.params.w {
+                            // The answer to query w is the function output.
+                            out.output = Some(answer);
+                            break;
+                        }
+                    }
+                    None => {
+                        let dest = self.assignment.route(needed);
+                        debug_assert_ne!(
+                            dest,
+                            ctx.machine(),
+                            "routed to self for a block we do not hold"
+                        );
+                        out.push(dest, self.codec.encode_token(i, l, &r));
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Line, SimLine};
+    use mph_bits::random_blocks;
+    use mph_oracle::LazyOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(
+        params: LineParams,
+        m: usize,
+        window: usize,
+        target: Target,
+        seed: u64,
+    ) -> (BitVec, usize, Vec<BitVec>, LazyOracle) {
+        let assignment = BlockAssignment::new(params.v, m, window);
+        let pipeline = Pipeline::new(params, assignment, target);
+        let oracle = Arc::new(LazyOracle::square(seed, params.n));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+        let blocks = random_blocks(&mut rng, params.v, params.u);
+        let s = pipeline.required_s();
+        let mut sim =
+            pipeline.build_simulation(oracle.clone(), RandomTape::new(0), s, None, &blocks);
+        let result = sim.run_until_output(10 * params.w as usize + 10).unwrap();
+        assert!(result.completed(), "pipeline must finish");
+        (
+            result.sole_output().unwrap().clone(),
+            result.rounds(),
+            blocks,
+            LazyOracle::square(seed, params.n),
+        )
+    }
+
+    #[test]
+    fn line_pipeline_computes_the_function() {
+        let params = LineParams::new(64, 60, 16, 12);
+        let (out, _rounds, blocks, oracle) = run(params, 4, 4, Target::Line, 1);
+        assert_eq!(out, Line::new(params).eval(&oracle, &blocks));
+    }
+
+    #[test]
+    fn simline_pipeline_computes_the_function() {
+        let params = LineParams::new(64, 60, 16, 12);
+        let (out, _rounds, blocks, oracle) = run(params, 4, 4, Target::SimLine, 2);
+        assert_eq!(out, SimLine::new(params).eval(&oracle, &blocks));
+    }
+
+    #[test]
+    fn wide_memory_finishes_in_one_round() {
+        let params = LineParams::new(64, 50, 16, 12);
+        let (out, rounds, blocks, oracle) = run(params, 4, params.v, Target::Line, 3);
+        assert_eq!(rounds, 1);
+        assert_eq!(out, Line::new(params).eval(&oracle, &blocks));
+    }
+
+    #[test]
+    fn simline_rounds_scale_inversely_with_window() {
+        // Theorem A.1's tight shape: rounds ≈ w / window.
+        let params = LineParams::new(64, 96, 16, 16);
+        let (_, r_small, _, _) = run(params, 4, 4, Target::SimLine, 4);
+        let (_, r_big, _, _) = run(params, 4, 8, Target::SimLine, 4);
+        // window 4: ~w/4 = 24+; window 8: ~w/8 = 12+. Allow slack for
+        // hop rounds.
+        assert!(r_small > r_big, "rounds {r_small} vs {r_big}");
+        assert!((20..=40).contains(&r_small), "r_small = {r_small}");
+        assert!((10..=20).contains(&r_big), "r_big = {r_big}");
+    }
+
+    #[test]
+    fn line_rounds_stay_linear_despite_big_windows() {
+        // Theorem 3.1's shape: as long as window/v is bounded below 1,
+        // rounds stay Ω(w) — unlike SimLine.
+        let params = LineParams::new(64, 200, 16, 16);
+        let (_, r4, _, _) = run(params, 4, 4, Target::Line, 5);
+        let (_, r8, _, _) = run(params, 4, 8, Target::Line, 5);
+        // Expected ≈ w(1 - f): f=0.25 -> 150, f=0.5 -> 100.
+        assert!(r4 as f64 > 200.0 * 0.55, "r4 = {r4}");
+        assert!(r8 as f64 > 200.0 * 0.3, "r8 = {r8}");
+        // Both remain a constant fraction of w; the win from doubling the
+        // window is bounded (vs SimLine's proportional win).
+        assert!((r4 as f64) < 200.0, "r4 = {r4}");
+        assert!(r8 < r4);
+    }
+
+    #[test]
+    fn memory_bound_is_respected_exactly() {
+        let params = LineParams::new(64, 30, 16, 12);
+        let assignment = BlockAssignment::new(params.v, 4, 4);
+        let pipeline = Pipeline::new(params, assignment, Target::Line);
+        let oracle = Arc::new(LazyOracle::square(9, params.n));
+        let mut rng = StdRng::seed_from_u64(9);
+        let blocks = random_blocks(&mut rng, params.v, params.u);
+        // Exactly the required s works ...
+        let s = pipeline.required_s();
+        let mut sim =
+            pipeline.build_simulation(oracle.clone(), RandomTape::new(0), s, None, &blocks);
+        let result = sim.run_until_output(1000).unwrap();
+        assert!(result.completed());
+        assert!(result.stats.peak_memory_bits() <= s);
+        // ... one bit less does not.
+        let mut sim =
+            pipeline.build_simulation(oracle, RandomTape::new(0), s - 1, None, &blocks);
+        let err = sim.run_until_output(1000).unwrap_err();
+        assert!(matches!(err, ModelViolation::MemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn query_budget_suffices_at_window_per_round() {
+        let params = LineParams::new(64, 40, 16, 8);
+        let assignment = BlockAssignment::new(params.v, 4, 4);
+        let pipeline = Pipeline::new(params, assignment, Target::SimLine);
+        let oracle = Arc::new(LazyOracle::square(10, params.n));
+        let mut rng = StdRng::seed_from_u64(10);
+        let blocks = random_blocks(&mut rng, params.v, params.u);
+        let s = pipeline.required_s();
+        // SimLine advances at most window+? nodes per visit; q = window + 1
+        // is plenty.
+        let mut sim = pipeline.build_simulation(
+            oracle,
+            RandomTape::new(0),
+            s,
+            Some(params.v as u64 + 1),
+            &blocks,
+        );
+        let result = sim.run_until_output(1000).unwrap();
+        assert!(result.completed());
+        assert!(result.stats.peak_queries() <= params.v as u64 + 1);
+    }
+
+    #[test]
+    fn total_queries_equal_w() {
+        // The honest algorithm queries each node exactly once.
+        let params = LineParams::new(64, 70, 16, 8);
+        let (out, _, blocks, oracle) = run(params, 4, 3, Target::Line, 11);
+        let _ = (out, blocks, oracle);
+        let assignment = BlockAssignment::new(params.v, 4, 3);
+        let pipeline = Pipeline::new(params, assignment, Target::Line);
+        let oracle = Arc::new(LazyOracle::square(11, params.n));
+        let mut rng = StdRng::seed_from_u64(11 ^ 0x55);
+        let blocks = random_blocks(&mut rng, params.v, params.u);
+        let s = pipeline.required_s();
+        let mut sim =
+            pipeline.build_simulation(oracle, RandomTape::new(0), s, None, &blocks);
+        let result = sim.run_until_output(10_000).unwrap();
+        assert_eq!(result.stats.total_queries(), params.w);
+    }
+}

@@ -1,0 +1,147 @@
+//! Evaluation traces.
+//!
+//! Figure 1 of the paper depicts `Line` as a chain of `w` oracle nodes,
+//! each selecting an input block via the pointer revealed by its
+//! predecessor. [`EvalTrace`] is that picture as data: one [`Node`] per
+//! iteration with the pointer, chain value, query and answer, plus
+//! renderers (ASCII and Graphviz DOT) used by the `figure1` experiment.
+
+use mph_bits::BitVec;
+
+/// One node of the line: the state consumed and produced by iteration `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Iteration index `i`, 1-based as in the paper.
+    pub i: u64,
+    /// The block index `ℓ_i` consumed by this node (0-based).
+    pub block: usize,
+    /// The chain value `r_i` consumed by this node.
+    pub r_in: BitVec,
+    /// The full oracle query `(i, x_{ℓ_i}, r_i, 0^*)`.
+    pub query: BitVec,
+    /// The full oracle answer `(ℓ_{i+1}, r_{i+1}, z_{i+1})`.
+    pub answer: BitVec,
+}
+
+/// A complete evaluation trace of `Line` or `SimLine`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalTrace {
+    /// The nodes, in evaluation order (`i = 1..=w`).
+    pub nodes: Vec<Node>,
+    /// The function output: the answer to the last query.
+    pub output: BitVec,
+}
+
+impl EvalTrace {
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The sequence of block indices `ℓ_1, ℓ_2, …, ℓ_w` the evaluation
+    /// consumed — the pointer walk the hardness argument is about.
+    pub fn pointer_walk(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.block).collect()
+    }
+
+    /// How many of the `v` blocks the walk actually touched.
+    pub fn blocks_touched(&self, v: usize) -> usize {
+        let mut seen = vec![false; v];
+        for n in &self.nodes {
+            seen[n.block] = true;
+        }
+        seen.into_iter().filter(|&s| s).count()
+    }
+
+    /// An ASCII rendering of the chain in the style of Figure 1 (truncated
+    /// to `max_nodes` nodes).
+    pub fn render_ascii(&self, max_nodes: usize) -> String {
+        let mut out = String::new();
+        let shown = self.nodes.len().min(max_nodes);
+        for node in &self.nodes[..shown] {
+            out.push_str(&format!(
+                "[i={:>4}] --x_{:<3}--> RO --> (l={}, r={}...)\n",
+                node.i,
+                node.block,
+                node.block,
+                &node.answer.to_hex()[..node.answer.to_hex().len().min(8)],
+            ));
+        }
+        if shown < self.nodes.len() {
+            out.push_str(&format!("... ({} more nodes)\n", self.nodes.len() - shown));
+        }
+        out.push_str(&format!("output = {}\n", self.output.to_hex()));
+        out
+    }
+
+    /// A Graphviz DOT rendering: oracle nodes in a chain, block nodes with
+    /// selection edges — Figure 1's layout (truncated to `max_nodes`).
+    pub fn render_dot(&self, max_nodes: usize) -> String {
+        let mut out = String::from("digraph line {\n  rankdir=LR;\n  node [shape=box];\n");
+        let shown = self.nodes.len().min(max_nodes);
+        let blocks: std::collections::BTreeSet<usize> =
+            self.nodes[..shown].iter().map(|n| n.block).collect();
+        for b in &blocks {
+            out.push_str(&format!("  x{b} [shape=ellipse, label=\"x_{b}\"];\n"));
+        }
+        for node in &self.nodes[..shown] {
+            out.push_str(&format!("  ro{} [label=\"RO (i={})\"];\n", node.i, node.i));
+            out.push_str(&format!("  x{} -> ro{};\n", node.block, node.i));
+            if node.i > 1 {
+                out.push_str(&format!("  ro{} -> ro{} [label=\"r\"];\n", node.i - 1, node.i));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> EvalTrace {
+        let nodes = (1..=4u64)
+            .map(|i| Node {
+                i,
+                block: (i as usize * 3) % 5,
+                r_in: BitVec::zeros(8),
+                query: BitVec::zeros(32),
+                answer: BitVec::ones(32),
+            })
+            .collect();
+        EvalTrace { nodes, output: BitVec::ones(32) }
+    }
+
+    #[test]
+    fn pointer_walk_and_coverage() {
+        let t = toy_trace();
+        assert_eq!(t.pointer_walk(), vec![3, 1, 4, 2]);
+        assert_eq!(t.blocks_touched(5), 4);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ascii_truncation() {
+        let t = toy_trace();
+        let full = t.render_ascii(10);
+        assert_eq!(full.matches("RO").count(), 4);
+        let cut = t.render_ascii(2);
+        assert!(cut.contains("2 more nodes"));
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let t = toy_trace();
+        let dot = t.render_dot(4);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("x3 -> ro1"));
+        assert!(dot.contains("ro1 -> ro2"));
+    }
+}

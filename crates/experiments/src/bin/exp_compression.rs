@@ -1,0 +1,101 @@
+//! E4 — the compression argument, run for real.
+//!
+//! Executes the `Enc`/`Dec` schemes of Claim A.4 (`SimLine`) and Claim 3.7
+//! (`Line`, with the `v^p` rewired-oracle enumeration of Definition 3.4)
+//! against honest pipeline machine rounds on materialized table oracles.
+//! Reports, per instance: round-trip exactness, the itemized encoding
+//! length, the claims' bound formulas, and the Claim 3.8 entropy floor —
+//! the inequality chain the paper's contradiction lives in.
+
+use mph_bits::BitVec;
+use mph_compression::{LineEncoder, PipelineRound, SimLineEncoder};
+use mph_core::algorithms::pipeline::{Pipeline, Target};
+use mph_core::algorithms::BlockAssignment;
+use mph_core::LineParams;
+use mph_experiments::Report;
+use mph_oracle::TableOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    let mut report = Report::new();
+    report.h1("E4 — executable compression argument (Claims A.4, 3.7, 3.8)");
+
+    // ---- SimLine / Claim A.4 ------------------------------------------
+    report.h2("SimLine encoder (Claim A.4), n = 12, u = 4, v = 6, w = 12");
+    let params = LineParams::new(12, 12, 4, 6);
+    let mut rows = Vec::new();
+    for (seed, window) in [(1u64, 2usize), (2, 3), (3, 4), (4, 6)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let oracle = TableOracle::random(&mut rng, 12, 12);
+        let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+        let pipeline =
+            Pipeline::new(params, BlockAssignment::new(params.v, 2, window), Target::SimLine);
+        let s = pipeline.required_s();
+        let adv = PipelineRound::new(pipeline, 0, 0);
+        let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
+        let enc = SimLineEncoder::new(params, 64);
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv);
+        let (o2, b2) = enc.decode(&encoding.bits, &adv);
+        let roundtrip = o2 == oracle && b2 == blocks;
+        rows.push(vec![
+            window.to_string(),
+            encoding.parts.recovered.to_string(),
+            encoding.bits.len().to_string(),
+            enc.claim_bound(encoding.parts.recovered, s).to_string(),
+            enc.entropy_floor().to_string(),
+            roundtrip.to_string(),
+        ]);
+    }
+    report.table(
+        &["window", "α recovered", "|Enc| (bits)", "Claim A.4 bound + s", "entropy floor", "Dec∘Enc = id"],
+        &rows,
+    );
+    report.para(
+        "Each recovered block trades u raw bits for log q + log v pointer \
+         bits. At paper widths (u ≫ log q + log v) that difference, summed \
+         over α > h blocks, would push |Enc| below the Claim 3.8 floor — \
+         the contradiction that bounds α by h ≈ s/u.",
+    );
+
+    // ---- Line / Claim 3.7 ---------------------------------------------
+    report.h2("Line encoder (Claim 3.7, Definition 3.4), n = 14, p = 2 (v² = 36 rewirings)");
+    let params = LineParams::new(14, 12, 4, 6);
+    let mut rows = Vec::new();
+    for (seed, window) in [(10u64, 2usize), (11, 3), (12, 4)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let oracle = TableOracle::random(&mut rng, 14, 14);
+        let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
+        let pipeline =
+            Pipeline::new(params, BlockAssignment::new(params.v, 2, window), Target::Line);
+        let s = pipeline.required_s();
+        let adv = PipelineRound::new(pipeline, 0, 0);
+        let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
+        let enc = LineEncoder::new(params, 2, 64);
+        let encoding =
+            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let (o2, b2) = enc.decode(&encoding.bits, &adv);
+        let roundtrip = o2 == oracle && b2 == blocks;
+        rows.push(vec![
+            window.to_string(),
+            encoding.parts.recovered.to_string(),
+            encoding.parts.productive_sequences.to_string(),
+            encoding.bits.len().to_string(),
+            enc.entropy_floor().to_string(),
+            roundtrip.to_string(),
+        ]);
+    }
+    report.table(
+        &["window", "|B| recovered", "productive seqs", "|Enc| (bits)", "entropy floor", "Dec∘Enc = id"],
+        &rows,
+    );
+    report.para(
+        "The recovered set B is the machine's whole reachable window — \
+         harvested by enumerating all v^p pointer continuations, exactly \
+         Definition 3.4. Because B is extracted from runs on *rewired* \
+         oracles, its size is independent of the true ℓ's, which is what \
+         lets Claim 3.9 treat the pointer walk as fresh randomness.",
+    );
+    report.print();
+}

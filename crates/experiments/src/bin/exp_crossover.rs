@@ -1,0 +1,59 @@
+//! E6 — the RAM-vs-MPC crossover: best-possible hardness.
+//!
+//! Theorem 3.1's framing: the function costs `O(T·n)` RAM time and `O(S)`
+//! RAM space; an MPC algorithm needs `Ω̃(T)` rounds when `s ≤ S/c`, yet 1
+//! round once `s ≥ S`. We sweep the local memory `s` through `S` and
+//! report, side by side: the measured MPC rounds, and the generated RAM
+//! program's measured time/space (the same for every point — the RAM
+//! doesn't care about `s`).
+
+use mph_core::algorithms::pipeline::Target;
+use mph_core::{theorem, Line};
+use mph_experiments::setup::{demo_params, demo_pipeline, fmt};
+use mph_experiments::Report;
+
+fn main() {
+    let mut report = Report::new();
+    report.h1("E6 — RAM vs MPC crossover (best-possible hardness)");
+
+    let (w, v, m) = (256u64, 32usize, 4usize);
+    let params = demo_params(w, v);
+    let s_input = params.input_bits();
+
+    // The RAM side: run the generated program once.
+    let (oracle, blocks) = theorem::draw_instance(&params, 4242);
+    let line = Line::new(params);
+    let (ram_out, ram_stats) = line.eval_on_ram(&*oracle, &blocks).unwrap();
+    assert_eq!(ram_out, line.eval(&*oracle, &blocks));
+    report
+        .kv("instance", format!("n = 64, u = 16, v = {v}, w = T = {w}, S = {s_input} bits"))
+        .kv("RAM time (word ops)", ram_stats.time)
+        .kv("RAM time / (T·n/64)", format!("{:.2}", ram_stats.time as f64 / (w as f64 * 64.0 / 64.0)))
+        .kv("RAM space (bits)", ram_stats.peak_bits())
+        .kv("RAM oracle queries", ram_stats.oracle_queries)
+        .end_block();
+
+    // The MPC side: sweep s through S.
+    let trials = 5;
+    let mut rows = Vec::new();
+    for window in [8usize, 16, 24, 32] {
+        let pipeline = demo_pipeline(w, v, m, window, Target::Line);
+        let s = pipeline.required_s();
+        let measured = theorem::mean_rounds(&pipeline, trials, 6000, 1_000_000);
+        rows.push(vec![
+            format!("{:.2}", s as f64 / s_input as f64),
+            s.to_string(),
+            fmt(measured),
+            if window >= v { "1 (trivial upper bound)".into() } else { "Ω(w) regime".to_string() },
+        ]);
+    }
+    report.table(&["s/S", "s (bits)", "measured MPC rounds", "regime"], &rows);
+    report.para(
+        "Who wins, where: below the crossover (s < S) the MPC round count \
+         is a constant fraction of T — no better than emulating the RAM \
+         step by step — and at s ≥ S it collapses to one round. There is \
+         no middle ground: that is the 'essentially not parallelizable' \
+         claim, measured.",
+    );
+    report.print();
+}

@@ -1,0 +1,51 @@
+//! E5 — the `2^{-u}` guessing bound (Lemma 3.3 / Lemma A.7).
+//!
+//! An adversary that has not queried a node's predecessor must guess the
+//! chain value `r` to hit the node's correct entry; each guess succeeds
+//! with probability `2^{-u}`. We hand the adversary *everything else*
+//! (all blocks, the target index, the correct block pointer) and measure
+//! its hit rate across `(RO, X)` draws at several `u`.
+
+use mph_core::algorithms::guess_ahead_experiment;
+use mph_core::LineParams;
+use mph_experiments::Report;
+
+fn main() {
+    let mut report = Report::new();
+    report.h1("E5 — skip-ahead guessing succeeds at rate ≈ g·2^(−u)");
+
+    let mut rows = Vec::new();
+    for (u, guesses, trials) in [
+        (4usize, 4usize, 2000usize),
+        (6, 16, 2000),
+        (8, 32, 2000),
+        (10, 64, 2000),
+        (16, 64, 500),
+    ] {
+        let n = (3 * u).max(u + u + 8); // room for (i, x, r)
+        let params = LineParams::new(n, 10, u, 4);
+        let outcome = guess_ahead_experiment(params, 5, guesses, trials, 99);
+        rows.push(vec![
+            u.to_string(),
+            guesses.to_string(),
+            format!("{:.5}", outcome.predicted_rate),
+            format!("{:.5}", outcome.measured_rate),
+            if outcome.predicted_rate > 1e-6 {
+                format!("{:.2}", outcome.ratio())
+            } else {
+                format!("{} hits", outcome.hits)
+            },
+        ]);
+    }
+    report.table(
+        &["u (bits)", "guesses g", "predicted 1−(1−2^−u)^g", "measured", "ratio / hits"],
+        &rows,
+    );
+    report.para(
+        "Shape check: measured rates track the prediction at small u and \
+         collapse to zero hits once u reaches realistic widths — the \
+         union-bound term w·v^{log²w}·q·2^{-u} of Lemma 3.3 is then \
+         negligible, so jumping the line is not a strategy.",
+    );
+    report.print();
+}

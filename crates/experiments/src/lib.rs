@@ -1,0 +1,30 @@
+//! # `mph-experiments` — regenerators for every table and figure
+//!
+//! One binary per artifact of the paper (see DESIGN.md §4 for the index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1`..`table3` | Tables 1–3 (parameter glossaries, instantiated) |
+//! | `figure1` | Figure 1 (the `Line` structure, ASCII + DOT) |
+//! | `exp_simline_rounds` | Theorem A.1's `≈ w·u/s` round envelope (E1) |
+//! | `exp_line_rounds` | Theorem 3.1's `Ω̃(T)` round envelope (E2) |
+//! | `exp_skip_decay` | Claim 3.9's `(h/v)^p` decay (E3) |
+//! | `exp_compression` | Claims A.4/3.7 encodings vs Claim 3.8 floor (E4) |
+//! | `exp_guessing` | Lemma 3.3 / A.7's `2^{-u}` guessing bound (E5) |
+//! | `exp_crossover` | RAM-vs-MPC best-possible-hardness crossover (E6) |
+//! | `exp_baselines` | §1's parallelizable-workload contrast (E7) |
+//! | `exp_bounds` | all bound formulas at paper scale (E8) |
+//! | `exp_instantiation` | the `f^h` RO-methodology instantiation (E9) |
+//! | `exp_ablation` | placement & coordination ablations (E10) |
+//! | `exp_success_cliff` | Pr[success within R rounds], Definition 2.5 (E11) |
+//!
+//! The shared [`report`] module renders aligned markdown tables so the
+//! binaries' stdout can be pasted into EXPERIMENTS.md verbatim.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod report;
+pub mod setup;
+
+pub use report::Report;

@@ -1,0 +1,135 @@
+//! Markdown report rendering shared by the experiment binaries.
+
+/// A stdout report builder: headings, key/value lines, aligned tables.
+#[derive(Default)]
+pub struct Report {
+    buffer: String,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// A top-level heading.
+    pub fn h1(&mut self, title: &str) -> &mut Self {
+        self.buffer.push_str(&format!("# {title}\n\n"));
+        self
+    }
+
+    /// A section heading.
+    pub fn h2(&mut self, title: &str) -> &mut Self {
+        self.buffer.push_str(&format!("## {title}\n\n"));
+        self
+    }
+
+    /// A paragraph.
+    pub fn para(&mut self, text: &str) -> &mut Self {
+        self.buffer.push_str(text);
+        self.buffer.push_str("\n\n");
+        self
+    }
+
+    /// A `key: value` line.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        self.buffer.push_str(&format!("- {key}: {value}\n"));
+        self
+    }
+
+    /// Ends a key/value block.
+    pub fn end_block(&mut self) -> &mut Self {
+        self.buffer.push('\n');
+        self
+    }
+
+    /// A column-aligned markdown table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        let cols = headers.len();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged table row");
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        self.buffer.push_str(&fmt_row(&header_cells));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        self.buffer.push_str(&sep);
+        for row in rows {
+            self.buffer.push_str(&fmt_row(row));
+        }
+        self.buffer.push('\n');
+        self
+    }
+
+    /// Raw preformatted text.
+    pub fn pre(&mut self, text: &str) -> &mut Self {
+        self.buffer.push_str("```\n");
+        self.buffer.push_str(text);
+        if !text.ends_with('\n') {
+            self.buffer.push('\n');
+        }
+        self.buffer.push_str("```\n\n");
+        self
+    }
+
+    /// The rendered report.
+    pub fn finish(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.buffer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut r = Report::new();
+        r.h1("T").table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["wide-cell".into(), "3".into()],
+            ],
+        );
+        let out = r.finish();
+        assert!(out.contains("| a         | long-header |"));
+        assert!(out.contains("| wide-cell | 3           |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        Report::new().table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn sections_and_kv() {
+        let mut r = Report::new();
+        r.h2("S").kv("rounds", 42).end_block().pre("raw");
+        let out = r.finish();
+        assert!(out.contains("## S"));
+        assert!(out.contains("- rounds: 42"));
+        assert!(out.contains("```\nraw\n```"));
+    }
+}

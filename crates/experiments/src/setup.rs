@@ -1,0 +1,33 @@
+//! Shared experiment configurations.
+//!
+//! Every round-complexity experiment uses instances from here so that the
+//! binaries stay comparable with each other and with the tests.
+
+use mph_core::algorithms::pipeline::{Pipeline, Target};
+use mph_core::algorithms::BlockAssignment;
+use mph_core::LineParams;
+use std::sync::Arc;
+
+/// The standard simulation-scale instance: `n = 64`, `u = 16`, `v` blocks,
+/// `w` iterations. Big enough that the theorems' shapes manifest, small
+/// enough that sweeps finish in seconds.
+pub fn demo_params(w: u64, v: usize) -> LineParams {
+    LineParams::new(64, w, 16, v)
+}
+
+/// A pipeline over the standard instance with `m` machines holding
+/// `window`-block replicated windows.
+pub fn demo_pipeline(w: u64, v: usize, m: usize, window: usize, target: Target) -> Arc<Pipeline> {
+    Pipeline::new(demo_params(w, v), BlockAssignment::new(v, m, window), target)
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}

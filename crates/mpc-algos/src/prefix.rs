@@ -1,0 +1,176 @@
+//! Parallel prefix sums (scan) — 3 rounds.
+//!
+//! The classic two-level scan: machines compute local prefix sums and send
+//! their block totals to a coordinator (round 0); the coordinator computes
+//! the exclusive scan of block totals and scatters each machine its offset
+//! (round 1); machines add their offset and emit (round 2). Scan is the
+//! backbone primitive of data-parallel computing — and, like the other
+//! baselines, its round count ignores input length entirely.
+
+use crate::wire;
+use mph_bits::BitVec;
+use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_oracle::{LazyOracle, RandomTape};
+use std::sync::Arc;
+
+const TAG_DATA: u8 = 1;
+const TAG_TOTAL: u8 = 2;
+const TAG_OFFSET: u8 = 3;
+const TAG_RESULT: u8 = 4;
+const VALUE_WIDTH: usize = 64;
+
+/// Configuration for a distributed prefix-sum.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefixSumConfig {
+    /// Number of machines.
+    pub m: usize,
+}
+
+struct PrefixSum;
+
+impl MachineLogic for PrefixSum {
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        if incoming.is_empty() {
+            return Ok(Outbox::new());
+        }
+        let mut data: Vec<u64> = Vec::new();
+        let mut totals: Vec<(usize, u64)> = Vec::new();
+        let mut offset: Option<u64> = None;
+        for msg in incoming {
+            let (tag, values) = wire::decode(&msg.payload, VALUE_WIDTH)
+                .ok_or_else(|| ctx.error("malformed message"))?;
+            match tag {
+                TAG_DATA => data.extend(values),
+                TAG_TOTAL => totals.push((msg.from, values[0])),
+                TAG_OFFSET => offset = Some(values[0]),
+                other => return Err(ctx.error(format!("unexpected tag {other}"))),
+            }
+        }
+
+        let mut out = Outbox::new();
+        match ctx.round() {
+            0 => {
+                // Local total to the coordinator; keep the shard.
+                let total: u64 = data.iter().fold(0, |a, &b| a.wrapping_add(b));
+                out.push(0, wire::encode(TAG_TOTAL, &[total], VALUE_WIDTH));
+                out.push(ctx.machine(), wire::encode(TAG_DATA, &data, VALUE_WIDTH));
+            }
+            1 => {
+                // Coordinator: exclusive scan of block totals, scattered.
+                if ctx.machine() == 0 {
+                    totals.sort_by_key(|&(from, _)| from);
+                    let mut running = 0u64;
+                    for &(from, total) in &totals {
+                        out.push(from, wire::encode(TAG_OFFSET, &[running], VALUE_WIDTH));
+                        running = running.wrapping_add(total);
+                    }
+                }
+                if !data.is_empty() {
+                    out.push(ctx.machine(), wire::encode(TAG_DATA, &data, VALUE_WIDTH));
+                }
+            }
+            2 => {
+                // Local inclusive prefix + global offset; emit.
+                let base = offset.ok_or_else(|| ctx.error("missing offset"))?;
+                let mut running = base;
+                let prefixes: Vec<u64> = data
+                    .iter()
+                    .map(|&x| {
+                        running = running.wrapping_add(x);
+                        running
+                    })
+                    .collect();
+                out.output = Some(wire::encode(TAG_RESULT, &prefixes, VALUE_WIDTH));
+            }
+            r => return Err(ctx.error(format!("unexpected round {r}"))),
+        }
+        Ok(out)
+    }
+}
+
+impl PrefixSumConfig {
+    /// Builds a simulation scanning `values`, sharded contiguously.
+    pub fn build(&self, values: &[u64], s_bits: usize) -> Simulation {
+        let mut sim = Simulation::new(
+            self.m,
+            s_bits,
+            Arc::new(LazyOracle::square(0, 8)),
+            RandomTape::new(0),
+        );
+        sim.set_uniform_logic(Arc::new(PrefixSum));
+        let per = values.len().div_ceil(self.m).max(1);
+        for (j, chunk) in values.chunks(per).enumerate() {
+            sim.seed_memory(j, wire::encode(TAG_DATA, chunk, VALUE_WIDTH));
+        }
+        sim
+    }
+
+    /// Decodes the union of outputs into the inclusive prefix-sum sequence
+    /// (outputs arrive in machine = shard order).
+    pub fn collect_output(&self, outputs: &[(usize, BitVec)]) -> Vec<u64> {
+        let mut all = Vec::new();
+        for (_, bits) in outputs {
+            let (tag, values) = wire::decode(bits, VALUE_WIDTH).expect("result message");
+            assert_eq!(tag, TAG_RESULT);
+            all.extend(values);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(m: usize, values: &[u64]) -> (Vec<u64>, usize) {
+        let config = PrefixSumConfig { m };
+        let mut sim = config.build(values, 1 << 18);
+        let result = sim.run_until_output(8).unwrap();
+        assert!(result.completed());
+        (config.collect_output(&result.outputs), result.rounds())
+    }
+
+    fn reference(values: &[u64]) -> Vec<u64> {
+        let mut running = 0u64;
+        values
+            .iter()
+            .map(|&x| {
+                running = running.wrapping_add(x);
+                running
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let values: Vec<u64> = (1..=100).collect();
+        let (scanned, rounds) = run(4, &values);
+        assert_eq!(scanned, reference(&values));
+        assert_eq!(rounds, 3);
+    }
+
+    #[test]
+    fn three_rounds_at_any_scale() {
+        for len in [12usize, 1200] {
+            let values: Vec<u64> = (0..len as u64).map(|i| i * 7 + 1).collect();
+            let (scanned, rounds) = run(4, &values);
+            assert_eq!(scanned, reference(&values), "len = {len}");
+            assert_eq!(rounds, 3, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn uneven_shards() {
+        // 10 values over 4 machines: shards of 3,3,3,1.
+        let values: Vec<u64> = (0..10).map(|i| i + 1).collect();
+        let (scanned, _) = run(4, &values);
+        assert_eq!(scanned, reference(&values));
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let values = vec![u64::MAX, 1, 5];
+        let (scanned, _) = run(2, &values);
+        assert_eq!(scanned, vec![u64::MAX, 0, 5]);
+    }
+}

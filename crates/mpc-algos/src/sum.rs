@@ -1,0 +1,149 @@
+//! Tree-structured aggregation: global sum in `⌈log₂ m⌉ + 1` rounds.
+//!
+//! Round `r` merges partial sums at stride `2^r`: machine `j` with
+//! `j mod 2^{r+1} = 2^r` sends its partial to machine `j − 2^r`. After
+//! `⌈log₂ m⌉` rounds machine 0 holds the total and emits it. This is the
+//! textbook `O(log m)` MPC aggregation the paper's introduction contrasts
+//! against; each machine's memory holds at most two partials — `s` can be
+//! tiny and the round count *still* does not grow with the input length,
+//! unlike `Line`.
+
+use crate::wire;
+use mph_bits::BitVec;
+use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_oracle::{LazyOracle, RandomTape};
+use std::sync::Arc;
+
+const TAG_PARTIAL: u8 = 1;
+const VALUE_WIDTH: usize = 64;
+
+/// Configuration for a tree sum over `m` machines.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeSumConfig {
+    /// Number of machines.
+    pub m: usize,
+}
+
+struct TreeSum {
+    m: usize,
+}
+
+impl MachineLogic for TreeSum {
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        // Sum everything in memory (initial shards and merged partials
+        // alike — addition is associative, the order does not matter).
+        let mut partial: u64 = 0;
+        let mut saw_data = false;
+        for msg in incoming {
+            let (tag, values) = wire::decode(&msg.payload, VALUE_WIDTH)
+                .ok_or_else(|| ctx.error("malformed partial"))?;
+            if tag != TAG_PARTIAL {
+                return Err(ctx.error(format!("unexpected tag {tag}")));
+            }
+            saw_data = true;
+            for v in values {
+                partial = partial.wrapping_add(v);
+            }
+        }
+        if !saw_data {
+            return Ok(Outbox::new());
+        }
+        let j = ctx.machine();
+        let stride = 1usize << ctx.round();
+        if stride >= self.m {
+            // Tree merged: machine 0 holds the total.
+            debug_assert_eq!(j, 0, "only machine 0 survives the reduction");
+            return Ok(Outbox::new().emit(BitVec::from_u64(partial, 64)));
+        }
+        if j % (2 * stride) == stride {
+            // Sender this round.
+            Ok(Outbox::new().send(j - stride, wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH)))
+        } else if j % (2 * stride) == 0 {
+            // Receiver: keep the partial alive via self-message.
+            Ok(Outbox::new().send(j, wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH)))
+        } else {
+            // Already merged away.
+            Ok(Outbox::new())
+        }
+    }
+}
+
+impl TreeSumConfig {
+    /// Builds a simulation summing `values`, sharded contiguously across
+    /// machines. `s_bits` must fit a machine's shard plus one partial.
+    pub fn build(
+        &self,
+        values: &[u64],
+        s_bits: usize,
+    ) -> Simulation {
+        let mut sim = Simulation::new(
+            self.m,
+            s_bits,
+            Arc::new(LazyOracle::square(0, 8)),
+            RandomTape::new(0),
+        );
+        sim.set_uniform_logic(Arc::new(TreeSum { m: self.m }));
+        let per = values.len().div_ceil(self.m).max(1);
+        for (j, chunk) in values.chunks(per).enumerate() {
+            sim.seed_memory(j, wire::encode(TAG_PARTIAL, chunk, VALUE_WIDTH));
+        }
+        sim
+    }
+
+    /// The rounds this algorithm needs: `⌈log₂ m⌉ + 1`.
+    pub fn expected_rounds(&self) -> usize {
+        (usize::BITS - (self.m - 1).leading_zeros()) as usize + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(m: usize, values: &[u64]) -> (u64, usize) {
+        let config = TreeSumConfig { m };
+        let mut sim = config.build(values, 4096);
+        let result = sim.run_until_output(64).unwrap();
+        assert!(result.completed());
+        (result.sole_output().unwrap().read_u64(0, 64), result.rounds())
+    }
+
+    #[test]
+    fn sums_correctly() {
+        let values: Vec<u64> = (1..=100).collect();
+        let (total, _) = run(8, &values);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_in_m() {
+        let values: Vec<u64> = (0..64).collect();
+        for m in [2usize, 4, 8, 16] {
+            let (_, rounds) = run(m, &values);
+            assert_eq!(rounds, TreeSumConfig { m }.expected_rounds(), "m = {m}");
+        }
+    }
+
+    #[test]
+    fn rounds_independent_of_input_length() {
+        // The anti-Line property: 10x the data, same rounds.
+        let small: Vec<u64> = (0..32).collect();
+        let large: Vec<u64> = (0..320).collect();
+        let (_, r_small) = run(8, &small);
+        let (_, r_large) = run(8, &large);
+        assert_eq!(r_small, r_large);
+    }
+
+    #[test]
+    fn single_machine_emits_immediately() {
+        let (total, rounds) = run(1, &[7, 8, 9]);
+        assert_eq!(total, 24);
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        let (total, _) = run(4, &[u64::MAX, 2]);
+        assert_eq!(total, 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared wire format for the baseline algorithms.
+//!
+//! Each message is `[tag : 8][count : 24][value : width]^count`, with the
+//! value width fixed per algorithm. Like everything in the workspace the
+//! format is bit-exact, so memory accounting against `s` is honest.
+
+use mph_bits::{BitReader, BitVec, BitWriter};
+
+const TAG_WIDTH: usize = 8;
+const COUNT_WIDTH: usize = 24;
+
+/// Encodes a tagged value list.
+pub fn encode(tag: u8, values: &[u64], width: usize) -> BitVec {
+    assert!((1..=64).contains(&width), "value width out of range");
+    let mut w = BitWriter::new();
+    w.write_u64(tag as u64, TAG_WIDTH);
+    w.write_u64(values.len() as u64, COUNT_WIDTH);
+    for &v in values {
+        assert!(width == 64 || v < (1u64 << width), "value {v} exceeds width {width}");
+        w.write_u64(v, width);
+    }
+    w.finish()
+}
+
+/// Decodes a tagged value list; returns `(tag, values)`.
+///
+/// Returns `None` on malformed payloads (length mismatch).
+pub fn decode(payload: &BitVec, width: usize) -> Option<(u8, Vec<u64>)> {
+    if payload.len() < TAG_WIDTH + COUNT_WIDTH {
+        return None;
+    }
+    let mut r = BitReader::new(payload);
+    let tag = r.read_u64(TAG_WIDTH) as u8;
+    let count = r.read_u64(COUNT_WIDTH) as usize;
+    if r.remaining() != count * width {
+        return None;
+    }
+    let values = (0..count).map(|_| r.read_u64(width)).collect();
+    Some((tag, values))
+}
+
+/// Bits a message with `count` values occupies.
+pub fn message_bits(count: usize, width: usize) -> usize {
+    TAG_WIDTH + COUNT_WIDTH + count * width
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let values = vec![1u64, 5000, 0, 42];
+        let msg = encode(7, &values, 16);
+        assert_eq!(msg.len(), message_bits(4, 16));
+        assert_eq!(decode(&msg, 16), Some((7, values)));
+    }
+
+    #[test]
+    fn empty_list() {
+        let msg = encode(1, &[], 32);
+        assert_eq!(decode(&msg, 32), Some((1, vec![])));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(decode(&BitVec::zeros(10), 16), None);
+        let msg = encode(1, &[3], 16);
+        assert_eq!(decode(&msg, 8), None); // wrong width
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn overflow_rejected() {
+        encode(0, &[300], 8);
+    }
+}

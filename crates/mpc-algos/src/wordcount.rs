@@ -1,0 +1,164 @@
+//! Word count — the canonical MapReduce job, 2 rounds.
+//!
+//! Round 0 (*map + shuffle*): each machine counts its shard locally and
+//! routes each `(word, count)` pair to the word's reducer (`word mod m`).
+//! Round 1 (*reduce*): reducers sum per-word counts and emit. This is the
+//! workload MapReduce was built for, and the zero-dependency extreme of
+//! the round-complexity spectrum the experiments chart.
+
+use crate::wire;
+use mph_bits::BitVec;
+use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_oracle::{LazyOracle, RandomTape};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const TAG_WORDS: u8 = 1;
+const TAG_COUNTS: u8 = 2;
+const TAG_RESULT: u8 = 3;
+
+/// Configuration for a word count over word ids.
+#[derive(Clone, Copy, Debug)]
+pub struct WordCountConfig {
+    /// Number of machines.
+    pub m: usize,
+    /// Word-id width in bits (counts use the same width).
+    pub id_width: usize,
+}
+
+struct WordCount {
+    config: WordCountConfig,
+}
+
+impl MachineLogic for WordCount {
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        if incoming.is_empty() {
+            return Ok(Outbox::new());
+        }
+        let iw = self.config.id_width;
+        let mut out = Outbox::new();
+        match ctx.round() {
+            0 => {
+                // Map: local counts, shuffled to reducers.
+                let mut counts: HashMap<u64, u64> = HashMap::new();
+                for msg in incoming {
+                    let (tag, words) = wire::decode(&msg.payload, iw)
+                        .ok_or_else(|| ctx.error("malformed shard"))?;
+                    if tag != TAG_WORDS {
+                        return Err(ctx.error(format!("unexpected tag {tag}")));
+                    }
+                    for w in words {
+                        *counts.entry(w).or_insert(0) += 1;
+                    }
+                }
+                let mut per_reducer: Vec<Vec<u64>> = vec![Vec::new(); self.config.m];
+                let mut words: Vec<u64> = counts.keys().copied().collect();
+                words.sort_unstable();
+                for w in words {
+                    per_reducer[(w as usize) % self.config.m].extend([w, counts[&w]]);
+                }
+                for (reducer, pairs) in per_reducer.into_iter().enumerate() {
+                    if !pairs.is_empty() {
+                        out.push(reducer, wire::encode(TAG_COUNTS, &pairs, iw));
+                    }
+                }
+            }
+            1 => {
+                // Reduce: sum per word, emit.
+                let mut totals: HashMap<u64, u64> = HashMap::new();
+                for msg in incoming {
+                    let (tag, pairs) = wire::decode(&msg.payload, iw)
+                        .ok_or_else(|| ctx.error("malformed counts"))?;
+                    if tag != TAG_COUNTS {
+                        return Err(ctx.error(format!("unexpected tag {tag}")));
+                    }
+                    for pair in pairs.chunks(2) {
+                        *totals.entry(pair[0]).or_insert(0) += pair[1];
+                    }
+                }
+                let mut words: Vec<u64> = totals.keys().copied().collect();
+                words.sort_unstable();
+                let flat: Vec<u64> = words.into_iter().flat_map(|w| [w, totals[&w]]).collect();
+                out.output = Some(wire::encode(TAG_RESULT, &flat, iw));
+            }
+            r => return Err(ctx.error(format!("unexpected round {r}"))),
+        }
+        Ok(out)
+    }
+}
+
+impl WordCountConfig {
+    /// Builds a simulation counting `words` (as ids), sharded contiguously.
+    pub fn build(&self, words: &[u64], s_bits: usize) -> Simulation {
+        let mut sim = Simulation::new(
+            self.m,
+            s_bits,
+            Arc::new(LazyOracle::square(0, 8)),
+            RandomTape::new(0),
+        );
+        sim.set_uniform_logic(Arc::new(WordCount { config: *self }));
+        let per = words.len().div_ceil(self.m).max(1);
+        for (j, chunk) in words.chunks(per).enumerate() {
+            sim.seed_memory(j, wire::encode(TAG_WORDS, chunk, self.id_width));
+        }
+        sim
+    }
+
+    /// Decodes the union of outputs into a `word → count` map.
+    pub fn collect_counts(&self, outputs: &[(usize, BitVec)]) -> HashMap<u64, u64> {
+        let mut all = HashMap::new();
+        for (_, bits) in outputs {
+            let (tag, pairs) = wire::decode(bits, self.id_width).expect("result message");
+            assert_eq!(tag, TAG_RESULT);
+            for pair in pairs.chunks(2) {
+                assert!(all.insert(pair[0], pair[1]).is_none(), "word counted twice");
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(m: usize, words: &[u64]) -> (HashMap<u64, u64>, usize) {
+        let config = WordCountConfig { m, id_width: 20 };
+        let mut sim = config.build(words, 1 << 16);
+        let result = sim.run_until_output(8).unwrap();
+        assert!(result.completed());
+        (config.collect_counts(&result.outputs), result.rounds())
+    }
+
+    #[test]
+    fn counts_match_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let words: Vec<u64> = (0..1000).map(|_| rng.gen_range(0..50)).collect();
+        let (counts, rounds) = run(4, &words);
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for &w in &words {
+            *expected.entry(w).or_insert(0) += 1;
+        }
+        assert_eq!(counts, expected);
+        assert_eq!(rounds, 2);
+    }
+
+    #[test]
+    fn two_rounds_at_any_scale() {
+        for len in [10usize, 10_000] {
+            let words: Vec<u64> = (0..len as u64).map(|i| i % 97).collect();
+            let (_, rounds) = run(8, &words);
+            assert_eq!(rounds, 2, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn single_word_everywhere() {
+        let words = vec![5u64; 300];
+        let (counts, _) = run(4, &words);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts[&5], 300);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the baseline algorithms: correctness against
+//! reference implementations over random inputs and machine counts, plus
+//! the round-count invariants that make them "parallelizable".
+
+use mph_mpc_algos::connectivity::reference_components;
+use mph_mpc_algos::{
+    ConnectivityConfig, PrefixSumConfig, SampleSortConfig, TreeSumConfig, WordCountConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sort_is_a_sorting_algorithm(
+        keys in prop::collection::vec(0u64..(1 << 30), 0..400),
+        m in 2usize..8,
+    ) {
+        let config = SampleSortConfig { m, key_width: 32, samples_per_machine: 8 };
+        let mut sim = config.build(&keys, 1 << 18);
+        let result = sim.run_until_output(16).unwrap();
+        if keys.is_empty() {
+            // Nothing seeded on any machine except machine 0's empty shard.
+            return Ok(());
+        }
+        prop_assert!(result.completed());
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(config.collect_output(&result.outputs), expected);
+        prop_assert_eq!(result.rounds(), 4);
+    }
+
+    #[test]
+    fn tree_sum_matches_fold(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+        m in 1usize..10,
+    ) {
+        let config = TreeSumConfig { m };
+        let mut sim = config.build(&values, 1 << 16);
+        let result = sim.run_until_output(64).unwrap();
+        prop_assert!(result.completed());
+        let expected = values.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        prop_assert_eq!(result.sole_output().unwrap().read_u64(0, 64), expected);
+        prop_assert_eq!(result.rounds(), config.expected_rounds());
+    }
+
+    #[test]
+    fn prefix_sum_matches_scan(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+        m in 1usize..8,
+    ) {
+        let config = PrefixSumConfig { m };
+        let mut sim = config.build(&values, 1 << 18);
+        let result = sim.run_until_output(8).unwrap();
+        prop_assert!(result.completed());
+        let mut running = 0u64;
+        let expected: Vec<u64> = values
+            .iter()
+            .map(|&x| {
+                running = running.wrapping_add(x);
+                running
+            })
+            .collect();
+        prop_assert_eq!(config.collect_output(&result.outputs), expected);
+    }
+
+    #[test]
+    fn wordcount_matches_hashmap(
+        words in prop::collection::vec(0u64..64, 1..500),
+        m in 1usize..8,
+    ) {
+        let config = WordCountConfig { m, id_width: 20 };
+        let mut sim = config.build(&words, 1 << 17);
+        let result = sim.run_until_output(8).unwrap();
+        prop_assert!(result.completed());
+        let mut expected: HashMap<u64, u64> = HashMap::new();
+        for &w in &words {
+            *expected.entry(w).or_insert(0) += 1;
+        }
+        prop_assert_eq!(config.collect_counts(&result.outputs), expected);
+        prop_assert_eq!(result.rounds(), 2);
+    }
+
+    #[test]
+    fn connectivity_matches_union_find(
+        edges in prop::collection::vec((0u64..20, 0u64..20), 0..40),
+        m in 1usize..6,
+    ) {
+        let vertices = 20;
+        let config = ConnectivityConfig {
+            m,
+            vertices,
+            id_width: 16,
+            // Label propagation needs up to `vertices` rounds in the worst
+            // case (a path); always enough here.
+            propagation_rounds: vertices,
+        };
+        let mut sim = config.build(&edges, 1 << 18);
+        let result = sim.run_until_output(vertices + 4).unwrap();
+        prop_assert!(result.completed());
+        prop_assert_eq!(
+            config.collect_labels(&result.outputs),
+            reference_components(vertices, &edges)
+        );
+    }
+}

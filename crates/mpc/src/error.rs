@@ -1,0 +1,103 @@
+//! Model violations.
+//!
+//! The MPC model's resource bounds are the entire content of the paper's
+//! lower bound — an algorithm that exceeds its memory or query budget is
+//! outside the theorem's quantification. The simulator therefore *fails*
+//! runs that break the model rather than letting them succeed with
+//! impossible resources, and the violation says exactly which bound broke
+//! and where.
+
+use crate::message::MachineId;
+use std::fmt;
+
+/// A violation of the MPC model's resource bounds or interface contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// A machine was about to receive more bits than its `s`-bit memory
+    /// (Definition 2.1: "each machine receives no more communication than
+    /// its memory").
+    MemoryExceeded {
+        /// The over-full machine.
+        machine: MachineId,
+        /// The round at whose start delivery failed.
+        round: usize,
+        /// Total incoming bits.
+        incoming_bits: usize,
+        /// The configured memory size `s` in bits.
+        s_bits: usize,
+    },
+    /// A machine exceeded the per-round oracle-query budget `q`
+    /// (Theorem 3.1's `q < 2^{n/4}` bound).
+    QueryBudgetExceeded {
+        /// The offending machine.
+        machine: MachineId,
+        /// The round in which the budget ran out.
+        round: usize,
+        /// The configured budget `q`.
+        q: u64,
+    },
+    /// A message was addressed to a machine index `≥ m`.
+    BadRecipient {
+        /// The sending machine.
+        machine: MachineId,
+        /// The round in which it was sent.
+        round: usize,
+        /// The invalid recipient index.
+        to: MachineId,
+        /// The number of machines `m`.
+        m: usize,
+    },
+    /// An algorithm reported failure for its own reasons (e.g. a protocol
+    /// invariant it relies on was broken by a test's fault injection).
+    AlgorithmError {
+        /// The reporting machine.
+        machine: MachineId,
+        /// The round in which it failed.
+        round: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelViolation::MemoryExceeded { machine, round, incoming_bits, s_bits } => write!(
+                f,
+                "machine {machine} at round {round}: incoming {incoming_bits} bits exceed local memory s = {s_bits} bits"
+            ),
+            ModelViolation::QueryBudgetExceeded { machine, round, q } => write!(
+                f,
+                "machine {machine} in round {round}: exceeded oracle query budget q = {q}"
+            ),
+            ModelViolation::BadRecipient { machine, round, to, m } => write!(
+                f,
+                "machine {machine} in round {round}: message addressed to machine {to} but m = {m}"
+            ),
+            ModelViolation::AlgorithmError { machine, round, reason } => {
+                write!(f, "machine {machine} in round {round}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = ModelViolation::MemoryExceeded {
+            machine: 3,
+            round: 7,
+            incoming_bits: 1001,
+            s_bits: 1000,
+        };
+        let text = v.to_string();
+        assert!(text.contains("machine 3"));
+        assert!(text.contains("1001"));
+        assert!(text.contains("1000"));
+    }
+}

@@ -1,0 +1,486 @@
+//! The round executor.
+//!
+//! Drives a set of [`MachineLogic`] programs through synchronous rounds,
+//! enforcing the model's bounds at the two places Definition 2.1 states
+//! them: memory at delivery (`Σ incoming ≤ s`) and oracle queries inside
+//! the round (`≤ q` per machine). Machines of one round run in parallel
+//! (they are independent by definition); routing is then sequenced in
+//! machine order, so runs are deterministic.
+
+use crate::error::ModelViolation;
+use crate::machine::{MachineLogic, Outbox, RoundCtx};
+use crate::message::{total_bits, MachineId, Message};
+use crate::stats::{RoundStats, SimStats};
+use mph_bits::BitVec;
+use mph_oracle::{Oracle, RandomTape};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Why a run stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// At least one machine emitted an output; `rounds` is the number of
+    /// completed rounds (the paper's `R`).
+    Completed {
+        /// Number of rounds executed, including the output round.
+        rounds: usize,
+    },
+    /// The round limit was reached without any output.
+    RoundLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+/// The result of a run: outcome, outputs, and instrumentation.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Output contributions `(machine, bits)` in machine order — the
+    /// "union of outputs of all the machines" of Definition 2.4.
+    pub outputs: Vec<(MachineId, BitVec)>,
+    /// Per-round statistics.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// The number of rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.stats.num_rounds()
+    }
+
+    /// True if the run produced at least one output within the limit.
+    pub fn completed(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Completed { .. })
+    }
+
+    /// The single output of a run expected to produce exactly one.
+    pub fn sole_output(&self) -> Option<&BitVec> {
+        match self.outputs.as_slice() {
+            [(_, bits)] => Some(bits),
+            _ => None,
+        }
+    }
+}
+
+/// A configured MPC computation ready to run.
+///
+/// # Examples
+///
+/// A two-machine ping-pong that outputs after three rounds:
+///
+/// ```
+/// use mph_mpc::{Simulation, Outbox, RoundCtx, Message, ModelViolation};
+/// use mph_bits::BitVec;
+/// use mph_oracle::{LazyOracle, RandomTape};
+/// use std::sync::Arc;
+///
+/// let logic = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+///     let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+///     let hops = msg.payload.read_u64(0, 8);
+///     if hops == 3 {
+///         return Ok(Outbox::new().emit(msg.payload.clone()));
+///     }
+///     let other = 1 - ctx.machine();
+///     Ok(Outbox::new().send(other, BitVec::from_u64(hops + 1, 8)))
+/// });
+///
+/// let mut sim = Simulation::new(2, 64, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0));
+/// sim.set_uniform_logic(logic);
+/// sim.seed_memory(0, BitVec::from_u64(0, 8));
+/// let result = sim.run_until_output(10).unwrap();
+/// assert_eq!(result.rounds(), 4);
+/// assert_eq!(result.sole_output().unwrap().read_u64(0, 8), 3);
+/// ```
+pub struct Simulation {
+    m: usize,
+    s_bits: usize,
+    q: Option<u64>,
+    oracle: Arc<dyn Oracle>,
+    tape: RandomTape,
+    machines: Vec<Arc<dyn MachineLogic>>,
+    inboxes: Vec<Vec<Message>>,
+    round: usize,
+    stats: SimStats,
+    outputs: Vec<(MachineId, BitVec)>,
+}
+
+/// A no-op machine used as the default program.
+struct IdleMachine;
+
+impl MachineLogic for IdleMachine {
+    fn round(&self, _ctx: &RoundCtx<'_>, _incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        Ok(Outbox::new())
+    }
+}
+
+impl Simulation {
+    /// A simulation with `m` machines of `s_bits` local memory each, a
+    /// shared oracle, and a shared random tape. All machines start idle;
+    /// install programs with [`Simulation::set_uniform_logic`] or
+    /// [`Simulation::set_logic`].
+    pub fn new(m: usize, s_bits: usize, oracle: Arc<dyn Oracle>, tape: RandomTape) -> Self {
+        assert!(m > 0, "need at least one machine");
+        let idle: Arc<dyn MachineLogic> = Arc::new(IdleMachine);
+        Simulation {
+            m,
+            s_bits,
+            q: None,
+            oracle,
+            tape,
+            machines: vec![idle; m],
+            inboxes: vec![Vec::new(); m],
+            round: 0,
+            stats: SimStats::default(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Sets the per-machine, per-round oracle query budget `q`.
+    pub fn set_query_budget(&mut self, q: u64) -> &mut Self {
+        self.q = Some(q);
+        self
+    }
+
+    /// Installs one shared program on every machine (symmetric algorithms
+    /// branch on `ctx.machine()`).
+    pub fn set_uniform_logic(&mut self, logic: Arc<dyn MachineLogic>) -> &mut Self {
+        for slot in &mut self.machines {
+            *slot = Arc::clone(&logic);
+        }
+        self
+    }
+
+    /// Installs a program on one machine.
+    pub fn set_logic(&mut self, machine: MachineId, logic: Arc<dyn MachineLogic>) -> &mut Self {
+        self.machines[machine] = logic;
+        self
+    }
+
+    /// Places an initial memory fragment on `machine` before round 0 — the
+    /// "input … arbitrarily split and distributed among all the machines".
+    /// Checked against `s` when round 0 delivers it.
+    pub fn seed_memory(&mut self, machine: MachineId, payload: BitVec) -> &mut Self {
+        assert!(machine < self.m, "seed target {machine} out of range (m = {})", self.m);
+        self.inboxes[machine].push(Message { from: machine, to: machine, payload });
+        self
+    }
+
+    /// The number of machines `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The per-machine memory bound `s` in bits.
+    pub fn s_bits(&self) -> usize {
+        self.s_bits
+    }
+
+    /// Number of rounds executed so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The memory image (pending incoming messages) of `machine` at the
+    /// start of the next round — the `M_i^k` the compression argument
+    /// snapshots as the output of its `𝒜₁`.
+    pub fn inbox(&self, machine: MachineId) -> &[Message] {
+        &self.inboxes[machine]
+    }
+
+    /// Output contributions collected so far.
+    pub fn outputs(&self) -> &[(MachineId, BitVec)] {
+        &self.outputs
+    }
+
+    /// Executes one round; returns the outputs emitted in it.
+    pub fn step(&mut self) -> Result<Vec<(MachineId, BitVec)>, ModelViolation> {
+        // 1. Delivery-time memory check (the paper bounds what a machine
+        //    may *receive*).
+        let mut max_memory_bits = 0;
+        let mut active = 0;
+        for (i, inbox) in self.inboxes.iter().enumerate() {
+            let bits = total_bits(inbox);
+            if bits > self.s_bits {
+                return Err(ModelViolation::MemoryExceeded {
+                    machine: i,
+                    round: self.round,
+                    incoming_bits: bits,
+                    s_bits: self.s_bits,
+                });
+            }
+            max_memory_bits = max_memory_bits.max(bits);
+            if !inbox.is_empty() {
+                active += 1;
+            }
+        }
+
+        // 2. Run all machines of the round in parallel.
+        let round = self.round;
+        let oracle = &*self.oracle;
+        let tape = &self.tape;
+        let q = self.q;
+        let m = self.m;
+        let results: Vec<Result<(Outbox, u64), ModelViolation>> = self
+            .machines
+            .par_iter()
+            .zip(self.inboxes.par_iter())
+            .enumerate()
+            .map(|(id, (logic, inbox))| {
+                let ctx = RoundCtx::new(id, round, m, oracle, tape, q);
+                let outbox = logic.round(&ctx, inbox)?;
+                Ok((outbox, ctx.queries_made()))
+            })
+            .collect();
+
+        // 3. Route deterministically in machine order.
+        let mut new_inboxes: Vec<Vec<Message>> = vec![Vec::new(); self.m];
+        let mut round_outputs = Vec::new();
+        let mut messages = 0;
+        let mut bits_sent = 0;
+        let mut oracle_queries = 0;
+        let mut max_queries_one_machine = 0;
+        for (id, result) in results.into_iter().enumerate() {
+            let (outbox, queries) = result?;
+            oracle_queries += queries;
+            max_queries_one_machine = max_queries_one_machine.max(queries);
+            for mut msg in outbox.messages {
+                if msg.to >= self.m {
+                    return Err(ModelViolation::BadRecipient {
+                        machine: id,
+                        round: self.round,
+                        to: msg.to,
+                        m: self.m,
+                    });
+                }
+                msg.from = id;
+                messages += 1;
+                bits_sent += msg.bits();
+                new_inboxes[msg.to].push(msg);
+            }
+            if let Some(out) = outbox.output {
+                round_outputs.push((id, out));
+            }
+        }
+
+        self.stats.rounds.push(RoundStats {
+            round: self.round,
+            messages,
+            bits_sent,
+            oracle_queries,
+            max_queries_one_machine,
+            max_memory_bits,
+            active_machines: active,
+        });
+        self.inboxes = new_inboxes;
+        self.round += 1;
+        self.outputs.extend(round_outputs.iter().cloned());
+        Ok(round_outputs)
+    }
+
+    /// Runs until some machine emits an output or `max_rounds` is reached.
+    pub fn run_until_output(&mut self, max_rounds: usize) -> Result<RunResult, ModelViolation> {
+        for _ in 0..max_rounds {
+            let outs = self.step()?;
+            if !outs.is_empty() {
+                return Ok(RunResult {
+                    outcome: RunOutcome::Completed { rounds: self.round },
+                    outputs: std::mem::take(&mut self.outputs),
+                    stats: std::mem::take(&mut self.stats),
+                });
+            }
+        }
+        Ok(RunResult {
+            outcome: RunOutcome::RoundLimit { limit: max_rounds },
+            outputs: std::mem::take(&mut self.outputs),
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+
+    /// Runs exactly `rounds` rounds (collecting any outputs along the way).
+    pub fn run_rounds(&mut self, rounds: usize) -> Result<RunResult, ModelViolation> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        let completed = !self.outputs.is_empty();
+        Ok(RunResult {
+            outcome: if completed {
+                RunOutcome::Completed { rounds: self.round }
+            } else {
+                RunOutcome::RoundLimit { limit: rounds }
+            },
+            outputs: std::mem::take(&mut self.outputs),
+            stats: std::mem::take(&mut self.stats),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_oracle::LazyOracle;
+
+    fn sim(m: usize, s: usize) -> Simulation {
+        Simulation::new(m, s, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0))
+    }
+
+    /// Logic that forwards its memory to the next machine, adding one bit.
+    fn relay() -> Arc<dyn MachineLogic> {
+        Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            let Some(msg) = incoming.first() else {
+                return Ok(Outbox::new());
+            };
+            let mut payload = msg.payload.clone();
+            payload.push(true);
+            if payload.len() >= 8 {
+                return Ok(Outbox::new().emit(payload));
+            }
+            Ok(Outbox::new().send((ctx.machine() + 1) % ctx.m(), payload))
+        })
+    }
+
+    #[test]
+    fn relay_completes_and_counts_rounds() {
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let result = s.run_until_output(100).unwrap();
+        assert!(result.completed());
+        // Starts at 2 bits, +1 per round, outputs when >= 8: rounds = 6.
+        assert_eq!(result.rounds(), 6);
+        assert_eq!(result.sole_output().unwrap().len(), 8);
+        assert_eq!(result.stats.total_messages(), 5);
+    }
+
+    #[test]
+    fn memory_violation_detected_at_delivery() {
+        let mut s = sim(2, 16);
+        // Machine 0 sends 20 bits to machine 1: delivery at round 1 fails.
+        s.set_logic(
+            0,
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                Ok(Outbox::new().send(1, BitVec::zeros(20)))
+            }),
+        );
+        s.seed_memory(0, BitVec::zeros(1));
+        s.step().unwrap(); // round 0: send
+        let err = s.step().unwrap_err(); // round 1: delivery check
+        assert_eq!(
+            err,
+            ModelViolation::MemoryExceeded {
+                machine: 1,
+                round: 1,
+                incoming_bits: 20,
+                s_bits: 16
+            }
+        );
+    }
+
+    #[test]
+    fn seeded_memory_checked_against_s() {
+        let mut s = sim(1, 8);
+        s.seed_memory(0, BitVec::zeros(9));
+        let err = s.step().unwrap_err();
+        assert!(matches!(err, ModelViolation::MemoryExceeded { machine: 0, round: 0, .. }));
+    }
+
+    #[test]
+    fn query_budget_violation_propagates() {
+        let mut s = sim(1, 64);
+        s.set_query_budget(2);
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
+            for i in 0..3u64 {
+                ctx.query(&BitVec::from_u64(i, 16))?;
+            }
+            Ok(Outbox::new())
+        }));
+        s.seed_memory(0, BitVec::zeros(1));
+        let err = s.step().unwrap_err();
+        assert_eq!(
+            err,
+            ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 2 }
+        );
+    }
+
+    #[test]
+    fn bad_recipient_detected() {
+        let mut s = sim(2, 64);
+        s.set_uniform_logic(Arc::new(|_: &RoundCtx<'_>, _: &[Message]| {
+            Ok(Outbox::new().send(5, BitVec::zeros(1)))
+        }));
+        let err = s.step().unwrap_err();
+        assert!(matches!(err, ModelViolation::BadRecipient { to: 5, m: 2, .. }));
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        let mut s = sim(2, 64);
+        // Idle machines never output.
+        let result = s.run_until_output(5).unwrap();
+        assert_eq!(result.outcome, RunOutcome::RoundLimit { limit: 5 });
+        assert_eq!(result.rounds(), 5);
+    }
+
+    #[test]
+    fn stats_track_queries_and_memory() {
+        let mut s = sim(3, 64);
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            if incoming.is_empty() {
+                return Ok(Outbox::new());
+            }
+            ctx.query(&BitVec::zeros(16))?;
+            ctx.query(&BitVec::ones(16))?;
+            Ok(Outbox::new())
+        }));
+        s.seed_memory(1, BitVec::zeros(40));
+        s.step().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.rounds[0].oracle_queries, 2);
+        assert_eq!(stats.rounds[0].max_queries_one_machine, 2);
+        assert_eq!(stats.rounds[0].max_memory_bits, 40);
+        assert_eq!(stats.rounds[0].active_machines, 1);
+    }
+
+    #[test]
+    fn outputs_union_across_machines() {
+        let mut s = sim(3, 64);
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
+            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 4)))
+        }));
+        let result = s.run_until_output(1).unwrap();
+        assert_eq!(result.outputs.len(), 3);
+        assert!(result.sole_output().is_none());
+        let ids: Vec<usize> = result.outputs.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2]); // deterministic machine order
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim(4, 128);
+            s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+                let a = ctx.query(&msg.payload)?;
+                if ctx.round() == 3 {
+                    return Ok(Outbox::new().emit(a));
+                }
+                Ok(Outbox::new().send((ctx.machine() + 1) % ctx.m(), a))
+            }));
+            s.seed_memory(0, BitVec::zeros(16));
+            s.run_until_output(10).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,136 @@
+//! Input distribution.
+//!
+//! Definition 2.1 lets the input be "arbitrarily split and distributed
+//! among all the machines". The hard-function experiments parse the input
+//! as `v` blocks of `u` bits and place each block on exactly one machine;
+//! the *strategy* matters for the honest algorithms (a contiguous layout
+//! lets `SimLine`'s pipeline advance `h` nodes per visit, a strided layout
+//! does not), so it is explicit and sweepable.
+
+use crate::message::MachineId;
+use serde::{Deserialize, Serialize};
+
+/// How blocks are assigned to machines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Blocks `0..k` to machine 0, the next `k` to machine 1, … . The
+    /// natural layout for sequential access patterns.
+    Contiguous,
+    /// Block `i` to machine `i mod m`. Maximally strided.
+    RoundRobin,
+}
+
+/// A block-to-machine assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// `owner[i]` is the machine holding block `i`.
+    owner: Vec<MachineId>,
+    m: usize,
+}
+
+impl Partition {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of machines.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The machine holding block `block`.
+    pub fn owner_of(&self, block: usize) -> MachineId {
+        self.owner[block]
+    }
+
+    /// The blocks held by `machine`, in increasing index order.
+    pub fn blocks_of(&self, machine: MachineId) -> Vec<usize> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == machine)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The largest number of blocks on any machine.
+    pub fn max_blocks_per_machine(&self) -> usize {
+        let mut counts = vec![0usize; self.m];
+        for &o in &self.owner {
+            counts[o] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Assigns `num_blocks` blocks to `m` machines with the given strategy.
+///
+/// Both strategies balance within one block: machine loads differ by at
+/// most one block.
+pub fn partition_blocks(num_blocks: usize, m: usize, strategy: PartitionStrategy) -> Partition {
+    assert!(m > 0, "need at least one machine");
+    let owner = match strategy {
+        PartitionStrategy::Contiguous => {
+            // First `num_blocks % m` machines take `ceil`, the rest `floor`.
+            let base = num_blocks / m;
+            let extra = num_blocks % m;
+            let mut owner = Vec::with_capacity(num_blocks);
+            for machine in 0..m {
+                let take = base + usize::from(machine < extra);
+                owner.extend(std::iter::repeat_n(machine, take));
+            }
+            owner
+        }
+        PartitionStrategy::RoundRobin => (0..num_blocks).map(|i| i % m).collect(),
+    };
+    Partition { owner, m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_contiguous_and_balanced() {
+        let p = partition_blocks(10, 3, PartitionStrategy::Contiguous);
+        assert_eq!(p.blocks_of(0), vec![0, 1, 2, 3]);
+        assert_eq!(p.blocks_of(1), vec![4, 5, 6]);
+        assert_eq!(p.blocks_of(2), vec![7, 8, 9]);
+        assert_eq!(p.max_blocks_per_machine(), 4);
+    }
+
+    #[test]
+    fn round_robin_strides() {
+        let p = partition_blocks(7, 3, PartitionStrategy::RoundRobin);
+        assert_eq!(p.owner_of(0), 0);
+        assert_eq!(p.owner_of(1), 1);
+        assert_eq!(p.owner_of(5), 2);
+        assert_eq!(p.blocks_of(0), vec![0, 3, 6]);
+        assert_eq!(p.max_blocks_per_machine(), 3);
+    }
+
+    #[test]
+    fn every_block_owned_exactly_once() {
+        for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::RoundRobin] {
+            let p = partition_blocks(23, 5, strategy);
+            let mut seen = vec![false; 23];
+            for machine in 0..5 {
+                for b in p.blocks_of(machine) {
+                    assert!(!seen[b], "block {b} owned twice");
+                    seen[b] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|x| x));
+        }
+    }
+
+    #[test]
+    fn fewer_blocks_than_machines() {
+        let p = partition_blocks(2, 5, PartitionStrategy::Contiguous);
+        assert_eq!(p.blocks_of(0), vec![0]);
+        assert_eq!(p.blocks_of(1), vec![1]);
+        assert_eq!(p.blocks_of(4), Vec::<usize>::new());
+        assert_eq!(p.max_blocks_per_machine(), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! The machine interface: per-round logic, context, and outbox.
+
+use crate::error::ModelViolation;
+use crate::message::{MachineId, Message};
+use mph_bits::BitVec;
+use mph_oracle::{Oracle, RandomTape};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a machine produces in one round: messages for the next round plus an
+/// optional contribution to the computation's output.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    /// Messages to route before the next round.
+    pub messages: Vec<Message>,
+    /// This machine's contribution to the final output, if it has one this
+    /// round. The run's result is the union of contributions (Definition
+    /// 2.4: "the union of outputs of all the machines at the end of round
+    /// R").
+    pub output: Option<BitVec>,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox::default()
+    }
+
+    /// Adds a message, builder-style.
+    pub fn send(mut self, to: MachineId, payload: BitVec) -> Self {
+        self.messages.push(Message::to(to, payload));
+        self
+    }
+
+    /// Adds a message in place.
+    pub fn push(&mut self, to: MachineId, payload: BitVec) {
+        self.messages.push(Message::to(to, payload));
+    }
+
+    /// Sets the output contribution, builder-style.
+    pub fn emit(mut self, output: BitVec) -> Self {
+        self.output = Some(output);
+        self
+    }
+}
+
+/// Per-machine, per-round execution context: identity, oracle access with
+/// the per-round budget `q`, and the shared random tape.
+pub struct RoundCtx<'a> {
+    machine: MachineId,
+    round: usize,
+    m: usize,
+    oracle: &'a dyn Oracle,
+    tape: &'a RandomTape,
+    q: Option<u64>,
+    queries_made: AtomicU64,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// A context outside any simulation, for *replaying* one machine's
+    /// round in isolation — the compression argument's encoder and decoder
+    /// run "the computation done by machine `i` in round `k`" (the paper's
+    /// `𝒜₂`) against substituted oracles, and need the same interface the
+    /// executor provides.
+    pub fn standalone(
+        machine: MachineId,
+        round: usize,
+        m: usize,
+        oracle: &'a dyn Oracle,
+        tape: &'a RandomTape,
+        q: Option<u64>,
+    ) -> Self {
+        Self::new(machine, round, m, oracle, tape, q)
+    }
+
+    pub(crate) fn new(
+        machine: MachineId,
+        round: usize,
+        m: usize,
+        oracle: &'a dyn Oracle,
+        tape: &'a RandomTape,
+        q: Option<u64>,
+    ) -> Self {
+        RoundCtx { machine, round, m, oracle, tape, q, queries_made: AtomicU64::new(0) }
+    }
+
+    /// This machine's index.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The current round number (round 0 is the first).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The number of machines `m`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The oracle's input width `n`.
+    pub fn oracle_n_in(&self) -> usize {
+        self.oracle.n_in()
+    }
+
+    /// The oracle's output width.
+    pub fn oracle_n_out(&self) -> usize {
+        self.oracle.n_out()
+    }
+
+    /// Queries the random oracle, charged against this machine's per-round
+    /// budget `q`.
+    pub fn query(&self, input: &BitVec) -> Result<BitVec, ModelViolation> {
+        if let Some(q) = self.q {
+            // Relaxed is fine: the counter is private to this (machine,
+            // round) context; we only need atomicity, not ordering.
+            let made = self.queries_made.fetch_add(1, Ordering::Relaxed);
+            if made >= q {
+                return Err(ModelViolation::QueryBudgetExceeded {
+                    machine: self.machine,
+                    round: self.round,
+                    q,
+                });
+            }
+        } else {
+            self.queries_made.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(self.oracle.query(input))
+    }
+
+    /// Number of oracle queries made so far this round.
+    pub fn queries_made(&self) -> u64 {
+        self.queries_made.load(Ordering::Relaxed)
+    }
+
+    /// Reads `len` bits of the shared random tape at `offset`
+    /// (Definition 2.1's tape `𝒯`; reads are free and unmetered).
+    pub fn tape(&self, offset: u64, len: usize) -> BitVec {
+        self.tape.read(offset, len)
+    }
+
+    /// Convenience: an [`ModelViolation::AlgorithmError`] for this machine
+    /// and round.
+    pub fn error(&self, reason: impl Into<String>) -> ModelViolation {
+        ModelViolation::AlgorithmError {
+            machine: self.machine,
+            round: self.round,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// One machine's program.
+///
+/// `round` is invoked once per round with the machine's memory image — the
+/// messages delivered to it (for round 0, its share of the input). The
+/// contract that makes the simulator a faithful model:
+///
+/// * **No hidden state.** Implementations must be pure functions of
+///   `(ctx, incoming)` plus immutable configuration fixed at construction.
+///   Anything remembered between rounds must travel through a self-message,
+///   where it is charged against `s`. The trait takes `&self` to make
+///   mutation impossible.
+/// * **Budgets are per-round.** `ctx.query` enforces `q`; the executor
+///   enforces `Σ incoming ≤ s` at delivery.
+///
+/// Machines are `Send + Sync` because the executor runs all machines of a
+/// round in parallel.
+pub trait MachineLogic: Send + Sync {
+    /// Executes one round.
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation>;
+}
+
+impl<F> MachineLogic for F
+where
+    F: Fn(&RoundCtx<'_>, &[Message]) -> Result<Outbox, ModelViolation> + Send + Sync,
+{
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        self(ctx, incoming)
+    }
+}
+
+/// A shared machine program applied to every machine (most algorithms are
+/// symmetric: the same code parameterized by `ctx.machine()`).
+pub type SharedLogic = Arc<dyn MachineLogic>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_oracle::LazyOracle;
+
+    #[test]
+    fn ctx_budget_enforced() {
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(2, 5, 4, &oracle, &tape, Some(2));
+        assert!(ctx.query(&BitVec::zeros(16)).is_ok());
+        assert!(ctx.query(&BitVec::ones(16)).is_ok());
+        let err = ctx.query(&BitVec::zeros(16)).unwrap_err();
+        assert_eq!(
+            err,
+            ModelViolation::QueryBudgetExceeded { machine: 2, round: 5, q: 2 }
+        );
+        assert_eq!(ctx.queries_made(), 3); // the rejected attempt still counted an increment
+    }
+
+    #[test]
+    fn ctx_unbounded_when_no_q() {
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(0, 0, 1, &oracle, &tape, None);
+        for _ in 0..100 {
+            assert!(ctx.query(&BitVec::zeros(16)).is_ok());
+        }
+        assert_eq!(ctx.queries_made(), 100);
+    }
+
+    #[test]
+    fn outbox_builders() {
+        let ob = Outbox::new().send(1, BitVec::zeros(4)).emit(BitVec::ones(2));
+        assert_eq!(ob.messages.len(), 1);
+        assert_eq!(ob.messages[0].to, 1);
+        assert_eq!(ob.output, Some(BitVec::ones(2)));
+    }
+
+    #[test]
+    fn closures_are_machines() {
+        let logic = |ctx: &RoundCtx<'_>, _incoming: &[Message]| {
+            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 8)))
+        };
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(3, 0, 4, &oracle, &tape, None);
+        let out = MachineLogic::round(&logic, &ctx, &[]).unwrap();
+        assert_eq!(out.output, Some(BitVec::from_u64(3, 8)));
+    }
+}

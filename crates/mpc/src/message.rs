@@ -1,0 +1,61 @@
+//! Messages and machine identities.
+
+use mph_bits::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Index of a machine, `0..m`.
+pub type MachineId = usize;
+
+/// One routed message: a bit-string payload bound for a machine.
+///
+/// Between rounds the router delivers every message emitted in round `k` to
+/// its recipient's round-`k+1` memory; the recipient's memory image is the
+/// union of its incoming messages (Definition 2.1:
+/// `M_i^{k+1} = ⋃_j M_{j,i}^k`). The `from` field exists for statistics and
+/// debugging only — the model lets recipients see payloads, and honest
+/// algorithms encode any needed provenance inside the payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// The sending machine (filled in by the executor).
+    pub from: MachineId,
+    /// The receiving machine.
+    pub to: MachineId,
+    /// The message contents; counted bit-for-bit against the recipient's
+    /// `s`-bit memory.
+    pub payload: BitVec,
+}
+
+impl Message {
+    /// A message to `to` with the given payload (the executor stamps
+    /// `from`).
+    pub fn to(to: MachineId, payload: BitVec) -> Self {
+        Message { from: 0, to, payload }
+    }
+
+    /// Payload length in bits.
+    pub fn bits(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// Total payload bits across `messages` — the quantity compared against `s`
+/// at delivery.
+pub fn total_bits(messages: &[Message]) -> usize {
+    messages.iter().map(Message::bits).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accounting() {
+        let msgs = vec![
+            Message::to(0, BitVec::zeros(10)),
+            Message::to(1, BitVec::zeros(22)),
+            Message::to(0, BitVec::new()),
+        ];
+        assert_eq!(total_bits(&msgs), 32);
+        assert_eq!(msgs[1].bits(), 22);
+    }
+}

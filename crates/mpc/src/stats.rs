@@ -1,0 +1,110 @@
+//! Simulation instrumentation.
+//!
+//! The paper's cost model counts rounds above all, but its constraints also
+//! mention communication volume, memory high-water marks, and per-round
+//! query counts; the experiments report all of them.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics for a single round.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Round index.
+    pub round: usize,
+    /// Messages routed out of this round.
+    pub messages: usize,
+    /// Total payload bits routed out of this round.
+    pub bits_sent: usize,
+    /// Oracle queries made by all machines this round.
+    pub oracle_queries: u64,
+    /// Largest per-machine query count this round (the empirical `q`).
+    pub max_queries_one_machine: u64,
+    /// Largest memory image delivered at the start of this round, in bits.
+    pub max_memory_bits: usize,
+    /// Number of machines that received at least one message this round.
+    pub active_machines: usize,
+}
+
+/// Statistics across a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl SimStats {
+    /// Number of executed rounds.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total messages across all rounds.
+    pub fn total_messages(&self) -> usize {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Total communication in bits across all rounds.
+    pub fn total_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.bits_sent).sum()
+    }
+
+    /// Total oracle queries across all rounds.
+    pub fn total_queries(&self) -> u64 {
+        self.rounds.iter().map(|r| r.oracle_queries).sum()
+    }
+
+    /// The largest memory image any machine ever received — must be ≤ `s`
+    /// in a legal run.
+    pub fn peak_memory_bits(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_memory_bits).max().unwrap_or(0)
+    }
+
+    /// The largest per-machine, per-round query count — the empirical `q`.
+    pub fn peak_queries(&self) -> u64 {
+        self.rounds.iter().map(|r| r.max_queries_one_machine).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation() {
+        let stats = SimStats {
+            rounds: vec![
+                RoundStats {
+                    round: 0,
+                    messages: 3,
+                    bits_sent: 100,
+                    oracle_queries: 5,
+                    max_queries_one_machine: 4,
+                    max_memory_bits: 60,
+                    active_machines: 2,
+                },
+                RoundStats {
+                    round: 1,
+                    messages: 1,
+                    bits_sent: 10,
+                    oracle_queries: 2,
+                    max_queries_one_machine: 2,
+                    max_memory_bits: 80,
+                    active_machines: 1,
+                },
+            ],
+        };
+        assert_eq!(stats.num_rounds(), 2);
+        assert_eq!(stats.total_messages(), 4);
+        assert_eq!(stats.total_bits(), 110);
+        assert_eq!(stats.total_queries(), 7);
+        assert_eq!(stats.peak_memory_bits(), 80);
+        assert_eq!(stats.peak_queries(), 4);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = SimStats::default();
+        assert_eq!(stats.num_rounds(), 0);
+        assert_eq!(stats.peak_memory_bits(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Query counting and per-epoch budgets.
+//!
+//! Theorem 3.1 bounds "the number of local queries per round `q < 2^{n/4}`",
+//! and the encoding-length accounting charges `log q` bits per recorded
+//! query index. [`CountingOracle`] wraps any oracle with exactly that
+//! instrumentation: a total query count, an epoch (round) counter, and an
+//! optional hard budget of queries per epoch that fails loudly with
+//! [`QueryBudgetExceeded`] — the MPC executor surfaces that as a model
+//! violation.
+
+use crate::traits::{check_input_width, Oracle};
+use mph_bits::BitVec;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error raised when an epoch exceeds its query budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryBudgetExceeded {
+    /// The epoch (round) in which the budget was exhausted.
+    pub epoch: u64,
+    /// The configured per-epoch budget `q`.
+    pub budget: u64,
+}
+
+impl fmt::Display for QueryBudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query budget exceeded in epoch {}: more than {} oracle queries",
+            self.epoch, self.budget
+        )
+    }
+}
+
+impl std::error::Error for QueryBudgetExceeded {}
+
+#[derive(Default)]
+struct Counters {
+    total: u64,
+    epoch: u64,
+    in_epoch: u64,
+    max_in_any_epoch: u64,
+}
+
+/// An oracle wrapper that counts queries and can enforce a per-epoch budget.
+///
+/// `query` panics when the budget is exceeded (the oracle trait is
+/// infallible); callers that want a recoverable error use
+/// [`CountingOracle::try_query`]. The MPC simulator uses the latter.
+pub struct CountingOracle {
+    inner: Arc<dyn Oracle>,
+    counters: Mutex<Counters>,
+    /// Per-epoch budget; `None` = unbounded.
+    budget: Option<u64>,
+}
+
+impl CountingOracle {
+    /// Wraps `inner` with no budget.
+    pub fn new(inner: Arc<dyn Oracle>) -> Self {
+        CountingOracle { inner, counters: Mutex::new(Counters::default()), budget: None }
+    }
+
+    /// Wraps `inner` with a hard per-epoch budget of `q` queries.
+    pub fn with_budget(inner: Arc<dyn Oracle>, q: u64) -> Self {
+        CountingOracle {
+            inner,
+            counters: Mutex::new(Counters::default()),
+            budget: Some(q),
+        }
+    }
+
+    /// Queries, returning `Err` instead of panicking on budget exhaustion.
+    pub fn try_query(&self, input: &BitVec) -> Result<BitVec, QueryBudgetExceeded> {
+        check_input_width("CountingOracle", self.inner.n_in(), input);
+        {
+            let mut c = self.counters.lock();
+            if let Some(q) = self.budget {
+                if c.in_epoch >= q {
+                    return Err(QueryBudgetExceeded { epoch: c.epoch, budget: q });
+                }
+            }
+            c.total += 1;
+            c.in_epoch += 1;
+            c.max_in_any_epoch = c.max_in_any_epoch.max(c.in_epoch);
+        }
+        Ok(self.inner.query(input))
+    }
+
+    /// Advances to the next epoch (round), resetting the per-epoch counter.
+    pub fn next_epoch(&self) {
+        let mut c = self.counters.lock();
+        c.epoch += 1;
+        c.in_epoch = 0;
+    }
+
+    /// Total queries across all epochs.
+    pub fn total_queries(&self) -> u64 {
+        self.counters.lock().total
+    }
+
+    /// Queries in the current epoch.
+    pub fn queries_this_epoch(&self) -> u64 {
+        self.counters.lock().in_epoch
+    }
+
+    /// The largest number of queries observed in any single epoch — the
+    /// empirical `q` of a run.
+    pub fn max_queries_in_any_epoch(&self) -> u64 {
+        self.counters.lock().max_in_any_epoch
+    }
+
+    /// The current epoch index.
+    pub fn epoch(&self) -> u64 {
+        self.counters.lock().epoch
+    }
+
+    /// The configured budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+}
+
+impl Oracle for CountingOracle {
+    fn n_in(&self) -> usize {
+        self.inner.n_in()
+    }
+
+    fn n_out(&self) -> usize {
+        self.inner.n_out()
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        match self.try_query(input) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LazyOracle;
+
+    fn counted(budget: Option<u64>) -> CountingOracle {
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
+        match budget {
+            Some(q) => CountingOracle::with_budget(base, q),
+            None => CountingOracle::new(base),
+        }
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let c = counted(None);
+        for i in 0..5u64 {
+            c.query(&BitVec::from_u64(i, 16));
+        }
+        assert_eq!(c.total_queries(), 5);
+        assert_eq!(c.queries_this_epoch(), 5);
+        c.next_epoch();
+        assert_eq!(c.queries_this_epoch(), 0);
+        assert_eq!(c.total_queries(), 5);
+        assert_eq!(c.epoch(), 1);
+        c.query(&BitVec::zeros(16));
+        assert_eq!(c.max_queries_in_any_epoch(), 5);
+    }
+
+    #[test]
+    fn budget_enforced_per_epoch() {
+        let c = counted(Some(3));
+        for i in 0..3u64 {
+            assert!(c.try_query(&BitVec::from_u64(i, 16)).is_ok());
+        }
+        let err = c.try_query(&BitVec::zeros(16)).unwrap_err();
+        assert_eq!(err, QueryBudgetExceeded { epoch: 0, budget: 3 });
+        // A new round restores the budget.
+        c.next_epoch();
+        assert!(c.try_query(&BitVec::zeros(16)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "query budget exceeded")]
+    fn infallible_query_panics_on_budget() {
+        let c = counted(Some(1));
+        c.query(&BitVec::zeros(16));
+        c.query(&BitVec::ones(16));
+    }
+
+    #[test]
+    fn answers_pass_through_unchanged() {
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(2, 16));
+        let c = CountingOracle::new(base.clone());
+        let q = BitVec::from_u64(123, 16);
+        assert_eq!(c.query(&q), base.query(&q));
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        use std::sync::Arc as StdArc;
+        let c = StdArc::new(counted(None));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = StdArc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        c.query(&BitVec::from_u64(t * 1000 + i, 16));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.total_queries(), 2000);
+    }
+}

@@ -1,0 +1,162 @@
+//! The concrete instantiation `h` of the random-oracle methodology.
+//!
+//! The paper's final step replaces `RO` with "a good cryptographic hash
+//! function `h` (such as SHA3) … with time complexity `t_h = poly(n)`",
+//! yielding the concrete hard function `f^h`. [`HashOracle`] is that `h`:
+//! an `{0,1}^{n_in} → {0,1}^{n_out}` function built from our from-scratch
+//! SHA-256 in counter mode (NIST SP 800-108-style expansion), with an
+//! instance label for domain separation between unrelated uses.
+//!
+//! Unlike [`crate::LazyOracle`] — whose seed is a *simulator secret* —
+//! a `HashOracle` is a public function: anyone holding the same label
+//! computes the same `h`, which is precisely what lets a real RAM party
+//! evaluate `f^h` on its own.
+
+use crate::sha256::Sha256;
+use crate::traits::{check_input_width, Oracle};
+use mph_bits::BitVec;
+
+/// A concrete hash function `h : {0,1}^{n_in} → {0,1}^{n_out}` from
+/// SHA-256 in counter mode.
+///
+/// # Examples
+///
+/// ```
+/// use mph_oracle::{HashOracle, Oracle};
+/// use mph_bits::BitVec;
+///
+/// let h = HashOracle::new("example", 20, 20);
+/// let x = BitVec::from_u64(0x12345, 20);
+/// assert_eq!(h.query(&x), h.query(&x));
+/// assert_eq!(h.query(&x).len(), 20);
+/// ```
+pub struct HashOracle {
+    label: String,
+    n_in: usize,
+    n_out: usize,
+}
+
+impl HashOracle {
+    /// A hash oracle with the given domain-separation label and widths.
+    pub fn new(label: &str, n_in: usize, n_out: usize) -> Self {
+        assert!(n_out > 0, "oracle output width must be positive");
+        HashOracle { label: label.to_string(), n_in, n_out }
+    }
+
+    /// A square instantiation `{0,1}^n → {0,1}^n`.
+    pub fn square(label: &str, n: usize) -> Self {
+        Self::new(label, n, n)
+    }
+
+    /// The model cost `t_h` of one evaluation, in RAM time units: the number
+    /// of SHA-256 compression invocations times the per-compression cost.
+    /// The paper charges `t_h = poly(n)`; this concrete count lets the
+    /// RAM-cost experiments report `O(T · t_h)` with a real constant.
+    pub fn time_cost(&self) -> u64 {
+        // One compression per 64 input bytes (plus padding block), per
+        // 256-bit output block.
+        let in_blocks = (self.n_in as u64 / 8).div_ceil(64) + 1;
+        let out_blocks = (self.n_out as u64).div_ceil(256);
+        in_blocks * out_blocks
+    }
+}
+
+impl Oracle for HashOracle {
+    fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        check_input_width("HashOracle", self.n_in, input);
+        let input_bytes = input.to_bytes();
+        let mut out = BitVec::with_capacity(self.n_out);
+        let mut counter: u64 = 0;
+        while out.len() < self.n_out {
+            let mut h = Sha256::new();
+            h.update(b"mph-oracle/hash/v1");
+            h.update(self.label.as_bytes());
+            h.update(&(self.label.len() as u64).to_le_bytes());
+            h.update(&(self.n_in as u64).to_le_bytes());
+            h.update(&(self.n_out as u64).to_le_bytes());
+            h.update(&counter.to_le_bytes());
+            h.update(&input_bytes);
+            let digest = h.finalize();
+            let take = (self.n_out - out.len()).min(256);
+            out.extend_bits(&BitVec::from_bytes(&digest).slice(0, take));
+            counter += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_public_function() {
+        // Two independently constructed instances with the same label agree:
+        // h is a public function, not a seeded secret.
+        let h1 = HashOracle::square("kdf", 32);
+        let h2 = HashOracle::square("kdf", 32);
+        let q = BitVec::from_u64(0xDEAD, 32);
+        assert_eq!(h1.query(&q), h2.query(&q));
+    }
+
+    #[test]
+    fn labels_domain_separate() {
+        let a = HashOracle::square("a", 32);
+        let b = HashOracle::square("b", 32);
+        let q = BitVec::zeros(32);
+        assert_ne!(a.query(&q), b.query(&q));
+    }
+
+    #[test]
+    fn expansion_beyond_one_digest() {
+        // n_out > 256 requires counter-mode expansion.
+        let h = HashOracle::new("wide", 16, 700);
+        let out = h.query(&BitVec::from_u64(1, 16));
+        assert_eq!(out.len(), 700);
+        // The two 256-bit blocks must differ (counter changes the digest).
+        assert_ne!(out.slice(0, 256), out.slice(256, 256));
+    }
+
+    #[test]
+    fn avalanche() {
+        let h = HashOracle::square("avalanche", 64);
+        let q1 = BitVec::from_u64(0, 64);
+        let q2 = BitVec::from_u64(1, 64);
+        let mut a = h.query(&q1);
+        let b = h.query(&q2);
+        a.xor_assign(&b);
+        let flipped = a.count_ones();
+        // Roughly half the output bits should flip.
+        assert!((16..=48).contains(&flipped), "flipped {flipped}");
+    }
+
+    #[test]
+    fn time_cost_scales_with_widths() {
+        let small = HashOracle::square("c", 64).time_cost();
+        let wide_out = HashOracle::new("c", 64, 2048).time_cost();
+        assert!(wide_out > small);
+        let wide_in = HashOracle::new("c", 1 << 12, 64).time_cost();
+        assert!(wide_in > small);
+    }
+
+    #[test]
+    fn output_bits_balanced() {
+        let h = HashOracle::square("balance", 128);
+        let mut ones = 0usize;
+        for i in 0..500u64 {
+            let mut q = BitVec::zeros(128);
+            q.write_u64(0, i, 64);
+            ones += h.query(&q).count_ones();
+        }
+        let frac = ones as f64 / (500.0 * 128.0);
+        assert!((frac - 0.5).abs() < 0.03, "balance {frac}");
+    }
+}

@@ -1,0 +1,197 @@
+//! The fully materialized oracle: an explicit function table.
+//!
+//! The compression argument (Claim A.4, Claim 3.7) begins "Add the entire
+//! RO to our encoding" — the oracle must be a finite object of exactly
+//! `n_out · 2^n_in` bits that can be serialized, deserialized, compared and
+//! edited entry-by-entry. [`TableOracle`] is that object, usable whenever
+//! `n_in` is small enough to enumerate (the compression experiments run at
+//! `n_in ≤ ~20`).
+//!
+//! Unlike [`crate::LazyOracle`], a table oracle drawn from a seeded RNG *is*
+//! literally a uniform sample from the space of all functions
+//! `{0,1}^{n_in} → {0,1}^{n_out}`, so incompressibility experiments measure
+//! exactly the entropy the paper's counting bound (Claim 3.8) charges.
+
+use crate::traits::{check_input_width, Oracle};
+use mph_bits::BitVec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An explicit function table over `{0,1}^{n_in} → {0,1}^{n_out}`.
+///
+/// Entries are stored concatenated in one [`BitVec`] of
+/// `n_out · 2^{n_in}` bits, indexed by the integer value of the input
+/// string — the same flat serialization the paper's encoder charges for.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableOracle {
+    n_in: usize,
+    n_out: usize,
+    /// `entries` holds `2^{n_in}` concatenated `n_out`-bit answers.
+    entries: BitVec,
+}
+
+impl TableOracle {
+    /// Maximum supported input width; `2^{n_in} · n_out` bits must fit in
+    /// memory comfortably.
+    pub const MAX_N_IN: usize = 28;
+
+    /// A table with all answers zero (useful as a scratch base for tests).
+    pub fn zeros(n_in: usize, n_out: usize) -> Self {
+        Self::check_dims(n_in, n_out);
+        TableOracle { n_in, n_out, entries: BitVec::zeros(n_out << n_in) }
+    }
+
+    /// A uniformly random function — literally a draw of `RO` from the
+    /// space of all `{0,1}^{n_in} → {0,1}^{n_out}` functions.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, n_in: usize, n_out: usize) -> Self {
+        Self::check_dims(n_in, n_out);
+        TableOracle { n_in, n_out, entries: mph_bits::random_bitvec(rng, n_out << n_in) }
+    }
+
+    /// Reconstructs a table from its flat serialization (`n_out · 2^{n_in}`
+    /// bits) — the decoder side of "add the entire RO to our encoding".
+    pub fn from_bits(n_in: usize, n_out: usize, entries: BitVec) -> Self {
+        Self::check_dims(n_in, n_out);
+        assert_eq!(
+            entries.len(),
+            n_out << n_in,
+            "table serialization must be exactly n_out * 2^n_in bits"
+        );
+        TableOracle { n_in, n_out, entries }
+    }
+
+    /// Materializes any oracle with a small domain into a table — used to
+    /// snapshot a [`crate::LazyOracle`] for encoding experiments.
+    pub fn snapshot<O: Oracle + ?Sized>(oracle: &O) -> Self {
+        let (n_in, n_out) = (oracle.n_in(), oracle.n_out());
+        Self::check_dims(n_in, n_out);
+        let mut entries = BitVec::zeros(n_out << n_in);
+        for idx in 0..(1u64 << n_in) {
+            let q = BitVec::from_u64(idx, n_in);
+            let a = oracle.query(&q);
+            entries.splice((idx as usize) * n_out, &a);
+        }
+        TableOracle { n_in, n_out, entries }
+    }
+
+    /// The flat `n_out · 2^{n_in}`-bit serialization of the whole function.
+    pub fn to_bits(&self) -> BitVec {
+        self.entries.clone()
+    }
+
+    /// Total size of the table in bits, the `n·2^n` term of the paper's
+    /// encoding-length accounting.
+    pub fn size_bits(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of entries, `2^{n_in}`.
+    pub fn num_entries(&self) -> u64 {
+        1u64 << self.n_in
+    }
+
+    /// Reads the answer at integer index `idx`.
+    pub fn entry(&self, idx: u64) -> BitVec {
+        assert!(idx < self.num_entries(), "entry index out of range");
+        self.entries.slice((idx as usize) * self.n_out, self.n_out)
+    }
+
+    /// Overwrites the answer at integer index `idx` — the table-editing
+    /// primitive behind [`crate::PatchedOracle::materialize`] and the
+    /// `RO ← RO'` rewiring of Definition 3.4.
+    pub fn set_entry(&mut self, idx: u64, answer: &BitVec) {
+        assert!(idx < self.num_entries(), "entry index out of range");
+        assert_eq!(answer.len(), self.n_out, "answer width mismatch");
+        self.entries.splice((idx as usize) * self.n_out, answer);
+    }
+
+    /// Overwrites the answer at a bit-string input.
+    pub fn set(&mut self, input: &BitVec, answer: &BitVec) {
+        check_input_width("TableOracle::set", self.n_in, input);
+        self.set_entry(input.read_u64(0, self.n_in), answer);
+    }
+
+    fn check_dims(n_in: usize, n_out: usize) {
+        assert!(n_in <= Self::MAX_N_IN, "table oracle domain 2^{n_in} too large");
+        assert!(n_out > 0, "oracle output width must be positive");
+    }
+}
+
+impl Oracle for TableOracle {
+    fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        check_input_width("TableOracle", self.n_in, input);
+        self.entry(input.read_u64(0, self.n_in))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LazyOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_then_query() {
+        let mut t = TableOracle::zeros(8, 12);
+        let q = BitVec::from_u64(77, 8);
+        let a = BitVec::from_u64(0xABC, 12);
+        t.set(&q, &a);
+        assert_eq!(t.query(&q), a);
+        assert!(t.query(&BitVec::from_u64(78, 8)).is_zero());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = TableOracle::random(&mut rng, 10, 10);
+        assert_eq!(t.size_bits(), 10 * 1024);
+        let bits = t.to_bits();
+        let back = TableOracle::from_bits(10, 10, bits);
+        assert_eq!(t, back);
+        for idx in [0u64, 1, 511, 1023] {
+            assert_eq!(t.entry(idx), back.entry(idx));
+        }
+    }
+
+    #[test]
+    fn snapshot_agrees_with_source() {
+        let lazy = LazyOracle::square(3, 8);
+        let table = TableOracle::snapshot(&lazy);
+        for idx in 0..256u64 {
+            let q = BitVec::from_u64(idx, 8);
+            assert_eq!(table.query(&q), lazy.query(&q), "entry {idx}");
+        }
+    }
+
+    #[test]
+    fn random_tables_differ_and_look_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = TableOracle::random(&mut rng, 10, 10);
+        let b = TableOracle::random(&mut rng, 10, 10);
+        assert_ne!(a, b);
+        let ones = a.to_bits().count_ones() as f64;
+        let total = a.size_bits() as f64;
+        assert!((ones / total - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_domain_rejected() {
+        TableOracle::zeros(40, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly")]
+    fn from_bits_length_checked() {
+        TableOracle::from_bits(4, 4, BitVec::zeros(63));
+    }
+}

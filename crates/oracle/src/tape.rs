@@ -1,0 +1,125 @@
+//! The shared random tape `𝒯` of Definition 2.1.
+//!
+//! Every MPC machine may read, in every round, from "a shared, read-only,
+//! and multiple access tape containing an arbitrarily long random bit
+//! string". [`RandomTape`] models it as a virtually infinite bit string
+//! determined by a seed: bit `i` of the tape is bit `i mod 256` of
+//! `SHA-256(seed, i / 256)`, so reads at arbitrary offsets are `O(length)`
+//! and never require materializing a prefix.
+//!
+//! Remark 2.3 of the paper notes randomized MPC reduces to deterministic
+//! MPC by drawing randomness from unused oracle entries; keeping the tape a
+//! separate object lets the simulator support both presentations and test
+//! their equivalence.
+
+use crate::sha256::Sha256;
+use mph_bits::BitVec;
+
+const BLOCK_BITS: u64 = 256;
+
+/// A read-only, arbitrarily long shared random bit string.
+///
+/// # Examples
+///
+/// ```
+/// use mph_oracle::RandomTape;
+///
+/// let tape = RandomTape::new(7);
+/// let a = tape.read(1_000_000, 80);
+/// let b = tape.read(1_000_000, 80);
+/// assert_eq!(a, b);             // read-only: stable across reads
+/// assert_eq!(a.len(), 80);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomTape {
+    seed: u64,
+}
+
+impl RandomTape {
+    /// A tape determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomTape { seed }
+    }
+
+    /// Reads `len` bits starting at absolute bit offset `offset`.
+    pub fn read(&self, offset: u64, len: usize) -> BitVec {
+        let mut out = BitVec::with_capacity(len);
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let block_idx = pos / BLOCK_BITS;
+            let within = (pos % BLOCK_BITS) as usize;
+            let take = ((end - pos) as usize).min(BLOCK_BITS as usize - within);
+            let block = self.block(block_idx);
+            out.extend_bits(&block.slice(within, take));
+            pos += take as u64;
+        }
+        out
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&self, offset: u64) -> bool {
+        self.read(offset, 1).get(0)
+    }
+
+    /// The 256-bit tape block at index `idx`.
+    fn block(&self, idx: u64) -> BitVec {
+        let mut h = Sha256::new();
+        h.update(b"mph-oracle/tape/v1");
+        h.update(&self.seed.to_le_bytes());
+        h.update(&idx.to_le_bytes());
+        BitVec::from_bytes(&h.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_consistent_across_granularities() {
+        let tape = RandomTape::new(3);
+        // Reading 512 bits at once equals stitching many small reads.
+        let big = tape.read(100, 512);
+        let mut stitched = BitVec::new();
+        let mut pos = 100u64;
+        for chunk in [1usize, 7, 64, 200, 240] {
+            stitched.extend_bits(&tape.read(pos, chunk));
+            pos += chunk as u64;
+        }
+        assert_eq!(stitched, big);
+    }
+
+    #[test]
+    fn bit_reads_match_bulk_reads() {
+        let tape = RandomTape::new(5);
+        let bulk = tape.read(250, 20);
+        for i in 0..20u64 {
+            assert_eq!(tape.read_bit(250 + i), bulk.get(i as usize));
+        }
+    }
+
+    #[test]
+    fn block_boundary_crossing() {
+        let tape = RandomTape::new(9);
+        // 256-bit blocks: read straddling offsets 255..257.
+        let span = tape.read(200, 120);
+        assert_eq!(span.len(), 120);
+        assert_eq!(span.slice(55, 2), tape.read(255, 2));
+    }
+
+    #[test]
+    fn different_seeds_different_tapes() {
+        let a = RandomTape::new(1).read(0, 256);
+        let b = RandomTape::new(2).read(0, 256);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn far_offsets_cheap_and_balanced() {
+        let tape = RandomTape::new(11);
+        let far = tape.read(u64::MAX / 2, 10_000);
+        let frac = far.count_ones() as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05, "balance {frac}");
+    }
+}

@@ -1,0 +1,121 @@
+//! The [`Oracle`] trait — the single abstraction every party queries.
+
+use mph_bits::BitVec;
+use std::sync::Arc;
+
+/// A deterministic total function on fixed-width bit strings, queried by
+/// reference.
+///
+/// This is the `RO : {0,1}^h → {0,1}^c` of Definition 2.2 (for the paper's
+/// main construction, `h = c = n`). Implementations must be:
+///
+/// * **Total and deterministic** — the same input always yields the same
+///   output, across threads and across calls. Laziness is an implementation
+///   detail ([`crate::LazyOracle`] derives answers from a hidden seed so
+///   even *first* queries are order-independent).
+/// * **Thread-safe** — `Send + Sync`; the MPC executor drives all machines
+///   of a round in parallel against one shared oracle.
+///
+/// Inputs must be exactly [`Oracle::n_in`] bits; implementations panic
+/// otherwise, because a width mismatch is always a harness bug, never an
+/// adversary strategy (the model fixes the oracle's domain).
+pub trait Oracle: Send + Sync {
+    /// Input width in bits (the `n` of `RO : {0,1}^n → {0,1}^n`).
+    fn n_in(&self) -> usize;
+
+    /// Output width in bits.
+    fn n_out(&self) -> usize;
+
+    /// Evaluates the oracle. Panics if `input.len() != self.n_in()`.
+    fn query(&self, input: &BitVec) -> BitVec;
+}
+
+/// A shareable, dynamically typed oracle handle.
+///
+/// The simulator, algorithms, encoders and experiments all pass oracles
+/// around as `DynOracle` so that lazy, table, patched, counting and hash
+/// oracles compose freely.
+pub type DynOracle = Arc<dyn Oracle>;
+
+impl<T: Oracle + ?Sized> Oracle for Arc<T> {
+    fn n_in(&self) -> usize {
+        (**self).n_in()
+    }
+
+    fn n_out(&self) -> usize {
+        (**self).n_out()
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        (**self).query(input)
+    }
+}
+
+impl<T: Oracle + ?Sized> Oracle for &T {
+    fn n_in(&self) -> usize {
+        (**self).n_in()
+    }
+
+    fn n_out(&self) -> usize {
+        (**self).n_out()
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        (**self).query(input)
+    }
+}
+
+/// Checks the width contract shared by all oracle implementations.
+///
+/// Called at the top of every `query` implementation in this crate.
+#[inline]
+pub(crate) fn check_input_width(oracle_name: &str, expected: usize, input: &BitVec) {
+    assert_eq!(
+        input.len(),
+        expected,
+        "{oracle_name}: query width {} does not match oracle domain {expected}",
+        input.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct XorOracle {
+        n: usize,
+    }
+
+    impl Oracle for XorOracle {
+        fn n_in(&self) -> usize {
+            self.n
+        }
+        fn n_out(&self) -> usize {
+            self.n
+        }
+        fn query(&self, input: &BitVec) -> BitVec {
+            check_input_width("XorOracle", self.n, input);
+            let mut out = input.clone();
+            out.xor_assign(&BitVec::ones(self.n));
+            out
+        }
+    }
+
+    #[test]
+    fn arc_forwarding() {
+        let oracle: DynOracle = Arc::new(XorOracle { n: 8 });
+        assert_eq!(oracle.n_in(), 8);
+        let out = oracle.query(&BitVec::zeros(8));
+        assert_eq!(out, BitVec::ones(8));
+        // &T forwarding
+        let r: &dyn Oracle = &*oracle;
+        assert_eq!((&r).n_out(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match oracle domain")]
+    fn width_contract_enforced() {
+        let oracle = XorOracle { n: 8 };
+        oracle.query(&BitVec::zeros(7));
+    }
+}

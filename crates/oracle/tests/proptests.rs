@@ -1,0 +1,99 @@
+//! Property-based tests for the oracle substrate.
+
+use mph_bits::{random_bitvec, BitVec};
+use mph_oracle::{
+    CountingOracle, LazyOracle, Oracle, PatchedOracle, RandomTape, TableOracle, TranscriptOracle,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+proptest! {
+    /// A patched oracle agrees with its base everywhere off the patch set
+    /// and with the patches on it — the defining law of Definition 3.4's
+    /// rewiring.
+    #[test]
+    fn patched_oracle_law(
+        seed in any::<u64>(),
+        patch_idxs in prop::collection::hash_set(0u64..256, 0..10),
+        probe_idxs in prop::collection::vec(0u64..256, 0..30),
+    ) {
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(seed, 8));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAAAA);
+        let mut patched = PatchedOracle::new(base.clone());
+        let mut patch_map = std::collections::HashMap::new();
+        for &idx in &patch_idxs {
+            let q = BitVec::from_u64(idx, 8);
+            let a = random_bitvec(&mut rng, 8);
+            patched.patch(q.clone(), a.clone());
+            patch_map.insert(q, a);
+        }
+        for idx in probe_idxs {
+            let q = BitVec::from_u64(idx, 8);
+            let expected = patch_map.get(&q).cloned().unwrap_or_else(|| base.query(&q));
+            prop_assert_eq!(patched.query(&q), expected);
+        }
+    }
+
+    /// Snapshotting a lazy oracle into a table preserves every answer, and
+    /// the table round-trips through its flat serialization.
+    #[test]
+    fn table_snapshot_and_serialize(seed in any::<u64>()) {
+        let lazy = LazyOracle::square(seed, 6);
+        let table = TableOracle::snapshot(&lazy);
+        let rebuilt = TableOracle::from_bits(6, 6, table.to_bits());
+        for idx in 0..64u64 {
+            let q = BitVec::from_u64(idx, 6);
+            prop_assert_eq!(lazy.query(&q), rebuilt.query(&q));
+        }
+    }
+
+    /// Counting oracles never change answers and count exactly.
+    #[test]
+    fn counting_transparent(seed in any::<u64>(), queries in prop::collection::vec(0u64..1024, 1..50)) {
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(seed, 10));
+        let counted = CountingOracle::new(base.clone());
+        for &q in &queries {
+            let qb = BitVec::from_u64(q, 10);
+            prop_assert_eq!(counted.query(&qb), base.query(&qb));
+        }
+        prop_assert_eq!(counted.total_queries(), queries.len() as u64);
+    }
+
+    /// Transcripts record exactly the queries made, in order.
+    #[test]
+    fn transcript_exact(seed in any::<u64>(), queries in prop::collection::vec(0u64..1024, 0..40)) {
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(seed, 10));
+        let t = TranscriptOracle::new(base);
+        for &q in &queries {
+            t.query(&BitVec::from_u64(q, 10));
+        }
+        let recorded: Vec<u64> =
+            t.transcript().iter().map(|r| r.input.read_u64(0, 10)).collect();
+        prop_assert_eq!(recorded, queries);
+    }
+
+    /// Tape reads compose: read(o, a+b) == read(o, a) ++ read(o+a, b).
+    #[test]
+    fn tape_reads_compose(seed in any::<u64>(), offset in 0u64..100_000, a in 0usize..500, b in 0usize..500) {
+        let tape = RandomTape::new(seed);
+        let whole = tape.read(offset, a + b);
+        let left = tape.read(offset, a);
+        let right = tape.read(offset + a as u64, b);
+        prop_assert_eq!(whole, BitVec::concat(&[&left, &right]));
+    }
+
+    /// The lazy oracle is a function: equal queries get equal answers; and
+    /// (statistically) unequal queries get unequal answers at these widths.
+    #[test]
+    fn lazy_oracle_functional(seed in any::<u64>(), x in 0u64..10_000, y in 0u64..10_000) {
+        let ro = LazyOracle::square(seed, 64);
+        let qx = BitVec::from_u64(x, 64);
+        let qy = BitVec::from_u64(y, 64);
+        prop_assert_eq!(ro.query(&qx), ro.query(&qx));
+        if x != y {
+            prop_assert_ne!(ro.query(&qx), ro.query(&qy));
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! A tiny two-pass text assembler.
+//!
+//! Lets tests and examples write RAM programs legibly instead of as
+//! `Instr` literals. Syntax (one instruction per line, `;` comments,
+//! `name:` labels):
+//!
+//! ```text
+//! ; sum 1..=10
+//!       li   r1, 1
+//!       li   r2, 0
+//!       li   r3, 10
+//! top:  add  r2, r2, r1
+//!       addi r1, r1, 1
+//!       ble  r1, r3, top
+//!       halt
+//! ```
+//!
+//! Mnemonics: `li rd, imm` · `mov rd, ra` · `ld rd, ra, off` ·
+//! `st ra, off, rs` · `add|sub|mul|mod|and|or|xor rd, ra, rb` ·
+//! `addi rd, ra, imm` (imm may be negative) · `shl|shr rd, ra, sh` ·
+//! `jmp label` · `beq|bne|blt|ble ra, rb, label` · `oracle rin, rout` ·
+//! `halt`.
+
+use crate::isa::{Instr, Reg};
+use crate::program::Program;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors, with 1-based line numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmError> {
+    let rest = token
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{token}`")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{token}`")))?;
+    if idx >= 16 {
+        return Err(err(line, format!("register `{token}` out of range")));
+    }
+    Ok(Reg(idx))
+}
+
+fn parse_u64(token: &str, line: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        token.parse()
+    };
+    parsed.map_err(|_| err(line, format!("bad number `{token}`")))
+}
+
+/// Parses a possibly negative immediate into its wrapping u64 encoding.
+fn parse_imm(token: &str, line: usize) -> Result<u64, AsmError> {
+    if let Some(neg) = token.strip_prefix('-') {
+        let mag = parse_u64(neg, line)?;
+        Ok((mag as i64).wrapping_neg() as u64)
+    } else {
+        parse_u64(token, line)
+    }
+}
+
+fn parse_shift(token: &str, line: usize) -> Result<u8, AsmError> {
+    let sh = parse_u64(token, line)?;
+    if sh > 64 {
+        return Err(err(line, format!("shift `{token}` exceeds 64")));
+    }
+    Ok(sh as u8)
+}
+
+/// Disassembles a program back into assembly text accepted by
+/// [`assemble`]. Branch targets become generated labels `L<addr>`.
+///
+/// `assemble(disassemble(p))` reproduces `p` exactly (a property test pins
+/// this), which makes generated programs — e.g. the `Line` evaluator from
+/// `codegen` — inspectable and round-trippable.
+pub fn disassemble(program: &Program) -> String {
+    use std::collections::BTreeSet;
+    // Collect branch targets to label.
+    let mut targets: BTreeSet<usize> = BTreeSet::new();
+    for instr in &program.instrs {
+        match instr {
+            Instr::Jump { target }
+            | Instr::BranchEq { target, .. }
+            | Instr::BranchNe { target, .. }
+            | Instr::BranchLt { target, .. }
+            | Instr::BranchLe { target, .. } => {
+                targets.insert(*target);
+            }
+            _ => {}
+        }
+    }
+    let label = |t: usize| format!("L{t}");
+    let mut out = String::new();
+    for (addr, instr) in program.instrs.iter().enumerate() {
+        if targets.contains(&addr) {
+            out.push_str(&format!("{}:\n", label(addr)));
+        }
+        let line = match *instr {
+            Instr::LoadImm { rd, imm } => format!("li {rd}, {imm}"),
+            Instr::Mov { rd, ra } => format!("mov {rd}, {ra}"),
+            Instr::Load { rd, ra, off } => format!("ld {rd}, {ra}, {off}"),
+            Instr::Store { ra, off, rs } => format!("st {ra}, {off}, {rs}"),
+            Instr::Add { rd, ra, rb } => format!("add {rd}, {ra}, {rb}"),
+            Instr::AddImm { rd, ra, imm } => {
+                // Render wrapped negatives legibly.
+                if imm > u64::MAX / 2 {
+                    format!("addi {rd}, {ra}, -{}", imm.wrapping_neg())
+                } else {
+                    format!("addi {rd}, {ra}, {imm}")
+                }
+            }
+            Instr::Sub { rd, ra, rb } => format!("sub {rd}, {ra}, {rb}"),
+            Instr::Mul { rd, ra, rb } => format!("mul {rd}, {ra}, {rb}"),
+            Instr::Mod { rd, ra, rb } => format!("mod {rd}, {ra}, {rb}"),
+            Instr::And { rd, ra, rb } => format!("and {rd}, {ra}, {rb}"),
+            Instr::Or { rd, ra, rb } => format!("or {rd}, {ra}, {rb}"),
+            Instr::Xor { rd, ra, rb } => format!("xor {rd}, {ra}, {rb}"),
+            Instr::Shl { rd, ra, sh } => format!("shl {rd}, {ra}, {sh}"),
+            Instr::Shr { rd, ra, sh } => format!("shr {rd}, {ra}, {sh}"),
+            Instr::Jump { target } => format!("jmp {}", label(target)),
+            Instr::BranchEq { ra, rb, target } => format!("beq {ra}, {rb}, {}", label(target)),
+            Instr::BranchNe { ra, rb, target } => format!("bne {ra}, {rb}, {}", label(target)),
+            Instr::BranchLt { ra, rb, target } => format!("blt {ra}, {rb}, {}", label(target)),
+            Instr::BranchLe { ra, rb, target } => format!("ble {ra}, {rb}, {}", label(target)),
+            Instr::Oracle { in_addr, out_addr } => format!("oracle {in_addr}, {out_addr}"),
+            Instr::Halt => "halt".to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // A trailing label (branch past the end) still needs a line to attach
+    // to; such programs are malformed anyway, but keep the text faithful.
+    if let Some(&t) = targets.iter().next_back() {
+        if t == program.instrs.len() {
+            out.push_str(&format!("{}:\n", label(t)));
+        }
+    }
+    out
+}
+
+/// Assembles source text into a [`Program`].
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 1: tokenize lines, collect label addresses.
+    struct Line<'a> {
+        number: usize,
+        tokens: Vec<&'a str>,
+    }
+    let mut lines = Vec::new();
+    let mut labels: HashMap<&str, usize> = HashMap::new();
+    let mut addr = 0usize;
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let code = raw.split(';').next().unwrap_or("");
+        let mut rest = code.trim();
+        // Labels: any number of leading `name:` prefixes.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break; // not a label; leave for instruction parsing to reject
+            }
+            if labels.insert(name, addr).is_some() {
+                return Err(err(number, format!("duplicate label `{name}`")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = rest
+            .split([' ', '\t', ','])
+            .filter(|t| !t.is_empty())
+            .collect();
+        lines.push(Line { number, tokens });
+        addr += 1;
+    }
+
+    // Pass 2: emit.
+    let mut instrs = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let n = line.number;
+        let t = &line.tokens;
+        let arity = |want: usize| -> Result<(), AsmError> {
+            if t.len() != want + 1 {
+                Err(err(n, format!("`{}` expects {want} operands, got {}", t[0], t.len() - 1)))
+            } else {
+                Ok(())
+            }
+        };
+        let label_target = |token: &str| -> Result<usize, AsmError> {
+            labels
+                .get(token)
+                .copied()
+                .ok_or_else(|| err(n, format!("unknown label `{token}`")))
+        };
+        let instr = match t[0] {
+            "li" => {
+                arity(2)?;
+                Instr::LoadImm { rd: parse_reg(t[1], n)?, imm: parse_imm(t[2], n)? }
+            }
+            "mov" => {
+                arity(2)?;
+                Instr::Mov { rd: parse_reg(t[1], n)?, ra: parse_reg(t[2], n)? }
+            }
+            "ld" => {
+                arity(3)?;
+                Instr::Load {
+                    rd: parse_reg(t[1], n)?,
+                    ra: parse_reg(t[2], n)?,
+                    off: parse_u64(t[3], n)?,
+                }
+            }
+            "st" => {
+                arity(3)?;
+                Instr::Store {
+                    ra: parse_reg(t[1], n)?,
+                    off: parse_u64(t[2], n)?,
+                    rs: parse_reg(t[3], n)?,
+                }
+            }
+            "add" | "sub" | "mul" | "mod" | "and" | "or" | "xor" => {
+                arity(3)?;
+                let rd = parse_reg(t[1], n)?;
+                let ra = parse_reg(t[2], n)?;
+                let rb = parse_reg(t[3], n)?;
+                match t[0] {
+                    "add" => Instr::Add { rd, ra, rb },
+                    "sub" => Instr::Sub { rd, ra, rb },
+                    "mul" => Instr::Mul { rd, ra, rb },
+                    "mod" => Instr::Mod { rd, ra, rb },
+                    "and" => Instr::And { rd, ra, rb },
+                    "or" => Instr::Or { rd, ra, rb },
+                    _ => Instr::Xor { rd, ra, rb },
+                }
+            }
+            "addi" => {
+                arity(3)?;
+                Instr::AddImm {
+                    rd: parse_reg(t[1], n)?,
+                    ra: parse_reg(t[2], n)?,
+                    imm: parse_imm(t[3], n)?,
+                }
+            }
+            "shl" | "shr" => {
+                arity(3)?;
+                let rd = parse_reg(t[1], n)?;
+                let ra = parse_reg(t[2], n)?;
+                let sh = parse_shift(t[3], n)?;
+                if t[0] == "shl" {
+                    Instr::Shl { rd, ra, sh }
+                } else {
+                    Instr::Shr { rd, ra, sh }
+                }
+            }
+            "jmp" => {
+                arity(1)?;
+                Instr::Jump { target: label_target(t[1])? }
+            }
+            "beq" | "bne" | "blt" | "ble" => {
+                arity(3)?;
+                let ra = parse_reg(t[1], n)?;
+                let rb = parse_reg(t[2], n)?;
+                let target = label_target(t[3])?;
+                match t[0] {
+                    "beq" => Instr::BranchEq { ra, rb, target },
+                    "bne" => Instr::BranchNe { ra, rb, target },
+                    "blt" => Instr::BranchLt { ra, rb, target },
+                    _ => Instr::BranchLe { ra, rb, target },
+                }
+            }
+            "oracle" => {
+                arity(2)?;
+                Instr::Oracle { in_addr: parse_reg(t[1], n)?, out_addr: parse_reg(t[2], n)? }
+            }
+            "halt" => {
+                arity(0)?;
+                Instr::Halt
+            }
+            other => return Err(err(n, format!("unknown mnemonic `{other}`"))),
+        };
+        instrs.push(instr);
+    }
+    Ok(Program { instrs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Ram;
+    use mph_oracle::{LazyOracle, Oracle};
+
+    #[test]
+    fn assembles_and_runs_sum_loop() {
+        let program = assemble(
+            r"
+            ; sum 1..=10 into r2
+                  li   r1, 1
+                  li   r2, 0
+                  li   r3, 10
+            top:  add  r2, r2, r1
+                  addi r1, r1, 1
+                  ble  r1, r3, top
+                  halt
+            ",
+        )
+        .unwrap();
+        let mut ram = Ram::new(4);
+        ram.run(&program, &LazyOracle::square(0, 64), 10_000).unwrap();
+        assert_eq!(ram.regs()[2], 55);
+    }
+
+    #[test]
+    fn negative_immediates_and_hex() {
+        let program = assemble(
+            r"
+            li   r1, 0x10
+            addi r1, r1, -1
+            halt
+            ",
+        )
+        .unwrap();
+        let mut ram = Ram::new(4);
+        ram.run(&program, &LazyOracle::square(0, 64), 100).unwrap();
+        assert_eq!(ram.regs()[1], 15);
+    }
+
+    #[test]
+    fn oracle_mnemonic() {
+        let program = assemble(
+            r"
+            li r1, 0
+            li r2, 2
+            oracle r1, r2
+            halt
+            ",
+        )
+        .unwrap();
+        let oracle = LazyOracle::square(4, 64);
+        let mut ram = Ram::new(8);
+        ram.mem_mut()[0] = 0xDEAD;
+        ram.run(&program, &oracle, 100).unwrap();
+        assert_eq!(
+            ram.mem()[2],
+            oracle.query(&mph_bits::BitVec::from_u64(0xDEAD, 64)).read_u64(0, 64)
+        );
+    }
+
+    #[test]
+    fn forward_labels_and_jumps() {
+        let program = assemble(
+            r"
+                 li  r1, 1
+                 jmp skip
+                 li  r1, 2
+            skip: halt
+            ",
+        )
+        .unwrap();
+        let mut ram = Ram::new(4);
+        ram.run(&program, &LazyOracle::square(0, 64), 100).unwrap();
+        assert_eq!(ram.regs()[1], 1);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("li r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expects 2 operands"));
+
+        let e = assemble("li r99, 0").unwrap_err();
+        assert!(e.message.contains("out of range") || e.message.contains("bad register"));
+
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("unknown label"));
+
+        let e = assemble("a:\na:\nhalt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let program = assemble("; nothing\n\n   \nhalt ; done\n").unwrap();
+        assert_eq!(program.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+    use crate::codegen::{gen_line_program, LineShape};
+    use crate::isa::Reg;
+
+    #[test]
+    fn disassemble_then_assemble_is_identity() {
+        let shape = LineShape { n: 64, w: 10, u: 16, v: 8, i_width: 8, l_width: 3 };
+        let program = gen_line_program(&shape);
+        let text = disassemble(&program);
+        let back = assemble(&text).unwrap();
+        assert_eq!(back, program);
+    }
+
+    #[test]
+    fn negative_immediates_render_readably() {
+        let program = Program {
+            instrs: vec![
+                Instr::AddImm { rd: Reg(1), ra: Reg(1), imm: u64::MAX }, // -1
+                Instr::Halt,
+            ],
+        };
+        let text = disassemble(&program);
+        assert!(text.contains("addi r1, r1, -1"), "{text}");
+        assert_eq!(assemble(&text).unwrap(), program);
+    }
+
+    #[test]
+    fn labels_generated_for_branches() {
+        let program = Program {
+            instrs: vec![
+                Instr::LoadImm { rd: Reg(0), imm: 0 },
+                Instr::BranchEq { ra: Reg(0), rb: Reg(0), target: 0 },
+                Instr::Halt,
+            ],
+        };
+        let text = disassemble(&program);
+        assert!(text.starts_with("L0:"), "{text}");
+        assert!(text.contains("beq r0, r0, L0"));
+        assert_eq!(assemble(&text).unwrap(), program);
+    }
+}

@@ -1,0 +1,458 @@
+//! RAM code generators for the paper's hard functions.
+//!
+//! Theorem 3.1's upper bound — "`f^RO` can be computed using memory of size
+//! `O(S)` in `O(T·n)` time by a RAM computation" — is witnessed here by a
+//! *generated program*: given the function shape, [`gen_line_program`]
+//! emits word-RAM code that walks the line, assembling each oracle query
+//! `(i, x_{ℓ_i}, r_i, 0^*)` out of word memory with compile-time-planned
+//! shift/mask sequences, and extracting `ℓ_{i+1}` and `r_{i+1}` from each
+//! answer. Running it on [`crate::Ram`] yields measured time `Θ(w·n/64)`
+//! word operations and space `Θ(u·v)` bits — the paper's `O(T·n)` and
+//! `O(S)`.
+//!
+//! ## Bit conventions (shared with `mph-core`)
+//!
+//! * Query layout (LSB-first): `[ i : i_width ][ x : u ][ r : u ][ 0^* ]`;
+//!   `SimLine` uses `i_width = 0` (its queries carry no index, exactly as
+//!   in Appendix A).
+//! * Answer layout: `[ ℓ : l_width ][ r : u ][ z : rest ]`.
+//! * Block indices are 0-based; `ℓ` is the answer's first `l_width` bits
+//!   reduced mod `v`; the initial pointer is `ℓ_1 = 0` and `r_1 = 0^u`.
+//! * `SimLine`'s block for query `i` is `(i−1) mod v`.
+
+use crate::isa::{Instr, Reg};
+use crate::machine::Ram;
+use crate::program::{Program, ProgramBuilder};
+use mph_bits::BitVec;
+
+/// The shape of a `Line`/`SimLine` instance, enough to generate code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LineShape {
+    /// Oracle input/output width `n` in bits.
+    pub n: usize,
+    /// Number of iterations `w = T`.
+    pub w: u64,
+    /// Block width `u` in bits.
+    pub u: usize,
+    /// Number of input blocks `v`.
+    pub v: usize,
+    /// Width of the node-index field in queries (0 for `SimLine`).
+    pub i_width: usize,
+    /// Width of the pointer field `ℓ` in answers (`⌈log v⌉`).
+    pub l_width: usize,
+}
+
+impl LineShape {
+    /// Words per answer/query buffer, `⌈n/64⌉`.
+    pub fn oracle_words(&self) -> usize {
+        self.n.div_ceil(64)
+    }
+
+    /// Words per input block, `⌈u/64⌉`.
+    pub fn block_words(&self) -> usize {
+        self.u.div_ceil(64)
+    }
+
+    /// Word address of the answer buffer.
+    pub fn abuf(&self) -> usize {
+        0
+    }
+
+    /// Word address of the query buffer.
+    pub fn qbuf(&self) -> usize {
+        self.oracle_words()
+    }
+
+    /// Word address of the block array.
+    pub fn blocks_base(&self) -> usize {
+        2 * self.oracle_words()
+    }
+
+    /// Total memory words the generated program needs.
+    pub fn mem_words(&self) -> usize {
+        self.blocks_base() + self.v * self.block_words()
+    }
+
+    /// Checks the shape's internal constraints; panics with a description
+    /// if violated.
+    pub fn validate(&self) {
+        assert!(self.u >= 1 && self.v >= 1 && self.w >= 1, "degenerate shape");
+        assert!(
+            self.i_width + 2 * self.u <= self.n,
+            "query fields ({} + 2*{}) exceed oracle width {}",
+            self.i_width,
+            self.u,
+            self.n
+        );
+        assert!(
+            self.l_width + self.u <= self.n,
+            "answer fields ({} + {}) exceed oracle width {}",
+            self.l_width,
+            self.u,
+            self.n
+        );
+        assert!(self.l_width >= 1 && self.l_width <= 63, "l_width must be in 1..=63");
+        assert!(self.i_width <= 63, "i_width must be at most 63");
+        if self.i_width > 0 {
+            assert!(
+                self.w < (1u64 << self.i_width),
+                "node counter up to w = {} does not fit in i_width = {}",
+                self.w,
+                self.i_width
+            );
+        }
+        assert!(
+            (self.v as u64) <= (1u64 << self.l_width),
+            "v = {} does not fit in l_width = {}",
+            self.v,
+            self.l_width
+        );
+    }
+
+    /// Loads the input blocks `x_0, …, x_{v-1}` into a RAM's memory at the
+    /// block array (each block zero-padded to whole words, as the generated
+    /// code expects).
+    pub fn load_input(&self, ram: &mut Ram, blocks: &[BitVec]) {
+        assert_eq!(blocks.len(), self.v, "expected v = {} blocks", self.v);
+        for (j, block) in blocks.iter().enumerate() {
+            assert_eq!(block.len(), self.u, "block {j} is not u = {} bits", self.u);
+            ram.write_bits(self.blocks_base() + j * self.block_words(), block);
+        }
+    }
+
+    /// Reads the function output — the answer to the last query, all `n`
+    /// bits — from a RAM after the generated program halts.
+    pub fn read_output(&self, ram: &Ram) -> BitVec {
+        ram.read_bits(self.abuf(), self.n)
+    }
+}
+
+/// Where a piece's source bits live.
+#[derive(Clone, Copy, Debug)]
+enum Src {
+    /// The node counter register (`i`).
+    RegI,
+    /// Word `k` of the current block (dynamic base register).
+    Block(usize),
+    /// Word `k` of the answer buffer (static address).
+    Answer(usize),
+}
+
+/// One shift/mask move of ≤ 64 bits into a destination word, planned at
+/// generation time.
+#[derive(Clone, Copy, Debug)]
+struct Piece {
+    dst_word: usize,
+    dst_shift: u8,
+    src: Src,
+    src_word: usize,
+    src_shift: u8,
+    len: usize,
+}
+
+/// Plans the pieces to copy `width` bits from a source (starting at
+/// `src_bit` within the source's word sequence) to destination bit offset
+/// `dst_bit`.
+fn plan_copy(make_src: impl Fn(usize) -> Src, src_bit: usize, dst_bit: usize, width: usize) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let mut pos = 0;
+    while pos < width {
+        let sb = src_bit + pos;
+        let db = dst_bit + pos;
+        let len = (width - pos).min(64 - sb % 64).min(64 - db % 64);
+        pieces.push(Piece {
+            dst_word: db / 64,
+            dst_shift: (db % 64) as u8,
+            src: make_src(sb / 64),
+            src_word: sb / 64,
+            src_shift: (sb % 64) as u8,
+            len,
+        });
+        pos += len;
+    }
+    pieces
+}
+
+// Register allocation for the generated programs.
+const R_I: Reg = Reg(1); // node counter i, 1..=w
+const R_L: Reg = Reg(2); // pointer ℓ (0-based block index)
+const R_BASE: Reg = Reg(3); // address of block ℓ
+const R_S1: Reg = Reg(4); // scratch
+const R_S2: Reg = Reg(5); // scratch
+const R_ACC: Reg = Reg(7); // destination-word accumulator
+const R_W: Reg = Reg(8); // constant w
+const R_V: Reg = Reg(9); // constant v
+const R_ADDR: Reg = Reg(10); // address scratch
+
+/// Emits the instructions that realize one planned piece into the
+/// accumulator.
+fn emit_piece(b: &mut ProgramBuilder, shape: &LineShape, piece: &Piece) {
+    // Fetch the source word into R_S1.
+    match piece.src {
+        Src::RegI => {
+            b.push(Instr::Mov { rd: R_S1, ra: R_I });
+        }
+        Src::Block(k) => {
+            b.push(Instr::Load { rd: R_S1, ra: R_BASE, off: k as u64 });
+        }
+        Src::Answer(k) => {
+            b.push(Instr::LoadImm { rd: R_ADDR, imm: (shape.abuf() + k) as u64 });
+            b.push(Instr::Load { rd: R_S1, ra: R_ADDR, off: 0 });
+        }
+    }
+    if piece.src_shift > 0 {
+        b.push(Instr::Shr { rd: R_S1, ra: R_S1, sh: piece.src_shift });
+    }
+    if piece.len < 64 {
+        b.push(Instr::LoadImm { rd: R_S2, imm: (1u64 << piece.len) - 1 });
+        b.push(Instr::And { rd: R_S1, ra: R_S1, rb: R_S2 });
+    }
+    if piece.dst_shift > 0 {
+        b.push(Instr::Shl { rd: R_S1, ra: R_S1, sh: piece.dst_shift });
+    }
+    b.push(Instr::Or { rd: R_ACC, ra: R_ACC, rb: R_S1 });
+}
+
+/// Emits the per-iteration query packing: for each query-buffer word,
+/// combine all contributing pieces in the accumulator and store it.
+///
+/// `r_src_off` is where the chain value sits in the previous answer:
+/// `l_width` for `Line` (answers are `(ℓ, r, z)`), `0` for `SimLine`
+/// (answers are `(r, z)`).
+fn emit_pack_query(b: &mut ProgramBuilder, shape: &LineShape, r_src_off: usize) {
+    let mut pieces = Vec::new();
+    if shape.i_width > 0 {
+        pieces.extend(plan_copy(|_| Src::RegI, 0, 0, shape.i_width));
+    }
+    pieces.extend(plan_copy(Src::Block, 0, shape.i_width, shape.u));
+    pieces.extend(plan_copy(
+        Src::Answer,
+        r_src_off,
+        shape.i_width + shape.u,
+        shape.u,
+    ));
+
+    for dst_word in 0..shape.oracle_words() {
+        // acc = 0
+        b.push(Instr::Xor { rd: R_ACC, ra: R_ACC, rb: R_ACC });
+        for piece in pieces.iter().filter(|p| p.dst_word == dst_word) {
+            debug_assert_eq!(piece.src_word, match piece.src {
+                Src::Block(k) | Src::Answer(k) => k,
+                Src::RegI => 0,
+            });
+            emit_piece(b, shape, piece);
+        }
+        b.push(Instr::LoadImm { rd: R_ADDR, imm: (shape.qbuf() + dst_word) as u64 });
+        b.push(Instr::Store { ra: R_ADDR, off: 0, rs: R_ACC });
+    }
+}
+
+/// Emits the common program skeleton; `simline` selects how the block
+/// pointer is computed.
+fn gen_program(shape: &LineShape, simline: bool) -> Program {
+    shape.validate();
+    let mut b = ProgramBuilder::new();
+
+    // --- Prologue: constants and a zeroed answer buffer (r_1 = 0^u). -----
+    b.push(Instr::LoadImm { rd: R_I, imm: 1 });
+    b.push(Instr::LoadImm { rd: R_L, imm: 0 }); // ℓ_1 = 0 (0-based)
+    b.push(Instr::LoadImm { rd: R_W, imm: shape.w });
+    b.push(Instr::LoadImm { rd: R_V, imm: shape.v as u64 });
+    b.push(Instr::Xor { rd: R_S1, ra: R_S1, rb: R_S1 });
+    for k in 0..shape.oracle_words() {
+        b.push(Instr::LoadImm { rd: R_ADDR, imm: (shape.abuf() + k) as u64 });
+        b.push(Instr::Store { ra: R_ADDR, off: 0, rs: R_S1 });
+    }
+
+    // --- Loop body. -------------------------------------------------------
+    let loop_top = b.new_label();
+    b.place(loop_top);
+
+    if simline {
+        // Block index for query i is (i - 1) mod v.
+        b.push(Instr::AddImm { rd: R_S1, ra: R_I, imm: u64::MAX }); // i - 1
+        b.push(Instr::Mod { rd: R_L, ra: R_S1, rb: R_V });
+    }
+
+    // R_BASE = blocks_base + ℓ * block_words
+    b.push(Instr::LoadImm { rd: R_S1, imm: shape.block_words() as u64 });
+    b.push(Instr::Mul { rd: R_BASE, ra: R_L, rb: R_S1 });
+    b.push(Instr::AddImm { rd: R_BASE, ra: R_BASE, imm: shape.blocks_base() as u64 });
+
+    emit_pack_query(&mut b, shape, if simline { 0 } else { shape.l_width });
+
+    b.push(Instr::LoadImm { rd: R_S1, imm: shape.qbuf() as u64 });
+    b.push(Instr::LoadImm { rd: R_S2, imm: shape.abuf() as u64 });
+    b.push(Instr::Oracle { in_addr: R_S1, out_addr: R_S2 });
+
+    if !simline {
+        // ℓ_{i+1} = (answer bits [0, l_width)) mod v.
+        b.push(Instr::LoadImm { rd: R_ADDR, imm: shape.abuf() as u64 });
+        b.push(Instr::Load { rd: R_S1, ra: R_ADDR, off: 0 });
+        b.push(Instr::LoadImm { rd: R_S2, imm: (1u64 << shape.l_width) - 1 });
+        b.push(Instr::And { rd: R_S1, ra: R_S1, rb: R_S2 });
+        b.push(Instr::Mod { rd: R_L, ra: R_S1, rb: R_V });
+    }
+
+    b.push(Instr::AddImm { rd: R_I, ra: R_I, imm: 1 });
+    b.branch_le(R_I, R_W, loop_top);
+    b.push(Instr::Halt);
+
+    b.finish()
+}
+
+/// Generates the RAM program computing `Line_{n,w,u,v}` for `shape`
+/// (`shape.i_width > 0`). After it halts, the answer buffer holds
+/// `(ℓ_{w+1}, r_{w+1}, z_{w+1})` — read it with [`LineShape::read_output`].
+pub fn gen_line_program(shape: &LineShape) -> Program {
+    assert!(shape.i_width > 0, "Line queries carry a node index; use gen_simline_program for i_width = 0");
+    gen_program(shape, false)
+}
+
+/// Generates the RAM program computing `SimLine_{n,w,u,v}` for `shape`
+/// (`shape.i_width == 0`; queries are `(x_{(i-1) mod v}, r_i, 0^*)`).
+pub fn gen_simline_program(shape: &LineShape) -> Program {
+    assert!(shape.i_width == 0, "SimLine queries carry no node index");
+    gen_program(shape, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_bits::{random_blocks, Layout};
+    use mph_oracle::{LazyOracle, Oracle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Independent straight-Rust evaluator used to validate the generated
+    /// code (field packing via `Layout`, the reference bit conventions).
+    fn native_eval(
+        shape: &LineShape,
+        oracle: &dyn Oracle,
+        blocks: &[BitVec],
+        simline: bool,
+    ) -> BitVec {
+        let q_layout = Layout::builder(shape.n)
+            .field("i", shape.i_width)
+            .field("x", shape.u)
+            .field("r", shape.u)
+            .build()
+            .unwrap();
+        let mut l = 0usize;
+        let mut r = BitVec::zeros(shape.u);
+        let mut answer = BitVec::zeros(shape.n);
+        for i in 1..=shape.w {
+            let block = if simline { ((i - 1) % shape.v as u64) as usize } else { l };
+            let query = q_layout
+                .pack(&[
+                    mph_bits::FieldValue::Int(if shape.i_width > 0 { i } else { 0 }),
+                    blocks[block].clone().into(),
+                    r.clone().into(),
+                ])
+                .unwrap();
+            answer = oracle.query(&query);
+            l = (answer.read_u64(0, shape.l_width) % shape.v as u64) as usize;
+            // Line answers are (ℓ, r, z); SimLine answers are (r, z).
+            r = answer.slice(if simline { 0 } else { shape.l_width }, shape.u);
+        }
+        answer
+    }
+
+    fn roundtrip(shape: LineShape, simline: bool, seed: u64) {
+        let oracle = LazyOracle::square(seed, shape.n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let blocks = random_blocks(&mut rng, shape.v, shape.u);
+
+        let program = if simline {
+            gen_simline_program(&shape)
+        } else {
+            gen_line_program(&shape)
+        };
+        let mut ram = Ram::new(shape.mem_words() + 4);
+        shape.load_input(&mut ram, &blocks);
+        let stats = ram
+            .run(&program, &oracle, 100_000_000)
+            .expect("generated program must halt cleanly");
+        assert_eq!(stats.oracle_queries, shape.w);
+
+        let expected = native_eval(&shape, &oracle, &blocks, simline);
+        assert_eq!(shape.read_output(&ram), expected, "shape {shape:?}");
+    }
+
+    #[test]
+    fn line_program_matches_native_small() {
+        let shape = LineShape { n: 48, w: 20, u: 12, v: 8, i_width: 8, l_width: 3 };
+        roundtrip(shape, false, 1);
+    }
+
+    #[test]
+    fn line_program_matches_native_wide_blocks() {
+        // u > 64: block fields straddle multiple words.
+        let shape = LineShape { n: 256, w: 15, u: 80, v: 5, i_width: 16, l_width: 3 };
+        roundtrip(shape, false, 2);
+    }
+
+    #[test]
+    fn line_program_matches_native_awkward_offsets() {
+        // Misaligned everything: i_width 13 pushes x and r to odd offsets.
+        let shape = LineShape { n: 200, w: 33, u: 61, v: 7, i_width: 13, l_width: 3 };
+        roundtrip(shape, false, 3);
+    }
+
+    #[test]
+    fn simline_program_matches_native() {
+        let shape = LineShape { n: 64, w: 25, u: 20, v: 6, i_width: 0, l_width: 3 };
+        roundtrip(shape, true, 4);
+    }
+
+    #[test]
+    fn simline_cycles_past_v() {
+        // w > v: the cyclic reuse of blocks must wrap correctly.
+        let shape = LineShape { n: 96, w: 40, u: 24, v: 4, i_width: 0, l_width: 2 };
+        roundtrip(shape, true, 5);
+    }
+
+    #[test]
+    fn time_scales_linearly_in_w() {
+        let mk = |w: u64| LineShape { n: 96, w, u: 24, v: 8, i_width: 16, l_width: 3 };
+        let measure = |shape: LineShape| {
+            let oracle = LazyOracle::square(7, shape.n);
+            let mut rng = StdRng::seed_from_u64(7);
+            let blocks = random_blocks(&mut rng, shape.v, shape.u);
+            let program = gen_line_program(&shape);
+            let mut ram = Ram::new(shape.mem_words() + 4);
+            shape.load_input(&mut ram, &blocks);
+            ram.run(&program, &oracle, 100_000_000).unwrap().time
+        };
+        let t100 = measure(mk(100));
+        let t400 = measure(mk(400));
+        let ratio = t400 as f64 / t100 as f64;
+        assert!((3.5..4.5).contains(&ratio), "time not linear in w: ratio {ratio}");
+    }
+
+    #[test]
+    fn space_is_input_plus_buffers() {
+        let shape = LineShape { n: 96, w: 10, u: 24, v: 8, i_width: 16, l_width: 3 };
+        let oracle = LazyOracle::square(8, shape.n);
+        let mut rng = StdRng::seed_from_u64(8);
+        let blocks = random_blocks(&mut rng, shape.v, shape.u);
+        let program = gen_line_program(&shape);
+        let mut ram = Ram::new(shape.mem_words() + 100);
+        shape.load_input(&mut ram, &blocks);
+        let stats = ram.run(&program, &oracle, 1_000_000).unwrap();
+        // Peak space = exactly the planned layout, nothing more.
+        assert_eq!(stats.peak_words, shape.mem_words());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit in i_width")]
+    fn validate_rejects_overflowing_counter() {
+        LineShape { n: 96, w: 1 << 20, u: 24, v: 8, i_width: 10, l_width: 3 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed oracle width")]
+    fn validate_rejects_overfull_query() {
+        LineShape { n: 32, w: 4, u: 14, v: 4, i_width: 8, l_width: 2 }.validate();
+    }
+}

@@ -1,0 +1,254 @@
+//! The word-RAM instruction set.
+//!
+//! A deliberately small RISC-flavoured ISA over 64-bit words: enough to
+//! express the paper's sequential evaluator (pointer arithmetic, bit
+//! packing via shifts/masks, a loop) without becoming a compiler project.
+//! The one exotic instruction is [`Instr::Oracle`]: the RAM's window onto
+//! `RO`, costed at one time unit per word transferred so a query costs
+//! `Θ(n / 64)` units — the paper's "`O(n)` time per query" in word-RAM
+//! units.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A register index, `r0..r15`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+impl Reg {
+    /// Checked constructor.
+    pub fn new(idx: u8) -> Self {
+        assert!((idx as usize) < NUM_REGS, "register r{idx} out of range");
+        Reg(idx)
+    }
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction. `rd` is always the destination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd ← imm`
+    LoadImm {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `rd ← ra`
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        ra: Reg,
+    },
+    /// `rd ← mem[ra + off]` (word-addressed)
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        ra: Reg,
+        /// Word offset added to the base.
+        off: u64,
+    },
+    /// `mem[ra + off] ← rs`
+    Store {
+        /// Base address register.
+        ra: Reg,
+        /// Word offset added to the base.
+        off: u64,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd ← ra + rb` (wrapping)
+    Add {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
+    /// `rd ← ra + imm` (wrapping)
+    AddImm {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Immediate addend.
+        imm: u64,
+    },
+    /// `rd ← ra - rb` (wrapping)
+    Sub {
+        /// Destination.
+        rd: Reg,
+        /// Minuend.
+        ra: Reg,
+        /// Subtrahend.
+        rb: Reg,
+    },
+    /// `rd ← ra * rb` (wrapping)
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// First factor.
+        ra: Reg,
+        /// Second factor.
+        rb: Reg,
+    },
+    /// `rd ← ra mod rb`; faults on `rb = 0`
+    Mod {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        ra: Reg,
+        /// Divisor.
+        rb: Reg,
+    },
+    /// `rd ← ra & rb`
+    And {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
+    /// `rd ← ra | rb`
+    Or {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
+    /// `rd ← ra ^ rb`
+    Xor {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
+    /// `rd ← ra << sh` (0 for `sh ≥ 64`)
+    Shl {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Static shift amount.
+        sh: u8,
+    },
+    /// `rd ← ra >> sh` (0 for `sh ≥ 64`)
+    Shr {
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+        /// Static shift amount.
+        sh: u8,
+    },
+    /// `pc ← target`
+    Jump {
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `if ra == rb { pc ← target }`
+    BranchEq {
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `if ra != rb { pc ← target }`
+    BranchNe {
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `if ra < rb { pc ← target }` (unsigned)
+    BranchLt {
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// `if ra <= rb { pc ← target }` (unsigned)
+    BranchLe {
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+        /// Absolute instruction index.
+        target: usize,
+    },
+    /// Query the oracle: the `n_in`-bit query is read from memory starting
+    /// at word address `in_addr` (LSB-first packing), and the `n_out`-bit
+    /// answer is written starting at word address `out_addr` (zero-padded
+    /// to whole words). Costs `ceil(n_in/64) + ceil(n_out/64)` time units.
+    Oracle {
+        /// Register holding the query's word address.
+        in_addr: Reg,
+        /// Register holding the answer buffer's word address.
+        out_addr: Reg,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// The instruction's time cost given the oracle widths, in word
+    /// operations. Everything is unit cost except [`Instr::Oracle`].
+    pub fn cost(&self, oracle_in_words: u64, oracle_out_words: u64) -> u64 {
+        match self {
+            Instr::Oracle { .. } => oracle_in_words + oracle_out_words,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_cost_scales_with_width() {
+        let oracle = Instr::Oracle { in_addr: Reg(0), out_addr: Reg(1) };
+        assert_eq!(oracle.cost(4, 4), 8);
+        assert_eq!(oracle.cost(100, 1), 101);
+        let add = Instr::Add { rd: Reg(0), ra: Reg(1), rb: Reg(2) };
+        assert_eq!(add.cost(100, 100), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds_checked() {
+        Reg::new(16);
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::new(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,483 @@
+//! The word-RAM interpreter with exact cost accounting.
+
+use crate::isa::{Instr, NUM_REGS};
+use crate::program::Program;
+use mph_bits::BitVec;
+use mph_oracle::Oracle;
+use std::fmt;
+
+/// Runtime faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RamError {
+    /// A load/store touched an address outside the configured memory.
+    OutOfBounds {
+        /// The faulting word address.
+        addr: u64,
+        /// Memory size in words.
+        mem_words: usize,
+        /// Program counter at the fault.
+        pc: usize,
+    },
+    /// `Mod` with a zero divisor.
+    DivisionByZero {
+        /// Program counter at the fault.
+        pc: usize,
+    },
+    /// The program ran past the configured step limit without halting.
+    StepLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The program counter left the program without a `Halt`.
+    PcOutOfRange {
+        /// The out-of-range program counter.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for RamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RamError::OutOfBounds { addr, mem_words, pc } => {
+                write!(f, "memory access at word {addr} out of bounds ({mem_words} words) at pc {pc}")
+            }
+            RamError::DivisionByZero { pc } => write!(f, "mod by zero at pc {pc}"),
+            RamError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
+            RamError::PcOutOfRange { pc } => write!(f, "pc {pc} out of program"),
+        }
+    }
+}
+
+impl std::error::Error for RamError {}
+
+/// Run statistics: the quantities Theorem 3.1's upper bound speaks about.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RamStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Time in word operations (instructions are unit cost; an oracle query
+    /// costs its word count — the paper's `O(n)` per query).
+    pub time: u64,
+    /// Oracle queries made.
+    pub oracle_queries: u64,
+    /// Space high-water mark: the highest touched word address + 1,
+    /// in words.
+    pub peak_words: usize,
+}
+
+impl RamStats {
+    /// Space high-water mark in bits (the paper's `S`).
+    pub fn peak_bits(&self) -> usize {
+        self.peak_words * 64
+    }
+}
+
+/// A word-RAM machine: 16 registers, word-indexed memory, and an oracle
+/// port.
+///
+/// # Examples
+///
+/// ```
+/// use mph_ram::{Ram, Instr, Reg, Program};
+/// use mph_oracle::LazyOracle;
+///
+/// // mem[0] = 6 * 7
+/// let program = Program { instrs: vec![
+///     Instr::LoadImm { rd: Reg(1), imm: 6 },
+///     Instr::LoadImm { rd: Reg(2), imm: 7 },
+///     Instr::Mul { rd: Reg(3), ra: Reg(1), rb: Reg(2) },
+///     Instr::LoadImm { rd: Reg(0), imm: 0 },
+///     Instr::Store { ra: Reg(0), off: 0, rs: Reg(3) },
+///     Instr::Halt,
+/// ]};
+/// let mut ram = Ram::new(16);
+/// let oracle = LazyOracle::square(0, 8);
+/// let stats = ram.run(&program, &oracle, 1_000).unwrap();
+/// assert_eq!(ram.mem()[0], 42);
+/// assert_eq!(stats.instructions, 6);
+/// ```
+pub struct Ram {
+    regs: [u64; NUM_REGS],
+    mem: Vec<u64>,
+    peak_word: usize,
+}
+
+impl Ram {
+    /// A machine with `mem_words` words of zeroed memory.
+    pub fn new(mem_words: usize) -> Self {
+        Ram { regs: [0; NUM_REGS], mem: vec![0; mem_words], peak_word: 0 }
+    }
+
+    /// Read access to memory (for loading inputs and reading outputs).
+    pub fn mem(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Write access to memory (for placing the input image before a run).
+    pub fn mem_mut(&mut self) -> &mut [u64] {
+        &mut self.mem
+    }
+
+    /// Register file after a run.
+    pub fn regs(&self) -> &[u64; NUM_REGS] {
+        &self.regs
+    }
+
+    /// Writes a bit string into memory starting at word `addr` (LSB-first
+    /// word packing, zero-padded to whole words).
+    pub fn write_bits(&mut self, addr: usize, bits: &BitVec) {
+        let words = bits.len().div_ceil(64);
+        assert!(addr + words <= self.mem.len(), "write_bits out of bounds");
+        for w in 0..words {
+            let take = (bits.len() - w * 64).min(64);
+            self.mem[addr + w] = bits.read_u64(w * 64, take);
+        }
+        self.peak_word = self.peak_word.max(addr + words);
+    }
+
+    /// Reads `len` bits from memory starting at word `addr`.
+    pub fn read_bits(&self, addr: usize, len: usize) -> BitVec {
+        let words = len.div_ceil(64);
+        assert!(addr + words <= self.mem.len(), "read_bits out of bounds");
+        let mut out = BitVec::zeros(len);
+        for w in 0..words {
+            let take = (len - w * 64).min(64);
+            let mut v = self.mem[addr + w];
+            if take < 64 {
+                v &= (1u64 << take) - 1;
+            }
+            out.write_u64(w * 64, v, take);
+        }
+        out
+    }
+
+    /// Runs `program` from pc 0 until `Halt`, a fault, or `step_limit`
+    /// instructions.
+    pub fn run<O: Oracle + ?Sized>(
+        &mut self,
+        program: &Program,
+        oracle: &O,
+        step_limit: u64,
+    ) -> Result<RamStats, RamError> {
+        let in_words = (oracle.n_in() as u64).div_ceil(64);
+        let out_words = (oracle.n_out() as u64).div_ceil(64);
+        let mut stats = RamStats::default();
+        let mut pc = 0usize;
+
+        loop {
+            if stats.instructions >= step_limit {
+                return Err(RamError::StepLimit { limit: step_limit });
+            }
+            let Some(&instr) = program.instrs.get(pc) else {
+                return Err(RamError::PcOutOfRange { pc });
+            };
+            stats.instructions += 1;
+            stats.time += instr.cost(in_words, out_words);
+            let mut next_pc = pc + 1;
+
+            match instr {
+                Instr::LoadImm { rd, imm } => self.regs[rd.index()] = imm,
+                Instr::Mov { rd, ra } => self.regs[rd.index()] = self.regs[ra.index()],
+                Instr::Load { rd, ra, off } => {
+                    let addr = self.regs[ra.index()].wrapping_add(off);
+                    self.regs[rd.index()] = self.load_word(addr, pc)?;
+                }
+                Instr::Store { ra, off, rs } => {
+                    let addr = self.regs[ra.index()].wrapping_add(off);
+                    let value = self.regs[rs.index()];
+                    self.store_word(addr, value, pc)?;
+                }
+                Instr::Add { rd, ra, rb } => {
+                    self.regs[rd.index()] =
+                        self.regs[ra.index()].wrapping_add(self.regs[rb.index()])
+                }
+                Instr::AddImm { rd, ra, imm } => {
+                    self.regs[rd.index()] = self.regs[ra.index()].wrapping_add(imm)
+                }
+                Instr::Sub { rd, ra, rb } => {
+                    self.regs[rd.index()] =
+                        self.regs[ra.index()].wrapping_sub(self.regs[rb.index()])
+                }
+                Instr::Mul { rd, ra, rb } => {
+                    self.regs[rd.index()] =
+                        self.regs[ra.index()].wrapping_mul(self.regs[rb.index()])
+                }
+                Instr::Mod { rd, ra, rb } => {
+                    let d = self.regs[rb.index()];
+                    if d == 0 {
+                        return Err(RamError::DivisionByZero { pc });
+                    }
+                    self.regs[rd.index()] = self.regs[ra.index()] % d;
+                }
+                Instr::And { rd, ra, rb } => {
+                    self.regs[rd.index()] = self.regs[ra.index()] & self.regs[rb.index()]
+                }
+                Instr::Or { rd, ra, rb } => {
+                    self.regs[rd.index()] = self.regs[ra.index()] | self.regs[rb.index()]
+                }
+                Instr::Xor { rd, ra, rb } => {
+                    self.regs[rd.index()] = self.regs[ra.index()] ^ self.regs[rb.index()]
+                }
+                Instr::Shl { rd, ra, sh } => {
+                    self.regs[rd.index()] = if sh >= 64 {
+                        0
+                    } else {
+                        self.regs[ra.index()] << sh
+                    }
+                }
+                Instr::Shr { rd, ra, sh } => {
+                    self.regs[rd.index()] = if sh >= 64 {
+                        0
+                    } else {
+                        self.regs[ra.index()] >> sh
+                    }
+                }
+                Instr::Jump { target } => next_pc = target,
+                Instr::BranchEq { ra, rb, target } => {
+                    if self.regs[ra.index()] == self.regs[rb.index()] {
+                        next_pc = target;
+                    }
+                }
+                Instr::BranchNe { ra, rb, target } => {
+                    if self.regs[ra.index()] != self.regs[rb.index()] {
+                        next_pc = target;
+                    }
+                }
+                Instr::BranchLt { ra, rb, target } => {
+                    if self.regs[ra.index()] < self.regs[rb.index()] {
+                        next_pc = target;
+                    }
+                }
+                Instr::BranchLe { ra, rb, target } => {
+                    if self.regs[ra.index()] <= self.regs[rb.index()] {
+                        next_pc = target;
+                    }
+                }
+                Instr::Oracle { in_addr, out_addr } => {
+                    let in_base = self.regs[in_addr.index()];
+                    let out_base = self.regs[out_addr.index()];
+                    // Gather the query bits from memory.
+                    let mut query = BitVec::zeros(oracle.n_in());
+                    for w in 0..in_words {
+                        let word = self.load_word(in_base.wrapping_add(w), pc)?;
+                        let take = (oracle.n_in() - (w as usize) * 64).min(64);
+                        let v = if take < 64 { word & ((1u64 << take) - 1) } else { word };
+                        query.write_u64((w as usize) * 64, v, take);
+                    }
+                    let answer = oracle.query(&query);
+                    stats.oracle_queries += 1;
+                    // Scatter the answer back (zero-padded final word).
+                    for w in 0..out_words {
+                        let take = (oracle.n_out() - (w as usize) * 64).min(64);
+                        let v = answer.read_u64((w as usize) * 64, take);
+                        self.store_word(out_base.wrapping_add(w), v, pc)?;
+                    }
+                }
+                Instr::Halt => {
+                    stats.peak_words = self.peak_word;
+                    return Ok(stats);
+                }
+            }
+            pc = next_pc;
+        }
+    }
+
+    fn load_word(&mut self, addr: u64, pc: usize) -> Result<u64, RamError> {
+        let idx = addr as usize;
+        if addr >= self.mem.len() as u64 {
+            return Err(RamError::OutOfBounds { addr, mem_words: self.mem.len(), pc });
+        }
+        self.peak_word = self.peak_word.max(idx + 1);
+        Ok(self.mem[idx])
+    }
+
+    fn store_word(&mut self, addr: u64, value: u64, pc: usize) -> Result<(), RamError> {
+        let idx = addr as usize;
+        if addr >= self.mem.len() as u64 {
+            return Err(RamError::OutOfBounds { addr, mem_words: self.mem.len(), pc });
+        }
+        self.peak_word = self.peak_word.max(idx + 1);
+        self.mem[idx] = value;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use mph_oracle::LazyOracle;
+
+    fn run_program(instrs: Vec<Instr>, mem_words: usize) -> (Ram, RamStats) {
+        let mut ram = Ram::new(mem_words);
+        let oracle = LazyOracle::square(0, 64);
+        let stats = ram.run(&Program { instrs }, &oracle, 100_000).unwrap();
+        (ram, stats)
+    }
+
+    #[test]
+    fn arithmetic_and_memory() {
+        let (ram, _) = run_program(
+            vec![
+                Instr::LoadImm { rd: Reg(1), imm: 100 },
+                Instr::LoadImm { rd: Reg(2), imm: 58 },
+                Instr::Sub { rd: Reg(3), ra: Reg(1), rb: Reg(2) },
+                Instr::LoadImm { rd: Reg(0), imm: 3 },
+                Instr::Store { ra: Reg(0), off: 1, rs: Reg(3) },
+                Instr::Load { rd: Reg(4), ra: Reg(0), off: 1 },
+                Instr::Halt,
+            ],
+            8,
+        );
+        assert_eq!(ram.mem()[4], 42);
+        assert_eq!(ram.regs()[4], 42);
+    }
+
+    #[test]
+    fn loop_with_branches_counts_time() {
+        // Sum 1..=10 into r2.
+        let mut b = crate::ProgramBuilder::new();
+        use crate::isa::Reg as R;
+        let top = b.new_label();
+        b.push(Instr::LoadImm { rd: R(1), imm: 1 });
+        b.push(Instr::LoadImm { rd: R(2), imm: 0 });
+        b.push(Instr::LoadImm { rd: R(3), imm: 10 });
+        b.place(top);
+        b.push(Instr::Add { rd: R(2), ra: R(2), rb: R(1) });
+        b.push(Instr::AddImm { rd: R(1), ra: R(1), imm: 1 });
+        b.branch_le(R(1), R(3), top);
+        b.push(Instr::Halt);
+        let program = b.finish();
+        let mut ram = Ram::new(4);
+        let oracle = LazyOracle::square(0, 64);
+        let stats = ram.run(&program, &oracle, 10_000).unwrap();
+        assert_eq!(ram.regs()[2], 55);
+        // 3 setup + 10 iterations * 3 + 1 halt = 34 instructions.
+        assert_eq!(stats.instructions, 34);
+        assert_eq!(stats.time, 34); // no oracle calls
+    }
+
+    #[test]
+    fn oracle_instruction_matches_direct_query() {
+        let oracle = LazyOracle::square(5, 128);
+        let query = BitVec::from_bools(&(0..128).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let mut ram = Ram::new(16);
+        ram.write_bits(0, &query);
+        let program = Program {
+            instrs: vec![
+                Instr::LoadImm { rd: Reg(1), imm: 0 },
+                Instr::LoadImm { rd: Reg(2), imm: 8 },
+                Instr::Oracle { in_addr: Reg(1), out_addr: Reg(2) },
+                Instr::Halt,
+            ],
+        };
+        let stats = ram.run(&program, &oracle, 100).unwrap();
+        assert_eq!(ram.read_bits(8, 128), oracle.query(&query));
+        assert_eq!(stats.oracle_queries, 1);
+        // 3 unit instructions + oracle (2 + 2 words) = 7 time units.
+        assert_eq!(stats.time, 3 + 4);
+    }
+
+    #[test]
+    fn non_word_multiple_oracle_widths() {
+        // n = 70 bits: straddles a word boundary in both directions.
+        let oracle = LazyOracle::square(9, 70);
+        let query = BitVec::ones(70);
+        let mut ram = Ram::new(8);
+        ram.write_bits(0, &query);
+        let program = Program {
+            instrs: vec![
+                Instr::LoadImm { rd: Reg(1), imm: 0 },
+                Instr::LoadImm { rd: Reg(2), imm: 4 },
+                Instr::Oracle { in_addr: Reg(1), out_addr: Reg(2) },
+                Instr::Halt,
+            ],
+        };
+        ram.run(&program, &oracle, 100).unwrap();
+        assert_eq!(ram.read_bits(4, 70), oracle.query(&query));
+        // Final answer word must be zero-padded above bit 6.
+        assert_eq!(ram.mem()[5] >> 6, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut ram = Ram::new(4);
+        let oracle = LazyOracle::square(0, 64);
+        let program = Program {
+            instrs: vec![
+                Instr::LoadImm { rd: Reg(1), imm: 100 },
+                Instr::Load { rd: Reg(2), ra: Reg(1), off: 0 },
+                Instr::Halt,
+            ],
+        };
+        let err = ram.run(&program, &oracle, 100).unwrap_err();
+        assert_eq!(err, RamError::OutOfBounds { addr: 100, mem_words: 4, pc: 1 });
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut ram = Ram::new(4);
+        let oracle = LazyOracle::square(0, 64);
+        let program = Program {
+            instrs: vec![Instr::Mod { rd: Reg(1), ra: Reg(2), rb: Reg(3) }, Instr::Halt],
+        };
+        let err = ram.run(&program, &oracle, 100).unwrap_err();
+        assert_eq!(err, RamError::DivisionByZero { pc: 0 });
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let mut ram = Ram::new(4);
+        let oracle = LazyOracle::square(0, 64);
+        let program = Program { instrs: vec![Instr::Jump { target: 0 }] };
+        let err = ram.run(&program, &oracle, 50).unwrap_err();
+        assert_eq!(err, RamError::StepLimit { limit: 50 });
+    }
+
+    #[test]
+    fn falling_off_the_end_faults() {
+        let mut ram = Ram::new(4);
+        let oracle = LazyOracle::square(0, 64);
+        let program = Program { instrs: vec![Instr::LoadImm { rd: Reg(0), imm: 1 }] };
+        let err = ram.run(&program, &oracle, 100).unwrap_err();
+        assert_eq!(err, RamError::PcOutOfRange { pc: 1 });
+    }
+
+    #[test]
+    fn peak_words_tracks_space() {
+        let (_, stats) = run_program(
+            vec![
+                Instr::LoadImm { rd: Reg(0), imm: 6 },
+                Instr::LoadImm { rd: Reg(1), imm: 9 },
+                Instr::Store { ra: Reg(0), off: 0, rs: Reg(1) },
+                Instr::Halt,
+            ],
+            32,
+        );
+        assert_eq!(stats.peak_words, 7);
+        assert_eq!(stats.peak_bits(), 7 * 64);
+    }
+
+    #[test]
+    fn bit_io_roundtrip() {
+        let mut ram = Ram::new(8);
+        let bits = BitVec::from_bools(&(0..190).map(|i| i % 5 < 2).collect::<Vec<_>>());
+        ram.write_bits(2, &bits);
+        assert_eq!(ram.read_bits(2, 190), bits);
+    }
+
+    #[test]
+    fn shifts_saturate_at_64() {
+        let (ram, _) = run_program(
+            vec![
+                Instr::LoadImm { rd: Reg(1), imm: u64::MAX },
+                Instr::Shl { rd: Reg(2), ra: Reg(1), sh: 64 },
+                Instr::Shr { rd: Reg(3), ra: Reg(1), sh: 70 },
+                Instr::Halt,
+            ],
+            4,
+        );
+        assert_eq!(ram.regs()[2], 0);
+        assert_eq!(ram.regs()[3], 0);
+    }
+}

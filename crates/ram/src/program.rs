@@ -1,0 +1,178 @@
+//! Programs and the label-fixup builder used by generated code.
+
+use crate::isa::Instr;
+use serde::{Deserialize, Serialize};
+
+/// A complete RAM program: a flat instruction sequence with absolute branch
+/// targets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// The instructions, executed from index 0.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// A forward-referenceable code label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds a [`Program`] incrementally with labels that may be referenced
+/// before they are placed; unresolved references are patched at
+/// [`ProgramBuilder::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use mph_ram::{ProgramBuilder, Instr, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let loop_top = b.new_label();
+/// b.push(Instr::LoadImm { rd: Reg(0), imm: 0 });
+/// b.place(loop_top);
+/// b.push(Instr::AddImm { rd: Reg(0), ra: Reg(0), imm: 1 });
+/// b.push(Instr::LoadImm { rd: Reg(1), imm: 10 });
+/// b.branch_lt(Reg(0), Reg(1), loop_top);
+/// b.push(Instr::Halt);
+/// let program = b.finish();
+/// assert_eq!(program.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    /// `labels[l]` = Some(instruction index) once placed.
+    labels: Vec<Option<usize>>,
+    /// `(instr index, label)` pairs whose target needs patching.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fresh, not-yet-placed label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places `label` at the next instruction to be pushed.
+    ///
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Appends an instruction; returns its index.
+    pub fn push(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    /// Appends `Jump` to `label` (fixed up at finish).
+    pub fn jump(&mut self, label: Label) {
+        let idx = self.push(Instr::Jump { target: usize::MAX });
+        self.fixups.push((idx, label));
+    }
+
+    /// Appends `BranchEq` to `label`.
+    pub fn branch_eq(&mut self, ra: crate::isa::Reg, rb: crate::isa::Reg, label: Label) {
+        let idx = self.push(Instr::BranchEq { ra, rb, target: usize::MAX });
+        self.fixups.push((idx, label));
+    }
+
+    /// Appends `BranchNe` to `label`.
+    pub fn branch_ne(&mut self, ra: crate::isa::Reg, rb: crate::isa::Reg, label: Label) {
+        let idx = self.push(Instr::BranchNe { ra, rb, target: usize::MAX });
+        self.fixups.push((idx, label));
+    }
+
+    /// Appends `BranchLt` to `label`.
+    pub fn branch_lt(&mut self, ra: crate::isa::Reg, rb: crate::isa::Reg, label: Label) {
+        let idx = self.push(Instr::BranchLt { ra, rb, target: usize::MAX });
+        self.fixups.push((idx, label));
+    }
+
+    /// Appends `BranchLe` to `label`.
+    pub fn branch_le(&mut self, ra: crate::isa::Reg, rb: crate::isa::Reg, label: Label) {
+        let idx = self.push(Instr::BranchLe { ra, rb, target: usize::MAX });
+        self.fixups.push((idx, label));
+    }
+
+    /// Current instruction count (the index the next push will get).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Resolves all fixups and returns the program.
+    ///
+    /// Panics if any referenced label was never placed.
+    pub fn finish(mut self) -> Program {
+        for (idx, label) in self.fixups {
+            let target = self.labels[label.0]
+                .unwrap_or_else(|| panic!("label {:?} referenced but never placed", label));
+            match &mut self.instrs[idx] {
+                Instr::Jump { target: t }
+                | Instr::BranchEq { target: t, .. }
+                | Instr::BranchNe { target: t, .. }
+                | Instr::BranchLt { target: t, .. }
+                | Instr::BranchLe { target: t, .. } => *t = target,
+                other => panic!("fixup points at non-branch instruction {other:?}"),
+            }
+        }
+        Program { instrs: self.instrs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        let top = b.new_label();
+        b.place(top);
+        b.push(Instr::LoadImm { rd: Reg(0), imm: 1 });
+        b.branch_eq(Reg(0), Reg(0), end); // forward
+        b.jump(top); // backward
+        b.place(end);
+        b.push(Instr::Halt);
+        let p = b.finish();
+        assert_eq!(p.instrs[1], Instr::BranchEq { ra: Reg(0), rb: Reg(0), target: 3 });
+        assert_eq!(p.instrs[2], Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn unplaced_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn double_placement_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.place(l);
+        b.place(l);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the word-RAM: assembler/disassembler round-trips on
+//! random programs and semantic invariants of the interpreter.
+
+use mph_ram::{assemble, disassemble, gen_line_program, Instr, LineShape, Program, Ram, Reg};
+use mph_oracle::LazyOracle;
+use proptest::prelude::*;
+
+/// Strategy: a random valid instruction, with branch targets within
+/// `0..len`.
+fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
+    let reg = || (0u8..16).prop_map(Reg);
+    prop_oneof![
+        (reg(), any::<u64>()).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
+        (reg(), reg()).prop_map(|(rd, ra)| Instr::Mov { rd, ra }),
+        (reg(), reg(), 0u64..64).prop_map(|(rd, ra, off)| Instr::Load { rd, ra, off }),
+        (reg(), 0u64..64, reg()).prop_map(|(ra, off, rs)| Instr::Store { ra, off, rs }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
+        (reg(), reg(), any::<u64>()).prop_map(|(rd, ra, imm)| Instr::AddImm { rd, ra, imm }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Sub { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Mul { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Mod { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::And { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Or { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Xor { rd, ra, rb }),
+        (reg(), reg(), 0u8..=64).prop_map(|(rd, ra, sh)| Instr::Shl { rd, ra, sh }),
+        (reg(), reg(), 0u8..=64).prop_map(|(rd, ra, sh)| Instr::Shr { rd, ra, sh }),
+        (0..len).prop_map(|target| Instr::Jump { target }),
+        (reg(), reg(), 0..len)
+            .prop_map(|(ra, rb, target)| Instr::BranchEq { ra, rb, target }),
+        (reg(), reg(), 0..len)
+            .prop_map(|(ra, rb, target)| Instr::BranchNe { ra, rb, target }),
+        (reg(), reg(), 0..len)
+            .prop_map(|(ra, rb, target)| Instr::BranchLt { ra, rb, target }),
+        (reg(), reg(), 0..len)
+            .prop_map(|(ra, rb, target)| Instr::BranchLe { ra, rb, target }),
+        (reg(), reg()).prop_map(|(in_addr, out_addr)| Instr::Oracle { in_addr, out_addr }),
+        Just(Instr::Halt),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (1usize..40).prop_flat_map(|len| {
+        prop::collection::vec(instr_strategy(len), len).prop_map(|instrs| Program { instrs })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// assemble ∘ disassemble = identity on arbitrary programs.
+    #[test]
+    fn disassembly_roundtrip(program in program_strategy()) {
+        let text = disassemble(&program);
+        let back = assemble(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        prop_assert_eq!(back, program);
+    }
+
+    /// The interpreter either halts, faults, or hits the step limit — and
+    /// when it halts, the stats ledger is consistent (time ≥ instructions,
+    /// with equality iff no oracle calls).
+    #[test]
+    fn interpreter_is_total_and_accounted(program in program_strategy(), seed in any::<u64>()) {
+        let mut ram = Ram::new(64);
+        let oracle = LazyOracle::square(seed, 64);
+        match ram.run(&program, &oracle, 5_000) {
+            Ok(stats) => {
+                prop_assert!(stats.instructions <= 5_000);
+                if stats.oracle_queries == 0 {
+                    prop_assert_eq!(stats.time, stats.instructions);
+                } else {
+                    prop_assert!(stats.time > stats.instructions);
+                }
+                prop_assert!(stats.peak_words <= 64);
+            }
+            Err(_) => {} // faults are legal outcomes for random programs
+        }
+    }
+
+    /// The Line code generator emits programs that always halt within the
+    /// planned budget and touch exactly the planned memory, across random
+    /// shapes.
+    #[test]
+    fn generated_programs_are_well_behaved(
+        w in 1u64..25,
+        v in 2usize..8,
+        u in 4usize..30,
+        seed in any::<u64>(),
+    ) {
+        let n = (2 * u + 12).max(u + 16);
+        let shape = LineShape {
+            n,
+            w,
+            u,
+            v,
+            i_width: 10,
+            l_width: mph_bits::bits_for_index(v as u64) as usize,
+        };
+        shape.validate();
+        let program = gen_line_program(&shape);
+        let oracle = LazyOracle::square(seed, n);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let blocks = mph_bits::random_blocks(&mut rng, v, u);
+        let mut ram = Ram::new(shape.mem_words() + 2);
+        shape.load_input(&mut ram, &blocks);
+        let stats = ram.run(&program, &oracle, 10_000_000).expect("must halt");
+        prop_assert_eq!(stats.oracle_queries, w);
+        prop_assert_eq!(stats.peak_words, shape.mem_words());
+    }
+}

@@ -1,0 +1,76 @@
+//! Run the paper's proof: encode `(RO, X)` through a real machine's round.
+//!
+//! The compression argument says: if a small-memory machine's queries
+//! reveal many input blocks, then `(RO, X)` compresses below its entropy —
+//! impossible. This demo executes the scheme end to end on a toy oracle
+//! you can hold in your hand (n = 12 → a 6 KiB table): snapshot a live
+//! machine, encode, decode, verify bit-exact recovery, and inspect where
+//! every bit of the encoding went.
+//!
+//! ```text
+//! cargo run --release --example compression_demo
+//! ```
+
+use mpc_hardness::compression::{LineEncoder, PipelineRound, SimLineEncoder};
+use mpc_hardness::core::algorithms::pipeline::{Pipeline, Target};
+use mpc_hardness::core::algorithms::BlockAssignment;
+use mpc_hardness::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // ---- SimLine / Claim A.4 -------------------------------------------
+    let params = LineParams::new(12, 12, 4, 6);
+    let mut rng = StdRng::seed_from_u64(2020);
+    let oracle = TableOracle::random(&mut rng, 12, 12);
+    let blocks = mpc_hardness::bits::random_blocks(&mut rng, params.v, params.u);
+
+    let pipeline = Pipeline::new(params, BlockAssignment::new(6, 2, 3), Target::SimLine);
+    let s = pipeline.required_s();
+    let adversary = PipelineRound::new(pipeline, 0, 0);
+    let memory = adversary.precompute(Arc::new(oracle.clone()), &blocks, s);
+
+    let encoder = SimLineEncoder::new(params, 64);
+    let encoding = encoder.encode(&oracle, &blocks, &memory, &adversary);
+    println!("Claim A.4 encoding of (RO, X) — SimLine, n = 12, u = 4, v = 6");
+    println!("  oracle table : {:>6} bits", encoding.parts.table_bits);
+    println!("  memory image : {:>6} bits (s = {s})", encoding.parts.memory_bits);
+    println!("  bookkeeping  : {:>6} bits for {} recovered blocks", encoding.parts.bookkeeping_bits, encoding.parts.recovered);
+    println!("  raw blocks   : {:>6} bits ((v − α)·u)", encoding.parts.raw_block_bits);
+    println!("  total |Enc|  : {:>6} bits  (entropy floor {})", encoding.bits.len(), encoder.entropy_floor());
+
+    let (oracle_back, blocks_back) = encoder.decode(&encoding.bits, &adversary);
+    assert_eq!(oracle_back, oracle);
+    assert_eq!(blocks_back, blocks);
+    println!("  Dec(Enc(RO, X)) = (RO, X): exact ✓");
+
+    // ---- Line / Claim 3.7 with Definition 3.4's rewirings ---------------
+    let params = LineParams::new(14, 12, 4, 6);
+    let mut rng = StdRng::seed_from_u64(2021);
+    let oracle = TableOracle::random(&mut rng, 14, 14);
+    let blocks = mpc_hardness::bits::random_blocks(&mut rng, params.v, params.u);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(6, 2, 3), Target::Line);
+    let s = pipeline.required_s();
+    let adversary = PipelineRound::new(pipeline, 0, 0);
+    let memory = adversary.precompute(Arc::new(oracle.clone()), &blocks, s);
+
+    let encoder = LineEncoder::new(params, 2, 64);
+    let encoding = encoder.encode(&oracle, &blocks, &memory, &adversary, 0, 0, &BitVec::zeros(params.u));
+    println!("\nClaim 3.7 encoding — Line, n = 14, v² = 36 rewired oracles replayed");
+    println!("  recovered set B      : {} blocks (the machine's reachable window)", encoding.parts.recovered);
+    println!("  productive rewirings : {}", encoding.parts.productive_sequences);
+    println!("  total |Enc|          : {} bits (entropy floor {})", encoding.bits.len(), encoder.entropy_floor());
+
+    let (oracle_back, blocks_back) = encoder.decode(&encoding.bits, &adversary);
+    assert_eq!(oracle_back, oracle);
+    assert_eq!(blocks_back, blocks);
+    println!("  Dec(Enc(RO, X)) = (RO, X): exact ✓");
+
+    println!(
+        "\nThe contradiction the proof runs on: each recovered block swaps u \
+         raw bits for ~log q + log v\npointer bits. If memory could reveal \
+         more than h ≈ s/u blocks, |Enc| would undercut the\nClaim 3.8 floor \
+         — so it can't, and the line advances ≤ h nodes per machine per round."
+    );
+}

@@ -1,0 +1,102 @@
+//! A primer on writing algorithms for the MPC simulator.
+//!
+//! Builds a tiny custom protocol from scratch — distributed maximum with a
+//! tree reduction — showing the machine contract (pure per-round logic,
+//! persistence via self-messages, `s`-bit accounting, oracle and tape
+//! access), then demonstrates the model's guardrails by violating them.
+//!
+//! ```text
+//! cargo run --release --example mpc_primer
+//! ```
+
+use mpc_hardness::prelude::*;
+use std::sync::Arc;
+
+/// Protocol: each machine holds some 32-bit values; per round, machines at
+/// odd tree positions send their running max to their partner; machine 0
+/// emits the global max when the tree is merged.
+struct MaxProtocol {
+    m: usize,
+}
+
+impl MachineLogic for MaxProtocol {
+    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+        if incoming.is_empty() {
+            return Ok(Outbox::new()); // not participating (anymore)
+        }
+        // Memory image = the union of incoming payloads: 32-bit values.
+        let mut best = 0u64;
+        for msg in incoming {
+            for chunk in msg.payload.chunks(32) {
+                best = best.max(chunk.read_u64(0, 32));
+            }
+        }
+        let j = ctx.machine();
+        let stride = 1usize << ctx.round();
+        if stride >= self.m {
+            return Ok(Outbox::new().emit(BitVec::from_u64(best, 32)));
+        }
+        if j % (2 * stride) == stride {
+            Ok(Outbox::new().send(j - stride, BitVec::from_u64(best, 32)))
+        } else if j % (2 * stride) == 0 {
+            // Persist own state across the round boundary: self-message.
+            Ok(Outbox::new().send(j, BitVec::from_u64(best, 32)))
+        } else {
+            Ok(Outbox::new())
+        }
+    }
+}
+
+fn main() {
+    // --- A working protocol. ---------------------------------------------
+    let m = 8;
+    let mut sim = Simulation::new(
+        m,
+        1024, // s = 1024 bits per machine
+        Arc::new(LazyOracle::square(0, 16)),
+        RandomTape::new(0),
+    );
+    sim.set_uniform_logic(Arc::new(MaxProtocol { m }));
+    for j in 0..m {
+        // Each machine starts with four values; 777_777 hides at machine 5.
+        let mut payload = BitVec::new();
+        for k in 0..4u64 {
+            let value = if j == 5 && k == 2 { 777_777 } else { (j as u64) * 1000 + k };
+            payload.push_u64(value, 32);
+        }
+        sim.seed_memory(j, payload);
+    }
+    let result = sim.run_until_output(10).unwrap();
+    println!(
+        "distributed max = {} in {} rounds (⌈log₂ {m}⌉ + 1), {} bits communicated",
+        result.sole_output().unwrap().read_u64(0, 32),
+        result.rounds(),
+        result.stats.total_bits()
+    );
+    assert_eq!(result.sole_output().unwrap().read_u64(0, 32), 777_777);
+
+    // --- The guardrails. ---------------------------------------------------
+    // 1. Memory: deliver more than s bits and the run fails loudly.
+    let mut sim = Simulation::new(2, 64, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0));
+    sim.seed_memory(0, BitVec::zeros(65));
+    let err = sim.step().unwrap_err();
+    println!("memory guardrail: {err}");
+
+    // 2. Query budget: a machine over its per-round q is stopped.
+    let mut sim = Simulation::new(1, 64, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0));
+    sim.set_query_budget(2);
+    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
+        for i in 0..5u64 {
+            ctx.query(&BitVec::from_u64(i, 16))?;
+        }
+        Ok(Outbox::new())
+    }));
+    sim.seed_memory(0, BitVec::zeros(1));
+    let err = sim.step().unwrap_err();
+    println!("query guardrail:  {err}");
+
+    // 3. The shared random tape: free, read-only, consistent everywhere.
+    let tape = RandomTape::new(99);
+    assert_eq!(tape.read(1_000_000, 64), tape.read(1_000_000, 64));
+    println!("shared tape:      64 bits at offset 10^6 = {}", tape.read(1_000_000, 64).to_hex());
+}

@@ -1,0 +1,53 @@
+//! The paper's whole story on one screen: run a genuinely parallelizable
+//! job and the hard function through the *same* simulator with the *same*
+//! resources, and compare round counts as the input scales.
+//!
+//! ```text
+//! cargo run --release --example parallel_vs_sequential
+//! ```
+
+use mpc_hardness::algos::SampleSortConfig;
+use mpc_hardness::core::algorithms::pipeline::{Pipeline, Target};
+use mpc_hardness::core::algorithms::BlockAssignment;
+use mpc_hardness::core::theorem;
+use mpc_hardness::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let m = 8;
+    println!("{:>8}  {:>14}  {:>18}", "scale", "sort rounds", "Line rounds (= T)");
+
+    for scale in [64u64, 128, 256, 512] {
+        // Parallelizable job: sort `16·scale` keys.
+        let mut rng = StdRng::seed_from_u64(scale);
+        let keys: Vec<u64> = (0..16 * scale).map(|_| rng.gen_range(0..1u64 << 30)).collect();
+        let sort = SampleSortConfig { m, key_width: 32, samples_per_machine: 8 };
+        let mut sim = sort.build(&keys, 1 << 18);
+        let sort_result = sim.run_until_output(16).unwrap();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(sort.collect_output(&sort_result.outputs), expected);
+
+        // The hard function at the same scale: T = scale oracle calls over
+        // a fixed-fraction memory (each machine holds 1/4 of the blocks).
+        let params = LineParams::new(64, scale, 16, 32);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(32, m, 8), Target::Line);
+        let line = theorem::measure_rounds(&pipeline, scale ^ 0xF00D, None, None, 1_000_000);
+        assert!(line.correct);
+
+        println!(
+            "{:>8}  {:>14}  {:>18}",
+            scale,
+            sort_result.rounds(),
+            line.rounds
+        );
+    }
+
+    println!(
+        "\nSorting stays at 4 rounds however large the input; Line's rounds \
+         march with T.\nSame machines, same s-bit memories, same router — \
+         the difference is the function,\nnot the framework. That is the \
+         inherent limit of parallelization the paper proves."
+    );
+}

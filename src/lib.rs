@@ -1,0 +1,92 @@
+//! # `mpc-hardness`
+//!
+//! A from-scratch Rust reproduction of **“On the Hardness of Massively
+//! Parallel Computation”** (Kai-Min Chung, Kuan-Yi Ho, Xiaorui Sun —
+//! SPAA 2020): the random-oracle substrate, an instrumented MPC simulator
+//! and word-RAM model, the paper's hard functions `Line` and `SimLine`,
+//! the compression-argument proofs as executable encoders, numeric
+//! evaluation of every bound, and harnesses that reproduce the paper's
+//! quantitative claims as measurements.
+//!
+//! This crate is the facade: it re-exports the workspace's crates under
+//! one name and hosts the runnable examples and cross-crate integration
+//! tests.
+//!
+//! ## The result, in one paragraph
+//!
+//! There is a function computable in time `O(T·n)` and space `O(S)` by a
+//! sequential RAM with access to a random oracle, such that *any* MPC
+//! algorithm whose per-machine memory is `s ≤ S/c` needs `Ω̃(T)` rounds to
+//! compute it — parallelism buys essentially nothing. The function,
+//! [`core::Line`], chains `T` oracle calls where each call's input block
+//! is selected by a pointer revealed only by the previous call; bounded
+//! memories cannot hold enough blocks to follow more than `O(log² T)`
+//! steps per round except with vanishing probability (proved by the
+//! compression argument in [`compression`], measured by the harnesses in
+//! [`core::theorem`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpc_hardness::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A Line instance: n = 64-bit oracle, w = 60 nodes, 12 blocks of 16 bits.
+//! let params = LineParams::new(64, 60, 16, 12);
+//! let (oracle, blocks) = mpc_hardness::core::theorem::draw_instance(&params, 7);
+//!
+//! // The RAM side: evaluate sequentially (O(T·n) time).
+//! let reference = Line::new(params).eval(&*oracle, &blocks);
+//!
+//! // The MPC side: 4 machines, each holding 1/3 of the blocks.
+//! let pipeline = Pipeline::new(
+//!     params,
+//!     BlockAssignment::new(params.v, 4, 4),
+//!     Target::Line,
+//! );
+//! let mut sim = pipeline.build_simulation(
+//!     oracle as Arc<dyn Oracle>,
+//!     RandomTape::new(0),
+//!     pipeline.required_s(),
+//!     None,
+//!     &blocks,
+//! );
+//! let result = sim.run_until_output(10_000).unwrap();
+//! assert_eq!(result.sole_output(), Some(&reference)); // correct ...
+//! assert!(result.rounds() > 30);                      // ... but Ω(w) rounds.
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`bits`] | `mph-bits` | bit vectors, field layouts, cursors |
+//! | [`oracle`] | `mph-oracle` | lazy/table/patched/counting oracles, SHA-256, random tape |
+//! | [`ram`] | `mph-ram` | word-RAM with oracle instruction, Line/SimLine codegen |
+//! | [`mpc`] | `mph-mpc` | the MPC simulator (Definitions 2.1/2.2) |
+//! | [`core`] | `mph-core` | `Line`, `SimLine`, parameters, MPC algorithms, harnesses |
+//! | [`compression`] | `mph-compression` | Claims A.4/3.7 as `Enc`/`Dec`, Claim 3.8 |
+//! | [`bounds`] | `mph-bounds` | all bound formulas in log₂-space, Tables 1–3 |
+//! | [`algos`] | `mph-mpc-algos` | parallelizable baselines (sort, sum, CC, wordcount) |
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use mph_bits as bits;
+pub use mph_bounds as bounds;
+pub use mph_compression as compression;
+pub use mph_core as core;
+pub use mph_mpc as mpc;
+pub use mph_mpc_algos as algos;
+pub use mph_oracle as oracle;
+pub use mph_ram as ram;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use mph_bits::{BitVec, Layout};
+    pub use mph_core::algorithms::pipeline::{Pipeline, Target};
+    pub use mph_core::algorithms::BlockAssignment;
+    pub use mph_core::{Line, LineParams, SimLine};
+    pub use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+    pub use mph_oracle::{HashOracle, LazyOracle, Oracle, RandomTape, TableOracle};
+}

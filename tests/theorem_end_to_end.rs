@@ -1,0 +1,174 @@
+//! End-to-end integration tests for the theorem's claims, spanning all
+//! crates: RAM ↔ native ↔ MPC agreement, round-complexity shapes, the
+//! crossover, and success-probability behaviour per Definitions 2.4/2.5.
+
+use mpc_hardness::core::algorithms::pipeline::{Pipeline, Target};
+use mpc_hardness::core::algorithms::BlockAssignment;
+use mpc_hardness::core::{correctness, theorem, Line, SimLine};
+use mpc_hardness::prelude::*;
+use std::sync::Arc;
+
+/// All three evaluation paths — native Rust, the generated word-RAM
+/// program, and the MPC pipeline — compute the same function value, for
+/// both Line and SimLine, across several (RO, X) draws.
+#[test]
+fn three_evaluation_paths_agree() {
+    let params = LineParams::new(64, 50, 16, 10);
+    for seed in [1u64, 2, 3] {
+        let (oracle, blocks) = theorem::draw_instance(&params, seed);
+
+        // Line
+        let native = Line::new(params).eval(&*oracle, &blocks);
+        let (ram_out, _) = Line::new(params).eval_on_ram(&*oracle, &blocks).unwrap();
+        assert_eq!(ram_out, native, "RAM vs native (Line, seed {seed})");
+        let pipeline = Pipeline::new(params, BlockAssignment::new(10, 4, 4), Target::Line);
+        let m = theorem::measure_rounds(&pipeline, seed, None, None, 10_000);
+        assert!(m.correct, "MPC vs native (Line, seed {seed})");
+
+        // SimLine
+        let native = SimLine::new(params).eval(&*oracle, &blocks);
+        let (ram_out, _) = SimLine::new(params).eval_on_ram(&*oracle, &blocks).unwrap();
+        assert_eq!(ram_out, native, "RAM vs native (SimLine, seed {seed})");
+        let pipeline = Pipeline::new(params, BlockAssignment::new(10, 4, 4), Target::SimLine);
+        let m = theorem::measure_rounds(&pipeline, seed, None, None, 10_000);
+        assert!(m.correct, "MPC vs native (SimLine, seed {seed})");
+    }
+}
+
+/// The two theorems' contrasting memory responses, measured in one test:
+/// doubling memory halves SimLine's rounds but barely moves Line's.
+#[test]
+fn memory_elasticity_contrast() {
+    let params = LineParams::new(64, 192, 16, 32);
+    let rounds = |target: Target, window: usize| {
+        let pipeline = Pipeline::new(params, BlockAssignment::new(32, 8, window), target);
+        theorem::mean_rounds(&pipeline, 4, 100, 100_000)
+    };
+
+    let sim_8 = rounds(Target::SimLine, 8);
+    let sim_16 = rounds(Target::SimLine, 16);
+    let elasticity_simline = sim_8 / sim_16;
+    assert!(
+        elasticity_simline > 1.7,
+        "SimLine should speed up ~2x with 2x memory, got {elasticity_simline}"
+    );
+
+    let line_8 = rounds(Target::Line, 8);
+    let line_16 = rounds(Target::Line, 16);
+    let elasticity_line = line_8 / line_16;
+    assert!(
+        elasticity_line < 1.6,
+        "Line must not parallelize with memory, got elasticity {elasticity_line}"
+    );
+    // And Line is categorically slower at equal resources.
+    assert!(line_16 > 3.0 * sim_16);
+}
+
+/// Theorem 3.1's conclusion at simulation scale: with s ≤ S/c, the success
+/// probability within w/4 rounds is below 1/3; with a full-memory machine
+/// it is 1 within a single round.
+#[test]
+fn success_probability_cliff() {
+    let params = LineParams::new(64, 120, 16, 16);
+    let bounded = Pipeline::new(params, BlockAssignment::new(16, 4, 4), Target::Line);
+    let est = correctness::average_case_success(&bounded, 30, 12, 77);
+    assert!(
+        !est.succeeds_per_definition(),
+        "bounded memory should fail within w/4 rounds: rate {}",
+        est.rate()
+    );
+
+    let est_full = correctness::average_case_success(&bounded, 10_000, 6, 78);
+    assert_eq!(est_full.successes, est_full.trials, "with enough rounds it always succeeds");
+
+    let wide = Pipeline::wide(params, 4, Target::Line);
+    let est_wide = correctness::average_case_success(&wide, 1, 6, 79);
+    assert_eq!(est_wide.successes, est_wide.trials, "s ≥ S computes in one round");
+}
+
+/// Worst-case-style (Definition 2.4) agreement: on a fixed adversarially
+/// chosen input (all-zero blocks), the pipeline still computes the value
+/// the reference evaluator produces.
+#[test]
+fn fixed_pathological_input() {
+    let params = LineParams::new(64, 60, 16, 8);
+    let blocks = vec![BitVec::zeros(16); 8];
+    let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::Line);
+    let est = correctness::success_on_input(&pipeline, &blocks, 10_000, 5, 80);
+    assert_eq!(est.successes, est.trials);
+}
+
+/// The model-violation path crosses crates intact: a pipeline configured
+/// with one bit less than it needs dies with MemoryExceeded, not wrong
+/// answers.
+#[test]
+fn under_provisioned_memory_fails_loudly() {
+    let params = LineParams::new(64, 40, 16, 8);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::Line);
+    let (oracle, blocks) = theorem::draw_instance(&params, 5);
+    let mut sim = pipeline.build_simulation(
+        oracle as Arc<dyn Oracle>,
+        RandomTape::new(0),
+        pipeline.required_s() - 1,
+        None,
+        &blocks,
+    );
+    match sim.run_until_output(1000) {
+        Err(ModelViolation::MemoryExceeded { s_bits, .. }) => {
+            assert_eq!(s_bits, pipeline.required_s() - 1);
+        }
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    }
+}
+
+/// Query budgets thread through: the honest pipeline needs at most
+/// `window + 1` queries per machine-round for SimLine; q below the actual
+/// per-round need kills the run.
+#[test]
+fn query_budget_integration() {
+    let params = LineParams::new(64, 64, 16, 16);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(16, 4, 8), Target::SimLine);
+    let (oracle, blocks) = theorem::draw_instance(&params, 6);
+    // Generous budget: completes.
+    let mut sim = pipeline.build_simulation(
+        oracle.clone() as Arc<dyn Oracle>,
+        RandomTape::new(0),
+        pipeline.required_s(),
+        Some(64),
+        &blocks,
+    );
+    assert!(sim.run_until_output(1000).unwrap().completed());
+    // Starvation budget: SimLine advances ~8 nodes per visit; q = 2 breaks.
+    let mut sim = pipeline.build_simulation(
+        oracle as Arc<dyn Oracle>,
+        RandomTape::new(0),
+        pipeline.required_s(),
+        Some(2),
+        &blocks,
+    );
+    match sim.run_until_output(1000) {
+        Err(ModelViolation::QueryBudgetExceeded { q, .. }) => assert_eq!(q, 2),
+        other => panic!("expected QueryBudgetExceeded, got {other:?}"),
+    }
+}
+
+/// Determinism across the whole stack: identical seeds yield bit-identical
+/// runs (outputs, rounds, stats) even though machines execute in parallel.
+#[test]
+fn full_stack_determinism() {
+    let run = || {
+        let params = LineParams::new(64, 80, 16, 12);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(12, 4, 4), Target::Line);
+        let (oracle, blocks) = theorem::draw_instance(&params, 99);
+        let mut sim = pipeline.build_simulation(
+            oracle as Arc<dyn Oracle>,
+            RandomTape::new(99),
+            pipeline.required_s(),
+            None,
+            &blocks,
+        );
+        let result = sim.run_until_output(10_000).unwrap();
+        (result.outputs.clone(), result.rounds(), result.stats.total_bits())
+    };
+    assert_eq!(run(), run());
+}
