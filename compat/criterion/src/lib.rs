@@ -1,0 +1,269 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the criterion 0.5 API the workspace's bench
+//! targets use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`] (`iter`,
+//! `iter_batched`), [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up briefly, then runs timed batches until a small
+//! time budget is spent, and prints the mean time per iteration. There are
+//! no HTML reports, no outlier analysis, and no saved baselines; numbers
+//! are indicative, which is all the workspace's benches need offline.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring one benchmark (after warm-up).
+const MEASURE_BUDGET: Duration = Duration::from_millis(60);
+/// Wall-clock budget spent warming one benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(15);
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a benchmark named `id` and prints its mean iteration
+    /// time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), throughput: None }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix and settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; this harness sizes runs by a time
+    /// budget, not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much data one iteration processes, enabling a
+    /// throughput line in the output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id.into()), self.throughput, f);
+        self
+    }
+
+    /// Runs `f` with `input`, named by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.render()), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; groups hold no deferred state).
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// How much data one iteration processes.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// compatibility and ignored (batches are always size 1 here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Collects timing for one benchmark body.
+pub struct Bencher {
+    /// Total time spent inside measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+    /// When `false`, `iter` only runs the body once (warm-up).
+    measuring: bool,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` against the harness budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measuring {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh values from `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.measuring {
+            black_box(routine(setup()));
+            return;
+        }
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Warm-up + measure + report for one benchmark body.
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    // Warm-up: run the body (once per call) until the warm-up budget is
+    // spent, to fault in caches and lazy initialization.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < WARMUP_BUDGET {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, measuring: false };
+        f(&mut b);
+    }
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, measuring: true };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<44} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => {
+            let mbps = bytes as f64 / per_iter * 1e9 / (1024.0 * 1024.0);
+            format!("  {mbps:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let eps = n as f64 / per_iter * 1e9;
+            format!("  {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<44} {:>12} ns/iter ({} iters){rate}", format_ns(per_iter), b.iters);
+}
+
+/// Renders nanoseconds with thousands separators for readability.
+fn format_ns(ns: f64) -> String {
+    let whole = ns.round() as u128;
+    let s = whole.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u64; 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the slice of the proptest 1.x API this workspace uses:
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, `any`, [`Just`](strategy::Just), range and
+//! tuple strategies, `prop::collection::{vec, hash_set}`, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_oneof!`] macro family.
+//!
+//! Deliberate divergences from the real crate, acceptable for this
+//! workspace's tests (which assert *invariants over random inputs*, never
+//! proptest-specific behaviors):
+//!
+//! * **No shrinking.** A failing case panics with its case index and the
+//!   deterministic seed; inputs are reproducible by rerunning, not
+//!   minimized.
+//! * **Deterministic by construction.** Case `i` of test `t` draws from an
+//!   RNG seeded by `hash(module_path::t) ⊕ f(i)` — there is no
+//!   `PROPTEST_RNG` entropy and no persistence file, so failures always
+//!   reproduce exactly.
+//! * **Default case count is 64** (upstream: 256) to keep the offline test
+//!   suite fast; individual suites override via `ProptestConfig`.
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::{Rng, RngCore};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// deterministic random inputs.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the config for
+/// every test in the block:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one `fn` at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        // Bodies may legitimately end in `return Ok(());`, which makes the
+        // harness's appended `Ok(())` unreachable.
+        #[allow(unreachable_code)]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// Fails the property (returns `Err(TestCaseError)`) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fails the property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Picks uniformly among the listed strategies (all must yield the same
+/// value type). Weighted arms are not supported by this stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 5);
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {f}");
+        }
+
+        #[test]
+        fn maps_and_tuples(v in (0u8..10).prop_map(|b| b * 2), pair in (0u64..4, 1u64..5)) {
+            prop_assert!(v < 20);
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(pair.1, 0);
+        }
+
+        #[test]
+        fn vec_sizes(items in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..8).prop_flat_map(|n| prop::collection::vec(0u64..10, n))) {
+            prop_assert!(!v.is_empty());
+            return Ok(());
+        }
+
+        #[test]
+        fn oneof_covers(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_applies(seed in any::<u64>()) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("same::name", 3);
+        let mut b = TestRng::for_case("same::name", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("same::name", 4);
+        assert_ne!(TestRng::for_case("same::name", 3).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn hash_set_strategy_generates() {
+        let strat = crate::collection::hash_set(0u64..16, 0..5);
+        let mut rng = TestRng::for_case("hs", 0);
+        for _ in 0..50 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(s.len() < 5);
+            assert!(s.iter().all(|&x| x < 16));
+        }
+    }
+}

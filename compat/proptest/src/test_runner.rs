@@ -1,0 +1,90 @@
+//! The deterministic test runner backing the [`proptest!`](crate::proptest)
+//! macro: per-test configuration, the case RNG, and the failure type.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases (upstream proptest defaults to 256; see the crate docs for
+    /// why this stand-in runs fewer).
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion in the body failed.
+    Fail(String),
+    /// The case asked to be discarded (unused by this workspace, kept for
+    /// API fidelity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection carrying `message`.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG driving value generation for one test case.
+///
+/// Seeded from a hash of the test's fully qualified name mixed with the
+/// case index, so every case is reproducible across runs and machines
+/// with no persistence file.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, then golden-ratio mixing of the case
+        // index — cheap, stable, and well spread.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the [`rand_chacha`] crate: [`ChaCha12Rng`].
+//!
+//! Unlike the other compat crates, the cipher core here is the *real*
+//! ChaCha permutation (12 rounds, RFC 8439 layout with a 64-bit block
+//! counter), because [`mph_oracle::LazyOracle`] uses it to expand a
+//! SHA-256-derived key into oracle answers and the quality of that
+//! expansion matters for the "answers look uniform" guarantees the
+//! experiments rely on. Word-extraction order may differ from upstream
+//! `rand_chacha`; the workspace only depends on determinism and uniformity,
+//! never on specific stream values.
+//!
+//! [`rand_chacha`]: https://crates.io/crates/rand_chacha
+//! [`mph_oracle::LazyOracle`]: ../mph_oracle/struct.LazyOracle.html
+
+#![deny(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream cipher with 12 rounds, exposed as a random generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); nonce (14..16) is zero.
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 = exhausted.
+    word_idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14], state[15]: zero nonce.
+        let input = state;
+        for _ in 0..6 {
+            // Two rounds (one column + one diagonal pass) per iteration.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = state[i].wrapping_add(input[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word_idx = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha12Rng { key, counter: 0, block: [0; 16], word_idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seed = [7u8; 32];
+        let a: Vec<u64> = {
+            let mut r = ChaCha12Rng::from_seed(seed);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha12Rng::from_seed(seed);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut c = ChaCha12Rng::from_seed([8u8; 32]);
+        assert_ne!(a[0], c.next_u64());
+    }
+
+    #[test]
+    fn stream_is_balanced() {
+        let mut r = ChaCha12Rng::from_seed([1u8; 32]);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        let frac = ones as f64 / (1000.0 * 64.0);
+        assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+
+    #[test]
+    fn counter_advances_blocks() {
+        // 16 words per block: the 17th word must come from a new block and
+        // differ from a stuck-counter implementation (all-equal blocks).
+        let mut r = ChaCha12Rng::from_seed([3u8; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `par_iter()`, `into_par_iter()`, and the `zip`/`enumerate`/`map` +
+//! `collect`/`sum` chains on top of them — with genuine data parallelism
+//! via `std::thread::scope`: items are split into contiguous per-thread
+//! chunks, mapped concurrently, and reassembled **in input order**, so
+//! results are deterministic and identical to sequential execution.
+//!
+//! Differences from real rayon, none observable to this workspace:
+//!
+//! * No global work-stealing pool; each `collect`/`sum` spawns scoped
+//!   threads (the workspace parallelizes coarse per-trial / per-machine
+//!   work where spawn cost is noise).
+//! * Adapters are eager at the terminal operation only; `zip`, `enumerate`
+//!   and chained iterator structure stay lazy and sequential — solely the
+//!   mapped closure runs in parallel, which is where all the work is.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`.
+
+#![deny(missing_docs)]
+
+/// The traits and types user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads to use for `len` items.
+fn thread_count(len: usize) -> usize {
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    configured.min(len).max(1)
+}
+
+/// Maps `f` over `items` on scoped threads, preserving input order.
+fn parallel_map<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let threads = thread_count(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks; map each on its own thread;
+    // concatenate in chunk order. Order in = order out.
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A "parallel" iterator: a lazy sequential pipeline that fans out at the
+/// terminal `map(..).collect()/sum()` step.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Pairs this iterator with another parallel iterator, element-wise.
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParIter { inner: self.inner.zip(other.inner) }
+    }
+
+    /// Attaches the element index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter { inner: self.inner.enumerate() }
+    }
+
+    /// Registers the parallel stage: `f` runs concurrently at the terminal
+    /// operation.
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I::Item) -> O + Sync,
+        O: Send,
+    {
+        ParMap { base: self.inner, f }
+    }
+
+    /// Collects the (unmapped) items sequentially.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+}
+
+/// A parallel map stage pending its terminal operation.
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items: Vec<I::Item> = self.base.collect();
+        parallel_map(items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel and sums the results in input order.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        self.collect::<Vec<O>>().into_iter().sum()
+    }
+}
+
+/// `into_par_iter()` for owned collections and ranges.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` for borrowed collections.
+pub trait IntoParallelRefIterator {
+    /// Converts a reference into a parallel iterator over references.
+    fn par_iter(&self) -> ParIter<<&Self as IntoIterator>::IntoIter>
+    where
+        for<'a> &'a Self: IntoIterator;
+}
+
+impl<T> IntoParallelRefIterator for T {
+    fn par_iter(&self) -> ParIter<<&Self as IntoIterator>::IntoIter>
+    where
+        for<'a> &'a Self: IntoIterator,
+    {
+        ParIter { inner: self.into_iter() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0..1000u64).into_par_iter().map(|x| x * x).collect();
+        let expected: Vec<u64> = (0..1000u64).map(|x| x * x).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn zip_enumerate_map_chain() {
+        let a = vec![1u64, 2, 3, 4];
+        let b = vec![10u64, 20, 30, 40];
+        let out: Vec<(usize, u64)> =
+            a.par_iter().zip(b.par_iter()).enumerate().map(|(i, (x, y))| (i, x + y)).collect();
+        assert_eq!(out, vec![(0, 11), (1, 22), (2, 33), (3, 44)]);
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let total: u64 = (0..10_000u64).into_par_iter().map(|x| x % 7).sum();
+        let expected: u64 = (0..10_000u64).map(|x| x % 7).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn single_item_and_empty() {
+        let one: Vec<u32> = vec![5u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![6]);
+        let none: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn results_collectable() {
+        let r: Vec<Result<u32, ()>> = (0..100u32).into_par_iter().map(Ok).collect();
+        assert!(r.iter().all(|x| x.is_ok()));
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no crates.io access, so this crate keeps
+//! `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compiling: the traits are empty
+//! markers and the derives (from the sibling `serde_derive` compat crate)
+//! expand to nothing. **No actual serialization happens through these
+//! traits.** Machine-readable output in this workspace goes through
+//! `mph-metrics`' self-contained JSON emitter instead — see
+//! `docs/OBSERVABILITY.md` at the workspace root.
+
+#![deny(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`. Intentionally method-free.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. Intentionally method-free.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize, Deserialize)]` expands to nothing; `#[serde(...)]`
+//! helper attributes are accepted and ignored. See `compat/serde` for why.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,19 +14,14 @@ fn bench_mpc_rounds(c: &mut Criterion) {
     group.sample_size(10);
     for (target, label) in [(Target::Line, "line"), (Target::SimLine, "simline")] {
         for window in [8usize, 16] {
-            let pipeline =
-                Pipeline::new(params, BlockAssignment::new(32, 8, window), target);
-            group.bench_with_input(
-                BenchmarkId::new(label, window),
-                &window,
-                |b, _| {
-                    b.iter(|| {
-                        let m = theorem::measure_rounds(&pipeline, 42, None, None, 100_000);
-                        assert!(m.correct);
-                        m.rounds
-                    })
-                },
-            );
+            let pipeline = Pipeline::new(params, BlockAssignment::new(32, 8, window), target);
+            group.bench_with_input(BenchmarkId::new(label, window), &window, |b, _| {
+                b.iter(|| {
+                    let m = theorem::measure_rounds(&pipeline, 42, None, None, 100_000);
+                    assert!(m.correct);
+                    m.rounds
+                })
+            });
         }
     }
     group.finish();

@@ -11,9 +11,7 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 1024, 65_536] {
         let data = vec![0xABu8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("digest_{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)))
-        });
+        group.bench_function(format!("digest_{size}B"), |b| b.iter(|| sha256(black_box(&data))));
     }
     group.finish();
 

@@ -90,11 +90,7 @@ mod tests {
     fn bits_for_index_covers_domain() {
         for count in 1u64..500 {
             let b = bits_for_index(count);
-            assert!(
-                (count - 1) < (1u64 << b),
-                "largest index {} must fit in {b} bits",
-                count - 1
-            );
+            assert!((count - 1) < (1u64 << b), "largest index {} must fit in {b} bits", count - 1);
         }
     }
 

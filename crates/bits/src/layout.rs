@@ -311,21 +311,15 @@ mod tests {
     use super::*;
 
     fn line_layout() -> Layout {
-        Layout::builder(48)
-            .field("i", 16)
-            .field("x", 12)
-            .field("r", 12)
-            .build()
-            .unwrap()
+        Layout::builder(48).field("i", 16).field("x", 12).field("r", 12).build().unwrap()
     }
 
     #[test]
     fn pack_unpack_inverse() {
         let l = line_layout();
         let x = BitVec::from_u64(0xABC, 12);
-        let packed = l
-            .pack(&[FieldValue::Int(513), x.clone().into(), FieldValue::Int(0x5A5)])
-            .unwrap();
+        let packed =
+            l.pack(&[FieldValue::Int(513), x.clone().into(), FieldValue::Int(0x5A5)]).unwrap();
         assert_eq!(packed.len(), 48);
         let parts = l.unpack(&packed).unwrap();
         assert_eq!(parts[0].read_u64(0, 16), 513);
@@ -337,9 +331,7 @@ mod tests {
     fn padding_is_zero_after_pack() {
         let l = line_layout();
         assert_eq!(l.padding(), 8);
-        let packed = l
-            .pack(&[0.into(), BitVec::zeros(12).into(), 0.into()])
-            .unwrap();
+        let packed = l.pack(&[0.into(), BitVec::zeros(12).into(), 0.into()]).unwrap();
         assert!(l.padding_is_zero(&packed));
         let mut corrupted = packed.clone();
         corrupted.set(47, true);
@@ -356,13 +348,10 @@ mod tests {
     #[test]
     fn value_width_checked() {
         let l = line_layout();
-        let err = l
-            .pack(&[FieldValue::Int(1 << 16), BitVec::zeros(12).into(), 0.into()])
-            .unwrap_err();
+        let err =
+            l.pack(&[FieldValue::Int(1 << 16), BitVec::zeros(12).into(), 0.into()]).unwrap_err();
         assert!(matches!(err, LayoutError::ValueMismatch { .. }));
-        let err = l
-            .pack(&[0.into(), BitVec::zeros(13).into(), 0.into()])
-            .unwrap_err();
+        let err = l.pack(&[0.into(), BitVec::zeros(13).into(), 0.into()]).unwrap_err();
         assert!(matches!(err, LayoutError::ValueMismatch { .. }));
     }
 

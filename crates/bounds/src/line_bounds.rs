@@ -128,10 +128,7 @@ mod tests {
     fn theorem_holds_at_scale() {
         let b = paper_scale();
         let bound = b.theorem31_success_bound();
-        assert!(
-            bound.log2() < (1.0f64 / 3.0).log2(),
-            "success bound {bound} should be < 1/3"
-        );
+        assert!(bound.log2() < (1.0f64 / 3.0).log2(), "success bound {bound} should be < 1/3");
         assert!(b.certified_rounds() > 2000.0);
     }
 

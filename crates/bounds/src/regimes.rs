@@ -68,10 +68,7 @@ pub fn regime_sweep(
     m: f64,
     q: f64,
 ) -> Vec<RegimePoint> {
-    n_values
-        .iter()
-        .map(|&n| evaluate_point(n, s_ram, t, memory_fraction, m, q))
-        .collect()
+    n_values.iter().map(|&n| evaluate_point(n, s_ram, t, memory_fraction, m, q)).collect()
 }
 
 /// Binary-searches the smallest `n` (within `[lo, hi]`, powers of 2) at

@@ -56,13 +56,8 @@ impl PipelineRound {
         blocks: &[BitVec],
         s_bits: usize,
     ) -> Vec<BitVec> {
-        let mut sim = self.pipeline.build_simulation(
-            oracle,
-            RandomTape::new(0),
-            s_bits,
-            None,
-            blocks,
-        );
+        let mut sim =
+            self.pipeline.build_simulation(oracle, RandomTape::new(0), s_bits, None, blocks);
         for _ in 0..self.round {
             sim.step().expect("honest pipeline run");
         }
@@ -76,8 +71,7 @@ impl RoundAlgorithm for PipelineRound {
             .iter()
             .map(|payload| Message { from: 0, to: self.machine, payload: payload.clone() })
             .collect();
-        let recorder =
-            RecordingOracle { inner: oracle, log: parking_lot::Mutex::new(Vec::new()) };
+        let recorder = RecordingOracle { inner: oracle, log: parking_lot::Mutex::new(Vec::new()) };
         let tape = RandomTape::new(0);
         let ctx = RoundCtx::standalone(
             self.machine,
@@ -89,9 +83,7 @@ impl RoundAlgorithm for PipelineRound {
         );
         // A model violation while replaying (e.g. a budget error) means the
         // configuration was impossible; surface loudly.
-        self.pipeline
-            .round(&ctx, &messages)
-            .expect("replayed round must be violation-free");
+        self.pipeline.round(&ctx, &messages).expect("replayed round must be violation-free");
         recorder.log.into_inner()
     }
 }
@@ -127,11 +119,7 @@ mod tests {
 
     fn setup() -> (Arc<Pipeline>, Arc<dyn Oracle>, Vec<BitVec>) {
         let params = LineParams::new(64, 30, 16, 8);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(8, 4, 3),
-            Target::SimLine,
-        );
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::SimLine);
         let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(21, 64));
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
         let blocks = mph_bits::random_blocks(&mut rng, 8, 16);
@@ -166,8 +154,7 @@ mod tests {
             &blocks,
         );
         sim.step().unwrap();
-        let live: Vec<BitVec> =
-            transcript.transcript().into_iter().map(|r| r.input).collect();
+        let live: Vec<BitVec> = transcript.transcript().into_iter().map(|r| r.input).collect();
 
         let adv = PipelineRound::new(pipeline, 0, 0);
         let memory = adv.precompute(oracle.clone(), &blocks, s);
@@ -254,17 +241,10 @@ impl RoundAlgorithm for StoredBlocks {
             if i > p.w + p.v as u64 {
                 break; // safety net; synthetic chains never run this long
             }
-            let needed = if self.simline {
-                ((i - 1) % p.v as u64) as usize
-            } else {
-                l
-            };
+            let needed = if self.simline { ((i - 1) % p.v as u64) as usize } else { l };
             let Some(x) = &local[needed] else { break };
-            let query = if self.simline {
-                p.pack_simline_query(x, &r)
-            } else {
-                p.pack_query(i, x, &r)
-            };
+            let query =
+                if self.simline { p.pack_simline_query(x, &r) } else { p.pack_query(i, x, &r) };
             let answer = oracle.query(&query);
             queries.push(query);
             if self.simline {

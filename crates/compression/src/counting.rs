@@ -54,10 +54,7 @@ where
     for code in 0..(1u64 << message_bits) {
         let msg = BitVec::from_u64(code, message_bits).slice(0, message_bits);
         let compressed = compress(&msg);
-        assert!(
-            compressed.len() <= claimed_max_bits,
-            "compressor exceeded its claimed max length"
-        );
+        assert!(compressed.len() <= claimed_max_bits, "compressor exceeded its claimed max length");
         if let Some(prev) = seen.get(&compressed) {
             return CountingDemo {
                 message_bits,

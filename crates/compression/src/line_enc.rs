@@ -442,11 +442,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let oracle = TableOracle::random(&mut rng, 14, 14);
         let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(params.v, 2, window),
-            Target::Line,
-        );
+        let pipeline =
+            Pipeline::new(params, BlockAssignment::new(params.v, 2, window), Target::Line);
         (params, oracle, blocks, pipeline)
     }
 
@@ -480,8 +477,7 @@ mod tests {
         let enc = LineEncoder::new(params, 2, 64);
         // Round 0 frontier: nothing queried, next node is 1 with the
         // initial pointer and chain value.
-        let encoding =
-            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
         let (oracle2, blocks2) = enc.decode(&encoding.bits, &adv);
         assert_eq!(oracle2, oracle);
         assert_eq!(blocks2, blocks);
@@ -497,8 +493,7 @@ mod tests {
         let adv = PipelineRound::new(pipeline.clone(), 0, 0);
         let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
         let enc = LineEncoder::new(params, 2, 64);
-        let encoding =
-            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
         // Machine 0 holds blocks {0, 1, 2}; block 0 is a0 (always
         // revealed); the rewirings sweep a_1 over all blocks it holds.
         assert!(
@@ -547,8 +542,7 @@ mod tests {
         let holder = (0..2)
             .find(|&mch| sim.inbox(mch).iter().any(|m| m.payload.len() == token_bits))
             .expect("token must be somewhere");
-        let memory: Vec<BitVec> =
-            sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
+        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
 
         let adv = PipelineRound::new(pipeline, holder, k);
         let enc = LineEncoder::new(params, 2, 64);
@@ -566,8 +560,7 @@ mod tests {
         let adv = PipelineRound::new(pipeline, 0, 0);
         let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
         let enc = LineEncoder::new(params, 2, 64);
-        let encoding =
-            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
         // Our explicit framing on top of the paper's accounting: memory
         // message frames, the frontier record, sequence/item counters.
         let framing = MEM_COUNT_WIDTH
@@ -593,12 +586,8 @@ mod tests {
         let adv = PipelineRound::new(pipeline, 0, 0);
         let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
         let enc = LineEncoder::new(params, 2, 64);
-        let encoding =
-            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
         assert_eq!(encoding.parts.total(), encoding.bits.len());
-        assert_eq!(
-            encoding.parts.raw_block_bits,
-            (params.v - encoding.parts.recovered) * params.u
-        );
+        assert_eq!(encoding.parts.raw_block_bits, (params.v - encoding.parts.recovered) * params.u);
     }
 }

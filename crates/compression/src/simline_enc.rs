@@ -249,11 +249,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let oracle = TableOracle::random(&mut rng, 12, 12);
         let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(params.v, 2, window),
-            Target::SimLine,
-        );
+        let pipeline =
+            Pipeline::new(params, BlockAssignment::new(params.v, 2, window), Target::SimLine);
         (params, oracle, blocks, pipeline)
     }
 
@@ -297,9 +294,7 @@ mod tests {
         let encoding = enc.encode(&oracle, &blocks, &memory, &adv);
         assert_eq!(encoding.parts.total(), encoding.bits.len());
         // Claim A.4's bound (with the framing overhead added on top).
-        let framing = MEM_COUNT_WIDTH
-            + memory.len() * MEM_LEN_WIDTH
-            + enc.count_width();
+        let framing = MEM_COUNT_WIDTH + memory.len() * MEM_LEN_WIDTH + enc.count_width();
         let bound = enc.claim_bound(encoding.parts.recovered, s) + framing;
         assert!(
             encoding.bits.len() <= bound,
@@ -321,10 +316,7 @@ mod tests {
         let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
         let enc = SimLineEncoder::new(params, 64);
         let encoding = enc.encode(&oracle, &blocks, &memory, &adv);
-        assert_eq!(
-            encoding.parts.raw_block_bits,
-            (params.v - encoding.parts.recovered) * params.u
-        );
+        assert_eq!(encoding.parts.raw_block_bits, (params.v - encoding.parts.recovered) * params.u);
     }
 
     #[test]
@@ -358,11 +350,7 @@ mod tests {
         let table = TableOracle::snapshot(&lazy);
         let mut rng = StdRng::seed_from_u64(10);
         let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(params.v, 2, 2),
-            Target::SimLine,
-        );
+        let pipeline = Pipeline::new(params, BlockAssignment::new(params.v, 2, 2), Target::SimLine);
         let s = pipeline.required_s();
         let adv = PipelineRound::new(pipeline, 0, 0);
         let memory = adv.precompute(Arc::new(table.clone()), &blocks, s);
@@ -392,8 +380,7 @@ mod stored_blocks_tests {
         for k in 1..=4usize {
             // SimLine's round-0 schedule starts at block 0.
             let adv = StoredBlocks::new(params, 0, BitVec::zeros(params.u), true);
-            let stored: Vec<(usize, BitVec)> =
-                (0..k).map(|b| (b, blocks[b].clone())).collect();
+            let stored: Vec<(usize, BitVec)> = (0..k).map(|b| (b, blocks[b].clone())).collect();
             let memory = adv.memory_for(&stored);
             let enc = SimLineEncoder::new(params, 64);
             let encoding = enc.encode(&oracle, &blocks, &memory, &adv);

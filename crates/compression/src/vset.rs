@@ -47,10 +47,7 @@ pub fn v_set<O: Oracle + ?Sized>(
     depth: usize,
 ) -> Vec<ReachableEntry> {
     assert!(depth >= 1, "need at least one level");
-    assert!(
-        (params.v as f64).powi(depth as i32 - 1) <= 1e6,
-        "v^depth too large to materialize"
-    );
+    assert!((params.v as f64).powi(depth as i32 - 1) <= 1e6, "v^depth too large to materialize");
     // Frontier state after node j: the pointer and chain value entering
     // node j+1.
     let (a0, r_next) = if j == 0 {

@@ -70,10 +70,7 @@ impl Broadcast {
                 sim.seed_memory(machine, self.codec.encode_block(idx, &blocks[idx]));
             }
             // The initial frontier is broadcast: everyone starts knowing it.
-            sim.seed_memory(
-                machine,
-                self.codec.encode_token(1, 0, &BitVec::zeros(self.params.u)),
-            );
+            sim.seed_memory(machine, self.codec.encode_token(1, 0, &BitVec::zeros(self.params.u)));
         }
         sim
     }
@@ -176,13 +173,8 @@ mod tests {
         let oracle = Arc::new(LazyOracle::square(seed, params.n));
         let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
         let blocks = random_blocks(&mut rng, params.v, params.u);
-        let mut sim = algo.build_simulation(
-            oracle,
-            RandomTape::new(0),
-            algo.required_s(),
-            None,
-            &blocks,
-        );
+        let mut sim =
+            algo.build_simulation(oracle, RandomTape::new(0), algo.required_s(), None, &blocks);
         let result = sim.run_until_output(100_000).unwrap();
         assert!(result.completed());
         (result.sole_output().unwrap().clone(), result.rounds())
@@ -206,11 +198,7 @@ mod tests {
         let params = LineParams::new(64, 120, 16, 16);
         let seed = 5;
         let (_, r_broadcast) = run_broadcast(params, 4, 4, Target::Line, seed);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(params.v, 4, 4),
-            Target::Line,
-        );
+        let pipeline = Pipeline::new(params, BlockAssignment::new(params.v, 4, 4), Target::Line);
         // theorem::draw_instance derives blocks differently; rebuild the
         // broadcast's instance for the pipeline run instead.
         let oracle = Arc::new(LazyOracle::square(seed, params.n));
@@ -241,8 +229,7 @@ mod tests {
         let broadcast_bits = sim.run_until_output(100_000).unwrap().stats.total_bits();
 
         let p = Pipeline::new(params, BlockAssignment::new(12, 4, 4), Target::Line);
-        let mut sim =
-            p.build_simulation(oracle, RandomTape::new(0), p.required_s(), None, &blocks);
+        let mut sim = p.build_simulation(oracle, RandomTape::new(0), p.required_s(), None, &blocks);
         let pipeline_bits = sim.run_until_output(100_000).unwrap().stats.total_bits();
 
         assert!(

@@ -110,10 +110,9 @@ impl BlockAssignment {
                 let start = (machine * self.stride) % self.v;
                 (0..self.window).map(|t| (start + t) % self.v).collect()
             }
-            WindowLayout::Strided => (0..self.window)
-                .map(|t| machine + t * self.m)
-                .filter(|&b| b < self.v)
-                .collect(),
+            WindowLayout::Strided => {
+                (0..self.window).map(|t| machine + t * self.m).filter(|&b| b < self.v).collect()
+            }
         }
     }
 
@@ -229,11 +228,7 @@ impl Codec {
     /// Encodes a block message.
     pub fn encode_block(&self, idx: usize, x: &BitVec) -> BitVec {
         self.block_layout
-            .pack(&[
-                FieldValue::Int(TAG_BLOCK),
-                FieldValue::Int(idx as u64),
-                x.into(),
-            ])
+            .pack(&[FieldValue::Int(TAG_BLOCK), FieldValue::Int(idx as u64), x.into()])
             .expect("block fields sized by params")
     }
 
@@ -303,7 +298,10 @@ mod tests {
             for b in 0..v {
                 let r = a.route(b);
                 assert!(r < m, "route {r} out of range for m = {m}");
-                assert!(a.holds(r, b), "v={v} m={m} w={window}: routed machine must hold block {b}");
+                assert!(
+                    a.holds(r, b),
+                    "v={v} m={m} w={window}: routed machine must hold block {b}"
+                );
             }
         }
     }

@@ -133,10 +133,9 @@ impl Pipeline {
         };
         let answer = ctx.query(&query)?;
         let (l, r_next) = match self.target {
-            Target::Line => (
-                self.params.extract_pointer(&answer),
-                self.params.extract_chain(&answer),
-            ),
+            Target::Line => {
+                (self.params.extract_pointer(&answer), self.params.extract_chain(&answer))
+            }
             // SimLine answers are (r, z): the chain value leads, and the
             // pointer is unused (the schedule is public).
             Target::SimLine => (0, answer.slice(0, self.params.u)),
@@ -307,8 +306,7 @@ mod tests {
         assert!(result.completed());
         assert!(result.stats.peak_memory_bits() <= s);
         // ... one bit less does not.
-        let mut sim =
-            pipeline.build_simulation(oracle, RandomTape::new(0), s - 1, None, &blocks);
+        let mut sim = pipeline.build_simulation(oracle, RandomTape::new(0), s - 1, None, &blocks);
         let err = sim.run_until_output(1000).unwrap_err();
         assert!(matches!(err, ModelViolation::MemoryExceeded { .. }));
     }
@@ -348,8 +346,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11 ^ 0x55);
         let blocks = random_blocks(&mut rng, params.v, params.u);
         let s = pipeline.required_s();
-        let mut sim =
-            pipeline.build_simulation(oracle, RandomTape::new(0), s, None, &blocks);
+        let mut sim = pipeline.build_simulation(oracle, RandomTape::new(0), s, None, &blocks);
         let result = sim.run_until_output(10_000).unwrap();
         assert_eq!(result.stats.total_queries(), params.w);
     }

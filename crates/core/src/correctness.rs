@@ -125,11 +125,7 @@ mod tests {
         // conclusion at toy scale.
         let p = pipeline(4);
         let est = average_case_success(&p, 10, 12, 2);
-        assert!(
-            !est.succeeds_per_definition(),
-            "rate {} should be below 1/3",
-            est.rate()
-        );
+        assert!(!est.succeeds_per_definition(), "rate {} should be below 1/3", est.rate());
     }
 
     #[test]
@@ -145,15 +141,10 @@ mod tests {
         // whole domain {0,1}^6 has 64 inputs — check them all: the honest
         // pipeline with a generous round cap computes Line on each.
         let params = LineParams::new(24, 6, 2, 3);
-        let pipeline = Pipeline::new(
-            params,
-            BlockAssignment::new(3, 2, 2),
-            Target::Line,
-        );
+        let pipeline = Pipeline::new(params, BlockAssignment::new(3, 2, 2), Target::Line);
         for input in 0u64..64 {
-            let blocks: Vec<BitVec> = (0..3)
-                .map(|j| BitVec::from_u64((input >> (2 * j)) & 0b11, 2))
-                .collect();
+            let blocks: Vec<BitVec> =
+                (0..3).map(|j| BitVec::from_u64((input >> (2 * j)) & 0b11, 2)).collect();
             let est = success_on_input(&pipeline, &blocks, 1000, 2, input);
             assert_eq!(est.successes, est.trials, "input {input:06b}");
         }

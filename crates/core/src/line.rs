@@ -78,7 +78,13 @@ impl Line {
         for i in 1..=p.w {
             let query = p.pack_query(i, &blocks[l], &r);
             answer = oracle.query(&query);
-            nodes.push(Node { i, block: l, r_in: r.clone(), query: query.clone(), answer: answer.clone() });
+            nodes.push(Node {
+                i,
+                block: l,
+                r_in: r.clone(),
+                query: query.clone(),
+                answer: answer.clone(),
+            });
             l = p.extract_pointer(&answer);
             r = p.extract_chain(&answer);
         }

@@ -13,6 +13,7 @@ use crate::line::Line;
 use crate::params::LineParams;
 use crate::simline::SimLine;
 use mph_bits::{random_blocks, BitVec};
+use mph_metrics::{MetricsSink, Recorder};
 use mph_oracle::{LazyOracle, Oracle, RandomTape, TranscriptOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,11 +47,7 @@ pub fn draw_instance(params: &LineParams, seed: u64) -> (Arc<LazyOracle>, Vec<Bi
 }
 
 /// The reference function value for a pipeline's target on `(RO, X)`.
-pub fn reference_output(
-    pipeline: &Pipeline,
-    oracle: &dyn Oracle,
-    blocks: &[BitVec],
-) -> BitVec {
+pub fn reference_output(pipeline: &Pipeline, oracle: &dyn Oracle, blocks: &[BitVec]) -> BitVec {
     match pipeline_target(pipeline) {
         Target::Line => Line::new(*pipeline.params()).eval(&oracle, blocks),
         Target::SimLine => SimLine::new(*pipeline.params()).eval(&oracle, blocks),
@@ -74,6 +71,45 @@ pub fn measure_rounds(
     q: Option<u64>,
     max_rounds: usize,
 ) -> RoundMeasurement {
+    measure_rounds_inner(pipeline, seed, s_bits, q, max_rounds, None)
+}
+
+/// [`measure_rounds`] with a telemetry sink attached to the simulator:
+/// the run's round, message, memory, and violation events land in `sink`
+/// (typically a [`Recorder`]) in addition to the returned summary.
+pub fn measure_rounds_with(
+    pipeline: &Arc<Pipeline>,
+    seed: u64,
+    s_bits: Option<usize>,
+    q: Option<u64>,
+    max_rounds: usize,
+    sink: Arc<dyn MetricsSink>,
+) -> RoundMeasurement {
+    measure_rounds_inner(pipeline, seed, s_bits, q, max_rounds, Some(sink))
+}
+
+/// Tags `recorder` with the instance parameters the theorem statements
+/// quantify over: `n` (query width), `s` (per-machine memory in bits),
+/// `q` (per-round query budget of Definition 2.1; `"unbounded"` when not
+/// enforced), and the function-shape parameters `u` (block length), `v`
+/// (number of blocks), `w` (line length `T`).
+pub fn run_tags(recorder: &Recorder, params: &LineParams, s_bits: usize, q: Option<u64>) {
+    recorder.set_tag("n", params.n.to_string());
+    recorder.set_tag("s", s_bits.to_string());
+    recorder.set_tag("q", q.map_or_else(|| "unbounded".to_string(), |q| q.to_string()));
+    recorder.set_tag("u", params.u.to_string());
+    recorder.set_tag("v", params.v.to_string());
+    recorder.set_tag("w", params.w.to_string());
+}
+
+fn measure_rounds_inner(
+    pipeline: &Arc<Pipeline>,
+    seed: u64,
+    s_bits: Option<usize>,
+    q: Option<u64>,
+    max_rounds: usize,
+    sink: Option<Arc<dyn MetricsSink>>,
+) -> RoundMeasurement {
     let (oracle, blocks) = draw_instance(pipeline.params(), seed);
     let expected = reference_output(pipeline, &*oracle, &blocks);
     let s = s_bits.unwrap_or_else(|| pipeline.required_s());
@@ -84,6 +120,9 @@ pub fn measure_rounds(
         q,
         &blocks,
     );
+    if let Some(sink) = sink {
+        sim.set_metrics(sink);
+    }
     let result = sim.run_until_output(max_rounds).expect("model violations are config bugs here");
     let correct = result.completed() && result.sole_output() == Some(&expected);
     RoundMeasurement {
@@ -103,10 +142,40 @@ pub fn mean_rounds(
     base_seed: u64,
     max_rounds: usize,
 ) -> f64 {
+    mean_rounds_inner(pipeline, trials, base_seed, max_rounds, None)
+}
+
+/// [`mean_rounds`] with a shared telemetry sink: all trials record into
+/// `sink` concurrently (a [`Recorder`]'s fold is order-independent, so
+/// the aggregate is the same regardless of trial interleaving).
+pub fn mean_rounds_with(
+    pipeline: &Arc<Pipeline>,
+    trials: usize,
+    base_seed: u64,
+    max_rounds: usize,
+    sink: Arc<dyn MetricsSink>,
+) -> f64 {
+    mean_rounds_inner(pipeline, trials, base_seed, max_rounds, Some(sink))
+}
+
+fn mean_rounds_inner(
+    pipeline: &Arc<Pipeline>,
+    trials: usize,
+    base_seed: u64,
+    max_rounds: usize,
+    sink: Option<Arc<dyn MetricsSink>>,
+) -> f64 {
     let total: usize = (0..trials)
         .into_par_iter()
         .map(|t| {
-            let m = measure_rounds(pipeline, base_seed.wrapping_add(t as u64), None, None, max_rounds);
+            let m = measure_rounds_inner(
+                pipeline,
+                base_seed.wrapping_add(t as u64),
+                None,
+                None,
+                max_rounds,
+                sink.clone(),
+            );
             assert!(m.correct, "honest pipeline must be correct");
             m.rounds
         })
@@ -200,13 +269,9 @@ pub struct SkipEvent {
 /// of a nonempty result by `w·v^{log²w}·(k+1)·m·q·2^{-u}`; honest
 /// algorithms must produce none, and the tests assert the guessing
 /// adversary produces some at tiny `u`.
-pub fn detect_skip_events(
-    trace: &crate::trace::EvalTrace,
-    queries: &[BitVec],
-) -> Vec<SkipEvent> {
+pub fn detect_skip_events(trace: &crate::trace::EvalTrace, queries: &[BitVec]) -> Vec<SkipEvent> {
     use std::collections::HashMap;
-    let correct: HashMap<&BitVec, u64> =
-        trace.nodes.iter().map(|n| (&n.query, n.i)).collect();
+    let correct: HashMap<&BitVec, u64> = trace.nodes.iter().map(|n| (&n.query, n.i)).collect();
     let mut queried_nodes: Vec<bool> = vec![false; trace.nodes.len() + 2];
     let mut events = Vec::new();
     for (pos, q) in queries.iter().enumerate() {
@@ -237,8 +302,7 @@ pub fn skip_events_in_run(pipeline: &Arc<Pipeline>, seed: u64) -> Vec<SkipEvent>
         &blocks,
     );
     let _ = sim.run_until_output(10 * pipeline.params().w as usize + 10);
-    let queries: Vec<BitVec> =
-        transcript.transcript().into_iter().map(|r| r.input).collect();
+    let queries: Vec<BitVec> = transcript.transcript().into_iter().map(|r| r.input).collect();
     detect_skip_events(&trace, &queries)
 }
 
@@ -287,6 +351,21 @@ mod tests {
     }
 
     #[test]
+    fn measure_rounds_with_records_matching_telemetry() {
+        let p = pipeline(40, 8, 4, 3, Target::Line);
+        let recorder = Arc::new(Recorder::new());
+        run_tags(&recorder, p.params(), p.required_s(), None);
+        let m = measure_rounds_with(&p, 3, None, None, 1000, recorder.clone());
+        let snap = recorder.snapshot();
+        assert_eq!(snap.totals.rounds as usize, m.rounds);
+        assert_eq!(snap.totals.oracle_queries, m.total_queries);
+        assert_eq!(snap.totals.bits_sent as usize, m.total_comm_bits);
+        assert_eq!(snap.tags["w"], "40");
+        assert_eq!(snap.tags["q"], "unbounded");
+        assert!(snap.violations.is_empty());
+    }
+
+    #[test]
     fn advances_sum_to_w() {
         let p = pipeline(50, 8, 4, 3, Target::Line);
         let advances = round_advances(&p, 5, 1000);
@@ -301,10 +380,7 @@ mod tests {
         let p = pipeline(300, 16, 4, 4, Target::Line);
         let dist = advance_distribution(&p, 30, 100, 10_000);
         let ratio = dist.decay_ratio(4).expect("enough mass");
-        assert!(
-            (ratio - 0.25).abs() < 0.08,
-            "decay ratio {ratio}, expected ≈ 0.25"
-        );
+        assert!((ratio - 0.25).abs() < 0.08, "decay ratio {ratio}, expected ≈ 0.25");
     }
 
     #[test]
@@ -355,7 +431,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
             for _ in 0..8 {
                 let r_guess = mph_bits::random_bitvec(&mut rng, params.u);
-                guesses.push(params.pack_query(3, &blocks[rng.gen_range(0..4)], &r_guess));
+                guesses.push(params.pack_query(3, &blocks[rng.gen_range(0..4usize)], &r_guess));
             }
             if !detect_skip_events(&trace, &guesses).is_empty() {
                 found += 1;
@@ -372,9 +448,6 @@ mod tests {
         let simline = pipeline(120, 16, 4, 8, Target::SimLine);
         let r_line = mean_rounds(&line, 8, 500, 10_000);
         let r_simline = mean_rounds(&simline, 8, 500, 10_000);
-        assert!(
-            r_line > 2.0 * r_simline,
-            "line {r_line} rounds vs simline {r_simline}"
-        );
+        assert!(r_line > 2.0 * r_simline, "line {r_line} rounds vs simline {r_simline}");
     }
 }

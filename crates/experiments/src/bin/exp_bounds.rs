@@ -28,7 +28,10 @@ fn main() {
         .kv("log² w", format!("{:.0}", b.log2w_sq()))
         .kv("Lemma 3.6 denominator", format!("{:.0} bits", b.lemma36_denominator()))
         .kv("h (blocks memory can encode)", format!("{:.2}", b.h()))
-        .kv("Lemma 3.3  Pr[E^(k)], k = R", format!("{}", b.lemma33_guess_bound(b.certified_rounds())))
+        .kv(
+            "Lemma 3.3  Pr[E^(k)], k = R",
+            format!("{}", b.lemma33_guess_bound(b.certified_rounds())),
+        )
         .kv("Lemma 3.6  Pr[|B| > h]", format!("{}", b.lemma36_overflow_bound()))
         .kv("Claim 3.9 per-machine trio", format!("{}", b.claim39_per_machine_term()))
         .kv("Theorem 3.1 success bound at R = w/log²w", format!("{}", b.theorem31_success_bound()))
@@ -40,11 +43,8 @@ fn main() {
     for frac_exp in [-6i32, -4, -3, -2, -1, 0] {
         let mut b2 = b;
         b2.s = 2f64.powi(18 + frac_exp);
-        let bound = if b2.lemma36_denominator() > 0.0 {
-            b2.theorem31_success_bound()
-        } else {
-            Log2::ONE
-        };
+        let bound =
+            if b2.lemma36_denominator() > 0.0 { b2.theorem31_success_bound() } else { Log2::ONE };
         rows.push(vec![
             format!("2^{frac_exp}"),
             format!("{:.1}", b2.h()),

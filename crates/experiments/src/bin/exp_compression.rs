@@ -6,6 +6,9 @@
 //! Reports, per instance: round-trip exactness, the itemized encoding
 //! length, the claims' bound formulas, and the Claim 3.8 entropy floor —
 //! the inequality chain the paper's contradiction lives in.
+//!
+//! Besides the stdout tables, writes `target/reports/exp_compression.json`
+//! with the same cells (see docs/OBSERVABILITY.md).
 
 use mph_bits::BitVec;
 use mph_compression::{LineEncoder, PipelineRound, SimLineEncoder};
@@ -49,7 +52,14 @@ fn main() {
         ]);
     }
     report.table(
-        &["window", "α recovered", "|Enc| (bits)", "Claim A.4 bound + s", "entropy floor", "Dec∘Enc = id"],
+        &[
+            "window",
+            "α recovered",
+            "|Enc| (bits)",
+            "Claim A.4 bound + s",
+            "entropy floor",
+            "Dec∘Enc = id",
+        ],
         &rows,
     );
     report.para(
@@ -73,8 +83,7 @@ fn main() {
         let adv = PipelineRound::new(pipeline, 0, 0);
         let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
         let enc = LineEncoder::new(params, 2, 64);
-        let encoding =
-            enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
+        let encoding = enc.encode(&oracle, &blocks, &memory, &adv, 0, 0, &BitVec::zeros(params.u));
         let (o2, b2) = enc.decode(&encoding.bits, &adv);
         let roundtrip = o2 == oracle && b2 == blocks;
         rows.push(vec![
@@ -87,7 +96,14 @@ fn main() {
         ]);
     }
     report.table(
-        &["window", "|B| recovered", "productive seqs", "|Enc| (bits)", "entropy floor", "Dec∘Enc = id"],
+        &[
+            "window",
+            "|B| recovered",
+            "productive seqs",
+            "|Enc| (bits)",
+            "entropy floor",
+            "Dec∘Enc = id",
+        ],
         &rows,
     );
     report.para(
@@ -97,5 +113,5 @@ fn main() {
          oracles, its size is independent of the true ℓ's, which is what \
          lets Claim 3.9 treat the pointer walk as fresh randomness.",
     );
-    report.print();
+    report.print_and_write("exp_compression");
 }

@@ -28,7 +28,10 @@ fn main() {
     report
         .kv("instance", format!("n = 64, u = 16, v = {v}, w = T = {w}, S = {s_input} bits"))
         .kv("RAM time (word ops)", ram_stats.time)
-        .kv("RAM time / (T·n/64)", format!("{:.2}", ram_stats.time as f64 / (w as f64 * 64.0 / 64.0)))
+        .kv(
+            "RAM time / (T·n/64)",
+            format!("{:.2}", ram_stats.time as f64 / (w as f64 * 64.0 / 64.0)),
+        )
         .kv("RAM space (bits)", ram_stats.peak_bits())
         .kv("RAM oracle queries", ram_stats.oracle_queries)
         .end_block();

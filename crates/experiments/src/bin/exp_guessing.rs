@@ -15,13 +15,9 @@ fn main() {
     report.h1("E5 — skip-ahead guessing succeeds at rate ≈ g·2^(−u)");
 
     let mut rows = Vec::new();
-    for (u, guesses, trials) in [
-        (4usize, 4usize, 2000usize),
-        (6, 16, 2000),
-        (8, 32, 2000),
-        (10, 64, 2000),
-        (16, 64, 500),
-    ] {
+    for (u, guesses, trials) in
+        [(4usize, 4usize, 2000usize), (6, 16, 2000), (8, 32, 2000), (10, 64, 2000), (16, 64, 500)]
+    {
         let n = (3 * u).max(u + u + 8); // room for (i, x, r)
         let params = LineParams::new(n, 10, u, 4);
         let outcome = guess_ahead_experiment(params, 5, guesses, trials, 99);

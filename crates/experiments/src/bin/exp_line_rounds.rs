@@ -8,11 +8,19 @@
 //! 2. **Length sweep** at fixed memory fraction: rounds grow linearly in
 //!    `w = T` — the `Ω̃(T)` of the theorem, against the RAM's `O(T·n)`
 //!    time (1 oracle call per node either way).
+//!
+//! Besides the stdout tables, writes `target/reports/exp_line_rounds.json`
+//! with the same cells plus the per-point telemetry snapshots recorded by
+//! `mph-metrics` (see docs/OBSERVABILITY.md for a worked example of this
+//! report).
 
 use mph_core::algorithms::pipeline::Target;
 use mph_core::theorem;
 use mph_experiments::setup::{demo_pipeline, fmt};
 use mph_experiments::Report;
+use mph_metrics::json::Json;
+use mph_metrics::Recorder;
+use std::sync::Arc;
 
 fn main() {
     let mut report = Report::new();
@@ -24,10 +32,15 @@ fn main() {
     report.h2("memory sweep (w = 512): memory does NOT buy proportional speedup");
     let w = 512u64;
     let mut rows = Vec::new();
+    let mut telemetry: Vec<(String, Json)> = Vec::new();
     for window in [8usize, 16, 32, 48] {
         let pipeline = demo_pipeline(w, v, m, window, Target::Line);
         let f = window as f64 / v as f64;
-        let measured = theorem::mean_rounds(&pipeline, trials, 2000, 1_000_000);
+        let recorder = Arc::new(Recorder::new());
+        theorem::run_tags(&recorder, pipeline.params(), pipeline.required_s(), None);
+        let measured =
+            theorem::mean_rounds_with(&pipeline, trials, 2000, 1_000_000, recorder.clone());
+        telemetry.push((format!("window={window}"), recorder.snapshot().to_json()));
         rows.push(vec![
             window.to_string(),
             format!("{:.2}", f),
@@ -36,10 +49,8 @@ fn main() {
             fmt(measured / w as f64),
         ]);
     }
-    report.table(
-        &["window", "s/S ≈", "measured rounds", "w·(1−f)", "measured/w"],
-        &rows,
-    );
+    report.table(&["window", "s/S ≈", "measured rounds", "w·(1−f)", "measured/w"], &rows);
+    report.json_extra("telemetry", Json::Object(telemetry));
     report.para(
         "Shape check: rounds ≈ w·(1−f) — a constant fraction of w for any \
          f bounded below 1 (the s ≤ S/c condition). Compare E1, where the \
@@ -48,26 +59,24 @@ fn main() {
 
     report.h2("length sweep (window = 16, f = 0.25): rounds grow linearly in T");
     let mut rows = Vec::new();
+    let mut telemetry: Vec<(String, Json)> = Vec::new();
     for w in [128u64, 256, 512, 1024] {
         let pipeline = demo_pipeline(w, v, m, 16, Target::Line);
-        let measured = theorem::mean_rounds(&pipeline, trials, 3000, 1_000_000);
+        let recorder = Arc::new(Recorder::new());
+        theorem::run_tags(&recorder, pipeline.params(), pipeline.required_s(), None);
+        let measured =
+            theorem::mean_rounds_with(&pipeline, trials, 3000, 1_000_000, recorder.clone());
+        telemetry.push((format!("w={w}"), recorder.snapshot().to_json()));
         let floor = w as f64 / ((w as f64).log2() * (w as f64).log2());
-        rows.push(vec![
-            w.to_string(),
-            fmt(measured),
-            fmt(measured / w as f64),
-            fmt(floor),
-        ]);
+        rows.push(vec![w.to_string(), fmt(measured), fmt(measured / w as f64), fmt(floor)]);
     }
-    report.table(
-        &["w = T", "measured rounds", "measured/w", "theorem floor w/log²w"],
-        &rows,
-    );
+    report.table(&["w = T", "measured rounds", "measured/w", "theorem floor w/log²w"], &rows);
+    report.json_extra("telemetry", Json::Object(telemetry));
     report.para(
         "Shape check: measured/w is constant (linear growth in T) and sits \
          well above the theorem's w/log²w floor — the MPC round complexity \
          is asymptotically the RAM's time complexity, the paper's \
          best-possible hardness.",
     );
-    report.print();
+    report.print_and_write("exp_line_rounds");
 }

@@ -5,12 +5,19 @@
 //! (`h ≈ s/u` blocks per machine). The shape to reproduce: rounds scale as
 //! `w·u/s` — memory buys a proportional round reduction, because the
 //! block schedule is public and contiguous windows stream perfectly.
+//!
+//! Besides the stdout tables, writes `target/reports/exp_simline_rounds.json`
+//! with the same cells plus the per-point telemetry snapshots recorded by
+//! `mph-metrics` (see docs/OBSERVABILITY.md).
 
 use mph_bounds::SimLineBoundInputs;
 use mph_core::algorithms::pipeline::Target;
 use mph_core::theorem;
 use mph_experiments::setup::{demo_pipeline, fmt};
 use mph_experiments::Report;
+use mph_metrics::json::Json;
+use mph_metrics::Recorder;
+use std::sync::Arc;
 
 fn main() {
     let mut report = Report::new();
@@ -24,10 +31,15 @@ fn main() {
         .end_block();
 
     let mut rows = Vec::new();
+    let mut telemetry: Vec<(String, Json)> = Vec::new();
     for window in [8usize, 16, 32, 64] {
         let pipeline = demo_pipeline(w, v, m, window, Target::SimLine);
         let s = pipeline.required_s();
-        let measured = theorem::mean_rounds(&pipeline, trials, 1000, 100_000);
+        let recorder = Arc::new(Recorder::new());
+        theorem::run_tags(&recorder, pipeline.params(), s, None);
+        let measured =
+            theorem::mean_rounds_with(&pipeline, trials, 1000, 100_000, recorder.clone());
+        telemetry.push((format!("window={window}"), recorder.snapshot().to_json()));
         // The theorem's prediction with the *actual* s and the paper's
         // q = window + 1 (the honest per-round query count).
         let inputs = SimLineBoundInputs {
@@ -59,10 +71,11 @@ fn main() {
         ],
         &rows,
     );
+    report.json_extra("telemetry", Json::Object(telemetry));
     report.para(
         "Shape check: measured rounds track w/window (the last column is \
          ≈ constant ≈ 1), i.e. rounds = Θ(w·u/s) — Theorem A.1 is tight, \
          and doubling memory halves the rounds.",
     );
-    report.print();
+    report.print_and_write("exp_simline_rounds");
 }

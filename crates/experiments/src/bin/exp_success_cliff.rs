@@ -41,10 +41,7 @@ fn main() {
             est.succeeds_per_definition().to_string(),
         ]);
     }
-    report.table(
-        &["R/w", "round cap R", "measured Pr[success]", "≥ 1/3 (Def 2.4/2.5)"],
-        &rows,
-    );
+    report.table(&["R/w", "round cap R", "measured Pr[success]", "≥ 1/3 (Def 2.4/2.5)"], &rows);
     report.para(
         "The cliff sits at the algorithm's intrinsic round requirement \
          ≈ w·(1−f): below it success probability is ~0 (far under the \

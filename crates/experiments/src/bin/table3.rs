@@ -15,36 +15,35 @@ fn main() {
         ("simulation-scale", 64, 512, 256),
     ] {
         let p = LineParams::from_nst(n, s_ram, t);
-        report.h2(&format!(
-            "{label}: n = {n}, S = {s_ram} bits, T = {t}"
-        ));
-        let rows: Vec<Vec<String>> = tables::table3(
-            p.n as u64,
-            p.u as u64,
-            p.v as u64,
-            p.w,
-            p.l_width() as u64,
-        )
-        .into_iter()
-        .map(|r| vec![r.symbol, r.description, r.value])
-        .collect();
+        report.h2(&format!("{label}: n = {n}, S = {s_ram} bits, T = {t}"));
+        let rows: Vec<Vec<String>> =
+            tables::table3(p.n as u64, p.u as u64, p.v as u64, p.w, p.l_width() as u64)
+                .into_iter()
+                .map(|r| vec![r.symbol, r.description, r.value])
+                .collect();
         report.table(&["symbol", "definition", "value"], &rows);
         report
-            .kv("query layout", format!(
-                "[i:{} | x:{} | r:{} | 0^{}] = {} bits",
-                p.i_width(),
-                p.u,
-                p.u,
-                p.n - p.i_width() - 2 * p.u,
-                p.n
-            ))
-            .kv("answer layout", format!(
-                "[l:{} | r:{} | z:{}] = {} bits",
-                p.l_width(),
-                p.u,
-                p.n - p.l_width() - p.u,
-                p.n
-            ))
+            .kv(
+                "query layout",
+                format!(
+                    "[i:{} | x:{} | r:{} | 0^{}] = {} bits",
+                    p.i_width(),
+                    p.u,
+                    p.u,
+                    p.n - p.i_width() - 2 * p.u,
+                    p.n
+                ),
+            )
+            .kv(
+                "answer layout",
+                format!(
+                    "[l:{} | r:{} | z:{}] = {} bits",
+                    p.l_width(),
+                    p.u,
+                    p.n - p.l_width() - p.u,
+                    p.n
+                ),
+            )
             .kv("input size u·v", format!("{} bits", p.input_bits()))
             .end_block();
     }

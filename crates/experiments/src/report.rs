@@ -1,9 +1,68 @@
-//! Markdown report rendering shared by the experiment binaries.
+//! Markdown + JSON report rendering shared by the experiment binaries.
+//!
+//! [`Report`] builds two views of the same data at once: an aligned
+//! markdown rendering for stdout (paste-able into EXPERIMENTS.md) and a
+//! structured JSON document for `target/reports/<exp>.json` (see
+//! docs/OBSERVABILITY.md). Because both views are fed by the *same*
+//! `kv`/`table` calls, the JSON totals cannot drift from the printed
+//! tables.
 
-/// A stdout report builder: headings, key/value lines, aligned tables.
+use mph_metrics::json::Json;
+use mph_metrics::report::{envelope, write_report};
+use std::path::PathBuf;
+
+/// One report section: everything between two headings.
+#[derive(Default)]
+struct Section {
+    title: String,
+    kv: Vec<(String, String)>,
+    tables: Vec<Json>,
+    notes: Vec<String>,
+    extra: Vec<(String, Json)>,
+}
+
+impl Section {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        if !self.title.is_empty() {
+            pairs.push(("title".into(), Json::str(&self.title)));
+        }
+        if !self.kv.is_empty() {
+            pairs.push((
+                "kv".into(),
+                Json::object(self.kv.iter().map(|(k, v)| (k.clone(), Json::str(v)))),
+            ));
+        }
+        if !self.tables.is_empty() {
+            pairs.push(("tables".into(), Json::array(self.tables.iter().cloned())));
+        }
+        if !self.notes.is_empty() {
+            pairs.push((
+                "notes".into(),
+                Json::array(self.notes.iter().map(|n| Json::str(n.as_str()))),
+            ));
+        }
+        pairs.extend(self.extra.iter().cloned());
+        Json::Object(pairs)
+    }
+}
+
+/// A report builder: headings, key/value lines, aligned tables — rendered
+/// to markdown for stdout and mirrored into a JSON document.
+///
+/// ```
+/// use mph_experiments::Report;
+///
+/// let mut r = Report::new();
+/// r.h1("demo").kv("rounds", 42).end_block();
+/// assert!(r.finish().contains("- rounds: 42"));
+/// assert!(r.to_json("exp_demo").to_string().contains(r#""rounds":"42""#));
+/// ```
 #[derive(Default)]
 pub struct Report {
     buffer: String,
+    title: String,
+    sections: Vec<Section>,
 }
 
 impl Report {
@@ -12,28 +71,40 @@ impl Report {
         Report::default()
     }
 
-    /// A top-level heading.
+    fn current(&mut self) -> &mut Section {
+        if self.sections.is_empty() {
+            self.sections.push(Section::default());
+        }
+        self.sections.last_mut().expect("just pushed")
+    }
+
+    /// A top-level heading; becomes the JSON document's `title`.
     pub fn h1(&mut self, title: &str) -> &mut Self {
         self.buffer.push_str(&format!("# {title}\n\n"));
+        self.title = title.to_string();
         self
     }
 
-    /// A section heading.
+    /// A section heading; starts a new entry in the JSON `sections` array.
     pub fn h2(&mut self, title: &str) -> &mut Self {
         self.buffer.push_str(&format!("## {title}\n\n"));
+        self.sections.push(Section { title: title.to_string(), ..Section::default() });
         self
     }
 
-    /// A paragraph.
+    /// A paragraph; mirrored into the section's `notes`.
     pub fn para(&mut self, text: &str) -> &mut Self {
         self.buffer.push_str(text);
         self.buffer.push_str("\n\n");
+        self.current().notes.push(text.to_string());
         self
     }
 
-    /// A `key: value` line.
+    /// A `key: value` line; mirrored into the section's `kv` object.
     pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
-        self.buffer.push_str(&format!("- {key}: {value}\n"));
+        let rendered = value.to_string();
+        self.buffer.push_str(&format!("- {key}: {rendered}\n"));
+        self.current().kv.push((key.to_string(), rendered));
         self
     }
 
@@ -43,7 +114,9 @@ impl Report {
         self
     }
 
-    /// A column-aligned markdown table.
+    /// A column-aligned markdown table; mirrored into the section's
+    /// `tables` array as `{"headers": […], "rows": [[…], …]}` with the
+    /// exact cell strings that were printed.
     pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) -> &mut Self {
         let cols = headers.len();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -73,10 +146,21 @@ impl Report {
             self.buffer.push_str(&fmt_row(row));
         }
         self.buffer.push('\n');
+
+        let json_table = Json::object([
+            ("headers", Json::array(headers.iter().map(|h| Json::str(*h)))),
+            (
+                "rows",
+                Json::array(
+                    rows.iter().map(|row| Json::array(row.iter().map(|c| Json::str(c.as_str())))),
+                ),
+            ),
+        ]);
+        self.current().tables.push(json_table);
         self
     }
 
-    /// Raw preformatted text.
+    /// Raw preformatted text (stdout only; not mirrored into JSON).
     pub fn pre(&mut self, text: &str) -> &mut Self {
         self.buffer.push_str("```\n");
         self.buffer.push_str(text);
@@ -87,14 +171,49 @@ impl Report {
         self
     }
 
-    /// The rendered report.
+    /// Attaches an arbitrary JSON value to the current section — used by
+    /// binaries to embed a [`MetricsSnapshot`](mph_metrics::MetricsSnapshot)
+    /// (`snapshot.to_json()`) next to the table it substantiates.
+    pub fn json_extra(&mut self, key: &str, value: Json) -> &mut Self {
+        self.current().extra.push((key.to_string(), value));
+        self
+    }
+
+    /// The rendered markdown report.
     pub fn finish(&self) -> &str {
         &self.buffer
+    }
+
+    /// The JSON document: the schema-versioned envelope around `title` and
+    /// `sections`.
+    pub fn to_json(&self, exp: &str) -> Json {
+        let mut body: Vec<(String, Json)> = Vec::new();
+        if !self.title.is_empty() {
+            body.push(("title".into(), Json::str(&self.title)));
+        }
+        body.push(("sections".into(), Json::array(self.sections.iter().map(Section::to_json))));
+        envelope(exp, body)
+    }
+
+    /// Writes the JSON document to `target/reports/<exp>.json` and returns
+    /// the path written.
+    pub fn write_json(&self, exp: &str) -> std::io::Result<PathBuf> {
+        write_report(exp, &self.to_json(exp))
     }
 
     /// Prints the report to stdout.
     pub fn print(&self) {
         print!("{}", self.buffer);
+    }
+
+    /// Prints the report to stdout and writes the JSON document, noting
+    /// the written path on stderr (stdout stays paste-able markdown).
+    pub fn print_and_write(&self, exp: &str) {
+        self.print();
+        match self.write_json(exp) {
+            Ok(path) => eprintln!("json report: {}", path.display()),
+            Err(e) => eprintln!("json report for {exp} not written: {e}"),
+        }
     }
 }
 
@@ -107,10 +226,7 @@ mod tests {
         let mut r = Report::new();
         r.h1("T").table(
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["wide-cell".into(), "3".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["wide-cell".into(), "3".into()]],
         );
         let out = r.finish();
         assert!(out.contains("| a         | long-header |"));
@@ -131,5 +247,33 @@ mod tests {
         assert!(out.contains("## S"));
         assert!(out.contains("- rounds: 42"));
         assert!(out.contains("```\nraw\n```"));
+    }
+
+    #[test]
+    fn json_mirrors_stdout_cells() {
+        let mut r = Report::new();
+        r.h1("Title");
+        r.kv("trials", 5).end_block();
+        r.h2("sweep");
+        r.table(&["w", "rounds"], &[vec!["128".into(), "42.0".into()]]);
+        r.json_extra("marker", Json::u64(7));
+        let doc = r.to_json("exp_demo").to_string();
+        assert!(doc.starts_with(r#"{"schema_version":1,"experiment":"exp_demo""#));
+        assert!(doc.contains(r#""title":"Title""#));
+        assert!(doc.contains(r#""trials":"5""#));
+        assert!(doc.contains(r#""headers":["w","rounds"]"#));
+        assert!(doc.contains(r#""rows":[["128","42.0"]]"#));
+        assert!(doc.contains(r#""marker":7"#));
+    }
+
+    #[test]
+    fn write_json_lands_under_target_reports() {
+        let mut r = Report::new();
+        r.h1("T").kv("x", 1).end_block();
+        let path = r.write_json("exp_report_unit_test").unwrap();
+        assert!(path.ends_with("target/reports/exp_report_unit_test.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.trim_end(), r.to_json("exp_report_unit_test").to_string());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,190 @@
+//! The typed telemetry events emitted by instrumented components.
+//!
+//! Events mirror the cost ledgers of the paper's models: per-round
+//! message/memory traffic of the MPC model (Definition 2.1 of
+//! Chung-Ho-Sun), oracle query classification against the per-round
+//! budget `q`, and word-RAM step costs (Definition 2.3).
+
+use crate::json::Json;
+
+/// How an oracle query was resolved, as seen by the instrumented oracle
+/// wrappers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// First time this input was asked of the oracle in this run.
+    Fresh,
+    /// A repeat of an input already asked (the answer was determined).
+    Cached,
+    /// Answered from a patched override, not the base oracle — the
+    /// mechanism of the paper's compression arguments (Claim 3.7 / A.4),
+    /// where a few answers are rewritten and the rest replayed.
+    Patched,
+}
+
+impl QueryKind {
+    /// Stable lowercase name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Fresh => "fresh",
+            QueryKind::Cached => "cached",
+            QueryKind::Patched => "patched",
+        }
+    }
+}
+
+/// One telemetry event.
+///
+/// Events are cheap, `Copy`-sized records; sinks decide whether to
+/// aggregate them ([`Recorder`](crate::Recorder)) or stream them
+/// ([`JsonlSink`](crate::JsonlSink)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An MPC round began (rounds are numbered from 0).
+    RoundStart {
+        /// Round index.
+        round: u64,
+    },
+    /// An MPC round completed, with the round's aggregate ledger (the
+    /// same quantities `mph_mpc::stats::RoundStats` tracks).
+    RoundEnd {
+        /// Round index.
+        round: u64,
+        /// Messages delivered at the end of this round.
+        messages: u64,
+        /// Total payload bits across those messages.
+        bits_sent: u64,
+        /// Oracle queries made by all machines this round.
+        oracle_queries: u64,
+        /// Largest per-machine query count this round (compared against
+        /// the per-round budget `q` of Definition 2.1).
+        max_queries_one_machine: u64,
+        /// Largest memory footprint of any machine this round, in bits
+        /// (compared against the space bound `s`).
+        max_memory_bits: u64,
+        /// Machines that sent or received at least one message.
+        active_machines: u64,
+    },
+    /// One oracle query, classified by how it was answered.
+    OracleQuery {
+        /// Fresh, cached, or patched.
+        kind: QueryKind,
+    },
+    /// One message accepted by the router.
+    MessageRouted {
+        /// Payload size in bits.
+        bits: u64,
+    },
+    /// A machine's memory footprint reached a new high-water mark.
+    MemoryHighWater {
+        /// Machine index.
+        machine: u64,
+        /// Footprint in bits.
+        bits: u64,
+    },
+    /// One word-RAM step retired, with its charged cost (oracle steps
+    /// cost `1 + ⌈n/w⌉` time units; see `mph_ram::cost`).
+    RamStep {
+        /// Time units charged for the step.
+        cost: u64,
+    },
+    /// An execution violated a model bound (memory, budget, …) and was
+    /// rejected.
+    ModelViolation {
+        /// Stable short name of the violated bound.
+        kind: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable event-type name used in JSONL output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round_start",
+            Event::RoundEnd { .. } => "round_end",
+            Event::OracleQuery { .. } => "oracle_query",
+            Event::MessageRouted { .. } => "message_routed",
+            Event::MemoryHighWater { .. } => "memory_high_water",
+            Event::RamStep { .. } => "ram_step",
+            Event::ModelViolation { .. } => "model_violation",
+        }
+    }
+
+    /// Renders the event as a single JSON object (one JSONL line, sans
+    /// newline).
+    ///
+    /// ```
+    /// use mph_metrics::{Event, QueryKind};
+    ///
+    /// let e = Event::OracleQuery { kind: QueryKind::Fresh };
+    /// assert_eq!(e.to_json().to_string(), r#"{"event":"oracle_query","kind":"fresh"}"#);
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![("event".into(), Json::str(self.name()))];
+        match *self {
+            Event::RoundStart { round } => {
+                pairs.push(("round".into(), Json::u64(round)));
+            }
+            Event::RoundEnd {
+                round,
+                messages,
+                bits_sent,
+                oracle_queries,
+                max_queries_one_machine,
+                max_memory_bits,
+                active_machines,
+            } => {
+                pairs.push(("round".into(), Json::u64(round)));
+                pairs.push(("messages".into(), Json::u64(messages)));
+                pairs.push(("bits_sent".into(), Json::u64(bits_sent)));
+                pairs.push(("oracle_queries".into(), Json::u64(oracle_queries)));
+                pairs.push(("max_queries_one_machine".into(), Json::u64(max_queries_one_machine)));
+                pairs.push(("max_memory_bits".into(), Json::u64(max_memory_bits)));
+                pairs.push(("active_machines".into(), Json::u64(active_machines)));
+            }
+            Event::OracleQuery { kind } => {
+                pairs.push(("kind".into(), Json::str(kind.name())));
+            }
+            Event::MessageRouted { bits } => {
+                pairs.push(("bits".into(), Json::u64(bits)));
+            }
+            Event::MemoryHighWater { machine, bits } => {
+                pairs.push(("machine".into(), Json::u64(machine)));
+                pairs.push(("bits".into(), Json::u64(bits)));
+            }
+            Event::RamStep { cost } => {
+                pairs.push(("cost".into(), Json::u64(cost)));
+            }
+            Event::ModelViolation { kind } => {
+                pairs.push(("kind".into(), Json::str(kind)));
+            }
+        }
+        Json::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Event::RoundStart { round: 0 }.name(), "round_start");
+        assert_eq!(QueryKind::Patched.name(), "patched");
+    }
+
+    #[test]
+    fn round_end_renders_all_fields() {
+        let e = Event::RoundEnd {
+            round: 2,
+            messages: 5,
+            bits_sent: 320,
+            oracle_queries: 7,
+            max_queries_one_machine: 3,
+            max_memory_bits: 512,
+            active_machines: 4,
+        };
+        let s = e.to_json().to_string();
+        assert!(s.starts_with(r#"{"event":"round_end","round":2,"#), "{s}");
+        assert!(s.contains(r#""max_memory_bits":512"#), "{s}");
+    }
+}

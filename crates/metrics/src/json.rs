@@ -1,0 +1,164 @@
+//! A minimal, dependency-free JSON document model with deterministic
+//! output.
+//!
+//! The workspace builds offline (no `serde_json`), so JSON emission is
+//! done through this module. Objects preserve insertion order exactly,
+//! which is what makes [snapshot](crate::MetricsSnapshot) output
+//! byte-stable: the same logical document always renders to the same
+//! string.
+//!
+//! ```
+//! use mph_metrics::json::Json;
+//!
+//! let doc = Json::object([
+//!     ("name", Json::str("exp_line_rounds")),
+//!     ("trials", Json::u64(32)),
+//!     ("mean_rounds", Json::f64(7.25)),
+//! ]);
+//! assert_eq!(
+//!     doc.to_string(),
+//!     r#"{"name":"exp_line_rounds","trials":32,"mean_rounds":7.25}"#
+//! );
+//! ```
+
+use std::fmt;
+
+/// A JSON value. Construct with the associated helpers, render with
+/// `to_string()` (via [`fmt::Display`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, rendered without an exponent.
+    U64(u64),
+    /// A signed integer, rendered without an exponent.
+    I64(i64),
+    /// A finite float; non-finite values render as `null` (JSON has no
+    /// NaN/Inf).
+    F64(f64),
+    /// A string, escaped on output.
+    Str(String),
+    /// An ordered list.
+    Array(Vec<Json>),
+    /// An ordered key-value map (insertion order preserved on output).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(v: u64) -> Json {
+        Json::U64(v)
+    }
+
+    /// A float value.
+    pub fn f64(v: f64) -> Json {
+        Json::F64(v)
+    }
+
+    /// An array from any iterator of values.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// An object from `(key, value)` pairs, keeping their order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+/// Escapes `s` per RFC 8259 and writes it quoted.
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::U64(v) => write!(f, "{v}"),
+            Json::I64(v) => write!(f, "{v}"),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent so the value
+                    // round-trips as a float, unlike bare `{}` for 2.0.
+                    write!(f, "{v:?}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::u64(42).to_string(), "42");
+        assert_eq!(Json::I64(-3).to_string(), "-3");
+        assert_eq!(Json::f64(2.0).to_string(), "2.0");
+        assert_eq!(Json::f64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure_is_ordered() {
+        let doc = Json::object([
+            ("b", Json::array([Json::u64(1), Json::u64(2)])),
+            ("a", Json::object([("k", Json::str("v"))])),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"b":[1,2],"a":{"k":"v"}}"#);
+    }
+}

@@ -1,0 +1,45 @@
+//! Writing JSON report artifacts under `target/reports/`.
+//!
+//! Experiment binaries pair their stdout tables with a machine-readable
+//! JSON document; this module owns the file layout so every experiment
+//! lands in the same place (`target/reports/<exp>.json`).
+
+use crate::json::Json;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory reports are written to, relative to the workspace root.
+pub const REPORT_DIR: &str = "target/reports";
+
+/// Wraps `body` in the versioned report envelope:
+/// `{"schema_version":…,"experiment":<exp>,…body fields…}`.
+pub fn envelope(exp: &str, body: Vec<(String, Json)>) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("schema_version".into(), Json::u64(u64::from(crate::SCHEMA_VERSION))),
+        ("experiment".into(), Json::str(exp)),
+    ];
+    pairs.extend(body);
+    Json::Object(pairs)
+}
+
+/// Writes `doc` to `target/reports/<exp>.json` (creating the directory)
+/// and returns the path written.
+pub fn write_report(exp: &str, doc: &Json) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from(REPORT_DIR);
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{exp}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{doc}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_leads_with_schema_and_name() {
+        let doc = envelope("exp_demo", vec![("x".into(), Json::u64(1))]);
+        assert_eq!(doc.to_string(), r#"{"schema_version":1,"experiment":"exp_demo","x":1}"#);
+    }
+}

@@ -1,0 +1,88 @@
+//! The [`MetricsSink`] trait and simple sink implementations.
+
+use crate::events::Event;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// Sinks must be `Send + Sync`: instrumented components emit events from
+/// rayon worker threads concurrently. Implementations must therefore be
+/// internally synchronized — and, if they aggregate, should fold in an
+/// order-independent way so that results respect the workspace's
+/// determinism convention (DESIGN.md §5) regardless of thread schedule.
+///
+/// Instrumentation points hold an `Option<Arc<dyn MetricsSink>>`; the
+/// `None` case costs one branch per would-be event, which is what the
+/// "zero-cost when disabled" contract means in practice.
+pub trait MetricsSink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+}
+
+/// Discards every event; useful as an explicit "metrics off" sink in
+/// code paths that want a sink unconditionally.
+///
+/// ```
+/// use mph_metrics::{Event, MetricsSink, NullSink};
+///
+/// let sink = NullSink;
+/// sink.record(&Event::RamStep { cost: 3 }); // accepted, dropped
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Streams every event as one JSON object per line (JSONL) to a writer.
+///
+/// Ordering caveat: events from concurrently executing machines interleave
+/// in arrival order, which is **not deterministic** across runs or thread
+/// counts. JSONL output is a debugging/tracing format; for byte-stable
+/// artifacts use [`Recorder`](crate::Recorder) and its snapshot instead.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing JSONL to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Mutex::new(writer) }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> MetricsSink for JsonlSink<W> {
+    fn record(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Best-effort: telemetry must never fail the computation it
+        // observes, so IO errors are swallowed.
+        let _ = writeln!(w, "{}", event.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::QueryKind;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.record(&Event::OracleQuery { kind: QueryKind::Fresh });
+        sink.record(&Event::RamStep { cost: 2 });
+        let out = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"event":"oracle_query","kind":"fresh"}"#);
+        assert_eq!(lines[1], r#"{"event":"ram_step","cost":2}"#);
+    }
+}

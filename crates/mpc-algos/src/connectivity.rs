@@ -82,8 +82,7 @@ impl MachineLogic for Connectivity {
         let mut out = Outbox::new();
         if ctx.round() >= self.config.propagation_rounds {
             // Converged (by config): emit this home's labels.
-            let pairs: Vec<u64> =
-                adj.iter().flat_map(|(v, _)| [*v, labels[v]]).collect();
+            let pairs: Vec<u64> = adj.iter().flat_map(|(v, _)| [*v, labels[v]]).collect();
             out.output = Some(wire::encode(TAG_RESULT, &pairs, iw));
             return Ok(out);
         }
@@ -114,12 +113,8 @@ impl MachineLogic for Connectivity {
 impl ConnectivityConfig {
     /// Builds a simulation for the undirected edge list `edges`.
     pub fn build(&self, edges: &[(u64, u64)], s_bits: usize) -> Simulation {
-        let mut sim = Simulation::new(
-            self.m,
-            s_bits,
-            Arc::new(LazyOracle::square(0, 8)),
-            RandomTape::new(0),
-        );
+        let mut sim =
+            Simulation::new(self.m, s_bits, Arc::new(LazyOracle::square(0, 8)), RandomTape::new(0));
         sim.set_uniform_logic(Arc::new(Connectivity { config: *self }));
         // Build adjacency lists, homed by vertex.
         let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
@@ -186,12 +181,8 @@ mod tests {
     use super::*;
 
     fn run(vertices: usize, edges: &[(u64, u64)], rounds: usize) -> (Vec<u64>, usize) {
-        let config = ConnectivityConfig {
-            m: 4,
-            vertices,
-            id_width: 16,
-            propagation_rounds: rounds,
-        };
+        let config =
+            ConnectivityConfig { m: 4, vertices, id_width: 16, propagation_rounds: rounds };
         let mut sim = config.build(edges, 1 << 16);
         let result = sim.run_until_output(rounds + 4).unwrap();
         assert!(result.completed());
@@ -239,12 +230,8 @@ mod tests {
         // Two graphs with the same diameter but 4x the vertices: same
         // round count (the parallelizable-problem signature).
         let small: Vec<(u64, u64)> = (0..4).map(|l| (l, 4)).collect(); // star, 5 vertices
-        let config = |vertices| ConnectivityConfig {
-            m: 4,
-            vertices,
-            id_width: 16,
-            propagation_rounds: 2,
-        };
+        let config =
+            |vertices| ConnectivityConfig { m: 4, vertices, id_width: 16, propagation_rounds: 2 };
         let mut sim = config(5).build(&small, 1 << 16);
         let r_small = sim.run_until_output(10).unwrap().rounds();
         let large: Vec<(u64, u64)> = (0..19).map(|l| (l, 19)).collect(); // star, 20 vertices

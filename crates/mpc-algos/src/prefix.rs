@@ -91,12 +91,8 @@ impl MachineLogic for PrefixSum {
 impl PrefixSumConfig {
     /// Builds a simulation scanning `values`, sharded contiguously.
     pub fn build(&self, values: &[u64], s_bits: usize) -> Simulation {
-        let mut sim = Simulation::new(
-            self.m,
-            s_bits,
-            Arc::new(LazyOracle::square(0, 8)),
-            RandomTape::new(0),
-        );
+        let mut sim =
+            Simulation::new(self.m, s_bits, Arc::new(LazyOracle::square(0, 8)), RandomTape::new(0));
         sim.set_uniform_logic(Arc::new(PrefixSum));
         let per = values.len().div_ceil(self.m).max(1);
         for (j, chunk) in values.chunks(per).enumerate() {

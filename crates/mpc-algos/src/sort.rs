@@ -75,9 +75,7 @@ impl MachineLogic for SampleSort {
                 // Sort locally, send an evenly spaced sample, keep the shard.
                 data.sort_unstable();
                 let k = self.config.samples_per_machine.min(data.len());
-                let sample: Vec<u64> = (0..k)
-                    .map(|i| data[i * data.len() / k.max(1)])
-                    .collect();
+                let sample: Vec<u64> = (0..k).map(|i| data[i * data.len() / k.max(1)]).collect();
                 out.push(0, wire::encode(TAG_SAMPLE, &sample, kw));
                 out.push(ctx.machine(), wire::encode(TAG_DATA, &data, kw));
             }
@@ -136,12 +134,8 @@ impl MachineLogic for SampleSort {
 impl SampleSortConfig {
     /// Builds a simulation sorting `keys`, sharded contiguously.
     pub fn build(&self, keys: &[u64], s_bits: usize) -> Simulation {
-        let mut sim = Simulation::new(
-            self.m,
-            s_bits,
-            Arc::new(LazyOracle::square(0, 8)),
-            RandomTape::new(0),
-        );
+        let mut sim =
+            Simulation::new(self.m, s_bits, Arc::new(LazyOracle::square(0, 8)), RandomTape::new(0));
         sim.set_uniform_logic(Arc::new(SampleSort { config: *self }));
         let per = keys.len().div_ceil(self.m).max(1);
         for (j, chunk) in keys.chunks(per).enumerate() {
@@ -202,9 +196,8 @@ mod tests {
 
     #[test]
     fn handles_duplicates_and_skew() {
-        let keys: Vec<u64> = std::iter::repeat_n(7u64, 100)
-            .chain(std::iter::repeat_n(3u64, 100))
-            .collect();
+        let keys: Vec<u64> =
+            std::iter::repeat_n(7u64, 100).chain(std::iter::repeat_n(3u64, 100)).collect();
         let (sorted, _) = run(4, &keys);
         let mut expected = keys.clone();
         expected.sort_unstable();

@@ -71,17 +71,9 @@ impl MachineLogic for TreeSum {
 impl TreeSumConfig {
     /// Builds a simulation summing `values`, sharded contiguously across
     /// machines. `s_bits` must fit a machine's shard plus one partial.
-    pub fn build(
-        &self,
-        values: &[u64],
-        s_bits: usize,
-    ) -> Simulation {
-        let mut sim = Simulation::new(
-            self.m,
-            s_bits,
-            Arc::new(LazyOracle::square(0, 8)),
-            RandomTape::new(0),
-        );
+    pub fn build(&self, values: &[u64], s_bits: usize) -> Simulation {
+        let mut sim =
+            Simulation::new(self.m, s_bits, Arc::new(LazyOracle::square(0, 8)), RandomTape::new(0));
         sim.set_uniform_logic(Arc::new(TreeSum { m: self.m }));
         let per = values.len().div_ceil(self.m).max(1);
         for (j, chunk) in values.chunks(per).enumerate() {

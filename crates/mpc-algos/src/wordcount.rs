@@ -90,12 +90,8 @@ impl MachineLogic for WordCount {
 impl WordCountConfig {
     /// Builds a simulation counting `words` (as ids), sharded contiguously.
     pub fn build(&self, words: &[u64], s_bits: usize) -> Simulation {
-        let mut sim = Simulation::new(
-            self.m,
-            s_bits,
-            Arc::new(LazyOracle::square(0, 8)),
-            RandomTape::new(0),
-        );
+        let mut sim =
+            Simulation::new(self.m, s_bits, Arc::new(LazyOracle::square(0, 8)), RandomTape::new(0));
         sim.set_uniform_logic(Arc::new(WordCount { config: *self }));
         let per = words.len().div_ceil(self.m).max(1);
         for (j, chunk) in words.chunks(per).enumerate() {

@@ -59,6 +59,20 @@ pub enum ModelViolation {
     },
 }
 
+impl ModelViolation {
+    /// Stable short name of the violated bound, used as the violation key
+    /// in telemetry (`mph_metrics::Event::ModelViolation`) and JSON
+    /// reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelViolation::MemoryExceeded { .. } => "memory_exceeded",
+            ModelViolation::QueryBudgetExceeded { .. } => "query_budget_exceeded",
+            ModelViolation::BadRecipient { .. } => "bad_recipient",
+            ModelViolation::AlgorithmError { .. } => "algorithm_error",
+        }
+    }
+}
+
 impl fmt::Display for ModelViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

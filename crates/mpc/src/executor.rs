@@ -12,6 +12,7 @@ use crate::machine::{MachineLogic, Outbox, RoundCtx};
 use crate::message::{total_bits, MachineId, Message};
 use crate::stats::{RoundStats, SimStats};
 use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink};
 use mph_oracle::{Oracle, RandomTape};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -104,6 +105,7 @@ pub struct Simulation {
     round: usize,
     stats: SimStats,
     outputs: Vec<(MachineId, BitVec)>,
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 /// A no-op machine used as the default program.
@@ -134,6 +136,7 @@ impl Simulation {
             round: 0,
             stats: SimStats::default(),
             outputs: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -141,6 +144,23 @@ impl Simulation {
     pub fn set_query_budget(&mut self, q: u64) -> &mut Self {
         self.q = Some(q);
         self
+    }
+
+    /// Attaches a telemetry sink; every subsequent round emits
+    /// `RoundStart`/`RoundEnd`, per-message `MessageRouted`, per-delivery
+    /// `MemoryHighWater`, and `ModelViolation` events into it. With no
+    /// sink attached (the default), instrumentation costs one untaken
+    /// branch per event site.
+    pub fn set_metrics(&mut self, sink: Arc<dyn MetricsSink>) -> &mut Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// Records `violation` into the attached sink (if any) and returns it,
+    /// so error paths can `return Err(self.observe(v))`.
+    fn observe(&self, violation: ModelViolation) -> ModelViolation {
+        emit(&self.metrics, || Event::ModelViolation { kind: violation.kind() });
+        violation
     }
 
     /// Installs one shared program on every machine (symmetric algorithms
@@ -201,6 +221,8 @@ impl Simulation {
 
     /// Executes one round; returns the outputs emitted in it.
     pub fn step(&mut self) -> Result<Vec<(MachineId, BitVec)>, ModelViolation> {
+        emit(&self.metrics, || Event::RoundStart { round: self.round as u64 });
+
         // 1. Delivery-time memory check (the paper bounds what a machine
         //    may *receive*).
         let mut max_memory_bits = 0;
@@ -208,11 +230,17 @@ impl Simulation {
         for (i, inbox) in self.inboxes.iter().enumerate() {
             let bits = total_bits(inbox);
             if bits > self.s_bits {
-                return Err(ModelViolation::MemoryExceeded {
+                return Err(self.observe(ModelViolation::MemoryExceeded {
                     machine: i,
                     round: self.round,
                     incoming_bits: bits,
                     s_bits: self.s_bits,
+                }));
+            }
+            if bits > 0 {
+                emit(&self.metrics, || Event::MemoryHighWater {
+                    machine: i as u64,
+                    bits: bits as u64,
                 });
             }
             max_memory_bits = max_memory_bits.max(bits);
@@ -247,21 +275,22 @@ impl Simulation {
         let mut oracle_queries = 0;
         let mut max_queries_one_machine = 0;
         for (id, result) in results.into_iter().enumerate() {
-            let (outbox, queries) = result?;
+            let (outbox, queries) = result.map_err(|v| self.observe(v))?;
             oracle_queries += queries;
             max_queries_one_machine = max_queries_one_machine.max(queries);
             for mut msg in outbox.messages {
                 if msg.to >= self.m {
-                    return Err(ModelViolation::BadRecipient {
+                    return Err(self.observe(ModelViolation::BadRecipient {
                         machine: id,
                         round: self.round,
                         to: msg.to,
                         m: self.m,
-                    });
+                    }));
                 }
                 msg.from = id;
                 messages += 1;
                 bits_sent += msg.bits();
+                emit(&self.metrics, || Event::MessageRouted { bits: msg.bits() as u64 });
                 new_inboxes[msg.to].push(msg);
             }
             if let Some(out) = outbox.output {
@@ -269,6 +298,15 @@ impl Simulation {
             }
         }
 
+        emit(&self.metrics, || Event::RoundEnd {
+            round: self.round as u64,
+            messages: messages as u64,
+            bits_sent: bits_sent as u64,
+            oracle_queries,
+            max_queries_one_machine,
+            max_memory_bits: max_memory_bits as u64,
+            active_machines: active as u64,
+        });
         self.stats.rounds.push(RoundStats {
             round: self.round,
             messages,
@@ -376,12 +414,7 @@ mod tests {
         let err = s.step().unwrap_err(); // round 1: delivery check
         assert_eq!(
             err,
-            ModelViolation::MemoryExceeded {
-                machine: 1,
-                round: 1,
-                incoming_bits: 20,
-                s_bits: 16
-            }
+            ModelViolation::MemoryExceeded { machine: 1, round: 1, incoming_bits: 20, s_bits: 16 }
         );
     }
 
@@ -405,10 +438,7 @@ mod tests {
         }));
         s.seed_memory(0, BitVec::zeros(1));
         let err = s.step().unwrap_err();
-        assert_eq!(
-            err,
-            ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 2 }
-        );
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 2 });
     }
 
     #[test]

@@ -46,12 +46,7 @@ impl Partition {
 
     /// The blocks held by `machine`, in increasing index order.
     pub fn blocks_of(&self, machine: MachineId) -> Vec<usize> {
-        self.owner
-            .iter()
-            .enumerate()
-            .filter(|(_, &o)| o == machine)
-            .map(|(i, _)| i)
-            .collect()
+        self.owner.iter().enumerate().filter(|(_, &o)| o == machine).map(|(i, _)| i).collect()
     }
 
     /// The largest number of blocks on any machine.

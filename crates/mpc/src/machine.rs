@@ -198,10 +198,7 @@ mod tests {
         assert!(ctx.query(&BitVec::zeros(16)).is_ok());
         assert!(ctx.query(&BitVec::ones(16)).is_ok());
         let err = ctx.query(&BitVec::zeros(16)).unwrap_err();
-        assert_eq!(
-            err,
-            ModelViolation::QueryBudgetExceeded { machine: 2, round: 5, q: 2 }
-        );
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 2, round: 5, q: 2 });
         assert_eq!(ctx.queries_made(), 3); // the rejected attempt still counted an increment
     }
 

@@ -1,8 +1,16 @@
 //! Simulation instrumentation.
 //!
-//! The paper's cost model counts rounds above all, but its constraints also
-//! mention communication volume, memory high-water marks, and per-round
-//! query counts; the experiments report all of them.
+//! The paper's cost model counts rounds above all (Definition 2.2's
+//! synchronous round structure), but its constraints also mention
+//! communication volume ("each machine receives no more communication than
+//! its memory", Definition 2.1), memory high-water marks (the `s`-bit
+//! bound), and per-round query counts (the budget `q < 2^{n/4}` of
+//! Theorem 3.1); the experiments report all of them.
+//!
+//! Every field here is also emitted as a structured event through
+//! `mph-metrics` when a sink is attached to the
+//! [`Simulation`](crate::Simulation) — the integration tests assert that
+//! the event stream reconstructs these aggregates exactly.
 
 use serde::{Deserialize, Serialize};
 
@@ -17,15 +25,35 @@ pub struct RoundStats {
     pub bits_sent: usize,
     /// Oracle queries made by all machines this round.
     pub oracle_queries: u64,
-    /// Largest per-machine query count this round (the empirical `q`).
+    /// Largest per-machine query count this round — the empirical value of
+    /// the per-round per-machine query budget `q` of Definition 2.1.
     pub max_queries_one_machine: u64,
-    /// Largest memory image delivered at the start of this round, in bits.
+    /// Largest memory image delivered at the start of this round, in bits —
+    /// checked against the `s`-bit memory bound of Definition 2.1 at
+    /// delivery time.
     pub max_memory_bits: usize,
     /// Number of machines that received at least one message this round.
     pub active_machines: usize,
 }
 
 /// Statistics across a whole run.
+///
+/// ```
+/// use mph_mpc::{RoundStats, SimStats};
+///
+/// let stats = SimStats {
+///     rounds: vec![
+///         RoundStats { round: 0, messages: 3, bits_sent: 100, oracle_queries: 5,
+///                      max_queries_one_machine: 4, max_memory_bits: 60, active_machines: 2 },
+///         RoundStats { round: 1, messages: 1, bits_sent: 10, oracle_queries: 2,
+///                      max_queries_one_machine: 2, max_memory_bits: 80, active_machines: 1 },
+///     ],
+/// };
+/// assert_eq!(stats.num_rounds(), 2);
+/// assert_eq!(stats.total_queries(), 7);
+/// assert_eq!(stats.peak_queries(), 4);     // the empirical q of Definition 2.1
+/// assert_eq!(stats.peak_memory_bits(), 80); // must be ≤ s in a legal run
+/// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Per-round records, in order.

@@ -10,7 +10,9 @@
 
 use crate::traits::{check_input_width, Oracle};
 use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink, QueryKind};
 use parking_lot::Mutex;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -45,20 +47,52 @@ struct Counters {
 
 /// An oracle wrapper that counts queries and can enforce a per-epoch budget.
 ///
+/// One *epoch* corresponds to one MPC round, so the budget is exactly the
+/// per-round per-machine query budget `q` of Definition 2.1 (and the
+/// `q < 2^{n/4}` hypothesis of Theorem 3.1).
+///
 /// `query` panics when the budget is exceeded (the oracle trait is
 /// infallible); callers that want a recoverable error use
 /// [`CountingOracle::try_query`]. The MPC simulator uses the latter.
+///
+/// ```
+/// use mph_oracle::{CountingOracle, LazyOracle, Oracle};
+/// use mph_bits::BitVec;
+/// use std::sync::Arc;
+///
+/// let c = CountingOracle::with_budget(Arc::new(LazyOracle::square(1, 16)), 2);
+/// c.query(&BitVec::from_u64(1, 16));
+/// c.query(&BitVec::from_u64(2, 16));
+/// assert!(c.try_query(&BitVec::from_u64(3, 16)).is_err()); // q = 2 exhausted
+/// c.next_epoch(); // a new round restores the budget
+/// assert!(c.try_query(&BitVec::from_u64(3, 16)).is_ok());
+/// assert_eq!(c.total_queries(), 3);
+/// ```
 pub struct CountingOracle {
     inner: Arc<dyn Oracle>,
     counters: Mutex<Counters>,
     /// Per-epoch budget; `None` = unbounded.
     budget: Option<u64>,
+    /// Telemetry sink; `None` = zero-cost disabled path.
+    metrics: Option<Arc<dyn MetricsSink>>,
+    /// Inputs queried at least once, kept only while metrics are attached,
+    /// to classify each query as [`QueryKind::Fresh`] (first occurrence)
+    /// or [`QueryKind::Cached`] (repeat). The distinction matters to the
+    /// encoding argument: only *fresh* queries reveal new oracle entries
+    /// and must be charged against the `log q`-bit budget of Claim 3.7.
+    seen: Mutex<HashSet<BitVec>>,
 }
 
 impl CountingOracle {
     /// Wraps `inner` with no budget.
     pub fn new(inner: Arc<dyn Oracle>) -> Self {
-        CountingOracle { inner, counters: Mutex::new(Counters::default()), budget: None }
+        CountingOracle {
+            inner,
+            counters: Mutex::new(Counters::default()),
+            budget: None,
+            metrics: None,
+            seen: Mutex::new(HashSet::new()),
+        }
     }
 
     /// Wraps `inner` with a hard per-epoch budget of `q` queries.
@@ -67,7 +101,17 @@ impl CountingOracle {
             inner,
             counters: Mutex::new(Counters::default()),
             budget: Some(q),
+            metrics: None,
+            seen: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Attaches a telemetry sink, builder-style. Every subsequent query
+    /// emits an [`Event::OracleQuery`] classified fresh/cached by whether
+    /// the input was seen before.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Queries, returning `Err` instead of panicking on budget exhaustion.
@@ -83,6 +127,12 @@ impl CountingOracle {
             c.total += 1;
             c.in_epoch += 1;
             c.max_in_any_epoch = c.max_in_any_epoch.max(c.in_epoch);
+        }
+        if self.metrics.is_some() {
+            let fresh = self.seen.lock().insert(input.clone());
+            emit(&self.metrics, || Event::OracleQuery {
+                kind: if fresh { QueryKind::Fresh } else { QueryKind::Cached },
+            });
         }
         Ok(self.inner.query(input))
     }
@@ -194,6 +244,21 @@ mod tests {
         let c = CountingOracle::new(base.clone());
         let q = BitVec::from_u64(123, 16);
         assert_eq!(c.query(&q), base.query(&q));
+    }
+
+    #[test]
+    fn metrics_classify_fresh_vs_cached() {
+        let recorder = Arc::new(mph_metrics::Recorder::new());
+        let base: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
+        let c = CountingOracle::new(base).with_metrics(recorder.clone());
+        let q = BitVec::from_u64(3, 16);
+        c.query(&q);
+        c.query(&q);
+        c.query(&BitVec::from_u64(4, 16));
+        let snap = recorder.snapshot();
+        assert_eq!(snap.oracle.fresh, 2);
+        assert_eq!(snap.oracle.cached, 1);
+        assert_eq!(snap.oracle.total(), c.total_queries());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::traits::{check_input_width, Oracle};
 use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink, QueryKind};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -39,12 +40,24 @@ use std::sync::Arc;
 pub struct PatchedOracle {
     base: Arc<dyn Oracle>,
     overrides: HashMap<BitVec, BitVec>,
+    /// Telemetry sink; `None` = zero-cost disabled path.
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl PatchedOracle {
     /// An overlay with no patches yet (identical to `base`).
     pub fn new(base: Arc<dyn Oracle>) -> Self {
-        PatchedOracle { base, overrides: HashMap::new() }
+        PatchedOracle { base, overrides: HashMap::new(), metrics: None }
+    }
+
+    /// Attaches a telemetry sink, builder-style. Queries that hit a patched
+    /// entry emit [`Event::OracleQuery`] with [`QueryKind::Patched`];
+    /// off-patch queries forward to the base oracle *without* an event, so
+    /// an instrumented base (e.g. a [`crate::CountingOracle`] with metrics)
+    /// classifies them fresh/cached without double counting.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Adds (or replaces) a patch, builder-style.
@@ -100,7 +113,10 @@ impl Oracle for PatchedOracle {
     fn query(&self, input: &BitVec) -> BitVec {
         check_input_width("PatchedOracle", self.base.n_in(), input);
         match self.overrides.get(input) {
-            Some(answer) => answer.clone(),
+            Some(answer) => {
+                emit(&self.metrics, || Event::OracleQuery { kind: QueryKind::Patched });
+                answer.clone()
+            }
             None => self.base.query(input),
         }
     }
@@ -176,6 +192,21 @@ mod tests {
     fn patch_width_checked() {
         let base = base16();
         PatchedOracle::new(base).with(BitVec::zeros(8), BitVec::zeros(16));
+    }
+
+    #[test]
+    fn metrics_count_patched_hits_only() {
+        let recorder = Arc::new(mph_metrics::Recorder::new());
+        let base = base16();
+        let q = BitVec::from_u64(9, 16);
+        let p = PatchedOracle::new(base)
+            .with(q.clone(), BitVec::zeros(16))
+            .with_metrics(recorder.clone());
+        p.query(&q); // hits the patch
+        p.query(&BitVec::from_u64(10, 16)); // forwards to base, no event
+        let snap = recorder.snapshot();
+        assert_eq!(snap.oracle.patched, 1);
+        assert_eq!(snap.oracle.total(), 1);
     }
 
     #[test]

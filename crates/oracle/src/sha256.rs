@@ -72,10 +72,8 @@ impl Sha256 {
 
     /// Absorbs `data`.
     pub fn update(&mut self, data: &[u8]) {
-        self.total_len = self
-            .total_len
-            .checked_add(data.len() as u64)
-            .expect("SHA-256 message length overflow");
+        self.total_len =
+            self.total_len.checked_add(data.len() as u64).expect("SHA-256 message length overflow");
         let mut data = data;
         // Fill a partial buffer first.
         if self.buffer_len > 0 {
@@ -141,21 +139,14 @@ impl Sha256 {
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
+            let temp1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
             let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
             let maj = (a & b) ^ (a & c) ^ (b & c);
             let temp2 = s0.wrapping_add(maj);
@@ -224,9 +215,7 @@ mod tests {
     #[test]
     fn fips_vector_two_blocks() {
         assert_eq!(
-            hex(&sha256(
-                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
-            )),
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -296,10 +285,7 @@ mod cavp_vectors {
     }
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     #[test]
@@ -315,13 +301,20 @@ mod cavp_vectors {
             // Len = 32
             ("74ba2521", "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"),
             // Len = 64
-            ("5738c929c4f4ccb6", "963bb88f27f512777aab6c8b1a02c70ec0ad651d428f870036e1917120fb48bf"),
+            (
+                "5738c929c4f4ccb6",
+                "963bb88f27f512777aab6c8b1a02c70ec0ad651d428f870036e1917120fb48bf",
+            ),
             // Len = 128
-            ("0a27847cdc98bd6f62220b046edd762b",
-             "80c25ec1600587e7f28b18b1b18e3cdc89928e39cab3bc25e4d4a4c139bcedc4"),
+            (
+                "0a27847cdc98bd6f62220b046edd762b",
+                "80c25ec1600587e7f28b18b1b18e3cdc89928e39cab3bc25e4d4a4c139bcedc4",
+            ),
             // Len = 256
-            ("09fc1accc230a205e4a208e64a8f204291f581a12756392da4b8c0cf5ef02b95",
-             "4f44c1c7fbebb6f9601829f3897bfd650c56fa07844be76489076356ac1886a4"),
+            (
+                "09fc1accc230a205e4a208e64a8f204291f581a12756392da4b8c0cf5ef02b95",
+                "4f44c1c7fbebb6f9601829f3897bfd650c56fa07844be76489076356ac1886a4",
+            ),
         ];
         for (msg, expected) in vectors {
             assert_eq!(hex_digest(&sha256(&from_hex(msg))), expected, "msg {msg}");

@@ -9,6 +9,7 @@
 
 use crate::traits::{check_input_width, Oracle};
 use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink, QueryKind};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -29,12 +30,24 @@ pub struct QueryRecord {
 pub struct TranscriptOracle {
     inner: Arc<dyn Oracle>,
     records: Mutex<Vec<QueryRecord>>,
+    /// Telemetry sink; `None` = zero-cost disabled path.
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl TranscriptOracle {
     /// Wraps `inner` with an empty transcript.
     pub fn new(inner: Arc<dyn Oracle>) -> Self {
-        TranscriptOracle { inner, records: Mutex::new(Vec::new()) }
+        TranscriptOracle { inner, records: Mutex::new(Vec::new()), metrics: None }
+    }
+
+    /// Attaches a telemetry sink, builder-style. Each query emits an
+    /// [`Event::OracleQuery`]: [`QueryKind::Fresh`] if no earlier record in
+    /// the current transcript has the same input, [`QueryKind::Cached`]
+    /// otherwise. [`Self::clear`] / [`Self::drain`] reset that notion of
+    /// "seen", matching the per-round `Q^{(k)}` sets of the proofs.
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// A snapshot of the transcript so far.
@@ -81,9 +94,14 @@ impl Oracle for TranscriptOracle {
     fn query(&self, input: &BitVec) -> BitVec {
         check_input_width("TranscriptOracle", self.inner.n_in(), input);
         let output = self.inner.query(input);
-        self.records
-            .lock()
-            .push(QueryRecord { input: input.clone(), output: output.clone() });
+        let mut records = self.records.lock();
+        if self.metrics.is_some() {
+            let fresh = !records.iter().any(|r| &r.input == input);
+            emit(&self.metrics, || Event::OracleQuery {
+                kind: if fresh { QueryKind::Fresh } else { QueryKind::Cached },
+            });
+        }
+        records.push(QueryRecord { input: input.clone(), output: output.clone() });
         output
     }
 }
@@ -129,6 +147,21 @@ mod tests {
         assert!(t.is_empty());
         t.query(&BitVec::ones(16));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn metrics_follow_transcript_membership() {
+        let recorder = Arc::new(mph_metrics::Recorder::new());
+        let t = TranscriptOracle::new(Arc::new(LazyOracle::square(4, 16)))
+            .with_metrics(recorder.clone());
+        let q = BitVec::from_u64(7, 16);
+        t.query(&q);
+        t.query(&q);
+        t.clear();
+        t.query(&q); // fresh again after the per-round reset
+        let snap = recorder.snapshot();
+        assert_eq!(snap.oracle.fresh, 2);
+        assert_eq!(snap.oracle.cached, 1);
     }
 
     #[test]

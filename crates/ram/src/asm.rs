@@ -51,9 +51,7 @@ fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmError> {
     let rest = token
         .strip_prefix('r')
         .ok_or_else(|| err(line, format!("expected register, got `{token}`")))?;
-    let idx: u8 = rest
-        .parse()
-        .map_err(|_| err(line, format!("bad register `{token}`")))?;
+    let idx: u8 = rest.parse().map_err(|_| err(line, format!("bad register `{token}`")))?;
     if idx >= 16 {
         return Err(err(line, format!("register `{token}` out of range")));
     }
@@ -188,10 +186,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         if rest.is_empty() {
             continue;
         }
-        let tokens: Vec<&str> = rest
-            .split([' ', '\t', ','])
-            .filter(|t| !t.is_empty())
-            .collect();
+        let tokens: Vec<&str> = rest.split([' ', '\t', ',']).filter(|t| !t.is_empty()).collect();
         lines.push(Line { number, tokens });
         addr += 1;
     }
@@ -209,10 +204,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             }
         };
         let label_target = |token: &str| -> Result<usize, AsmError> {
-            labels
-                .get(token)
-                .copied()
-                .ok_or_else(|| err(n, format!("unknown label `{token}`")))
+            labels.get(token).copied().ok_or_else(|| err(n, format!("unknown label `{token}`")))
         };
         let instr = match t[0] {
             "li" => {

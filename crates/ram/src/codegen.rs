@@ -153,7 +153,12 @@ struct Piece {
 /// Plans the pieces to copy `width` bits from a source (starting at
 /// `src_bit` within the source's word sequence) to destination bit offset
 /// `dst_bit`.
-fn plan_copy(make_src: impl Fn(usize) -> Src, src_bit: usize, dst_bit: usize, width: usize) -> Vec<Piece> {
+fn plan_copy(
+    make_src: impl Fn(usize) -> Src,
+    src_bit: usize,
+    dst_bit: usize,
+    width: usize,
+) -> Vec<Piece> {
     let mut pieces = Vec::new();
     let mut pos = 0;
     while pos < width {
@@ -225,21 +230,19 @@ fn emit_pack_query(b: &mut ProgramBuilder, shape: &LineShape, r_src_off: usize) 
         pieces.extend(plan_copy(|_| Src::RegI, 0, 0, shape.i_width));
     }
     pieces.extend(plan_copy(Src::Block, 0, shape.i_width, shape.u));
-    pieces.extend(plan_copy(
-        Src::Answer,
-        r_src_off,
-        shape.i_width + shape.u,
-        shape.u,
-    ));
+    pieces.extend(plan_copy(Src::Answer, r_src_off, shape.i_width + shape.u, shape.u));
 
     for dst_word in 0..shape.oracle_words() {
         // acc = 0
         b.push(Instr::Xor { rd: R_ACC, ra: R_ACC, rb: R_ACC });
         for piece in pieces.iter().filter(|p| p.dst_word == dst_word) {
-            debug_assert_eq!(piece.src_word, match piece.src {
-                Src::Block(k) | Src::Answer(k) => k,
-                Src::RegI => 0,
-            });
+            debug_assert_eq!(
+                piece.src_word,
+                match piece.src {
+                    Src::Block(k) | Src::Answer(k) => k,
+                    Src::RegI => 0,
+                }
+            );
             emit_piece(b, shape, piece);
         }
         b.push(Instr::LoadImm { rd: R_ADDR, imm: (shape.qbuf() + dst_word) as u64 });
@@ -305,7 +308,10 @@ fn gen_program(shape: &LineShape, simline: bool) -> Program {
 /// (`shape.i_width > 0`). After it halts, the answer buffer holds
 /// `(ℓ_{w+1}, r_{w+1}, z_{w+1})` — read it with [`LineShape::read_output`].
 pub fn gen_line_program(shape: &LineShape) -> Program {
-    assert!(shape.i_width > 0, "Line queries carry a node index; use gen_simline_program for i_width = 0");
+    assert!(
+        shape.i_width > 0,
+        "Line queries carry a node index; use gen_simline_program for i_width = 0"
+    );
     gen_program(shape, false)
 }
 
@@ -363,16 +369,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
         let blocks = random_blocks(&mut rng, shape.v, shape.u);
 
-        let program = if simline {
-            gen_simline_program(&shape)
-        } else {
-            gen_line_program(&shape)
-        };
+        let program = if simline { gen_simline_program(&shape) } else { gen_line_program(&shape) };
         let mut ram = Ram::new(shape.mem_words() + 4);
         shape.load_input(&mut ram, &blocks);
-        let stats = ram
-            .run(&program, &oracle, 100_000_000)
-            .expect("generated program must halt cleanly");
+        let stats =
+            ram.run(&program, &oracle, 100_000_000).expect("generated program must halt cleanly");
         assert_eq!(stats.oracle_queries, shape.w);
 
         let expected = native_eval(&shape, &oracle, &blocks, simline);

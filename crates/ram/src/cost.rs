@@ -1,0 +1,50 @@
+//! Cost accounting for the word-RAM model.
+//!
+//! Theorem 3.1's upper bound states the hard function "can be computed
+//! using memory of size O(S) in O(T·n) time by a RAM computation with
+//! access to RO". [`RamStats`] records exactly the quantities that claim
+//! quantifies over:
+//!
+//! * **time** — word operations, where ordinary instructions are unit cost
+//!   and an `Oracle` instruction costs one unit per input/output word
+//!   moved, matching the paper's "making a query to RO takes O(n) time";
+//! * **space** — the high-water mark of touched memory, the paper's `S`;
+//! * **oracle queries** — the RAM-side analogue of the per-round query
+//!   budget `q` of Definition 2.1.
+//!
+//! When a [`MetricsSink`](mph_metrics::MetricsSink) is attached to a
+//! [`Ram`](crate::Ram), every executed instruction additionally emits an
+//! [`Event::RamStep`](mph_metrics::Event::RamStep) carrying its cost, so a
+//! [`Recorder`](mph_metrics::Recorder) can reconstruct `time` as the sum of
+//! step costs.
+
+/// Run statistics: the quantities Theorem 3.1's upper bound speaks about.
+///
+/// # Examples
+///
+/// ```
+/// use mph_ram::RamStats;
+///
+/// let stats = RamStats { instructions: 10, time: 14, oracle_queries: 1, peak_words: 3 };
+/// assert_eq!(stats.peak_bits(), 192); // S in bits = peak words × 64
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RamStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Time in word operations (instructions are unit cost; an oracle query
+    /// costs its word count — the paper's `O(n)` per query).
+    pub time: u64,
+    /// Oracle queries made.
+    pub oracle_queries: u64,
+    /// Space high-water mark: the highest touched word address + 1,
+    /// in words.
+    pub peak_words: usize,
+}
+
+impl RamStats {
+    /// Space high-water mark in bits (the paper's `S`).
+    pub fn peak_bits(&self) -> usize {
+        self.peak_words * 64
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`machine`] — the interpreter, with exact time accounting and a
 //!   space high-water mark, and hard step limits so runaway programs fail
 //!   loudly.
+//! * [`cost`] — the [`RamStats`] accounting record those runs produce, and
+//!   its relation to the telemetry events of `mph-metrics`.
 //! * [`program`] — a builder with labels/fixups for generated code.
 //! * [`asm`] — a tiny two-pass text assembler, for tests and examples.
 //! * [`codegen`] — generators that emit genuine RAM programs evaluating
@@ -25,12 +27,14 @@
 
 pub mod asm;
 pub mod codegen;
+pub mod cost;
 pub mod isa;
 pub mod machine;
 pub mod program;
 
 pub use asm::{assemble, disassemble};
 pub use codegen::{gen_line_program, gen_simline_program, LineShape};
+pub use cost::RamStats;
 pub use isa::{Instr, Reg};
-pub use machine::{Ram, RamError, RamStats};
+pub use machine::{Ram, RamError};
 pub use program::{Label, Program, ProgramBuilder};

@@ -3,8 +3,13 @@
 use crate::isa::{Instr, NUM_REGS};
 use crate::program::Program;
 use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink};
 use mph_oracle::Oracle;
 use std::fmt;
+use std::sync::Arc;
+
+// Kept as a re-export so pre-`cost`-module paths keep compiling.
+pub use crate::cost::RamStats;
 
 /// Runtime faults.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,7 +44,10 @@ impl fmt::Display for RamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RamError::OutOfBounds { addr, mem_words, pc } => {
-                write!(f, "memory access at word {addr} out of bounds ({mem_words} words) at pc {pc}")
+                write!(
+                    f,
+                    "memory access at word {addr} out of bounds ({mem_words} words) at pc {pc}"
+                )
             }
             RamError::DivisionByZero { pc } => write!(f, "mod by zero at pc {pc}"),
             RamError::StepLimit { limit } => write!(f, "step limit {limit} exceeded"),
@@ -49,28 +57,6 @@ impl fmt::Display for RamError {
 }
 
 impl std::error::Error for RamError {}
-
-/// Run statistics: the quantities Theorem 3.1's upper bound speaks about.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct RamStats {
-    /// Instructions executed.
-    pub instructions: u64,
-    /// Time in word operations (instructions are unit cost; an oracle query
-    /// costs its word count — the paper's `O(n)` per query).
-    pub time: u64,
-    /// Oracle queries made.
-    pub oracle_queries: u64,
-    /// Space high-water mark: the highest touched word address + 1,
-    /// in words.
-    pub peak_words: usize,
-}
-
-impl RamStats {
-    /// Space high-water mark in bits (the paper's `S`).
-    pub fn peak_bits(&self) -> usize {
-        self.peak_words * 64
-    }
-}
 
 /// A word-RAM machine: 16 registers, word-indexed memory, and an oracle
 /// port.
@@ -100,12 +86,23 @@ pub struct Ram {
     regs: [u64; NUM_REGS],
     mem: Vec<u64>,
     peak_word: usize,
+    /// Telemetry sink; `None` = zero-cost disabled path.
+    metrics: Option<Arc<dyn MetricsSink>>,
 }
 
 impl Ram {
     /// A machine with `mem_words` words of zeroed memory.
     pub fn new(mem_words: usize) -> Self {
-        Ram { regs: [0; NUM_REGS], mem: vec![0; mem_words], peak_word: 0 }
+        Ram { regs: [0; NUM_REGS], mem: vec![0; mem_words], peak_word: 0, metrics: None }
+    }
+
+    /// Attaches a telemetry sink. Every instruction executed by [`Ram::run`]
+    /// then emits an [`Event::RamStep`] carrying its cost in word
+    /// operations, so the run's `O(T·n)` time bound (Theorem 3.1) can be
+    /// reconstructed as the sum of step costs.
+    pub fn set_metrics(&mut self, sink: Arc<dyn MetricsSink>) -> &mut Self {
+        self.metrics = Some(sink);
+        self
     }
 
     /// Read access to memory (for loading inputs and reading outputs).
@@ -172,7 +169,9 @@ impl Ram {
                 return Err(RamError::PcOutOfRange { pc });
             };
             stats.instructions += 1;
-            stats.time += instr.cost(in_words, out_words);
+            let cost = instr.cost(in_words, out_words);
+            stats.time += cost;
+            emit(&self.metrics, || Event::RamStep { cost });
             let mut next_pc = pc + 1;
 
             match instr {
@@ -219,18 +218,10 @@ impl Ram {
                     self.regs[rd.index()] = self.regs[ra.index()] ^ self.regs[rb.index()]
                 }
                 Instr::Shl { rd, ra, sh } => {
-                    self.regs[rd.index()] = if sh >= 64 {
-                        0
-                    } else {
-                        self.regs[ra.index()] << sh
-                    }
+                    self.regs[rd.index()] = if sh >= 64 { 0 } else { self.regs[ra.index()] << sh }
                 }
                 Instr::Shr { rd, ra, sh } => {
-                    self.regs[rd.index()] = if sh >= 64 {
-                        0
-                    } else {
-                        self.regs[ra.index()] >> sh
-                    }
+                    self.regs[rd.index()] = if sh >= 64 { 0 } else { self.regs[ra.index()] >> sh }
                 }
                 Instr::Jump { target } => next_pc = target,
                 Instr::BranchEq { ra, rb, target } => {
@@ -456,6 +447,27 @@ mod tests {
         );
         assert_eq!(stats.peak_words, 7);
         assert_eq!(stats.peak_bits(), 7 * 64);
+    }
+
+    #[test]
+    fn ram_step_events_sum_to_time() {
+        let recorder = Arc::new(mph_metrics::Recorder::new());
+        let oracle = LazyOracle::square(5, 128);
+        let mut ram = Ram::new(16);
+        ram.set_metrics(recorder.clone());
+        ram.write_bits(0, &BitVec::ones(128));
+        let program = Program {
+            instrs: vec![
+                Instr::LoadImm { rd: Reg(1), imm: 0 },
+                Instr::LoadImm { rd: Reg(2), imm: 8 },
+                Instr::Oracle { in_addr: Reg(1), out_addr: Reg(2) },
+                Instr::Halt,
+            ],
+        };
+        let stats = ram.run(&program, &oracle, 100).unwrap();
+        let snap = recorder.snapshot();
+        assert_eq!(snap.ram.steps, stats.instructions);
+        assert_eq!(snap.ram.cost, stats.time);
     }
 
     #[test]

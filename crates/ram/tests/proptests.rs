@@ -1,8 +1,8 @@
 //! Property tests for the word-RAM: assembler/disassembler round-trips on
 //! random programs and semantic invariants of the interpreter.
 
-use mph_ram::{assemble, disassemble, gen_line_program, Instr, LineShape, Program, Ram, Reg};
 use mph_oracle::LazyOracle;
+use mph_ram::{assemble, disassemble, gen_line_program, Instr, LineShape, Program, Ram, Reg};
 use proptest::prelude::*;
 
 /// Strategy: a random valid instruction, with branch targets within
@@ -25,14 +25,10 @@ fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
         (reg(), reg(), 0u8..=64).prop_map(|(rd, ra, sh)| Instr::Shl { rd, ra, sh }),
         (reg(), reg(), 0u8..=64).prop_map(|(rd, ra, sh)| Instr::Shr { rd, ra, sh }),
         (0..len).prop_map(|target| Instr::Jump { target }),
-        (reg(), reg(), 0..len)
-            .prop_map(|(ra, rb, target)| Instr::BranchEq { ra, rb, target }),
-        (reg(), reg(), 0..len)
-            .prop_map(|(ra, rb, target)| Instr::BranchNe { ra, rb, target }),
-        (reg(), reg(), 0..len)
-            .prop_map(|(ra, rb, target)| Instr::BranchLt { ra, rb, target }),
-        (reg(), reg(), 0..len)
-            .prop_map(|(ra, rb, target)| Instr::BranchLe { ra, rb, target }),
+        (reg(), reg(), 0..len).prop_map(|(ra, rb, target)| Instr::BranchEq { ra, rb, target }),
+        (reg(), reg(), 0..len).prop_map(|(ra, rb, target)| Instr::BranchNe { ra, rb, target }),
+        (reg(), reg(), 0..len).prop_map(|(ra, rb, target)| Instr::BranchLt { ra, rb, target }),
+        (reg(), reg(), 0..len).prop_map(|(ra, rb, target)| Instr::BranchLe { ra, rb, target }),
         (reg(), reg()).prop_map(|(in_addr, out_addr)| Instr::Oracle { in_addr, out_addr }),
         Just(Instr::Halt),
     ]

@@ -36,9 +36,16 @@ fn main() {
     println!("Claim A.4 encoding of (RO, X) — SimLine, n = 12, u = 4, v = 6");
     println!("  oracle table : {:>6} bits", encoding.parts.table_bits);
     println!("  memory image : {:>6} bits (s = {s})", encoding.parts.memory_bits);
-    println!("  bookkeeping  : {:>6} bits for {} recovered blocks", encoding.parts.bookkeeping_bits, encoding.parts.recovered);
+    println!(
+        "  bookkeeping  : {:>6} bits for {} recovered blocks",
+        encoding.parts.bookkeeping_bits, encoding.parts.recovered
+    );
     println!("  raw blocks   : {:>6} bits ((v − α)·u)", encoding.parts.raw_block_bits);
-    println!("  total |Enc|  : {:>6} bits  (entropy floor {})", encoding.bits.len(), encoder.entropy_floor());
+    println!(
+        "  total |Enc|  : {:>6} bits  (entropy floor {})",
+        encoding.bits.len(),
+        encoder.entropy_floor()
+    );
 
     let (oracle_back, blocks_back) = encoder.decode(&encoding.bits, &adversary);
     assert_eq!(oracle_back, oracle);
@@ -56,11 +63,19 @@ fn main() {
     let memory = adversary.precompute(Arc::new(oracle.clone()), &blocks, s);
 
     let encoder = LineEncoder::new(params, 2, 64);
-    let encoding = encoder.encode(&oracle, &blocks, &memory, &adversary, 0, 0, &BitVec::zeros(params.u));
+    let encoding =
+        encoder.encode(&oracle, &blocks, &memory, &adversary, 0, 0, &BitVec::zeros(params.u));
     println!("\nClaim 3.7 encoding — Line, n = 14, v² = 36 rewired oracles replayed");
-    println!("  recovered set B      : {} blocks (the machine's reachable window)", encoding.parts.recovered);
+    println!(
+        "  recovered set B      : {} blocks (the machine's reachable window)",
+        encoding.parts.recovered
+    );
     println!("  productive rewirings : {}", encoding.parts.productive_sequences);
-    println!("  total |Enc|          : {} bits (entropy floor {})", encoding.bits.len(), encoder.entropy_floor());
+    println!(
+        "  total |Enc|          : {} bits (entropy floor {})",
+        encoding.bits.len(),
+        encoder.entropy_floor()
+    );
 
     let (oracle_back, blocks_back) = encoder.decode(&encoding.bits, &adversary);
     assert_eq!(oracle_back, oracle);

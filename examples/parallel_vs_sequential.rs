@@ -36,12 +36,7 @@ fn main() {
         let line = theorem::measure_rounds(&pipeline, scale ^ 0xF00D, None, None, 1_000_000);
         assert!(line.correct);
 
-        println!(
-            "{:>8}  {:>14}  {:>18}",
-            scale,
-            sort_result.rounds(),
-            line.rounds
-        );
+        println!("{:>8}  {:>14}  {:>18}", scale, sort_result.rounds(), line.rounds);
     }
 
     println!(

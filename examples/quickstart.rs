@@ -12,7 +12,10 @@ fn main() {
     // A Line instance: 64-bit oracle, w = T = 200 chained calls, input of
     // v = 24 blocks x 16 bits (S = 384 bits).
     let params = LineParams::new(64, 200, 16, 24);
-    println!("Line instance: n = {}, w = {}, u = {}, v = {}", params.n, params.w, params.u, params.v);
+    println!(
+        "Line instance: n = {}, w = {}, u = {}, v = {}",
+        params.n, params.w, params.u, params.v
+    );
 
     // Draw (RO, X): a seeded random oracle and a uniform input.
     let (oracle, blocks) = mpc_hardness::core::theorem::draw_instance(&params, 42);

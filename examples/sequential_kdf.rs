@@ -57,8 +57,11 @@ fn main() {
     for t in [1_000u64, 4_000, 16_000] {
         let start = Instant::now();
         let _ = derive_key(password, salt, t);
-        println!("T = {t:>6}: {:>8.2?}  ({:.2} µs/step)", start.elapsed(),
-            start.elapsed().as_secs_f64() * 1e6 / t as f64);
+        println!(
+            "T = {t:>6}: {:>8.2?}  ({:.2} µs/step)",
+            start.elapsed(),
+            start.elapsed().as_secs_f64() * 1e6 / t as f64
+        );
     }
     println!(
         "\nEach step consumes the previous step's output, so the {} calls \

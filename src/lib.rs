@@ -68,6 +68,7 @@
 //! | [`compression`] | `mph-compression` | Claims A.4/3.7 as `Enc`/`Dec`, Claim 3.8 |
 //! | [`bounds`] | `mph-bounds` | all bound formulas in log₂-space, Tables 1–3 |
 //! | [`algos`] | `mph-mpc-algos` | parallelizable baselines (sort, sum, CC, wordcount) |
+//! | [`metrics`] | `mph-metrics` | structured telemetry: events, sinks, JSON reports |
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -76,6 +77,7 @@ pub use mph_bits as bits;
 pub use mph_bounds as bounds;
 pub use mph_compression as compression;
 pub use mph_core as core;
+pub use mph_metrics as metrics;
 pub use mph_mpc as mpc;
 pub use mph_mpc_algos as algos;
 pub use mph_oracle as oracle;

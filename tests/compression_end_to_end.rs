@@ -84,13 +84,7 @@ fn line_encoding_with_live_frontiers() {
     for k in [0usize, 1, 2, 3] {
         // Frontier after k rounds = number of nodes advanced so far.
         let oracle_arc: Arc<dyn Oracle> = Arc::new(oracle.clone());
-        let mut sim = pipeline.build_simulation(
-            oracle_arc,
-            RandomTape::new(0),
-            s,
-            None,
-            &blocks,
-        );
+        let mut sim = pipeline.build_simulation(oracle_arc, RandomTape::new(0), s, None, &blocks);
         for _ in 0..k {
             sim.step().unwrap();
         }
@@ -108,8 +102,7 @@ fn line_encoding_with_live_frontiers() {
         let holder = (0..2)
             .find(|&mch| sim.inbox(mch).iter().any(|m| m.payload.len() == token_bits))
             .expect("token somewhere");
-        let memory: Vec<BitVec> =
-            sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
+        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
         let adv = PipelineRound::new(pipeline.clone(), holder, k);
         let encoding = enc.encode(&oracle, &blocks, &memory, &adv, j, a0, &r_next);
         let (o2, b2) = enc.decode(&encoding.bits, &adv);
@@ -130,23 +123,18 @@ fn per_block_bookkeeping_beats_u_at_width() {
     let mut rng = StdRng::seed_from_u64(9);
     let oracle = TableOracle::random(&mut rng, 16, 16);
     let blocks = mpc_hardness::bits::random_blocks(&mut rng, params.v, params.u);
-    let pipeline =
-        Pipeline::new(params, BlockAssignment::new(params.v, 2, 4), Target::SimLine);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(params.v, 2, 4), Target::SimLine);
     let s = pipeline.required_s();
     let adv = PipelineRound::new(pipeline, 0, 0);
     let memory = adv.precompute(Arc::new(oracle.clone()), &blocks, s);
     let enc = SimLineEncoder::new(params, 16); // q = 16 -> 4-bit positions
     let encoding = enc.encode(&oracle, &blocks, &memory, &adv);
     assert!(encoding.parts.recovered >= 3);
-    let per_block =
-        encoding.parts.bookkeeping_bits as f64 / encoding.parts.recovered as f64;
+    let per_block = encoding.parts.bookkeeping_bits as f64 / encoding.parts.recovered as f64;
     // pos (4) + idx (3) + amortized count: under 9 bits; u = 5 is the toy
     // regime where there is no saving — assert the exact accounting instead.
     assert!(per_block < 9.0, "bookkeeping {per_block} bits/block");
-    assert_eq!(
-        encoding.parts.raw_block_bits,
-        (params.v - encoding.parts.recovered) * params.u
-    );
+    assert_eq!(encoding.parts.raw_block_bits, (params.v - encoding.parts.recovered) * params.u);
 }
 
 /// The counting floor stands above any honest total: |Enc| ≥ floor for

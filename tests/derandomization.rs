@@ -95,9 +95,8 @@ fn randomized_protocol_runs_deterministically_via_oracle_coins() {
     // A different oracle draw gives different coins (it is randomness over
     // the choice of RO, exactly as Remark 2.3 frames it).
     let other_oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(12, 64));
-    let heads: Vec<bool> = (0..4)
-        .map(|j| other_oracle.query(&coin_query(&params, j, 0, 0)).get(0))
-        .collect();
+    let heads: Vec<bool> =
+        (0..4).map(|j| other_oracle.query(&coin_query(&params, j, 0, 0)).get(0)).collect();
     let original: Vec<bool> = {
         let oracle = LazyOracle::square(11, 64);
         (0..4).map(|j| oracle.query(&coin_query(&params, j, 0, 0)).get(0)).collect()

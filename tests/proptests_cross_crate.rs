@@ -11,10 +11,10 @@ use proptest::prelude::*;
 /// configuration that can hold it.
 fn config_strategy() -> impl Strategy<Value = (LineParams, usize, usize, u64)> {
     (
-        8u64..40,    // w
-        4usize..12,  // v
-        2usize..5,   // m
-        1usize..12,  // window (clamped by BlockAssignment)
+        8u64..40,   // w
+        4usize..12, // v
+        2usize..5,  // m
+        1usize..12, // window (clamped by BlockAssignment)
         any::<u64>(),
     )
         .prop_map(|(w, v, m, window, seed)| {
