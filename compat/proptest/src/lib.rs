@@ -59,6 +59,9 @@ pub mod prelude {
 /// }
 /// # fn main() {}
 /// ```
+// The `#[test]` in the example is the macro's real calling convention,
+// not a doctest-local test definition (clippy::test_attr_in_doctest).
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -90,6 +93,9 @@ macro_rules! __proptest_fns {
                     concat!(module_path!(), "::", stringify!($name)),
                     __case,
                 );
+                // The immediately-called closure gives `prop_assert!`'s
+                // `return Err(..)` a function boundary to land on.
+                #[allow(clippy::redundant_closure_call)]
                 let __result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
                     $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
                     $body

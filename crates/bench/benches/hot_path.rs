@@ -1,0 +1,139 @@
+//! The oracle/routing hot path under criterion: repeated-query oracle
+//! workloads (bare vs [`CachedOracle`] vs `query_many`), a message-heavy
+//! relay routing loop, and the E2-scale `SimLine` pipeline run. The
+//! committed summary artifact `BENCH_mpc.json` is produced by the
+//! `bench_mpc` binary (`cargo run --release -p mph-bench --bin bench_mpc`);
+//! these groups are the interactive `cargo bench` view of the same
+//! workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mph_bits::{random_blocks, BitVec};
+use mph_core::algorithms::pipeline::{Pipeline, Target};
+use mph_core::algorithms::BlockAssignment;
+use mph_core::{theorem, LineParams};
+use mph_mpc::{Message, Outbox, RoundCtx, Simulation};
+use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// `distinct` random queries, each asked `repeats` times round-robin —
+/// the repeated-query pattern the cache is built for.
+fn repeated_queries(n: usize, distinct: usize, repeats: usize) -> Vec<BitVec> {
+    let mut rng = StdRng::seed_from_u64(0xb0b);
+    let pool = random_blocks(&mut rng, distinct, n);
+    let mut queries = Vec::with_capacity(distinct * repeats);
+    for _ in 0..repeats {
+        queries.extend(pool.iter().cloned());
+    }
+    queries
+}
+
+fn bench_repeated_oracle(c: &mut Criterion) {
+    let n = 256;
+    let queries = repeated_queries(n, 64, 16);
+    let bare = Arc::new(LazyOracle::square(7, n));
+
+    let mut group = c.benchmark_group("oracle_repeated");
+    group.throughput(criterion::Throughput::Elements(queries.len() as u64));
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for q in &queries {
+                acc += bare.query(q).count_ones();
+            }
+            acc
+        })
+    });
+    group.bench_function("cached", |b| {
+        b.iter_batched(
+            || CachedOracle::new(Arc::clone(&bare)),
+            |cached| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += cached.query(q).count_ones();
+                }
+                acc
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cached_query_many", |b| {
+        b.iter_batched(
+            || CachedOracle::new(Arc::clone(&bare)),
+            |cached| cached.query_many(&queries).len(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// A message-heavy relay ring: every machine forwards its payload to the
+/// next machine every round. Exercises exactly the executor routing path
+/// (count pass, scratch inboxes, move-not-clone) with trivial compute.
+fn relay_simulation(m: usize, payload_bits: usize) -> Simulation {
+    let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
+    let mut sim = Simulation::new(m, 4 * payload_bits, oracle, RandomTape::new(0));
+    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+        let mut out = Outbox::new();
+        let next = (ctx.machine() + 1) % ctx.m();
+        for msg in incoming {
+            out.push(next, msg.payload.clone());
+        }
+        Ok(out)
+    }));
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for (machine, payload) in random_blocks(&mut rng, m, payload_bits).into_iter().enumerate() {
+        sim.seed_memory(machine, payload);
+    }
+    sim
+}
+
+fn bench_relay_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_routing");
+    group.sample_size(20);
+    for m in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("ring", m), &m, |b, &m| {
+            b.iter_batched(
+                || relay_simulation(m, 256),
+                |mut sim| sim.run_rounds(64).unwrap().rounds(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_simline_e2(c: &mut Criterion) {
+    // E1/E2 scale: n = 64, u = 16, v = 64, w = 512, m = 8, window = 16.
+    let params = LineParams::new(64, 512, 16, 64);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(64, 8, 16), Target::SimLine);
+
+    let mut group = c.benchmark_group("simline_e2");
+    group.sample_size(10);
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            let m = theorem::measure_rounds(&pipeline, 3, None, None, 100_000);
+            assert!(m.correct);
+            m.rounds
+        })
+    });
+    group.bench_function("cached", |b| {
+        let (oracle, blocks) = theorem::draw_instance(&params, 3);
+        let cached = Arc::new(CachedOracle::new(oracle));
+        b.iter(|| {
+            let mut sim = pipeline.build_simulation(
+                Arc::clone(&cached) as Arc<dyn Oracle>,
+                RandomTape::new(0),
+                pipeline.required_s(),
+                None,
+                &blocks,
+            );
+            sim.run_until_output(100_000).unwrap().rounds()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeated_oracle, bench_relay_routing, bench_simline_e2);
+criterion_main!(benches);

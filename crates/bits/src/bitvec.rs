@@ -175,7 +175,10 @@ impl BitVec {
 
     /// Appends all bits of `other`.
     pub fn extend_bits(&mut self, other: &BitVec) {
-        // Fast path: word-aligned append.
+        if other.len == 0 {
+            return;
+        }
+        // Fast path: word-aligned append is a plain word copy.
         if self.len.is_multiple_of(WORD_BITS) {
             self.words.extend_from_slice(&other.words);
             self.len += other.len;
@@ -183,15 +186,21 @@ impl BitVec {
             self.mask_tail();
             return;
         }
-        let mut remaining = other.len;
-        for &word in &other.words {
-            let take = remaining.min(WORD_BITS);
-            self.extend_raw(word & mask(take), take);
-            remaining -= take;
-            if remaining == 0 {
-                break;
+        // Unaligned: one resize up front, then OR each source word into the
+        // two destination words it straddles. Tail bits beyond both lengths
+        // are zero by the representation invariant, so plain ORs suffice.
+        let shift = self.len % WORD_BITS;
+        let base = self.len / WORD_BITS;
+        let new_len = self.len + other.len;
+        self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+        for (i, &word) in other.words.iter().enumerate() {
+            self.words[base + i] |= word << shift;
+            if let Some(hi) = self.words.get_mut(base + i + 1) {
+                *hi |= word >> (WORD_BITS - shift);
             }
         }
+        self.len = new_len;
+        self.mask_tail();
     }
 
     /// Appends `count` zero bits (padding, the `0^*` of oracle queries).
@@ -220,14 +229,26 @@ impl BitVec {
             start + width,
             self.len
         );
-        let mut out = BitVec::zeros(width);
-        let mut done = 0;
-        while done < width {
-            let take = (width - done).min(64);
-            let chunk = self.read_raw(start + done, take);
-            out.write_raw(done, chunk, take);
-            done += take;
+        // Fast path: word-aligned start is a plain word copy.
+        if start.is_multiple_of(WORD_BITS) {
+            let first = start / WORD_BITS;
+            let words = self.words[first..first + width.div_ceil(WORD_BITS)].to_vec();
+            let mut out = BitVec { words, len: width };
+            out.mask_tail();
+            return out;
         }
+        // Unaligned: each destination word is two shifted source words.
+        let shift = start % WORD_BITS;
+        let first = start / WORD_BITS;
+        let n_words = width.div_ceil(WORD_BITS);
+        let mut words = vec![0u64; n_words];
+        for (i, out_word) in words.iter_mut().enumerate() {
+            let lo = self.words[first + i] >> shift;
+            let hi = self.words.get(first + i + 1).map_or(0, |w| w << (WORD_BITS - shift));
+            *out_word = lo | hi;
+        }
+        let mut out = BitVec { words, len: width };
+        out.mask_tail();
         out
     }
 
@@ -562,6 +583,40 @@ mod tests {
         a.extend_bits(&b);
         assert_eq!(a.len(), 69);
         assert_eq!(a.read_u64(64, 5), 9);
+    }
+
+    #[test]
+    fn extend_bits_matches_per_bit_reference() {
+        // Word-level merge paths agree with the naive bit-by-bit append for
+        // every alignment of destination tail and source length.
+        for self_len in [0usize, 1, 3, 63, 64, 65, 127, 128, 130] {
+            for other_len in [0usize, 1, 5, 64, 65, 200] {
+                let mut a =
+                    BitVec::from_bools(&(0..self_len).map(|i| i % 3 == 0).collect::<Vec<_>>());
+                let b = BitVec::from_bools(&(0..other_len).map(|i| i % 5 != 2).collect::<Vec<_>>());
+                let mut reference = a.clone();
+                for bit in b.iter() {
+                    reference.push(bit);
+                }
+                a.extend_bits(&b);
+                assert_eq!(a, reference, "self_len={self_len} other_len={other_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_matches_per_bit_reference() {
+        let bv = BitVec::from_bools(&(0..300).map(|i| i % 7 < 3).collect::<Vec<_>>());
+        for start in [0usize, 1, 63, 64, 65, 128, 200] {
+            for width in [0usize, 1, 5, 64, 65, 100] {
+                if start + width > bv.len() {
+                    continue;
+                }
+                let s = bv.slice(start, width);
+                let reference: BitVec = (start..start + width).map(|i| bv.get(i)).collect();
+                assert_eq!(s, reference, "start={start} width={width}");
+            }
+        }
     }
 
     #[test]

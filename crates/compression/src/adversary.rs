@@ -108,71 +108,6 @@ impl Oracle for RecordingOracle<'_> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mph_core::algorithms::pipeline::Target;
-    use mph_core::algorithms::BlockAssignment;
-    use mph_core::LineParams;
-    use mph_oracle::{LazyOracle, TranscriptOracle};
-    use rand::SeedableRng;
-
-    fn setup() -> (Arc<Pipeline>, Arc<dyn Oracle>, Vec<BitVec>) {
-        let params = LineParams::new(64, 30, 16, 8);
-        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::SimLine);
-        let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(21, 64));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
-        let blocks = mph_bits::random_blocks(&mut rng, 8, 16);
-        (pipeline, oracle, blocks)
-    }
-
-    #[test]
-    fn replay_is_deterministic() {
-        let (pipeline, oracle, blocks) = setup();
-        let s = pipeline.required_s();
-        let adv = PipelineRound::new(pipeline, 0, 0);
-        let memory = adv.precompute(oracle.clone(), &blocks, s);
-        let q1 = adv.run(&*oracle, &memory);
-        let q2 = adv.run(&*oracle, &memory);
-        assert_eq!(q1, q2);
-        assert!(!q1.is_empty(), "token-holding machine queries in round 0");
-    }
-
-    #[test]
-    fn replay_matches_live_round() {
-        // The queries A2 makes on the snapshot equal the queries the live
-        // simulation's machine makes in that round.
-        let (pipeline, oracle, blocks) = setup();
-        let s = pipeline.required_s();
-        // Live: wrap oracle in a transcript and run one step.
-        let transcript = Arc::new(TranscriptOracle::new(oracle.clone()));
-        let mut sim = pipeline.build_simulation(
-            transcript.clone() as Arc<dyn Oracle>,
-            RandomTape::new(0),
-            s,
-            None,
-            &blocks,
-        );
-        sim.step().unwrap();
-        let live: Vec<BitVec> = transcript.transcript().into_iter().map(|r| r.input).collect();
-
-        let adv = PipelineRound::new(pipeline, 0, 0);
-        let memory = adv.precompute(oracle.clone(), &blocks, s);
-        let replayed = adv.run(&*oracle, &memory);
-        assert_eq!(replayed, live);
-    }
-
-    #[test]
-    fn memory_respects_s() {
-        let (pipeline, oracle, blocks) = setup();
-        let s = pipeline.required_s();
-        let adv = PipelineRound::new(pipeline, 1, 2);
-        let memory = adv.precompute(oracle, &blocks, s);
-        let total: usize = memory.iter().map(|m| m.len()).sum();
-        assert!(total <= s, "memory image {total} bits exceeds s = {s}");
-    }
-}
-
 /// A synthetic adversary with raw-block memory: its memory image is a list
 /// of `(index, block)` records, and its round queries the line starting
 /// from a fixed frontier using exactly those blocks.
@@ -256,5 +191,70 @@ impl RoundAlgorithm for StoredBlocks {
             i += 1;
         }
         queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_core::algorithms::pipeline::Target;
+    use mph_core::algorithms::BlockAssignment;
+    use mph_core::LineParams;
+    use mph_oracle::{LazyOracle, TranscriptOracle};
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<Pipeline>, Arc<dyn Oracle>, Vec<BitVec>) {
+        let params = LineParams::new(64, 30, 16, 8);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::SimLine);
+        let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(21, 64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let blocks = mph_bits::random_blocks(&mut rng, 8, 16);
+        (pipeline, oracle, blocks)
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (pipeline, oracle, blocks) = setup();
+        let s = pipeline.required_s();
+        let adv = PipelineRound::new(pipeline, 0, 0);
+        let memory = adv.precompute(oracle.clone(), &blocks, s);
+        let q1 = adv.run(&*oracle, &memory);
+        let q2 = adv.run(&*oracle, &memory);
+        assert_eq!(q1, q2);
+        assert!(!q1.is_empty(), "token-holding machine queries in round 0");
+    }
+
+    #[test]
+    fn replay_matches_live_round() {
+        // The queries A2 makes on the snapshot equal the queries the live
+        // simulation's machine makes in that round.
+        let (pipeline, oracle, blocks) = setup();
+        let s = pipeline.required_s();
+        // Live: wrap oracle in a transcript and run one step.
+        let transcript = Arc::new(TranscriptOracle::new(oracle.clone()));
+        let mut sim = pipeline.build_simulation(
+            transcript.clone() as Arc<dyn Oracle>,
+            RandomTape::new(0),
+            s,
+            None,
+            &blocks,
+        );
+        sim.step().unwrap();
+        let live: Vec<BitVec> = transcript.transcript().into_iter().map(|r| r.input).collect();
+
+        let adv = PipelineRound::new(pipeline, 0, 0);
+        let memory = adv.precompute(oracle.clone(), &blocks, s);
+        let replayed = adv.run(&*oracle, &memory);
+        assert_eq!(replayed, live);
+    }
+
+    #[test]
+    fn memory_respects_s() {
+        let (pipeline, oracle, blocks) = setup();
+        let s = pipeline.required_s();
+        let adv = PipelineRound::new(pipeline, 1, 2);
+        let memory = adv.precompute(oracle, &blocks, s);
+        let total: usize = memory.iter().map(|m| m.len()).sum();
+        assert!(total <= s, "memory image {total} bits exceeds s = {s}");
     }
 }

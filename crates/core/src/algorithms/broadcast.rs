@@ -41,10 +41,12 @@ impl Broadcast {
 
     /// The local memory `s` (bits) this configuration needs: the window
     /// plus one frontier token from *each* machine (every machine may
-    /// receive the broadcast).
+    /// receive the broadcast), and never less than the `n`-bit output the
+    /// finishing machine emits.
     pub fn required_s(&self) -> usize {
-        self.codec.required_s(self.assignment.window)
-            + (self.assignment.m - 1) * self.codec.token_bits()
+        (self.codec.required_s(self.assignment.window)
+            + (self.assignment.m - 1) * self.codec.token_bits())
+        .max(self.params.n)
     }
 
     /// Builds a ready-to-run simulation (mirrors
@@ -136,6 +138,11 @@ impl MachineLogic for Broadcast {
                         }
                         i += 1;
                         if i > self.params.w {
+                            // Done — drop the window persistence
+                            // self-messages (no next round to persist for)
+                            // so sends plus output stay within the s-bit
+                            // send bound.
+                            out.messages.retain(|msg| msg.to != ctx.machine());
                             out.output = Some(answer);
                             return Ok(out);
                         }

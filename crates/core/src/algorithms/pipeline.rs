@@ -76,9 +76,12 @@ impl Pipeline {
         self.target
     }
 
-    /// The local memory `s` (bits) this configuration needs.
+    /// The local memory `s` (bits) this configuration needs: the window
+    /// plus a token, but never less than the `n`-bit oracle answer the
+    /// finishing machine must hold to emit as output (the executor bounds a
+    /// round's sends *plus output* by `s`).
     pub fn required_s(&self) -> usize {
-        self.codec.required_s(self.assignment.window)
+        self.codec.required_s(self.assignment.window).max(self.params.n)
     }
 
     /// Builds a ready-to-run simulation: installs the logic on all `m`
@@ -184,6 +187,12 @@ impl MachineLogic for Pipeline {
                         i += 1;
                         if i > self.params.w {
                             // The answer to query w is the function output.
+                            // The machine is done — drop the window
+                            // persistence self-messages (there is no next
+                            // round to persist for), so the round's sends
+                            // plus the output stay within the s-bit send
+                            // bound.
+                            out.messages.retain(|msg| msg.to != ctx.machine());
                             out.output = Some(answer);
                             break;
                         }

@@ -33,6 +33,22 @@ pub fn write_report(exp: &str, doc: &Json) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes `doc` to an arbitrary `path` (creating parent directories) and
+/// returns the path written. For artifacts that live outside
+/// [`REPORT_DIR`] — e.g. the benchmark summary `BENCH_mpc.json` committed
+/// at the repository root.
+pub fn write_report_to(path: impl Into<PathBuf>, doc: &Json) -> std::io::Result<PathBuf> {
+    let path = path.into();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{doc}")?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +57,16 @@ mod tests {
     fn envelope_leads_with_schema_and_name() {
         let doc = envelope("exp_demo", vec![("x".into(), Json::u64(1))]);
         assert_eq!(doc.to_string(), r#"{"schema_version":1,"experiment":"exp_demo","x":1}"#);
+    }
+
+    #[test]
+    fn write_report_to_creates_parents_and_writes_doc() {
+        let path = PathBuf::from("target/test-reports/nested/demo.json");
+        let doc = envelope("demo", vec![("ok".into(), Json::Bool(true))]);
+        let written = write_report_to(path.clone(), &doc).unwrap();
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.trim_end(), doc.to_string());
+        std::fs::remove_file(&path).ok();
     }
 }

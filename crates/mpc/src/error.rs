@@ -26,6 +26,22 @@ pub enum ModelViolation {
         /// The configured memory size `s` in bits.
         s_bits: usize,
     },
+    /// A machine tried to send (plus emit as output) more bits in one round
+    /// than its `s`-bit memory could have held. Definition 2.1's machines
+    /// compute on `s` bits of local state, so everything a machine transmits
+    /// in a round must fit in `s` — without this bound a machine could leak
+    /// `m·s` bits per round and the guessing-adversary and broadcast
+    /// ablations would be measured against an impossible model.
+    SendExceeded {
+        /// The over-sending machine.
+        machine: MachineId,
+        /// The round in which it sent.
+        round: usize,
+        /// Total outgoing message bits plus output bits.
+        outgoing_bits: usize,
+        /// The configured memory size `s` in bits.
+        s_bits: usize,
+    },
     /// A machine exceeded the per-round oracle-query budget `q`
     /// (Theorem 3.1's `q < 2^{n/4}` bound).
     QueryBudgetExceeded {
@@ -66,6 +82,7 @@ impl ModelViolation {
     pub fn kind(&self) -> &'static str {
         match self {
             ModelViolation::MemoryExceeded { .. } => "memory_exceeded",
+            ModelViolation::SendExceeded { .. } => "send_exceeded",
             ModelViolation::QueryBudgetExceeded { .. } => "query_budget_exceeded",
             ModelViolation::BadRecipient { .. } => "bad_recipient",
             ModelViolation::AlgorithmError { .. } => "algorithm_error",
@@ -79,6 +96,10 @@ impl fmt::Display for ModelViolation {
             ModelViolation::MemoryExceeded { machine, round, incoming_bits, s_bits } => write!(
                 f,
                 "machine {machine} at round {round}: incoming {incoming_bits} bits exceed local memory s = {s_bits} bits"
+            ),
+            ModelViolation::SendExceeded { machine, round, outgoing_bits, s_bits } => write!(
+                f,
+                "machine {machine} in round {round}: sent {outgoing_bits} bits (messages + output) exceeding local memory s = {s_bits} bits"
             ),
             ModelViolation::QueryBudgetExceeded { machine, round, q } => write!(
                 f,

@@ -102,6 +102,12 @@ pub struct Simulation {
     tape: RandomTape,
     machines: Vec<Arc<dyn MachineLogic>>,
     inboxes: Vec<Vec<Message>>,
+    /// Last round's consumed inboxes, kept (emptied) so their allocations
+    /// are reused by the next routing pass instead of reallocated per round.
+    scratch_inboxes: Vec<Vec<Message>>,
+    /// Per-recipient message counts from the routing count pass, reused
+    /// across rounds.
+    route_counts: Vec<usize>,
     round: usize,
     stats: SimStats,
     outputs: Vec<(MachineId, BitVec)>,
@@ -133,6 +139,8 @@ impl Simulation {
             tape,
             machines: vec![idle; m],
             inboxes: vec![Vec::new(); m],
+            scratch_inboxes: Vec::new(),
+            route_counts: Vec::new(),
             round: 0,
             stats: SimStats::default(),
             outputs: Vec::new(),
@@ -219,8 +227,10 @@ impl Simulation {
         &self.outputs
     }
 
-    /// Executes one round; returns the outputs emitted in it.
-    pub fn step(&mut self) -> Result<Vec<(MachineId, BitVec)>, ModelViolation> {
+    /// Executes one round; returns the outputs emitted in it — a view into
+    /// the accumulated [`Simulation::outputs`], so round outputs are moved
+    /// there once, never cloned.
+    pub fn step(&mut self) -> Result<&[(MachineId, BitVec)], ModelViolation> {
         emit(&self.metrics, || Event::RoundStart { round: self.round as u64 });
 
         // 1. Delivery-time memory check (the paper bounds what a machine
@@ -267,18 +277,23 @@ impl Simulation {
             })
             .collect();
 
-        // 3. Route deterministically in machine order.
-        let mut new_inboxes: Vec<Vec<Message>> = vec![Vec::new(); self.m];
-        let mut round_outputs = Vec::new();
-        let mut messages = 0;
-        let mut bits_sent = 0;
-        let mut oracle_queries = 0;
-        let mut max_queries_one_machine = 0;
-        for (id, result) in results.into_iter().enumerate() {
-            let (outbox, queries) = result.map_err(|v| self.observe(v))?;
-            oracle_queries += queries;
-            max_queries_one_machine = max_queries_one_machine.max(queries);
-            for mut msg in outbox.messages {
+        let mut boxes: Vec<(Outbox, u64)> = Vec::with_capacity(self.m);
+        for result in results {
+            boxes.push(result.map_err(|v| self.observe(v))?);
+        }
+
+        // 3. Route deterministically in machine order, in two passes.
+        //
+        // Pass 1 — count and validate: recipient indices, and the sender-side
+        // model bound. A machine computes on `s` bits of local state
+        // (Definition 2.1), so everything it transmits in a round — messages
+        // plus any output contribution — must fit in `s`.
+        let mut counts = std::mem::take(&mut self.route_counts);
+        counts.clear();
+        counts.resize(self.m, 0);
+        for (id, (outbox, _)) in boxes.iter().enumerate() {
+            let mut outgoing_bits = 0;
+            for msg in &outbox.messages {
                 if msg.to >= self.m {
                     return Err(self.observe(ModelViolation::BadRecipient {
                         machine: id,
@@ -287,14 +302,45 @@ impl Simulation {
                         m: self.m,
                     }));
                 }
+                outgoing_bits += msg.bits();
+                counts[msg.to] += 1;
+            }
+            outgoing_bits += outbox.output.as_ref().map_or(0, |out| out.len());
+            if outgoing_bits > self.s_bits {
+                return Err(self.observe(ModelViolation::SendExceeded {
+                    machine: id,
+                    round: self.round,
+                    outgoing_bits,
+                    s_bits: self.s_bits,
+                }));
+            }
+        }
+
+        // Pass 2 — fill: reuse last round's (cleared) inbox allocations,
+        // pre-sizing each to its exact message count.
+        let mut next = std::mem::take(&mut self.scratch_inboxes);
+        next.resize_with(self.m, Vec::new);
+        for (inbox, &count) in next.iter_mut().zip(&counts) {
+            debug_assert!(inbox.is_empty());
+            inbox.reserve(count);
+        }
+        let outputs_before = self.outputs.len();
+        let mut messages = 0;
+        let mut bits_sent = 0;
+        let mut oracle_queries = 0;
+        let mut max_queries_one_machine = 0;
+        for (id, (outbox, queries)) in boxes.into_iter().enumerate() {
+            oracle_queries += queries;
+            max_queries_one_machine = max_queries_one_machine.max(queries);
+            for mut msg in outbox.messages {
                 msg.from = id;
                 messages += 1;
                 bits_sent += msg.bits();
                 emit(&self.metrics, || Event::MessageRouted { bits: msg.bits() as u64 });
-                new_inboxes[msg.to].push(msg);
+                next[msg.to].push(msg);
             }
             if let Some(out) = outbox.output {
-                round_outputs.push((id, out));
+                self.outputs.push((id, out));
             }
         }
 
@@ -316,19 +362,32 @@ impl Simulation {
             max_memory_bits,
             active_machines: active,
         });
-        self.inboxes = new_inboxes;
+        // The just-delivered inboxes were consumed by the machines; clear
+        // them (dropping payloads, keeping capacity) and retire them as the
+        // scratch buffers for the next routing pass.
+        std::mem::swap(&mut self.inboxes, &mut next);
+        for inbox in &mut next {
+            inbox.clear();
+        }
+        self.scratch_inboxes = next;
+        self.route_counts = counts;
         self.round += 1;
-        self.outputs.extend(round_outputs.iter().cloned());
-        Ok(round_outputs)
+        Ok(&self.outputs[outputs_before..])
     }
 
     /// Runs until some machine emits an output or `max_rounds` is reached.
+    ///
+    /// The returned outcome counts rounds executed *by this call* (its
+    /// stats were reset when the previous `run_*` drained them), so on a
+    /// reused simulation `RunOutcome::Completed { rounds }` always agrees
+    /// with [`RunResult::rounds`].
     pub fn run_until_output(&mut self, max_rounds: usize) -> Result<RunResult, ModelViolation> {
+        let start_round = self.round;
         for _ in 0..max_rounds {
-            let outs = self.step()?;
-            if !outs.is_empty() {
+            let produced_output = !self.step()?.is_empty();
+            if produced_output {
                 return Ok(RunResult {
-                    outcome: RunOutcome::Completed { rounds: self.round },
+                    outcome: RunOutcome::Completed { rounds: self.round - start_round },
                     outputs: std::mem::take(&mut self.outputs),
                     stats: std::mem::take(&mut self.stats),
                 });
@@ -342,14 +401,18 @@ impl Simulation {
     }
 
     /// Runs exactly `rounds` rounds (collecting any outputs along the way).
+    ///
+    /// Like [`Simulation::run_until_output`], the outcome's round count is
+    /// per-call, not cumulative across reuses of the simulation.
     pub fn run_rounds(&mut self, rounds: usize) -> Result<RunResult, ModelViolation> {
+        let start_round = self.round;
         for _ in 0..rounds {
             self.step()?;
         }
         let completed = !self.outputs.is_empty();
         Ok(RunResult {
             outcome: if completed {
-                RunOutcome::Completed { rounds: self.round }
+                RunOutcome::Completed { rounds: self.round - start_round }
             } else {
                 RunOutcome::RoundLimit { limit: rounds }
             },
@@ -398,23 +461,26 @@ mod tests {
 
     #[test]
     fn memory_violation_detected_at_delivery() {
-        let mut s = sim(2, 16);
-        // Machine 0 sends 20 bits to machine 1: delivery at round 1 fails.
-        s.set_logic(
-            0,
+        // Machines 0 and 1 each send 10 bits to machine 2 — each sender is
+        // within its own s = 16 send budget, but the combined delivery of
+        // 20 bits overflows the receiver's memory at the start of round 1.
+        let mut s = sim(3, 16);
+        let sender: Arc<dyn MachineLogic> =
             Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
                 if incoming.is_empty() {
                     return Ok(Outbox::new());
                 }
-                Ok(Outbox::new().send(1, BitVec::zeros(20)))
-            }),
-        );
+                Ok(Outbox::new().send(2, BitVec::zeros(10)))
+            });
+        s.set_logic(0, Arc::clone(&sender));
+        s.set_logic(1, sender);
         s.seed_memory(0, BitVec::zeros(1));
-        s.step().unwrap(); // round 0: send
+        s.seed_memory(1, BitVec::zeros(1));
+        s.step().unwrap(); // round 0: both send
         let err = s.step().unwrap_err(); // round 1: delivery check
         assert_eq!(
             err,
-            ModelViolation::MemoryExceeded { machine: 1, round: 1, incoming_bits: 20, s_bits: 16 }
+            ModelViolation::MemoryExceeded { machine: 2, round: 1, incoming_bits: 20, s_bits: 16 }
         );
     }
 
@@ -424,6 +490,102 @@ mod tests {
         s.seed_memory(0, BitVec::zeros(9));
         let err = s.step().unwrap_err();
         assert!(matches!(err, ModelViolation::MemoryExceeded { machine: 0, round: 0, .. }));
+    }
+
+    #[test]
+    fn send_violation_detected_at_routing() {
+        // A machine with s = 16 bits tries to scatter 3 × 8 = 24 bits in
+        // one round: more than its memory could ever have held.
+        let mut s = sim(4, 16);
+        s.set_logic(
+            0,
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                let mut out = Outbox::new();
+                for to in 1..4 {
+                    out.push(to, BitVec::zeros(8));
+                }
+                Ok(out)
+            }),
+        );
+        s.seed_memory(0, BitVec::zeros(1));
+        let err = s.step().unwrap_err();
+        assert_eq!(
+            err,
+            ModelViolation::SendExceeded { machine: 0, round: 0, outgoing_bits: 24, s_bits: 16 }
+        );
+    }
+
+    #[test]
+    fn send_violation_counts_output_bits() {
+        // Messages alone fit (12 ≤ 16), but messages + output = 22 > 16.
+        let mut s = sim(2, 16);
+        s.set_logic(
+            0,
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                Ok(Outbox::new().send(1, BitVec::zeros(12)).emit(BitVec::zeros(10)))
+            }),
+        );
+        s.seed_memory(0, BitVec::zeros(1));
+        let err = s.step().unwrap_err();
+        assert_eq!(
+            err,
+            ModelViolation::SendExceeded { machine: 0, round: 0, outgoing_bits: 22, s_bits: 16 }
+        );
+    }
+
+    #[test]
+    fn send_at_exactly_s_is_legal() {
+        let mut s = sim(2, 16);
+        s.set_logic(
+            0,
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                Ok(Outbox::new().send(1, BitVec::zeros(10)).emit(BitVec::zeros(6)))
+            }),
+        );
+        s.seed_memory(0, BitVec::zeros(1));
+        assert!(s.step().is_ok());
+    }
+
+    #[test]
+    fn reused_simulation_reports_per_call_rounds() {
+        // Two back-to-back runs on one simulation: the second outcome's
+        // round count must agree with its own RunResult::rounds(), not the
+        // cumulative self.round.
+        let logic: Arc<dyn MachineLogic> = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            let Some(msg) = incoming.first() else {
+                return Ok(Outbox::new());
+            };
+            if ctx.round() % 3 == 2 {
+                return Ok(Outbox::new().emit(msg.payload.clone()));
+            }
+            Ok(Outbox::new().send(ctx.machine(), msg.payload.clone()))
+        });
+        let mut s = sim(1, 64);
+        s.set_uniform_logic(logic);
+        s.seed_memory(0, BitVec::zeros(4));
+        let first = s.run_until_output(10).unwrap();
+        assert_eq!(first.outcome, RunOutcome::Completed { rounds: 3 });
+        assert_eq!(first.rounds(), 3);
+
+        // Reuse the same simulation for a second computation.
+        s.seed_memory(0, BitVec::zeros(4));
+        let second = s.run_until_output(10).unwrap();
+        assert_eq!(second.rounds(), 3);
+        assert_eq!(
+            second.outcome,
+            RunOutcome::Completed { rounds: second.rounds() },
+            "outcome must count rounds within the call, not cumulatively"
+        );
+        assert_eq!(second.outputs.len(), 1, "first run's outputs were already drained");
     }
 
     #[test]

@@ -112,11 +112,39 @@ impl<'a> RoundCtx<'a> {
     /// Queries the random oracle, charged against this machine's per-round
     /// budget `q`.
     pub fn query(&self, input: &BitVec) -> Result<BitVec, ModelViolation> {
+        self.charge(1)?;
+        Ok(self.oracle.query(input))
+    }
+
+    /// Queries the random oracle on a batch of inputs, charging the whole
+    /// batch against the budget `q` in one step.
+    ///
+    /// All-or-nothing: if the batch would overrun the remaining budget, no
+    /// query is made and nothing is charged. Answers are identical to
+    /// calling [`RoundCtx::query`] per input (the oracle's batch API is
+    /// semantically a map); the batch form amortizes the budget check and
+    /// virtual dispatch, and lets batching oracles resolve the whole slice
+    /// at once.
+    pub fn query_many(&self, inputs: &[BitVec]) -> Result<Vec<BitVec>, ModelViolation> {
+        self.charge(inputs.len() as u64)?;
+        Ok(self.oracle.query_many(inputs))
+    }
+
+    /// Charges `count` queries against the budget, counting them only if
+    /// they are actually allowed to reach the oracle — a rejected query is
+    /// *not* a query, so `queries_made` always equals the number of oracle
+    /// calls (and agrees with `CountingOracle`).
+    fn charge(&self, count: u64) -> Result<(), ModelViolation> {
         if let Some(q) = self.q {
             // Relaxed is fine: the counter is private to this (machine,
             // round) context; we only need atomicity, not ordering.
-            let made = self.queries_made.fetch_add(1, Ordering::Relaxed);
-            if made >= q {
+            let allowed = self
+                .queries_made
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |made| {
+                    made.checked_add(count).filter(|&total| total <= q)
+                })
+                .is_ok();
+            if !allowed {
                 return Err(ModelViolation::QueryBudgetExceeded {
                     machine: self.machine,
                     round: self.round,
@@ -124,12 +152,13 @@ impl<'a> RoundCtx<'a> {
                 });
             }
         } else {
-            self.queries_made.fetch_add(1, Ordering::Relaxed);
+            self.queries_made.fetch_add(count, Ordering::Relaxed);
         }
-        Ok(self.oracle.query(input))
+        Ok(())
     }
 
-    /// Number of oracle queries made so far this round.
+    /// Number of oracle queries made so far this round (budget-rejected
+    /// attempts are not queries and are not counted).
     pub fn queries_made(&self) -> u64 {
         self.queries_made.load(Ordering::Relaxed)
     }
@@ -199,7 +228,31 @@ mod tests {
         assert!(ctx.query(&BitVec::ones(16)).is_ok());
         let err = ctx.query(&BitVec::zeros(16)).unwrap_err();
         assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 2, round: 5, q: 2 });
-        assert_eq!(ctx.queries_made(), 3); // the rejected attempt still counted an increment
+        // A rejected attempt never reached the oracle, so it is not counted:
+        // the counter agrees with the number of actual oracle calls.
+        assert_eq!(ctx.queries_made(), 2);
+    }
+
+    #[test]
+    fn ctx_query_many_charges_batch_atomically() {
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(0, 0, 1, &oracle, &tape, Some(5));
+        let inputs: Vec<BitVec> = (0..3u64).map(|i| BitVec::from_u64(i, 16)).collect();
+        let batch = ctx.query_many(&inputs).unwrap();
+        assert_eq!(ctx.queries_made(), 3);
+        // Batch answers equal per-query answers.
+        for (q, a) in inputs.iter().zip(&batch) {
+            assert_eq!(a, &oracle.query(q));
+        }
+        // A batch that would overrun the remaining budget (2 left) is
+        // rejected whole: nothing charged, nothing queried.
+        let err = ctx.query_many(&inputs).unwrap_err();
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 5 });
+        assert_eq!(ctx.queries_made(), 3);
+        // A batch that exactly fits is accepted.
+        assert!(ctx.query_many(&inputs[..2]).is_ok());
+        assert_eq!(ctx.queries_made(), 5);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! A sharded memo table over any oracle — the hot-path cache.
+//!
+//! Every measured run funnels through `Oracle::query`, and the honest
+//! pipeline plus the compression encoder re-query the same entries
+//! thousands of times. [`LazyOracle`](crate::LazyOracle) pays a fresh
+//! SHA-256 + ChaCha keystream per call, so memoizing repeats is the
+//! highest-leverage speedup in the workspace.
+//!
+//! Caching is *semantically invisible* by Lemma 3.3's lazy-sampling
+//! argument: a random oracle's answers are determined per entry, not per
+//! query, so replaying a stored answer is indistinguishable from
+//! re-deriving it. Concretely, every inner oracle in this crate is total
+//! and deterministic, which makes the memo a pure cache — eviction never
+//! changes an answer, it only costs a recomputation. Answers are therefore
+//! byte-identical to the uncached oracle regardless of capacity, shard
+//! count, or thread interleaving.
+
+use crate::traits::{check_input_width, Oracle};
+use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink, QueryKind};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independent lock stripes. A power of two so the shard index
+/// is a mask of the key hash.
+const SHARDS: usize = 16;
+
+/// Default total capacity in cached entries, spread across shards.
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// One lock stripe: the memo map plus FIFO insertion order for eviction.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<BitVec, BitVec>,
+    order: VecDeque<BitVec>,
+}
+
+/// A bounded, sharded, lock-striped memo table over an inner [`Oracle`].
+///
+/// Repeat queries are answered from the cache; first-time queries fall
+/// through to the inner oracle and are stored, evicting the oldest entry
+/// of the shard once its capacity share is full (FIFO). Because the inner
+/// oracle is deterministic, answers are byte-identical to the bare oracle
+/// under any interleaving — the cache affects cost, never values.
+///
+/// When a telemetry sink is attached, each query emits an
+/// [`Event::OracleQuery`] classified [`QueryKind::Cached`] (hit) or
+/// [`QueryKind::Fresh`] (miss). A shard's lock is held across the inner
+/// query on a miss, so for a fixed query multiset each resident entry is
+/// fresh exactly once — the classification is deterministic, which the
+/// telemetry snapshot tests rely on.
+///
+/// # Examples
+///
+/// ```
+/// use mph_oracle::{CachedOracle, LazyOracle, Oracle};
+/// use mph_bits::BitVec;
+///
+/// let cached = CachedOracle::new(LazyOracle::square(7, 16));
+/// let q = BitVec::from_u64(42, 16);
+/// let first = cached.query(&q);
+/// let second = cached.query(&q); // served from the memo table
+/// assert_eq!(first, second);
+/// assert_eq!(first, LazyOracle::square(7, 16).query(&q));
+/// assert_eq!((cached.misses(), cached.hits()), (1, 1));
+/// ```
+pub struct CachedOracle<O: Oracle> {
+    inner: O,
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    metrics: Option<Arc<dyn MetricsSink>>,
+}
+
+impl<O: Oracle> CachedOracle<O> {
+    /// Wraps `inner` with the default capacity (2²⁰ entries).
+    pub fn new(inner: O) -> Self {
+        Self::with_capacity(inner, DEFAULT_CAPACITY)
+    }
+
+    /// Wraps `inner`, bounding the memo table to `capacity` entries total.
+    ///
+    /// Panics if `capacity == 0` — a cache that can hold nothing would
+    /// evict on every insert.
+    pub fn with_capacity(inner: O, capacity: usize) -> Self {
+        assert!(capacity > 0, "CachedOracle capacity must be positive");
+        CachedOracle {
+            inner,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a telemetry sink, builder-style. Every subsequent query
+    /// emits an [`Event::OracleQuery`] classified fresh (miss) or cached
+    /// (hit).
+    pub fn with_metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Queries answered from the memo table so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that fell through to the inner oracle so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether the memo table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The index of the lock stripe responsible for `input`.
+    ///
+    /// FNV-1a over the backing words — deterministic across processes
+    /// (unlike `RandomState`), so shard assignment, and with it eviction
+    /// order and the fresh/cached event stream, is reproducible run to run.
+    fn shard_index(&self, input: &BitVec) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &word in input.words() {
+            h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ input.len() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        (h as usize) & (SHARDS - 1)
+    }
+
+    /// The answer for `input`, with `shard` already locked.
+    fn answer_locked(&self, shard: &mut Shard, input: &BitVec) -> BitVec {
+        if let Some(answer) = shard.map.get(input) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            emit(&self.metrics, || Event::OracleQuery { kind: QueryKind::Cached });
+            return answer.clone();
+        }
+        // Miss: derive from the inner oracle while holding the stripe lock,
+        // so a key is never computed (and counted fresh) twice.
+        let answer = self.inner.query(input);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        emit(&self.metrics, || Event::OracleQuery { kind: QueryKind::Fresh });
+        if shard.map.len() >= self.capacity_per_shard {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(input.clone(), answer.clone());
+        shard.order.push_back(input.clone());
+        answer
+    }
+}
+
+impl<O: Oracle> Oracle for CachedOracle<O> {
+    fn n_in(&self) -> usize {
+        self.inner.n_in()
+    }
+
+    fn n_out(&self) -> usize {
+        self.inner.n_out()
+    }
+
+    fn query(&self, input: &BitVec) -> BitVec {
+        check_input_width("CachedOracle", self.inner.n_in(), input);
+        let mut guard = self.shards[self.shard_index(input)].lock();
+        self.answer_locked(&mut guard, input)
+    }
+
+    fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
+        // Resolve the batch shard by shard: one lock acquisition per
+        // distinct stripe instead of one per query, preserving the
+        // per-input answer order.
+        let mut answers: Vec<Option<BitVec>> = vec![None; inputs.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); SHARDS];
+        for (i, input) in inputs.iter().enumerate() {
+            check_input_width("CachedOracle", self.inner.n_in(), input);
+            by_shard[self.shard_index(input)].push(i);
+        }
+        for (shard_idx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[shard_idx].lock();
+            for &i in indices {
+                answers[i] = Some(self.answer_locked(&mut guard, &inputs[i]));
+            }
+        }
+        answers.into_iter().map(|a| a.expect("every index resolved")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LazyOracle;
+
+    #[test]
+    fn answers_byte_identical_to_inner() {
+        let bare = LazyOracle::square(9, 24);
+        let cached = CachedOracle::new(LazyOracle::square(9, 24));
+        for i in 0..200u64 {
+            let q = BitVec::from_u64(i % 50, 24); // repeats after 50
+            assert_eq!(cached.query(&q), bare.query(&q));
+        }
+        assert_eq!(cached.misses(), 50);
+        assert_eq!(cached.hits(), 150);
+        assert_eq!(cached.len(), 50);
+    }
+
+    #[test]
+    fn query_many_matches_sequential_queries() {
+        let cached = CachedOracle::new(LazyOracle::square(3, 16));
+        let inputs: Vec<BitVec> = (0..40u64).map(|i| BitVec::from_u64(i % 10, 16)).collect();
+        let batch = cached.query_many(&inputs);
+        let bare = LazyOracle::square(3, 16);
+        for (q, a) in inputs.iter().zip(&batch) {
+            assert_eq!(a, &bare.query(q));
+        }
+        assert_eq!(cached.misses(), 10);
+        assert_eq!(cached.hits(), 30);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_but_stays_correct() {
+        let cached = CachedOracle::with_capacity(LazyOracle::square(5, 16), 16);
+        let bare = LazyOracle::square(5, 16);
+        // Far more distinct keys than capacity: eviction must kick in,
+        // and answers must remain identical to the bare oracle throughout.
+        for pass in 0..3 {
+            for i in 0..200u64 {
+                let q = BitVec::from_u64(i, 16);
+                assert_eq!(cached.query(&q), bare.query(&q), "pass {pass} key {i}");
+            }
+        }
+        assert!(cached.len() <= 16, "len {} exceeds capacity", cached.len());
+    }
+
+    #[test]
+    fn concurrent_hits_and_misses_are_consistent() {
+        let cached = Arc::new(CachedOracle::new(LazyOracle::square(2, 16)));
+        let bare = LazyOracle::square(2, 16);
+        let expected: Vec<BitVec> =
+            (0..64u64).map(|i| bare.query(&BitVec::from_u64(i, 16))).collect();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cached = Arc::clone(&cached);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for round in 0..4 {
+                        for i in 0..64u64 {
+                            let got = cached.query(&BitVec::from_u64(i, 16));
+                            assert_eq!(got, expected[i as usize], "round {round} key {i}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Per-shard locking across the miss path: each key is fresh once.
+        assert_eq!(cached.misses(), 64);
+        assert_eq!(cached.hits() + cached.misses(), 8 * 4 * 64);
+    }
+
+    #[test]
+    fn metrics_classify_hits_and_misses() {
+        let recorder = Arc::new(mph_metrics::Recorder::new());
+        let cached = CachedOracle::new(LazyOracle::square(1, 16)).with_metrics(recorder.clone());
+        let q = BitVec::from_u64(3, 16);
+        cached.query(&q);
+        cached.query(&q);
+        cached.query(&BitVec::from_u64(4, 16));
+        let snap = recorder.snapshot();
+        assert_eq!(snap.oracle.fresh, 2);
+        assert_eq!(snap.oracle.cached, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CachedOracle::with_capacity(LazyOracle::square(0, 8), 0);
+    }
+}

@@ -21,6 +21,11 @@
 //!   entries: the `RO^{(k)}_{a_1,…,a_{log² w}}` construction of
 //!   Definition 3.4, used both by the encoder and by the speculative
 //!   adversary.
+//! * [`CachedOracle`] — a sharded, lock-striped memo table over any inner
+//!   oracle. By Lemma 3.3's lazy-sampling semantics a random oracle's
+//!   answers are fixed per entry, so memoization is observationally
+//!   invisible — it only removes the repeated SHA-256 + ChaCha cost on the
+//!   hot query path.
 //! * [`CountingOracle`] / [`TranscriptOracle`] — instrumentation wrappers:
 //!   query counts, per-epoch budgets (the paper's per-round query bound
 //!   `q`), and full query transcripts (the proofs reason about "the set of
@@ -35,6 +40,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cached;
 pub mod counting;
 pub mod hash;
 pub mod lazy;
@@ -45,6 +51,7 @@ pub mod tape;
 pub mod traits;
 pub mod transcript;
 
+pub use cached::CachedOracle;
 pub use counting::{CountingOracle, QueryBudgetExceeded};
 pub use hash::HashOracle;
 pub use lazy::LazyOracle;

@@ -42,10 +42,19 @@ impl RandomTape {
     }
 
     /// Reads `len` bits starting at absolute bit offset `offset`.
+    ///
+    /// Panics if `offset + len` overflows `u64` — the tape's address space
+    /// is exactly the 64-bit offsets, and a wrapped read would silently
+    /// alias the tape's beginning.
     pub fn read(&self, offset: u64, len: usize) -> BitVec {
+        let end = offset.checked_add(len as u64).unwrap_or_else(|| {
+            panic!(
+                "RandomTape::read out of address space: offset {offset} + len {len} \
+                 overflows the 64-bit tape offset"
+            )
+        });
         let mut out = BitVec::with_capacity(len);
         let mut pos = offset;
-        let end = offset + len as u64;
         while pos < end {
             let block_idx = pos / BLOCK_BITS;
             let within = (pos % BLOCK_BITS) as usize;
@@ -113,6 +122,20 @@ mod tests {
         let a = RandomTape::new(1).read(0, 256);
         let b = RandomTape::new(2).read(0, 256);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reads_up_to_the_end_of_the_address_space() {
+        let tape = RandomTape::new(4);
+        // The last 100 addressable bits: end == u64::MAX exactly.
+        let bits = tape.read(u64::MAX - 100, 100);
+        assert_eq!(bits.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of address space")]
+    fn overflowing_read_panics_with_clear_message() {
+        RandomTape::new(4).read(u64::MAX - 10, 12);
     }
 
     #[test]

@@ -28,6 +28,18 @@ pub trait Oracle: Send + Sync {
 
     /// Evaluates the oracle. Panics if `input.len() != self.n_in()`.
     fn query(&self, input: &BitVec) -> BitVec;
+
+    /// Evaluates the oracle on a batch of inputs, answer `i` corresponding
+    /// to `inputs[i]`.
+    ///
+    /// Semantically identical to mapping [`Oracle::query`] over the batch —
+    /// Lemma 3.3's lazy-sampling semantics make answers order-independent,
+    /// so batching can never change them. Implementations may override this
+    /// to amortize per-query dispatch (e.g. [`crate::CachedOracle`] resolves
+    /// a whole batch shard by shard under one lock acquisition each).
+    fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
+        inputs.iter().map(|input| self.query(input)).collect()
+    }
 }
 
 /// A shareable, dynamically typed oracle handle.
@@ -49,6 +61,10 @@ impl<T: Oracle + ?Sized> Oracle for Arc<T> {
     fn query(&self, input: &BitVec) -> BitVec {
         (**self).query(input)
     }
+
+    fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
+        (**self).query_many(inputs)
+    }
 }
 
 impl<T: Oracle + ?Sized> Oracle for &T {
@@ -62,6 +78,10 @@ impl<T: Oracle + ?Sized> Oracle for &T {
 
     fn query(&self, input: &BitVec) -> BitVec {
         (**self).query(input)
+    }
+
+    fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
+        (**self).query_many(inputs)
     }
 }
 
@@ -110,6 +130,22 @@ mod tests {
         // &T forwarding
         let r: &dyn Oracle = &*oracle;
         assert_eq!((&r).n_out(), 8);
+    }
+
+    #[test]
+    fn query_many_matches_query() {
+        let oracle = XorOracle { n: 8 };
+        let inputs: Vec<BitVec> = (0..5).map(|i| BitVec::from_u64(i, 8)).collect();
+        let batch = oracle.query_many(&inputs);
+        assert_eq!(batch.len(), inputs.len());
+        for (q, a) in inputs.iter().zip(&batch) {
+            assert_eq!(a, &oracle.query(q));
+        }
+        // Arc and &T forwarding reach the same default implementation.
+        let arc: DynOracle = Arc::new(XorOracle { n: 8 });
+        assert_eq!(arc.query_many(&inputs), batch);
+        let r: &dyn Oracle = &*arc;
+        assert_eq!((&r).query_many(&inputs), batch);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 
 use mph_bits::{random_bitvec, BitVec};
 use mph_oracle::{
-    CountingOracle, LazyOracle, Oracle, PatchedOracle, RandomTape, TableOracle, TranscriptOracle,
+    CachedOracle, CountingOracle, LazyOracle, Oracle, PatchedOracle, RandomTape, TableOracle,
+    TranscriptOracle,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -82,6 +83,51 @@ proptest! {
         let left = tape.read(offset, a);
         let right = tape.read(offset + a as u64, b);
         prop_assert_eq!(whole, BitVec::concat(&[&left, &right]));
+    }
+
+    /// Tape reads at extreme offsets — up to the very end of the 64-bit
+    /// address space — succeed, are stable, and compose, with checked
+    /// arithmetic instead of wraparound.
+    #[test]
+    fn tape_extreme_offsets(
+        seed in any::<u64>(),
+        back in 1u64..100_000,
+        len in 1usize..1_000,
+    ) {
+        let tape = RandomTape::new(seed);
+        // Clamp so offset + len == u64::MAX at the most extreme draw.
+        let len = (len as u64).min(back) as usize;
+        let offset = u64::MAX - back;
+        let bits = tape.read(offset, len);
+        prop_assert_eq!(bits.len(), len);
+        prop_assert_eq!(&bits, &tape.read(offset, len)); // stable
+        // Composes with a split read at the same extreme offset.
+        let a = len / 2;
+        let left = tape.read(offset, a);
+        let right = tape.read(offset + a as u64, len - a);
+        prop_assert_eq!(bits, BitVec::concat(&[&left, &right]));
+    }
+
+    /// A cached oracle is observationally identical to its inner oracle on
+    /// arbitrary query sequences with repeats, at any capacity.
+    #[test]
+    fn cached_oracle_transparent(
+        seed in any::<u64>(),
+        queries in prop::collection::vec(0u64..64, 1..80),
+        capacity in 1usize..64,
+    ) {
+        let bare = LazyOracle::square(seed, 10);
+        let cached = CachedOracle::with_capacity(LazyOracle::square(seed, 10), capacity);
+        for &q in &queries {
+            let qb = BitVec::from_u64(q, 10);
+            prop_assert_eq!(cached.query(&qb), bare.query(&qb));
+        }
+        let batch: Vec<BitVec> = queries.iter().map(|&q| BitVec::from_u64(q, 10)).collect();
+        let answers = cached.query_many(&batch);
+        for (qb, a) in batch.iter().zip(&answers) {
+            prop_assert_eq!(a, &bare.query(qb));
+        }
+        prop_assert_eq!(cached.hits() + cached.misses(), 2 * queries.len() as u64);
     }
 
     /// The lazy oracle is a function: equal queries get equal answers; and

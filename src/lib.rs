@@ -90,5 +90,5 @@ pub mod prelude {
     pub use mph_core::algorithms::BlockAssignment;
     pub use mph_core::{Line, LineParams, SimLine};
     pub use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
-    pub use mph_oracle::{HashOracle, LazyOracle, Oracle, RandomTape, TableOracle};
+    pub use mph_oracle::{CachedOracle, HashOracle, LazyOracle, Oracle, RandomTape, TableOracle};
 }

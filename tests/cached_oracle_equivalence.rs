@@ -1,0 +1,98 @@
+//! Cross-crate equivalence tests for [`CachedOracle`]: wrapping the
+//! experiment oracle in the cache is observationally invisible (Lemma 3.3
+//! — lazily sampled answers depend only on `(seed, query)`, never on
+//! query order), and the telemetry stream still reconstructs `SimStats`
+//! exactly when caching and batching are both in play.
+
+use mpc_hardness::core::theorem;
+use mpc_hardness::metrics::Recorder;
+use mpc_hardness::prelude::*;
+use std::sync::Arc;
+
+fn run_pipeline(
+    pipeline: &Arc<Pipeline>,
+    oracle: Arc<dyn Oracle>,
+    blocks: &[BitVec],
+) -> mpc_hardness::mpc::RunResult {
+    let mut sim =
+        pipeline.build_simulation(oracle, RandomTape::new(0), pipeline.required_s(), None, blocks);
+    sim.run_until_output(10_000).unwrap()
+}
+
+/// For every experiment seed and both targets, the cached run is
+/// indistinguishable from the bare run: same output bits, same round
+/// count, same per-round statistics — and the cache's own hit/miss
+/// accounting covers every query the simulation made.
+#[test]
+fn cached_pipeline_is_observationally_identical_for_experiment_seeds() {
+    let params = LineParams::new(64, 40, 16, 8);
+    for target in [Target::Line, Target::SimLine] {
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), target);
+        // The experiment binaries draw trial instances from a base seed of
+        // 1000 (see `theorem::mean_rounds`); cover that range.
+        for seed in 1000..1005 {
+            let (oracle, blocks) = theorem::draw_instance(&params, seed);
+            let bare = run_pipeline(&pipeline, Arc::clone(&oracle) as Arc<dyn Oracle>, &blocks);
+
+            let cached = Arc::new(CachedOracle::new(Arc::clone(&oracle)));
+            let via_cache =
+                run_pipeline(&pipeline, Arc::clone(&cached) as Arc<dyn Oracle>, &blocks);
+
+            assert!(bare.completed());
+            assert_eq!(bare.sole_output(), via_cache.sole_output(), "seed {seed}");
+            assert_eq!(bare.rounds(), via_cache.rounds(), "seed {seed}");
+            assert_eq!(bare.stats, via_cache.stats, "seed {seed}");
+            assert_eq!(
+                cached.hits() + cached.misses(),
+                via_cache.stats.total_queries(),
+                "every query must flow through the cache (seed {seed})"
+            );
+        }
+    }
+}
+
+/// With the simulation *and* the cache reporting to one recorder, the
+/// event sums still reconstruct `SimStats` exactly, the fresh/cached
+/// split matches the cache's own counters, and — because each resident
+/// key is computed exactly once under the shard lock — the miss count is
+/// exactly the number of distinct queries, machine-parallelism
+/// notwithstanding.
+#[test]
+fn telemetry_reconstructs_sim_stats_with_caching_and_batching() {
+    let recorder = Arc::new(Recorder::new());
+    let inner = Arc::new(LazyOracle::square(9, 32));
+    let cached = Arc::new(CachedOracle::new(inner).with_metrics(recorder.clone()));
+    let mut sim =
+        Simulation::new(4, 1024, Arc::clone(&cached) as Arc<dyn Oracle>, RandomTape::new(0));
+    sim.set_metrics(recorder.clone());
+    // Every machine batch-queries a per-round input plus one shared input
+    // each round: from round 0 on, most of the traffic is cache hits.
+    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _incoming: &[Message]| {
+        let inputs = vec![BitVec::from_u64(ctx.round() as u64, 32), BitVec::from_u64(777, 32)];
+        let answers = ctx.query_many(&inputs)?;
+        let mut out = Outbox::new();
+        if ctx.round() == 3 && ctx.machine() == 0 {
+            out.output = Some(answers[0].clone());
+        }
+        Ok(out)
+    }));
+    let result = sim.run_until_output(10).unwrap();
+    assert!(result.completed());
+    let stats = &result.stats;
+    let snap = recorder.snapshot();
+
+    // The executor's event stream still sums to its own SimStats.
+    assert_eq!(snap.totals.rounds as usize, stats.num_rounds());
+    assert_eq!(snap.totals.messages as usize, stats.total_messages());
+    assert_eq!(snap.totals.oracle_queries, stats.total_queries());
+
+    // The cache's event stream agrees with the query totals and with its
+    // own counters: 4 rounds × 4 machines × 2 batched queries, of which
+    // the distinct inputs are the four round numbers plus 777.
+    assert_eq!(stats.total_queries(), 32);
+    assert_eq!(snap.oracle.fresh + snap.oracle.cached, snap.totals.oracle_queries);
+    assert_eq!(snap.oracle.fresh, cached.misses());
+    assert_eq!(snap.oracle.cached, cached.hits());
+    assert_eq!(cached.misses(), 5);
+    assert_eq!(cached.hits(), 27);
+}
