@@ -1,79 +1,237 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
 //! Implements the slice of the rayon API this workspace uses —
-//! `par_iter()`, `into_par_iter()`, and the `zip`/`enumerate`/`map` +
-//! `collect`/`sum` chains on top of them — with genuine data parallelism
-//! via `std::thread::scope`: items are split into contiguous per-thread
-//! chunks, mapped concurrently, and reassembled **in input order**, so
-//! results are deterministic and identical to sequential execution.
+//! `par_iter()`, `into_par_iter()`, `par_chunks()`, and the
+//! `zip`/`enumerate`/`map`/`with_min_len` + `collect`/`sum` chains on top
+//! of them — with genuine data parallelism on a **persistent worker
+//! pool**: items are split into contiguous chunks, pushed onto a shared
+//! injector queue, executed by long-lived workers (plus the calling
+//! thread, which helps drain the queue), and reassembled **in input
+//! order**, so results are deterministic and identical to sequential
+//! execution regardless of thread count or scheduling.
 //!
 //! Differences from real rayon, none observable to this workspace:
 //!
-//! * No global work-stealing pool; each `collect`/`sum` spawns scoped
-//!   threads (the workspace parallelizes coarse per-trial / per-machine
-//!   work where spawn cost is noise).
+//! * Work distribution is a chunked injector queue rather than per-worker
+//!   deques: callers oversplit into several chunks per worker and idle
+//!   workers take the next pending chunk, which gives the same dynamic
+//!   load balancing as stealing for the coarse-grained trial/machine
+//!   work this workspace runs.
 //! * Adapters are eager at the terminal operation only; `zip`, `enumerate`
 //!   and chained iterator structure stay lazy and sequential — solely the
 //!   mapped closure runs in parallel, which is where all the work is.
 //!
 //! Thread count: `RAYON_NUM_THREADS` if set, else
-//! `std::thread::available_parallelism()`.
+//! `std::thread::available_parallelism()` — read **once** (the first time
+//! any parallel operation runs) and cached in a `OnceLock`, so the
+//! per-call hot path never touches the environment.
 
 #![deny(missing_docs)]
 
 /// The traits and types user code imports with `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap, ParallelSlice,
+    };
 }
 
-/// Number of worker threads to use for `len` items.
-fn thread_count(len: usize) -> usize {
-    let configured = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    configured.min(len).max(1)
+pub use pool::current_num_threads;
+
+/// The persistent worker pool: a lazily-initialized set of daemon threads
+/// draining a shared injector queue of type-erased chunk jobs.
+mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// A queued unit of work. Jobs are wrapped so they never unwind into
+    /// the queue machinery (panics are captured and rethrown on the
+    /// submitting thread), which also keeps the queue mutex unpoisoned.
+    type Job = Box<dyn FnOnce() + Send>;
+
+    pub(crate) struct Pool {
+        threads: usize,
+        queue: Mutex<VecDeque<Job>>,
+        work_ready: Condvar,
+    }
+
+    /// The thread-count decision, made once per process.
+    fn configured_threads() -> usize {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static WORKERS: OnceLock<()> = OnceLock::new();
+
+    /// The global pool, spawning its `threads − 1` workers on first use
+    /// (the submitting thread is the remaining worker).
+    pub(crate) fn global() -> &'static Pool {
+        let pool = POOL.get_or_init(|| Pool {
+            threads: configured_threads(),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        WORKERS.get_or_init(|| {
+            for i in 1..pool.threads {
+                // A failed spawn degrades parallelism, never correctness:
+                // the submitting thread drains whatever workers don't.
+                let _ = std::thread::Builder::new()
+                    .name(format!("rayon-worker-{i}"))
+                    .spawn(move || worker_loop(pool));
+            }
+        });
+        pool
+    }
+
+    /// Number of threads the pool uses (workers plus the calling thread).
+    pub fn current_num_threads() -> usize {
+        global().threads
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        loop {
+            let job = {
+                let mut queue = pool.queue.lock().expect("pool queue poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = pool.work_ready.wait(queue).expect("pool queue poisoned");
+                }
+            };
+            job();
+        }
+    }
+
+    /// Completion state shared between one `run_batch` call and its jobs.
+    struct Batch {
+        pending: Mutex<usize>,
+        done: Condvar,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    }
+
+    /// Runs `jobs` to completion on the pool. The calling thread
+    /// participates: it drains queued jobs (its own or another batch's)
+    /// while waiting, so nested submissions and zero-worker configurations
+    /// cannot deadlock. Does not return until every job has finished; if
+    /// any job panicked, the first captured payload is rethrown here.
+    pub(crate) fn run_batch<'scope>(jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let pool = global();
+        let batch = Arc::new(Batch {
+            pending: Mutex::new(jobs.len()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            for job in jobs {
+                let batch = Arc::clone(&batch);
+                let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                        let mut slot = batch.panic.lock().expect("panic slot poisoned");
+                        slot.get_or_insert(payload);
+                    }
+                    let mut pending = batch.pending.lock().expect("batch state poisoned");
+                    *pending -= 1;
+                    if *pending == 0 {
+                        batch.done.notify_all();
+                    }
+                });
+                // SAFETY: the job may borrow from the submitting stack
+                // frame ('scope), but this function blocks until `pending`
+                // reaches zero — i.e. until the job has run to completion
+                // and dropped — before returning, so no borrow outlives
+                // its referent. The erased lifetime is never observable.
+                let wrapped: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
+                };
+                queue.push_back(wrapped);
+            }
+            pool.work_ready.notify_all();
+        }
+        // Help drain the queue while this batch is in flight.
+        loop {
+            if *batch.pending.lock().expect("batch state poisoned") == 0 {
+                break;
+            }
+            let job = pool.queue.lock().expect("pool queue poisoned").pop_front();
+            match job {
+                Some(job) => job(),
+                None => break, // remaining jobs are running on workers
+            }
+        }
+        let mut pending = batch.pending.lock().expect("batch state poisoned");
+        while *pending > 0 {
+            pending = batch.done.wait(pending).expect("batch state poisoned");
+        }
+        drop(pending);
+        let payload = batch.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
 }
 
-/// Maps `f` over `items` on scoped threads, preserving input order.
-fn parallel_map<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+/// How many chunks to split a batch into per pool thread. Oversplitting
+/// lets workers that finish early pick up further chunks from the
+/// injector queue — the load-balancing half of work stealing.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Maps `f` over `items` on the worker pool, preserving input order.
+/// Chunks are at least `min_len` items; batches too small to split run
+/// inline on the calling thread.
+fn parallel_map<T, O, F>(items: Vec<T>, f: &F, min_len: usize) -> Vec<O>
 where
     T: Send,
     O: Send,
     F: Fn(T) -> O + Sync,
 {
-    let threads = thread_count(items.len());
-    if threads <= 1 || items.len() <= 1 {
+    let len = items.len();
+    let threads = pool::current_num_threads();
+    let chunk_size = len.div_ceil(threads * CHUNKS_PER_THREAD).max(min_len.max(1));
+    if threads <= 1 || len <= 1 || chunk_size >= len {
         return items.into_iter().map(f).collect();
     }
-    // Split into `threads` contiguous chunks; map each on its own thread;
-    // concatenate in chunk order. Order in = order out.
-    let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    // Split into contiguous chunks; results land in per-chunk slots and
+    // are concatenated in chunk order. Order in = order out.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(len.div_ceil(chunk_size));
     let mut rest = items;
     while rest.len() > chunk_size {
         let tail = rest.split_off(chunk_size);
         chunks.push(std::mem::replace(&mut rest, tail));
     }
     chunks.push(rest);
-    let mut results: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("parallel worker panicked"));
-        }
-    });
-    results.into_iter().flatten().collect()
+    let slots: Vec<std::sync::Mutex<Option<Vec<O>>>> =
+        chunks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .zip(&slots)
+        .map(|(chunk, slot)| {
+            Box::new(move || {
+                let out: Vec<O> = chunk.into_iter().map(f).collect();
+                *slot.lock().expect("chunk slot poisoned") = Some(out);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::run_batch(jobs);
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("chunk slot poisoned").expect("chunk completed"))
+        .collect()
 }
 
 /// A "parallel" iterator: a lazy sequential pipeline that fans out at the
 /// terminal `map(..).collect()/sum()` step.
 pub struct ParIter<I> {
     inner: I,
+    min_len: usize,
 }
 
 impl<I: Iterator> ParIter<I> {
@@ -82,12 +240,20 @@ impl<I: Iterator> ParIter<I> {
     where
         J: Iterator,
     {
-        ParIter { inner: self.inner.zip(other.inner) }
+        ParIter { inner: self.inner.zip(other.inner), min_len: self.min_len.max(other.min_len) }
     }
 
     /// Attaches the element index.
     pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter { inner: self.inner.enumerate() }
+        ParIter { inner: self.inner.enumerate(), min_len: self.min_len }
+    }
+
+    /// Sets the minimum number of items a parallel chunk may contain:
+    /// fine-grained items are grouped so no chunk (and hence no scheduling
+    /// round trip) covers fewer than `min` of them.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
     }
 
     /// Registers the parallel stage: `f` runs concurrently at the terminal
@@ -97,7 +263,7 @@ impl<I: Iterator> ParIter<I> {
         F: Fn(I::Item) -> O + Sync,
         O: Send,
     {
-        ParMap { base: self.inner, f }
+        ParMap { base: self.inner, f, min_len: self.min_len }
     }
 
     /// Collects the (unmapped) items sequentially.
@@ -110,6 +276,7 @@ impl<I: Iterator> ParIter<I> {
 pub struct ParMap<I, F> {
     base: I,
     f: F,
+    min_len: usize,
 }
 
 impl<I, O, F> ParMap<I, F>
@@ -119,13 +286,20 @@ where
     O: Send,
     F: Fn(I::Item) -> O + Sync,
 {
-    /// Runs the map in parallel and collects results in input order.
-    pub fn collect<C: FromIterator<O>>(self) -> C {
-        let items: Vec<I::Item> = self.base.collect();
-        parallel_map(items, &self.f).into_iter().collect()
+    /// Sets the minimum items per parallel chunk (see
+    /// [`ParIter::with_min_len`]).
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
     }
 
-    /// Runs the map in parallel and sums the results in input order.
+    /// Runs the map on the worker pool and collects results in input order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items: Vec<I::Item> = self.base.collect();
+        parallel_map(items, &self.f, self.min_len).into_iter().collect()
+    }
+
+    /// Runs the map on the worker pool and sums the results in input order.
     pub fn sum<S: std::iter::Sum<O>>(self) -> S {
         self.collect::<Vec<O>>().into_iter().sum()
     }
@@ -135,7 +309,7 @@ where
 pub trait IntoParallelIterator: IntoIterator + Sized {
     /// Converts into a parallel iterator.
     fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter { inner: self.into_iter() }
+        ParIter { inner: self.into_iter(), min_len: 1 }
     }
 }
 
@@ -154,7 +328,23 @@ impl<T> IntoParallelRefIterator for T {
     where
         for<'a> &'a Self: IntoIterator,
     {
-        ParIter { inner: self.into_iter() }
+        ParIter { inner: self.into_iter(), min_len: 1 }
+    }
+}
+
+/// `par_chunks()` for slices: a parallel iterator over contiguous,
+/// non-overlapping subslices of at most `chunk_size` items. The canonical
+/// way to hand each pool worker a run of adjacent work items (e.g. trials
+/// that share a reusable simulation).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-item subslices, last one short.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        assert!(chunk_size > 0, "par_chunks chunk size must be positive");
+        ParIter { inner: self.chunks(chunk_size), min_len: 1 }
     }
 }
 
@@ -197,5 +387,61 @@ mod tests {
     fn results_collectable() {
         let r: Vec<Result<u32, ()>> = (0..100u32).into_par_iter().map(Ok).collect();
         assert!(r.iter().all(|x| x.is_ok()));
+    }
+
+    #[test]
+    fn par_chunks_cover_slice_in_order() {
+        let data: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = data.par_chunks(10).map(|chunk| chunk.iter().sum::<u32>()).collect();
+        let expected: Vec<u32> = data.chunks(10).map(|chunk| chunk.iter().sum()).collect();
+        assert_eq!(sums, expected);
+        assert_eq!(sums.len(), 11); // 10 full chunks + 1 of three items
+    }
+
+    #[test]
+    fn with_min_len_matches_default_results() {
+        let coarse: Vec<u64> =
+            (0..500u64).into_par_iter().with_min_len(64).map(|x| x * 3).collect();
+        let fine: Vec<u64> = (0..500u64).into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(coarse, fine);
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        // A parallel map whose closure itself runs a parallel sum: the
+        // caller-helps discipline must drain nested submissions without
+        // deadlock.
+        let totals: Vec<u64> = (0..8u64)
+            .into_par_iter()
+            .map(|i| (0..200u64).into_par_iter().map(move |j| i + j).sum::<u64>())
+            .collect();
+        let expected: Vec<u64> =
+            (0..8u64).map(|i| (0..200u64).map(|j| i + j).sum::<u64>()).collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u64> = (0..100u64)
+                .into_par_iter()
+                .map(|x| if x == 63 { panic!("boom at {x}") } else { x })
+                .collect();
+        });
+        assert!(result.is_err(), "a panicking chunk must fail the whole batch");
+        // The pool must remain usable afterwards.
+        let ok: Vec<u64> = (0..100u64).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(ok.len(), 100);
+    }
+
+    #[test]
+    fn thread_count_is_cached_and_positive() {
+        let first = crate::current_num_threads();
+        assert!(first >= 1);
+        // The decision is a OnceLock: changing the env now must not change
+        // the answer within this process.
+        std::env::set_var("RAYON_NUM_THREADS", "63");
+        assert_eq!(crate::current_num_threads(), first);
+        std::env::remove_var("RAYON_NUM_THREADS");
     }
 }

@@ -18,6 +18,14 @@
 //!    stays warm across repetitions (the repeated-trial shape of the
 //!    experiment binaries). Outputs are checked byte-identical.
 //!
+//! 4. **`experiment_sweep`** — an E1-shaped parameter grid (several
+//!    windows × several trials) run through the sweep engine
+//!    ([`mph_experiments::sweep::run_sweep`]: one pool pass, per-chunk
+//!    simulation reuse, warm per-seed oracle cache) vs a shim of the
+//!    pre-sweep per-trial loop (fresh simulation, bare oracle, one cell
+//!    at a time). The two paths must agree measurement-for-measurement
+//!    (`byte_identical`); the record is trials/second for each.
+//!
 //! `--test` switches to tiny smoke sizes for CI: every correctness check
 //! still runs, the ≥ 2× speedup assertion is skipped (timings on
 //! micro-sizes are noise), and the report goes to
@@ -26,7 +34,9 @@
 use mph_bits::random_blocks;
 use mph_core::algorithms::pipeline::{Pipeline, Target};
 use mph_core::algorithms::BlockAssignment;
+use mph_core::theorem::RoundMeasurement;
 use mph_core::{theorem, LineParams};
+use mph_experiments::sweep::{run_sweep, Cell};
 use mph_metrics::json::Json;
 use mph_metrics::report::{envelope, write_report_to};
 use mph_mpc::{Message, Outbox, RoundCtx, Simulation};
@@ -65,6 +75,9 @@ struct Sizes {
     pipe_m: usize,
     window: usize,
     pipe_runs: usize,
+    sweep_windows: &'static [usize],
+    sweep_trials: usize,
+    sweep_reps: usize,
 }
 
 impl Sizes {
@@ -80,6 +93,10 @@ impl Sizes {
             pipe_m: 8,
             window: 16,
             pipe_runs: 3,
+            // E1's memory sweep, minus its longest cell.
+            sweep_windows: &[8, 16, 32],
+            sweep_trials: 5,
+            sweep_reps: 2,
         }
     }
 
@@ -94,6 +111,9 @@ impl Sizes {
             pipe_m: 4,
             window: 8,
             pipe_runs: 2,
+            sweep_windows: &[4, 8],
+            sweep_trials: 2,
+            sweep_reps: 1,
         }
     }
 }
@@ -245,12 +265,116 @@ fn bench_simline(sizes: &Sizes) -> (String, Json) {
     ("simline_pipeline".into(), body)
 }
 
+/// Workload 4: the sweep engine vs the pre-sweep per-trial loop, on an
+/// E1-shaped grid. Both paths compute the same `(cell, seed)` trials;
+/// the engine runs them in one pool pass with per-chunk simulation reuse
+/// and a warm per-seed oracle cache, the shim rebuilds everything per
+/// trial on a bare oracle — exactly what the experiment binaries did
+/// before the sweep engine existed.
+fn bench_sweep(sizes: &Sizes) -> (String, Json) {
+    let params = sizes.line;
+    let base_seed = 1000u64;
+    let max_rounds = 100_000;
+    let pipeline_for = |window| {
+        Pipeline::new(params, BlockAssignment::new(params.v, sizes.pipe_m, window), Target::SimLine)
+    };
+
+    let shim = || -> Vec<Vec<RoundMeasurement>> {
+        sizes
+            .sweep_windows
+            .iter()
+            .map(|&window| {
+                let pipeline = pipeline_for(window);
+                (0..sizes.sweep_trials as u64)
+                    .map(|t| {
+                        let seed = base_seed + t;
+                        let (oracle, blocks) = theorem::draw_instance(&params, seed);
+                        let expected = theorem::reference_output(&pipeline, &*oracle, &blocks);
+                        let mut sim = pipeline.build_simulation(
+                            oracle as Arc<dyn Oracle>,
+                            RandomTape::new(seed),
+                            pipeline.required_s(),
+                            None,
+                            &blocks,
+                        );
+                        let result = sim.run_until_output(max_rounds).unwrap();
+                        let correct = result.completed() && result.sole_output() == Some(&expected);
+                        RoundMeasurement {
+                            rounds: result.rounds(),
+                            completed: result.completed(),
+                            correct,
+                            total_queries: result.stats.total_queries(),
+                            peak_memory_bits: result.stats.peak_memory_bits(),
+                            total_comm_bits: result.stats.total_bits(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let cells = || -> Vec<Cell> {
+        sizes
+            .sweep_windows
+            .iter()
+            .map(|&window| {
+                let mut cell = Cell::new(
+                    format!("window={window}"),
+                    pipeline_for(window),
+                    sizes.sweep_trials,
+                    base_seed,
+                    max_rounds,
+                );
+                cell.telemetry = false; // the shim records none either
+                cell
+            })
+            .collect()
+    };
+
+    let (shim_ns, shim_results) = time_ns(sizes.sweep_reps, shim);
+    let (sweep_ns, sweep_results) = time_ns(sizes.sweep_reps, || run_sweep(cells()));
+    let sweep_measurements: Vec<Vec<RoundMeasurement>> =
+        sweep_results.into_iter().map(|r| r.measurements).collect();
+    assert_eq!(
+        shim_results, sweep_measurements,
+        "sweep engine must reproduce the per-trial loop measurement-for-measurement"
+    );
+
+    let total_trials = (sizes.sweep_windows.len() * sizes.sweep_trials) as f64;
+    let shim_tps = total_trials / (shim_ns as f64 / 1e9);
+    let sweep_tps = total_trials / (sweep_ns as f64 / 1e9);
+    let sweep_speedup = speedup(shim_ns, sweep_ns);
+    println!(
+        "experiment_sweep: {} cells x {} trials on {} thread(s): seed shim {shim_tps:.2} \
+         trials/s, sweep engine {sweep_tps:.2} trials/s ({sweep_speedup:.2}x)",
+        sizes.sweep_windows.len(),
+        sizes.sweep_trials,
+        rayon::current_num_threads()
+    );
+
+    let body = Json::object(vec![
+        ("grid_cells", Json::u64(sizes.sweep_windows.len() as u64)),
+        ("trials_per_cell", Json::u64(sizes.sweep_trials as u64)),
+        ("threads", Json::u64(rayon::current_num_threads() as u64)),
+        ("seed_shim_ns", Json::u64(shim_ns)),
+        ("sweep_ns", Json::u64(sweep_ns)),
+        ("seed_shim_trials_per_sec", Json::f64(shim_tps)),
+        ("sweep_trials_per_sec", Json::f64(sweep_tps)),
+        ("sweep_speedup", Json::f64(sweep_speedup)),
+        ("byte_identical", Json::Bool(true)),
+    ]);
+    ("experiment_sweep".into(), body)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let sizes = if test_mode { Sizes::smoke() } else { Sizes::full() };
 
-    let workloads =
-        vec![bench_oracle(&sizes, !test_mode), bench_relay(&sizes), bench_simline(&sizes)];
+    let workloads = vec![
+        bench_oracle(&sizes, !test_mode),
+        bench_relay(&sizes),
+        bench_simline(&sizes),
+        bench_sweep(&sizes),
+    ];
     let doc = envelope(
         "bench_mpc",
         vec![

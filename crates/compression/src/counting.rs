@@ -50,9 +50,34 @@ where
     F: FnMut(&BitVec) -> BitVec,
 {
     assert!(message_bits <= 24, "exhaustive enumeration capped at 2^24 messages");
+    if claimed_max_bits <= 64 {
+        // Codewords fit one word: key the collision map by
+        // `(length, bits)` instead of hashing whole `BitVec`s. Length is
+        // part of the key because the code is not assumed prefix-free —
+        // `0` and `00` are distinct codewords.
+        let mut seen: HashMap<(usize, u64), u64> = HashMap::new();
+        for code in 0..(1u64 << message_bits) {
+            let msg = BitVec::from_u64(code, message_bits);
+            let compressed = compress(&msg);
+            assert!(
+                compressed.len() <= claimed_max_bits,
+                "compressor exceeded its claimed max length"
+            );
+            let key = (compressed.len(), compressed.read_u64(0, compressed.len()));
+            if let Some(&prev) = seen.get(&key) {
+                return CountingDemo {
+                    message_bits,
+                    claimed_max_bits,
+                    collision: Some((BitVec::from_u64(prev, message_bits), msg)),
+                };
+            }
+            seen.insert(key, code);
+        }
+        return CountingDemo { message_bits, claimed_max_bits, collision: None };
+    }
     let mut seen: HashMap<BitVec, BitVec> = HashMap::new();
     for code in 0..(1u64 << message_bits) {
-        let msg = BitVec::from_u64(code, message_bits).slice(0, message_bits);
+        let msg = BitVec::from_u64(code, message_bits);
         let compressed = compress(&msg);
         assert!(compressed.len() <= claimed_max_bits, "compressor exceeded its claimed max length");
         if let Some(prev) = seen.get(&compressed) {
@@ -109,6 +134,29 @@ mod tests {
             m.slice(0, end.min(9))
         });
         assert!(demo.collision.is_some());
+    }
+
+    #[test]
+    fn wide_codewords_use_the_general_path() {
+        // A claimed max above 64 bits exercises the BitVec-keyed map: an
+        // expanding "compressor" (zero-pad to 65 bits, injective) never
+        // collides.
+        let demo = pigeonhole_demo(8, 65, |m| {
+            let mut out = m.clone();
+            out.extend_zeros(65 - m.len());
+            out
+        });
+        assert!(demo.collision.is_none());
+    }
+
+    #[test]
+    fn fast_path_reports_the_first_collision_in_enumeration_order() {
+        // Truncating 10-bit messages to their low 8 bits first collides
+        // when code 256 repeats code 0's low byte.
+        let demo = pigeonhole_demo(10, 8, |m| m.slice(0, 8));
+        let (a, b) = demo.collision.expect("collision must exist");
+        assert_eq!(a, BitVec::from_u64(0, 10));
+        assert_eq!(b, BitVec::from_u64(256, 10));
     }
 
     #[test]

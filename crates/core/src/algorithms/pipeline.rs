@@ -96,21 +96,49 @@ impl Pipeline {
         blocks: &[BitVec],
     ) -> Simulation {
         assert_eq!(blocks.len(), self.params.v, "expected v blocks");
-        let m = self.assignment.m;
-        let mut sim = Simulation::new(m, s_bits, oracle, tape);
+        let mut sim = Simulation::new(self.assignment.m, s_bits, oracle, tape);
         if let Some(q) = q {
             sim.set_query_budget(q);
         }
+        self.install_and_seed(&mut sim, blocks);
+        sim
+    }
+
+    /// Reuses an already-built simulation for a fresh trial: swaps in the
+    /// new oracle/tape/budget via [`Simulation::reinit`] (retaining the
+    /// executor's internal buffers), reinstalls this pipeline's logic
+    /// (the previous trial may have run a different pipeline with the
+    /// same machine count), and re-seeds blocks and the initial token.
+    /// Observationally identical to [`Self::build_simulation`]; the
+    /// simulation must have matching `m` and `s_bits`.
+    pub fn reset_simulation(
+        self: &Arc<Self>,
+        sim: &mut Simulation,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) {
+        assert_eq!(blocks.len(), self.params.v, "expected v blocks");
+        assert_eq!(sim.m(), self.assignment.m, "machine count mismatch on reuse");
+        sim.reinit(oracle, tape, q);
+        self.install_and_seed(sim, blocks);
+    }
+
+    /// The shared tail of [`Self::build_simulation`] and
+    /// [`Self::reset_simulation`]: installs the logic on all machines,
+    /// seeds every machine's block window, and places the initial token
+    /// `(i=1, ℓ=0, r=0^u)` at the machine routed for block 0.
+    fn install_and_seed(self: &Arc<Self>, sim: &mut Simulation, blocks: &[BitVec]) {
         let logic: Arc<dyn MachineLogic> = Arc::clone(self) as Arc<dyn MachineLogic>;
         sim.set_uniform_logic(logic);
-        for machine in 0..m {
+        for machine in 0..self.assignment.m {
             for idx in self.assignment.blocks_of(machine) {
                 sim.seed_memory(machine, self.codec.encode_block(idx, &blocks[idx]));
             }
         }
         let start = self.assignment.route(0);
         sim.seed_memory(start, self.codec.encode_token(1, 0, &BitVec::zeros(self.params.u)));
-        sim
     }
 
     /// The block needed by node `i` when the current pointer is `l`.
@@ -341,6 +369,47 @@ mod tests {
         let result = sim.run_until_output(1000).unwrap();
         assert!(result.completed());
         assert!(result.stats.peak_queries() <= params.v as u64 + 1);
+    }
+
+    #[test]
+    fn reset_simulation_matches_fresh_build_across_targets() {
+        // One simulation carried across trials — including a switch of
+        // pipeline (Line → SimLine) with the same machine count — must
+        // reproduce fresh-built runs exactly.
+        let params = LineParams::new(64, 60, 16, 12);
+        let assignment = BlockAssignment::new(params.v, 4, 4);
+        let line = Pipeline::new(params, assignment, Target::Line);
+        let simline = Pipeline::new(params, assignment, Target::SimLine);
+        let s = line.required_s().max(simline.required_s());
+
+        let fresh = |pipeline: &Arc<Pipeline>, seed: u64| {
+            let oracle = Arc::new(LazyOracle::square(seed, params.n));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+            let blocks = random_blocks(&mut rng, params.v, params.u);
+            let mut sim =
+                pipeline.build_simulation(oracle, RandomTape::new(seed), s, None, &blocks);
+            sim.run_until_output(10_000).unwrap()
+        };
+
+        let mut sim = {
+            let oracle = Arc::new(LazyOracle::square(7, params.n));
+            let mut rng = StdRng::seed_from_u64(7 ^ 0x55);
+            let blocks = random_blocks(&mut rng, params.v, params.u);
+            line.build_simulation(oracle, RandomTape::new(7), s, None, &blocks)
+        };
+        sim.run_until_output(10_000).unwrap();
+
+        for (pipeline, seed) in [(&line, 21u64), (&simline, 22), (&line, 23), (&simline, 21)] {
+            let oracle = Arc::new(LazyOracle::square(seed, params.n));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+            let blocks = random_blocks(&mut rng, params.v, params.u);
+            pipeline.reset_simulation(&mut sim, oracle, RandomTape::new(seed), None, &blocks);
+            let reused = sim.run_until_output(10_000).unwrap();
+            let baseline = fresh(pipeline, seed);
+            assert_eq!(reused.outputs, baseline.outputs);
+            assert_eq!(reused.rounds(), baseline.rounds());
+            assert_eq!(reused.stats, baseline.stats);
+        }
     }
 
     #[test]

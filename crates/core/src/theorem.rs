@@ -14,7 +14,8 @@ use crate::params::LineParams;
 use crate::simline::SimLine;
 use mph_bits::{random_blocks, BitVec};
 use mph_metrics::{MetricsSink, Recorder};
-use mph_oracle::{LazyOracle, Oracle, RandomTape, TranscriptOracle};
+use mph_mpc::Simulation;
+use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape, TranscriptOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -22,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One measured run of an algorithm on a fresh `(RO, X)` draw.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RoundMeasurement {
     /// Rounds executed.
     pub rounds: usize,
@@ -110,29 +111,134 @@ fn measure_rounds_inner(
     max_rounds: usize,
     sink: Option<Arc<dyn MetricsSink>>,
 ) -> RoundMeasurement {
-    let (oracle, blocks) = draw_instance(pipeline.params(), seed);
-    let expected = reference_output(pipeline, &*oracle, &blocks);
-    let s = s_bits.unwrap_or_else(|| pipeline.required_s());
-    let mut sim = pipeline.build_simulation(
-        oracle.clone() as Arc<dyn Oracle>,
-        RandomTape::new(seed),
-        s,
-        q,
-        &blocks,
-    );
-    if let Some(sink) = sink {
-        sim.set_metrics(sink);
+    TrialRunner::new().measure(pipeline, seed, s_bits, q, max_rounds, sink)
+}
+
+/// A reusable per-worker trial context.
+///
+/// Holds the [`Simulation`] of the most recent trial and hands it back to
+/// the next one via [`Pipeline::reset_simulation`] whenever the machine
+/// count and memory bound match, so consecutive trials on one worker
+/// retain every executor buffer instead of reallocating. Each trial's
+/// oracle is wrapped in a per-seed [`CachedOracle`]: evaluating the
+/// reference output walks exactly the line entries the honest simulation
+/// will query, so the simulation's oracle work all hits the warm cache.
+/// Both reuses are observationally invisible — measurements are
+/// bit-identical to fresh-built, uncached runs.
+#[derive(Default)]
+pub struct TrialRunner {
+    sim: Option<Simulation>,
+}
+
+impl TrialRunner {
+    /// A runner with no retained simulation yet.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let result = sim.run_until_output(max_rounds).expect("model violations are config bugs here");
-    let correct = result.completed() && result.sole_output() == Some(&expected);
-    RoundMeasurement {
-        rounds: result.rounds(),
-        completed: result.completed(),
-        correct,
-        total_queries: result.stats.total_queries(),
-        peak_memory_bits: result.stats.peak_memory_bits(),
-        total_comm_bits: result.stats.total_bits(),
+
+    /// Runs one trial (the body of [`measure_rounds`]), reusing the
+    /// retained simulation when its shape matches.
+    pub fn measure(
+        &mut self,
+        pipeline: &Arc<Pipeline>,
+        seed: u64,
+        s_bits: Option<usize>,
+        q: Option<u64>,
+        max_rounds: usize,
+        sink: Option<Arc<dyn MetricsSink>>,
+    ) -> RoundMeasurement {
+        let (oracle, blocks) = draw_instance(pipeline.params(), seed);
+        let oracle = Arc::new(CachedOracle::new(oracle));
+        let expected = reference_output(pipeline, &*oracle, &blocks);
+        let s = s_bits.unwrap_or_else(|| pipeline.required_s());
+        let tape = RandomTape::new(seed);
+        let mut sim = match self.sim.take() {
+            Some(mut sim) if sim.m() == pipeline.assignment().m && sim.s_bits() == s => {
+                pipeline.reset_simulation(&mut sim, oracle, tape, q, &blocks);
+                sim
+            }
+            _ => pipeline.build_simulation(oracle, tape, s, q, &blocks),
+        };
+        match sink {
+            Some(sink) => sim.set_metrics(sink),
+            None => sim.clear_metrics(),
+        };
+        let result =
+            sim.run_until_output(max_rounds).expect("model violations are config bugs here");
+        let correct = result.completed() && result.sole_output() == Some(&expected);
+        self.sim = Some(sim);
+        RoundMeasurement {
+            rounds: result.rounds(),
+            completed: result.completed(),
+            correct,
+            total_queries: result.stats.total_queries(),
+            peak_memory_bits: result.stats.peak_memory_bits(),
+            total_comm_bits: result.stats.total_bits(),
+        }
     }
+}
+
+/// [`measure_rounds`] for `trials` consecutive seeds `base_seed..`,
+/// batched through the worker pool: seeds are split into contiguous
+/// chunks, each chunk runs on one pool worker with a [`TrialRunner`]
+/// (reused simulation + per-seed warmed oracle cache), and results come
+/// back in seed order — element `t` equals
+/// `measure_rounds(pipeline, base_seed + t, ..)` exactly, independent of
+/// thread count.
+pub fn measure_rounds_batch(
+    pipeline: &Arc<Pipeline>,
+    trials: usize,
+    base_seed: u64,
+    s_bits: Option<usize>,
+    q: Option<u64>,
+    max_rounds: usize,
+) -> Vec<RoundMeasurement> {
+    measure_rounds_batch_inner(pipeline, trials, base_seed, s_bits, q, max_rounds, None)
+}
+
+/// [`measure_rounds_batch`] with a shared telemetry sink attached to
+/// every trial (a [`Recorder`]'s fold is order-independent, so the
+/// aggregate is deterministic regardless of trial interleaving).
+pub fn measure_rounds_batch_with(
+    pipeline: &Arc<Pipeline>,
+    trials: usize,
+    base_seed: u64,
+    s_bits: Option<usize>,
+    q: Option<u64>,
+    max_rounds: usize,
+    sink: Arc<dyn MetricsSink>,
+) -> Vec<RoundMeasurement> {
+    measure_rounds_batch_inner(pipeline, trials, base_seed, s_bits, q, max_rounds, Some(sink))
+}
+
+/// How many chunks each pool thread should see: oversplitting lets early
+/// finishers pick up remaining chunks (load balance) while keeping
+/// chunks long enough for simulation reuse to pay off.
+const BATCH_CHUNKS_PER_THREAD: usize = 4;
+
+fn measure_rounds_batch_inner(
+    pipeline: &Arc<Pipeline>,
+    trials: usize,
+    base_seed: u64,
+    s_bits: Option<usize>,
+    q: Option<u64>,
+    max_rounds: usize,
+    sink: Option<Arc<dyn MetricsSink>>,
+) -> Vec<RoundMeasurement> {
+    let seeds: Vec<u64> = (0..trials).map(|t| base_seed.wrapping_add(t as u64)).collect();
+    let chunk_size =
+        seeds.len().div_ceil(rayon::current_num_threads() * BATCH_CHUNKS_PER_THREAD).max(1);
+    let per_chunk: Vec<Vec<RoundMeasurement>> = seeds
+        .par_chunks(chunk_size)
+        .map(|chunk| {
+            let mut runner = TrialRunner::new();
+            chunk
+                .iter()
+                .map(|&seed| runner.measure(pipeline, seed, s_bits, q, max_rounds, sink.clone()))
+                .collect()
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Mean rounds over `trials` independent `(RO, X)` draws, in parallel.
@@ -165,22 +271,23 @@ fn mean_rounds_inner(
     max_rounds: usize,
     sink: Option<Arc<dyn MetricsSink>>,
 ) -> f64 {
-    let total: usize = (0..trials)
-        .into_par_iter()
-        .map(|t| {
-            let m = measure_rounds_inner(
-                pipeline,
-                base_seed.wrapping_add(t as u64),
-                None,
-                None,
-                max_rounds,
-                sink.clone(),
-            );
+    let measurements =
+        measure_rounds_batch_inner(pipeline, trials, base_seed, None, None, max_rounds, sink);
+    let total: usize = measurements
+        .iter()
+        .map(|m| {
             assert!(m.correct, "honest pipeline must be correct");
             m.rounds
         })
         .sum();
     total as f64 / trials as f64
+}
+
+/// Mean rounds over an already-collected batch of measurements.
+pub fn mean_of(measurements: &[RoundMeasurement]) -> f64 {
+    assert!(!measurements.is_empty(), "mean of zero trials");
+    let total: usize = measurements.iter().map(|m| m.rounds).sum();
+    total as f64 / measurements.len() as f64
 }
 
 /// Per-round line advances: `advances[k]` is the number of new correct
@@ -438,6 +545,47 @@ mod tests {
             }
         }
         assert!(found >= 5, "expected several detections at u = 2, got {found}");
+    }
+
+    #[test]
+    fn batch_measurements_match_singles_seed_for_seed() {
+        let p = pipeline(60, 8, 4, 3, Target::Line);
+        let batch = measure_rounds_batch(&p, 6, 900, None, None, 10_000);
+        assert_eq!(batch.len(), 6);
+        for (t, got) in batch.iter().enumerate() {
+            let single = measure_rounds(&p, 900 + t as u64, None, None, 10_000);
+            assert_eq!(*got, single, "trial {t}");
+        }
+    }
+
+    #[test]
+    fn batch_telemetry_matches_sequential_aggregate() {
+        let p = pipeline(40, 8, 4, 3, Target::SimLine);
+        let batched = Arc::new(Recorder::new());
+        let batch = measure_rounds_batch_with(&p, 5, 70, None, None, 10_000, batched.clone());
+        let sequential = Arc::new(Recorder::new());
+        let singles: Vec<RoundMeasurement> = (0..5)
+            .map(|t| measure_rounds_with(&p, 70 + t, None, None, 10_000, sequential.clone()))
+            .collect();
+        assert_eq!(batch, singles);
+        assert_eq!(batched.snapshot().to_json_string(), sequential.snapshot().to_json_string());
+    }
+
+    #[test]
+    fn trial_runner_reuse_matches_fresh_across_shapes() {
+        // One runner across pipelines of equal and different shapes: shape
+        // changes rebuild, matches reuse — results identical either way.
+        let a = pipeline(40, 8, 4, 3, Target::Line);
+        let b = pipeline(40, 8, 4, 3, Target::SimLine); // same m/s: reuse path
+        let c = pipeline(40, 8, 2, 4, Target::Line); // different m: rebuild path
+        let mut runner = TrialRunner::new();
+        for p in [&a, &b, &a, &c, &b] {
+            for seed in [5u64, 6] {
+                let reused = runner.measure(p, seed, None, None, 10_000, None);
+                let fresh = measure_rounds(p, seed, None, None, 10_000);
+                assert_eq!(reused, fresh);
+            }
+        }
     }
 
     #[test]

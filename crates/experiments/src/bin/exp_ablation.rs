@@ -15,27 +15,28 @@ use mph_core::algorithms::broadcast::Broadcast;
 use mph_core::algorithms::pipeline::{Pipeline, Target};
 use mph_core::algorithms::BlockAssignment;
 use mph_core::{theorem, LineParams};
-use mph_experiments::setup::fmt;
+use mph_experiments::setup::{fmt, SweepArgs};
 use mph_experiments::Report;
 use mph_oracle::{LazyOracle, Oracle, RandomTape};
 use rand::SeedableRng;
 use std::sync::Arc;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E10 — ablations: placement and coordination");
 
-    let (w, v, m) = (256u64, 32usize, 8usize);
+    let (w, v, m) = if args.quick { (64u64, 16usize, 4usize) } else { (256, 32, 8) };
     let params = LineParams::new(64, w, 16, v);
-    let trials = 5;
+    let trials = args.trials(if args.quick { 2 } else { 5 });
 
     report.h2("placement: contiguous vs strided windows (same blocks/machine)");
     let mut rows = Vec::new();
     for (target, label) in [(Target::SimLine, "SimLine"), (Target::Line, "Line")] {
         let contiguous = Pipeline::new(params, BlockAssignment::new(v, m, v / m), target);
         let strided = Pipeline::new(params, BlockAssignment::strided(v, m), target);
-        let r_contig = theorem::mean_rounds(&contiguous, trials, 500, 1_000_000);
-        let r_strided = theorem::mean_rounds(&strided, trials, 500, 1_000_000);
+        let r_contig = theorem::mean_rounds(&contiguous, trials, args.seed(500), 1_000_000);
+        let r_strided = theorem::mean_rounds(&strided, trials, args.seed(500), 1_000_000);
         rows.push(vec![
             label.into(),
             fmt(r_contig),
@@ -52,12 +53,16 @@ fn main() {
          placement leverage.",
     );
 
-    report.h2("coordination: routed token vs broadcast frontier (Line, window 8)");
-    let assignment = BlockAssignment::new(v, m, 8);
+    let coord_window = if args.quick { 4 } else { 8 };
+    report.h2(&format!(
+        "coordination: routed token vs broadcast frontier (Line, window {coord_window})"
+    ));
+    let assignment = BlockAssignment::new(v, m, coord_window);
+    let base = args.seed(9000);
     let mut rows = Vec::new();
     for seed in 0..trials as u64 {
-        let oracle = Arc::new(LazyOracle::square(9000 + seed, params.n));
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9000 + seed);
+        let oracle = Arc::new(LazyOracle::square(base + seed, params.n));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(base + seed);
         let blocks = mph_bits::random_blocks(&mut rng, params.v, params.u);
 
         let pipeline = Pipeline::new(params, assignment, Target::Line);

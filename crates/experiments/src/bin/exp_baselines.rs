@@ -10,21 +10,20 @@
 //! runs recorded by `mph-metrics` (see docs/OBSERVABILITY.md).
 
 use mph_core::algorithms::pipeline::Target;
-use mph_core::theorem;
-use mph_experiments::setup::{demo_pipeline, fmt};
+use mph_experiments::setup::{demo_pipeline, fmt, SweepArgs};
+use mph_experiments::sweep::{self, Cell};
 use mph_experiments::Report;
 use mph_metrics::json::Json;
-use mph_metrics::Recorder;
 use mph_mpc_algos::{ConnectivityConfig, SampleSortConfig, TreeSumConfig, WordCountConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E7 — round complexity across workloads, one simulator");
 
-    let m = 8usize;
+    let m = if args.quick { 4usize } else { 8 };
     let mut rng = StdRng::seed_from_u64(7);
     let mut rows = Vec::new();
     let mut telemetry: Vec<(String, Json)> = Vec::new();
@@ -77,30 +76,40 @@ fn main() {
         "O(diameter)".into(),
     ]);
 
-    // SimLine: Θ(w·u/s).
-    let (w, v) = (256u64, 32usize);
-    let simline = demo_pipeline(w, v, m, 8, Target::SimLine);
-    let recorder = Arc::new(Recorder::new());
-    theorem::run_tags(&recorder, simline.params(), simline.required_s(), None);
-    let r = theorem::mean_rounds_with(&simline, 3, 11, 100_000, recorder.clone());
-    telemetry.push(("simline".into(), recorder.snapshot().to_json()));
+    // The two hard functions — SimLine at Θ(w·u/s), Line at Θ(w) — run
+    // as one sweep pass.
+    let (w, v, window) = if args.quick { (64u64, 16usize, 4usize) } else { (256, 32, 8) };
+    let trials = args.trials(3);
+    let results = sweep::run_sweep(vec![
+        Cell::new(
+            "simline",
+            demo_pipeline(w, v, m, window, Target::SimLine),
+            trials,
+            args.seed(11),
+            100_000,
+        ),
+        Cell::new(
+            "line",
+            demo_pipeline(w, v, m, window, Target::Line),
+            trials,
+            args.seed(11).wrapping_add(1), // default 12, as published
+            1_000_000,
+        ),
+    ]);
+    for result in &results {
+        telemetry
+            .push((result.label.clone(), result.snapshot.as_ref().expect("telemetry").to_json()));
+    }
     rows.push(vec![
         "SimLine (warm-up hard fn)".into(),
         format!("w = {w}"),
-        fmt(r),
+        fmt(results[0].mean_rounds),
         "Θ(T·u/s)".into(),
     ]);
-
-    // Line: Θ(w).
-    let line = demo_pipeline(w, v, m, 8, Target::Line);
-    let recorder = Arc::new(Recorder::new());
-    theorem::run_tags(&recorder, line.params(), line.required_s(), None);
-    let r = theorem::mean_rounds_with(&line, 3, 12, 1_000_000, recorder.clone());
-    telemetry.push(("line".into(), recorder.snapshot().to_json()));
     rows.push(vec![
         "Line (the hard function)".into(),
         format!("w = T = {w}"),
-        fmt(r),
+        fmt(results[1].mean_rounds),
         "Ω̃(T)".into(),
     ]);
 

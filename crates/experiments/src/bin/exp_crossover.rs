@@ -9,14 +9,15 @@
 
 use mph_core::algorithms::pipeline::Target;
 use mph_core::{theorem, Line};
-use mph_experiments::setup::{demo_params, demo_pipeline, fmt};
+use mph_experiments::setup::{demo_params, demo_pipeline, fmt, SweepArgs};
 use mph_experiments::Report;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E6 — RAM vs MPC crossover (best-possible hardness)");
 
-    let (w, v, m) = (256u64, 32usize, 4usize);
+    let (w, v, m) = if args.quick { (64u64, 16usize, 4usize) } else { (256, 32, 4) };
     let params = demo_params(w, v);
     let s_input = params.input_bits();
 
@@ -37,12 +38,13 @@ fn main() {
         .end_block();
 
     // The MPC side: sweep s through S.
-    let trials = 5;
+    let trials = args.trials(5);
+    let windows: &[usize] = if args.quick { &[4, 8, 16] } else { &[8, 16, 24, 32] };
     let mut rows = Vec::new();
-    for window in [8usize, 16, 24, 32] {
+    for &window in windows {
         let pipeline = demo_pipeline(w, v, m, window, Target::Line);
         let s = pipeline.required_s();
-        let measured = theorem::mean_rounds(&pipeline, trials, 6000, 1_000_000);
+        let measured = theorem::mean_rounds(&pipeline, trials, args.seed(6000), 1_000_000);
         rows.push(vec![
             format!("{:.2}", s as f64 / s_input as f64),
             s.to_string(),

@@ -6,40 +6,55 @@
 //! `w·u/s` — memory buys a proportional round reduction, because the
 //! block schedule is public and contiguous windows stream perfectly.
 //!
+//! All windows run as one [`sweep::run_sweep`] pool pass (see
+//! docs/PERFORMANCE.md). Flags: `--trials N --seed N --quick`.
+//!
 //! Besides the stdout tables, writes `target/reports/exp_simline_rounds.json`
 //! with the same cells plus the per-point telemetry snapshots recorded by
 //! `mph-metrics` (see docs/OBSERVABILITY.md).
 
 use mph_bounds::SimLineBoundInputs;
 use mph_core::algorithms::pipeline::Target;
-use mph_core::theorem;
-use mph_experiments::setup::{demo_pipeline, fmt};
+use mph_experiments::setup::{demo_pipeline, fmt, SweepArgs};
+use mph_experiments::sweep::{self, Cell};
 use mph_experiments::Report;
 use mph_metrics::json::Json;
-use mph_metrics::Recorder;
-use std::sync::Arc;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E1 — SimLine rounds vs local memory (Theorem A.1)");
 
-    let (w, v, m) = (512u64, 64usize, 8usize);
-    let trials = 5;
+    let (w, v, m, windows): (u64, usize, usize, &[usize]) =
+        if args.quick { (64, 16, 4, &[4, 8]) } else { (512, 64, 8, &[8, 16, 32, 64]) };
+    let trials = args.trials(5);
+    let base_seed = args.seed(1000);
     report
         .kv("instance", format!("n = 64, u = 16, v = {v}, w = {w}, m = {m}"))
         .kv("trials per point", trials)
         .end_block();
 
+    let cells: Vec<Cell> = windows
+        .iter()
+        .map(|&window| {
+            Cell::new(
+                format!("window={window}"),
+                demo_pipeline(w, v, m, window, Target::SimLine),
+                trials,
+                base_seed,
+                100_000,
+            )
+        })
+        .collect();
+    let results = sweep::run_sweep(cells);
+
     let mut rows = Vec::new();
     let mut telemetry: Vec<(String, Json)> = Vec::new();
-    for window in [8usize, 16, 32, 64] {
-        let pipeline = demo_pipeline(w, v, m, window, Target::SimLine);
-        let s = pipeline.required_s();
-        let recorder = Arc::new(Recorder::new());
-        theorem::run_tags(&recorder, pipeline.params(), s, None);
-        let measured =
-            theorem::mean_rounds_with(&pipeline, trials, 1000, 100_000, recorder.clone());
-        telemetry.push((format!("window={window}"), recorder.snapshot().to_json()));
+    for (&window, result) in windows.iter().zip(&results) {
+        let s = demo_pipeline(w, v, m, window, Target::SimLine).required_s();
+        let measured = result.mean_rounds;
+        telemetry
+            .push((result.label.clone(), result.snapshot.as_ref().expect("telemetry").to_json()));
         // The theorem's prediction with the *actual* s and the paper's
         // q = window + 1 (the honest per-round query count).
         let inputs = SimLineBoundInputs {

@@ -9,21 +9,23 @@
 
 use mph_core::algorithms::pipeline::Target;
 use mph_core::theorem;
-use mph_experiments::setup::demo_pipeline;
+use mph_experiments::setup::{demo_pipeline, SweepArgs};
 use mph_experiments::Report;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E3 — P(advance ≥ p) vs (h/v)^(p−1) (Claim 3.9's decay)");
 
-    let (w, v, m) = (400u64, 32usize, 8usize);
-    let trials = 40;
+    let (w, v, m) = if args.quick { (100u64, 16usize, 4usize) } else { (400, 32, 8) };
+    let trials = args.trials(if args.quick { 10 } else { 40 });
+    let windows: &[usize] = if args.quick { &[4, 8] } else { &[8, 16] };
 
-    for window in [8usize, 16] {
+    for &window in windows {
         let f = window as f64 / v as f64;
         report.h2(&format!("window = {window} blocks (h/v = {f:.3})"));
         let pipeline = demo_pipeline(w, v, m, window, Target::Line);
-        let dist = theorem::advance_distribution(&pipeline, trials, 7000, 1_000_000);
+        let dist = theorem::advance_distribution(&pipeline, trials, args.seed(7000), 1_000_000);
         let base = dist.tail(1); // condition on rounds that advanced at all
         let mut rows = Vec::new();
         for p in 1..=6usize {

@@ -12,15 +12,16 @@
 
 use mph_core::algorithms::pipeline::Target;
 use mph_core::correctness;
-use mph_experiments::setup::demo_pipeline;
+use mph_experiments::setup::{demo_pipeline, SweepArgs};
 use mph_experiments::Report;
 
 fn main() {
+    let args = SweepArgs::parse();
     let mut report = Report::new();
     report.h1("E11 — Pr[success within R rounds] (Definition 2.5, measured)");
 
-    let (w, v, m, window) = (160u64, 16usize, 4usize, 4);
-    let trials = 60;
+    let (w, v, m, window) = if args.quick { (64u64, 16usize, 4usize, 4) } else { (160, 16, 4, 4) };
+    let trials = args.trials(if args.quick { 20 } else { 60 });
     let pipeline = demo_pipeline(w, v, m, window, Target::Line);
     let f = window as f64 / v as f64;
     report
@@ -33,7 +34,7 @@ fn main() {
     let mut rows = Vec::new();
     for cap_frac in [0.25f64, 0.5, 0.65, 0.72, 0.78, 0.85, 1.0] {
         let cap = (w as f64 * cap_frac) as usize;
-        let est = correctness::average_case_success(&pipeline, cap, trials, 4040);
+        let est = correctness::average_case_success(&pipeline, cap, trials, args.seed(4040));
         rows.push(vec![
             format!("{cap_frac:.2}"),
             cap.to_string(),

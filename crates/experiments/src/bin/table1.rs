@@ -3,6 +3,7 @@
 //! on a concrete configuration.
 
 use mph_bounds::tables;
+use mph_experiments::sweep::grid_map;
 use mph_experiments::Report;
 
 fn main() {
@@ -12,10 +13,8 @@ fn main() {
     // A representative configuration: 16 machines, 4 Kib memories, 64 Kib
     // input (the scale the simulation experiments run at).
     let (m, s_bits, input_bits) = (16u64, 4096u64, 65_536u64);
-    let rows: Vec<Vec<String>> = tables::table1(m, s_bits, input_bits)
-        .into_iter()
-        .map(|r| vec![r.symbol, r.description, r.value])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        grid_map(tables::table1(m, s_bits, input_bits), |r| vec![r.symbol, r.description, r.value]);
     report.table(&["symbol", "definition", "value"], &rows);
 
     report.h2("model constraints");

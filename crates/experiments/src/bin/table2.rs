@@ -5,6 +5,7 @@
 use mph_bounds::regimes;
 use mph_bounds::tables;
 use mph_core::LineParams;
+use mph_experiments::sweep::grid_map;
 use mph_experiments::Report;
 
 fn main() {
@@ -13,10 +14,8 @@ fn main() {
 
     // A paper-scale instantiation where every constraint is satisfiable.
     let (n, s_ram, t, q) = (1u64 << 14, 1u64 << 18, 1u64 << 20, 1u64 << 12);
-    let rows: Vec<Vec<String>> = tables::table2(n, s_ram, t, q)
-        .into_iter()
-        .map(|r| vec![r.symbol, r.description, r.value])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        grid_map(tables::table2(n, s_ram, t, q), |r| vec![r.symbol, r.description, r.value]);
     report.table(&["symbol", "definition", "value"], &rows);
 
     report.h2("constraint report for this instantiation (s = S/8, m = 1024)");
@@ -37,18 +36,15 @@ fn main() {
     report.h2("where the theorem turns on (sweep n, same workload)");
     let ns: Vec<f64> = (6..=16).map(|e| 2f64.powi(e)).collect();
     let points = regimes::regime_sweep(&ns, s_ram as f64, t as f64, 0.125, 1024.0, q as f64);
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                format!("2^{:.0}", p.n.log2()),
-                format!("{:.0}", p.lemma36_denominator),
-                format!("2^{:.1}", p.success_bound_log2),
-                p.certified.to_string(),
-                format!("{:.0}", p.rounds),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = grid_map(points, |p| {
+        vec![
+            format!("2^{:.0}", p.n.log2()),
+            format!("{:.0}", p.lemma36_denominator),
+            format!("2^{:.1}", p.success_bound_log2),
+            p.certified.to_string(),
+            format!("{:.0}", p.rounds),
+        ]
+    });
     report.table(
         &["n", "Lemma 3.6 denom (bits)", "success bound", "certified", "rounds ≥ w/log²w"],
         &rows,

@@ -19,12 +19,19 @@
 //! | `exp_success_cliff` | Pr[success within R rounds], Definition 2.5 (E11) |
 //!
 //! The shared [`report`] module renders aligned markdown tables so the
-//! binaries' stdout can be pasted into EXPERIMENTS.md verbatim.
+//! binaries' stdout can be pasted into EXPERIMENTS.md verbatim. The
+//! [`sweep`] module is the throughput layer underneath the
+//! round-complexity binaries: it fans a whole parameter grid into one
+//! worker-pool pass with simulation reuse, deterministically (see
+//! docs/PERFORMANCE.md). Trial counts and seeds are adjustable on every
+//! such binary via the shared [`setup::SweepArgs`] flags
+//! (`--trials N --seed N --quick`).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod report;
 pub mod setup;
+pub mod sweep;
 
 pub use report::Report;

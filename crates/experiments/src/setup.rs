@@ -21,6 +21,77 @@ pub fn demo_pipeline(w: u64, v: usize, m: usize, window: usize, target: Target) 
     Pipeline::new(demo_params(w, v), BlockAssignment::new(v, m, window), target)
 }
 
+/// Shared CLI flags for the trial-based experiment binaries.
+///
+/// Every binary that measures rounds over `(RO, X)` draws accepts the
+/// same three flags instead of hand-rolling its own parsing:
+///
+/// * `--trials N` — override the number of trials per parameter point.
+/// * `--seed N` — override the base seed (trial `t` uses `seed + t`).
+/// * `--quick` — shrink the instance to CI-smoke scale; each binary
+///   defines its own tiny configuration.
+///
+/// Defaults (no flags) reproduce the published tables exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepArgs {
+    trials: Option<usize>,
+    seed: Option<u64>,
+    /// Whether `--quick` was passed.
+    pub quick: bool,
+}
+
+impl SweepArgs {
+    /// Parses the process arguments, exiting with usage on anything
+    /// unrecognized (experiment output must never silently ignore a
+    /// mistyped flag).
+    pub fn parse() -> Self {
+        match Self::from_iter(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: [--trials N] [--seed N] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn from_iter(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = SweepArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut numeric = |name: &str| -> Result<u64, String> {
+                args.next()
+                    .ok_or_else(|| format!("{name} requires a value"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("{name} requires a non-negative integer"))
+            };
+            match arg.as_str() {
+                "--trials" => {
+                    let n = numeric("--trials")?;
+                    if n == 0 {
+                        return Err("--trials must be positive".into());
+                    }
+                    out.trials = Some(n as usize);
+                }
+                "--seed" => out.seed = Some(numeric("--seed")?),
+                "--quick" => out.quick = true,
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The trial count: the flag's value, or the binary's default.
+    pub fn trials(&self, default: usize) -> usize {
+        self.trials.unwrap_or(default)
+    }
+
+    /// The base seed: the flag's value, or the binary's default.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
 /// Formats a float with sensible precision for tables.
 pub fn fmt(x: f64) -> String {
     if x.abs() >= 100.0 {
@@ -29,5 +100,35 @@ pub fn fmt(x: f64) -> String {
         format!("{x:.1}")
     } else {
         format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<SweepArgs, String> {
+        SweepArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn sweep_args_defaults_and_overrides() {
+        let none = parse(&[]).unwrap();
+        assert_eq!(none.trials(5), 5);
+        assert_eq!(none.seed(1000), 1000);
+        assert!(!none.quick);
+
+        let all = parse(&["--trials", "9", "--seed", "42", "--quick"]).unwrap();
+        assert_eq!(all.trials(5), 9);
+        assert_eq!(all.seed(1000), 42);
+        assert!(all.quick);
+    }
+
+    #[test]
+    fn sweep_args_rejects_bad_input() {
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "zero"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
     }
 }

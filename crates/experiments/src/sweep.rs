@@ -1,0 +1,233 @@
+//! The sweep engine: one pool pass over a whole parameter grid.
+//!
+//! Every round-complexity experiment has the same shape — a grid of
+//! *cells* (one pipeline configuration each), a handful of independent
+//! `(RO, X)` trials per cell, and a table row plus a telemetry snapshot
+//! per cell. Before this module, each binary looped over its cells and
+//! parallelized only *within* a cell, so the pool drained and refilled
+//! once per parameter point and the tail of each point ran
+//! under-subscribed. [`run_sweep`] instead fans **all** (cell × trial
+//! chunk) units of an experiment into a single pool pass: workers pull
+//! whichever cell still has trials left, each chunk reuses one
+//! simulation via [`theorem::TrialRunner`], and results are reassembled
+//! in cell-then-seed order.
+//!
+//! Determinism: trial `t` of cell `c` is a pure function of
+//! `(pipeline_c, base_seed_c + t)`, chunks are reassembled in input
+//! order, and each cell's [`Recorder`] fold is order-independent — so
+//! the completed [`CellResult`]s (and any report built from them) are
+//! byte-identical regardless of `RAYON_NUM_THREADS` or scheduling. The
+//! cross-crate test `sweep_determinism` pins this down by diffing whole
+//! report files across thread counts.
+
+use mph_core::algorithms::pipeline::Pipeline;
+use mph_core::theorem::{self, RoundMeasurement, TrialRunner};
+use mph_metrics::{MetricsSink, MetricsSnapshot, Recorder};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One parameter point of a sweep: a pipeline plus its trial plan.
+pub struct Cell {
+    /// Display label for tables and telemetry keys (e.g. `"window=16"`).
+    pub label: String,
+    /// The configuration to run.
+    pub pipeline: Arc<Pipeline>,
+    /// Per-machine memory override; `None` uses the pipeline's
+    /// [`Pipeline::required_s`].
+    pub s_bits: Option<usize>,
+    /// Per-round query budget; `None` leaves it unenforced.
+    pub q: Option<u64>,
+    /// Number of independent `(RO, X)` draws.
+    pub trials: usize,
+    /// Seed of trial 0; trial `t` uses `base_seed + t`.
+    pub base_seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: usize,
+    /// Record a tagged [`MetricsSnapshot`] for this cell.
+    pub telemetry: bool,
+}
+
+impl Cell {
+    /// A telemetry-recording cell with default memory and no query
+    /// budget — the configuration every envelope experiment uses.
+    pub fn new(
+        label: impl Into<String>,
+        pipeline: Arc<Pipeline>,
+        trials: usize,
+        base_seed: u64,
+        max_rounds: usize,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            pipeline,
+            s_bits: None,
+            q: None,
+            trials,
+            base_seed,
+            max_rounds,
+            telemetry: true,
+        }
+    }
+}
+
+/// A completed cell: its per-trial measurements (in seed order) and the
+/// telemetry snapshot recorded across them.
+pub struct CellResult {
+    /// The cell's label, copied through.
+    pub label: String,
+    /// Trial `t`'s measurement — identical to
+    /// `measure_rounds(pipeline, base_seed + t, ..)`.
+    pub measurements: Vec<RoundMeasurement>,
+    /// Mean rounds across the trials.
+    pub mean_rounds: f64,
+    /// The cell's aggregated telemetry (when requested), tagged via
+    /// [`theorem::run_tags`] with the resolved `s` and `q`.
+    pub snapshot: Option<MetricsSnapshot>,
+}
+
+/// How many trial chunks to aim for per cell. Oversplitting lets the
+/// pool balance cells of uneven cost; chunks stay long enough that
+/// simulation reuse amortizes.
+const CHUNKS_PER_CELL: usize = 4;
+
+/// Runs every cell of a sweep through one pool pass and returns the
+/// results in cell order. Panics if any trial produces an incorrect
+/// output — these are honest-algorithm measurements, where a wrong
+/// answer is a configuration bug, not a data point.
+pub fn run_sweep(cells: Vec<Cell>) -> Vec<CellResult> {
+    let recorders: Vec<Option<Arc<Recorder>>> = cells
+        .iter()
+        .map(|cell| {
+            cell.telemetry.then(|| {
+                let recorder = Arc::new(Recorder::new());
+                let s = cell.s_bits.unwrap_or_else(|| cell.pipeline.required_s());
+                theorem::run_tags(&recorder, cell.pipeline.params(), s, cell.q);
+                recorder
+            })
+        })
+        .collect();
+
+    // Flatten the grid into (cell, seed-chunk) units — the single pool
+    // pass — then reassemble per cell. Units are generated and collected
+    // in (cell, chunk) order, so concatenation restores seed order.
+    let mut units: Vec<(usize, u64, usize)> = Vec::new(); // (cell, seed0, len)
+    for (ci, cell) in cells.iter().enumerate() {
+        let chunk = cell.trials.div_ceil(CHUNKS_PER_CELL).max(1);
+        let mut t = 0usize;
+        while t < cell.trials {
+            let len = chunk.min(cell.trials - t);
+            units.push((ci, cell.base_seed.wrapping_add(t as u64), len));
+            t += len;
+        }
+    }
+    let measured: Vec<Vec<RoundMeasurement>> = units
+        .par_iter()
+        .map(|&(ci, seed0, len)| {
+            let cell = &cells[ci];
+            let sink: Option<Arc<dyn MetricsSink>> =
+                recorders[ci].clone().map(|r| r as Arc<dyn MetricsSink>);
+            let mut runner = TrialRunner::new();
+            (0..len as u64)
+                .map(|t| {
+                    runner.measure(
+                        &cell.pipeline,
+                        seed0.wrapping_add(t),
+                        cell.s_bits,
+                        cell.q,
+                        cell.max_rounds,
+                        sink.clone(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut per_cell: Vec<Vec<RoundMeasurement>> =
+        cells.iter().map(|cell| Vec::with_capacity(cell.trials)).collect();
+    for (&(ci, _, _), chunk) in units.iter().zip(measured) {
+        per_cell[ci].extend(chunk);
+    }
+    cells
+        .into_iter()
+        .zip(per_cell)
+        .zip(recorders)
+        .map(|((cell, measurements), recorder)| {
+            for (t, m) in measurements.iter().enumerate() {
+                assert!(m.correct, "cell {:?}, trial {t}: incorrect output", cell.label);
+            }
+            CellResult {
+                label: cell.label,
+                mean_rounds: theorem::mean_of(&measurements),
+                measurements,
+                snapshot: recorder.map(|r| r.snapshot()),
+            }
+        })
+        .collect()
+}
+
+/// Maps `f` over grid items on the worker pool, preserving input order —
+/// the sweep primitive for experiments whose cells are pure computation
+/// (the parameter-table regenerators) rather than simulator trials.
+pub fn grid_map<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    items.into_par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_core::algorithms::pipeline::Target;
+    use mph_core::algorithms::BlockAssignment;
+    use mph_core::LineParams;
+
+    fn cell(label: &str, target: Target, trials: usize, seed: u64) -> Cell {
+        let params = LineParams::new(64, 48, 16, 8);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), target);
+        Cell::new(label, pipeline, trials, seed, 10_000)
+    }
+
+    #[test]
+    fn sweep_matches_per_cell_batches() {
+        let results = run_sweep(vec![
+            cell("line", Target::Line, 5, 100),
+            cell("simline", Target::SimLine, 3, 200),
+        ]);
+        assert_eq!(results.len(), 2);
+        let line = cell("line", Target::Line, 5, 100);
+        let expected = theorem::measure_rounds_batch(&line.pipeline, 5, 100, None, None, 10_000);
+        assert_eq!(results[0].measurements, expected);
+        assert_eq!(results[0].mean_rounds, theorem::mean_of(&expected));
+        assert_eq!(results[1].measurements.len(), 3);
+    }
+
+    #[test]
+    fn sweep_telemetry_is_tagged_and_aggregated() {
+        let results = run_sweep(vec![cell("c", Target::SimLine, 4, 50)]);
+        let snap = results[0].snapshot.as_ref().expect("telemetry requested");
+        assert_eq!(snap.tags["w"], "48");
+        // Oracle-query counts fold additively across trials; rounds are
+        // keyed by index, so totals.rounds is the longest trial.
+        let queries: u64 = results[0].measurements.iter().map(|m| m.total_queries).sum();
+        assert_eq!(snap.totals.oracle_queries, queries);
+        let longest = results[0].measurements.iter().map(|m| m.rounds).max().unwrap();
+        assert_eq!(snap.totals.rounds as usize, longest);
+    }
+
+    #[test]
+    fn telemetry_can_be_disabled() {
+        let mut c = cell("quiet", Target::Line, 2, 10);
+        c.telemetry = false;
+        let results = run_sweep(vec![c]);
+        assert!(results[0].snapshot.is_none());
+    }
+
+    #[test]
+    fn grid_map_preserves_order() {
+        let out = grid_map((0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -154,6 +154,38 @@ impl Simulation {
         self
     }
 
+    /// Clears all run state — round counter, pending inboxes, collected
+    /// outputs, statistics — while **retaining** machine programs, the
+    /// oracle, the tape, the metrics sink, and every buffer allocation
+    /// (inboxes, scratch inboxes, routing counts). After `reset`, seeding
+    /// memory and running is observationally identical to doing so on a
+    /// freshly constructed simulation; only the allocator traffic differs.
+    pub fn reset(&mut self) -> &mut Self {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.outputs.clear();
+        self.stats = SimStats::default();
+        self.round = 0;
+        self
+    }
+
+    /// [`Simulation::reset`] plus replacing the oracle, random tape, and
+    /// query budget — the per-trial turnaround of a reused simulation: one
+    /// allocation-retaining reinit instead of a rebuild, so repeated
+    /// trials stop paying construction cost.
+    pub fn reinit(
+        &mut self,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        q: Option<u64>,
+    ) -> &mut Self {
+        self.oracle = oracle;
+        self.tape = tape;
+        self.q = q;
+        self.reset()
+    }
+
     /// Attaches a telemetry sink; every subsequent round emits
     /// `RoundStart`/`RoundEnd`, per-message `MessageRouted`, per-delivery
     /// `MemoryHighWater`, and `ModelViolation` events into it. With no
@@ -161,6 +193,14 @@ impl Simulation {
     /// branch per event site.
     pub fn set_metrics(&mut self, sink: Arc<dyn MetricsSink>) -> &mut Self {
         self.metrics = Some(sink);
+        self
+    }
+
+    /// Detaches the telemetry sink. Reused simulations ([`Self::reinit`])
+    /// keep their sink across trials; a trial that should run silent must
+    /// clear it explicitly.
+    pub fn clear_metrics(&mut self) -> &mut Self {
+        self.metrics = None;
         self
     }
 
@@ -586,6 +626,63 @@ mod tests {
             "outcome must count rounds within the call, not cumulatively"
         );
         assert_eq!(second.outputs.len(), 1, "first run's outputs were already drained");
+    }
+
+    #[test]
+    fn reset_run_is_observationally_identical_to_fresh() {
+        let fresh = || {
+            let mut s = sim(4, 64);
+            s.set_uniform_logic(relay());
+            s.seed_memory(0, BitVec::zeros(2));
+            s.run_until_output(100).unwrap()
+        };
+        let baseline = fresh();
+
+        // Run once, reset, run again: the second run must match a fresh
+        // simulation bit for bit (outputs, rounds, per-round stats).
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let first = s.run_until_output(100).unwrap();
+        s.reset();
+        s.seed_memory(0, BitVec::zeros(2));
+        let second = s.run_until_output(100).unwrap();
+
+        for run in [&first, &second] {
+            assert_eq!(run.outputs, baseline.outputs);
+            assert_eq!(run.stats, baseline.stats);
+            assert_eq!(run.rounds(), baseline.rounds());
+        }
+        // The round counter restarted from zero at reset.
+        assert_eq!(s.round(), second.rounds());
+    }
+
+    #[test]
+    fn reinit_swaps_oracle_and_budget() {
+        let echo_query = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            if incoming.is_empty() {
+                return Ok(Outbox::new());
+            }
+            let a = ctx.query(&BitVec::zeros(16))?;
+            Ok(Outbox::new().emit(a))
+        });
+        let mut s = sim(1, 64);
+        s.set_uniform_logic(echo_query);
+        s.seed_memory(0, BitVec::zeros(1));
+        let first = s.run_until_output(10).unwrap();
+
+        // Swap in a differently-seeded oracle: the answer must change, and
+        // the new q = 0 budget must now reject the query.
+        s.reinit(Arc::new(LazyOracle::square(99, 16)), RandomTape::new(1), Some(1));
+        s.seed_memory(0, BitVec::zeros(1));
+        let second = s.run_until_output(10).unwrap();
+        assert_ne!(first.sole_output(), second.sole_output());
+        assert_eq!(second.rounds(), first.rounds());
+
+        s.reinit(Arc::new(LazyOracle::square(99, 16)), RandomTape::new(1), Some(0));
+        s.seed_memory(0, BitVec::zeros(1));
+        let err = s.run_until_output(10).unwrap_err();
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 0 });
     }
 
     #[test]

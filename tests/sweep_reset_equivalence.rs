@@ -1,0 +1,91 @@
+//! Cross-crate equivalence tests for the simulation-reuse path that the
+//! sweep engine rides on: a [`Simulation`] reinitialized in place
+//! ([`Pipeline::reset_simulation`]) and a [`theorem::TrialRunner`]
+//! carried across heterogeneous trials are both observationally
+//! identical to building everything fresh — same outputs, same rounds,
+//! same statistics — on the seeds the experiment binaries actually use.
+
+use mpc_hardness::core::theorem::{self, TrialRunner};
+use mpc_hardness::prelude::*;
+use std::sync::Arc;
+
+/// One reused simulation, reinitialized per `(RO, X)` draw, must match a
+/// freshly built simulation on every experiment seed — including across
+/// a `Line`/`SimLine` target switch between draws.
+#[test]
+fn reset_simulation_matches_fresh_builds_on_experiment_seeds() {
+    let params = LineParams::new(64, 40, 16, 8);
+    let assignment = BlockAssignment::new(8, 4, 3);
+    let line = Pipeline::new(params, assignment, Target::Line);
+    let simline = Pipeline::new(params, assignment, Target::SimLine);
+
+    // Alternate targets seed-by-seed so every reset crosses a shape
+    // boundary the plain per-cell loop never exercises.
+    let mut reused: Option<Simulation> = None;
+    for seed in 1000..1006u64 {
+        let pipeline = if seed % 2 == 0 { &line } else { &simline };
+        let (oracle, blocks) = theorem::draw_instance(&params, seed);
+        let s = pipeline.required_s();
+
+        let mut fresh = pipeline.build_simulation(
+            Arc::clone(&oracle) as Arc<dyn Oracle>,
+            RandomTape::new(seed),
+            s,
+            None,
+            &blocks,
+        );
+        let fresh_run = fresh.run_until_output(10_000).unwrap();
+
+        let mut sim = match reused.take() {
+            Some(mut sim) => {
+                pipeline.reset_simulation(
+                    &mut sim,
+                    Arc::clone(&oracle) as Arc<dyn Oracle>,
+                    RandomTape::new(seed),
+                    None,
+                    &blocks,
+                );
+                sim
+            }
+            None => pipeline.build_simulation(
+                Arc::clone(&oracle) as Arc<dyn Oracle>,
+                RandomTape::new(seed),
+                s,
+                None,
+                &blocks,
+            ),
+        };
+        let reused_run = sim.run_until_output(10_000).unwrap();
+        reused = Some(sim);
+
+        assert!(fresh_run.completed(), "seed {seed}");
+        assert_eq!(fresh_run.sole_output(), reused_run.sole_output(), "seed {seed}");
+        assert_eq!(fresh_run.rounds(), reused_run.rounds(), "seed {seed}");
+        assert_eq!(fresh_run.stats, reused_run.stats, "seed {seed}");
+    }
+}
+
+/// A `TrialRunner` carried across seeds (the sweep engine's per-chunk
+/// shape, with its warm oracle cache and reused simulation) returns the
+/// same measurements as the one-shot [`theorem::measure_rounds`], and
+/// the batch API agrees with both.
+#[test]
+fn trial_runner_and_batch_match_one_shot_measurements() {
+    let params = LineParams::new(64, 40, 16, 8);
+    let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::Line);
+
+    let mut runner = TrialRunner::new();
+    let carried: Vec<_> = (1000..1005u64)
+        .map(|seed| runner.measure(&pipeline, seed, None, None, 10_000, None))
+        .collect();
+    let one_shot: Vec<_> = (1000..1005u64)
+        .map(|seed| theorem::measure_rounds(&pipeline, seed, None, None, 10_000))
+        .collect();
+    let batch = theorem::measure_rounds_batch(&pipeline, 5, 1000, None, None, 10_000);
+
+    assert_eq!(carried, one_shot);
+    assert_eq!(batch, one_shot);
+    for m in &one_shot {
+        assert!(m.correct, "honest pipeline must be correct");
+    }
+}
