@@ -26,6 +26,12 @@
 //!    at a time). The two paths must agree measurement-for-measurement
 //!    (`byte_identical`); the record is trials/second for each.
 //!
+//! 5. **`fault_overhead`** — the relay ring with no fault plan vs an
+//!    installed all-zero-rate plan ([`FaultSpec::default`]). An inert
+//!    plan must be behaviorally invisible (identical message and bit
+//!    totals — `byte_identical`) and add no measurable routing overhead;
+//!    the full run asserts the timing ratio stays under 1.15×.
+//!
 //! `--test` switches to tiny smoke sizes for CI: every correctness check
 //! still runs, the ≥ 2× speedup assertion is skipped (timings on
 //! micro-sizes are noise), and the report goes to
@@ -39,7 +45,7 @@ use mph_core::{theorem, LineParams};
 use mph_experiments::sweep::{run_sweep, Cell};
 use mph_metrics::json::Json;
 use mph_metrics::report::{envelope, write_report_to};
-use mph_mpc::{Message, Outbox, RoundCtx, Simulation};
+use mph_mpc::{FaultPlan, FaultSpec, Message, Outbox, RoundCtx, Simulation};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -170,29 +176,32 @@ fn bench_oracle(sizes: &Sizes, strict: bool) -> (String, Json) {
     ("oracle_repeated_queries".into(), body)
 }
 
+/// The message-ring simulation workloads 2 and 5 route on: `m` machines,
+/// each forwarding its whole inbox to its successor.
+fn build_relay(m: usize, payload_bits: usize) -> Simulation {
+    let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
+    let mut sim = Simulation::new(m, 4 * payload_bits, oracle, RandomTape::new(0));
+    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+        let mut out = Outbox::new();
+        let next = (ctx.machine() + 1) % ctx.m();
+        for msg in incoming {
+            out.push(next, msg.payload.clone());
+        }
+        Ok(out)
+    }));
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for (machine, payload) in random_blocks(&mut rng, m, payload_bits).into_iter().enumerate() {
+        sim.seed_memory(machine, payload);
+    }
+    sim
+}
+
 /// Workload 2: the executor routing path under a message ring.
 fn bench_relay(sizes: &Sizes) -> (String, Json) {
     let payload_bits = 256usize;
-    let build = |m: usize| {
-        let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
-        let mut sim = Simulation::new(m, 4 * payload_bits, oracle, RandomTape::new(0));
-        sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-            let mut out = Outbox::new();
-            let next = (ctx.machine() + 1) % ctx.m();
-            for msg in incoming {
-                out.push(next, msg.payload.clone());
-            }
-            Ok(out)
-        }));
-        let mut rng = StdRng::seed_from_u64(0xcafe);
-        for (machine, payload) in random_blocks(&mut rng, m, payload_bits).into_iter().enumerate() {
-            sim.seed_memory(machine, payload);
-        }
-        sim
-    };
 
     let (total_ns, messages) = time_ns(sizes.reps, || {
-        let mut sim = build(sizes.relay_m);
+        let mut sim = build_relay(sizes.relay_m, payload_bits);
         sim.run_rounds(sizes.relay_rounds).unwrap().stats.total_messages()
     });
     let ns_per_round = total_ns / sizes.relay_rounds as u64;
@@ -289,7 +298,7 @@ fn bench_sweep(sizes: &Sizes) -> (String, Json) {
                     .map(|t| {
                         let seed = base_seed + t;
                         let (oracle, blocks) = theorem::draw_instance(&params, seed);
-                        let expected = theorem::reference_output(&pipeline, &*oracle, &blocks);
+                        let expected = theorem::reference_output(&*pipeline, &*oracle, &blocks);
                         let mut sim = pipeline.build_simulation(
                             oracle as Arc<dyn Oracle>,
                             RandomTape::new(seed),
@@ -365,6 +374,49 @@ fn bench_sweep(sizes: &Sizes) -> (String, Json) {
     ("experiment_sweep".into(), body)
 }
 
+/// Workload 5: the relay ring with no fault plan vs an installed inert
+/// (all-zero-rate) plan. The executor must skip fault bookkeeping
+/// entirely for inert plans, so the two runs route identically and cost
+/// the same.
+fn bench_fault_overhead(sizes: &Sizes, strict: bool) -> (String, Json) {
+    let payload_bits = 256usize;
+    let run = |inert_plan: bool| {
+        let mut sim = build_relay(sizes.relay_m, payload_bits);
+        if inert_plan {
+            sim.set_fault_plan(FaultPlan::new(0, FaultSpec::default()));
+        }
+        let stats = sim.run_rounds(sizes.relay_rounds).unwrap().stats;
+        (stats.total_messages(), stats.total_bits())
+    };
+
+    let (plain_ns, plain_totals) = time_ns(sizes.reps, || run(false));
+    let (inert_ns, inert_totals) = time_ns(sizes.reps, || run(true));
+    assert_eq!(plain_totals, inert_totals, "an inert fault plan must be behaviorally invisible");
+    let overhead = inert_ns as f64 / plain_ns.max(1) as f64;
+    if strict {
+        assert!(
+            overhead <= 1.15,
+            "inert fault plan costs {overhead:.2}x on the routing path — that is measurable"
+        );
+    }
+    println!(
+        "fault_overhead: m = {}, {} rounds: no plan {plain_ns} ns, inert plan {inert_ns} ns \
+         ({overhead:.2}x)",
+        sizes.relay_m, sizes.relay_rounds
+    );
+
+    let body = Json::object(vec![
+        ("machines", Json::u64(sizes.relay_m as u64)),
+        ("rounds", Json::u64(sizes.relay_rounds as u64)),
+        ("messages_routed", Json::u64(plain_totals.0 as u64)),
+        ("no_plan_ns", Json::u64(plain_ns)),
+        ("inert_plan_ns", Json::u64(inert_ns)),
+        ("inert_overhead", Json::f64(overhead)),
+        ("byte_identical", Json::Bool(true)),
+    ]);
+    ("fault_overhead".into(), body)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let sizes = if test_mode { Sizes::smoke() } else { Sizes::full() };
@@ -374,6 +426,7 @@ fn main() {
         bench_relay(&sizes),
         bench_simline(&sizes),
         bench_sweep(&sizes),
+        bench_fault_overhead(&sizes, !test_mode),
     ];
     let doc = envelope(
         "bench_mpc",

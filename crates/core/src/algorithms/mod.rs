@@ -15,6 +15,12 @@
 //! * [`guess`] — the skip-ahead adversary of Lemma 3.3 / Lemma A.7: trying
 //!   to query a correct entry without its predecessor succeeds with
 //!   probability `≈ 2^{-u}` per guess, measured.
+//! * [`replicated`] — the fault-tolerant variant of the pipeline: `ρ`
+//!   replicas per block window, checksum-framed multicast tokens, and
+//!   sibling recovery, so injected crashes and corruption (see
+//!   `mph_mpc::faults`) become bounded round overhead or *detected*
+//!   failures instead of wrong output. With `ρ = 1` it is the plain
+//!   pipeline plus the checksum guard.
 //!
 //! Shared plumbing lives here: the replicated [`BlockAssignment`] and the
 //! bit-exact message [`Codec`] (blocks and tokens), both charged against
@@ -23,10 +29,12 @@
 pub mod broadcast;
 pub mod guess;
 pub mod pipeline;
+pub mod replicated;
 
 pub use broadcast::Broadcast;
 pub use guess::{guess_ahead_experiment, GuessOutcome};
 pub use pipeline::Pipeline;
+pub use replicated::ReplicatedPipeline;
 
 use crate::params::LineParams;
 use mph_bits::{bits_for_index, BitVec, FieldValue, Layout};

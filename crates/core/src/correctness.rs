@@ -84,7 +84,7 @@ fn run_is_correct(
     round_cap: usize,
     seed: u64,
 ) -> bool {
-    let expected = reference_output(pipeline, &*oracle, blocks);
+    let expected = reference_output(&**pipeline, &*oracle, blocks);
     let mut sim = pipeline.build_simulation(
         oracle as Arc<dyn Oracle>,
         RandomTape::new(seed),
@@ -93,7 +93,7 @@ fn run_is_correct(
         blocks,
     );
     match sim.run_until_output(round_cap) {
-        Ok(result) => result.completed() && result.sole_output() == Some(&expected),
+        Ok(result) => result.completed() && result.unanimous_output() == Some(&expected),
         Err(_) => false,
     }
 }

@@ -9,12 +9,13 @@
 
 use crate::algorithms::pipeline::Pipeline;
 use crate::algorithms::pipeline::Target;
+use crate::algorithms::replicated::ReplicatedPipeline;
 use crate::line::Line;
 use crate::params::LineParams;
 use crate::simline::SimLine;
 use mph_bits::{random_blocks, BitVec};
 use mph_metrics::{MetricsSink, Recorder};
-use mph_mpc::Simulation;
+use mph_mpc::{FaultPlan, Simulation};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape, TranscriptOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,9 +48,118 @@ pub fn draw_instance(params: &LineParams, seed: u64) -> (Arc<LazyOracle>, Vec<Bi
     (oracle, blocks)
 }
 
+/// A pipeline configuration the measurement harnesses can run: anything
+/// that can build (or re-seed) a [`Simulation`] from a drawn `(RO, X)`
+/// instance and knows its own resource envelope. Implemented by the
+/// plain [`Pipeline`] and the fault-tolerant [`ReplicatedPipeline`], so
+/// [`TrialRunner`] and the sweep engine drive either through one code
+/// path.
+pub trait MeasurablePipeline: Send + Sync {
+    /// The instance parameters `(RO, X)` are drawn from.
+    fn params(&self) -> &LineParams;
+    /// The function this configuration computes.
+    fn target(&self) -> Target;
+    /// Machines in the built simulation.
+    fn machines(&self) -> usize;
+    /// Default per-machine memory in bits.
+    fn required_s(&self) -> usize;
+    /// Builds a ready-to-run simulation on `(oracle, blocks)`.
+    fn build_simulation(
+        self: Arc<Self>,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        s_bits: usize,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) -> Simulation;
+    /// Re-seeds an existing simulation of matching shape.
+    fn reset_simulation(
+        self: Arc<Self>,
+        sim: &mut Simulation,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    );
+}
+
+impl MeasurablePipeline for Pipeline {
+    fn params(&self) -> &LineParams {
+        Pipeline::params(self)
+    }
+    fn target(&self) -> Target {
+        Pipeline::target(self)
+    }
+    fn machines(&self) -> usize {
+        self.assignment().m
+    }
+    fn required_s(&self) -> usize {
+        Pipeline::required_s(self)
+    }
+    fn build_simulation(
+        self: Arc<Self>,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        s_bits: usize,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) -> Simulation {
+        Pipeline::build_simulation(&self, oracle, tape, s_bits, q, blocks)
+    }
+    fn reset_simulation(
+        self: Arc<Self>,
+        sim: &mut Simulation,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) {
+        Pipeline::reset_simulation(&self, sim, oracle, tape, q, blocks)
+    }
+}
+
+impl MeasurablePipeline for ReplicatedPipeline {
+    fn params(&self) -> &LineParams {
+        ReplicatedPipeline::params(self)
+    }
+    fn target(&self) -> Target {
+        ReplicatedPipeline::target(self)
+    }
+    fn machines(&self) -> usize {
+        self.m()
+    }
+    fn required_s(&self) -> usize {
+        ReplicatedPipeline::required_s(self)
+    }
+    fn build_simulation(
+        self: Arc<Self>,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        s_bits: usize,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) -> Simulation {
+        ReplicatedPipeline::build_simulation(&self, oracle, tape, s_bits, q, blocks)
+    }
+    fn reset_simulation(
+        self: Arc<Self>,
+        sim: &mut Simulation,
+        oracle: Arc<dyn Oracle>,
+        tape: RandomTape,
+        q: Option<u64>,
+        blocks: &[BitVec],
+    ) {
+        ReplicatedPipeline::reset_simulation(&self, sim, oracle, tape, q, blocks)
+    }
+}
+
 /// The reference function value for a pipeline's target on `(RO, X)`.
-pub fn reference_output(pipeline: &Pipeline, oracle: &dyn Oracle, blocks: &[BitVec]) -> BitVec {
-    match pipeline_target(pipeline) {
+pub fn reference_output<P: MeasurablePipeline + ?Sized>(
+    pipeline: &P,
+    oracle: &dyn Oracle,
+    blocks: &[BitVec],
+) -> BitVec {
+    match pipeline.target() {
         Target::Line => Line::new(*pipeline.params()).eval(&oracle, blocks),
         Target::SimLine => SimLine::new(*pipeline.params()).eval(&oracle, blocks),
     }
@@ -65,8 +175,8 @@ fn pipeline_target(pipeline: &Pipeline) -> Target {
 /// Runs `pipeline` on the `(RO, X)` drawn from `seed` and measures the
 /// paper's quantities. `s_bits = None` uses exactly the configuration's
 /// required memory.
-pub fn measure_rounds(
-    pipeline: &Arc<Pipeline>,
+pub fn measure_rounds<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     seed: u64,
     s_bits: Option<usize>,
     q: Option<u64>,
@@ -78,8 +188,8 @@ pub fn measure_rounds(
 /// [`measure_rounds`] with a telemetry sink attached to the simulator:
 /// the run's round, message, memory, and violation events land in `sink`
 /// (typically a [`Recorder`]) in addition to the returned summary.
-pub fn measure_rounds_with(
-    pipeline: &Arc<Pipeline>,
+pub fn measure_rounds_with<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     seed: u64,
     s_bits: Option<usize>,
     q: Option<u64>,
@@ -103,8 +213,8 @@ pub fn run_tags(recorder: &Recorder, params: &LineParams, s_bits: usize, q: Opti
     recorder.set_tag("w", params.w.to_string());
 }
 
-fn measure_rounds_inner(
-    pipeline: &Arc<Pipeline>,
+fn measure_rounds_inner<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     seed: u64,
     s_bits: Option<usize>,
     q: Option<u64>,
@@ -138,43 +248,81 @@ impl TrialRunner {
 
     /// Runs one trial (the body of [`measure_rounds`]), reusing the
     /// retained simulation when its shape matches.
-    pub fn measure(
+    pub fn measure<P: MeasurablePipeline + ?Sized>(
         &mut self,
-        pipeline: &Arc<Pipeline>,
+        pipeline: &Arc<P>,
         seed: u64,
         s_bits: Option<usize>,
         q: Option<u64>,
         max_rounds: usize,
         sink: Option<Arc<dyn MetricsSink>>,
     ) -> RoundMeasurement {
+        self.measure_with_faults(pipeline, seed, s_bits, q, max_rounds, sink, None)
+    }
+
+    /// [`TrialRunner::measure`] with an optional fault plan installed on
+    /// the simulation. Fault-free trials keep the old contract — a
+    /// [`mph_mpc::ModelViolation`] is a harness bug and panics. Under a
+    /// fault plan a violation is a legitimate data point (a checksum
+    /// failure surfaced as `AlgorithmError`, memory blown by straggler
+    /// pile-up) and comes back as a failed measurement instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with_faults<P: MeasurablePipeline + ?Sized>(
+        &mut self,
+        pipeline: &Arc<P>,
+        seed: u64,
+        s_bits: Option<usize>,
+        q: Option<u64>,
+        max_rounds: usize,
+        sink: Option<Arc<dyn MetricsSink>>,
+        faults: Option<FaultPlan>,
+    ) -> RoundMeasurement {
         let (oracle, blocks) = draw_instance(pipeline.params(), seed);
         let oracle = Arc::new(CachedOracle::new(oracle));
-        let expected = reference_output(pipeline, &*oracle, &blocks);
+        let expected = reference_output(&**pipeline, &*oracle, &blocks);
         let s = s_bits.unwrap_or_else(|| pipeline.required_s());
         let tape = RandomTape::new(seed);
         let mut sim = match self.sim.take() {
-            Some(mut sim) if sim.m() == pipeline.assignment().m && sim.s_bits() == s => {
-                pipeline.reset_simulation(&mut sim, oracle, tape, q, &blocks);
+            Some(mut sim) if sim.m() == pipeline.machines() && sim.s_bits() == s => {
+                pipeline.clone().reset_simulation(&mut sim, oracle, tape, q, &blocks);
                 sim
             }
-            _ => pipeline.build_simulation(oracle, tape, s, q, &blocks),
+            _ => pipeline.clone().build_simulation(oracle, tape, s, q, &blocks),
         };
         match sink {
             Some(sink) => sim.set_metrics(sink),
             None => sim.clear_metrics(),
         };
-        let result =
-            sim.run_until_output(max_rounds).expect("model violations are config bugs here");
-        let correct = result.completed() && result.sole_output() == Some(&expected);
+        match faults {
+            Some(plan) => sim.set_fault_plan(plan),
+            None => sim.clear_fault_plan(),
+        };
+        let measurement = match sim.run_until_output(max_rounds) {
+            Ok(result) => {
+                let correct = result.completed() && result.unanimous_output() == Some(&expected);
+                RoundMeasurement {
+                    rounds: result.rounds(),
+                    completed: result.completed(),
+                    correct,
+                    total_queries: result.stats.total_queries(),
+                    peak_memory_bits: result.stats.peak_memory_bits(),
+                    total_comm_bits: result.stats.total_bits(),
+                }
+            }
+            Err(violation) => {
+                assert!(faults.is_some(), "model violations are config bugs here: {violation}");
+                RoundMeasurement {
+                    rounds: sim.round(),
+                    completed: false,
+                    correct: false,
+                    total_queries: sim.stats().total_queries(),
+                    peak_memory_bits: sim.stats().peak_memory_bits(),
+                    total_comm_bits: sim.stats().total_bits(),
+                }
+            }
+        };
         self.sim = Some(sim);
-        RoundMeasurement {
-            rounds: result.rounds(),
-            completed: result.completed(),
-            correct,
-            total_queries: result.stats.total_queries(),
-            peak_memory_bits: result.stats.peak_memory_bits(),
-            total_comm_bits: result.stats.total_bits(),
-        }
+        measurement
     }
 }
 
@@ -185,8 +333,8 @@ impl TrialRunner {
 /// back in seed order — element `t` equals
 /// `measure_rounds(pipeline, base_seed + t, ..)` exactly, independent of
 /// thread count.
-pub fn measure_rounds_batch(
-    pipeline: &Arc<Pipeline>,
+pub fn measure_rounds_batch<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     s_bits: Option<usize>,
@@ -199,8 +347,8 @@ pub fn measure_rounds_batch(
 /// [`measure_rounds_batch`] with a shared telemetry sink attached to
 /// every trial (a [`Recorder`]'s fold is order-independent, so the
 /// aggregate is deterministic regardless of trial interleaving).
-pub fn measure_rounds_batch_with(
-    pipeline: &Arc<Pipeline>,
+pub fn measure_rounds_batch_with<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     s_bits: Option<usize>,
@@ -216,8 +364,8 @@ pub fn measure_rounds_batch_with(
 /// chunks long enough for simulation reuse to pay off.
 const BATCH_CHUNKS_PER_THREAD: usize = 4;
 
-fn measure_rounds_batch_inner(
-    pipeline: &Arc<Pipeline>,
+fn measure_rounds_batch_inner<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     s_bits: Option<usize>,
@@ -242,8 +390,8 @@ fn measure_rounds_batch_inner(
 }
 
 /// Mean rounds over `trials` independent `(RO, X)` draws, in parallel.
-pub fn mean_rounds(
-    pipeline: &Arc<Pipeline>,
+pub fn mean_rounds<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     max_rounds: usize,
@@ -254,8 +402,8 @@ pub fn mean_rounds(
 /// [`mean_rounds`] with a shared telemetry sink: all trials record into
 /// `sink` concurrently (a [`Recorder`]'s fold is order-independent, so
 /// the aggregate is the same regardless of trial interleaving).
-pub fn mean_rounds_with(
-    pipeline: &Arc<Pipeline>,
+pub fn mean_rounds_with<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     max_rounds: usize,
@@ -264,8 +412,8 @@ pub fn mean_rounds_with(
     mean_rounds_inner(pipeline, trials, base_seed, max_rounds, Some(sink))
 }
 
-fn mean_rounds_inner(
-    pipeline: &Arc<Pipeline>,
+fn mean_rounds_inner<P: MeasurablePipeline + ?Sized>(
+    pipeline: &Arc<P>,
     trials: usize,
     base_seed: u64,
     max_rounds: usize,

@@ -12,28 +12,44 @@
 //! simulation via [`theorem::TrialRunner`], and results are reassembled
 //! in cell-then-seed order.
 //!
+//! The engine degrades instead of dying. Each chunk runs inside
+//! `catch_unwind`, so a panicking cell (a misconfigured memory bound, an
+//! incorrect fault-free trial) is marked [`CellStatus::Failed`] with its
+//! panic message while every other cell completes normally. Cells may
+//! also opt into fault injection ([`Cell::faults`]): their trials run
+//! under a deterministic [`FaultPlan`], failed trials are retried up to
+//! [`Cell::retries`] times with a deterministically reseeded schedule
+//! (see [`mph_mpc::faults::derive_seed`]), and the injected faults are
+//! tallied in the cell's telemetry snapshot. A report built from a sweep
+//! should carry [`degraded`] as its health flag.
+//!
 //! Determinism: trial `t` of cell `c` is a pure function of
-//! `(pipeline_c, base_seed_c + t)`, chunks are reassembled in input
-//! order, and each cell's [`Recorder`] fold is order-independent — so
-//! the completed [`CellResult`]s (and any report built from them) are
-//! byte-identical regardless of `RAYON_NUM_THREADS` or scheduling. The
-//! cross-crate test `sweep_determinism` pins this down by diffing whole
-//! report files across thread counts.
+//! `(pipeline_c, base_seed_c + t)` (plus `(fault_seed_c, attempt)` for
+//! faulty cells), chunks are reassembled in input order, and each cell's
+//! [`Recorder`] fold is order-independent — so the completed
+//! [`CellResult`]s (and any report built from them) are byte-identical
+//! regardless of `RAYON_NUM_THREADS` or scheduling. The cross-crate test
+//! `sweep_determinism` pins this down by diffing whole report files
+//! across thread counts.
 
-use mph_core::algorithms::pipeline::Pipeline;
-use mph_core::theorem::{self, RoundMeasurement, TrialRunner};
+use mph_core::theorem::{self, MeasurablePipeline, RoundMeasurement, TrialRunner};
 use mph_metrics::{MetricsSink, MetricsSnapshot, Recorder};
+use mph_mpc::faults::derive_seed;
+use mph_mpc::{FaultPlan, FaultSpec};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// One parameter point of a sweep: a pipeline plus its trial plan.
 pub struct Cell {
     /// Display label for tables and telemetry keys (e.g. `"window=16"`).
     pub label: String,
-    /// The configuration to run.
-    pub pipeline: Arc<Pipeline>,
+    /// The configuration to run — any [`MeasurablePipeline`] (the plain
+    /// pipeline or the replicated, fault-tolerant one).
+    pub pipeline: Arc<dyn MeasurablePipeline>,
     /// Per-machine memory override; `None` uses the pipeline's
-    /// [`Pipeline::required_s`].
+    /// required memory.
     pub s_bits: Option<usize>,
     /// Per-round query budget; `None` leaves it unenforced.
     pub q: Option<u64>,
@@ -45,14 +61,25 @@ pub struct Cell {
     pub max_rounds: usize,
     /// Record a tagged [`MetricsSnapshot`] for this cell.
     pub telemetry: bool,
+    /// Fault rates injected into every trial; `None` runs fault-free
+    /// (and then an incorrect trial fails the cell — see
+    /// [`CellStatus`]).
+    pub faults: Option<FaultSpec>,
+    /// Base seed of the fault schedules; trial `t`, attempt `a` uses
+    /// `derive_seed(fault_seed, base_seed + t, a)`.
+    pub fault_seed: u64,
+    /// Extra attempts per faulty trial that fails: each retry reruns the
+    /// same `(RO, X)` instance under a reseeded fault schedule. Only
+    /// consulted when [`Cell::faults`] is set.
+    pub retries: usize,
 }
 
 impl Cell {
-    /// A telemetry-recording cell with default memory and no query
-    /// budget — the configuration every envelope experiment uses.
-    pub fn new(
+    /// A telemetry-recording, fault-free cell with default memory and no
+    /// query budget — the configuration every envelope experiment uses.
+    pub fn new<P: MeasurablePipeline + 'static>(
         label: impl Into<String>,
-        pipeline: Arc<Pipeline>,
+        pipeline: Arc<P>,
         trials: usize,
         base_seed: u64,
         max_rounds: usize,
@@ -66,7 +93,43 @@ impl Cell {
             base_seed,
             max_rounds,
             telemetry: true,
+            faults: None,
+            fault_seed: 0,
+            retries: 0,
         }
+    }
+
+    /// Injects faults into this cell's trials: every trial runs under a
+    /// deterministic schedule at `spec`'s rates, and a failed trial is
+    /// retried up to `retries` times with a reseeded schedule.
+    pub fn with_faults(mut self, spec: FaultSpec, fault_seed: u64, retries: usize) -> Self {
+        self.faults = Some(spec);
+        self.fault_seed = fault_seed;
+        self.retries = retries;
+        self
+    }
+}
+
+/// Health of a completed cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Every trial ran to a measurement. (Under injected faults,
+    /// individual trials may still be incorrect — that is the
+    /// experiment's data, visible in [`CellResult::measurements`].)
+    Ok,
+    /// The cell could not be measured: a worker panicked mid-chunk, or a
+    /// fault-free trial produced an incorrect output. Other cells of the
+    /// sweep are unaffected.
+    Failed {
+        /// The panic message or correctness-failure description.
+        reason: String,
+    },
+}
+
+impl CellStatus {
+    /// Whether this is [`CellStatus::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellStatus::Failed { .. })
     }
 }
 
@@ -75,14 +138,40 @@ impl Cell {
 pub struct CellResult {
     /// The cell's label, copied through.
     pub label: String,
-    /// Trial `t`'s measurement — identical to
-    /// `measure_rounds(pipeline, base_seed + t, ..)`.
+    /// Whether the cell's trials all ran (see [`CellStatus`]).
+    pub status: CellStatus,
+    /// Trial `t`'s measurement — for fault-free cells identical to
+    /// `measure_rounds(pipeline, base_seed + t, ..)`. A failed cell
+    /// keeps the measurements of the chunks that survived.
     pub measurements: Vec<RoundMeasurement>,
-    /// Mean rounds across the trials.
+    /// Mean rounds across the correct trials (`0.0` when none were).
     pub mean_rounds: f64,
+    /// Total retry attempts spent on this cell's faulty trials.
+    pub retries_used: usize,
     /// The cell's aggregated telemetry (when requested), tagged via
     /// [`theorem::run_tags`] with the resolved `s` and `q`.
     pub snapshot: Option<MetricsSnapshot>,
+}
+
+impl CellResult {
+    /// Injected-fault tallies folded from the cell's telemetry: fault
+    /// kind (`"crash"`, `"message_dropped"`, …) → occurrences across all
+    /// trials (including retried attempts). Empty without telemetry or
+    /// when nothing fired.
+    pub fn fault_tallies(&self) -> BTreeMap<String, u64> {
+        self.snapshot.as_ref().map(|s| s.faults.clone()).unwrap_or_default()
+    }
+
+    /// Trials whose final attempt completed with the correct output.
+    pub fn correct_trials(&self) -> usize {
+        self.measurements.iter().filter(|m| m.correct).count()
+    }
+}
+
+/// Whether any cell of a completed sweep failed — the `degraded` flag a
+/// report built from these results should carry.
+pub fn degraded(results: &[CellResult]) -> bool {
+    results.iter().any(|r| r.status.is_failed())
 }
 
 /// How many trial chunks to aim for per cell. Oversplitting lets the
@@ -91,9 +180,10 @@ pub struct CellResult {
 const CHUNKS_PER_CELL: usize = 4;
 
 /// Runs every cell of a sweep through one pool pass and returns the
-/// results in cell order. Panics if any trial produces an incorrect
-/// output — these are honest-algorithm measurements, where a wrong
-/// answer is a configuration bug, not a data point.
+/// results in cell order. A cell whose worker panics — or whose
+/// fault-free trial produces an incorrect output — comes back
+/// [`CellStatus::Failed`] with the reason; the remaining cells complete
+/// normally. Check [`degraded`] before trusting a sweep's aggregate.
 pub fn run_sweep(cells: Vec<Cell>) -> Vec<CellResult> {
     let recorders: Vec<Option<Arc<Recorder>>> = cells
         .iter()
@@ -120,49 +210,134 @@ pub fn run_sweep(cells: Vec<Cell>) -> Vec<CellResult> {
             t += len;
         }
     }
-    let measured: Vec<Vec<RoundMeasurement>> = units
+    type ChunkOutcome = Result<(Vec<RoundMeasurement>, usize), String>;
+    let measured: Vec<ChunkOutcome> = units
         .par_iter()
         .map(|&(ci, seed0, len)| {
             let cell = &cells[ci];
             let sink: Option<Arc<dyn MetricsSink>> =
                 recorders[ci].clone().map(|r| r as Arc<dyn MetricsSink>);
-            let mut runner = TrialRunner::new();
-            (0..len as u64)
-                .map(|t| {
-                    runner.measure(
-                        &cell.pipeline,
-                        seed0.wrapping_add(t),
-                        cell.s_bits,
-                        cell.q,
-                        cell.max_rounds,
-                        sink.clone(),
-                    )
-                })
-                .collect()
+            // The unwind boundary sits inside the pool closure: a panic
+            // poisons only this chunk's cell, not the whole sweep (the
+            // pool rethrows worker panics on the submitting thread).
+            catch_unwind(AssertUnwindSafe(|| run_chunk(cell, seed0, len, sink)))
+                .map_err(|payload| panic_reason(payload.as_ref()))
         })
         .collect();
 
     let mut per_cell: Vec<Vec<RoundMeasurement>> =
         cells.iter().map(|cell| Vec::with_capacity(cell.trials)).collect();
-    for (&(ci, _, _), chunk) in units.iter().zip(measured) {
-        per_cell[ci].extend(chunk);
+    let mut failures: Vec<Option<String>> = cells.iter().map(|_| None).collect();
+    let mut retries_used: Vec<usize> = vec![0; cells.len()];
+    for (&(ci, _, _), outcome) in units.iter().zip(measured) {
+        match outcome {
+            Ok((chunk, retries)) => {
+                per_cell[ci].extend(chunk);
+                retries_used[ci] += retries;
+            }
+            Err(reason) => {
+                failures[ci].get_or_insert(reason);
+            }
+        }
     }
     cells
         .into_iter()
         .zip(per_cell)
+        .zip(failures)
+        .zip(retries_used)
         .zip(recorders)
-        .map(|((cell, measurements), recorder)| {
-            for (t, m) in measurements.iter().enumerate() {
-                assert!(m.correct, "cell {:?}, trial {t}: incorrect output", cell.label);
-            }
+        .map(|((((cell, measurements), failure), retries_used), recorder)| {
+            let status = cell_status(&cell, &measurements, failure);
+            let correct: Vec<RoundMeasurement> =
+                measurements.iter().filter(|m| m.correct).cloned().collect();
             CellResult {
                 label: cell.label,
-                mean_rounds: theorem::mean_of(&measurements),
+                status,
+                mean_rounds: if correct.is_empty() { 0.0 } else { theorem::mean_of(&correct) },
                 measurements,
+                retries_used,
                 snapshot: recorder.map(|r| r.snapshot()),
             }
         })
         .collect()
+}
+
+/// One contiguous seed chunk of a cell: `len` trials from `seed0`,
+/// sharing a [`TrialRunner`]. Returns the measurements plus the retry
+/// attempts spent.
+fn run_chunk(
+    cell: &Cell,
+    seed0: u64,
+    len: usize,
+    sink: Option<Arc<dyn MetricsSink>>,
+) -> (Vec<RoundMeasurement>, usize) {
+    let mut runner = TrialRunner::new();
+    let mut retries = 0usize;
+    let measurements = (0..len as u64)
+        .map(|t| {
+            let seed = seed0.wrapping_add(t);
+            let Some(spec) = cell.faults else {
+                return runner.measure(
+                    &cell.pipeline,
+                    seed,
+                    cell.s_bits,
+                    cell.q,
+                    cell.max_rounds,
+                    sink.clone(),
+                );
+            };
+            let mut attempt = 0u64;
+            loop {
+                let plan = FaultPlan::new(derive_seed(cell.fault_seed, seed, attempt), spec);
+                let m = runner.measure_with_faults(
+                    &cell.pipeline,
+                    seed,
+                    cell.s_bits,
+                    cell.q,
+                    cell.max_rounds,
+                    sink.clone(),
+                    Some(plan),
+                );
+                if m.correct || attempt >= cell.retries as u64 {
+                    return m;
+                }
+                attempt += 1;
+                retries += 1;
+            }
+        })
+        .collect();
+    (measurements, retries)
+}
+
+fn cell_status(
+    cell: &Cell,
+    measurements: &[RoundMeasurement],
+    failure: Option<String>,
+) -> CellStatus {
+    if let Some(reason) = failure {
+        return CellStatus::Failed { reason };
+    }
+    if cell.faults.is_none() {
+        // Fault-free trials are honest-algorithm measurements: a wrong
+        // answer is a configuration bug, and the cell says so instead of
+        // poisoning the whole sweep.
+        if let Some(t) = measurements.iter().position(|m| !m.correct) {
+            return CellStatus::Failed { reason: format!("trial {t}: incorrect output") };
+        }
+    }
+    CellStatus::Ok
+}
+
+/// Renders a caught panic payload (`&str` or `String`, the two shapes
+/// `panic!` produces) into the failure reason.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
+    }
 }
 
 /// Maps `f` over grid items on the worker pool, preserving input order —
@@ -180,8 +355,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mph_core::algorithms::pipeline::Target;
-    use mph_core::algorithms::BlockAssignment;
+    use mph_core::algorithms::pipeline::{Pipeline, Target};
+    use mph_core::algorithms::{BlockAssignment, ReplicatedPipeline};
     use mph_core::LineParams;
 
     fn cell(label: &str, target: Target, trials: usize, seed: u64) -> Cell {
@@ -201,7 +376,9 @@ mod tests {
         let expected = theorem::measure_rounds_batch(&line.pipeline, 5, 100, None, None, 10_000);
         assert_eq!(results[0].measurements, expected);
         assert_eq!(results[0].mean_rounds, theorem::mean_of(&expected));
+        assert_eq!(results[0].status, CellStatus::Ok);
         assert_eq!(results[1].measurements.len(), 3);
+        assert!(!degraded(&results));
     }
 
     #[test]
@@ -223,6 +400,95 @@ mod tests {
         c.telemetry = false;
         let results = run_sweep(vec![c]);
         assert!(results[0].snapshot.is_none());
+    }
+
+    #[test]
+    fn panicking_cell_fails_alone() {
+        // s_bits = 1 can't hold the input delivery: the fault-free
+        // TrialRunner treats the resulting ModelViolation as a harness
+        // bug and panics. The sweep must contain that panic to the cell.
+        let mut poisoned = cell("poisoned", Target::Line, 3, 10);
+        poisoned.s_bits = Some(1);
+        let results = run_sweep(vec![
+            cell("before", Target::Line, 3, 100),
+            poisoned,
+            cell("after", Target::SimLine, 3, 200),
+        ]);
+        assert_eq!(results[0].status, CellStatus::Ok);
+        assert_eq!(results[2].status, CellStatus::Ok);
+        assert_eq!(results[0].measurements.len(), 3);
+        assert_eq!(results[2].measurements.len(), 3);
+        let CellStatus::Failed { reason } = &results[1].status else {
+            panic!("poisoned cell should fail");
+        };
+        assert!(reason.contains("model violations"), "unexpected reason: {reason}");
+        assert!(degraded(&results));
+    }
+
+    #[test]
+    fn faulty_cells_tally_faults_without_failing() {
+        let spec = FaultSpec { drop_rate: 0.05, ..FaultSpec::default() };
+        let results =
+            run_sweep(vec![cell("faulty", Target::SimLine, 4, 50).with_faults(spec, 7, 0)]);
+        assert_eq!(results[0].status, CellStatus::Ok, "faulty trials are data, not bugs");
+        let tallies = results[0].fault_tallies();
+        assert!(tallies.contains_key("message_dropped"), "tallies: {tallies:?}");
+        assert!(!degraded(&results));
+    }
+
+    #[test]
+    fn retries_recover_transient_fault_cells() {
+        // Crash rate high enough that most schedules kill the 4-machine
+        // plain pipeline, low enough that some reseeded schedule leaves
+        // it alone: with a retry budget the cell ends up with more
+        // correct trials than without one.
+        let spec = FaultSpec { crash_rate: 0.02, ..FaultSpec::default() };
+        let without = run_sweep(vec![cell("r0", Target::SimLine, 6, 50).with_faults(spec, 3, 0)]);
+        let with = run_sweep(vec![cell("r8", Target::SimLine, 6, 50).with_faults(spec, 3, 8)]);
+        assert!(with[0].retries_used > 0, "retries should have been needed");
+        assert!(
+            with[0].correct_trials() >= without[0].correct_trials(),
+            "retries can only help: {} vs {}",
+            with[0].correct_trials(),
+            without[0].correct_trials()
+        );
+        assert!(with[0].correct_trials() > 0, "some reseeded schedule should succeed");
+    }
+
+    #[test]
+    fn sweeps_accept_replicated_pipelines() {
+        let params = LineParams::new(64, 48, 16, 8);
+        let replicated = ReplicatedPipeline::new(params, 4, 3, 2, Target::SimLine);
+        let results = run_sweep(vec![Cell::new("rho=2", replicated, 3, 100, 10_000)]);
+        assert_eq!(results[0].status, CellStatus::Ok);
+        assert_eq!(results[0].correct_trials(), 3);
+        assert!(results[0].mean_rounds > 0.0);
+    }
+
+    #[test]
+    fn faulty_sweeps_are_deterministic() {
+        let spec = FaultSpec {
+            drop_rate: 0.02,
+            crash_rate: 0.005,
+            straggler_rate: 0.02,
+            ..FaultSpec::default()
+        };
+        let run = || {
+            run_sweep(vec![
+                cell("a", Target::SimLine, 5, 40).with_faults(spec, 11, 2),
+                cell("b", Target::Line, 4, 70).with_faults(spec, 13, 1),
+            ])
+        };
+        let (first, second) = (run(), run());
+        for (x, y) in first.iter().zip(&second) {
+            assert_eq!(x.measurements, y.measurements);
+            assert_eq!(x.retries_used, y.retries_used);
+            assert_eq!(x.fault_tallies(), y.fault_tallies());
+            assert_eq!(
+                x.snapshot.as_ref().map(|s| s.to_json_string()),
+                y.snapshot.as_ref().map(|s| s.to_json_string())
+            );
+        }
     }
 
     #[test]

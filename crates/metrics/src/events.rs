@@ -93,6 +93,20 @@ pub enum Event {
         /// Stable short name of the violated bound.
         kind: &'static str,
     },
+    /// One fault injected by an active `mph_mpc::faults::FaultPlan`
+    /// (crash, dropped message, corrupted message, straggler delay,
+    /// oracle outage). Emitted at the moment the fault takes effect, so
+    /// every injected fault is observable in reports.
+    Fault {
+        /// Stable short name of the fault kind (see
+        /// `mph_mpc::faults::FaultKind::name`).
+        kind: &'static str,
+        /// The machine the fault acted on (the sender, for message
+        /// faults).
+        machine: u64,
+        /// The round in which the fault took effect.
+        round: u64,
+    },
 }
 
 impl Event {
@@ -106,6 +120,7 @@ impl Event {
             Event::MemoryHighWater { .. } => "memory_high_water",
             Event::RamStep { .. } => "ram_step",
             Event::ModelViolation { .. } => "model_violation",
+            Event::Fault { .. } => "fault",
         }
     }
 
@@ -156,6 +171,11 @@ impl Event {
             }
             Event::ModelViolation { kind } => {
                 pairs.push(("kind".into(), Json::str(kind)));
+            }
+            Event::Fault { kind, machine, round } => {
+                pairs.push(("kind".into(), Json::str(kind)));
+                pairs.push(("machine".into(), Json::u64(machine)));
+                pairs.push(("round".into(), Json::u64(round)));
             }
         }
         Json::Object(pairs)

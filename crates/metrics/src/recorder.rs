@@ -57,6 +57,7 @@ struct Shard {
     ram_steps: u64,
     ram_cost: u64,
     violations: BTreeMap<&'static str, u64>,
+    faults: BTreeMap<&'static str, u64>,
 }
 
 impl Shard {
@@ -99,6 +100,9 @@ impl Shard {
             }
             Event::ModelViolation { kind } => {
                 *self.violations.entry(kind).or_insert(0) += 1;
+            }
+            Event::Fault { kind, .. } => {
+                *self.faults.entry(kind).or_insert(0) += 1;
             }
         }
     }
@@ -180,6 +184,9 @@ impl Recorder {
             for (kind, count) in &s.violations {
                 *merged.violations.entry(kind).or_insert(0) += count;
             }
+            for (kind, count) in &s.faults {
+                *merged.faults.entry(kind).or_insert(0) += count;
+            }
         }
 
         let rounds: Vec<RoundSnapshot> = merged
@@ -228,6 +235,7 @@ impl Recorder {
             },
             ram: RamTotals { steps: merged.ram_steps, cost: merged.ram_cost },
             violations: merged.violations.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            faults: merged.faults.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
     }
 }

@@ -98,12 +98,21 @@ pub struct MetricsSnapshot {
     pub ram: RamTotals,
     /// Model violation counts by kind, sorted by kind.
     pub violations: BTreeMap<String, u64>,
+    /// Injected-fault counts by kind, sorted by kind. Populated only by
+    /// runs with an active `mph_mpc::faults::FaultPlan`; empty for every
+    /// fault-free run.
+    pub faults: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
     /// Renders the snapshot as a JSON document.
+    ///
+    /// The `faults` object is included only when at least one fault was
+    /// recorded: fault-free runs (the only kind that existed before the
+    /// fault-injection subsystem) keep rendering byte-identically under
+    /// schema version 1.
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut doc = Json::object([
             ("schema_version", Json::u64(u64::from(self.schema_version))),
             (
                 "tags",
@@ -160,7 +169,18 @@ impl MetricsSnapshot {
                     self.violations.iter().map(|(k, v)| (k.clone(), Json::u64(*v))).collect(),
                 ),
             ),
-        ])
+        ]);
+        if !self.faults.is_empty() {
+            if let Json::Object(pairs) = &mut doc {
+                pairs.push((
+                    "faults".into(),
+                    Json::Object(
+                        self.faults.iter().map(|(k, v)| (k.clone(), Json::u64(*v))).collect(),
+                    ),
+                ));
+            }
+        }
+        doc
     }
 
     /// Renders the snapshot as a JSON string (one line, no trailing
@@ -184,9 +204,29 @@ mod tests {
             oracle: OracleTotals::default(),
             ram: RamTotals::default(),
             violations: BTreeMap::new(),
+            faults: BTreeMap::new(),
         };
         let s = snap.to_json_string();
         assert!(s.starts_with(r#"{"schema_version":1,"tags":{},"rounds":[],"#), "{s}");
         assert!(s.ends_with(r#""violations":{}}"#), "{s}");
+    }
+
+    #[test]
+    fn faults_render_only_when_present() {
+        let mut snap = MetricsSnapshot {
+            schema_version: crate::SCHEMA_VERSION,
+            tags: BTreeMap::new(),
+            rounds: Vec::new(),
+            totals: Totals::default(),
+            oracle: OracleTotals::default(),
+            ram: RamTotals::default(),
+            violations: BTreeMap::new(),
+            faults: BTreeMap::new(),
+        };
+        assert!(!snap.to_json_string().contains("faults"));
+        snap.faults.insert("crash".into(), 2);
+        snap.faults.insert("message_dropped".into(), 1);
+        let s = snap.to_json_string();
+        assert!(s.ends_with(r#""faults":{"crash":2,"message_dropped":1}}"#), "{s}");
     }
 }

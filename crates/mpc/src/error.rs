@@ -63,8 +63,10 @@ pub enum ModelViolation {
         /// The number of machines `m`.
         m: usize,
     },
-    /// An algorithm reported failure for its own reasons (e.g. a protocol
-    /// invariant it relies on was broken by a test's fault injection).
+    /// An algorithm reported failure for its own reasons — typically a
+    /// protocol invariant broken by injected faults from [`crate::faults`],
+    /// such as a checksum-guarded message failing verification after
+    /// in-transit corruption.
     AlgorithmError {
         /// The reporting machine.
         machine: MachineId,

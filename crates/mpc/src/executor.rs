@@ -8,6 +8,7 @@
 //! machine order, so runs are deterministic.
 
 use crate::error::ModelViolation;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::machine::{MachineLogic, Outbox, RoundCtx};
 use crate::message::{total_bits, MachineId, Message};
 use crate::stats::{RoundStats, SimStats};
@@ -56,13 +57,44 @@ impl RunResult {
         matches!(self.outcome, RunOutcome::Completed { .. })
     }
 
-    /// The single output of a run expected to produce exactly one.
+    /// The single output of a run that produced *exactly one* output
+    /// contribution.
+    ///
+    /// Returns `None` both when no machine emitted and when several did;
+    /// use [`RunResult::output_count`] to tell the cases apart, or
+    /// [`RunResult::unanimous_output`] when several machines are expected
+    /// to emit the same answer (e.g. replicated protocols).
     pub fn sole_output(&self) -> Option<&BitVec> {
         match self.outputs.as_slice() {
             [(_, bits)] => Some(bits),
             _ => None,
         }
     }
+
+    /// How many output contributions the run produced.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The common payload when the run produced at least one output and
+    /// every contribution agrees bit-for-bit — the natural notion of "the
+    /// output" for replicated protocols, where each surviving replica
+    /// emits its own copy of the answer (Definition 2.4 takes the union of
+    /// machine outputs, and a union of identical strings is one string).
+    pub fn unanimous_output(&self) -> Option<&BitVec> {
+        let ((_, first), rest) = self.outputs.split_first()?;
+        rest.iter().all(|(_, bits)| bits == first).then_some(first)
+    }
+}
+
+/// Mutable per-run fault bookkeeping paired with an installed
+/// [`FaultPlan`].
+struct FaultState {
+    plan: FaultPlan,
+    /// Which machines have crash-stopped so far.
+    crashed: Vec<bool>,
+    /// Straggler-delayed messages as `(deliver_round, message)`.
+    delayed: Vec<(usize, Message)>,
 }
 
 /// A configured MPC computation ready to run.
@@ -112,6 +144,7 @@ pub struct Simulation {
     stats: SimStats,
     outputs: Vec<(MachineId, BitVec)>,
     metrics: Option<Arc<dyn MetricsSink>>,
+    faults: Option<FaultState>,
 }
 
 /// A no-op machine used as the default program.
@@ -145,6 +178,7 @@ impl Simulation {
             stats: SimStats::default(),
             outputs: Vec::new(),
             metrics: None,
+            faults: None,
         }
     }
 
@@ -167,6 +201,10 @@ impl Simulation {
         self.outputs.clear();
         self.stats = SimStats::default();
         self.round = 0;
+        if let Some(fs) = &mut self.faults {
+            fs.crashed.iter_mut().for_each(|c| *c = false);
+            fs.delayed.clear();
+        }
         self
     }
 
@@ -209,6 +247,37 @@ impl Simulation {
     fn observe(&self, violation: ModelViolation) -> ModelViolation {
         emit(&self.metrics, || Event::ModelViolation { kind: violation.kind() });
         violation
+    }
+
+    /// Records one injected fault into the attached sink (if any).
+    fn observe_fault(&self, kind: FaultKind, machine: MachineId, round: usize) {
+        emit(&self.metrics, || Event::Fault {
+            kind: kind.name(),
+            machine: machine as u64,
+            round: round as u64,
+        });
+    }
+
+    /// Installs a fault plan; subsequent rounds apply its faults between
+    /// compute and delivery (see [`crate::faults`] for the model and its
+    /// determinism contract). Replaces any previous plan and clears its
+    /// accumulated fault state. An inert plan ([`FaultPlan::is_inert`])
+    /// changes nothing: the run is bit-for-bit identical to one with no
+    /// plan attached.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = Some(FaultState { plan, crashed: vec![false; self.m], delayed: Vec::new() });
+        self
+    }
+
+    /// Removes the fault plan and all accumulated fault state.
+    pub fn clear_fault_plan(&mut self) -> &mut Self {
+        self.faults = None;
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|fs| &fs.plan)
     }
 
     /// Installs one shared program on every machine (symmetric algorithms
@@ -270,8 +339,64 @@ impl Simulation {
     /// Executes one round; returns the outputs emitted in it — a view into
     /// the accumulated [`Simulation::outputs`], so round outputs are moved
     /// there once, never cloned.
+    ///
+    /// With a non-inert [`FaultPlan`] installed
+    /// ([`Simulation::set_fault_plan`]), faults are applied inside the
+    /// round: crashes and due straggler deliveries at round start, oracle
+    /// outages during compute, and drop/corrupt/straggle per message
+    /// between compute and delivery. Every injected fault emits an
+    /// [`Event::Fault`] into the attached metrics sink.
     pub fn step(&mut self) -> Result<&[(MachineId, BitVec)], ModelViolation> {
+        // Detach the fault state so its bookkeeping and the `observe*`
+        // helpers (which borrow `self`) can proceed side by side. An inert
+        // plan is treated as absent: the fault-free hot path is untouched.
+        let mut faults = self.faults.take();
+        let active = faults.as_mut().filter(|fs| !fs.plan.is_inert());
+        let result = self.step_inner(active);
+        self.faults = faults;
+        let outputs_before = result?;
+        Ok(&self.outputs[outputs_before..])
+    }
+
+    /// The body of [`Simulation::step`]; returns the pre-round output
+    /// count so `step` can slice the newly emitted outputs.
+    fn step_inner(&mut self, mut faults: Option<&mut FaultState>) -> Result<usize, ModelViolation> {
         emit(&self.metrics, || Event::RoundStart { round: self.round as u64 });
+
+        // 0. Round-start faults: inject straggler messages that come due
+        //    this round, then decide crash-stops (a crashed machine loses
+        //    its memory and computes nothing from here on).
+        let mut messages = 0;
+        let mut bits_sent = 0;
+        if let Some(fs) = faults.as_deref_mut() {
+            let round = self.round;
+            let mut i = 0;
+            while i < fs.delayed.len() {
+                if fs.delayed[i].0 > round {
+                    i += 1;
+                    continue;
+                }
+                let (_, msg) = fs.delayed.swap_remove(i);
+                if fs.crashed[msg.to] {
+                    // Delivery to a crashed machine vanishes.
+                    continue;
+                }
+                let bits = msg.bits();
+                messages += 1;
+                bits_sent += bits;
+                emit(&self.metrics, || Event::MessageRouted { bits: bits as u64 });
+                self.inboxes[msg.to].push(msg);
+            }
+            for machine in 0..self.m {
+                if !fs.crashed[machine] && fs.plan.crashes_at(machine, round) {
+                    fs.crashed[machine] = true;
+                    self.observe_fault(FaultKind::Crash, machine, round);
+                }
+                if fs.crashed[machine] {
+                    self.inboxes[machine].clear();
+                }
+            }
+        }
 
         // 1. Delivery-time memory check (the paper bounds what a machine
         //    may *receive*).
@@ -299,23 +424,58 @@ impl Simulation {
             }
         }
 
-        // 2. Run all machines of the round in parallel.
+        // 2. Run all machines of the round in parallel. Fault decisions
+        //    made inside the parallel region are pure functions of
+        //    (seed, machine, round), so they are identical under any
+        //    thread count or schedule.
         let round = self.round;
         let oracle = &*self.oracle;
         let tape = &self.tape;
         let q = self.q;
         let m = self.m;
+        let fault_view: Option<(&[bool], FaultPlan)> =
+            faults.as_deref().map(|fs| (fs.crashed.as_slice(), fs.plan));
         let results: Vec<Result<(Outbox, u64), ModelViolation>> = self
             .machines
             .par_iter()
             .zip(self.inboxes.par_iter())
             .enumerate()
             .map(|(id, (logic, inbox))| {
+                if let Some((crashed, plan)) = fault_view {
+                    if crashed[id] {
+                        return Ok((Outbox::new(), 0));
+                    }
+                    if !inbox.is_empty() && plan.oracle_unavailable(id, round) {
+                        // Oracle outage voids the round for this machine:
+                        // it carries its memory image forward unchanged
+                        // via self-messages and retries next round.
+                        let mut out = Outbox::new();
+                        for msg in inbox {
+                            out.push(id, msg.payload.clone());
+                        }
+                        return Ok((out, 0));
+                    }
+                }
                 let ctx = RoundCtx::new(id, round, m, oracle, tape, q);
                 let outbox = logic.round(&ctx, inbox)?;
                 Ok((outbox, ctx.queries_made()))
             })
             .collect();
+
+        // Outage events are emitted here, sequentially, by re-deciding the
+        // same pure predicate — sinks see a deterministic event order.
+        if let Some(fs) = faults.as_deref() {
+            if fs.plan.spec().oracle_outage_rate > 0.0 {
+                for id in 0..self.m {
+                    if !fs.crashed[id]
+                        && !self.inboxes[id].is_empty()
+                        && fs.plan.oracle_unavailable(id, round)
+                    {
+                        self.observe_fault(FaultKind::OracleUnavailable, id, round);
+                    }
+                }
+            }
+        }
 
         let mut boxes: Vec<(Outbox, u64)> = Vec::with_capacity(self.m);
         for result in results {
@@ -365,15 +525,44 @@ impl Simulation {
             inbox.reserve(count);
         }
         let outputs_before = self.outputs.len();
-        let mut messages = 0;
-        let mut bits_sent = 0;
         let mut oracle_queries = 0;
         let mut max_queries_one_machine = 0;
         for (id, (outbox, queries)) in boxes.into_iter().enumerate() {
             oracle_queries += queries;
             max_queries_one_machine = max_queries_one_machine.max(queries);
-            for mut msg in outbox.messages {
+            // Network faults strike between compute and delivery. A
+            // straggling machine delays *all* its cross-machine traffic
+            // for the round; drop/corrupt decisions are per message.
+            let straggling = faults.as_deref().is_some_and(|fs| fs.plan.straggles(id, self.round));
+            for (idx, mut msg) in outbox.messages.into_iter().enumerate() {
                 msg.from = id;
+                if let Some(fs) = faults.as_deref_mut() {
+                    if fs.crashed[msg.to] {
+                        // The recipient's memory no longer exists.
+                        continue;
+                    }
+                    // Self-messages model local memory persistence, not
+                    // network traffic — network faults never touch them.
+                    if msg.to != id {
+                        if fs.plan.drops_message(self.round, id, idx) {
+                            self.observe_fault(FaultKind::MessageDropped, id, self.round);
+                            continue;
+                        }
+                        if straggling {
+                            self.observe_fault(FaultKind::StragglerDelay, id, self.round);
+                            let deliver = self.round + 1 + fs.plan.straggler_delay();
+                            fs.delayed.push((deliver, msg));
+                            continue;
+                        }
+                        if !msg.payload.is_empty() && fs.plan.corrupts_message(self.round, id, idx)
+                        {
+                            let bit =
+                                fs.plan.corruption_bit(self.round, id, idx, msg.payload.len());
+                            msg.payload.set(bit, !msg.payload.get(bit));
+                            self.observe_fault(FaultKind::MessageCorrupted, id, self.round);
+                        }
+                    }
+                }
                 messages += 1;
                 bits_sent += msg.bits();
                 emit(&self.metrics, || Event::MessageRouted { bits: msg.bits() as u64 });
@@ -412,7 +601,7 @@ impl Simulation {
         self.scratch_inboxes = next;
         self.route_counts = counts;
         self.round += 1;
-        Ok(&self.outputs[outputs_before..])
+        Ok(outputs_before)
     }
 
     /// Runs until some machine emits an output or `max_rounds` is reached.
@@ -596,6 +785,51 @@ mod tests {
     }
 
     #[test]
+    fn send_at_s_plus_one_fails() {
+        // The exact boundary: 16 bits passed above; 17 must be rejected.
+        let mut s = sim(2, 16);
+        s.set_logic(
+            0,
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                Ok(Outbox::new().send(1, BitVec::zeros(11)).emit(BitVec::zeros(6)))
+            }),
+        );
+        s.seed_memory(0, BitVec::zeros(1));
+        let err = s.step().unwrap_err();
+        assert_eq!(
+            err,
+            ModelViolation::SendExceeded { machine: 0, round: 0, outgoing_bits: 17, s_bits: 16 }
+        );
+    }
+
+    #[test]
+    fn query_budget_resets_each_round() {
+        // Exactly q queries every round must stay legal indefinitely: the
+        // budget is per round (Definition 2.1), not per run.
+        let mut s = sim(1, 64);
+        s.set_query_budget(2);
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+            ctx.query(&BitVec::from_u64(ctx.round() as u64, 16))?;
+            ctx.query(&BitVec::from_u64(ctx.round() as u64 + 100, 16))?;
+            if ctx.round() == 4 {
+                return Ok(Outbox::new().emit(msg.payload.clone()));
+            }
+            Ok(Outbox::new().send(ctx.machine(), msg.payload.clone()))
+        }));
+        s.seed_memory(0, BitVec::zeros(4));
+        let result = s.run_until_output(10).unwrap();
+        assert!(result.completed());
+        assert_eq!(result.rounds(), 5);
+        for round in &result.stats.rounds {
+            assert_eq!(round.max_queries_one_machine, 2);
+        }
+    }
+
+    #[test]
     fn reused_simulation_reports_per_call_rounds() {
         // Two back-to-back runs on one simulation: the second outcome's
         // round count must agree with its own RunResult::rounds(), not the
@@ -771,5 +1005,197 @@ mod tests {
         let b = run();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn outputs_union_supports_unanimity() {
+        let same = |_: &RoundCtx<'_>, _: &[Message]| Ok(Outbox::new().emit(BitVec::ones(4)));
+        let mut s = sim(3, 64);
+        s.set_uniform_logic(Arc::new(same));
+        let result = s.run_until_output(1).unwrap();
+        assert_eq!(result.output_count(), 3);
+        assert!(result.sole_output().is_none(), "sole_output means exactly one");
+        assert_eq!(result.unanimous_output(), Some(&BitVec::ones(4)));
+
+        let distinct = |ctx: &RoundCtx<'_>, _: &[Message]| {
+            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 4)))
+        };
+        let mut s = sim(3, 64);
+        s.set_uniform_logic(Arc::new(distinct));
+        let result = s.run_until_output(1).unwrap();
+        assert_eq!(result.output_count(), 3);
+        assert!(result.unanimous_output().is_none(), "disagreeing outputs are not unanimous");
+
+        let empty = RunResult {
+            outcome: RunOutcome::RoundLimit { limit: 1 },
+            outputs: Vec::new(),
+            stats: SimStats::default(),
+        };
+        assert_eq!(empty.output_count(), 0);
+        assert!(empty.unanimous_output().is_none());
+    }
+
+    // ---- fault injection ----------------------------------------------
+
+    use crate::faults::{FaultPlan, FaultSpec};
+
+    fn relay_run(plan: Option<FaultPlan>, max_rounds: usize) -> RunResult {
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        if let Some(plan) = plan {
+            s.set_fault_plan(plan);
+        }
+        s.seed_memory(0, BitVec::zeros(2));
+        s.run_until_output(max_rounds).unwrap()
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_no_plan() {
+        let bare = relay_run(None, 100);
+        let inert = relay_run(Some(FaultPlan::new(12345, FaultSpec::default())), 100);
+        assert_eq!(bare.outputs, inert.outputs);
+        assert_eq!(bare.stats, inert.stats);
+    }
+
+    #[test]
+    fn crash_rate_one_halts_the_run() {
+        let spec = FaultSpec { crash_rate: 1.0, ..FaultSpec::default() };
+        let result = relay_run(Some(FaultPlan::new(0, spec)), 10);
+        assert!(!result.completed(), "every machine crashed at round 0");
+        assert_eq!(result.outputs.len(), 0);
+        assert_eq!(result.stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn crash_events_are_recorded() {
+        let rec = Arc::new(mph_metrics::Recorder::new());
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.set_metrics(rec.clone());
+        s.set_fault_plan(FaultPlan::new(0, FaultSpec { crash_rate: 1.0, ..FaultSpec::default() }));
+        s.seed_memory(0, BitVec::zeros(2));
+        s.run_until_output(5).unwrap();
+        let snap = rec.snapshot();
+        assert_eq!(snap.faults["crash"], 4, "all four machines crash at round 0");
+    }
+
+    #[test]
+    fn drop_rate_one_starves_the_relay() {
+        let spec = FaultSpec { drop_rate: 1.0, ..FaultSpec::default() };
+        let result = relay_run(Some(FaultPlan::new(7, spec)), 10);
+        assert!(!result.completed(), "the hop after round 0 was dropped");
+        // The seeded self-delivery survives (self-messages are exempt) but
+        // the single cross-machine hop of round 0 is gone.
+        assert_eq!(result.stats.total_messages(), 0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut s = sim(2, 64);
+        s.set_logic(
+            0,
+            Arc::new(|_: &RoundCtx<'_>, incoming: &[Message]| {
+                if incoming.is_empty() {
+                    return Ok(Outbox::new());
+                }
+                Ok(Outbox::new().send(1, BitVec::zeros(32)))
+            }),
+        );
+        s.set_logic(
+            1,
+            Arc::new(|_: &RoundCtx<'_>, incoming: &[Message]| {
+                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+                Ok(Outbox::new().emit(msg.payload.clone()))
+            }),
+        );
+        s.set_fault_plan(FaultPlan::new(
+            3,
+            FaultSpec { corrupt_rate: 1.0, ..FaultSpec::default() },
+        ));
+        s.seed_memory(0, BitVec::zeros(1));
+        let result = s.run_until_output(5).unwrap();
+        let out = result.sole_output().expect("delivery still happens, corrupted");
+        assert_eq!(out.len(), 32);
+        assert_eq!(out.count_ones(), 1, "exactly one bit flipped in the zero payload");
+    }
+
+    #[test]
+    fn straggler_adds_exactly_its_delay() {
+        let ping = |emit_on_receipt: bool| {
+            move |ctx: &RoundCtx<'_>, incoming: &[Message]| {
+                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+                if ctx.machine() == 1 && emit_on_receipt {
+                    return Ok(Outbox::new().emit(msg.payload.clone()));
+                }
+                Ok(Outbox::new().send(1, msg.payload.clone()))
+            }
+        };
+        let run = |plan: Option<FaultPlan>| {
+            let mut s = sim(2, 64);
+            s.set_uniform_logic(Arc::new(ping(true)));
+            if let Some(plan) = plan {
+                s.set_fault_plan(plan);
+            }
+            s.seed_memory(0, BitVec::zeros(8));
+            s.run_until_output(20).unwrap()
+        };
+        let baseline = run(None);
+        let spec = FaultSpec { straggler_rate: 1.0, straggler_delay: 3, ..FaultSpec::default() };
+        let delayed = run(Some(FaultPlan::new(0, spec)));
+        assert!(delayed.completed());
+        assert_eq!(
+            delayed.rounds(),
+            baseline.rounds() + 3,
+            "the one cross-machine hop arrives exactly `straggler_delay` rounds late"
+        );
+        assert_eq!(delayed.sole_output(), baseline.sole_output());
+    }
+
+    #[test]
+    fn oracle_outage_preserves_memory_image() {
+        let mut s = sim(1, 64);
+        s.set_uniform_logic(relay());
+        s.set_fault_plan(FaultPlan::new(
+            0,
+            FaultSpec { oracle_outage_rate: 1.0, ..FaultSpec::default() },
+        ));
+        s.seed_memory(0, BitVec::zeros(8));
+        let result = s.run_until_output(4).unwrap();
+        assert!(!result.completed(), "a permanent outage voids every round");
+        // The memory image rode the self-requeue through all 4 rounds.
+        assert_eq!(s.inbox(0).len(), 1);
+        assert_eq!(s.inbox(0)[0].payload, BitVec::zeros(8));
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_reset_restores_them() {
+        let spec = FaultSpec {
+            crash_rate: 0.02,
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            straggler_rate: 0.05,
+            straggler_delay: 2,
+            oracle_outage_rate: 0.02,
+        };
+        let run_fresh = || relay_run(Some(FaultPlan::new(99, spec)), 50);
+        let a = run_fresh();
+        let b = run_fresh();
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+
+        // reset() must clear crashes and in-flight delayed messages so a
+        // rerun on the same simulation replays the same fault schedule.
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.set_fault_plan(FaultPlan::new(99, spec));
+        s.seed_memory(0, BitVec::zeros(2));
+        let first = s.run_until_output(50).unwrap();
+        assert_eq!(first.outputs, a.outputs);
+        s.reset();
+        assert!(s.fault_plan().is_some(), "reset keeps the plan, clears its state");
+        s.seed_memory(0, BitVec::zeros(2));
+        let second = s.run_until_output(50).unwrap();
+        assert_eq!(second.outputs, a.outputs);
+        assert_eq!(second.stats, a.stats);
     }
 }

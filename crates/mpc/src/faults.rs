@@ -1,0 +1,356 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The paper's lower bound (Theorem 3.1) quantifies over *every* algorithm
+//! within the `s`-bit/`q`-query model — including algorithms running on
+//! unreliable hardware — and its honest upper-bound pipeline already
+//! replicates oracle-chain windows across machines, exactly the redundancy
+//! a fault-tolerant protocol exploits. This module supplies the adversary:
+//! a [`FaultPlan`] that schedules crash-stop machines, dropped messages,
+//! bit-flip corruption, straggler (delayed) deliveries, and transient
+//! oracle outages, applied by [`Simulation::step`] between compute and
+//! delivery.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a pure function of the plan's seed and the
+//! *structural coordinates* of the event it acts on — `(round, machine)`
+//! for machine faults, `(round, sender, message index)` for message faults
+//! — never of wall-clock time, thread scheduling, or iteration order. Two
+//! runs of the same seeded computation under the same plan therefore
+//! inject byte-identical fault sequences regardless of `RAYON_NUM_THREADS`,
+//! preserving the workspace determinism convention (DESIGN.md §5). Faults
+//! are also *independent* across coordinates: changing the fate of one
+//! message never reshuffles the decisions for another.
+//!
+//! Self-messages (a machine's `send` to itself) model local memory
+//! persistence, not network traffic, so drop/corrupt/straggler faults
+//! never touch them; crashes still destroy them, because a crashed machine
+//! loses its memory.
+//!
+//! See `docs/ROBUSTNESS.md` for the full fault model.
+//!
+//! [`Simulation::step`]: crate::Simulation::step
+
+/// Per-event fault probabilities plus shape parameters. All rates are in
+/// `[0, 1]`; [`FaultSpec::default`] is all-zero (no faults), under which an
+/// attached plan is inert and a run is bit-for-bit identical to one with no
+/// plan at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-(machine, round) probability that a live machine crash-stops at
+    /// the start of the round: its memory is lost, it computes nothing
+    /// from then on, and messages addressed to it vanish.
+    pub crash_rate: f64,
+    /// Per-message probability that a cross-machine message is silently
+    /// dropped in transit.
+    pub drop_rate: f64,
+    /// Per-message probability that one pseudorandomly chosen payload bit
+    /// of a cross-machine message is flipped in transit.
+    pub corrupt_rate: f64,
+    /// Per-(machine, round) probability that a machine straggles: every
+    /// cross-machine message it sends that round is delivered
+    /// [`FaultSpec::straggler_delay`] rounds late.
+    pub straggler_rate: f64,
+    /// Extra rounds a straggling machine's messages are delayed (a message
+    /// sent in round `k` arrives at round `k + 1 + delay` instead of
+    /// `k + 1`). Minimum effective delay is 1.
+    pub straggler_delay: usize,
+    /// Per-(machine, round) probability that the oracle is unreachable
+    /// from an active machine for the round: the machine computes nothing
+    /// and its memory image is carried to the next round unchanged (the
+    /// round is voided for it).
+    pub oracle_outage_rate: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            crash_rate: 0.0,
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_delay: 1,
+            oracle_outage_rate: 0.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// True when every rate is zero — the plan can inject nothing.
+    pub fn is_zero(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.drop_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && self.oracle_outage_rate <= 0.0
+    }
+}
+
+/// The kinds of fault a plan can inject, with the stable names used as
+/// telemetry keys (`mph_metrics::Event::Fault`) and report tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A machine crash-stopped.
+    Crash,
+    /// A message was dropped in transit.
+    MessageDropped,
+    /// One payload bit of a message was flipped in transit.
+    MessageCorrupted,
+    /// A message's delivery was delayed by a straggling sender.
+    StragglerDelay,
+    /// The oracle was unreachable from a machine for one round.
+    OracleUnavailable,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in telemetry and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::MessageDropped => "message_dropped",
+            FaultKind::MessageCorrupted => "message_corrupted",
+            FaultKind::StragglerDelay => "straggler_delay",
+            FaultKind::OracleUnavailable => "oracle_unavailable",
+        }
+    }
+}
+
+/// Domain-separation tags so the same coordinates never correlate across
+/// fault kinds.
+const DOMAIN_CRASH: u64 = 1;
+const DOMAIN_DROP: u64 = 2;
+const DOMAIN_CORRUPT: u64 = 3;
+const DOMAIN_STRAGGLE: u64 = 4;
+const DOMAIN_OUTAGE: u64 = 5;
+const DOMAIN_CORRUPT_BIT: u64 = 6;
+
+/// splitmix64 finalizer — the same statistically-strong bit mixer the
+/// `compat/rand` substrate builds on.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically derives a fresh plan seed from a base seed, a trial
+/// seed, and a retry attempt index. Retried trials see an independent
+/// fault schedule (attempt 1 remixes everything attempt 0 saw), and the
+/// derivation is a pure function of its arguments, so harnesses that
+/// retry transient-fault runs stay reproducible across thread counts.
+pub fn derive_seed(base: u64, trial_seed: u64, attempt: u64) -> u64 {
+    mix64(base ^ mix64(trial_seed ^ mix64(attempt.wrapping_mul(0xA5A5_5A5A_0F0F_F0F0))))
+}
+
+/// A seeded, immutable schedule of faults.
+///
+/// Cheap to copy (two words plus the spec) and safe to share across
+/// threads; every decision method is a pure function of the coordinates it
+/// is given.
+///
+/// ```
+/// use mph_mpc::faults::{FaultPlan, FaultSpec};
+///
+/// let plan = FaultPlan::new(7, FaultSpec { drop_rate: 0.5, ..FaultSpec::default() });
+/// // Decisions are deterministic: the same coordinates always answer alike.
+/// assert_eq!(plan.drops_message(3, 1, 0), plan.drops_message(3, 1, 0));
+/// // And a zero-rate plan is inert.
+/// assert!(FaultPlan::new(7, FaultSpec::default()).is_inert());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+}
+
+/// Compares 53 uniform hash bits against `rate · 2^53`.
+fn decide(h: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    const SCALE: u64 = 1 << 53;
+    (h >> 11) < (rate * SCALE as f64) as u64
+}
+
+impl FaultPlan {
+    /// A plan injecting faults at the given rates, scheduled by `seed`.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        FaultPlan { seed, spec }
+    }
+
+    /// The scheduling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rates.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// True when the plan can never inject a fault (all rates zero). The
+    /// executor uses this to skip fault bookkeeping entirely, so an inert
+    /// plan adds no per-message work to the hot `step()` path.
+    pub fn is_inert(&self) -> bool {
+        self.spec.is_zero()
+    }
+
+    /// One uniform draw for `(domain, a, b, c)` under this seed.
+    fn hash(&self, domain: u64, a: u64, b: u64, c: u64) -> u64 {
+        let mut h = mix64(self.seed ^ mix64(domain));
+        h = mix64(h ^ a);
+        h = mix64(h ^ b);
+        mix64(h ^ c)
+    }
+
+    /// Does a live `machine` crash-stop at the start of `round`?
+    pub fn crashes_at(&self, machine: usize, round: usize) -> bool {
+        decide(self.hash(DOMAIN_CRASH, machine as u64, round as u64, 0), self.spec.crash_rate)
+    }
+
+    /// Is the `index`-th message of `sender`'s round-`round` outbox dropped?
+    pub fn drops_message(&self, round: usize, sender: usize, index: usize) -> bool {
+        decide(
+            self.hash(DOMAIN_DROP, round as u64, sender as u64, index as u64),
+            self.spec.drop_rate,
+        )
+    }
+
+    /// Is the `index`-th message of `sender`'s round-`round` outbox
+    /// corrupted?
+    pub fn corrupts_message(&self, round: usize, sender: usize, index: usize) -> bool {
+        decide(
+            self.hash(DOMAIN_CORRUPT, round as u64, sender as u64, index as u64),
+            self.spec.corrupt_rate,
+        )
+    }
+
+    /// Which payload bit of a corrupted message flips (`len` is the
+    /// payload length in bits, which must be nonzero).
+    pub fn corruption_bit(&self, round: usize, sender: usize, index: usize, len: usize) -> usize {
+        debug_assert!(len > 0, "cannot corrupt an empty payload");
+        (self.hash(DOMAIN_CORRUPT_BIT, round as u64, sender as u64, index as u64) % len as u64)
+            as usize
+    }
+
+    /// Does `machine` straggle in `round` (all its cross-machine messages
+    /// delayed)?
+    pub fn straggles(&self, machine: usize, round: usize) -> bool {
+        decide(
+            self.hash(DOMAIN_STRAGGLE, machine as u64, round as u64, 0),
+            self.spec.straggler_rate,
+        )
+    }
+
+    /// Extra rounds a straggler's messages are delayed (≥ 1).
+    pub fn straggler_delay(&self) -> usize {
+        self.spec.straggler_delay.max(1)
+    }
+
+    /// Is the oracle unreachable from `machine` during `round`?
+    pub fn oracle_unavailable(&self, machine: usize, round: usize) -> bool {
+        decide(
+            self.hash(DOMAIN_OUTAGE, machine as u64, round as u64, 0),
+            self.spec.oracle_outage_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_zero_and_inert() {
+        assert!(FaultSpec::default().is_zero());
+        assert!(FaultPlan::new(123, FaultSpec::default()).is_inert());
+        let plan = FaultPlan::new(123, FaultSpec::default());
+        for round in 0..50 {
+            for machine in 0..8 {
+                assert!(!plan.crashes_at(machine, round));
+                assert!(!plan.drops_message(round, machine, 0));
+                assert!(!plan.corrupts_message(round, machine, 0));
+                assert!(!plan.straggles(machine, round));
+                assert!(!plan.oracle_unavailable(machine, round));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let plan = FaultPlan::new(
+            0,
+            FaultSpec { crash_rate: 1.0, drop_rate: 1.0, ..FaultSpec::default() },
+        );
+        assert!(plan.crashes_at(5, 9));
+        assert!(plan.drops_message(9, 5, 3));
+        assert!(!plan.corrupts_message(9, 5, 3), "other domains stay at their own rate");
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let spec = FaultSpec { drop_rate: 0.5, ..FaultSpec::default() };
+        let a = FaultPlan::new(1, spec);
+        let b = FaultPlan::new(1, spec);
+        let c = FaultPlan::new(2, spec);
+        let pattern = |p: &FaultPlan| {
+            (0..256).map(|i| p.drops_message(i / 16, i % 16, i % 3)).collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(&a), pattern(&b));
+        assert_ne!(pattern(&a), pattern(&c), "different seeds give different schedules");
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let plan = FaultPlan::new(42, FaultSpec { drop_rate: 0.25, ..FaultSpec::default() });
+        let n = 20_000;
+        let hits = (0..n).filter(|&i| plan.drops_message(i, 0, 0)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        // At rate 0.5 each, drop and corrupt decisions on identical
+        // coordinates must not be perfectly correlated.
+        let plan = FaultPlan::new(
+            9,
+            FaultSpec { drop_rate: 0.5, corrupt_rate: 0.5, ..FaultSpec::default() },
+        );
+        let agree = (0..1000)
+            .filter(|&i| plan.drops_message(i, 0, 0) == plan.corrupts_message(i, 0, 0))
+            .count();
+        assert!(agree > 350 && agree < 650, "domains look correlated: {agree}/1000 agreements");
+    }
+
+    #[test]
+    fn corruption_bit_in_range() {
+        let plan = FaultPlan::new(3, FaultSpec { corrupt_rate: 1.0, ..FaultSpec::default() });
+        for len in [1usize, 2, 17, 64, 1000] {
+            for idx in 0..20 {
+                assert!(plan.corruption_bit(idx, 4, idx, len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_delay_floors_at_one() {
+        let plan = FaultPlan::new(
+            0,
+            FaultSpec { straggler_rate: 1.0, straggler_delay: 0, ..FaultSpec::default() },
+        );
+        assert_eq!(plan.straggler_delay(), 1);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FaultKind::Crash.name(), "crash");
+        assert_eq!(FaultKind::MessageDropped.name(), "message_dropped");
+        assert_eq!(FaultKind::MessageCorrupted.name(), "message_corrupted");
+        assert_eq!(FaultKind::StragglerDelay.name(), "straggler_delay");
+        assert_eq!(FaultKind::OracleUnavailable.name(), "oracle_unavailable");
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod error;
 pub mod executor;
+pub mod faults;
 pub mod input;
 pub mod machine;
 pub mod message;
@@ -39,6 +40,7 @@ pub mod stats;
 
 pub use error::ModelViolation;
 pub use executor::{RunOutcome, RunResult, Simulation};
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use input::{partition_blocks, Partition, PartitionStrategy};
 pub use machine::{MachineLogic, Outbox, RoundCtx};
 pub use message::{MachineId, Message};
