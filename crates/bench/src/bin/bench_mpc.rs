@@ -32,6 +32,15 @@
 //!    totals — `byte_identical`) and add no measurable routing overhead;
 //!    the full run asserts the timing ratio stays under 1.15×.
 //!
+//! 6. **`checkpoint_overhead`** — the same sweep engine bare
+//!    ([`mph_experiments::sweep::run_sweep`]) vs durably checkpointed at
+//!    the default cadence
+//!    ([`mph_experiments::checkpoint::run_sweep_checkpointed`], every
+//!    [`DEFAULT_EVERY`] cells, cold directory per repetition). Results
+//!    must match cell-for-cell — measurements, means, retries, telemetry
+//!    (`byte_identical`) — and the full run asserts the durability cost
+//!    stays under 1.05×.
+//!
 //! `--test` switches to tiny smoke sizes for CI: every correctness check
 //! still runs, the ≥ 2× speedup assertion is skipped (timings on
 //! micro-sizes are noise), and the report goes to
@@ -42,6 +51,7 @@ use mph_core::algorithms::pipeline::{Pipeline, Target};
 use mph_core::algorithms::BlockAssignment;
 use mph_core::theorem::RoundMeasurement;
 use mph_core::{theorem, LineParams};
+use mph_experiments::checkpoint::{self, CheckpointConfig, DEFAULT_EVERY};
 use mph_experiments::sweep::{run_sweep, Cell};
 use mph_metrics::json::Json;
 use mph_metrics::report::{envelope, write_report_to};
@@ -417,6 +427,90 @@ fn bench_fault_overhead(sizes: &Sizes, strict: bool) -> (String, Json) {
     ("fault_overhead".into(), body)
 }
 
+/// Workload 6: the sweep engine bare vs checkpointed at the default
+/// cadence. Durability is bookkeeping — a handful of small binary
+/// frames per flush — so it must neither perturb the results (the
+/// checkpointed path is checked cell-for-cell against the plain one)
+/// nor cost measurable throughput.
+fn bench_checkpoint(sizes: &Sizes, strict: bool) -> (String, Json) {
+    let params = sizes.line;
+    let base_seed = 2000u64;
+    let max_rounds = 100_000;
+    // Two seed halves per window: enough cells that the default cadence
+    // flushes more than once in the full run.
+    let cells = || -> Vec<Cell> {
+        sizes
+            .sweep_windows
+            .iter()
+            .flat_map(|&window| {
+                (0..2u64).map(move |half| {
+                    Cell::new(
+                        format!("window={window}/half={half}"),
+                        Pipeline::new(
+                            params,
+                            BlockAssignment::new(params.v, sizes.pipe_m, window),
+                            Target::SimLine,
+                        ),
+                        sizes.sweep_trials,
+                        base_seed + 100 * half,
+                        max_rounds,
+                    )
+                })
+            })
+            .collect()
+    };
+    let grid_cells = cells().len();
+    let ckpt = CheckpointConfig::for_exp("bench_checkpoint", DEFAULT_EVERY);
+
+    let (plain_ns, plain) = time_ns(sizes.sweep_reps, || run_sweep(cells()));
+    // Every repetition pays the full durability bill: a cold directory,
+    // every flush, every manifest rewrite.
+    let (ckpt_ns, checkpointed) = time_ns(sizes.sweep_reps, || {
+        checkpoint::clean_dir(&ckpt.dir);
+        checkpoint::run_sweep_checkpointed(cells(), &ckpt)
+    });
+
+    assert_eq!(plain.len(), checkpointed.len(), "cell count must match");
+    for (a, b) in plain.iter().zip(&checkpointed) {
+        assert_eq!(a.label, b.label, "cell order must match");
+        assert_eq!(a.measurements, b.measurements, "checkpointing must not change measurements");
+        assert_eq!(
+            a.mean_rounds.to_bits(),
+            b.mean_rounds.to_bits(),
+            "means must match bit-exactly"
+        );
+        assert_eq!(a.retries_used, b.retries_used, "retry accounting must match");
+        assert_eq!(
+            a.snapshot.as_ref().map(|s| s.to_json().to_string()),
+            b.snapshot.as_ref().map(|s| s.to_json().to_string()),
+            "checkpointing must not change telemetry"
+        );
+    }
+    let overhead = ckpt_ns as f64 / plain_ns.max(1) as f64;
+    if strict {
+        assert!(
+            overhead <= 1.05,
+            "checkpointing every {DEFAULT_EVERY} cells costs {overhead:.3}x — above the 5% budget"
+        );
+    }
+    println!(
+        "checkpoint_overhead: {grid_cells} cells x {} trials: bare {plain_ns} ns, \
+         checkpointed {ckpt_ns} ns ({overhead:.3}x)",
+        sizes.sweep_trials
+    );
+
+    let body = Json::object(vec![
+        ("grid_cells", Json::u64(grid_cells as u64)),
+        ("trials_per_cell", Json::u64(sizes.sweep_trials as u64)),
+        ("checkpoint_every", Json::u64(DEFAULT_EVERY as u64)),
+        ("bare_ns", Json::u64(plain_ns)),
+        ("checkpointed_ns", Json::u64(ckpt_ns)),
+        ("checkpoint_overhead", Json::f64(overhead)),
+        ("byte_identical", Json::Bool(true)),
+    ]);
+    ("checkpoint_overhead".into(), body)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let sizes = if test_mode { Sizes::smoke() } else { Sizes::full() };
@@ -427,6 +521,7 @@ fn main() {
         bench_simline(&sizes),
         bench_sweep(&sizes),
         bench_fault_overhead(&sizes, !test_mode),
+        bench_checkpoint(&sizes, !test_mode),
     ];
     let doc = envelope(
         "bench_mpc",

@@ -14,14 +14,16 @@ use crate::line::Line;
 use crate::params::LineParams;
 use crate::simline::SimLine;
 use mph_bits::{random_blocks, BitVec};
-use mph_metrics::{MetricsSink, Recorder};
-use mph_mpc::{FaultPlan, Simulation};
+use mph_metrics::{emit, Event, MetricsSink, Recorder};
+use mph_mpc::faults::derive_seed;
+use mph_mpc::{FaultPlan, FaultSpec, Simulation};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape, TranscriptOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One measured run of an algorithm on a fresh `(RO, X)` draw.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -224,6 +226,75 @@ fn measure_rounds_inner<P: MeasurablePipeline + ?Sized>(
     TrialRunner::new().measure(pipeline, seed, s_bits, q, max_rounds, sink)
 }
 
+/// A bounded retry budget with an optional per-attempt wall-clock
+/// deadline — the shared supervisor configuration for every harness that
+/// re-runs failed trials.
+///
+/// Semantics are deliberately explicit to leave no room for off-by-one
+/// readings:
+///
+/// * [`RetryPolicy::max_attempts`] counts **total attempts** (at least
+///   1). The first attempt is *not* a retry, so a sweep cell configured
+///   with `retries = r` maps to `max_attempts = r + 1` (see
+///   [`RetryPolicy::for_retries`]).
+/// * The deadline applies to **each attempt separately**, and an attempt
+///   survives while `elapsed <= deadline`: a trial finishing *exactly*
+///   at the deadline counts as a success; only strictly exceeding it
+///   trips the watchdog (see [`RetryPolicy::timed_out`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (≥ 1); the first attempt is not a retry.
+    pub max_attempts: usize,
+    /// Sleep inserted between consecutive attempts (purely a pacing
+    /// knob; it never affects measured results).
+    pub base_delay: Duration,
+    /// Per-attempt wall-clock deadline. `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt, no delay, no deadline — exactly the behaviour of the
+    /// policy-free harness entry points.
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 1, base_delay: Duration::ZERO, deadline: None }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy equivalent of "retry up to `retries` times": the
+    /// initial attempt plus `retries` reseeded re-runs.
+    pub fn for_retries(retries: usize) -> Self {
+        RetryPolicy { max_attempts: retries + 1, ..Self::default() }
+    }
+
+    /// Returns `self` with a per-attempt wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether an attempt that has been running for `elapsed` has
+    /// exceeded the deadline. Strict: `elapsed == deadline` is *not* a
+    /// timeout, so a trial finishing exactly at the deadline succeeds.
+    pub fn timed_out(&self, elapsed: Duration) -> bool {
+        self.deadline.is_some_and(|d| elapsed > d)
+    }
+}
+
+/// What [`TrialRunner::measure_with_policy`] observed: the final
+/// attempt's measurement plus how the retry budget was spent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The last attempt's measurement (the successful one, when any
+    /// attempt succeeded).
+    pub measurement: RoundMeasurement,
+    /// Attempts actually executed (1 ≤ `attempts` ≤
+    /// [`RetryPolicy::max_attempts`]).
+    pub attempts: usize,
+    /// Whether the *final* attempt was aborted by the watchdog.
+    pub timed_out: bool,
+}
+
 /// A reusable per-worker trial context.
 ///
 /// Holds the [`Simulation`] of the most recent trial and hands it back to
@@ -277,6 +348,79 @@ impl TrialRunner {
         sink: Option<Arc<dyn MetricsSink>>,
         faults: Option<FaultPlan>,
     ) -> RoundMeasurement {
+        self.run_trial(pipeline, seed, s_bits, q, max_rounds, sink, faults, None).0
+    }
+
+    /// Supervised measurement: runs up to [`RetryPolicy::max_attempts`]
+    /// attempts of the trial, re-deriving the fault schedule per attempt
+    /// via [`derive_seed`] (so retries are reproducible across thread
+    /// counts), and aborting any attempt whose wall-clock time strictly
+    /// exceeds the policy deadline. Each watchdog abort emits an
+    /// [`Event::TrialTimeout`] into `sink`. Returns on the first correct
+    /// attempt or once the budget is exhausted.
+    ///
+    /// `faults` carries the spec plus the cell-level fault seed the
+    /// per-attempt schedules are derived from; `None` runs fault-free
+    /// (retries then only make sense together with a deadline).
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with_policy<P: MeasurablePipeline + ?Sized>(
+        &mut self,
+        pipeline: &Arc<P>,
+        seed: u64,
+        s_bits: Option<usize>,
+        q: Option<u64>,
+        max_rounds: usize,
+        sink: Option<Arc<dyn MetricsSink>>,
+        faults: Option<(FaultSpec, u64)>,
+        policy: &RetryPolicy,
+    ) -> TrialOutcome {
+        assert!(policy.max_attempts >= 1, "a retry policy must allow at least one attempt");
+        let mut attempt = 0u64;
+        loop {
+            let plan = faults.map(|(spec, fault_seed)| {
+                FaultPlan::new(derive_seed(fault_seed, seed, attempt), spec)
+            });
+            let (measurement, timed_out) = self.run_trial(
+                pipeline,
+                seed,
+                s_bits,
+                q,
+                max_rounds,
+                sink.clone(),
+                plan,
+                policy.deadline,
+            );
+            if timed_out {
+                let deadline_ms = policy.deadline.map_or(0, |d| d.as_millis() as u64);
+                emit(&sink, || Event::TrialTimeout { attempt, deadline_ms });
+            }
+            let attempts = attempt as usize + 1;
+            if measurement.correct || attempts >= policy.max_attempts {
+                return TrialOutcome { measurement, attempts, timed_out };
+            }
+            if !policy.base_delay.is_zero() {
+                std::thread::sleep(policy.base_delay);
+            }
+            attempt += 1;
+        }
+    }
+
+    /// One attempt: the body shared by [`TrialRunner::measure_with_faults`]
+    /// (no deadline) and [`TrialRunner::measure_with_policy`]. With a
+    /// deadline the simulation runs under the executor watchdog; the
+    /// returned flag reports whether the watchdog fired.
+    #[allow(clippy::too_many_arguments)]
+    fn run_trial<P: MeasurablePipeline + ?Sized>(
+        &mut self,
+        pipeline: &Arc<P>,
+        seed: u64,
+        s_bits: Option<usize>,
+        q: Option<u64>,
+        max_rounds: usize,
+        sink: Option<Arc<dyn MetricsSink>>,
+        faults: Option<FaultPlan>,
+        deadline: Option<Duration>,
+    ) -> (RoundMeasurement, bool) {
         let (oracle, blocks) = draw_instance(pipeline.params(), seed);
         let oracle = Arc::new(CachedOracle::new(oracle));
         let expected = reference_output(&**pipeline, &*oracle, &blocks);
@@ -297,32 +441,41 @@ impl TrialRunner {
             Some(plan) => sim.set_fault_plan(plan),
             None => sim.clear_fault_plan(),
         };
-        let measurement = match sim.run_until_output(max_rounds) {
-            Ok(result) => {
+        let run = match deadline {
+            None => sim.run_until_output(max_rounds).map(|result| (result, false)),
+            Some(d) => {
+                let start = Instant::now();
+                sim.run_with_watchdog(max_rounds, &mut || start.elapsed() > d)
+            }
+        };
+        let (measurement, timed_out) = match run {
+            Ok((result, timed_out)) => {
                 let correct = result.completed() && result.unanimous_output() == Some(&expected);
-                RoundMeasurement {
+                let measurement = RoundMeasurement {
                     rounds: result.rounds(),
                     completed: result.completed(),
                     correct,
                     total_queries: result.stats.total_queries(),
                     peak_memory_bits: result.stats.peak_memory_bits(),
                     total_comm_bits: result.stats.total_bits(),
-                }
+                };
+                (measurement, timed_out)
             }
             Err(violation) => {
                 assert!(faults.is_some(), "model violations are config bugs here: {violation}");
-                RoundMeasurement {
+                let measurement = RoundMeasurement {
                     rounds: sim.round(),
                     completed: false,
                     correct: false,
                     total_queries: sim.stats().total_queries(),
                     peak_memory_bits: sim.stats().peak_memory_bits(),
                     total_comm_bits: sim.stats().total_bits(),
-                }
+                };
+                (measurement, false)
             }
         };
         self.sim = Some(sim);
-        measurement
+        (measurement, timed_out)
     }
 }
 
@@ -733,6 +886,107 @@ mod tests {
                 let fresh = measure_rounds(p, seed, None, None, 10_000);
                 assert_eq!(reused, fresh);
             }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_times_out_and_exhausts_the_budget() {
+        // A deadline of zero fails fast: a multi-round pipeline can never
+        // outrun the watchdog, every attempt is aborted, and each abort
+        // lands in the recorder as a timeout tally.
+        let p = pipeline(40, 8, 4, 3, Target::Line);
+        let recorder = Arc::new(Recorder::new());
+        let policy = RetryPolicy::for_retries(1).with_deadline(Duration::ZERO);
+        let mut runner = TrialRunner::new();
+        let outcome = runner.measure_with_policy(
+            &p,
+            3,
+            None,
+            None,
+            10_000,
+            Some(recorder.clone()),
+            None,
+            &policy,
+        );
+        assert!(outcome.timed_out);
+        assert!(!outcome.measurement.completed);
+        assert!(!outcome.measurement.correct);
+        assert_eq!(outcome.attempts, policy.max_attempts);
+        assert_eq!(recorder.snapshot().timeouts, policy.max_attempts as u64);
+    }
+
+    #[test]
+    fn finishing_exactly_at_the_deadline_is_not_a_timeout() {
+        // The watchdog predicate is strict: elapsed == deadline survives,
+        // only strictly exceeding it trips.
+        let policy = RetryPolicy::default().with_deadline(Duration::from_millis(5));
+        assert!(!policy.timed_out(Duration::from_millis(5)));
+        assert!(policy.timed_out(Duration::from_millis(5) + Duration::from_nanos(1)));
+        // No deadline: nothing ever times out.
+        assert!(!RetryPolicy::default().timed_out(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn default_policy_matches_the_policy_free_path() {
+        let p = pipeline(40, 8, 4, 3, Target::SimLine);
+        let mut runner = TrialRunner::new();
+        let outcome = runner.measure_with_policy(
+            &p,
+            7,
+            None,
+            None,
+            10_000,
+            None,
+            None,
+            &RetryPolicy::default(),
+        );
+        assert_eq!(outcome.attempts, 1);
+        assert!(!outcome.timed_out);
+        assert_eq!(outcome.measurement, measure_rounds(&p, 7, None, None, 10_000));
+    }
+
+    #[test]
+    fn policy_retries_match_the_manual_reseeded_loop() {
+        // measure_with_policy must reproduce the historical ad-hoc loop
+        // exactly: attempt a re-derives the fault schedule with
+        // derive_seed(fault_seed, seed, a) and the loop stops at the
+        // first correct attempt or after max_attempts total attempts.
+        let p = pipeline(40, 8, 4, 3, Target::Line);
+        let spec = FaultSpec { drop_rate: 0.2, ..FaultSpec::default() };
+        let fault_seed = 11;
+        for seed in 0..6u64 {
+            let policy = RetryPolicy::for_retries(2);
+            let mut runner = TrialRunner::new();
+            let outcome = runner.measure_with_policy(
+                &p,
+                seed,
+                None,
+                None,
+                10_000,
+                None,
+                Some((spec, fault_seed)),
+                &policy,
+            );
+            let mut manual_runner = TrialRunner::new();
+            let mut attempt = 0u64;
+            let (manual, attempts) = loop {
+                let plan = FaultPlan::new(derive_seed(fault_seed, seed, attempt), spec);
+                let m = manual_runner.measure_with_faults(
+                    &p,
+                    seed,
+                    None,
+                    None,
+                    10_000,
+                    None,
+                    Some(plan),
+                );
+                if m.correct || attempt as usize + 1 >= policy.max_attempts {
+                    break (m, attempt as usize + 1);
+                }
+                attempt += 1;
+            };
+            assert_eq!(outcome.measurement, manual, "seed {seed}");
+            assert_eq!(outcome.attempts, attempts, "seed {seed}");
         }
     }
 

@@ -7,11 +7,14 @@
 //!
 //! Besides the stdout table, writes `target/reports/exp_baselines.json`
 //! with the same cells plus the telemetry snapshots of the two hard-function
-//! runs recorded by `mph-metrics` (see docs/OBSERVABILITY.md).
+//! runs recorded by `mph-metrics` (see docs/OBSERVABILITY.md). Flags:
+//! `--trials N --seed N --quick --checkpoint-every N` (the last makes the
+//! hard-function sweep durably resumable — see docs/ROBUSTNESS.md).
 
 use mph_core::algorithms::pipeline::Target;
+use mph_experiments::checkpoint;
 use mph_experiments::setup::{demo_pipeline, fmt, SweepArgs};
-use mph_experiments::sweep::{self, Cell};
+use mph_experiments::sweep::Cell;
 use mph_experiments::Report;
 use mph_metrics::json::Json;
 use mph_mpc_algos::{ConnectivityConfig, SampleSortConfig, TreeSumConfig, WordCountConfig};
@@ -80,22 +83,26 @@ fn main() {
     // as one sweep pass.
     let (w, v, window) = if args.quick { (64u64, 16usize, 4usize) } else { (256, 32, 8) };
     let trials = args.trials(3);
-    let results = sweep::run_sweep(vec![
-        Cell::new(
-            "simline",
-            demo_pipeline(w, v, m, window, Target::SimLine),
-            trials,
-            args.seed(11),
-            100_000,
-        ),
-        Cell::new(
-            "line",
-            demo_pipeline(w, v, m, window, Target::Line),
-            trials,
-            args.seed(11).wrapping_add(1), // default 12, as published
-            1_000_000,
-        ),
-    ]);
+    let results = checkpoint::run_sweep_with_args(
+        "exp_baselines",
+        &args,
+        vec![
+            Cell::new(
+                "simline",
+                demo_pipeline(w, v, m, window, Target::SimLine),
+                trials,
+                args.seed(11),
+                100_000,
+            ),
+            Cell::new(
+                "line",
+                demo_pipeline(w, v, m, window, Target::Line),
+                trials,
+                args.seed(11).wrapping_add(1), // default 12, as published
+                1_000_000,
+            ),
+        ],
+    );
     for result in &results {
         telemetry
             .push((result.label.clone(), result.snapshot.as_ref().expect("telemetry").to_json()));

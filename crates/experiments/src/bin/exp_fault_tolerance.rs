@@ -14,7 +14,8 @@
 //! Every cell runs under a deterministic [`mph_mpc::FaultPlan`], so the
 //! table (and the JSON report, including the per-cell injected-fault
 //! tallies) is byte-identical across reruns and thread counts. Flags:
-//! `--trials N --seed N --quick`.
+//! `--trials N --seed N --quick --checkpoint-every N` (the last makes
+//! the sweep durably resumable — see docs/ROBUSTNESS.md).
 //!
 //! Besides the stdout tables, writes
 //! `target/reports/exp_fault_tolerance.json` with the same cells plus
@@ -23,6 +24,7 @@
 
 use mph_core::algorithms::pipeline::Target;
 use mph_core::algorithms::ReplicatedPipeline;
+use mph_experiments::checkpoint;
 use mph_experiments::setup::{demo_params, fmt, SweepArgs};
 use mph_experiments::sweep::{self, Cell};
 use mph_experiments::Report;
@@ -73,7 +75,10 @@ fn main() {
             })
         })
         .collect();
-    let results = sweep::run_sweep(cells);
+    // With --checkpoint-every N, progress is durably snapshotted every N
+    // cells (resumable after a kill); the results are byte-identical to
+    // the default run_sweep path either way.
+    let results = checkpoint::run_sweep_with_args("exp_fault_tolerance", &args, cells);
 
     // Fault-free ρ = 1 — the overhead baseline every row compares against.
     let baseline = results[0].mean_rounds;

@@ -9,9 +9,10 @@
 //!    `w = T` — the `Ω̃(T)` of the theorem, against the RAM's `O(T·n)`
 //!    time (1 oracle call per node either way).
 //!
-//! Both sweeps' cells fan into a single [`sweep::run_sweep`] pool pass
-//! (see docs/PERFORMANCE.md). Flags: `--trials N --seed N --quick`
-//! (`--seed` offsets both sweeps' base seeds).
+//! Both sweeps' cells fan into a single [`mph_experiments::sweep::run_sweep`]
+//! pool pass (see docs/PERFORMANCE.md). Flags: `--trials N --seed N --quick
+//! --checkpoint-every N` (`--seed` offsets both sweeps' base seeds; the
+//! last flag makes the sweep durably resumable — see docs/ROBUSTNESS.md).
 //!
 //! Besides the stdout tables, writes `target/reports/exp_line_rounds.json`
 //! with the same cells plus the per-point telemetry snapshots recorded by
@@ -19,8 +20,9 @@
 //! report).
 
 use mph_core::algorithms::pipeline::Target;
+use mph_experiments::checkpoint;
 use mph_experiments::setup::{demo_pipeline, fmt, SweepArgs};
-use mph_experiments::sweep::{self, Cell};
+use mph_experiments::sweep::Cell;
 use mph_experiments::Report;
 use mph_metrics::json::Json;
 
@@ -62,7 +64,7 @@ fn main() {
             1_000_000,
         )
     }));
-    let results = sweep::run_sweep(cells);
+    let results = checkpoint::run_sweep_with_args("exp_line_rounds", &args, cells);
     let (mem_results, len_results) = results.split_at(windows.len());
 
     report.h2(&format!("memory sweep (w = {w_mem}): memory does NOT buy proportional speedup"));

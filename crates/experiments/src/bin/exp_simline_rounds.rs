@@ -6,8 +6,10 @@
 //! `w·u/s` — memory buys a proportional round reduction, because the
 //! block schedule is public and contiguous windows stream perfectly.
 //!
-//! All windows run as one [`sweep::run_sweep`] pool pass (see
-//! docs/PERFORMANCE.md). Flags: `--trials N --seed N --quick`.
+//! All windows run as one [`mph_experiments::sweep::run_sweep`] pool pass (see
+//! docs/PERFORMANCE.md). Flags: `--trials N --seed N --quick
+//! --checkpoint-every N` (the last makes the sweep durably resumable —
+//! see docs/ROBUSTNESS.md).
 //!
 //! Besides the stdout tables, writes `target/reports/exp_simline_rounds.json`
 //! with the same cells plus the per-point telemetry snapshots recorded by
@@ -15,8 +17,9 @@
 
 use mph_bounds::SimLineBoundInputs;
 use mph_core::algorithms::pipeline::Target;
+use mph_experiments::checkpoint;
 use mph_experiments::setup::{demo_pipeline, fmt, SweepArgs};
-use mph_experiments::sweep::{self, Cell};
+use mph_experiments::sweep::Cell;
 use mph_experiments::Report;
 use mph_metrics::json::Json;
 
@@ -46,7 +49,7 @@ fn main() {
             )
         })
         .collect();
-    let results = sweep::run_sweep(cells);
+    let results = checkpoint::run_sweep_with_args("exp_simline_rounds", &args, cells);
 
     let mut rows = Vec::new();
     let mut telemetry: Vec<(String, Json)> = Vec::new();

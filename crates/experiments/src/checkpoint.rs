@@ -1,0 +1,561 @@
+//! Durable sweep checkpoints: kill a sweep mid-grid, resume it later,
+//! get the same report byte-for-byte.
+//!
+//! The unit of durability is the **cell**: after every batch of
+//! [`CheckpointConfig::every`] completed cells, each cell's full
+//! [`CellResult`] (measurements, mean, retry count, telemetry snapshot)
+//! is serialized into `cell_<idx>.bin` using the workspace snapshot
+//! container (`mph_oracle::snapshot` — versioned, checksummed,
+//! dependency-free), and a two-file manifest is rewritten:
+//!
+//! * `manifest.bin` — the machine-read record: checkpoint cadence, grid
+//!   size, and the `(index, payload-CRC32)` pairs of completed cells.
+//!   Resume reads **only** this binary (the workspace has no JSON
+//!   parser by design — see docs/OBSERVABILITY.md).
+//! * `manifest.json` — the human-read mirror of the same facts, written
+//!   with the report machinery so operators can inspect progress.
+//!
+//! [`run_sweep_checkpointed`] then resumes for free: completed cells are
+//! loaded (CRC-verified against the manifest digest and label-checked
+//! against the requested grid; any mismatch silently falls back to
+//! recomputation) and only the remaining cells are run. Because every
+//! trial is a pure function of `(pipeline, seed)` — the sweep engine's
+//! determinism contract — a resumed sweep's results are **byte-identical**
+//! to an uninterrupted run, across thread counts. `exp_resume` (E13)
+//! asserts exactly that, end to end, through a simulated mid-grid kill.
+
+use crate::sweep::{self, Cell, CellResult, CellStatus};
+use mph_core::theorem::RoundMeasurement;
+use mph_metrics::json::Json;
+use mph_metrics::report::write_report_to;
+use mph_metrics::{MetricsSnapshot, OracleTotals, RamTotals, RoundSnapshot, Totals};
+use mph_oracle::snapshot::crc32;
+use mph_oracle::{SnapshotError, SnapshotReader, SnapshotWriter};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Section tag of a serialized [`CellResult`] payload.
+pub const SECTION_CELL: [u8; 4] = *b"CELL";
+/// Section tag of the binary manifest.
+pub const SECTION_MANIFEST: [u8; 4] = *b"MNFT";
+
+/// Default checkpoint cadence: flush after every 4 completed cells —
+/// frequent enough that a kill loses at most a few cells of work, rare
+/// enough that the overhead stays well under the 5% budget `bench_mpc`'s
+/// `checkpoint_overhead` workload enforces.
+pub const DEFAULT_EVERY: usize = 4;
+
+/// Where and how often a sweep checkpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Directory holding `cell_<idx>.bin` payloads and the manifests.
+    pub dir: PathBuf,
+    /// Flush cadence in completed cells (clamped to ≥ 1).
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// The conventional layout for an experiment binary:
+    /// `target/checkpoints/<exp>` at cadence `every`.
+    pub fn for_exp(exp: &str, every: usize) -> Self {
+        CheckpointConfig { dir: PathBuf::from("target/checkpoints").join(exp), every }
+    }
+
+    fn cell_path(&self, index: usize) -> PathBuf {
+        self.dir.join(format!("cell_{index}.bin"))
+    }
+
+    fn manifest_bin(&self) -> PathBuf {
+        self.dir.join("manifest.bin")
+    }
+
+    fn manifest_json(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+}
+
+/// Serializes one [`CellResult`] into a standalone snapshot container.
+pub fn encode_cell_result(result: &CellResult) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    let section = w.begin_section(&SECTION_CELL);
+    w.put_str(&result.label);
+    match &result.status {
+        CellStatus::Ok => w.put_u8(0),
+        CellStatus::Failed { reason } => {
+            w.put_u8(1);
+            w.put_str(reason);
+        }
+    }
+    w.put_u64(result.measurements.len() as u64);
+    for m in &result.measurements {
+        w.put_u64(m.rounds as u64);
+        w.put_bool(m.completed);
+        w.put_bool(m.correct);
+        w.put_u64(m.total_queries);
+        w.put_u64(m.peak_memory_bits as u64);
+        w.put_u64(m.total_comm_bits as u64);
+    }
+    w.put_f64(result.mean_rounds);
+    w.put_u64(result.retries_used as u64);
+    match &result.snapshot {
+        None => w.put_bool(false),
+        Some(snap) => {
+            w.put_bool(true);
+            encode_metrics_snapshot(&mut w, snap);
+        }
+    }
+    w.end_section(section);
+    w.finish()
+}
+
+/// Decodes a [`CellResult`] serialized by [`encode_cell_result`].
+pub fn decode_cell_result(bytes: &[u8]) -> Result<CellResult, SnapshotError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    r.begin_section(&SECTION_CELL)?;
+    let label = r.get_str()?;
+    let status = match r.get_u8()? {
+        0 => CellStatus::Ok,
+        1 => CellStatus::Failed { reason: r.get_str()? },
+        other => return Err(SnapshotError::Malformed(format!("unknown cell status {other}"))),
+    };
+    let count = r.get_u64()? as usize;
+    let mut measurements = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        measurements.push(RoundMeasurement {
+            rounds: r.get_u64()? as usize,
+            completed: r.get_bool()?,
+            correct: r.get_bool()?,
+            total_queries: r.get_u64()?,
+            peak_memory_bits: r.get_u64()? as usize,
+            total_comm_bits: r.get_u64()? as usize,
+        });
+    }
+    let mean_rounds = r.get_f64()?;
+    let retries_used = r.get_u64()? as usize;
+    let snapshot = if r.get_bool()? { Some(decode_metrics_snapshot(&mut r)?) } else { None };
+    Ok(CellResult { label, status, measurements, mean_rounds, retries_used, snapshot })
+}
+
+fn encode_metrics_snapshot(w: &mut SnapshotWriter, snap: &MetricsSnapshot) {
+    w.put_u32(snap.schema_version);
+    w.put_u64(snap.tags.len() as u64);
+    for (k, v) in &snap.tags {
+        w.put_str(k);
+        w.put_str(v);
+    }
+    w.put_u64(snap.rounds.len() as u64);
+    for r in &snap.rounds {
+        w.put_u64(r.round);
+        w.put_u64(r.messages);
+        w.put_u64(r.bits_sent);
+        w.put_u64(r.oracle_queries);
+        w.put_u64(r.max_queries_one_machine);
+        w.put_u64(r.max_memory_bits);
+        w.put_u64(r.active_machines);
+    }
+    w.put_u64(snap.totals.rounds);
+    w.put_u64(snap.totals.messages);
+    w.put_u64(snap.totals.bits_sent);
+    w.put_u64(snap.totals.oracle_queries);
+    w.put_u64(snap.totals.peak_queries_one_machine);
+    w.put_u64(snap.totals.peak_memory_bits);
+    w.put_u64(snap.totals.messages_routed);
+    w.put_u64(snap.totals.routed_bits);
+    w.put_u64(snap.oracle.fresh);
+    w.put_u64(snap.oracle.cached);
+    w.put_u64(snap.oracle.patched);
+    w.put_u64(snap.ram.steps);
+    w.put_u64(snap.ram.cost);
+    for map in [&snap.violations, &snap.faults] {
+        w.put_u64(map.len() as u64);
+        for (k, v) in map {
+            w.put_str(k);
+            w.put_u64(*v);
+        }
+    }
+    w.put_u64(snap.timeouts);
+}
+
+fn decode_metrics_snapshot(r: &mut SnapshotReader<'_>) -> Result<MetricsSnapshot, SnapshotError> {
+    let schema_version = r.get_u32()?;
+    let mut tags = BTreeMap::new();
+    for _ in 0..r.get_u64()? {
+        let k = r.get_str()?;
+        tags.insert(k, r.get_str()?);
+    }
+    let round_count = r.get_u64()? as usize;
+    let mut rounds = Vec::with_capacity(round_count.min(1 << 20));
+    for _ in 0..round_count {
+        rounds.push(RoundSnapshot {
+            round: r.get_u64()?,
+            messages: r.get_u64()?,
+            bits_sent: r.get_u64()?,
+            oracle_queries: r.get_u64()?,
+            max_queries_one_machine: r.get_u64()?,
+            max_memory_bits: r.get_u64()?,
+            active_machines: r.get_u64()?,
+        });
+    }
+    let totals = Totals {
+        rounds: r.get_u64()?,
+        messages: r.get_u64()?,
+        bits_sent: r.get_u64()?,
+        oracle_queries: r.get_u64()?,
+        peak_queries_one_machine: r.get_u64()?,
+        peak_memory_bits: r.get_u64()?,
+        messages_routed: r.get_u64()?,
+        routed_bits: r.get_u64()?,
+    };
+    let oracle = OracleTotals { fresh: r.get_u64()?, cached: r.get_u64()?, patched: r.get_u64()? };
+    let ram = RamTotals { steps: r.get_u64()?, cost: r.get_u64()? };
+    let mut maps: [BTreeMap<String, u64>; 2] = [BTreeMap::new(), BTreeMap::new()];
+    for map in &mut maps {
+        for _ in 0..r.get_u64()? {
+            let k = r.get_str()?;
+            map.insert(k, r.get_u64()?);
+        }
+    }
+    let [violations, faults] = maps;
+    let timeouts = r.get_u64()?;
+    Ok(MetricsSnapshot {
+        schema_version,
+        tags,
+        rounds,
+        totals,
+        oracle,
+        ram,
+        violations,
+        faults,
+        timeouts,
+    })
+}
+
+/// One manifest entry: a completed cell and the CRC32 of its payload
+/// file, so resume can reject payloads that rotted on disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ManifestEntry {
+    index: usize,
+    digest: u32,
+}
+
+fn encode_manifest(every: usize, total: usize, entries: &[ManifestEntry]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    let section = w.begin_section(&SECTION_MANIFEST);
+    w.put_u64(every as u64);
+    w.put_u64(total as u64);
+    w.put_u64(entries.len() as u64);
+    for e in entries {
+        w.put_u64(e.index as u64);
+        w.put_u32(e.digest);
+    }
+    w.end_section(section);
+    w.finish()
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<(usize, usize, Vec<ManifestEntry>), SnapshotError> {
+    let mut r = SnapshotReader::new(bytes)?;
+    r.begin_section(&SECTION_MANIFEST)?;
+    let every = r.get_u64()? as usize;
+    let total = r.get_u64()? as usize;
+    let count = r.get_u64()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let index = r.get_u64()? as usize;
+        let digest = r.get_u32()?;
+        if index >= total {
+            return Err(SnapshotError::Malformed(format!(
+                "manifest entry {index} out of range (total {total})"
+            )));
+        }
+        entries.push(ManifestEntry { index, digest });
+    }
+    Ok((every, total, entries))
+}
+
+fn write_manifests(ckpt: &CheckpointConfig, total: usize, entries: &[ManifestEntry]) {
+    let bin = encode_manifest(ckpt.every, total, entries);
+    std::fs::write(ckpt.manifest_bin(), &bin)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.manifest_bin().display()));
+    let doc = Json::object([
+        ("schema_version", Json::u64(1)),
+        ("every", Json::u64(ckpt.every as u64)),
+        ("cells", Json::u64(total as u64)),
+        ("completed", Json::array(entries.iter().map(|e| Json::u64(e.index as u64)))),
+        (
+            "digests",
+            Json::Object(
+                entries
+                    .iter()
+                    .map(|e| (e.index.to_string(), Json::u64(u64::from(e.digest))))
+                    .collect(),
+            ),
+        ),
+    ]);
+    write_report_to(ckpt.manifest_json(), &doc)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.manifest_json().display()));
+}
+
+/// Loads the completed cells recorded in `dir`'s manifest, verifying
+/// each payload's CRC against the manifest digest and its label against
+/// the requested grid. Anything missing, corrupt, or mismatched simply
+/// comes back `None` — resume then recomputes that cell, so a damaged
+/// checkpoint degrades to extra work, never to wrong results.
+fn load_completed(ckpt: &CheckpointConfig, cells: &[Cell]) -> Vec<Option<CellResult>> {
+    let mut slots: Vec<Option<CellResult>> = cells.iter().map(|_| None).collect();
+    let Ok(bytes) = std::fs::read(ckpt.manifest_bin()) else {
+        return slots;
+    };
+    let Ok((_, total, entries)) = decode_manifest(&bytes) else {
+        return slots;
+    };
+    if total != cells.len() {
+        // A manifest for a different grid (e.g. --quick vs full scale):
+        // nothing in it can be trusted for this run.
+        return slots;
+    }
+    for entry in entries {
+        let Ok(payload) = std::fs::read(ckpt.cell_path(entry.index)) else {
+            continue;
+        };
+        if crc32(&payload) != entry.digest {
+            continue;
+        }
+        let Ok(result) = decode_cell_result(&payload) else {
+            continue;
+        };
+        if result.label != cells[entry.index].label {
+            continue;
+        }
+        slots[entry.index] = Some(result);
+    }
+    slots
+}
+
+/// [`sweep::run_sweep`] with durable checkpoints: previously completed
+/// cells are loaded from `ckpt.dir` and skipped, the remaining cells run
+/// in batches of [`CheckpointConfig::every`], and after each batch the
+/// payloads and both manifests are flushed. The returned results are
+/// byte-identical to `run_sweep(cells)` — resume changes *when* work
+/// happens, never what it computes.
+pub fn run_sweep_checkpointed(cells: Vec<Cell>, ckpt: &CheckpointConfig) -> Vec<CellResult> {
+    run_sweep_checkpointed_with_abort(cells, ckpt, None)
+        .expect("no abort was requested, so the sweep runs to completion")
+}
+
+/// The one-line gate every sweep binary routes through: with the shared
+/// `--checkpoint-every N` flag, run checkpointed under
+/// `target/checkpoints/<exp>`; without it, take the historical
+/// [`sweep::run_sweep`] path untouched. Either way the results are
+/// byte-identical.
+pub fn run_sweep_with_args(
+    exp: &str,
+    args: &crate::setup::SweepArgs,
+    cells: Vec<Cell>,
+) -> Vec<CellResult> {
+    match args.checkpoint_every() {
+        Some(every) => run_sweep_checkpointed(cells, &CheckpointConfig::for_exp(exp, every)),
+        None => sweep::run_sweep(cells),
+    }
+}
+
+/// [`run_sweep_checkpointed`] with a simulated mid-grid kill: when
+/// `abort_after = Some(j)`, the run stops (returning `None`) at the
+/// first checkpoint flush after `j` cells have been computed in *this*
+/// process, leaving the directory exactly as a SIGKILL at that moment
+/// would. `exp_resume` (E13) uses this to prove kill-and-resume
+/// byte-identity without needing an actual kill.
+pub fn run_sweep_checkpointed_with_abort(
+    cells: Vec<Cell>,
+    ckpt: &CheckpointConfig,
+    abort_after: Option<usize>,
+) -> Option<Vec<CellResult>> {
+    let total = cells.len();
+    let every = ckpt.every.max(1);
+    std::fs::create_dir_all(&ckpt.dir)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", ckpt.dir.display()));
+
+    let mut slots = load_completed(ckpt, &cells);
+    let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+    let mut cells: Vec<Option<Cell>> = cells.into_iter().map(Some).collect();
+
+    let mut computed = 0usize;
+    for batch in pending.chunks(every) {
+        let batch_cells: Vec<Cell> =
+            batch.iter().map(|&i| cells[i].take().expect("pending cell present")).collect();
+        let results = sweep::run_sweep(batch_cells);
+        for (&i, result) in batch.iter().zip(results) {
+            let payload = encode_cell_result(&result);
+            std::fs::write(ckpt.cell_path(i), &payload)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.cell_path(i).display()));
+            slots[i] = Some(result);
+        }
+        let entries: Vec<ManifestEntry> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(i, _)| {
+                let payload = std::fs::read(ckpt.cell_path(i))
+                    .unwrap_or_else(|e| panic!("re-reading {}: {e}", ckpt.cell_path(i).display()));
+                ManifestEntry { index: i, digest: crc32(&payload) }
+            })
+            .collect();
+        write_manifests(ckpt, total, &entries);
+        computed += batch.len();
+        if let Some(limit) = abort_after {
+            if computed >= limit && slots.iter().any(|s| s.is_none()) {
+                return None;
+            }
+        }
+    }
+    Some(slots.into_iter().map(|s| s.expect("every cell completed")).collect())
+}
+
+/// Removes a checkpoint directory, ignoring "already gone". Experiment
+/// binaries call this before a fresh (non-resuming) run so stale cells
+/// from an earlier grid cannot linger next to the new manifest.
+pub fn clean_dir(dir: &Path) {
+    match std::fs::remove_dir_all(dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => panic!("cleaning {}: {e}", dir.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_core::algorithms::pipeline::{Pipeline, Target};
+    use mph_core::algorithms::BlockAssignment;
+    use mph_core::LineParams;
+    use mph_mpc::FaultSpec;
+
+    fn cell(label: &str, target: Target, trials: usize, seed: u64) -> Cell {
+        let params = LineParams::new(64, 48, 16, 8);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), target);
+        Cell::new(label, pipeline, trials, seed, 10_000)
+    }
+
+    fn grid() -> Vec<Cell> {
+        vec![
+            cell("a", Target::Line, 3, 100),
+            cell("b", Target::SimLine, 2, 200),
+            cell("c", Target::SimLine, 3, 300),
+            cell("d", Target::Line, 2, 400),
+            cell("e", Target::SimLine, 2, 500),
+        ]
+    }
+
+    fn tmp(name: &str) -> CheckpointConfig {
+        let dir = std::env::temp_dir().join(format!("mph_ckpt_{name}_{}", std::process::id()));
+        clean_dir(&dir);
+        CheckpointConfig { dir, every: 2 }
+    }
+
+    fn assert_same(a: &[CellResult], b: &[CellResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.status, y.status);
+            assert_eq!(x.measurements, y.measurements);
+            assert_eq!(x.mean_rounds.to_bits(), y.mean_rounds.to_bits());
+            assert_eq!(x.retries_used, y.retries_used);
+            assert_eq!(
+                x.snapshot.as_ref().map(|s| s.to_json_string()),
+                y.snapshot.as_ref().map(|s| s.to_json_string())
+            );
+        }
+    }
+
+    #[test]
+    fn cell_result_round_trips_bit_exactly() {
+        let spec = FaultSpec { drop_rate: 0.05, ..FaultSpec::default() };
+        let results =
+            sweep::run_sweep(vec![cell("rt", Target::SimLine, 4, 50).with_faults(spec, 7, 2)]);
+        for result in &results {
+            let bytes = encode_cell_result(result);
+            let decoded = decode_cell_result(&bytes).expect("decodes");
+            assert_same(std::slice::from_ref(result), std::slice::from_ref(&decoded));
+        }
+    }
+
+    #[test]
+    fn failed_cells_round_trip_too() {
+        let mut poisoned = cell("poisoned", Target::Line, 2, 10);
+        poisoned.s_bits = Some(1);
+        let results = sweep::run_sweep(vec![poisoned]);
+        assert!(results[0].status.is_failed());
+        let decoded = decode_cell_result(&encode_cell_result(&results[0])).expect("decodes");
+        assert_eq!(decoded.status, results[0].status);
+    }
+
+    #[test]
+    fn corrupted_cell_payloads_are_rejected() {
+        let results = sweep::run_sweep(vec![cell("x", Target::Line, 2, 10)]);
+        let bytes = encode_cell_result(&results[0]);
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_cell_result(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+        assert!(decode_cell_result(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_sweep() {
+        let ckpt = tmp("plain");
+        let baseline = sweep::run_sweep(grid());
+        let checkpointed = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &checkpointed);
+        assert!(ckpt.manifest_bin().exists());
+        assert!(ckpt.manifest_json().exists());
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn aborted_sweep_resumes_byte_identically() {
+        let ckpt = tmp("resume");
+        let baseline = sweep::run_sweep(grid());
+        let aborted = run_sweep_checkpointed_with_abort(grid(), &ckpt, Some(3));
+        assert!(aborted.is_none(), "a mid-grid abort must not return results");
+        // The manifest records the flushed prefix; nothing else exists.
+        let bytes = std::fs::read(ckpt.manifest_bin()).expect("manifest written");
+        let (_, total, entries) = decode_manifest(&bytes).expect("manifest decodes");
+        assert_eq!(total, 5);
+        assert!(!entries.is_empty() && entries.len() < 5, "{} entries", entries.len());
+        let resumed = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &resumed);
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn damaged_checkpoints_degrade_to_recomputation() {
+        let ckpt = tmp("damaged");
+        let baseline = sweep::run_sweep(grid());
+        let complete = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &complete);
+        // Rot one payload on disk; its digest no longer matches.
+        let victim = ckpt.cell_path(0);
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let resumed = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &resumed);
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn stale_manifests_for_other_grids_are_ignored() {
+        let ckpt = tmp("stale");
+        assert!(run_sweep_checkpointed_with_abort(grid(), &ckpt, Some(1)).is_none());
+        // A different (smaller) grid must not pick up the stale cells.
+        let small = vec![cell("a", Target::Line, 3, 100), cell("b", Target::SimLine, 2, 200)];
+        let baseline = sweep::run_sweep(vec![
+            cell("a", Target::Line, 3, 100),
+            cell("b", Target::SimLine, 2, 200),
+        ]);
+        let resumed = run_sweep_checkpointed(small, &ckpt);
+        assert_same(&baseline, &resumed);
+        clean_dir(&ckpt.dir);
+    }
+}

@@ -17,6 +17,8 @@
 //! | `exp_instantiation` | the `f^h` RO-methodology instantiation (E9) |
 //! | `exp_ablation` | placement & coordination ablations (E10) |
 //! | `exp_success_cliff` | Pr[success within R rounds], Definition 2.5 (E11) |
+//! | `exp_fault_tolerance` | replication vs crash faults (E12) |
+//! | `exp_resume` | kill-and-resume checkpoint byte-identity (E13) |
 //!
 //! The shared [`report`] module renders aligned markdown tables so the
 //! binaries' stdout can be pasted into EXPERIMENTS.md verbatim. The
@@ -30,6 +32,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod checkpoint;
 pub mod report;
 pub mod setup;
 pub mod sweep;

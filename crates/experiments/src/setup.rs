@@ -30,12 +30,16 @@ pub fn demo_pipeline(w: u64, v: usize, m: usize, window: usize, target: Target) 
 /// * `--seed N` — override the base seed (trial `t` uses `seed + t`).
 /// * `--quick` — shrink the instance to CI-smoke scale; each binary
 ///   defines its own tiny configuration.
+/// * `--checkpoint-every N` — checkpoint sweep progress every `N`
+///   completed cells (see [`crate::checkpoint`]); without the flag,
+///   sweeps run exactly as before the checkpoint subsystem existed.
 ///
 /// Defaults (no flags) reproduce the published tables exactly.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SweepArgs {
     trials: Option<usize>,
     seed: Option<u64>,
+    checkpoint_every: Option<usize>,
     /// Whether `--quick` was passed.
     pub quick: bool,
 }
@@ -45,17 +49,21 @@ impl SweepArgs {
     /// unrecognized (experiment output must never silently ignore a
     /// mistyped flag).
     pub fn parse() -> Self {
-        match Self::from_iter(std::env::args().skip(1)) {
+        match Self::parse_from(std::env::args().skip(1)) {
             Ok(args) => args,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: [--trials N] [--seed N] [--quick]");
+                eprintln!("usage: [--trials N] [--seed N] [--quick] [--checkpoint-every N]");
                 std::process::exit(2);
             }
         }
     }
 
-    fn from_iter(args: impl Iterator<Item = String>) -> Result<Self, String> {
+    /// Parses an explicit argument list (everything after the binary
+    /// name). Public so binaries with extra flags of their own (e.g.
+    /// `exp_resume`'s `--stage`) can pre-filter the list and hand the
+    /// remainder to the shared parser.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut out = SweepArgs::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
@@ -74,6 +82,13 @@ impl SweepArgs {
                     out.trials = Some(n as usize);
                 }
                 "--seed" => out.seed = Some(numeric("--seed")?),
+                "--checkpoint-every" => {
+                    let n = numeric("--checkpoint-every")?;
+                    if n == 0 {
+                        return Err("--checkpoint-every must be positive".into());
+                    }
+                    out.checkpoint_every = Some(n as usize);
+                }
                 "--quick" => out.quick = true,
                 other => return Err(format!("unknown argument: {other}")),
             }
@@ -89,6 +104,13 @@ impl SweepArgs {
     /// The base seed: the flag's value, or the binary's default.
     pub fn seed(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// The checkpoint cadence, when `--checkpoint-every` was passed.
+    /// `None` means "no checkpointing": the sweep takes the historical
+    /// [`crate::sweep::run_sweep`] path untouched.
+    pub fn checkpoint_every(&self) -> Option<usize> {
+        self.checkpoint_every
     }
 }
 
@@ -108,7 +130,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<SweepArgs, String> {
-        SweepArgs::from_iter(args.iter().map(|s| s.to_string()))
+        SweepArgs::parse_from(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -125,10 +147,18 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_every_defaults_off() {
+        assert_eq!(parse(&[]).unwrap().checkpoint_every(), None);
+        assert_eq!(parse(&["--checkpoint-every", "3"]).unwrap().checkpoint_every(), Some(3));
+    }
+
+    #[test]
     fn sweep_args_rejects_bad_input() {
         assert!(parse(&["--trials"]).is_err());
         assert!(parse(&["--trials", "zero"]).is_err());
         assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--checkpoint-every"]).is_err());
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 }

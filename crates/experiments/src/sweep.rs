@@ -17,9 +17,10 @@
 //! incorrect fault-free trial) is marked [`CellStatus::Failed`] with its
 //! panic message while every other cell completes normally. Cells may
 //! also opt into fault injection ([`Cell::faults`]): their trials run
-//! under a deterministic [`FaultPlan`], failed trials are retried up to
-//! [`Cell::retries`] times with a deterministically reseeded schedule
-//! (see [`mph_mpc::faults::derive_seed`]), and the injected faults are
+//! under a deterministic [`mph_mpc::FaultPlan`], failed trials are
+//! retried with a deterministically reseeded schedule under the shared
+//! supervisor policy [`RetryPolicy::for_retries`]`(cell.retries)` (see
+//! [`mph_mpc::faults::derive_seed`]), and the injected faults are
 //! tallied in the cell's telemetry snapshot. A report built from a sweep
 //! should carry [`degraded`] as its health flag.
 //!
@@ -32,10 +33,9 @@
 //! `sweep_determinism` pins this down by diffing whole report files
 //! across thread counts.
 
-use mph_core::theorem::{self, MeasurablePipeline, RoundMeasurement, TrialRunner};
+use mph_core::theorem::{self, MeasurablePipeline, RetryPolicy, RoundMeasurement, TrialRunner};
 use mph_metrics::{MetricsSink, MetricsSnapshot, Recorder};
-use mph_mpc::faults::derive_seed;
-use mph_mpc::{FaultPlan, FaultSpec};
+use mph_mpc::FaultSpec;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -286,24 +286,20 @@ fn run_chunk(
                     sink.clone(),
                 );
             };
-            let mut attempt = 0u64;
-            loop {
-                let plan = FaultPlan::new(derive_seed(cell.fault_seed, seed, attempt), spec);
-                let m = runner.measure_with_faults(
-                    &cell.pipeline,
-                    seed,
-                    cell.s_bits,
-                    cell.q,
-                    cell.max_rounds,
-                    sink.clone(),
-                    Some(plan),
-                );
-                if m.correct || attempt >= cell.retries as u64 {
-                    return m;
-                }
-                attempt += 1;
-                retries += 1;
-            }
+            // `retries` extra attempts = `retries + 1` total attempts;
+            // RetryPolicy::for_retries documents exactly this mapping.
+            let outcome = runner.measure_with_policy(
+                &cell.pipeline,
+                seed,
+                cell.s_bits,
+                cell.q,
+                cell.max_rounds,
+                sink.clone(),
+                Some((spec, cell.fault_seed)),
+                &RetryPolicy::for_retries(cell.retries),
+            );
+            retries += outcome.attempts - 1;
+            outcome.measurement
         })
         .collect();
     (measurements, retries)
@@ -489,6 +485,50 @@ mod tests {
                 y.snapshot.as_ref().map(|s| s.to_json_string())
             );
         }
+    }
+
+    #[test]
+    fn retry_accounting_is_pinned() {
+        // `retries = r` means r + 1 total attempts per trial, and
+        // `retries_used` counts attempts beyond the first. Pin the exact
+        // counts against a hand-rolled reseeded loop so the RetryPolicy
+        // refactor can never silently shift the attempt budget.
+        use mph_mpc::faults::derive_seed;
+        use mph_mpc::FaultPlan;
+        let spec = FaultSpec { crash_rate: 0.02, ..FaultSpec::default() };
+        let (trials, base_seed, retries) = (6usize, 50u64, 3usize);
+        let results = run_sweep(vec![
+            cell("pinned", Target::SimLine, trials, base_seed).with_faults(spec, 3, retries)
+        ]);
+        let reference = cell("pinned", Target::SimLine, trials, base_seed);
+        let mut runner = TrialRunner::new();
+        let mut expected_retries = 0usize;
+        let expected: Vec<RoundMeasurement> = (0..trials as u64)
+            .map(|t| {
+                let seed = base_seed + t;
+                let mut attempt = 0u64;
+                loop {
+                    let plan = FaultPlan::new(derive_seed(3, seed, attempt), spec);
+                    let m = runner.measure_with_faults(
+                        &reference.pipeline,
+                        seed,
+                        None,
+                        None,
+                        10_000,
+                        None,
+                        Some(plan),
+                    );
+                    if m.correct || attempt as usize >= retries {
+                        return m;
+                    }
+                    attempt += 1;
+                    expected_retries += 1;
+                }
+            })
+            .collect();
+        assert_eq!(results[0].measurements, expected);
+        assert_eq!(results[0].retries_used, expected_retries);
+        assert!(expected_retries > 0, "the pinned spec should force at least one retry");
     }
 
     #[test]

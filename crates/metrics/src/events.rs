@@ -107,6 +107,15 @@ pub enum Event {
         /// The round in which the fault took effect.
         round: u64,
     },
+    /// A trial exceeded its wall-clock deadline and was aborted by the
+    /// watchdog (`mph_core::theorem::RetryPolicy`); the supervisor may
+    /// retry it with a reseeded fault schedule.
+    TrialTimeout {
+        /// Which attempt timed out (0 is the first attempt).
+        attempt: u64,
+        /// The deadline that was exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl Event {
@@ -121,6 +130,7 @@ impl Event {
             Event::RamStep { .. } => "ram_step",
             Event::ModelViolation { .. } => "model_violation",
             Event::Fault { .. } => "fault",
+            Event::TrialTimeout { .. } => "trial_timeout",
         }
     }
 
@@ -177,6 +187,10 @@ impl Event {
                 pairs.push(("machine".into(), Json::u64(machine)));
                 pairs.push(("round".into(), Json::u64(round)));
             }
+            Event::TrialTimeout { attempt, deadline_ms } => {
+                pairs.push(("attempt".into(), Json::u64(attempt)));
+                pairs.push(("deadline_ms".into(), Json::u64(deadline_ms)));
+            }
         }
         Json::Object(pairs)
     }
@@ -190,6 +204,16 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Event::RoundStart { round: 0 }.name(), "round_start");
         assert_eq!(QueryKind::Patched.name(), "patched");
+        assert_eq!(Event::TrialTimeout { attempt: 0, deadline_ms: 0 }.name(), "trial_timeout");
+    }
+
+    #[test]
+    fn trial_timeout_renders_its_fields() {
+        let e = Event::TrialTimeout { attempt: 2, deadline_ms: 1500 };
+        assert_eq!(
+            e.to_json().to_string(),
+            r#"{"event":"trial_timeout","attempt":2,"deadline_ms":1500}"#
+        );
     }
 
     #[test]

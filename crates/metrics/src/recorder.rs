@@ -58,6 +58,7 @@ struct Shard {
     ram_cost: u64,
     violations: BTreeMap<&'static str, u64>,
     faults: BTreeMap<&'static str, u64>,
+    timeouts: u64,
 }
 
 impl Shard {
@@ -103,6 +104,9 @@ impl Shard {
             }
             Event::Fault { kind, .. } => {
                 *self.faults.entry(kind).or_insert(0) += 1;
+            }
+            Event::TrialTimeout { .. } => {
+                self.timeouts += 1;
             }
         }
     }
@@ -187,6 +191,7 @@ impl Recorder {
             for (kind, count) in &s.faults {
                 *merged.faults.entry(kind).or_insert(0) += count;
             }
+            merged.timeouts += s.timeouts;
         }
 
         let rounds: Vec<RoundSnapshot> = merged
@@ -236,6 +241,7 @@ impl Recorder {
             ram: RamTotals { steps: merged.ram_steps, cost: merged.ram_cost },
             violations: merged.violations.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             faults: merged.faults.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            timeouts: merged.timeouts,
         }
     }
 }

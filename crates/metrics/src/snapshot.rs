@@ -102,15 +102,19 @@ pub struct MetricsSnapshot {
     /// runs with an active `mph_mpc::faults::FaultPlan`; empty for every
     /// fault-free run.
     pub faults: BTreeMap<String, u64>,
+    /// Trials aborted by the wall-clock watchdog
+    /// (`Event::TrialTimeout`). Zero for every run without a deadline.
+    pub timeouts: u64,
 }
 
 impl MetricsSnapshot {
     /// Renders the snapshot as a JSON document.
     ///
     /// The `faults` object is included only when at least one fault was
-    /// recorded: fault-free runs (the only kind that existed before the
-    /// fault-injection subsystem) keep rendering byte-identically under
-    /// schema version 1.
+    /// recorded, and the `timeouts` count only when nonzero: fault-free,
+    /// deadline-free runs (the only kind that existed before the
+    /// fault-injection and watchdog subsystems) keep rendering
+    /// byte-identically under schema version 1.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::object([
             ("schema_version", Json::u64(u64::from(self.schema_version))),
@@ -180,6 +184,11 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        if self.timeouts > 0 {
+            if let Json::Object(pairs) = &mut doc {
+                pairs.push(("timeouts".into(), Json::u64(self.timeouts)));
+            }
+        }
         doc
     }
 
@@ -205,6 +214,7 @@ mod tests {
             ram: RamTotals::default(),
             violations: BTreeMap::new(),
             faults: BTreeMap::new(),
+            timeouts: 0,
         };
         let s = snap.to_json_string();
         assert!(s.starts_with(r#"{"schema_version":1,"tags":{},"rounds":[],"#), "{s}");
@@ -222,11 +232,20 @@ mod tests {
             ram: RamTotals::default(),
             violations: BTreeMap::new(),
             faults: BTreeMap::new(),
+            timeouts: 0,
         };
         assert!(!snap.to_json_string().contains("faults"));
         snap.faults.insert("crash".into(), 2);
         snap.faults.insert("message_dropped".into(), 1);
         let s = snap.to_json_string();
         assert!(s.ends_with(r#""faults":{"crash":2,"message_dropped":1}}"#), "{s}");
+
+        // And timeouts render only when nonzero, after the faults block.
+        snap.timeouts = 3;
+        let s = snap.to_json_string();
+        assert!(s.ends_with(r#""faults":{"crash":2,"message_dropped":1},"timeouts":3}"#), "{s}");
+        snap.faults.clear();
+        let s = snap.to_json_string();
+        assert!(s.ends_with(r#""violations":{},"timeouts":3}"#), "{s}");
     }
 }

@@ -11,10 +11,11 @@ use crate::error::ModelViolation;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::machine::{MachineLogic, Outbox, RoundCtx};
 use crate::message::{total_bits, MachineId, Message};
+use crate::snapshot::{FaultSnapshot, SimulationSnapshot};
 use crate::stats::{RoundStats, SimStats};
 use mph_bits::BitVec;
 use mph_metrics::{emit, Event, MetricsSink};
-use mph_oracle::{Oracle, RandomTape};
+use mph_oracle::{Oracle, RandomTape, SnapshotError};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -629,6 +630,112 @@ impl Simulation {
         })
     }
 
+    /// Like [`Simulation::run_until_output`], but polls the `expired`
+    /// predicate before every round — the wall-clock watchdog hook. When
+    /// the predicate fires, the run stops with a
+    /// [`RunOutcome::RoundLimit`] result and the returned flag is `true`.
+    ///
+    /// Completion is checked *before* expiry: a round that produces output
+    /// returns `(Completed, false)` without consulting the predicate
+    /// again, so a trial finishing exactly at its deadline counts as a
+    /// success, never a timeout.
+    pub fn run_with_watchdog(
+        &mut self,
+        max_rounds: usize,
+        expired: &mut dyn FnMut() -> bool,
+    ) -> Result<(RunResult, bool), ModelViolation> {
+        let start_round = self.round;
+        for _ in 0..max_rounds {
+            if expired() {
+                return Ok((
+                    RunResult {
+                        outcome: RunOutcome::RoundLimit { limit: max_rounds },
+                        outputs: std::mem::take(&mut self.outputs),
+                        stats: std::mem::take(&mut self.stats),
+                    },
+                    true,
+                ));
+            }
+            let produced_output = !self.step()?.is_empty();
+            if produced_output {
+                return Ok((
+                    RunResult {
+                        outcome: RunOutcome::Completed { rounds: self.round - start_round },
+                        outputs: std::mem::take(&mut self.outputs),
+                        stats: std::mem::take(&mut self.stats),
+                    },
+                    false,
+                ));
+            }
+        }
+        Ok((
+            RunResult {
+                outcome: RunOutcome::RoundLimit { limit: max_rounds },
+                outputs: std::mem::take(&mut self.outputs),
+                stats: std::mem::take(&mut self.stats),
+            },
+            false,
+        ))
+    }
+
+    /// Captures the simulation's run state as a durable
+    /// [`SimulationSnapshot`] — round index, memory images (pending
+    /// inboxes), collected outputs, statistics, the query budget, the
+    /// tape seed, and fault-plan coordinates plus accumulated fault state.
+    ///
+    /// Configuration the host rebuilds from its own parameters — machine
+    /// programs, the oracle, the metrics sink — is deliberately excluded;
+    /// see [`Simulation::restore`].
+    pub fn snapshot(&self) -> SimulationSnapshot {
+        SimulationSnapshot {
+            m: self.m,
+            s_bits: self.s_bits,
+            q: self.q,
+            round: self.round,
+            inboxes: self.inboxes.clone(),
+            outputs: self.outputs.clone(),
+            stats: self.stats.clone(),
+            tape_seed: self.tape.seed(),
+            faults: self.faults.as_ref().map(|fs| FaultSnapshot {
+                seed: fs.plan.seed(),
+                spec: *fs.plan.spec(),
+                crashed: fs.crashed.clone(),
+                delayed: fs.delayed.clone(),
+            }),
+        }
+    }
+
+    /// Reinstalls run state captured by [`Simulation::snapshot`] into this
+    /// simulation, which must be configured with the same `m` and `s`
+    /// (mismatches are a [`SnapshotError::Malformed`]). Machine programs,
+    /// the oracle, and the metrics sink are untouched — they are
+    /// configuration, and the caller rebuilds them exactly as it built
+    /// them before the checkpoint. Continuing a restored run is
+    /// byte-identical to never having stopped.
+    pub fn restore(&mut self, snap: &SimulationSnapshot) -> Result<(), SnapshotError> {
+        if snap.m != self.m || snap.s_bits != self.s_bits {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot geometry (m = {}, s = {}) does not match simulation (m = {}, s = {})",
+                snap.m, snap.s_bits, self.m, self.s_bits
+            )));
+        }
+        self.q = snap.q;
+        self.round = snap.round;
+        for (inbox, saved) in self.inboxes.iter_mut().zip(&snap.inboxes) {
+            inbox.clear();
+            inbox.extend(saved.iter().cloned());
+        }
+        self.outputs = snap.outputs.clone();
+        self.stats = snap.stats.clone();
+        self.tape = RandomTape::new(snap.tape_seed);
+        self.faults = snap.faults.as_ref().map(|fs| FaultState {
+            plan: FaultPlan::new(fs.seed, fs.spec),
+            crashed: fs.crashed.clone(),
+            delayed: fs.delayed.clone(),
+        });
+        Ok(())
+    }
+
     /// Runs exactly `rounds` rounds (collecting any outputs along the way).
     ///
     /// Like [`Simulation::run_until_output`], the outcome's round count is
@@ -1165,6 +1272,124 @@ mod tests {
         // The memory image rode the self-requeue through all 4 rounds.
         assert_eq!(s.inbox(0).len(), 1);
         assert_eq!(s.inbox(0)[0].payload, BitVec::zeros(8));
+    }
+
+    // ---- checkpoint/restart -------------------------------------------
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        // Baseline: an uninterrupted run.
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let baseline = s.run_until_output(100).unwrap();
+
+        // Interrupted: step 3 rounds, snapshot, serialize, decode, restore
+        // into a *freshly configured* simulation, and finish.
+        let mut first = sim(4, 64);
+        first.set_uniform_logic(relay());
+        first.seed_memory(0, BitVec::zeros(2));
+        for _ in 0..3 {
+            first.step().unwrap();
+        }
+        let bytes = first.snapshot().to_bytes();
+        let snap = SimulationSnapshot::from_bytes(&bytes).unwrap();
+
+        let mut resumed = sim(4, 64);
+        resumed.set_uniform_logic(relay());
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.round(), 3);
+        let finished = resumed.run_until_output(100).unwrap();
+
+        assert_eq!(finished.outputs, baseline.outputs);
+        assert_eq!(finished.stats, baseline.stats);
+        assert_eq!(finished.rounds(), baseline.rounds());
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_fault_state() {
+        let spec = FaultSpec {
+            crash_rate: 0.02,
+            drop_rate: 0.05,
+            corrupt_rate: 0.05,
+            straggler_rate: 0.10,
+            straggler_delay: 2,
+            oracle_outage_rate: 0.02,
+        };
+        let baseline = relay_run(Some(FaultPlan::new(99, spec)), 50);
+
+        let mut first = sim(4, 64);
+        first.set_uniform_logic(relay());
+        first.set_fault_plan(FaultPlan::new(99, spec));
+        first.seed_memory(0, BitVec::zeros(2));
+        for _ in 0..5 {
+            first.step().unwrap();
+        }
+        let snap = SimulationSnapshot::from_bytes(&first.snapshot().to_bytes()).unwrap();
+        assert!(snap.faults.is_some());
+
+        let mut resumed = sim(4, 64);
+        resumed.set_uniform_logic(relay());
+        resumed.restore(&snap).unwrap();
+        let finished = resumed.run_until_output(45).unwrap();
+        assert_eq!(finished.outputs, baseline.outputs);
+        assert_eq!(finished.stats, baseline.stats);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let mut s = sim(4, 64);
+        s.seed_memory(0, BitVec::zeros(2));
+        let snap = s.snapshot();
+        let mut wrong_m = sim(3, 64);
+        assert!(wrong_m.restore(&snap).is_err());
+        let mut wrong_s = sim(4, 32);
+        assert!(wrong_s.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn watchdog_expiry_stops_before_any_round() {
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let (result, timed_out) = s.run_with_watchdog(100, &mut || true).unwrap();
+        assert!(timed_out);
+        assert!(!result.completed());
+        assert_eq!(result.rounds(), 0, "an already-expired deadline runs no rounds");
+    }
+
+    #[test]
+    fn watchdog_never_fires_on_a_completing_run() {
+        // The predicate goes true only after enough polls for the relay to
+        // finish: completion is checked first, so the run still succeeds —
+        // finishing "exactly at the deadline" is a success, not a timeout.
+        let baseline = relay_run(None, 100);
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let mut polls = 0usize;
+        let (result, timed_out) = s
+            .run_with_watchdog(100, &mut || {
+                polls += 1;
+                polls > 6 // the relay outputs in its 6th round
+            })
+            .unwrap();
+        assert!(!timed_out);
+        assert!(result.completed());
+        assert_eq!(result.outputs, baseline.outputs);
+        assert_eq!(result.stats, baseline.stats);
+    }
+
+    #[test]
+    fn watchdog_with_inert_predicate_matches_run_until_output() {
+        let baseline = relay_run(None, 100);
+        let mut s = sim(4, 64);
+        s.set_uniform_logic(relay());
+        s.seed_memory(0, BitVec::zeros(2));
+        let (result, timed_out) = s.run_with_watchdog(100, &mut || false).unwrap();
+        assert!(!timed_out);
+        assert_eq!(result.outputs, baseline.outputs);
+        assert_eq!(result.stats, baseline.stats);
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub enum FaultKind {
     StragglerDelay,
     /// The oracle was unreachable from a machine for one round.
     OracleUnavailable,
+    /// A sweep was aborted at a checkpoint boundary (the simulated
+    /// SIGKILL of the kill-and-resume experiment, E13) — recorded when a
+    /// checkpointed run stops mid-grid and is later resumed from its
+    /// manifest.
+    Checkpoint,
 }
 
 impl FaultKind {
@@ -111,6 +116,7 @@ impl FaultKind {
             FaultKind::MessageCorrupted => "message_corrupted",
             FaultKind::StragglerDelay => "straggler_delay",
             FaultKind::OracleUnavailable => "oracle_unavailable",
+            FaultKind::Checkpoint => "checkpoint_abort",
         }
     }
 }
@@ -352,5 +358,6 @@ mod tests {
         assert_eq!(FaultKind::MessageCorrupted.name(), "message_corrupted");
         assert_eq!(FaultKind::StragglerDelay.name(), "straggler_delay");
         assert_eq!(FaultKind::OracleUnavailable.name(), "oracle_unavailable");
+        assert_eq!(FaultKind::Checkpoint.name(), "checkpoint_abort");
     }
 }

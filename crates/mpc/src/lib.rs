@@ -36,6 +36,7 @@ pub mod faults;
 pub mod input;
 pub mod machine;
 pub mod message;
+pub mod snapshot;
 pub mod stats;
 
 pub use error::ModelViolation;
@@ -44,4 +45,5 @@ pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use input::{partition_blocks, Partition, PartitionStrategy};
 pub use machine::{MachineLogic, Outbox, RoundCtx};
 pub use message::{MachineId, Message};
+pub use snapshot::{FaultSnapshot, SimulationSnapshot};
 pub use stats::{RoundStats, SimStats};

@@ -130,6 +130,44 @@ impl<O: Oracle> CachedOracle<O> {
         self.len() == 0
     }
 
+    /// The memo table's entries in a canonical order: shard by shard, each
+    /// shard in FIFO insertion order. The order is deterministic (shard
+    /// assignment is FNV-based, insertion order is the query order), so
+    /// snapshots of the same cache state are byte-identical.
+    pub fn entries(&self) -> Vec<(BitVec, BitVec)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.lock();
+            for key in &guard.order {
+                let answer = guard.map.get(key).expect("order and map agree");
+                out.push((key.clone(), answer.clone()));
+            }
+        }
+        out
+    }
+
+    /// Re-inserts previously captured `entries` (from
+    /// [`CachedOracle::entries`]) through the normal insertion path:
+    /// shard assignment, FIFO order, and capacity eviction all apply, so a
+    /// restored cache behaves exactly like one that answered those queries.
+    /// Entries do not touch the inner oracle and are not counted as hits
+    /// or misses — restoring is bookkeeping, not querying.
+    pub fn restore_entries(&self, entries: Vec<(BitVec, BitVec)>) {
+        for (input, answer) in entries {
+            let mut shard = self.shards[self.shard_index(&input)].lock();
+            if shard.map.contains_key(&input) {
+                continue;
+            }
+            if shard.map.len() >= self.capacity_per_shard {
+                if let Some(oldest) = shard.order.pop_front() {
+                    shard.map.remove(&oldest);
+                }
+            }
+            shard.map.insert(input.clone(), answer);
+            shard.order.push_back(input);
+        }
+    }
+
     /// The index of the lock stripe responsible for `input`.
     ///
     /// FNV-1a over the backing words — deterministic across processes
@@ -296,5 +334,47 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = CachedOracle::with_capacity(LazyOracle::square(0, 8), 0);
+    }
+
+    #[test]
+    fn entries_round_trip_through_restore() {
+        let cached = CachedOracle::new(LazyOracle::square(6, 16));
+        for i in 0..30u64 {
+            cached.query(&BitVec::from_u64(i, 16));
+        }
+        let entries = cached.entries();
+        assert_eq!(entries.len(), 30);
+
+        // A fresh cache restored from the captured entries answers every
+        // warmed query as a hit — no inner-oracle traffic, no miss counts.
+        let restored = CachedOracle::new(LazyOracle::square(6, 16));
+        restored.restore_entries(entries.clone());
+        assert_eq!(restored.len(), 30);
+        assert_eq!((restored.hits(), restored.misses()), (0, 0));
+        for i in 0..30u64 {
+            let q = BitVec::from_u64(i, 16);
+            assert_eq!(restored.query(&q), cached.query(&q));
+        }
+        assert_eq!(restored.misses(), 0, "every restored entry is a hit");
+        // And the restored cache's canonical entry order matches.
+        assert_eq!(restored.entries(), entries);
+    }
+
+    #[test]
+    fn restore_respects_capacity_and_skips_duplicates() {
+        let small = CachedOracle::with_capacity(LazyOracle::square(6, 16), 16);
+        let dup = BitVec::from_u64(1, 16);
+        let answer = LazyOracle::square(6, 16).query(&dup);
+        small.restore_entries(vec![(dup.clone(), answer.clone()), (dup.clone(), answer)]);
+        assert_eq!(small.len(), 1, "duplicate restores collapse");
+        let many: Vec<(BitVec, BitVec)> = (0..200u64)
+            .map(|i| {
+                let q = BitVec::from_u64(i, 16);
+                let a = LazyOracle::square(6, 16).query(&q);
+                (q, a)
+            })
+            .collect();
+        small.restore_entries(many);
+        assert!(small.len() <= 16, "restore evicts past capacity like queries do");
     }
 }

@@ -36,6 +36,9 @@
 //!   the concrete `f^h`.
 //! * [`RandomTape`] — the shared, read-only, multiple-access random tape
 //!   `𝒯` of Definition 2.1.
+//! * [`snapshot`] — the versioned, checksummed binary codec the
+//!   checkpoint/restart subsystem uses to persist lazily-sampled oracle
+//!   tables and executor state; strict typed decode errors, never a panic.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -46,6 +49,7 @@ pub mod hash;
 pub mod lazy;
 pub mod patched;
 pub mod sha256;
+pub mod snapshot;
 pub mod table;
 pub mod tape;
 pub mod traits;
@@ -56,6 +60,7 @@ pub use counting::{CountingOracle, QueryBudgetExceeded};
 pub use hash::HashOracle;
 pub use lazy::LazyOracle;
 pub use patched::PatchedOracle;
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use table::TableOracle;
 pub use tape::RandomTape;
 pub use traits::{DynOracle, Oracle};

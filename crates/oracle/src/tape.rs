@@ -41,6 +41,13 @@ impl RandomTape {
         RandomTape { seed }
     }
 
+    /// The determining seed. A tape is a pure function of it, so
+    /// persisting the seed (as the checkpoint codec does) reconstructs the
+    /// tape exactly.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Reads `len` bits starting at absolute bit offset `offset`.
     ///
     /// Panics if `offset + len` overflows `u64` — the tape's address space

@@ -1,0 +1,231 @@
+//! Property tests for the durable snapshot codec (docs/ROBUSTNESS.md):
+//! arbitrary executor and oracle states encode → decode bit-exactly, and
+//! *any* mutated or truncated byte stream yields a typed
+//! [`SnapshotError`] — never a panic, and never a silently wrong state.
+//!
+//! States are generated from proptest-drawn seeds through a deterministic
+//! builder, so every reported failure reproduces from its seed alone.
+
+use mpc_hardness::mpc::{FaultSnapshot, Message, SimulationSnapshot};
+use mpc_hardness::mpc::{FaultSpec, RoundStats, SimStats};
+use mpc_hardness::oracle::snapshot::{
+    decode_oracle_table, decode_transcript, encode_oracle_table, encode_transcript, SnapshotReader,
+    SnapshotWriter,
+};
+use mpc_hardness::oracle::transcript::QueryRecord;
+use mpc_hardness::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn arb_bitvec(rng: &mut StdRng, max_bits: usize) -> BitVec {
+    let len = rng.gen_range(0..=max_bits);
+    let bools: Vec<bool> = (0..len).map(|_| rng.gen_range(0..2u8) == 1).collect();
+    BitVec::from_bools(&bools)
+}
+
+fn arb_message(rng: &mut StdRng, m: usize) -> Message {
+    Message { from: rng.gen_range(0..m), to: rng.gen_range(0..m), payload: arb_bitvec(rng, 80) }
+}
+
+fn arb_stats(rng: &mut StdRng) -> SimStats {
+    let rounds = (0..rng.gen_range(0..6usize))
+        .map(|round| RoundStats {
+            round,
+            messages: rng.gen_range(0..100),
+            bits_sent: rng.gen_range(0..10_000),
+            oracle_queries: rng.gen_range(0..50u64),
+            max_queries_one_machine: rng.gen_range(0..10u64),
+            max_memory_bits: rng.gen_range(0..4096),
+            active_machines: rng.gen_range(0..8),
+        })
+        .collect();
+    SimStats { rounds }
+}
+
+/// A deterministic arbitrary executor snapshot: every field exercised,
+/// including the optional fault block on odd seeds.
+fn arb_snapshot(seed: u64) -> SimulationSnapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = rng.gen_range(1..6usize);
+    let faults = (seed % 2 == 1).then(|| FaultSnapshot {
+        seed: rng.gen::<u64>(),
+        spec: FaultSpec {
+            crash_rate: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+            drop_rate: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+            corrupt_rate: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+            straggler_rate: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+            straggler_delay: rng.gen_range(1..5usize),
+            oracle_outage_rate: f64::from(rng.gen_range(0..=100u32)) / 100.0,
+        },
+        crashed: (0..m).map(|_| rng.gen_range(0..2u8) == 1).collect(),
+        delayed: (0..rng.gen_range(0..4usize))
+            .map(|_| (rng.gen_range(0..20usize), arb_message(&mut rng, m)))
+            .collect(),
+    });
+    SimulationSnapshot {
+        m,
+        s_bits: rng.gen_range(64..100_000),
+        q: if seed.is_multiple_of(3) { None } else { Some(rng.gen_range(1..1000u64)) },
+        round: rng.gen_range(0..500),
+        inboxes: (0..m)
+            .map(|_| (0..rng.gen_range(0..5usize)).map(|_| arb_message(&mut rng, m)).collect())
+            .collect(),
+        outputs: (0..rng.gen_range(0..3usize))
+            .map(|_| (rng.gen_range(0..m), arb_bitvec(&mut rng, 64)))
+            .collect(),
+        stats: arb_stats(&mut rng),
+        tape_seed: rng.gen::<u64>(),
+        faults,
+    }
+}
+
+fn arb_table(seed: u64) -> Vec<(BitVec, BitVec)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AB1E);
+    (0..rng.gen_range(0..12usize))
+        .map(|_| (arb_bitvec(&mut rng, 96), arb_bitvec(&mut rng, 96)))
+        .collect()
+}
+
+fn arb_records(seed: u64) -> Vec<QueryRecord> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EC0);
+    (0..rng.gen_range(0..12usize))
+        .map(|_| QueryRecord { input: arb_bitvec(&mut rng, 96), output: arb_bitvec(&mut rng, 96) })
+        .collect()
+}
+
+fn encode_table(entries: &[(BitVec, BitVec)]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    encode_oracle_table(&mut w, entries);
+    w.finish()
+}
+
+fn encode_records(records: &[QueryRecord]) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    encode_transcript(&mut w, records);
+    w.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Executor snapshots round-trip bit-exactly for arbitrary states.
+    #[test]
+    fn simulation_snapshots_round_trip(seed in any::<u64>()) {
+        let snap = arb_snapshot(seed);
+        let decoded = SimulationSnapshot::from_bytes(&snap.to_bytes()).expect("decodes");
+        prop_assert_eq!(decoded, snap);
+    }
+
+    /// Oracle tables and transcripts round-trip bit-exactly.
+    #[test]
+    fn oracle_state_round_trips(seed in any::<u64>()) {
+        let table = arb_table(seed);
+        let table_bytes = encode_table(&table);
+        let mut r = SnapshotReader::new(&table_bytes).expect("frames");
+        prop_assert_eq!(decode_oracle_table(&mut r).expect("decodes"), table);
+
+        let records = arb_records(seed);
+        let record_bytes = encode_records(&records);
+        let mut r = SnapshotReader::new(&record_bytes).expect("frames");
+        prop_assert_eq!(decode_transcript(&mut r).expect("decodes"), records);
+    }
+
+    /// Flipping any single byte of an executor snapshot is always caught:
+    /// the decode returns a typed error, never a different state.
+    #[test]
+    fn mutated_snapshots_never_decode_to_a_wrong_state(
+        seed in any::<u64>(),
+        victim in any::<u64>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = arb_snapshot(seed).to_bytes();
+        let mut bad = bytes.clone();
+        let at = (victim % bytes.len() as u64) as usize;
+        bad[at] ^= flip;
+        prop_assert!(
+            SimulationSnapshot::from_bytes(&bad).is_err(),
+            "flip {flip:#04x} at byte {at}/{} went undetected", bytes.len()
+        );
+    }
+
+    /// Truncating a snapshot at any length is always caught.
+    #[test]
+    fn truncated_snapshots_never_decode(seed in any::<u64>(), cut in any::<u64>()) {
+        let bytes = arb_snapshot(seed).to_bytes();
+        let len = (cut % bytes.len() as u64) as usize;
+        prop_assert!(
+            SimulationSnapshot::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len}/{} went undetected", bytes.len()
+        );
+    }
+
+    /// The same corruption guarantees hold for the oracle-state codecs:
+    /// every single-byte flip and every truncation is rejected at the
+    /// frame layer or the field layer.
+    #[test]
+    fn mutated_oracle_state_never_decodes(
+        seed in any::<u64>(),
+        victim in any::<u64>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = encode_table(&arb_table(seed));
+        let mut bad = bytes.clone();
+        let at = (victim % bytes.len() as u64) as usize;
+        bad[at] ^= flip;
+        let outcome = SnapshotReader::new(&bad)
+            .and_then(|mut r| decode_oracle_table(&mut r));
+        prop_assert!(outcome.is_err(), "flip {flip:#04x} at byte {at} went undetected");
+
+        let bytes = encode_records(&arb_records(seed));
+        let len = (victim % bytes.len() as u64) as usize;
+        let outcome = SnapshotReader::new(&bytes[..len])
+            .and_then(|mut r| decode_transcript(&mut r));
+        prop_assert!(outcome.is_err(), "truncation to {len} went undetected");
+    }
+
+    /// A decoded-then-reencoded snapshot is the identical byte stream:
+    /// the codec is canonical, so checkpoint digests are stable.
+    #[test]
+    fn reencoding_is_canonical(seed in any::<u64>()) {
+        let bytes = arb_snapshot(seed).to_bytes();
+        let decoded = SimulationSnapshot::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+}
+
+/// Live-state round trip: snapshot a real mid-run simulation, restore it
+/// into a fresh one, and finish both — byte-identical outputs and stats.
+/// (The per-crate tests cover this per seed; here it runs across random
+/// pipeline shapes.)
+#[test]
+fn live_simulation_snapshots_resume_exactly() {
+    use mpc_hardness::core::theorem;
+    for seed in 0..4u64 {
+        let params = LineParams::new(64, 40, 16, 8);
+        let pipeline = Pipeline::new(params, BlockAssignment::new(8, 4, 3), Target::SimLine);
+        let (oracle, blocks) = theorem::draw_instance(&params, seed);
+        let build = || {
+            pipeline.build_simulation(
+                Arc::clone(&oracle) as Arc<dyn Oracle>,
+                RandomTape::new(seed),
+                pipeline.required_s(),
+                None,
+                &blocks,
+            )
+        };
+        let mut original = build();
+        for _ in 0..3 {
+            original.step().expect("honest run");
+        }
+        let frame = original.snapshot().to_bytes();
+        let snap = SimulationSnapshot::from_bytes(&frame).expect("decodes");
+        let mut restored = build();
+        restored.restore(&snap).expect("geometry matches");
+        let a = original.run_until_output(10_000).expect("finishes");
+        let b = restored.run_until_output(10_000).expect("finishes");
+        assert_eq!(a.sole_output(), b.sole_output(), "seed {seed}");
+        assert_eq!(a.rounds(), b.rounds(), "seed {seed}");
+    }
+}
