@@ -11,7 +11,7 @@ use mph_bits::{random_blocks, BitVec};
 use mph_core::algorithms::pipeline::{Pipeline, Target};
 use mph_core::algorithms::BlockAssignment;
 use mph_core::{theorem, LineParams};
-use mph_mpc::{Message, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, Outbox, RoundCtx, Simulation};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,14 +74,15 @@ fn bench_repeated_oracle(c: &mut Criterion) {
 fn relay_simulation(m: usize, payload_bits: usize) -> Simulation {
     let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(1, 16));
     let mut sim = Simulation::new(m, 4 * payload_bits, oracle, RandomTape::new(0));
-    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-        let mut out = Outbox::new();
-        let next = (ctx.machine() + 1) % ctx.m();
-        for msg in incoming {
-            out.push(next, msg.payload.clone());
-        }
-        Ok(out)
-    }));
+    sim.set_uniform_logic(Arc::new(
+        |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+            let next = (ctx.machine() + 1) % ctx.m();
+            for msg in incoming.iter() {
+                out.push_view(next, msg.payload);
+            }
+            Ok(())
+        },
+    ));
     let mut rng = StdRng::seed_from_u64(0xcafe);
     for (machine, payload) in random_blocks(&mut rng, m, payload_bits).into_iter().enumerate() {
         sim.seed_memory(machine, payload);

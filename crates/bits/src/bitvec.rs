@@ -12,6 +12,7 @@
 //! positions `>= len` inside the backing words are zero. This makes `Eq` and
 //! `Hash` structural, and lets bulk operations work word-at-a-time.
 
+use crate::slice::BitSlice;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -207,6 +208,104 @@ impl BitVec {
     pub fn extend_zeros(&mut self, count: usize) {
         self.len += count;
         self.words.resize(self.len.div_ceil(WORD_BITS), 0);
+    }
+
+    /// Empties the vector, keeping the allocated capacity.
+    ///
+    /// This is the arena-reset operation of the message plane: a per-round
+    /// payload arena is cleared between rounds so steady-state routing
+    /// performs no allocation at all.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let mut arena = BitVec::ones(1000);
+    /// arena.clear();
+    /// assert!(arena.is_empty());
+    /// arena.push_u64(7, 3); // no reallocation: capacity was retained
+    /// assert_eq!(arena.read_u64(0, 3), 7);
+    /// ```
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// A borrowed [`BitSlice`] view of the whole vector.
+    pub fn as_view(&self) -> BitSlice<'_> {
+        BitSlice::new(&self.words, 0, self.len)
+    }
+
+    /// A borrowed [`BitSlice`] view of bits `start..start + width` — the
+    /// zero-copy counterpart of [`BitVec::slice`].
+    ///
+    /// Panics if the range exceeds `len`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let mut arena = BitVec::new();
+    /// arena.push_u64(0x2A, 7);            // payload A at offset 0
+    /// arena.push_u64(0x1FF, 9);           // payload B at offset 7
+    /// assert_eq!(arena.view(7, 9).read_u64(0, 9), 0x1FF);
+    /// assert_eq!(arena.view(0, 7).to_bitvec(), arena.slice(0, 7));
+    /// ```
+    pub fn view(&self, start: usize, width: usize) -> BitSlice<'_> {
+        assert!(
+            start + width <= self.len,
+            "view {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        BitSlice::new(&self.words, start, width)
+    }
+
+    /// Appends all bits of a borrowed view — the word-level arena append.
+    ///
+    /// Equivalent to `self.extend_bits(&view.to_bitvec())` but reads the
+    /// source words in place: each appended word is one shift/mask read from
+    /// the view plus one OR into the tail, with no intermediate buffer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let src = BitVec::from_u64(0b1_0110, 5);
+    /// let mut arena = BitVec::from_u64(0b11, 2);
+    /// let offset = arena.len();
+    /// arena.extend_from_view(&src.as_view());      // unaligned append
+    /// assert_eq!(arena.view(offset, 5).to_bitvec(), src);
+    /// ```
+    pub fn extend_from_view(&mut self, view: &BitSlice<'_>) {
+        if view.is_empty() {
+            return;
+        }
+        let shift = self.len % WORD_BITS;
+        let base = self.len / WORD_BITS;
+        let new_len = self.len + view.len();
+        self.words.resize(new_len.div_ceil(WORD_BITS), 0);
+        if shift == 0 {
+            // Aligned: each destination word is exactly one view chunk.
+            for i in 0..view.n_words() {
+                self.words[base + i] = view.read_word(i);
+            }
+        } else {
+            // Unaligned: OR each chunk into the two words it straddles; tail
+            // bits beyond both lengths are zero by the invariant.
+            for i in 0..view.n_words() {
+                let word = view.read_word(i);
+                self.words[base + i] |= word << shift;
+                if let Some(hi) = self.words.get_mut(base + i + 1) {
+                    *hi |= word >> (WORD_BITS - shift);
+                }
+            }
+        }
+        self.len = new_len;
+        self.mask_tail();
     }
 
     /// Truncates to the first `new_len` bits. No-op if already shorter.

@@ -14,6 +14,7 @@
 //! [`LayoutError`]s rather than silent bit corruption.
 
 use crate::bitvec::BitVec;
+use crate::slice::BitSlice;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -297,6 +298,45 @@ impl Layout {
         Ok(bits.read_u64(self.offsets[idx], f.width))
     }
 
+    /// Extracts field `idx` from a borrowed view as a sub-view — the
+    /// zero-copy counterpart of [`Layout::extract`]: the returned
+    /// [`BitSlice`] still borrows the original backing words, so a wire
+    /// message sitting in a round arena can be parsed without copying a
+    /// payload bit.
+    pub fn extract_view<'a>(
+        &self,
+        bits: &BitSlice<'a>,
+        idx: usize,
+    ) -> Result<BitSlice<'a>, LayoutError> {
+        if bits.len() != self.total_width {
+            return Err(LayoutError::LengthMismatch {
+                expected: self.total_width,
+                got: bits.len(),
+            });
+        }
+        let f = &self.fields[idx];
+        Ok(bits.slice(self.offsets[idx], f.width))
+    }
+
+    /// Extracts field `idx` from a borrowed view as an integer (field width
+    /// must be ≤ 64) — the zero-copy counterpart of [`Layout::extract_u64`].
+    pub fn extract_u64_view(&self, bits: &BitSlice<'_>, idx: usize) -> Result<u64, LayoutError> {
+        let f = &self.fields[idx];
+        if f.width > 64 {
+            return Err(LayoutError::ValueMismatch {
+                field: f.name.clone(),
+                detail: format!("field is {} bits wide; use extract_view()", f.width),
+            });
+        }
+        if bits.len() != self.total_width {
+            return Err(LayoutError::LengthMismatch {
+                expected: self.total_width,
+                got: bits.len(),
+            });
+        }
+        Ok(bits.read_u64(self.offsets[idx], f.width))
+    }
+
     /// Checks that the padding region of `bits` is all zeros — a well-formed
     /// `0^*`-padded query. Malformed queries (garbage in the pad) are how
     /// tests model algorithms probing outside the function's query format.
@@ -393,5 +433,25 @@ mod tests {
         let l = Layout::builder(64).field("w", 64).build().unwrap();
         let packed = l.pack(&[FieldValue::Int(u64::MAX)]).unwrap();
         assert_eq!(l.extract_u64(&packed, 0).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn view_extracts_match_owned_extracts() {
+        // Field extraction from an unaligned arena view must agree with the
+        // owned path field for field, and the wrong-length contract holds.
+        let l = line_layout();
+        let mut x = BitVec::zeros(12);
+        x.write_u64(3, 0x5A, 8);
+        let packed =
+            l.pack(&[FieldValue::Int(40), x.clone().into(), BitVec::ones(12).into()]).unwrap();
+        let mut arena = BitVec::from_u64(0b110, 3); // misalign
+        arena.extend_bits(&packed);
+        let view = arena.view(3, packed.len());
+        assert_eq!(l.extract_u64_view(&view, 0).unwrap(), 40);
+        assert_eq!(l.extract_view(&view, 1).unwrap().to_bitvec(), x);
+        assert_eq!(l.extract_view(&view, 2).unwrap().to_bitvec(), BitVec::ones(12));
+        let short = arena.view(3, packed.len() - 1);
+        assert!(l.extract_view(&short, 0).is_err());
+        assert!(l.extract_u64_view(&short, 0).is_err());
     }
 }

@@ -29,9 +29,11 @@ pub mod cursor;
 pub mod intlog;
 pub mod layout;
 pub mod sample;
+pub mod slice;
 
 pub use bitvec::BitVec;
 pub use cursor::{BitReader, BitWriter};
 pub use intlog::{bits_for_index, ceil_log2, floor_log2, is_power_of_two};
 pub use layout::{Field, FieldValue, Layout, LayoutError};
 pub use sample::{random_bitvec, random_blocks};
+pub use slice::BitSlice;

@@ -1,0 +1,335 @@
+//! Borrowed, zero-copy views into packed bit storage.
+//!
+//! A [`BitSlice`] is to [`BitVec`] what `&[T]` is to
+//! `Vec<T>`: a `(words, start, len)` triple that reads bits straight out of
+//! the owner's backing words without copying them. The MPC executor's
+//! message plane is built on these views — each round's payloads live
+//! contiguously in one arena `BitVec`, and receivers are handed `BitSlice`s
+//! into it instead of owned copies (see `docs/MESSAGE_PLANE.md`).
+//!
+//! All read paths mirror the word-level shift/mask code of
+//! [`BitVec::slice`] exactly, so a view and the owned
+//! slice it replaces always agree bit for bit, word for word, byte for byte
+//! — the property the bench guard's `byte_identical` assertions rest on.
+
+use crate::bitvec::BitVec;
+
+const WORD_BITS: usize = 64;
+
+/// A borrowed view of `len` bits starting at bit `start` of a packed word
+/// slice.
+///
+/// Obtained from [`BitVec::as_view`] / [`BitVec::view`]; sub-views come from
+/// [`BitSlice::slice`]. The view is `Copy` — passing it around costs two
+/// words and a pointer, never a heap allocation.
+///
+/// # Examples
+///
+/// ```
+/// use mph_bits::BitVec;
+///
+/// let mut arena = BitVec::new();
+/// arena.push_u64(0b1011, 4);
+/// arena.push_u64(0xFF, 8);
+/// let v = arena.view(4, 8); // the second payload, unaligned
+/// assert_eq!(v.len(), 8);
+/// assert_eq!(v.read_u64(0, 8), 0xFF);
+/// assert_eq!(v.to_bitvec(), BitVec::from_u64(0xFF, 8));
+/// ```
+#[derive(Clone, Copy)]
+pub struct BitSlice<'a> {
+    words: &'a [u64],
+    start: usize,
+    len: usize,
+}
+
+impl<'a> BitSlice<'a> {
+    /// A view over `words`, exposing bits `start..start + len`.
+    ///
+    /// Internal constructor: `words` must hold at least
+    /// `(start + len).div_ceil(64)` words. Public callers go through
+    /// [`BitVec::view`], which checks the range against the vector's length.
+    pub(crate) fn new(words: &'a [u64], start: usize, len: usize) -> Self {
+        debug_assert!(words.len() >= (start + len).div_ceil(WORD_BITS));
+        BitSlice { words, start, len }
+    }
+
+    /// An empty view (no backing storage).
+    pub fn empty() -> BitSlice<'static> {
+        BitSlice { words: &[], start: 0, len: 0 }
+    }
+
+    /// Number of bits in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `idx` of the view.
+    ///
+    /// Panics if `idx >= len`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let bv = BitVec::from_u64(0b100, 3);
+    /// assert!(bv.as_view().get(2));
+    /// assert!(!bv.as_view().get(0));
+    /// ```
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range (len {})", self.len);
+        let abs = self.start + idx;
+        (self.words[abs / WORD_BITS] >> (abs % WORD_BITS)) & 1 == 1
+    }
+
+    /// Reads bits `start..start + width` of the view as a little-endian
+    /// integer (`width <= 64`), like [`BitVec::read_u64`].
+    ///
+    /// Panics if the range exceeds `len` or `width > 64`.
+    #[inline]
+    pub fn read_u64(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64, "read_u64 width {width} exceeds 64");
+        assert!(
+            start + width <= self.len,
+            "read {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        read_raw(self.words, self.start + start, width)
+    }
+
+    /// The `i`-th 64-bit chunk of the view, identical to `words()[i]` of the
+    /// owned [`BitVec`] this view would materialize to: bits beyond `len` in
+    /// the final chunk read as zero.
+    ///
+    /// This is the word-at-a-time read the oracle's hashing path and the
+    /// shard index use, so hashes of a view and of its owned copy agree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let mut bv = BitVec::from_u64(5, 3);
+    /// bv.extend_bits(&BitVec::ones(70));
+    /// let v = bv.view(3, 70); // unaligned 70-bit view of all-ones
+    /// assert_eq!(v.read_word(0), u64::MAX);
+    /// assert_eq!(v.read_word(1), 0b11_1111); // 6 tail bits, rest zero
+    /// assert_eq!(&[v.read_word(0), v.read_word(1)], v.to_bitvec().words());
+    /// ```
+    #[inline]
+    pub fn read_word(&self, i: usize) -> u64 {
+        let off = i * WORD_BITS;
+        assert!(off < self.len || (self.len == 0 && off == 0), "word index {i} out of range");
+        let width = WORD_BITS.min(self.len - off);
+        read_raw(self.words, self.start + off, width)
+    }
+
+    /// Number of 64-bit chunks ([`BitSlice::read_word`] accepts `0..n_words`).
+    pub fn n_words(&self) -> usize {
+        self.len.div_ceil(WORD_BITS)
+    }
+
+    /// The sub-view of bits `start..start + width`.
+    ///
+    /// Panics if the range exceeds `len`. Sub-views borrow the same backing
+    /// words — no copy is made at any nesting depth.
+    pub fn slice(&self, start: usize, width: usize) -> BitSlice<'a> {
+        assert!(
+            start + width <= self.len,
+            "slice {start}..{} out of range (len {})",
+            start + width,
+            self.len
+        );
+        BitSlice { words: self.words, start: self.start + start, len: width }
+    }
+
+    /// Materializes the view into an owned [`BitVec`].
+    ///
+    /// The result equals `owner.slice(start, len)` for the range the view
+    /// covers — same bits, same packed words.
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut out = BitVec::with_capacity(self.len);
+        out.extend_from_view(self);
+        out
+    }
+
+    /// Serializes the view to bytes, byte-for-byte identical to
+    /// [`BitVec::to_bytes`] of the materialized view (final byte
+    /// zero-padded).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = ((self.read_word(i / 8) >> ((i % 8) * 8)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Iterator over bits, LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + 'a {
+        let this = *self;
+        (0..this.len).map(move |i| this.get(i))
+    }
+
+    /// Number of set bits in the view.
+    pub fn count_ones(&self) -> usize {
+        (0..self.n_words()).map(|i| self.read_word(i).count_ones() as usize).sum()
+    }
+
+    /// Whether every bit in the view is zero.
+    pub fn is_zero(&self) -> bool {
+        (0..self.n_words()).all(|i| self.read_word(i) == 0)
+    }
+}
+
+impl std::fmt::Debug for BitSlice<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len <= 64 {
+            write!(f, "BitSlice[{}; ", self.len)?;
+            for i in 0..self.len {
+                write!(f, "{}", self.get(i) as u8)?;
+            }
+            write!(f, "]")
+        } else {
+            write!(f, "BitSlice[{}; 0x{:016x}…]", self.len, self.read_word(0))
+        }
+    }
+}
+
+/// Structural equality: two views are equal iff they expose the same bits,
+/// regardless of alignment in their backing storage.
+impl PartialEq for BitSlice<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && (0..self.n_words()).all(|i| self.read_word(i) == other.read_word(i))
+    }
+}
+
+impl Eq for BitSlice<'_> {}
+
+impl PartialEq<BitVec> for BitSlice<'_> {
+    fn eq(&self, other: &BitVec) -> bool {
+        self.len == other.len() && self.read_word_iter().eq(other.words().iter().copied())
+    }
+}
+
+impl BitSlice<'_> {
+    fn read_word_iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.n_words()).map(move |i| self.read_word(i))
+    }
+}
+
+/// Unchecked multi-word bit read at an absolute offset, `width <= 64`.
+///
+/// Mirror of `BitVec::read_raw`, operating on a raw word slice.
+#[inline]
+pub(crate) fn read_raw(words: &[u64], start: usize, width: usize) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    let w = start / WORD_BITS;
+    let b = start % WORD_BITS;
+    let lo = words[w] >> b;
+    let out = if b + width <= WORD_BITS { lo } else { lo | (words[w + 1] << (WORD_BITS - b)) };
+    out & mask(width)
+}
+
+/// Low-`width`-bit mask; `width <= 64`.
+#[inline]
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_matches_owned_slice() {
+        let bv: BitVec = (0..300).map(|i| i % 7 < 3).collect();
+        for start in [0usize, 1, 63, 64, 65, 128, 200] {
+            for width in [0usize, 1, 5, 64, 65, 100] {
+                if start + width > bv.len() {
+                    continue;
+                }
+                let owned = bv.slice(start, width);
+                let view = bv.view(start, width);
+                assert_eq!(view.to_bitvec(), owned, "start={start} width={width}");
+                assert_eq!(view.to_bytes(), owned.to_bytes());
+                assert_eq!(view.count_ones(), owned.count_ones());
+                for i in 0..view.n_words() {
+                    assert_eq!(view.read_word(i), owned.words()[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_views_compose() {
+        let bv: BitVec = (0..200).map(|i| i % 5 == 1).collect();
+        let outer = bv.view(7, 150);
+        let inner = outer.slice(30, 90);
+        assert_eq!(inner.to_bitvec(), bv.slice(37, 90));
+        assert_eq!(inner.slice(10, 20).to_bitvec(), bv.slice(47, 20));
+    }
+
+    #[test]
+    fn read_u64_matches_bitvec() {
+        let mut bv = BitVec::zeros(200);
+        bv.write_u64(3, 0xABCD, 16);
+        bv.write_u64(120, 0x1234_5678, 32);
+        let v = bv.view(1, 199);
+        assert_eq!(v.read_u64(2, 16), 0xABCD);
+        assert_eq!(v.read_u64(119, 32), 0x1234_5678);
+    }
+
+    #[test]
+    fn equality_ignores_alignment() {
+        let payload = BitVec::from_u64(0xDEAD_BEEF, 32);
+        let mut a = BitVec::from_u64(0b101, 3);
+        a.extend_bits(&payload);
+        let mut b = BitVec::from_u64(0x3F, 6);
+        b.extend_bits(&payload);
+        assert_eq!(a.view(3, 32), b.view(6, 32));
+        assert_eq!(a.view(3, 32), payload);
+        assert_ne!(a.view(3, 31), b.view(6, 32));
+    }
+
+    #[test]
+    fn empty_views() {
+        let v = BitSlice::empty();
+        assert!(v.is_empty());
+        assert!(v.is_zero());
+        assert_eq!(v.n_words(), 0);
+        assert_eq!(v.to_bitvec(), BitVec::new());
+        assert_eq!(v.to_bytes(), Vec::<u8>::new());
+        let bv = BitVec::zeros(10);
+        assert!(bv.view(5, 0).is_empty());
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let bv: BitVec = (0..77).map(|i| i % 3 == 1).collect();
+        let v = bv.view(5, 60);
+        let collected: Vec<bool> = v.iter().collect();
+        assert_eq!(collected, (5..65).map(|i| bv.get(i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let bv = BitVec::zeros(10);
+        bv.view(2, 5).get(5);
+    }
+}

@@ -145,6 +145,77 @@ proptest! {
     }
 
     #[test]
+    fn arena_append_read_roundtrip(
+        payloads in prop::collection::vec(prop::collection::vec(any::<bool>(), 0..200), 0..12),
+        prefix in 0usize..70,
+    ) {
+        // Arena model of the message plane: payloads of arbitrary length are
+        // appended back to back (starting at an arbitrary, generally
+        // word-unaligned prefix) and read back as views. Every read must
+        // equal the Vec<bool> reference path bit for bit.
+        let mut arena = BitVec::zeros(prefix);
+        let mut offsets = Vec::new();
+        for p in &payloads {
+            let payload = BitVec::from_bools(p);
+            offsets.push((arena.len(), payload.len()));
+            arena.extend_from_view(&payload.as_view());
+        }
+        let mut reference: Vec<bool> = vec![false; prefix];
+        for p in &payloads {
+            reference.extend_from_slice(p);
+        }
+        prop_assert_eq!(arena.clone(), BitVec::from_bools(&reference));
+        for ((offset, len), p) in offsets.iter().zip(&payloads) {
+            let view = arena.view(*offset, *len);
+            prop_assert_eq!(view.to_bitvec(), BitVec::from_bools(p));
+            let bits: Vec<bool> = view.iter().collect();
+            prop_assert_eq!(&bits, p);
+        }
+    }
+
+    #[test]
+    fn view_equals_owned_slice(
+        bv in bitvec_strategy(400),
+        start_frac in 0.0f64..1.0,
+        width_frac in 0.0f64..1.0,
+    ) {
+        // Includes unaligned word boundaries: start and width are arbitrary.
+        let start = ((bv.len() as f64) * start_frac) as usize;
+        let width = (((bv.len() - start) as f64) * width_frac) as usize;
+        let owned = bv.slice(start, width);
+        let view = bv.view(start, width);
+        prop_assert_eq!(view.len(), owned.len());
+        prop_assert_eq!(view.to_bitvec(), owned.clone());
+        prop_assert_eq!(view.to_bytes(), owned.to_bytes());
+        prop_assert_eq!(view.count_ones(), owned.count_ones());
+        for i in 0..view.n_words() {
+            prop_assert_eq!(view.read_word(i), owned.words()[i]);
+        }
+        // Word-level reads agree with the integer view at every offset.
+        if width >= 1 {
+            let w = width.min(64);
+            prop_assert_eq!(view.read_u64(0, w), owned.read_u64(0, w));
+        }
+    }
+
+    #[test]
+    fn extend_from_view_matches_extend_bits(
+        a in bitvec_strategy(200),
+        b in bitvec_strategy(200),
+        skip_frac in 0.0f64..1.0,
+    ) {
+        // Appending a (possibly unaligned) view is identical to appending
+        // the materialized slice it denotes.
+        let skip = ((b.len() as f64) * skip_frac) as usize;
+        let tail = b.slice(skip, b.len() - skip);
+        let mut via_view = a.clone();
+        via_view.extend_from_view(&b.view(skip, b.len() - skip));
+        let mut via_owned = a.clone();
+        via_owned.extend_bits(&tail);
+        prop_assert_eq!(via_view, via_owned);
+    }
+
+    #[test]
     fn ceil_log2_bound(x in 1u64..u64::MAX / 2) {
         let c = mph_bits::ceil_log2(x);
         prop_assert!(x <= 1u64.checked_shl(c).unwrap_or(u64::MAX));

@@ -11,7 +11,7 @@
 
 use mph_bits::BitVec;
 use mph_core::algorithms::Pipeline;
-use mph_mpc::{MachineId, MachineLogic, Message, RoundCtx};
+use mph_mpc::{InboxBuffer, MachineId, MachineLogic, Outbox, RoundCtx};
 use mph_oracle::{Oracle, RandomTape};
 use std::sync::Arc;
 
@@ -61,16 +61,13 @@ impl PipelineRound {
         for _ in 0..self.round {
             sim.step().expect("honest pipeline run");
         }
-        sim.inbox(self.machine).iter().map(|m| m.payload.clone()).collect()
+        sim.inbox(self.machine).iter().map(|m| m.payload.to_bitvec()).collect()
     }
 }
 
 impl RoundAlgorithm for PipelineRound {
     fn run(&self, oracle: &dyn Oracle, memory: &[BitVec]) -> Vec<BitVec> {
-        let messages: Vec<Message> = memory
-            .iter()
-            .map(|payload| Message { from: 0, to: self.machine, payload: payload.clone() })
-            .collect();
+        let inbox = InboxBuffer::from_payloads(0, memory);
         let recorder = RecordingOracle { inner: oracle, log: parking_lot::Mutex::new(Vec::new()) };
         let tape = RandomTape::new(0);
         let ctx = RoundCtx::standalone(
@@ -83,7 +80,10 @@ impl RoundAlgorithm for PipelineRound {
         );
         // A model violation while replaying (e.g. a budget error) means the
         // configuration was impossible; surface loudly.
-        self.pipeline.round(&ctx, &messages).expect("replayed round must be violation-free");
+        let mut out = Outbox::new();
+        self.pipeline
+            .round(&ctx, &inbox.as_inbox(), &mut out)
+            .expect("replayed round must be violation-free");
         recorder.log.into_inner()
     }
 }

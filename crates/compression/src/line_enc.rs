@@ -542,7 +542,7 @@ mod tests {
         let holder = (0..2)
             .find(|&mch| sim.inbox(mch).iter().any(|m| m.payload.len() == token_bits))
             .expect("token must be somewhere");
-        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
+        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.to_bitvec()).collect();
 
         let adv = PipelineRound::new(pipeline, holder, k);
         let enc = LineEncoder::new(params, 2, 64);

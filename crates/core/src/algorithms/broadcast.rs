@@ -15,10 +15,10 @@
 //! produce it — not addressing. That is the theorem's content in
 //! algorithmic form.
 
-use super::{BlockAssignment, Codec, ParsedMsg};
+use super::{BlockAssignment, Codec, ParsedView};
 use crate::params::LineParams;
-use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_bits::{BitSlice, BitVec};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{Oracle, RandomTape};
 use std::sync::Arc;
 
@@ -86,13 +86,23 @@ impl Broadcast {
 }
 
 impl MachineLogic for Broadcast {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
-        let mut local: Vec<Option<BitVec>> = vec![None; self.params.v];
-        let mut frontier: Option<(u64, usize, BitVec)> = None;
-        for msg in incoming {
-            match self.codec.decode(&msg.payload) {
-                Some(ParsedMsg::Block { idx, x }) => local[idx] = Some(x),
-                Some(ParsedMsg::Token { i, l, r }) => {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
+        // Parse zero-copy; blocks are persisted by forwarding their wire
+        // view verbatim, never re-encoded.
+        let mut local: Vec<Option<BitSlice<'_>>> = vec![None; self.params.v];
+        let mut frontier: Option<(u64, usize, BitSlice<'_>)> = None;
+        for msg in incoming.iter() {
+            match self.codec.decode_view(msg.payload) {
+                Some(ParsedView::Block { idx, x }) => {
+                    local[idx] = Some(x);
+                    out.push_view(ctx.machine(), msg.payload);
+                }
+                Some(ParsedView::Token { i, l, r }) => {
                     // All broadcast copies are identical; keep the freshest
                     // (largest i) defensively.
                     if frontier.as_ref().is_none_or(|(fi, _, _)| i > *fi) {
@@ -103,28 +113,23 @@ impl MachineLogic for Broadcast {
             }
         }
 
-        let mut out = Outbox::new();
-        for (idx, slot) in local.iter().enumerate() {
-            if let Some(x) = slot {
-                out.push(ctx.machine(), self.codec.encode_block(idx, x));
-            }
-        }
-
-        if let Some((mut i, mut l, mut r)) = frontier {
+        if let Some((mut i, mut l, r)) = frontier {
+            let mut r = r.to_bitvec();
             // Only the designated holder acts; everyone else just watches
             // the frontier go by (and re-learns it next round from the
             // broadcast).
             let needed = self.needed_block(i, l);
             if self.assignment.route(needed) != ctx.machine() {
-                return Ok(out);
+                return Ok(());
             }
             loop {
                 let needed = self.needed_block(i, l);
                 match &local[needed] {
                     Some(x) => {
+                        let x = x.to_bitvec();
                         let query = match self.target {
-                            Target::Line => self.params.pack_query(i, x, &r),
-                            Target::SimLine => self.params.pack_simline_query(x, &r),
+                            Target::Line => self.params.pack_query(i, &x, &r),
+                            Target::SimLine => self.params.pack_simline_query(&x, &r),
                         };
                         let answer = ctx.query(&query)?;
                         match self.target {
@@ -142,20 +147,22 @@ impl MachineLogic for Broadcast {
                             // self-messages (no next round to persist for)
                             // so sends plus output stay within the s-bit
                             // send bound.
-                            out.messages.retain(|msg| msg.to != ctx.machine());
-                            out.output = Some(answer);
-                            return Ok(out);
+                            let me = ctx.machine();
+                            out.retain_sends(|to| to != me);
+                            out.emit(answer);
+                            return Ok(());
                         }
                     }
                     None => break,
                 }
             }
             // Broadcast the new frontier to everyone.
+            let token = self.codec.encode_token(i, l, &r);
             for machine in 0..ctx.m() {
-                out.push(machine, self.codec.encode_token(i, l, &r));
+                out.push(machine, &token);
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -37,7 +37,7 @@ pub use pipeline::Pipeline;
 pub use replicated::ReplicatedPipeline;
 
 use crate::params::LineParams;
-use mph_bits::{bits_for_index, BitVec, FieldValue, Layout};
+use mph_bits::{bits_for_index, BitSlice, BitVec, FieldValue, Layout};
 use mph_mpc::MachineId;
 use serde::{Deserialize, Serialize};
 
@@ -181,6 +181,33 @@ pub enum ParsedMsg {
     },
 }
 
+/// A zero-copy parsed incoming message: like [`ParsedMsg`], but the
+/// variable-width payload fields stay borrowed views into the round arena.
+///
+/// This is what the algorithms parse their memory image with each round —
+/// a block's `u`-bit body is only materialized if the token walk actually
+/// queries it, and block persistence forwards the original wire view
+/// verbatim ([`mph_mpc::Outbox::push_view`]) instead of re-encoding.
+#[derive(Clone, Copy, Debug)]
+pub enum ParsedView<'a> {
+    /// A stored input block `(index, x)`.
+    Block {
+        /// Block index (0-based).
+        idx: usize,
+        /// The `u`-bit block, borrowed from the arena.
+        x: BitSlice<'a>,
+    },
+    /// The evaluation token `(i, ℓ, r)`.
+    Token {
+        /// Next node index, 1-based.
+        i: u64,
+        /// Needed block index.
+        l: usize,
+        /// Chain value `r_i`, borrowed from the arena.
+        r: BitSlice<'a>,
+    },
+}
+
 /// The bit-exact wire format shared by the algorithms.
 #[derive(Clone, Debug)]
 pub struct Codec {
@@ -285,6 +312,42 @@ impl Codec {
             }
             let r = self.token_layout.extract(payload, 3).ok()?;
             return Some(ParsedMsg::Token { i, l, r });
+        }
+        None
+    }
+
+    /// Decodes any wire message by its tag, zero-copy: the view-based
+    /// counterpart of [`Codec::decode`]. Field payloads in the returned
+    /// [`ParsedView`] borrow `payload`'s backing arena.
+    pub fn decode_view<'a>(&self, payload: BitSlice<'a>) -> Option<ParsedView<'a>> {
+        if payload.len() == self.block_bits() {
+            let tag = self.block_layout.extract_u64_view(&payload, 0).ok()?;
+            if tag != TAG_BLOCK {
+                // Could still be a token if widths collide; fall through.
+                if payload.len() != self.token_bits() {
+                    return None;
+                }
+            } else {
+                let idx = self.block_layout.extract_u64_view(&payload, 1).ok()? as usize;
+                if idx >= self.params.v {
+                    return None;
+                }
+                let x = self.block_layout.extract_view(&payload, 2).ok()?;
+                return Some(ParsedView::Block { idx, x });
+            }
+        }
+        if payload.len() == self.token_bits() {
+            let tag = self.token_layout.extract_u64_view(&payload, 0).ok()?;
+            if tag != TAG_TOKEN {
+                return None;
+            }
+            let i = self.token_layout.extract_u64_view(&payload, 1).ok()?;
+            let l = self.token_layout.extract_u64_view(&payload, 2).ok()? as usize;
+            if l >= self.params.v {
+                return None;
+            }
+            let r = self.token_layout.extract_view(&payload, 3).ok()?;
+            return Some(ParsedView::Token { i, l, r });
         }
         None
     }

@@ -19,10 +19,10 @@
 //!   `Ω(w)` for any `s ≤ S/c` (Theorem 3.1's shape).
 //! * `window = v` (i.e. `s ≥ S` plus overhead): one round.
 
-use super::{BlockAssignment, Codec, ParsedMsg};
+use super::{BlockAssignment, Codec, ParsedView};
 use crate::params::LineParams;
-use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_bits::{BitSlice, BitVec};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{Oracle, RandomTape};
 use std::sync::Arc;
 
@@ -176,14 +176,26 @@ impl Pipeline {
 }
 
 impl MachineLogic for Pipeline {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
-        // Parse memory: the block window and (possibly) the token.
-        let mut local: Vec<Option<BitVec>> = vec![None; self.params.v];
-        let mut token: Option<(u64, usize, BitVec)> = None;
-        for msg in incoming {
-            match self.codec.decode(&msg.payload) {
-                Some(ParsedMsg::Block { idx, x }) => local[idx] = Some(x),
-                Some(ParsedMsg::Token { i, l, r }) => token = Some((i, l, r)),
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
+        // Parse memory zero-copy: the block window and (possibly) the
+        // token stay as views into the round arena. Each block is
+        // persisted by forwarding its wire view to ourselves verbatim —
+        // the only legal way to keep state; the executor charges it
+        // against s — with no decode/re-encode round trip.
+        let mut local: Vec<Option<BitSlice<'_>>> = vec![None; self.params.v];
+        let mut token: Option<(u64, usize, BitSlice<'_>)> = None;
+        for msg in incoming.iter() {
+            match self.codec.decode_view(msg.payload) {
+                Some(ParsedView::Block { idx, x }) => {
+                    local[idx] = Some(x);
+                    out.push_view(ctx.machine(), msg.payload);
+                }
+                Some(ParsedView::Token { i, l, r }) => token = Some((i, l, r)),
                 None => {
                     return Err(ctx.error(format!(
                         "malformed message ({} bits) in memory",
@@ -193,23 +205,18 @@ impl MachineLogic for Pipeline {
             }
         }
 
-        // Persist the window by self-messaging (the only legal way to keep
-        // state; the executor charges it against s).
-        let mut out = Outbox::new();
-        for (idx, slot) in local.iter().enumerate() {
-            if let Some(x) = slot {
-                out.push(ctx.machine(), self.codec.encode_block(idx, x));
-            }
-        }
-
         // Walk the line as far as local blocks allow.
-        if let Some((mut i, mut l, mut r)) = token {
+        if let Some((mut i, mut l, r)) = token {
+            let mut r = r.to_bitvec();
             loop {
                 debug_assert!(i <= self.params.w, "token index past the line");
                 let needed = self.needed_block(i, l);
                 match &local[needed] {
                     Some(x) => {
-                        let (l_next, r_next, answer) = self.advance(ctx, i, x, &r)?;
+                        // Materialize the queried block only here, at the
+                        // oracle boundary.
+                        let x = x.to_bitvec();
+                        let (l_next, r_next, answer) = self.advance(ctx, i, &x, &r)?;
                         l = l_next;
                         r = r_next;
                         i += 1;
@@ -220,8 +227,9 @@ impl MachineLogic for Pipeline {
                             // round to persist for), so the round's sends
                             // plus the output stay within the s-bit send
                             // bound.
-                            out.messages.retain(|msg| msg.to != ctx.machine());
-                            out.output = Some(answer);
+                            let me = ctx.machine();
+                            out.retain_sends(|to| to != me);
+                            out.emit(answer);
                             break;
                         }
                     }
@@ -232,13 +240,13 @@ impl MachineLogic for Pipeline {
                             ctx.machine(),
                             "routed to self for a block we do not hold"
                         );
-                        out.push(dest, self.codec.encode_token(i, l, &r));
+                        out.push(dest, &self.codec.encode_token(i, l, &r));
                         break;
                     }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

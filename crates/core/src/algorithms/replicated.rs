@@ -39,7 +39,7 @@ use super::pipeline::Target;
 use super::{BlockAssignment, Codec, ParsedMsg};
 use crate::params::LineParams;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{Oracle, RandomTape};
 use std::sync::Arc;
 
@@ -250,7 +250,12 @@ impl ReplicatedPipeline {
 }
 
 impl MachineLogic for ReplicatedPipeline {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         let me = ctx.machine();
         let my_group = self.group_of(me);
 
@@ -258,20 +263,26 @@ impl MachineLogic for ReplicatedPipeline {
         // remain (the sibling copies carry the same data); with ρ = 1
         // there is no redundancy left, so corruption must surface as a
         // detected error rather than be dropped into a silent stall.
+        // Window blocks are persisted by forwarding the verified framed
+        // wire view verbatim — no re-encode, no re-frame.
         let mut local: Vec<Option<BitVec>> = vec![None; self.params.v];
         let mut token: Option<(u64, usize, BitVec)> = None;
-        for msg in incoming {
-            let Some(inner) = self.unframe(&msg.payload) else {
+        for msg in incoming.iter() {
+            let payload = msg.payload.to_bitvec();
+            let Some(inner) = self.unframe(&payload) else {
                 if self.rho == 1 {
                     return Err(ctx.error(format!(
                         "checksum mismatch on {}-bit message with no replica to recover from",
-                        msg.payload.len()
+                        payload.len()
                     )));
                 }
                 continue;
             };
             match self.codec.decode(&inner) {
-                Some(ParsedMsg::Block { idx, x }) => local[idx] = Some(x),
+                Some(ParsedMsg::Block { idx, x }) => {
+                    local[idx] = Some(x);
+                    out.push_view(me, msg.payload);
+                }
                 Some(ParsedMsg::Token { i, l, r }) => {
                     // Keep the most advanced copy; stale straggler
                     // duplicates lose.
@@ -286,14 +297,6 @@ impl MachineLogic for ReplicatedPipeline {
                         ctx.error(format!("malformed {}-bit message passed checksum", inner.len()))
                     );
                 }
-            }
-        }
-
-        // Persist the window by self-messaging.
-        let mut out = Outbox::new();
-        for (idx, slot) in local.iter().enumerate() {
-            if let Some(x) = slot {
-                out.push(me, self.frame(&self.codec.encode_block(idx, x)));
             }
         }
 
@@ -313,8 +316,8 @@ impl MachineLogic for ReplicatedPipeline {
                             // to persist for) and emit. Every surviving
                             // replica of this group does the same, so the
                             // output union is ρ identical strings.
-                            out.messages.retain(|msg| msg.to != me);
-                            out.output = Some(answer);
+                            out.retain_sends(|to| to != me);
+                            out.emit(answer);
                             break;
                         }
                     }
@@ -330,18 +333,16 @@ impl MachineLogic for ReplicatedPipeline {
                                      from"
                                 )));
                             }
+                            let framed = self.frame(&self.codec.encode_token(i, l, &r));
                             for sibling in self.members(my_group) {
                                 if sibling != me {
-                                    out.push(
-                                        sibling,
-                                        self.frame(&self.codec.encode_token(i, l, &r)),
-                                    );
+                                    out.push(sibling, &framed);
                                 }
                             }
                         } else {
                             let framed = self.frame(&self.codec.encode_token(i, l, &r));
                             for member in self.members(dest_group) {
-                                out.push(member, framed.clone());
+                                out.push(member, &framed);
                             }
                         }
                         break;
@@ -349,7 +350,7 @@ impl MachineLogic for ReplicatedPipeline {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

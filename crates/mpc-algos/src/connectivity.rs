@@ -13,7 +13,7 @@
 
 use crate::wire;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -41,17 +41,22 @@ struct Connectivity {
 }
 
 impl MachineLogic for Connectivity {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() {
-            return Ok(Outbox::new());
+            return Ok(());
         }
         let iw = self.config.id_width;
         // Memory: adjacency (flattened [v, deg, n...]*) + labels [v, l]*.
         let mut adjacency: Vec<u64> = Vec::new();
         let mut labels: HashMap<u64, u64> = HashMap::new();
-        for msg in incoming {
+        for msg in incoming.iter() {
             let (tag, values) =
-                wire::decode(&msg.payload, iw).ok_or_else(|| ctx.error("malformed message"))?;
+                wire::decode_view(msg.payload, iw).ok_or_else(|| ctx.error("malformed message"))?;
             match tag {
                 TAG_ADJ => adjacency.extend(values),
                 TAG_LABEL => {
@@ -79,12 +84,11 @@ impl MachineLogic for Connectivity {
             }
         }
 
-        let mut out = Outbox::new();
         if ctx.round() >= self.config.propagation_rounds {
             // Converged (by config): emit this home's labels.
             let pairs: Vec<u64> = adj.iter().flat_map(|(v, _)| [*v, labels[v]]).collect();
-            out.output = Some(wire::encode(TAG_RESULT, &pairs, iw));
-            return Ok(out);
+            out.emit(wire::encode(TAG_RESULT, &pairs, iw));
+            return Ok(());
         }
 
         // Push labels along edges, grouped per destination home.
@@ -97,16 +101,16 @@ impl MachineLogic for Connectivity {
         }
         for (home, pairs) in per_home.into_iter().enumerate() {
             if !pairs.is_empty() {
-                out.push(home, wire::encode(TAG_LABEL, &pairs, iw));
+                out.push(home, &wire::encode(TAG_LABEL, &pairs, iw));
             }
         }
         // Keep adjacency and own labels alive.
-        out.push(ctx.machine(), wire::encode(TAG_ADJ, &adjacency, iw));
+        out.push(ctx.machine(), &wire::encode(TAG_ADJ, &adjacency, iw));
         let own: Vec<u64> = adj.iter().flat_map(|(v, _)| [*v, labels[v]]).collect();
         if !own.is_empty() {
-            out.push(ctx.machine(), wire::encode(TAG_LABEL, &own, iw));
+            out.push(ctx.machine(), &wire::encode(TAG_LABEL, &own, iw));
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -9,7 +9,7 @@
 
 use crate::wire;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use std::sync::Arc;
 
@@ -29,15 +29,20 @@ pub struct PrefixSumConfig {
 struct PrefixSum;
 
 impl MachineLogic for PrefixSum {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() {
-            return Ok(Outbox::new());
+            return Ok(());
         }
         let mut data: Vec<u64> = Vec::new();
         let mut totals: Vec<(usize, u64)> = Vec::new();
         let mut offset: Option<u64> = None;
-        for msg in incoming {
-            let (tag, values) = wire::decode(&msg.payload, VALUE_WIDTH)
+        for msg in incoming.iter() {
+            let (tag, values) = wire::decode_view(msg.payload, VALUE_WIDTH)
                 .ok_or_else(|| ctx.error("malformed message"))?;
             match tag {
                 TAG_DATA => data.extend(values),
@@ -47,13 +52,12 @@ impl MachineLogic for PrefixSum {
             }
         }
 
-        let mut out = Outbox::new();
         match ctx.round() {
             0 => {
                 // Local total to the coordinator; keep the shard.
                 let total: u64 = data.iter().fold(0, |a, &b| a.wrapping_add(b));
-                out.push(0, wire::encode(TAG_TOTAL, &[total], VALUE_WIDTH));
-                out.push(ctx.machine(), wire::encode(TAG_DATA, &data, VALUE_WIDTH));
+                out.push(0, &wire::encode(TAG_TOTAL, &[total], VALUE_WIDTH));
+                out.push(ctx.machine(), &wire::encode(TAG_DATA, &data, VALUE_WIDTH));
             }
             1 => {
                 // Coordinator: exclusive scan of block totals, scattered.
@@ -61,12 +65,12 @@ impl MachineLogic for PrefixSum {
                     totals.sort_by_key(|&(from, _)| from);
                     let mut running = 0u64;
                     for &(from, total) in &totals {
-                        out.push(from, wire::encode(TAG_OFFSET, &[running], VALUE_WIDTH));
+                        out.push(from, &wire::encode(TAG_OFFSET, &[running], VALUE_WIDTH));
                         running = running.wrapping_add(total);
                     }
                 }
                 if !data.is_empty() {
-                    out.push(ctx.machine(), wire::encode(TAG_DATA, &data, VALUE_WIDTH));
+                    out.push(ctx.machine(), &wire::encode(TAG_DATA, &data, VALUE_WIDTH));
                 }
             }
             2 => {
@@ -80,11 +84,11 @@ impl MachineLogic for PrefixSum {
                         running
                     })
                     .collect();
-                out.output = Some(wire::encode(TAG_RESULT, &prefixes, VALUE_WIDTH));
+                out.emit(wire::encode(TAG_RESULT, &prefixes, VALUE_WIDTH));
             }
             r => return Err(ctx.error(format!("unexpected round {r}"))),
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::wire;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use std::sync::Arc;
 
@@ -42,12 +42,12 @@ impl SampleSort {
     fn parse(
         &self,
         ctx: &RoundCtx<'_>,
-        incoming: &[Message],
+        incoming: &Inbox<'_>,
     ) -> Result<ParsedMemory, ModelViolation> {
         let (mut data, mut samples, mut splitters, mut buckets) =
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for msg in incoming {
-            let (tag, values) = wire::decode(&msg.payload, self.config.key_width)
+        for msg in incoming.iter() {
+            let (tag, values) = wire::decode_view(msg.payload, self.config.key_width)
                 .ok_or_else(|| ctx.error("malformed message"))?;
             match tag {
                 TAG_DATA => data.extend(values),
@@ -62,22 +62,26 @@ impl SampleSort {
 }
 
 impl MachineLogic for SampleSort {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() {
-            return Ok(Outbox::new());
+            return Ok(());
         }
         let m = self.config.m;
         let kw = self.config.key_width;
         let (mut data, samples, splitters, mut bucket) = self.parse(ctx, incoming)?;
-        let mut out = Outbox::new();
         match ctx.round() {
             0 => {
                 // Sort locally, send an evenly spaced sample, keep the shard.
                 data.sort_unstable();
                 let k = self.config.samples_per_machine.min(data.len());
                 let sample: Vec<u64> = (0..k).map(|i| data[i * data.len() / k.max(1)]).collect();
-                out.push(0, wire::encode(TAG_SAMPLE, &sample, kw));
-                out.push(ctx.machine(), wire::encode(TAG_DATA, &data, kw));
+                out.push(0, &wire::encode(TAG_SAMPLE, &sample, kw));
+                out.push(ctx.machine(), &wire::encode(TAG_DATA, &data, kw));
             }
             1 => {
                 // Coordinator: splitters from the pooled sample.
@@ -93,18 +97,19 @@ impl MachineLogic for SampleSort {
                             }
                         })
                         .collect();
+                    let splitter_msg = wire::encode(TAG_SPLITTERS, &splits, kw);
                     for machine in 0..m {
-                        out.push(machine, wire::encode(TAG_SPLITTERS, &splits, kw));
+                        out.push(machine, &splitter_msg);
                     }
                 }
                 if !data.is_empty() {
-                    out.push(ctx.machine(), wire::encode(TAG_DATA, &data, kw));
+                    out.push(ctx.machine(), &wire::encode(TAG_DATA, &data, kw));
                 }
             }
             2 => {
                 // Route each element to its bucket.
                 if data.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
                 if splitters.len() != m - 1 {
                     return Err(ctx.error("missing splitters"));
@@ -116,18 +121,18 @@ impl MachineLogic for SampleSort {
                 }
                 for (b, values) in per_bucket.into_iter().enumerate() {
                     if !values.is_empty() {
-                        out.push(b, wire::encode(TAG_BUCKET, &values, kw));
+                        out.push(b, &wire::encode(TAG_BUCKET, &values, kw));
                     }
                 }
             }
             3 => {
                 // Sort the bucket and emit it.
                 bucket.sort_unstable();
-                out.output = Some(wire::encode(TAG_BUCKET, &bucket, kw));
+                out.emit(wire::encode(TAG_BUCKET, &bucket, kw));
             }
             r => return Err(ctx.error(format!("unexpected round {r}"))),
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::wire;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use std::sync::Arc;
 
@@ -29,13 +29,18 @@ struct TreeSum {
 }
 
 impl MachineLogic for TreeSum {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         // Sum everything in memory (initial shards and merged partials
         // alike — addition is associative, the order does not matter).
         let mut partial: u64 = 0;
         let mut saw_data = false;
-        for msg in incoming {
-            let (tag, values) = wire::decode(&msg.payload, VALUE_WIDTH)
+        for msg in incoming.iter() {
+            let (tag, values) = wire::decode_view(msg.payload, VALUE_WIDTH)
                 .ok_or_else(|| ctx.error("malformed partial"))?;
             if tag != TAG_PARTIAL {
                 return Err(ctx.error(format!("unexpected tag {tag}")));
@@ -46,25 +51,23 @@ impl MachineLogic for TreeSum {
             }
         }
         if !saw_data {
-            return Ok(Outbox::new());
+            return Ok(());
         }
         let j = ctx.machine();
         let stride = 1usize << ctx.round();
         if stride >= self.m {
             // Tree merged: machine 0 holds the total.
             debug_assert_eq!(j, 0, "only machine 0 survives the reduction");
-            return Ok(Outbox::new().emit(BitVec::from_u64(partial, 64)));
-        }
-        if j % (2 * stride) == stride {
+            out.emit(BitVec::from_u64(partial, 64));
+        } else if j % (2 * stride) == stride {
             // Sender this round.
-            Ok(Outbox::new().send(j - stride, wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH)))
+            out.push(j - stride, &wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH));
         } else if j % (2 * stride) == 0 {
             // Receiver: keep the partial alive via self-message.
-            Ok(Outbox::new().send(j, wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH)))
-        } else {
-            // Already merged away.
-            Ok(Outbox::new())
+            out.push(j, &wire::encode(TAG_PARTIAL, &[partial], VALUE_WIDTH));
         }
+        // Otherwise: already merged away.
+        Ok(())
     }
 }
 

@@ -4,7 +4,7 @@
 //! value width fixed per algorithm. Like everything in the workspace the
 //! format is bit-exact, so memory accounting against `s` is honest.
 
-use mph_bits::{BitReader, BitVec, BitWriter};
+use mph_bits::{BitReader, BitSlice, BitVec, BitWriter};
 
 const TAG_WIDTH: usize = 8;
 const COUNT_WIDTH: usize = 24;
@@ -39,6 +39,25 @@ pub fn decode(payload: &BitVec, width: usize) -> Option<(u8, Vec<u64>)> {
     Some((tag, values))
 }
 
+/// Decodes a tagged value list straight from an arena-backed payload view
+/// (no intermediate copy); returns `(tag, values)`.
+///
+/// Returns `None` on malformed payloads (length mismatch), exactly like
+/// [`decode`].
+pub fn decode_view(payload: BitSlice<'_>, width: usize) -> Option<(u8, Vec<u64>)> {
+    if payload.len() < TAG_WIDTH + COUNT_WIDTH {
+        return None;
+    }
+    let tag = payload.read_u64(0, TAG_WIDTH) as u8;
+    let count = payload.read_u64(TAG_WIDTH, COUNT_WIDTH) as usize;
+    if payload.len() - TAG_WIDTH - COUNT_WIDTH != count * width {
+        return None;
+    }
+    let values =
+        (0..count).map(|k| payload.read_u64(TAG_WIDTH + COUNT_WIDTH + k * width, width)).collect();
+    Some((tag, values))
+}
+
 /// Bits a message with `count` values occupies.
 pub fn message_bits(count: usize, width: usize) -> usize {
     TAG_WIDTH + COUNT_WIDTH + count * width
@@ -54,6 +73,15 @@ mod tests {
         let msg = encode(7, &values, 16);
         assert_eq!(msg.len(), message_bits(4, 16));
         assert_eq!(decode(&msg, 16), Some((7, values)));
+    }
+
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let values = vec![9u64, 0, 65535];
+        let msg = encode(3, &values, 16);
+        assert_eq!(decode_view(msg.as_view(), 16), decode(&msg, 16));
+        assert_eq!(decode_view(BitVec::zeros(10).as_view(), 16), None);
+        assert_eq!(decode_view(msg.as_view(), 8), None); // wrong width
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::wire;
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -31,18 +31,22 @@ struct WordCount {
 }
 
 impl MachineLogic for WordCount {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() {
-            return Ok(Outbox::new());
+            return Ok(());
         }
         let iw = self.config.id_width;
-        let mut out = Outbox::new();
         match ctx.round() {
             0 => {
                 // Map: local counts, shuffled to reducers.
                 let mut counts: HashMap<u64, u64> = HashMap::new();
-                for msg in incoming {
-                    let (tag, words) = wire::decode(&msg.payload, iw)
+                for msg in incoming.iter() {
+                    let (tag, words) = wire::decode_view(msg.payload, iw)
                         .ok_or_else(|| ctx.error("malformed shard"))?;
                     if tag != TAG_WORDS {
                         return Err(ctx.error(format!("unexpected tag {tag}")));
@@ -59,15 +63,15 @@ impl MachineLogic for WordCount {
                 }
                 for (reducer, pairs) in per_reducer.into_iter().enumerate() {
                     if !pairs.is_empty() {
-                        out.push(reducer, wire::encode(TAG_COUNTS, &pairs, iw));
+                        out.push(reducer, &wire::encode(TAG_COUNTS, &pairs, iw));
                     }
                 }
             }
             1 => {
                 // Reduce: sum per word, emit.
                 let mut totals: HashMap<u64, u64> = HashMap::new();
-                for msg in incoming {
-                    let (tag, pairs) = wire::decode(&msg.payload, iw)
+                for msg in incoming.iter() {
+                    let (tag, pairs) = wire::decode_view(msg.payload, iw)
                         .ok_or_else(|| ctx.error("malformed counts"))?;
                     if tag != TAG_COUNTS {
                         return Err(ctx.error(format!("unexpected tag {tag}")));
@@ -79,11 +83,11 @@ impl MachineLogic for WordCount {
                 let mut words: Vec<u64> = totals.keys().copied().collect();
                 words.sort_unstable();
                 let flat: Vec<u64> = words.into_iter().flat_map(|w| [w, totals[&w]]).collect();
-                out.output = Some(wire::encode(TAG_RESULT, &flat, iw));
+                out.emit(wire::encode(TAG_RESULT, &flat, iw));
             }
             r => return Err(ctx.error(format!("unexpected round {r}"))),
         }
-        Ok(out)
+        Ok(())
     }
 }
 

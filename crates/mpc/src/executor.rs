@@ -6,11 +6,27 @@
 //! the round (`≤ q` per machine). Machines of one round run in parallel
 //! (they are independent by definition); routing is then sequenced in
 //! machine order, so runs are deterministic.
+//!
+//! # The arena message plane
+//!
+//! Payloads never live in per-message heap allocations (see
+//! `docs/MESSAGE_PLANE.md`). Senders append payload bits into their
+//! [`Outbox`]'s own arena `BitVec`; the two-pass router validates the
+//! model's bounds over send *records*, then delivers by handing each
+//! recipient `(sender, offset, len)` coordinates straight into the sender
+//! arenas — delivery moves no payload bit. A machine's memory image is its
+//! list of [`InboxEntry`] coordinates, surfaced as a zero-copy [`Inbox`];
+//! the written outbox plane stays alive (read-only) through the next round,
+//! ping-ponging with the plane being written. An auxiliary per-round arena
+//! holds the payloads with no live sender outbox: input seeds, straggler
+//! deliveries, restored snapshots. Steady state allocates nothing: both
+//! outbox planes, the auxiliary arena, and the entry lists all recycle
+//! their buffers.
 
 use crate::error::ModelViolation;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::machine::{MachineLogic, Outbox, RoundCtx};
-use crate::message::{total_bits, MachineId, Message};
+use crate::message::{Inbox, InboxEntry, MachineId, Message};
 use crate::snapshot::{FaultSnapshot, SimulationSnapshot};
 use crate::stats::{RoundStats, SimStats};
 use mph_bits::BitVec;
@@ -94,7 +110,9 @@ struct FaultState {
     plan: FaultPlan,
     /// Which machines have crash-stopped so far.
     crashed: Vec<bool>,
-    /// Straggler-delayed messages as `(deliver_round, message)`.
+    /// Straggler-delayed messages as `(deliver_round, message)`. Delayed
+    /// payloads are the one place in-flight bits own their allocation: a
+    /// straggling message outlives the round arena it was born in.
     delayed: Vec<(usize, Message)>,
 }
 
@@ -105,19 +123,21 @@ struct FaultState {
 /// A two-machine ping-pong that outputs after three rounds:
 ///
 /// ```
-/// use mph_mpc::{Simulation, Outbox, RoundCtx, Message, ModelViolation};
+/// use mph_mpc::{Simulation, Outbox, RoundCtx, Inbox, ModelViolation};
 /// use mph_bits::BitVec;
 /// use mph_oracle::{LazyOracle, RandomTape};
 /// use std::sync::Arc;
 ///
-/// let logic = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-///     let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+/// let logic = Arc::new(|ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+///     let Some(msg) = incoming.first() else { return Ok(()) };
 ///     let hops = msg.payload.read_u64(0, 8);
 ///     if hops == 3 {
-///         return Ok(Outbox::new().emit(msg.payload.clone()));
+///         out.emit(msg.payload.to_bitvec());
+///         return Ok(());
 ///     }
 ///     let other = 1 - ctx.machine();
-///     Ok(Outbox::new().send(other, BitVec::from_u64(hops + 1, 8)))
+///     out.push(other, &BitVec::from_u64(hops + 1, 8));
+///     Ok(())
 /// });
 ///
 /// let mut sim = Simulation::new(2, 64, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0));
@@ -134,13 +154,28 @@ pub struct Simulation {
     oracle: Arc<dyn Oracle>,
     tape: RandomTape,
     machines: Vec<Arc<dyn MachineLogic>>,
-    inboxes: Vec<Vec<Message>>,
-    /// Last round's consumed inboxes, kept (emptied) so their allocations
-    /// are reused by the next routing pass instead of reallocated per round.
-    scratch_inboxes: Vec<Vec<Message>>,
+    /// The round's auxiliary arena: payloads with no live sender outbox —
+    /// input seeds, straggler deliveries coming due, restored snapshots —
+    /// back to back. Cleared at the end of every round.
+    in_arena: BitVec,
+    /// Per-machine memory images as coordinates into `read_outboxes` (the
+    /// routed path) or `in_arena` (`aux` entries).
+    entries: Vec<Vec<InboxEntry>>,
+    /// Last round's consumed entry lists, kept (emptied) so routing refills
+    /// them without reallocating.
+    scratch_entries: Vec<Vec<InboxEntry>>,
     /// Per-recipient message counts from the routing count pass, reused
     /// across rounds.
     route_counts: Vec<usize>,
+    /// The outbox plane machines write this round — one arena-backed outbox
+    /// per machine, borrowed mutably by the parallel compute region.
+    /// Ping-pongs with `read_outboxes` at the end of every round.
+    outboxes: Vec<Outbox>,
+    /// The outbox plane written *last* round, kept alive read-only because
+    /// this round's inbox entries view straight into its arenas — delivery
+    /// hands each receiver `(sender, offset, len)` coordinates, never a
+    /// copy.
+    read_outboxes: Vec<Outbox>,
     round: usize,
     stats: SimStats,
     outputs: Vec<(MachineId, BitVec)>,
@@ -152,8 +187,13 @@ pub struct Simulation {
 struct IdleMachine;
 
 impl MachineLogic for IdleMachine {
-    fn round(&self, _ctx: &RoundCtx<'_>, _incoming: &[Message]) -> Result<Outbox, ModelViolation> {
-        Ok(Outbox::new())
+    fn round(
+        &self,
+        _ctx: &RoundCtx<'_>,
+        _incoming: &Inbox<'_>,
+        _out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
+        Ok(())
     }
 }
 
@@ -172,9 +212,12 @@ impl Simulation {
             oracle,
             tape,
             machines: vec![idle; m],
-            inboxes: vec![Vec::new(); m],
-            scratch_inboxes: Vec::new(),
+            in_arena: BitVec::new(),
+            entries: vec![Vec::new(); m],
+            scratch_entries: Vec::new(),
             route_counts: Vec::new(),
+            outboxes: Vec::new(),
+            read_outboxes: Vec::new(),
             round: 0,
             stats: SimStats::default(),
             outputs: Vec::new(),
@@ -189,15 +232,20 @@ impl Simulation {
         self
     }
 
-    /// Clears all run state — round counter, pending inboxes, collected
-    /// outputs, statistics — while **retaining** machine programs, the
-    /// oracle, the tape, the metrics sink, and every buffer allocation
-    /// (inboxes, scratch inboxes, routing counts). After `reset`, seeding
-    /// memory and running is observationally identical to doing so on a
-    /// freshly constructed simulation; only the allocator traffic differs.
+    /// Clears all run state — round counter, pending memory images,
+    /// collected outputs, statistics — while **retaining** machine
+    /// programs, the oracle, the tape, the metrics sink, and every buffer
+    /// allocation (round arenas, entry lists, routing counts, the outbox
+    /// pool). After `reset`, seeding memory and running is observationally
+    /// identical to doing so on a freshly constructed simulation; only the
+    /// allocator traffic differs.
     pub fn reset(&mut self) -> &mut Self {
-        for inbox in &mut self.inboxes {
-            inbox.clear();
+        self.in_arena.clear();
+        for entries in &mut self.entries {
+            entries.clear();
+        }
+        for outbox in &mut self.read_outboxes {
+            outbox.clear();
         }
         self.outputs.clear();
         self.stats = SimStats::default();
@@ -301,7 +349,10 @@ impl Simulation {
     /// Checked against `s` when round 0 delivers it.
     pub fn seed_memory(&mut self, machine: MachineId, payload: BitVec) -> &mut Self {
         assert!(machine < self.m, "seed target {machine} out of range (m = {})", self.m);
-        self.inboxes[machine].push(Message { from: machine, to: machine, payload });
+        let offset = self.in_arena.len();
+        let len = payload.len();
+        self.in_arena.extend_bits(&payload);
+        self.entries[machine].push(InboxEntry { from: machine, offset, len, aux: true });
         self
     }
 
@@ -327,9 +378,10 @@ impl Simulation {
 
     /// The memory image (pending incoming messages) of `machine` at the
     /// start of the next round — the `M_i^k` the compression argument
-    /// snapshots as the output of its `𝒜₁`.
-    pub fn inbox(&self, machine: MachineId) -> &[Message] {
-        &self.inboxes[machine]
+    /// snapshots as the output of its `𝒜₁` — as a zero-copy view into the
+    /// round arena.
+    pub fn inbox(&self, machine: MachineId) -> Inbox<'_> {
+        Inbox::routed(&self.in_arena, &self.read_outboxes, &self.entries[machine])
     }
 
     /// Output contributions collected so far.
@@ -365,8 +417,9 @@ impl Simulation {
         emit(&self.metrics, || Event::RoundStart { round: self.round as u64 });
 
         // 0. Round-start faults: inject straggler messages that come due
-        //    this round, then decide crash-stops (a crashed machine loses
-        //    its memory and computes nothing from here on).
+        //    this round (appending their payloads to the round arena), then
+        //    decide crash-stops (a crashed machine loses its memory and
+        //    computes nothing from here on).
         let mut messages = 0;
         let mut bits_sent = 0;
         if let Some(fs) = faults.as_deref_mut() {
@@ -386,7 +439,14 @@ impl Simulation {
                 messages += 1;
                 bits_sent += bits;
                 emit(&self.metrics, || Event::MessageRouted { bits: bits as u64 });
-                self.inboxes[msg.to].push(msg);
+                let offset = self.in_arena.len();
+                self.in_arena.extend_bits(&msg.payload);
+                self.entries[msg.to].push(InboxEntry {
+                    from: msg.from,
+                    offset,
+                    len: bits,
+                    aux: true,
+                });
             }
             for machine in 0..self.m {
                 if !fs.crashed[machine] && fs.plan.crashes_at(machine, round) {
@@ -394,17 +454,20 @@ impl Simulation {
                     self.observe_fault(FaultKind::Crash, machine, round);
                 }
                 if fs.crashed[machine] {
-                    self.inboxes[machine].clear();
+                    // Entries go; the orphaned arena bits are unreachable
+                    // and die with the arena at the end of the round.
+                    self.entries[machine].clear();
                 }
             }
         }
 
         // 1. Delivery-time memory check (the paper bounds what a machine
-        //    may *receive*).
+        //    may *receive*). Entry lists make this a metadata scan: no
+        //    payload word is touched.
         let mut max_memory_bits = 0;
         let mut active = 0;
-        for (i, inbox) in self.inboxes.iter().enumerate() {
-            let bits = total_bits(inbox);
+        for (i, entries) in self.entries.iter().enumerate() {
+            let bits: usize = entries.iter().map(|e| e.len).sum();
             if bits > self.s_bits {
                 return Err(self.observe(ModelViolation::MemoryExceeded {
                     machine: i,
@@ -420,12 +483,14 @@ impl Simulation {
                 });
             }
             max_memory_bits = max_memory_bits.max(bits);
-            if !inbox.is_empty() {
+            if !entries.is_empty() {
                 active += 1;
             }
         }
 
-        // 2. Run all machines of the round in parallel. Fault decisions
+        // 2. Run all machines of the round in parallel, each against a
+        //    zero-copy view of its memory image and a recycled outbox from
+        //    the pool (moved in, recovered after routing). Fault decisions
         //    made inside the parallel region are pure functions of
         //    (seed, machine, round), so they are identical under any
         //    thread count or schedule.
@@ -434,32 +499,41 @@ impl Simulation {
         let tape = &self.tape;
         let q = self.q;
         let m = self.m;
+        let machines = &self.machines;
+        let aux_arena = &self.in_arena;
+        let read_boxes = &self.read_outboxes;
+        let entries = &self.entries;
         let fault_view: Option<(&[bool], FaultPlan)> =
             faults.as_deref().map(|fs| (fs.crashed.as_slice(), fs.plan));
-        let results: Vec<Result<(Outbox, u64), ModelViolation>> = self
-            .machines
-            .par_iter()
-            .zip(self.inboxes.par_iter())
+        let mut pool = std::mem::take(&mut self.outboxes);
+        pool.resize_with(m, Outbox::new);
+        // Outboxes stay in place: the parallel pass works through `&mut`
+        // borrows, so only machine-word results cross the join — never the
+        // outboxes themselves (whose arenas would otherwise be memcpy'd
+        // through every intermediate collection).
+        let results: Vec<Result<u64, ModelViolation>> = (&mut pool)
+            .into_par_iter()
             .enumerate()
-            .map(|(id, (logic, inbox))| {
+            .map(|(id, out)| {
+                out.clear();
+                let inbox = Inbox::routed(aux_arena, read_boxes, &entries[id]);
                 if let Some((crashed, plan)) = fault_view {
                     if crashed[id] {
-                        return Ok((Outbox::new(), 0));
+                        return Ok(0);
                     }
                     if !inbox.is_empty() && plan.oracle_unavailable(id, round) {
                         // Oracle outage voids the round for this machine:
                         // it carries its memory image forward unchanged
-                        // via self-messages and retries next round.
-                        let mut out = Outbox::new();
-                        for msg in inbox {
-                            out.push(id, msg.payload.clone());
+                        // via self-messages (forwarded as views — no
+                        // owned copies) and retries next round.
+                        for msg in inbox.iter() {
+                            out.push_view(id, msg.payload);
                         }
-                        return Ok((out, 0));
+                        return Ok(0);
                     }
                 }
                 let ctx = RoundCtx::new(id, round, m, oracle, tape, q);
-                let outbox = logic.round(&ctx, inbox)?;
-                Ok((outbox, ctx.queries_made()))
+                machines[id].round(&ctx, &inbox, out).map(|()| ctx.queries_made())
             })
             .collect();
 
@@ -469,7 +543,7 @@ impl Simulation {
             if fs.plan.spec().oracle_outage_rate > 0.0 {
                 for id in 0..self.m {
                     if !fs.crashed[id]
-                        && !self.inboxes[id].is_empty()
+                        && !self.entries[id].is_empty()
                         && fs.plan.oracle_unavailable(id, round)
                     {
                         self.observe_fault(FaultKind::OracleUnavailable, id, round);
@@ -478,9 +552,15 @@ impl Simulation {
             }
         }
 
-        let mut boxes: Vec<(Outbox, u64)> = Vec::with_capacity(self.m);
+        // Surface the first failure in machine order (the parallel pass is
+        // deterministic, so "first" is well-defined and reproducible), and
+        // fold the per-machine query counts into round totals while at it.
+        let mut oracle_queries = 0;
+        let mut max_queries_one_machine = 0;
         for result in results {
-            boxes.push(result.map_err(|v| self.observe(v))?);
+            let queries = result.map_err(|v| self.observe(v))?;
+            oracle_queries += queries;
+            max_queries_one_machine = max_queries_one_machine.max(queries);
         }
 
         // 3. Route deterministically in machine order, in two passes.
@@ -488,23 +568,24 @@ impl Simulation {
         // Pass 1 — count and validate: recipient indices, and the sender-side
         // model bound. A machine computes on `s` bits of local state
         // (Definition 2.1), so everything it transmits in a round — messages
-        // plus any output contribution — must fit in `s`.
+        // plus any output contribution — must fit in `s`. A pure metadata
+        // scan over the send records; payload bits are untouched.
         let mut counts = std::mem::take(&mut self.route_counts);
         counts.clear();
         counts.resize(self.m, 0);
-        for (id, (outbox, _)) in boxes.iter().enumerate() {
+        for (id, outbox) in pool.iter().enumerate() {
             let mut outgoing_bits = 0;
-            for msg in &outbox.messages {
-                if msg.to >= self.m {
+            for send in outbox.sends() {
+                if send.to >= self.m {
                     return Err(self.observe(ModelViolation::BadRecipient {
                         machine: id,
                         round: self.round,
-                        to: msg.to,
+                        to: send.to,
                         m: self.m,
                     }));
                 }
-                outgoing_bits += msg.bits();
-                counts[msg.to] += 1;
+                outgoing_bits += send.len;
+                counts[send.to] += 1;
             }
             outgoing_bits += outbox.output.as_ref().map_or(0, |out| out.len());
             if outgoing_bits > self.s_bits {
@@ -517,34 +598,34 @@ impl Simulation {
             }
         }
 
-        // Pass 2 — fill: reuse last round's (cleared) inbox allocations,
-        // pre-sizing each to its exact message count.
-        let mut next = std::mem::take(&mut self.scratch_inboxes);
-        next.resize_with(self.m, Vec::new);
-        for (inbox, &count) in next.iter_mut().zip(&counts) {
-            debug_assert!(inbox.is_empty());
-            inbox.reserve(count);
+        // Pass 2 — deliver: hand each surviving payload to its recipient as
+        // a coordinate into the sender's outbox arena. No payload bit moves
+        // at delivery; the outbox plane stays alive (read-only) through the
+        // next round, which is exactly the lifetime the entry views need.
+        // Entry lists reuse last round's allocations, pre-sized to their
+        // exact message counts.
+        let mut next_entries = std::mem::take(&mut self.scratch_entries);
+        next_entries.resize_with(self.m, Vec::new);
+        for (entries, &count) in next_entries.iter_mut().zip(&counts) {
+            debug_assert!(entries.is_empty());
+            entries.reserve(count);
         }
         let outputs_before = self.outputs.len();
-        let mut oracle_queries = 0;
-        let mut max_queries_one_machine = 0;
-        for (id, (outbox, queries)) in boxes.into_iter().enumerate() {
-            oracle_queries += queries;
-            max_queries_one_machine = max_queries_one_machine.max(queries);
+        for (id, outbox) in pool.iter_mut().enumerate() {
             // Network faults strike between compute and delivery. A
             // straggling machine delays *all* its cross-machine traffic
             // for the round; drop/corrupt decisions are per message.
             let straggling = faults.as_deref().is_some_and(|fs| fs.plan.straggles(id, self.round));
-            for (idx, mut msg) in outbox.messages.into_iter().enumerate() {
-                msg.from = id;
+            for idx in 0..outbox.message_count() {
+                let send = outbox.sends()[idx];
                 if let Some(fs) = faults.as_deref_mut() {
-                    if fs.crashed[msg.to] {
+                    if fs.crashed[send.to] {
                         // The recipient's memory no longer exists.
                         continue;
                     }
                     // Self-messages model local memory persistence, not
                     // network traffic — network faults never touch them.
-                    if msg.to != id {
+                    if send.to != id {
                         if fs.plan.drops_message(self.round, id, idx) {
                             self.observe_fault(FaultKind::MessageDropped, id, self.round);
                             continue;
@@ -552,24 +633,40 @@ impl Simulation {
                         if straggling {
                             self.observe_fault(FaultKind::StragglerDelay, id, self.round);
                             let deliver = self.round + 1 + fs.plan.straggler_delay();
-                            fs.delayed.push((deliver, msg));
+                            // The one materialization point: a delayed
+                            // payload outlives the outbox plane it was
+                            // born in.
+                            fs.delayed.push((
+                                deliver,
+                                Message {
+                                    from: id,
+                                    to: send.to,
+                                    payload: outbox.payload(&send).to_bitvec(),
+                                },
+                            ));
                             continue;
                         }
-                        if !msg.payload.is_empty() && fs.plan.corrupts_message(self.round, id, idx)
-                        {
-                            let bit =
-                                fs.plan.corruption_bit(self.round, id, idx, msg.payload.len());
-                            msg.payload.set(bit, !msg.payload.get(bit));
+                        if send.len > 0 && fs.plan.corrupts_message(self.round, id, idx) {
+                            // Corruption flips the bit in the delivered
+                            // range; each send record owns its own arena
+                            // range, so no other delivery can alias it.
+                            let bit = fs.plan.corruption_bit(self.round, id, idx, send.len);
+                            outbox.flip_payload_bit(send.offset + bit);
                             self.observe_fault(FaultKind::MessageCorrupted, id, self.round);
                         }
                     }
                 }
                 messages += 1;
-                bits_sent += msg.bits();
-                emit(&self.metrics, || Event::MessageRouted { bits: msg.bits() as u64 });
-                next[msg.to].push(msg);
+                bits_sent += send.len;
+                emit(&self.metrics, || Event::MessageRouted { bits: send.len as u64 });
+                next_entries[send.to].push(InboxEntry {
+                    from: id,
+                    offset: send.offset,
+                    len: send.len,
+                    aux: false,
+                });
             }
-            if let Some(out) = outbox.output {
+            if let Some(out) = outbox.output.take() {
                 self.outputs.push((id, out));
             }
         }
@@ -592,14 +689,20 @@ impl Simulation {
             max_memory_bits,
             active_machines: active,
         });
-        // The just-delivered inboxes were consumed by the machines; clear
-        // them (dropping payloads, keeping capacity) and retire them as the
-        // scratch buffers for the next routing pass.
-        std::mem::swap(&mut self.inboxes, &mut next);
-        for inbox in &mut next {
-            inbox.clear();
+        // Plane ping-pong: the outboxes just written become the read plane
+        // the routed entries point into, and the plane consumed this round
+        // returns to the pool to be rewritten next round (capacity intact).
+        // The auxiliary arena's payloads were consumed by this round's
+        // inboxes, so it restarts empty; consumed entry lists retire as
+        // next round's scratch.
+        let consumed = std::mem::replace(&mut self.read_outboxes, pool);
+        self.outboxes = consumed;
+        self.in_arena.clear();
+        std::mem::swap(&mut self.entries, &mut next_entries);
+        for entries in &mut next_entries {
+            entries.clear();
         }
-        self.scratch_inboxes = next;
+        self.scratch_entries = next_entries;
         self.route_counts = counts;
         self.round += 1;
         Ok(outputs_before)
@@ -680,8 +783,13 @@ impl Simulation {
 
     /// Captures the simulation's run state as a durable
     /// [`SimulationSnapshot`] — round index, memory images (pending
-    /// inboxes), collected outputs, statistics, the query budget, the
+    /// inboxes, materialized out of the round arena into owned
+    /// [`Message`]s), collected outputs, statistics, the query budget, the
     /// tape seed, and fault-plan coordinates plus accumulated fault state.
+    ///
+    /// The snapshot byte format is arena-agnostic and unchanged from
+    /// earlier releases: payloads are stored owned, so checkpoints never
+    /// borrow from a live arena and survive the simulation that took them.
     ///
     /// Configuration the host rebuilds from its own parameters — machine
     /// programs, the oracle, the metrics sink — is deliberately excluded;
@@ -692,7 +800,14 @@ impl Simulation {
             s_bits: self.s_bits,
             q: self.q,
             round: self.round,
-            inboxes: self.inboxes.clone(),
+            inboxes: (0..self.m)
+                .map(|to| {
+                    self.inbox(to)
+                        .iter()
+                        .map(|msg| Message { from: msg.from, to, payload: msg.payload.to_bitvec() })
+                        .collect()
+                })
+                .collect(),
             outputs: self.outputs.clone(),
             stats: self.stats.clone(),
             tape_seed: self.tape.seed(),
@@ -721,9 +836,25 @@ impl Simulation {
         }
         self.q = snap.q;
         self.round = snap.round;
-        for (inbox, saved) in self.inboxes.iter_mut().zip(&snap.inboxes) {
-            inbox.clear();
-            inbox.extend(saved.iter().cloned());
+        // Re-pack the owned snapshot payloads into the auxiliary arena (a
+        // restored image has no live sender outboxes to point into).
+        let arena = &mut self.in_arena;
+        arena.clear();
+        for outbox in &mut self.read_outboxes {
+            outbox.clear();
+        }
+        for (entries, saved) in self.entries.iter_mut().zip(&snap.inboxes) {
+            entries.clear();
+            for msg in saved {
+                let offset = arena.len();
+                arena.extend_bits(&msg.payload);
+                entries.push(InboxEntry {
+                    from: msg.from,
+                    offset,
+                    len: msg.payload.len(),
+                    aux: true,
+                });
+            }
         }
         self.outputs = snap.outputs.clone();
         self.stats = snap.stats.clone();
@@ -769,16 +900,18 @@ mod tests {
 
     /// Logic that forwards its memory to the next machine, adding one bit.
     fn relay() -> Arc<dyn MachineLogic> {
-        Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+        Arc::new(|ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
             let Some(msg) = incoming.first() else {
-                return Ok(Outbox::new());
+                return Ok(());
             };
-            let mut payload = msg.payload.clone();
+            let mut payload = msg.payload.to_bitvec();
             payload.push(true);
             if payload.len() >= 8 {
-                return Ok(Outbox::new().emit(payload));
+                out.emit(payload);
+                return Ok(());
             }
-            Ok(Outbox::new().send((ctx.machine() + 1) % ctx.m(), payload))
+            out.push((ctx.machine() + 1) % ctx.m(), &payload);
+            Ok(())
         })
     }
 
@@ -802,11 +935,12 @@ mod tests {
         // 20 bits overflows the receiver's memory at the start of round 1.
         let mut s = sim(3, 16);
         let sender: Arc<dyn MachineLogic> =
-            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(2, BitVec::zeros(10)))
+                out.push(2, &BitVec::zeros(10));
+                Ok(())
             });
         s.set_logic(0, Arc::clone(&sender));
         s.set_logic(1, sender);
@@ -835,15 +969,14 @@ mod tests {
         let mut s = sim(4, 16);
         s.set_logic(
             0,
-            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                let mut out = Outbox::new();
                 for to in 1..4 {
-                    out.push(to, BitVec::zeros(8));
+                    out.push(to, &BitVec::zeros(8));
                 }
-                Ok(out)
+                Ok(())
             }),
         );
         s.seed_memory(0, BitVec::zeros(1));
@@ -860,11 +993,13 @@ mod tests {
         let mut s = sim(2, 16);
         s.set_logic(
             0,
-            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(1, BitVec::zeros(12)).emit(BitVec::zeros(10)))
+                out.push(1, &BitVec::zeros(12));
+                out.emit(BitVec::zeros(10));
+                Ok(())
             }),
         );
         s.seed_memory(0, BitVec::zeros(1));
@@ -880,11 +1015,13 @@ mod tests {
         let mut s = sim(2, 16);
         s.set_logic(
             0,
-            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(1, BitVec::zeros(10)).emit(BitVec::zeros(6)))
+                out.push(1, &BitVec::zeros(10));
+                out.emit(BitVec::zeros(6));
+                Ok(())
             }),
         );
         s.seed_memory(0, BitVec::zeros(1));
@@ -897,11 +1034,13 @@ mod tests {
         let mut s = sim(2, 16);
         s.set_logic(
             0,
-            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(1, BitVec::zeros(11)).emit(BitVec::zeros(6)))
+                out.push(1, &BitVec::zeros(11));
+                out.emit(BitVec::zeros(6));
+                Ok(())
             }),
         );
         s.seed_memory(0, BitVec::zeros(1));
@@ -918,15 +1057,19 @@ mod tests {
         // budget is per round (Definition 2.1), not per run.
         let mut s = sim(1, 64);
         s.set_query_budget(2);
-        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-            let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
-            ctx.query(&BitVec::from_u64(ctx.round() as u64, 16))?;
-            ctx.query(&BitVec::from_u64(ctx.round() as u64 + 100, 16))?;
-            if ctx.round() == 4 {
-                return Ok(Outbox::new().emit(msg.payload.clone()));
-            }
-            Ok(Outbox::new().send(ctx.machine(), msg.payload.clone()))
-        }));
+        s.set_uniform_logic(Arc::new(
+            |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                let Some(msg) = incoming.first() else { return Ok(()) };
+                ctx.query(&BitVec::from_u64(ctx.round() as u64, 16))?;
+                ctx.query(&BitVec::from_u64(ctx.round() as u64 + 100, 16))?;
+                if ctx.round() == 4 {
+                    out.emit(msg.payload.to_bitvec());
+                    return Ok(());
+                }
+                out.push_view(ctx.machine(), msg.payload);
+                Ok(())
+            },
+        ));
         s.seed_memory(0, BitVec::zeros(4));
         let result = s.run_until_output(10).unwrap();
         assert!(result.completed());
@@ -941,15 +1084,18 @@ mod tests {
         // Two back-to-back runs on one simulation: the second outcome's
         // round count must agree with its own RunResult::rounds(), not the
         // cumulative self.round.
-        let logic: Arc<dyn MachineLogic> = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-            let Some(msg) = incoming.first() else {
-                return Ok(Outbox::new());
-            };
-            if ctx.round() % 3 == 2 {
-                return Ok(Outbox::new().emit(msg.payload.clone()));
-            }
-            Ok(Outbox::new().send(ctx.machine(), msg.payload.clone()))
-        });
+        let logic: Arc<dyn MachineLogic> =
+            Arc::new(|ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                let Some(msg) = incoming.first() else {
+                    return Ok(());
+                };
+                if ctx.round() % 3 == 2 {
+                    out.emit(msg.payload.to_bitvec());
+                    return Ok(());
+                }
+                out.push_view(ctx.machine(), msg.payload);
+                Ok(())
+            });
         let mut s = sim(1, 64);
         s.set_uniform_logic(logic);
         s.seed_memory(0, BitVec::zeros(4));
@@ -1000,12 +1146,13 @@ mod tests {
 
     #[test]
     fn reinit_swaps_oracle_and_budget() {
-        let echo_query = Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
+        let echo_query = Arc::new(|ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
             if incoming.is_empty() {
-                return Ok(Outbox::new());
+                return Ok(());
             }
             let a = ctx.query(&BitVec::zeros(16))?;
-            Ok(Outbox::new().emit(a))
+            out.emit(a);
+            Ok(())
         });
         let mut s = sim(1, 64);
         s.set_uniform_logic(echo_query);
@@ -1030,11 +1177,11 @@ mod tests {
     fn query_budget_violation_propagates() {
         let mut s = sim(1, 64);
         s.set_query_budget(2);
-        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &Inbox<'_>, _: &mut Outbox| {
             for i in 0..3u64 {
                 ctx.query(&BitVec::from_u64(i, 16))?;
             }
-            Ok(Outbox::new())
+            Ok(())
         }));
         s.seed_memory(0, BitVec::zeros(1));
         let err = s.step().unwrap_err();
@@ -1044,8 +1191,9 @@ mod tests {
     #[test]
     fn bad_recipient_detected() {
         let mut s = sim(2, 64);
-        s.set_uniform_logic(Arc::new(|_: &RoundCtx<'_>, _: &[Message]| {
-            Ok(Outbox::new().send(5, BitVec::zeros(1)))
+        s.set_uniform_logic(Arc::new(|_: &RoundCtx<'_>, _: &Inbox<'_>, out: &mut Outbox| {
+            out.push(5, &BitVec::zeros(1));
+            Ok(())
         }));
         let err = s.step().unwrap_err();
         assert!(matches!(err, ModelViolation::BadRecipient { to: 5, m: 2, .. }));
@@ -1063,14 +1211,16 @@ mod tests {
     #[test]
     fn stats_track_queries_and_memory() {
         let mut s = sim(3, 64);
-        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-            if incoming.is_empty() {
-                return Ok(Outbox::new());
-            }
-            ctx.query(&BitVec::zeros(16))?;
-            ctx.query(&BitVec::ones(16))?;
-            Ok(Outbox::new())
-        }));
+        s.set_uniform_logic(Arc::new(
+            |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, _: &mut Outbox| {
+                if incoming.is_empty() {
+                    return Ok(());
+                }
+                ctx.query(&BitVec::zeros(16))?;
+                ctx.query(&BitVec::ones(16))?;
+                Ok(())
+            },
+        ));
         s.seed_memory(1, BitVec::zeros(40));
         s.step().unwrap();
         let stats = s.stats();
@@ -1083,8 +1233,9 @@ mod tests {
     #[test]
     fn outputs_union_across_machines() {
         let mut s = sim(3, 64);
-        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
-            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 4)))
+        s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &Inbox<'_>, out: &mut Outbox| {
+            out.emit(BitVec::from_u64(ctx.machine() as u64, 4));
+            Ok(())
         }));
         let result = s.run_until_output(1).unwrap();
         assert_eq!(result.outputs.len(), 3);
@@ -1097,14 +1248,20 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let mut s = sim(4, 128);
-            s.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, incoming: &[Message]| {
-                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
-                let a = ctx.query(&msg.payload)?;
-                if ctx.round() == 3 {
-                    return Ok(Outbox::new().emit(a));
-                }
-                Ok(Outbox::new().send((ctx.machine() + 1) % ctx.m(), a))
-            }));
+            s.set_uniform_logic(Arc::new(
+                |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                    let Some(msg) = incoming.first() else { return Ok(()) };
+                    // Query straight off the arena view — the zero-copy
+                    // oracle path inside a real round.
+                    let a = ctx.query_view(&msg.payload)?;
+                    if ctx.round() == 3 {
+                        out.emit(a);
+                        return Ok(());
+                    }
+                    out.push((ctx.machine() + 1) % ctx.m(), &a);
+                    Ok(())
+                },
+            ));
             s.seed_memory(0, BitVec::zeros(16));
             s.run_until_output(10).unwrap()
         };
@@ -1116,7 +1273,10 @@ mod tests {
 
     #[test]
     fn outputs_union_supports_unanimity() {
-        let same = |_: &RoundCtx<'_>, _: &[Message]| Ok(Outbox::new().emit(BitVec::ones(4)));
+        let same = |_: &RoundCtx<'_>, _: &Inbox<'_>, out: &mut Outbox| {
+            out.emit(BitVec::ones(4));
+            Ok(())
+        };
         let mut s = sim(3, 64);
         s.set_uniform_logic(Arc::new(same));
         let result = s.run_until_output(1).unwrap();
@@ -1124,8 +1284,9 @@ mod tests {
         assert!(result.sole_output().is_none(), "sole_output means exactly one");
         assert_eq!(result.unanimous_output(), Some(&BitVec::ones(4)));
 
-        let distinct = |ctx: &RoundCtx<'_>, _: &[Message]| {
-            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 4)))
+        let distinct = |ctx: &RoundCtx<'_>, _: &Inbox<'_>, out: &mut Outbox| {
+            out.emit(BitVec::from_u64(ctx.machine() as u64, 4));
+            Ok(())
         };
         let mut s = sim(3, 64);
         s.set_uniform_logic(Arc::new(distinct));
@@ -1140,6 +1301,31 @@ mod tests {
         };
         assert_eq!(empty.output_count(), 0);
         assert!(empty.unanimous_output().is_none());
+    }
+
+    #[test]
+    fn zero_copy_forwarding_preserves_payloads() {
+        // A ring of machines forwarding a recognizable payload purely via
+        // push_view: after m hops it returns to the origin intact. This is
+        // the relay_routing benchmark's invariant in miniature.
+        let m = 4;
+        let payload = BitVec::from_u64(0xDEAD_BEEF_CAFE, 48);
+        let expect = payload.clone();
+        let mut s = sim(m, 256);
+        s.set_uniform_logic(Arc::new(
+            move |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                let Some(msg) = incoming.first() else { return Ok(()) };
+                if ctx.round() == ctx.m() {
+                    out.emit(msg.payload.to_bitvec());
+                    return Ok(());
+                }
+                out.push_view((ctx.machine() + 1) % ctx.m(), msg.payload);
+                Ok(())
+            },
+        ));
+        s.seed_memory(0, payload);
+        let result = s.run_until_output(2 * m).unwrap();
+        assert_eq!(result.outputs, vec![(0, expect)], "back at the origin, bit-identical");
     }
 
     // ---- fault injection ----------------------------------------------
@@ -1201,18 +1387,20 @@ mod tests {
         let mut s = sim(2, 64);
         s.set_logic(
             0,
-            Arc::new(|_: &RoundCtx<'_>, incoming: &[Message]| {
+            Arc::new(|_: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
                 if incoming.is_empty() {
-                    return Ok(Outbox::new());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(1, BitVec::zeros(32)))
+                out.push(1, &BitVec::zeros(32));
+                Ok(())
             }),
         );
         s.set_logic(
             1,
-            Arc::new(|_: &RoundCtx<'_>, incoming: &[Message]| {
-                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
-                Ok(Outbox::new().emit(msg.payload.clone()))
+            Arc::new(|_: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                let Some(msg) = incoming.first() else { return Ok(()) };
+                out.emit(msg.payload.to_bitvec());
+                Ok(())
             }),
         );
         s.set_fault_plan(FaultPlan::new(
@@ -1229,12 +1417,14 @@ mod tests {
     #[test]
     fn straggler_adds_exactly_its_delay() {
         let ping = |emit_on_receipt: bool| {
-            move |ctx: &RoundCtx<'_>, incoming: &[Message]| {
-                let Some(msg) = incoming.first() else { return Ok(Outbox::new()) };
+            move |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                let Some(msg) = incoming.first() else { return Ok(()) };
                 if ctx.machine() == 1 && emit_on_receipt {
-                    return Ok(Outbox::new().emit(msg.payload.clone()));
+                    out.emit(msg.payload.to_bitvec());
+                    return Ok(());
                 }
-                Ok(Outbox::new().send(1, msg.payload.clone()))
+                out.push_view(1, msg.payload);
+                Ok(())
             }
         };
         let run = |plan: Option<FaultPlan>| {
@@ -1271,7 +1461,7 @@ mod tests {
         assert!(!result.completed(), "a permanent outage voids every round");
         // The memory image rode the self-requeue through all 4 rounds.
         assert_eq!(s.inbox(0).len(), 1);
-        assert_eq!(s.inbox(0)[0].payload, BitVec::zeros(8));
+        assert_eq!(s.inbox(0).get(0).payload.to_bitvec(), BitVec::zeros(8));
     }
 
     // ---- checkpoint/restart -------------------------------------------

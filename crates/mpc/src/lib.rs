@@ -43,7 +43,7 @@ pub use error::ModelViolation;
 pub use executor::{RunOutcome, RunResult, Simulation};
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use input::{partition_blocks, Partition, PartitionStrategy};
-pub use machine::{MachineLogic, Outbox, RoundCtx};
-pub use message::{MachineId, Message};
+pub use machine::{MachineLogic, Outbox, RoundCtx, SendRecord};
+pub use message::{Inbox, InboxBuffer, InboxEntry, MachineId, Message, MsgRef};
 pub use snapshot::{FaultSnapshot, SimulationSnapshot};
 pub use stats::{RoundStats, SimStats};

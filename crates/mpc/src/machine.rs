@@ -1,18 +1,38 @@
 //! The machine interface: per-round logic, context, and outbox.
 
 use crate::error::ModelViolation;
-use crate::message::{MachineId, Message};
-use mph_bits::BitVec;
+use crate::message::{Inbox, MachineId};
+use mph_bits::{BitSlice, BitVec};
 use mph_oracle::{Oracle, RandomTape};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Coordinates of one outgoing payload inside an [`Outbox`]'s arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendRecord {
+    /// The receiving machine.
+    pub to: MachineId,
+    /// First bit of the payload inside the outbox arena.
+    pub offset: usize,
+    /// Payload length in bits.
+    pub len: usize,
+}
+
 /// What a machine produces in one round: messages for the next round plus an
 /// optional contribution to the computation's output.
+///
+/// Arena-backed: payload bits are appended into one reusable per-outbox
+/// buffer and each send is a [`SendRecord`] into it, so a round of sends
+/// costs word-level appends, never per-message heap allocations. The
+/// executor owns a pool of outboxes and hands each machine a cleared one;
+/// the buffers' capacity survives across rounds.
 #[derive(Debug, Default)]
 pub struct Outbox {
-    /// Messages to route before the next round.
-    pub messages: Vec<Message>,
+    /// Outgoing payload bits, back to back in emission order.
+    payloads: BitVec,
+    /// One record per send, in emission order — the order the router
+    /// delivers in (within this sender).
+    sends: Vec<SendRecord>,
     /// This machine's contribution to the final output, if it has one this
     /// round. The run's result is the union of contributions (Definition
     /// 2.4: "the union of outputs of all the machines at the end of round
@@ -26,21 +46,68 @@ impl Outbox {
         Outbox::default()
     }
 
-    /// Adds a message, builder-style.
-    pub fn send(mut self, to: MachineId, payload: BitVec) -> Self {
-        self.messages.push(Message::to(to, payload));
-        self
+    /// Sends `payload` to machine `to` (bits are copied into the outbox
+    /// arena at word granularity).
+    pub fn push(&mut self, to: MachineId, payload: &BitVec) {
+        self.push_view(to, payload.as_view());
     }
 
-    /// Adds a message in place.
-    pub fn push(&mut self, to: MachineId, payload: BitVec) {
-        self.messages.push(Message::to(to, payload));
+    /// Sends a borrowed view to machine `to` — the zero-copy forwarding
+    /// path: an incoming [`MsgRef`](crate::MsgRef) payload can be relayed
+    /// without ever materializing an owned copy.
+    pub fn push_view(&mut self, to: MachineId, payload: BitSlice<'_>) {
+        let offset = self.payloads.len();
+        self.payloads.extend_from_view(&payload);
+        self.sends.push(SendRecord { to, offset, len: payload.len() });
     }
 
-    /// Sets the output contribution, builder-style.
-    pub fn emit(mut self, output: BitVec) -> Self {
+    /// Sets the output contribution.
+    pub fn emit(&mut self, output: BitVec) {
         self.output = Some(output);
-        self
+    }
+
+    /// Keeps only the sends whose recipient satisfies `keep`, preserving
+    /// emission order. (Payload bits of dropped sends stay in the arena
+    /// until the next [`Outbox::clear`]; they are unreachable and never
+    /// routed or charged.)
+    pub fn retain_sends(&mut self, mut keep: impl FnMut(MachineId) -> bool) {
+        self.sends.retain(|send| keep(send.to));
+    }
+
+    /// Empties the outbox (sends, payload arena, output), keeping both
+    /// buffers' capacity.
+    pub fn clear(&mut self) {
+        self.payloads.clear();
+        self.sends.clear();
+        self.output = None;
+    }
+
+    /// The send records, in emission order.
+    pub fn sends(&self) -> &[SendRecord] {
+        &self.sends
+    }
+
+    /// Number of sends recorded this round.
+    pub fn message_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// The payload bits of one send record.
+    pub fn payload(&self, send: &SendRecord) -> BitSlice<'_> {
+        self.payloads.view(send.offset, send.len)
+    }
+
+    /// The whole payload arena — the plane routed inbox entries resolve
+    /// against after delivery.
+    pub(crate) fn payload_bits(&self) -> &BitVec {
+        &self.payloads
+    }
+
+    /// Flips one arena bit in place — the fault injector's corruption
+    /// primitive. Each send record owns a disjoint arena range, so flipping
+    /// a bit of one delivery can never alias another.
+    pub(crate) fn flip_payload_bit(&mut self, bit: usize) {
+        self.payloads.set(bit, !self.payloads.get(bit));
     }
 }
 
@@ -116,6 +183,14 @@ impl<'a> RoundCtx<'a> {
         Ok(self.oracle.query(input))
     }
 
+    /// Queries the random oracle on a borrowed view — same budget and
+    /// semantics as [`RoundCtx::query`], but the oracle reads the bits in
+    /// place (an inbox payload can be queried without materializing it).
+    pub fn query_view(&self, input: &BitSlice<'_>) -> Result<BitVec, ModelViolation> {
+        self.charge(1)?;
+        Ok(self.oracle.query_slice(input))
+    }
+
     /// Queries the random oracle on a batch of inputs, charging the whole
     /// batch against the budget `q` in one step.
     ///
@@ -128,6 +203,15 @@ impl<'a> RoundCtx<'a> {
     pub fn query_many(&self, inputs: &[BitVec]) -> Result<Vec<BitVec>, ModelViolation> {
         self.charge(inputs.len() as u64)?;
         Ok(self.oracle.query_many(inputs))
+    }
+
+    /// Batched oracle queries over borrowed views — the vectorized
+    /// counterpart of [`RoundCtx::query_view`], with the same all-or-nothing
+    /// budget charge as [`RoundCtx::query_many`]. Inputs are read straight
+    /// out of their arena; nothing is materialized on the query path.
+    pub fn query_many_views(&self, inputs: &[BitSlice<'_>]) -> Result<Vec<BitVec>, ModelViolation> {
+        self.charge(inputs.len() as u64)?;
+        Ok(self.oracle.query_many_slices(inputs))
     }
 
     /// Charges `count` queries against the budget, counting them only if
@@ -183,30 +267,45 @@ impl<'a> RoundCtx<'a> {
 /// One machine's program.
 ///
 /// `round` is invoked once per round with the machine's memory image — the
-/// messages delivered to it (for round 0, its share of the input). The
-/// contract that makes the simulator a faithful model:
+/// messages delivered to it (for round 0, its share of the input) — as a
+/// zero-copy [`Inbox`] of views into the round arena, plus a cleared
+/// [`Outbox`] to fill. The contract that makes the simulator a faithful
+/// model:
 ///
 /// * **No hidden state.** Implementations must be pure functions of
 ///   `(ctx, incoming)` plus immutable configuration fixed at construction.
 ///   Anything remembered between rounds must travel through a self-message,
 ///   where it is charged against `s`. The trait takes `&self` to make
 ///   mutation impossible.
+/// * **Round-scoped views.** `incoming`'s payloads borrow the executor's
+///   arena and end with the call; persisting a payload means sending it
+///   (e.g. [`Outbox::push_view`]), not stashing a reference.
 /// * **Budgets are per-round.** `ctx.query` enforces `q`; the executor
 ///   enforces `Σ incoming ≤ s` at delivery.
 ///
 /// Machines are `Send + Sync` because the executor runs all machines of a
 /// round in parallel.
 pub trait MachineLogic: Send + Sync {
-    /// Executes one round.
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation>;
+    /// Executes one round, writing messages and any output into `out`.
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation>;
 }
 
 impl<F> MachineLogic for F
 where
-    F: Fn(&RoundCtx<'_>, &[Message]) -> Result<Outbox, ModelViolation> + Send + Sync,
+    F: Fn(&RoundCtx<'_>, &Inbox<'_>, &mut Outbox) -> Result<(), ModelViolation> + Send + Sync,
 {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
-        self(ctx, incoming)
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
+        self(ctx, incoming, out)
     }
 }
 
@@ -217,6 +316,7 @@ pub type SharedLogic = Arc<dyn MachineLogic>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::InboxBuffer;
     use mph_oracle::LazyOracle;
 
     #[test]
@@ -256,6 +356,29 @@ mod tests {
     }
 
     #[test]
+    fn ctx_view_queries_match_owned_and_share_the_budget() {
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(0, 0, 1, &oracle, &tape, Some(4));
+        // Unaligned views out of one arena.
+        let mut arena = BitVec::from_u64(0b1, 1);
+        let inputs: Vec<BitVec> = (5..7u64).map(|i| BitVec::from_u64(i, 16)).collect();
+        for input in &inputs {
+            arena.extend_bits(input);
+        }
+        let views = [arena.view(1, 16), arena.view(17, 16)];
+        let one = ctx.query_view(&views[0]).unwrap();
+        assert_eq!(one, oracle.query(&inputs[0]));
+        let batch = ctx.query_many_views(&views).unwrap();
+        assert_eq!(batch, vec![oracle.query(&inputs[0]), oracle.query(&inputs[1])]);
+        assert_eq!(ctx.queries_made(), 3);
+        // All-or-nothing: one slot left, a batch of two is rejected whole.
+        let err = ctx.query_many_views(&views).unwrap_err();
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 4 });
+        assert_eq!(ctx.queries_made(), 3);
+    }
+
+    #[test]
     fn ctx_unbounded_when_no_q() {
         let oracle = LazyOracle::square(1, 16);
         let tape = RandomTape::new(0);
@@ -267,22 +390,55 @@ mod tests {
     }
 
     #[test]
-    fn outbox_builders() {
-        let ob = Outbox::new().send(1, BitVec::zeros(4)).emit(BitVec::ones(2));
-        assert_eq!(ob.messages.len(), 1);
-        assert_eq!(ob.messages[0].to, 1);
+    fn outbox_arena_sends() {
+        let mut ob = Outbox::new();
+        ob.push(1, &BitVec::zeros(4));
+        ob.push(0, &BitVec::from_u64(0xF, 4));
+        ob.emit(BitVec::ones(2));
+        assert_eq!(ob.message_count(), 2);
+        assert_eq!(ob.sends()[0], SendRecord { to: 1, offset: 0, len: 4 });
+        assert_eq!(ob.sends()[1], SendRecord { to: 0, offset: 4, len: 4 });
+        assert_eq!(ob.payload(&ob.sends()[1]).to_bitvec(), BitVec::from_u64(0xF, 4));
         assert_eq!(ob.output, Some(BitVec::ones(2)));
+        // retain_sends preserves emission order of the survivors.
+        ob.push(2, &BitVec::ones(3));
+        ob.retain_sends(|to| to != 0);
+        let tos: Vec<_> = ob.sends().iter().map(|s| s.to).collect();
+        assert_eq!(tos, vec![1, 2]);
+        assert_eq!(ob.payload(&ob.sends()[1]).to_bitvec(), BitVec::ones(3));
+        // clear keeps nothing observable.
+        ob.clear();
+        assert_eq!(ob.message_count(), 0);
+        assert!(ob.output.is_none());
+    }
+
+    #[test]
+    fn outbox_push_view_forwards_verbatim() {
+        // Forwarding an unaligned inbox view is bit-identical to pushing
+        // the owned payload.
+        let payload = BitVec::from_u64(0xDEAD, 16);
+        let mut buf = InboxBuffer::new();
+        buf.push(3, &BitVec::from_u64(0b101, 3)); // misalign the arena
+        buf.push(7, &payload);
+        let inbox = buf.as_inbox();
+        let mut ob = Outbox::new();
+        ob.push_view(4, inbox.get(1).payload);
+        assert_eq!(ob.payload(&ob.sends()[0]).to_bitvec(), payload);
+        assert_eq!(ob.sends()[0].to, 4);
     }
 
     #[test]
     fn closures_are_machines() {
-        let logic = |ctx: &RoundCtx<'_>, _incoming: &[Message]| {
-            Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 8)))
+        let logic = |ctx: &RoundCtx<'_>, _incoming: &Inbox<'_>, out: &mut Outbox| {
+            out.emit(BitVec::from_u64(ctx.machine() as u64, 8));
+            Ok(())
         };
         let oracle = LazyOracle::square(1, 16);
         let tape = RandomTape::new(0);
         let ctx = RoundCtx::new(3, 0, 4, &oracle, &tape, None);
-        let out = MachineLogic::round(&logic, &ctx, &[]).unwrap();
+        let buf = InboxBuffer::new();
+        let mut out = Outbox::new();
+        MachineLogic::round(&logic, &ctx, &buf.as_inbox(), &mut out).unwrap();
         assert_eq!(out.output, Some(BitVec::from_u64(3, 8)));
     }
 }

@@ -1,6 +1,17 @@
-//! Messages and machine identities.
+//! Messages, machine identities, and the zero-copy inbox.
+//!
+//! The executor's message plane is arena-backed (`docs/MESSAGE_PLANE.md`):
+//! payload bits live back to back in reusable arena `BitVec`s — each
+//! sender's [`Outbox`] arena for routed messages, plus one auxiliary
+//! per-round arena for seeds and fault deliveries — and each machine's
+//! memory image is a list of [`InboxEntry`] records: `(from, offset, len)`
+//! coordinates into those arenas. Machines read their incoming messages
+//! through [`Inbox`] / [`MsgRef`] views; the owned [`Message`] struct
+//! remains the currency of durable state (snapshots, straggler-delayed
+//! messages in flight).
 
-use mph_bits::BitVec;
+use crate::machine::Outbox;
+use mph_bits::{BitSlice, BitVec};
 use serde::{Deserialize, Serialize};
 
 /// Index of a machine, `0..m`.
@@ -44,6 +55,194 @@ pub fn total_bits(messages: &[Message]) -> usize {
     messages.iter().map(Message::bits).sum()
 }
 
+/// Coordinates of one delivered payload inside a round arena: who sent it,
+/// and where its bits live.
+///
+/// Entries are plain `Copy` metadata; the payload bits themselves stay in
+/// the arena. Routing therefore iterates two contiguous allocations per
+/// machine — the entry list and the arena words — instead of chasing one
+/// heap payload per message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InboxEntry {
+    /// The sending machine.
+    pub from: MachineId,
+    /// First bit of the payload inside its arena.
+    pub offset: usize,
+    /// Payload length in bits.
+    pub len: usize,
+    /// Which arena holds the bits. `false` means the sender's own outbox
+    /// arena (the zero-copy routed path: delivery hands the receiver a
+    /// coordinate, never a copy); `true` means the round's auxiliary arena,
+    /// where the executor materializes payloads that have no live sender
+    /// outbox — input seeds, straggler-delayed deliveries, and restored
+    /// snapshots. Single-arena inboxes ([`Inbox::new`]) ignore the flag.
+    pub aux: bool,
+}
+
+/// A borrowed incoming message: the sender plus a zero-copy payload view
+/// into the round arena.
+#[derive(Clone, Copy, Debug)]
+pub struct MsgRef<'a> {
+    /// The sending machine (stamped by the executor at routing time).
+    pub from: MachineId,
+    /// The payload, borrowed from the round arena.
+    pub payload: BitSlice<'a>,
+}
+
+/// One machine's memory image for a round: views into the shared round
+/// arena, in delivery order.
+///
+/// This is the `M_i^{k} = ⋃_j M_{j,i}^{k-1}` of Definition 2.1, handed to
+/// [`MachineLogic::round`](crate::MachineLogic::round) without copying a
+/// single payload bit. Views are round-scoped: they borrow the executor's
+/// arena and cannot outlive the round — state that must survive travels
+/// through a self-message (where it is charged against `s`), exactly as the
+/// model demands.
+#[derive(Clone, Copy)]
+pub struct Inbox<'a> {
+    planes: Planes<'a>,
+    entries: &'a [InboxEntry],
+}
+
+/// Where an inbox's payload bits live.
+///
+/// The executor's routed inboxes resolve each entry against the sender's
+/// outbox arena (or the auxiliary arena for seeded/fault-delivered
+/// payloads); hand-built images ([`InboxBuffer`]) use one arena for
+/// everything.
+#[derive(Clone, Copy)]
+enum Planes<'a> {
+    /// All payloads in one arena; entry `aux` flags are ignored.
+    Single(&'a BitVec),
+    /// Routed payloads live in their sender's outbox arena; `aux` entries
+    /// live in the auxiliary arena.
+    Routed { aux: &'a BitVec, senders: &'a [Outbox] },
+}
+
+impl<'a> Planes<'a> {
+    /// The payload view of one entry.
+    #[inline]
+    fn view(self, e: &InboxEntry) -> BitSlice<'a> {
+        match self {
+            Planes::Single(arena) => arena.view(e.offset, e.len),
+            Planes::Routed { aux, senders } => {
+                let arena = if e.aux { aux } else { senders[e.from].payload_bits() };
+                arena.view(e.offset, e.len)
+            }
+        }
+    }
+}
+
+impl<'a> Inbox<'a> {
+    /// An inbox over `entries`, whose payloads all live in `arena`.
+    ///
+    /// Every entry must satisfy `offset + len <= arena.len()`; the
+    /// executor's router guarantees this by construction, and
+    /// [`InboxBuffer`] maintains it for hand-built images.
+    pub fn new(arena: &'a BitVec, entries: &'a [InboxEntry]) -> Self {
+        Inbox { planes: Planes::Single(arena), entries }
+    }
+
+    /// The executor's routed inbox: each entry resolves against its
+    /// sender's outbox arena, or against `aux` when flagged.
+    pub(crate) fn routed(
+        aux: &'a BitVec,
+        senders: &'a [Outbox],
+        entries: &'a [InboxEntry],
+    ) -> Self {
+        Inbox { planes: Planes::Routed { aux, senders }, entries }
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th message, in delivery order (sender-major, then emission
+    /// order within a sender).
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> MsgRef<'a> {
+        let e = self.entries[i];
+        MsgRef { from: e.from, payload: self.planes.view(&e) }
+    }
+
+    /// The first pending message, if any.
+    pub fn first(&self) -> Option<MsgRef<'a>> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+
+    /// Iterator over pending messages in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = MsgRef<'a>> + 'a {
+        let planes = self.planes;
+        self.entries.iter().map(move |e| MsgRef { from: e.from, payload: planes.view(e) })
+    }
+
+    /// Total payload bits — the quantity the executor compared against `s`
+    /// at delivery.
+    pub fn total_bits(&self) -> usize {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+}
+
+/// An owned arena + entry list that lends [`Inbox`] views — for building a
+/// memory image *outside* the executor.
+///
+/// The compression argument's `𝒜₂` replay and unit tests construct a
+/// machine's inbox by hand; this buffer gives them the same arena-backed
+/// shape the executor produces, so one `MachineLogic` implementation serves
+/// both paths.
+#[derive(Clone, Debug, Default)]
+pub struct InboxBuffer {
+    arena: BitVec,
+    entries: Vec<InboxEntry>,
+}
+
+impl InboxBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        InboxBuffer::default()
+    }
+
+    /// A buffer holding `payloads` in order, all stamped with sender
+    /// `from`.
+    pub fn from_payloads(from: MachineId, payloads: &[BitVec]) -> Self {
+        let mut buf = InboxBuffer::new();
+        for p in payloads {
+            buf.push(from, p);
+        }
+        buf
+    }
+
+    /// Appends one message.
+    pub fn push(&mut self, from: MachineId, payload: &BitVec) {
+        self.push_view(from, payload.as_view());
+    }
+
+    /// Appends one message from a borrowed view.
+    pub fn push_view(&mut self, from: MachineId, payload: BitSlice<'_>) {
+        let offset = self.arena.len();
+        self.arena.extend_from_view(&payload);
+        self.entries.push(InboxEntry { from, offset, len: payload.len(), aux: true });
+    }
+
+    /// Empties the buffer, keeping allocations.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.entries.clear();
+    }
+
+    /// Lends the buffered image as an [`Inbox`].
+    pub fn as_inbox(&self) -> Inbox<'_> {
+        Inbox::new(&self.arena, &self.entries)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +256,28 @@ mod tests {
         ];
         assert_eq!(total_bits(&msgs), 32);
         assert_eq!(msgs[1].bits(), 22);
+    }
+
+    #[test]
+    fn inbox_views_reproduce_payloads() {
+        let payloads = [BitVec::from_u64(0b101, 3), BitVec::new(), BitVec::from_u64(0xBEEF, 16)];
+        let mut buf = InboxBuffer::new();
+        for (i, p) in payloads.iter().enumerate() {
+            buf.push(i, p);
+        }
+        let inbox = buf.as_inbox();
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert_eq!(inbox.total_bits(), 19);
+        assert_eq!(inbox.first().unwrap().payload.to_bitvec(), payloads[0]);
+        for (i, msg) in inbox.iter().enumerate() {
+            assert_eq!(msg.from, i);
+            assert_eq!(msg.payload.to_bitvec(), payloads[i]);
+        }
+        // Views are zero-copy coordinates into one arena, not owned bits.
+        assert_eq!(inbox.get(2).payload.read_u64(0, 16), 0xBEEF);
+        let empty = InboxBuffer::new();
+        assert!(empty.as_inbox().is_empty());
+        assert!(empty.as_inbox().first().is_none());
     }
 }

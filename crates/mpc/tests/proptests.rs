@@ -2,7 +2,7 @@
 //! invariants under randomized message patterns.
 
 use mph_bits::BitVec;
-use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+use mph_mpc::{Inbox, MachineLogic, ModelViolation, Outbox, RoundCtx, Simulation};
 use mph_oracle::{LazyOracle, RandomTape};
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -18,20 +18,24 @@ struct Scatter {
 }
 
 impl MachineLogic for Scatter {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() || ctx.round() >= self.rounds {
-            return Ok(Outbox::new());
+            return Ok(());
         }
-        let mut out = Outbox::new();
         for k in 0..self.fanout {
             let sel = ctx.tape(
                 (ctx.machine() as u64) * 1_000_000 + (ctx.round() as u64) * 1000 + k as u64,
                 16,
             );
             let to = (sel.read_u64(0, 16) as usize) % ctx.m();
-            out.push(to, BitVec::zeros(self.bits));
+            out.push(to, &BitVec::zeros(self.bits));
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -139,13 +143,14 @@ proptest! {
             Arc::new(LazyOracle::square(0, 16)),
             RandomTape::new(0),
         );
-        sim.set_uniform_logic(Arc::new(move |ctx: &RoundCtx<'_>, _: &[Message]| {
-            if mask & (1 << (ctx.machine() % 8)) != 0 {
-                Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 8)))
-            } else {
-                Ok(Outbox::new())
-            }
-        }));
+        sim.set_uniform_logic(Arc::new(
+            move |ctx: &RoundCtx<'_>, _: &Inbox<'_>, out: &mut Outbox| {
+                if mask & (1 << (ctx.machine() % 8)) != 0 {
+                    out.emit(BitVec::from_u64(ctx.machine() as u64, 8));
+                }
+                Ok(())
+            },
+        ));
         let result = sim.run_until_output(2).unwrap();
         let ids: Vec<usize> = result.outputs.iter().map(|(id, _)| *id).collect();
         let mut sorted = ids.clone();

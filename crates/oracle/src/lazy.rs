@@ -17,7 +17,7 @@
 
 use crate::sha256::Sha256;
 use crate::traits::{check_input_width, Oracle};
-use mph_bits::BitVec;
+use mph_bits::{BitSlice, BitVec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
@@ -65,6 +65,22 @@ impl LazyOracle {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Derives the answer: a ChaCha stream keyed by a domain-separated
+    /// digest of `(seed, widths, query bytes)`, where `feed` supplies the
+    /// query bytes. Both the owned and the view-based query paths funnel
+    /// here, so they are bit-identical by construction.
+    fn derive(&self, feed: impl FnOnce(&mut Sha256)) -> BitVec {
+        let mut h = Sha256::new();
+        h.update(b"mph-oracle/lazy/v1");
+        h.update(&self.seed.to_le_bytes());
+        h.update(&(self.n_in as u64).to_le_bytes());
+        h.update(&(self.n_out as u64).to_le_bytes());
+        feed(&mut h);
+        let key = h.finalize();
+        let mut rng = ChaCha12Rng::from_seed(key);
+        mph_bits::random_bitvec(&mut rng, self.n_out)
+    }
 }
 
 impl Oracle for LazyOracle {
@@ -78,16 +94,29 @@ impl Oracle for LazyOracle {
 
     fn query(&self, input: &BitVec) -> BitVec {
         check_input_width("LazyOracle", self.n_in, input);
-        // Key a ChaCha stream by a domain-separated digest of (seed, query).
-        let mut h = Sha256::new();
-        h.update(b"mph-oracle/lazy/v1");
-        h.update(&self.seed.to_le_bytes());
-        h.update(&(self.n_in as u64).to_le_bytes());
-        h.update(&(self.n_out as u64).to_le_bytes());
-        h.update(&input.to_bytes());
-        let key = h.finalize();
-        let mut rng = ChaCha12Rng::from_seed(key);
-        mph_bits::random_bitvec(&mut rng, self.n_out)
+        self.derive(|h| h.update(&input.to_bytes()))
+    }
+
+    fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
+        assert_eq!(
+            input.len(),
+            self.n_in,
+            "LazyOracle: query width {} does not match oracle domain {}",
+            input.len(),
+            self.n_in
+        );
+        // Stream the view's words into the digest without materializing the
+        // query: each 64-bit chunk contributes exactly the bytes
+        // `BitVec::to_bytes` would produce for it (final byte zero-padded),
+        // so the key — and therefore the answer — equals the owned path's.
+        self.derive(|h| {
+            let n_bytes = input.len().div_ceil(8);
+            for i in 0..input.n_words() {
+                let bytes = input.read_word(i).to_le_bytes();
+                let take = (n_bytes - i * 8).min(8);
+                h.update(&bytes[..take]);
+            }
+        })
     }
 }
 
@@ -137,6 +166,26 @@ mod tests {
         let total = trials as usize * 64;
         let frac = ones as f64 / total as f64;
         assert!((frac - 0.5).abs() < 0.02, "bit balance {frac}");
+    }
+
+    #[test]
+    fn slice_queries_stream_identically() {
+        // The streamed view path must key the very same ChaCha stream as
+        // the owned path, for aligned and unaligned views of every width
+        // (including widths whose final byte is partial).
+        for n in [1usize, 7, 8, 24, 63, 64, 65, 130] {
+            let ro = LazyOracle::square(13, n);
+            let query = {
+                use rand::SeedableRng;
+                let mut rng = ChaCha12Rng::seed_from_u64(n as u64);
+                mph_bits::random_bitvec(&mut rng, n)
+            };
+            let owned = ro.query(&query);
+            assert_eq!(ro.query_slice(&query.as_view()), owned, "aligned, n = {n}");
+            let mut arena = BitVec::from_u64(0b11, 2); // force unaligned offset
+            arena.extend_bits(&query);
+            assert_eq!(ro.query_slice(&arena.view(2, n)), owned, "unaligned, n = {n}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The [`Oracle`] trait — the single abstraction every party queries.
 
-use mph_bits::BitVec;
+use mph_bits::{BitSlice, BitVec};
 use std::sync::Arc;
 
 /// A deterministic total function on fixed-width bit strings, queried by
@@ -40,6 +40,27 @@ pub trait Oracle: Send + Sync {
     fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
         inputs.iter().map(|input| self.query(input)).collect()
     }
+
+    /// Evaluates the oracle on a borrowed bit-slice view — the zero-copy
+    /// entry point of the arena message plane (`docs/MESSAGE_PLANE.md`).
+    ///
+    /// Semantically identical to `query(&input.to_bitvec())`; the default
+    /// materializes and delegates, so every oracle (caching, counting,
+    /// transcript-recording, patched) keeps its `query`-path behaviour.
+    /// Implementations whose answers are derived by *reading* the input —
+    /// [`crate::LazyOracle`] hashes it — override this to stream the view's
+    /// words directly, with no intermediate `BitVec`.
+    fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
+        self.query(&input.to_bitvec())
+    }
+
+    /// Evaluates the oracle on a batch of borrowed views, answer `i`
+    /// corresponding to `inputs[i]` — the view-based counterpart of
+    /// [`Oracle::query_many`], used by `RoundCtx::query_many_views` to
+    /// resolve batched queries straight out of the round arena.
+    fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
+        inputs.iter().map(|input| self.query_slice(input)).collect()
+    }
 }
 
 /// A shareable, dynamically typed oracle handle.
@@ -65,6 +86,14 @@ impl<T: Oracle + ?Sized> Oracle for Arc<T> {
     fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
         (**self).query_many(inputs)
     }
+
+    fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
+        (**self).query_slice(input)
+    }
+
+    fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
+        (**self).query_many_slices(inputs)
+    }
 }
 
 impl<T: Oracle + ?Sized> Oracle for &T {
@@ -82,6 +111,14 @@ impl<T: Oracle + ?Sized> Oracle for &T {
 
     fn query_many(&self, inputs: &[BitVec]) -> Vec<BitVec> {
         (**self).query_many(inputs)
+    }
+
+    fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
+        (**self).query_slice(input)
+    }
+
+    fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
+        (**self).query_many_slices(inputs)
     }
 }
 
@@ -153,5 +190,24 @@ mod tests {
     fn width_contract_enforced() {
         let oracle = XorOracle { n: 8 };
         oracle.query(&BitVec::zeros(7));
+    }
+
+    #[test]
+    fn slice_queries_match_owned_queries() {
+        // A view carved out of a larger arena at an unaligned offset must
+        // get the same answer as the owned query, through every forwarding
+        // layer (default impl, Arc<T>, &T).
+        let oracle = XorOracle { n: 8 };
+        let mut arena = BitVec::from_u64(0b101, 3);
+        arena.extend_bits(&BitVec::from_u64(0xA5, 8));
+        arena.extend_bits(&BitVec::from_u64(0x3C, 8));
+        let views = [arena.view(3, 8), arena.view(11, 8)];
+        let owned: Vec<BitVec> = views.iter().map(|v| v.to_bitvec()).collect();
+        assert_eq!(oracle.query_slice(&views[0]), oracle.query(&owned[0]));
+        assert_eq!(oracle.query_many_slices(&views), oracle.query_many(&owned));
+        let arc: DynOracle = Arc::new(XorOracle { n: 8 });
+        assert_eq!(arc.query_slice(&views[1]), arc.query(&owned[1]));
+        let r: &dyn Oracle = &*arc;
+        assert_eq!((&r).query_many_slices(&views), arc.query_many(&owned));
     }
 }

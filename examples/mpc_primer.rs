@@ -20,30 +20,34 @@ struct MaxProtocol {
 }
 
 impl MachineLogic for MaxProtocol {
-    fn round(&self, ctx: &RoundCtx<'_>, incoming: &[Message]) -> Result<Outbox, ModelViolation> {
+    fn round(
+        &self,
+        ctx: &RoundCtx<'_>,
+        incoming: &Inbox<'_>,
+        out: &mut Outbox,
+    ) -> Result<(), ModelViolation> {
         if incoming.is_empty() {
-            return Ok(Outbox::new()); // not participating (anymore)
+            return Ok(()); // not participating (anymore)
         }
-        // Memory image = the union of incoming payloads: 32-bit values.
+        // Memory image = the union of incoming payloads: 32-bit values,
+        // read straight out of the round arena (no copies).
         let mut best = 0u64;
-        for msg in incoming {
-            for chunk in msg.payload.chunks(32) {
-                best = best.max(chunk.read_u64(0, 32));
+        for msg in incoming.iter() {
+            for start in (0..msg.payload.len()).step_by(32) {
+                best = best.max(msg.payload.read_u64(start, 32));
             }
         }
         let j = ctx.machine();
         let stride = 1usize << ctx.round();
         if stride >= self.m {
-            return Ok(Outbox::new().emit(BitVec::from_u64(best, 32)));
-        }
-        if j % (2 * stride) == stride {
-            Ok(Outbox::new().send(j - stride, BitVec::from_u64(best, 32)))
+            out.emit(BitVec::from_u64(best, 32));
+        } else if j % (2 * stride) == stride {
+            out.push(j - stride, &BitVec::from_u64(best, 32));
         } else if j % (2 * stride) == 0 {
             // Persist own state across the round boundary: self-message.
-            Ok(Outbox::new().send(j, BitVec::from_u64(best, 32)))
-        } else {
-            Ok(Outbox::new())
+            out.push(j, &BitVec::from_u64(best, 32));
         }
+        Ok(())
     }
 }
 
@@ -85,11 +89,11 @@ fn main() {
     // 2. Query budget: a machine over its per-round q is stopped.
     let mut sim = Simulation::new(1, 64, Arc::new(LazyOracle::square(0, 16)), RandomTape::new(0));
     sim.set_query_budget(2);
-    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &[Message]| {
+    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _: &Inbox<'_>, _: &mut Outbox| {
         for i in 0..5u64 {
             ctx.query(&BitVec::from_u64(i, 16))?;
         }
-        Ok(Outbox::new())
+        Ok(())
     }));
     sim.seed_memory(0, BitVec::zeros(1));
     let err = sim.step().unwrap_err();

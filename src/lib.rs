@@ -85,10 +85,13 @@ pub use mph_ram as ram;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use mph_bits::{BitVec, Layout};
+    pub use mph_bits::{BitSlice, BitVec, Layout};
     pub use mph_core::algorithms::pipeline::{Pipeline, Target};
     pub use mph_core::algorithms::BlockAssignment;
     pub use mph_core::{Line, LineParams, SimLine};
-    pub use mph_mpc::{MachineLogic, Message, ModelViolation, Outbox, RoundCtx, Simulation};
+    pub use mph_mpc::{
+        Inbox, InboxBuffer, InboxEntry, MachineLogic, Message, ModelViolation, MsgRef, Outbox,
+        RoundCtx, Simulation,
+    };
     pub use mph_oracle::{CachedOracle, HashOracle, LazyOracle, Oracle, RandomTape, TableOracle};
 }

@@ -67,15 +67,16 @@ fn telemetry_reconstructs_sim_stats_with_caching_and_batching() {
     sim.set_metrics(recorder.clone());
     // Every machine batch-queries a per-round input plus one shared input
     // each round: from round 0 on, most of the traffic is cache hits.
-    sim.set_uniform_logic(Arc::new(|ctx: &RoundCtx<'_>, _incoming: &[Message]| {
-        let inputs = vec![BitVec::from_u64(ctx.round() as u64, 32), BitVec::from_u64(777, 32)];
-        let answers = ctx.query_many(&inputs)?;
-        let mut out = Outbox::new();
-        if ctx.round() == 3 && ctx.machine() == 0 {
-            out.output = Some(answers[0].clone());
-        }
-        Ok(out)
-    }));
+    sim.set_uniform_logic(Arc::new(
+        |ctx: &RoundCtx<'_>, _incoming: &Inbox<'_>, out: &mut Outbox| {
+            let inputs = vec![BitVec::from_u64(ctx.round() as u64, 32), BitVec::from_u64(777, 32)];
+            let answers = ctx.query_many(&inputs)?;
+            if ctx.round() == 3 && ctx.machine() == 0 {
+                out.emit(answers[0].clone());
+            }
+            Ok(())
+        },
+    ));
     let result = sim.run_until_output(10).unwrap();
     assert!(result.completed());
     let stats = &result.stats;

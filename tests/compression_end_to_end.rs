@@ -102,7 +102,7 @@ fn line_encoding_with_live_frontiers() {
         let holder = (0..2)
             .find(|&mch| sim.inbox(mch).iter().any(|m| m.payload.len() == token_bits))
             .expect("token somewhere");
-        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.clone()).collect();
+        let memory: Vec<BitVec> = sim.inbox(holder).iter().map(|m| m.payload.to_bitvec()).collect();
         let adv = PipelineRound::new(pipeline.clone(), holder, k);
         let encoding = enc.encode(&oracle, &blocks, &memory, &adv, j, a0, &r_next);
         let (o2, b2) = enc.decode(&encoding.bits, &adv);

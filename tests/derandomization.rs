@@ -71,17 +71,18 @@ fn randomized_protocol_runs_deterministically_via_oracle_coins() {
         let oracle: Arc<dyn Oracle> = Arc::new(LazyOracle::square(11, 64));
         let mut sim = Simulation::new(4, 512, oracle, RandomTape::new(0));
         // Each machine flips an oracle coin; heads -> contribute its id.
-        sim.set_uniform_logic(Arc::new(move |ctx: &RoundCtx<'_>, incoming: &[Message]| {
-            if incoming.is_empty() {
-                return Ok(Outbox::new());
-            }
-            let coins = ctx.query(&coin_query(&params, ctx.machine(), ctx.round(), 0))?;
-            if coins.get(0) {
-                Ok(Outbox::new().emit(BitVec::from_u64(ctx.machine() as u64, 8)))
-            } else {
-                Ok(Outbox::new())
-            }
-        }));
+        sim.set_uniform_logic(Arc::new(
+            move |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                if incoming.is_empty() {
+                    return Ok(());
+                }
+                let coins = ctx.query(&coin_query(&params, ctx.machine(), ctx.round(), 0))?;
+                if coins.get(0) {
+                    out.emit(BitVec::from_u64(ctx.machine() as u64, 8));
+                }
+                Ok(())
+            },
+        ));
         for j in 0..4 {
             sim.seed_memory(j, BitVec::zeros(1));
         }
