@@ -17,7 +17,7 @@ use mph_bits::{random_blocks, BitVec};
 use mph_metrics::{emit, Event, MetricsSink, Recorder};
 use mph_mpc::faults::derive_seed;
 use mph_mpc::{FaultPlan, FaultSpec, Simulation};
-use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape, TranscriptOracle};
+use mph_oracle::{CachedOracle, LazyOracle, Oracle, OracleHub, RandomTape, TranscriptOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -233,17 +233,24 @@ fn measure_rounds_inner<P: MeasurablePipeline + ?Sized>(
 /// Semantics are deliberately explicit to leave no room for off-by-one
 /// readings:
 ///
-/// * [`RetryPolicy::max_attempts`] counts **total attempts** (at least
-///   1). The first attempt is *not* a retry, so a sweep cell configured
-///   with `retries = r` maps to `max_attempts = r + 1` (see
-///   [`RetryPolicy::for_retries`]).
+/// * [`RetryPolicy::max_attempts`] counts **total attempts**. The first
+///   attempt is *not* a retry, so a sweep cell configured with
+///   `retries = r` maps to `max_attempts = r + 1` (see
+///   [`RetryPolicy::for_retries`], which saturates rather than
+///   overflows at `r = usize::MAX`). A policy constructed with
+///   `max_attempts = 0` is normalized to 1 at use: **at least one
+///   attempt always runs**, because a supervisor that executes zero
+///   attempts would have to fabricate a measurement out of nothing (see
+///   [`RetryPolicy::effective_attempts`]).
 /// * The deadline applies to **each attempt separately**, and an attempt
 ///   survives while `elapsed <= deadline`: a trial finishing *exactly*
 ///   at the deadline counts as a success; only strictly exceeding it
 ///   trips the watchdog (see [`RetryPolicy::timed_out`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Total attempts allowed (≥ 1); the first attempt is not a retry.
+    /// Total attempts allowed; the first attempt is not a retry. A value
+    /// of 0 is normalized to 1 at use ([`RetryPolicy::effective_attempts`])
+    /// — at least one attempt always runs.
     pub max_attempts: usize,
     /// Sleep inserted between consecutive attempts (purely a pacing
     /// knob; it never affects measured results).
@@ -262,9 +269,20 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The policy equivalent of "retry up to `retries` times": the
-    /// initial attempt plus `retries` reseeded re-runs.
+    /// initial attempt plus `retries` reseeded re-runs. Saturates at
+    /// `usize::MAX` total attempts, so `for_retries(usize::MAX)` means
+    /// "retry effectively forever" instead of overflowing to a
+    /// zero-attempt policy.
     pub fn for_retries(retries: usize) -> Self {
-        RetryPolicy { max_attempts: retries + 1, ..Self::default() }
+        RetryPolicy { max_attempts: retries.saturating_add(1), ..Self::default() }
+    }
+
+    /// The attempt budget actually enforced: `max_attempts`, normalized
+    /// so a (mis)configured `max_attempts = 0` still runs exactly one
+    /// attempt. A client-supplied policy can therefore never panic the
+    /// harness or skip measurement entirely.
+    pub fn effective_attempts(&self) -> usize {
+        self.max_attempts.max(1)
     }
 
     /// Returns `self` with a per-attempt wall-clock deadline.
@@ -306,15 +324,31 @@ pub struct TrialOutcome {
 /// will query, so the simulation's oracle work all hits the warm cache.
 /// Both reuses are observationally invisible — measurements are
 /// bit-identical to fresh-built, uncached runs.
+///
+/// A runner can additionally share warm oracle tables across trials (and,
+/// in a daemon, across sessions) through an [`OracleHub`]: with a hub
+/// attached, the per-seed cache comes from the hub's registry instead of
+/// being rebuilt, so a seed another session already walked answers from
+/// the warm table. The answers are bit-identical either way — see
+/// [`OracleHub`] for the argument.
 #[derive(Default)]
 pub struct TrialRunner {
     sim: Option<Simulation>,
+    hub: Option<Arc<OracleHub>>,
 }
 
 impl TrialRunner {
     /// A runner with no retained simulation yet.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a shared [`OracleHub`], builder-style: subsequent trials
+    /// check their per-seed oracle cache out of `hub` instead of building
+    /// a private one.
+    pub fn with_hub(mut self, hub: Arc<OracleHub>) -> Self {
+        self.hub = Some(hub);
+        self
     }
 
     /// Runs one trial (the body of [`measure_rounds`]), reusing the
@@ -374,7 +408,7 @@ impl TrialRunner {
         faults: Option<(FaultSpec, u64)>,
         policy: &RetryPolicy,
     ) -> TrialOutcome {
-        assert!(policy.max_attempts >= 1, "a retry policy must allow at least one attempt");
+        let max_attempts = policy.effective_attempts();
         let mut attempt = 0u64;
         loop {
             let plan = faults.map(|(spec, fault_seed)| {
@@ -395,7 +429,7 @@ impl TrialRunner {
                 emit(&sink, || Event::TrialTimeout { attempt, deadline_ms });
             }
             let attempts = attempt as usize + 1;
-            if measurement.correct || attempts >= policy.max_attempts {
+            if measurement.correct || attempts >= max_attempts {
                 return TrialOutcome { measurement, attempts, timed_out };
             }
             if !policy.base_delay.is_zero() {
@@ -422,7 +456,10 @@ impl TrialRunner {
         deadline: Option<Duration>,
     ) -> (RoundMeasurement, bool) {
         let (oracle, blocks) = draw_instance(pipeline.params(), seed);
-        let oracle = Arc::new(CachedOracle::new(oracle));
+        let oracle: Arc<dyn Oracle> = match &self.hub {
+            Some(hub) => hub.oracle(oracle.seed(), oracle.n_in(), oracle.n_out()),
+            None => Arc::new(CachedOracle::new(oracle)),
+        };
         let expected = reference_output(&**pipeline, &*oracle, &blocks);
         let s = s_bits.unwrap_or_else(|| pipeline.required_s());
         let tape = RandomTape::new(seed);
@@ -890,6 +927,25 @@ mod tests {
     }
 
     #[test]
+    fn hub_backed_runner_matches_private_caches() {
+        // Sharing warm oracle tables through a hub — including re-running
+        // a seed whose table another runner already warmed — must be
+        // observationally invisible.
+        let p = pipeline(40, 8, 4, 3, Target::Line);
+        let hub = Arc::new(OracleHub::new(8));
+        let mut warm = TrialRunner::new().with_hub(hub.clone());
+        let mut also_warm = TrialRunner::new().with_hub(hub.clone());
+        for seed in [5u64, 6, 5] {
+            let shared = warm.measure(&p, seed, None, None, 10_000, None);
+            let shared_again = also_warm.measure(&p, seed, None, None, 10_000, None);
+            let private = measure_rounds(&p, seed, None, None, 10_000);
+            assert_eq!(shared, private, "seed {seed}");
+            assert_eq!(shared_again, private, "seed {seed}");
+        }
+        assert!(!hub.is_empty(), "trials should have populated the hub");
+    }
+
+    #[test]
     fn zero_deadline_times_out_and_exhausts_the_budget() {
         // A deadline of zero fails fast: a multi-round pipeline can never
         // outrun the watchdog, every attempt is aborted, and each abort
@@ -988,6 +1044,31 @@ mod tests {
             assert_eq!(outcome.measurement, manual, "seed {seed}");
             assert_eq!(outcome.attempts, attempts, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn for_retries_saturates_instead_of_overflowing() {
+        // retries = usize::MAX must not wrap `retries + 1` around to a
+        // zero-attempt policy — it means "retry effectively forever".
+        let policy = RetryPolicy::for_retries(usize::MAX);
+        assert_eq!(policy.max_attempts, usize::MAX);
+        assert_eq!(policy.effective_attempts(), usize::MAX);
+        // The boundary below saturation still maps exactly.
+        assert_eq!(RetryPolicy::for_retries(usize::MAX - 1).max_attempts, usize::MAX);
+        assert_eq!(RetryPolicy::for_retries(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn zero_attempt_policies_still_run_one_attempt() {
+        // A client-supplied policy with max_attempts = 0 must neither
+        // panic nor skip measurement: it normalizes to one attempt.
+        let zero = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() };
+        assert_eq!(zero.effective_attempts(), 1);
+        let p = pipeline(40, 8, 4, 3, Target::Line);
+        let mut runner = TrialRunner::new();
+        let outcome = runner.measure_with_policy(&p, 3, None, None, 10_000, None, None, &zero);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.measurement, measure_rounds(&p, 3, None, None, 10_000));
     }
 
     #[test]

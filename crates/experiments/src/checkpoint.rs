@@ -85,6 +85,10 @@ pub fn encode_cell_result(result: &CellResult) -> Vec<u8> {
             w.put_u8(1);
             w.put_str(reason);
         }
+        CellStatus::Degraded { reason } => {
+            w.put_u8(2);
+            w.put_str(reason);
+        }
     }
     w.put_u64(result.measurements.len() as u64);
     for m in &result.measurements {
@@ -116,6 +120,7 @@ pub fn decode_cell_result(bytes: &[u8]) -> Result<CellResult, SnapshotError> {
     let status = match r.get_u8()? {
         0 => CellStatus::Ok,
         1 => CellStatus::Failed { reason: r.get_str()? },
+        2 => CellStatus::Degraded { reason: r.get_str()? },
         other => return Err(SnapshotError::Malformed(format!("unknown cell status {other}"))),
     };
     let count = r.get_u64()? as usize;
@@ -272,10 +277,20 @@ fn decode_manifest(bytes: &[u8]) -> Result<(usize, usize, Vec<ManifestEntry>), S
     Ok((every, total, entries))
 }
 
+/// Warns on stderr about a failed checkpoint IO step. Checkpointing is
+/// best-effort durability on top of a correct in-memory sweep: a flush
+/// that cannot reach disk costs resume coverage, never results — and a
+/// daemon-hosted sweep must keep serving through a full disk or a
+/// permissions change rather than die mid-session.
+fn warn_io(what: &str, path: &Path, err: &std::io::Error) {
+    eprintln!("warning: checkpoint {what} {} failed: {err} (continuing without)", path.display());
+}
+
 fn write_manifests(ckpt: &CheckpointConfig, total: usize, entries: &[ManifestEntry]) {
     let bin = encode_manifest(ckpt.every, total, entries);
-    std::fs::write(ckpt.manifest_bin(), &bin)
-        .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.manifest_bin().display()));
+    if let Err(e) = std::fs::write(ckpt.manifest_bin(), &bin) {
+        warn_io("manifest write", &ckpt.manifest_bin(), &e);
+    }
     let doc = Json::object([
         ("schema_version", Json::u64(1)),
         ("every", Json::u64(ckpt.every as u64)),
@@ -291,8 +306,9 @@ fn write_manifests(ckpt: &CheckpointConfig, total: usize, entries: &[ManifestEnt
             ),
         ),
     ]);
-    write_report_to(ckpt.manifest_json(), &doc)
-        .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.manifest_json().display()));
+    if let Err(e) = write_report_to(ckpt.manifest_json(), &doc) {
+        warn_io("manifest mirror write", &ckpt.manifest_json(), &e);
+    }
 }
 
 /// Loads the completed cells recorded in `dir`'s manifest, verifying
@@ -369,34 +385,66 @@ pub fn run_sweep_checkpointed_with_abort(
     ckpt: &CheckpointConfig,
     abort_after: Option<usize>,
 ) -> Option<Vec<CellResult>> {
+    run_sweep_checkpointed_observed(cells, ckpt, abort_after, &mut |_, _| {})
+}
+
+/// [`run_sweep_checkpointed_with_abort`] with a per-cell progress
+/// observer: `observer(index, result)` fires once per cell as it becomes
+/// final — first for every cell resumed from the checkpoint directory
+/// (in index order), then for each newly computed cell as its batch
+/// flushes. The `mphd` session loop streams these as JSONL progress
+/// events; the emission order is a deterministic function of the
+/// checkpoint contents and the grid, never of thread scheduling.
+pub fn run_sweep_checkpointed_observed(
+    cells: Vec<Cell>,
+    ckpt: &CheckpointConfig,
+    abort_after: Option<usize>,
+    observer: &mut dyn FnMut(usize, &CellResult),
+) -> Option<Vec<CellResult>> {
     let total = cells.len();
     let every = ckpt.every.max(1);
-    std::fs::create_dir_all(&ckpt.dir)
-        .unwrap_or_else(|e| panic!("creating {}: {e}", ckpt.dir.display()));
+    if let Err(e) = std::fs::create_dir_all(&ckpt.dir) {
+        // No directory means no durability, not no results: the sweep
+        // still runs; flushes below will warn individually.
+        warn_io("directory creation", &ckpt.dir, &e);
+    }
 
     let mut slots = load_completed(ckpt, &cells);
+    for (i, slot) in slots.iter().enumerate() {
+        if let Some(result) = slot {
+            observer(i, result);
+        }
+    }
     let pending: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
     let mut cells: Vec<Option<Cell>> = cells.into_iter().map(Some).collect();
 
     let mut computed = 0usize;
     for batch in pending.chunks(every) {
-        let batch_cells: Vec<Cell> =
-            batch.iter().map(|&i| cells[i].take().expect("pending cell present")).collect();
+        let batch_cells: Vec<(usize, Cell)> =
+            batch.iter().filter_map(|&i| cells[i].take().map(|cell| (i, cell))).collect();
+        let (indices, batch_cells): (Vec<usize>, Vec<Cell>) = batch_cells.into_iter().unzip();
         let results = sweep::run_sweep(batch_cells);
-        for (&i, result) in batch.iter().zip(results) {
+        for (&i, result) in indices.iter().zip(results) {
             let payload = encode_cell_result(&result);
-            std::fs::write(ckpt.cell_path(i), &payload)
-                .unwrap_or_else(|e| panic!("writing {}: {e}", ckpt.cell_path(i).display()));
+            if let Err(e) = std::fs::write(ckpt.cell_path(i), &payload) {
+                warn_io("cell write", &ckpt.cell_path(i), &e);
+            }
+            observer(i, &result);
             slots[i] = Some(result);
         }
+        // Digest what actually landed on disk: a cell whose payload
+        // cannot be re-read (failed write, races with an operator's
+        // cleanup) is left out of the manifest and recomputed on resume.
         let entries: Vec<ManifestEntry> = slots
             .iter()
             .enumerate()
             .filter(|(_, slot)| slot.is_some())
-            .map(|(i, _)| {
-                let payload = std::fs::read(ckpt.cell_path(i))
-                    .unwrap_or_else(|e| panic!("re-reading {}: {e}", ckpt.cell_path(i).display()));
-                ManifestEntry { index: i, digest: crc32(&payload) }
+            .filter_map(|(i, _)| match std::fs::read(ckpt.cell_path(i)) {
+                Ok(payload) => Some(ManifestEntry { index: i, digest: crc32(&payload) }),
+                Err(e) => {
+                    warn_io("cell re-read", &ckpt.cell_path(i), &e);
+                    None
+                }
             })
             .collect();
         write_manifests(ckpt, total, &entries);
@@ -412,12 +460,15 @@ pub fn run_sweep_checkpointed_with_abort(
 
 /// Removes a checkpoint directory, ignoring "already gone". Experiment
 /// binaries call this before a fresh (non-resuming) run so stale cells
-/// from an earlier grid cannot linger next to the new manifest.
+/// from an earlier grid cannot linger next to the new manifest. Removal
+/// failures are warned, not fatal: resume's grid-size and label checks
+/// already reject stale cells, so a lingering directory costs nothing
+/// but disk.
 pub fn clean_dir(dir: &Path) {
     match std::fs::remove_dir_all(dir) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => panic!("cleaning {}: {e}", dir.display()),
+        Err(e) => warn_io("cleanup", dir, &e),
     }
 }
 
@@ -541,6 +592,84 @@ mod tests {
         std::fs::write(&victim, &bytes).unwrap();
         let resumed = run_sweep_checkpointed(grid(), &ckpt);
         assert_same(&baseline, &resumed);
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn degraded_cells_round_trip_too() {
+        let spec = FaultSpec { crash_rate: 1.0, ..FaultSpec::default() };
+        let results =
+            sweep::run_sweep(vec![cell("doomed", Target::SimLine, 2, 50).with_faults(spec, 7, 0)]);
+        assert!(results[0].status.is_degraded());
+        let decoded = decode_cell_result(&encode_cell_result(&results[0])).expect("decodes");
+        assert_eq!(decoded.status, results[0].status);
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped_not_divided_by() {
+        // `--checkpoint-every 0` is rejected by the CLI parser, but the
+        // daemon constructs configs programmatically: the runner itself
+        // must clamp to 1 instead of panicking on empty chunks.
+        let mut ckpt = tmp("zero");
+        ckpt.every = 0;
+        let baseline = sweep::run_sweep(grid());
+        let results = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &results);
+        // Cadence 1 flushes after every cell, so a full manifest exists.
+        let (_, total, entries) =
+            decode_manifest(&std::fs::read(ckpt.manifest_bin()).unwrap()).unwrap();
+        assert_eq!((total, entries.len()), (5, 5));
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn empty_grids_complete_without_panicking() {
+        let ckpt = tmp("empty");
+        let results = run_sweep_checkpointed(Vec::new(), &ckpt);
+        assert!(results.is_empty());
+        // And resume over the (manifest-less) directory is equally fine.
+        let resumed = run_sweep_checkpointed(Vec::new(), &ckpt);
+        assert!(resumed.is_empty());
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn unwritable_checkpoint_dir_degrades_to_an_undurable_run() {
+        // Point the checkpoint directory at a path that cannot be a
+        // directory (a plain file). Every flush fails; the sweep must
+        // still return results identical to the plain engine instead of
+        // crashing the hosting process.
+        let blocker = std::env::temp_dir().join(format!("mph_ckpt_file_{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let ckpt = CheckpointConfig { dir: blocker.clone(), every: 2 };
+        let baseline = sweep::run_sweep(grid());
+        let results = run_sweep_checkpointed(grid(), &ckpt);
+        assert_same(&baseline, &results);
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn observer_sees_every_cell_exactly_once_across_resume() {
+        let ckpt = tmp("observed");
+        let mut first = Vec::new();
+        let aborted = run_sweep_checkpointed_observed(grid(), &ckpt, Some(3), &mut |i, r| {
+            first.push((i, r.label.clone()))
+        });
+        assert!(aborted.is_none());
+        assert!(!first.is_empty() && first.len() < 5);
+        let mut second = Vec::new();
+        let resumed = run_sweep_checkpointed_observed(grid(), &ckpt, None, &mut |i, r| {
+            second.push((i, r.label.clone()))
+        });
+        assert!(resumed.is_some());
+        // The resumed run re-announces the restored prefix, then the
+        // rest: every index exactly once.
+        let mut indices: Vec<usize> = second.iter().map(|(i, _)| *i).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+        for (i, label) in &second {
+            assert_eq!(label, &grid()[*i].label);
+        }
         clean_dir(&ckpt.dir);
     }
 

@@ -36,6 +36,7 @@
 use mph_core::theorem::{self, MeasurablePipeline, RetryPolicy, RoundMeasurement, TrialRunner};
 use mph_metrics::{MetricsSink, MetricsSnapshot, Recorder};
 use mph_mpc::FaultSpec;
+use mph_oracle::OracleHub;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,6 +73,12 @@ pub struct Cell {
     /// same `(RO, X)` instance under a reseeded fault schedule. Only
     /// consulted when [`Cell::faults`] is set.
     pub retries: usize,
+    /// Shared warm oracle tables (see [`OracleHub`]); `None` builds a
+    /// private per-seed cache per trial chunk, exactly as before. A
+    /// daemon hosting many sessions passes one hub to every cell so
+    /// seeds warmed by one session answer from the shared table in the
+    /// next — byte-identically.
+    pub hub: Option<Arc<OracleHub>>,
 }
 
 impl Cell {
@@ -96,6 +103,7 @@ impl Cell {
             faults: None,
             fault_seed: 0,
             retries: 0,
+            hub: None,
         }
     }
 
@@ -106,6 +114,14 @@ impl Cell {
         self.faults = Some(spec);
         self.fault_seed = fault_seed;
         self.retries = retries;
+        self
+    }
+
+    /// Checks this cell's per-seed oracle caches out of a shared
+    /// [`OracleHub`] instead of building private ones. Observationally
+    /// invisible — results are byte-identical with or without a hub.
+    pub fn with_hub(mut self, hub: Arc<OracleHub>) -> Self {
+        self.hub = Some(hub);
         self
     }
 }
@@ -124,12 +140,27 @@ pub enum CellStatus {
         /// The panic message or correctness-failure description.
         reason: String,
     },
+    /// Every trial of a fault-injected cell ran but none produced the
+    /// correct output. That is legitimate data (e.g. ρ = 1 under a high
+    /// crash rate collapses to 0/N correct), but the cell has no correct
+    /// trials to average over — its `mean_rounds` is a placeholder `0.0`,
+    /// never `NaN` — so a report built on it must carry the degraded
+    /// flag rather than present the mean as a measurement.
+    Degraded {
+        /// Why the cell has no usable mean.
+        reason: String,
+    },
 }
 
 impl CellStatus {
     /// Whether this is [`CellStatus::Failed`].
     pub fn is_failed(&self) -> bool {
         matches!(self, CellStatus::Failed { .. })
+    }
+
+    /// Whether this is [`CellStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, CellStatus::Degraded { .. })
     }
 }
 
@@ -168,10 +199,11 @@ impl CellResult {
     }
 }
 
-/// Whether any cell of a completed sweep failed — the `degraded` flag a
-/// report built from these results should carry.
+/// Whether any cell of a completed sweep failed or has no correct trials
+/// to average — the `degraded` flag a report built from these results
+/// should carry.
 pub fn degraded(results: &[CellResult]) -> bool {
-    results.iter().any(|r| r.status.is_failed())
+    results.iter().any(|r| r.status.is_failed() || r.status.is_degraded())
 }
 
 /// How many trial chunks to aim for per cell. Oversplitting lets the
@@ -271,7 +303,10 @@ fn run_chunk(
     len: usize,
     sink: Option<Arc<dyn MetricsSink>>,
 ) -> (Vec<RoundMeasurement>, usize) {
-    let mut runner = TrialRunner::new();
+    let mut runner = match &cell.hub {
+        Some(hub) => TrialRunner::new().with_hub(Arc::clone(hub)),
+        None => TrialRunner::new(),
+    };
     let mut retries = 0usize;
     let measurements = (0..len as u64)
         .map(|t| {
@@ -320,6 +355,13 @@ fn cell_status(
         if let Some(t) = measurements.iter().position(|m| !m.correct) {
             return CellStatus::Failed { reason: format!("trial {t}: incorrect output") };
         }
+    } else if !measurements.is_empty() && measurements.iter().all(|m| !m.correct) {
+        // All trials of a faulty cell failed: a real data point, but one
+        // with no correct trials to average, so the mean is not a
+        // measurement and downstream reports must say so.
+        return CellStatus::Degraded {
+            reason: format!("0/{} trials correct under injected faults", measurements.len()),
+        };
     }
     CellStatus::Ok
 }
@@ -529,6 +571,109 @@ mod tests {
         assert_eq!(results[0].measurements, expected);
         assert_eq!(results[0].retries_used, expected_retries);
         assert!(expected_retries > 0, "the pinned spec should force at least one retry");
+    }
+
+    /// A pipeline whose every trial panics before producing a
+    /// measurement — the worst-behaved configuration a daemon-hosted
+    /// sweep can be handed.
+    struct AlwaysPanics {
+        params: LineParams,
+    }
+
+    impl MeasurablePipeline for AlwaysPanics {
+        fn params(&self) -> &LineParams {
+            &self.params
+        }
+        fn target(&self) -> Target {
+            Target::Line
+        }
+        fn machines(&self) -> usize {
+            4
+        }
+        fn required_s(&self) -> usize {
+            1024
+        }
+        fn build_simulation(
+            self: Arc<Self>,
+            _oracle: Arc<dyn mph_oracle::Oracle>,
+            _tape: mph_oracle::RandomTape,
+            _s_bits: usize,
+            _q: Option<u64>,
+            _blocks: &[mph_bits::BitVec],
+        ) -> mph_mpc::Simulation {
+            panic!("this pipeline always panics");
+        }
+        fn reset_simulation(
+            self: Arc<Self>,
+            _sim: &mut mph_mpc::Simulation,
+            _oracle: Arc<dyn mph_oracle::Oracle>,
+            _tape: mph_oracle::RandomTape,
+            _q: Option<u64>,
+            _blocks: &[mph_bits::BitVec],
+        ) {
+            panic!("this pipeline always panics");
+        }
+    }
+
+    #[test]
+    fn all_panicking_trials_yield_failed_status_and_finite_mean() {
+        // Regression: a cell whose trials *all* die must publish a
+        // Failed status and a finite placeholder mean — never a NaN that
+        // leaks into report JSON (Json::F64 renders non-finite as null,
+        // which would silently corrupt the published table).
+        let params = LineParams::new(64, 48, 16, 8);
+        let results = run_sweep(vec![
+            Cell::new("panics", Arc::new(AlwaysPanics { params }), 4, 10, 10_000),
+            cell("healthy", Target::Line, 3, 100),
+        ]);
+        assert!(results[0].status.is_failed(), "status: {:?}", results[0].status);
+        assert!(results[0].measurements.is_empty());
+        assert!(results[0].mean_rounds.is_finite(), "mean must never be NaN");
+        assert_eq!(results[0].mean_rounds, 0.0);
+        assert_eq!(results[1].status, CellStatus::Ok, "healthy cell unaffected");
+        assert!(degraded(&results));
+    }
+
+    #[test]
+    fn all_failed_faulty_trials_degrade_instead_of_publishing_a_mean() {
+        // crash_rate = 1.0 kills every machine in round 1 of every
+        // attempt: all trials run, none is correct. That is data, not a
+        // harness bug — but the cell must say Degraded (and the sweep
+        // degraded()) instead of presenting mean_rounds = 0.0 as a
+        // measurement.
+        let spec = FaultSpec { crash_rate: 1.0, ..FaultSpec::default() };
+        let results =
+            run_sweep(vec![cell("doomed", Target::SimLine, 3, 50).with_faults(spec, 7, 1)]);
+        assert_eq!(results[0].measurements.len(), 3, "every trial still ran");
+        assert_eq!(results[0].correct_trials(), 0);
+        let CellStatus::Degraded { reason } = &results[0].status else {
+            panic!("expected Degraded, got {:?}", results[0].status);
+        };
+        assert!(reason.contains("0/3"), "reason: {reason}");
+        assert!(results[0].mean_rounds.is_finite());
+        assert!(degraded(&results));
+    }
+
+    #[test]
+    fn hub_backed_sweeps_are_byte_identical_to_private_caches() {
+        let hub = Arc::new(mph_oracle::OracleHub::new(16));
+        let shared = run_sweep(vec![
+            cell("line", Target::Line, 4, 100).with_hub(hub.clone()),
+            cell("simline", Target::SimLine, 3, 100).with_hub(hub.clone()),
+        ]);
+        let private = run_sweep(vec![
+            cell("line", Target::Line, 4, 100),
+            cell("simline", Target::SimLine, 3, 100),
+        ]);
+        for (s, p) in shared.iter().zip(&private) {
+            assert_eq!(s.measurements, p.measurements);
+            assert_eq!(s.mean_rounds, p.mean_rounds);
+            assert_eq!(
+                s.snapshot.as_ref().map(|x| x.to_json_string()),
+                p.snapshot.as_ref().map(|x| x.to_json_string())
+            );
+        }
+        assert!(!hub.is_empty(), "the sweep should have populated the hub");
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Shared warm oracle caches for multi-session hosts.
+//!
+//! A long-running server (the `mphd` daemon) runs many experiment sessions
+//! against the same family of lazily-sampled random oracles. Each session
+//! that builds its own [`CachedOracle`] re-pays the SHA-256 + ChaCha
+//! sampling cost for every entry the previous session already derived. By
+//! Lemma 3.3's lazy-sampling semantics a random oracle's answers are fixed
+//! per entry, so a memo table keyed by the oracle's identity `(seed, n_in,
+//! n_out)` can be shared across sessions without changing a single answer
+//! bit — sharing is observationally invisible, exactly like the
+//! single-session memoization argument for [`CachedOracle`] itself.
+//!
+//! [`OracleHub`] is that registry: a bounded, least-recently-used map from
+//! oracle identity to a shared warm [`CachedOracle<LazyOracle>`]. Sessions
+//! that need the Definition 3.4 rewirings (`RO_{a_1,…}`) take a
+//! [`PatchedOracle`] *view* over the shared cache instead of mutating it,
+//! so per-session patches never leak into another session's answers.
+
+use crate::cached::CachedOracle;
+use crate::lazy::LazyOracle;
+use crate::patched::PatchedOracle;
+use crate::traits::Oracle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a lazily-sampled oracle: `(seed, n_in, n_out)`.
+///
+/// Two [`LazyOracle`]s with equal keys are the same mathematical function,
+/// so their memo tables are interchangeable.
+pub type HubKey = (u64, usize, usize);
+
+struct Slot {
+    cache: Arc<CachedOracle<LazyOracle>>,
+    /// Logical timestamp of the most recent checkout, for LRU eviction.
+    last_used: u64,
+}
+
+struct HubState {
+    slots: HashMap<HubKey, Slot>,
+    tick: u64,
+}
+
+/// A bounded registry of shared warm [`CachedOracle`] tables, keyed by
+/// oracle identity.
+///
+/// Checkouts of the same key return clones of one shared `Arc`, so cache
+/// entries warmed by any session benefit every later session with the same
+/// oracle. When the registry holds more than its capacity of distinct
+/// oracles, the least-recently-checked-out table is dropped from the hub
+/// (sessions still holding its `Arc` keep using it; the hub just stops
+/// handing it to new sessions).
+///
+/// # Examples
+///
+/// ```
+/// use mph_oracle::{Oracle, OracleHub};
+/// use mph_bits::BitVec;
+///
+/// let hub = OracleHub::new(8);
+/// let a = hub.square(42, 16);
+/// let b = hub.square(42, 16);
+/// // Same identity → same shared table: warming one warms the other.
+/// a.query(&BitVec::from_u64(5, 16));
+/// assert_eq!(b.hits() + b.misses(), 1);
+/// ```
+pub struct OracleHub {
+    max_entries: usize,
+    state: Mutex<HubState>,
+}
+
+impl OracleHub {
+    /// A hub that retains at most `max_entries` distinct oracle tables.
+    ///
+    /// A capacity of `0` is normalized to `1`: the hub always retains at
+    /// least the most recent table, so a checkout immediately followed by a
+    /// re-checkout of the same key is always shared.
+    pub fn new(max_entries: usize) -> Self {
+        OracleHub {
+            max_entries: max_entries.max(1),
+            state: Mutex::new(HubState { slots: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// Maximum number of distinct oracle tables retained.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Number of oracle tables currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().slots.len()
+    }
+
+    /// Whether the hub currently retains no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks out the shared warm cache for the oracle
+    /// `LazyOracle::new(seed, n_in, n_out)`, creating (cold) and retaining
+    /// it on first use.
+    pub fn oracle(&self, seed: u64, n_in: usize, n_out: usize) -> Arc<CachedOracle<LazyOracle>> {
+        let key = (seed, n_in, n_out);
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(slot) = state.slots.get_mut(&key) {
+            slot.last_used = tick;
+            return Arc::clone(&slot.cache);
+        }
+        let cache = Arc::new(CachedOracle::new(LazyOracle::new(seed, n_in, n_out)));
+        state.slots.insert(key, Slot { cache: Arc::clone(&cache), last_used: tick });
+        // Evict least-recently-used tables beyond capacity. Sessions still
+        // holding an evicted Arc are unaffected; the hub merely forgets it.
+        while state.slots.len() > self.max_entries {
+            let lru =
+                state.slots.iter().min_by_key(|(_, slot)| slot.last_used).map(|(key, _)| *key);
+            match lru {
+                Some(key) => {
+                    state.slots.remove(&key);
+                }
+                None => break,
+            }
+        }
+        cache
+    }
+
+    /// Checks out the shared warm cache for the width-preserving oracle
+    /// `LazyOracle::square(seed, n)` — the paper's `RO : {0,1}^n → {0,1}^n`.
+    pub fn square(&self, seed: u64, n: usize) -> Arc<CachedOracle<LazyOracle>> {
+        self.oracle(seed, n, n)
+    }
+
+    /// A per-session patchable view over the shared cache for
+    /// `LazyOracle::square(seed, n)`.
+    ///
+    /// The view starts identical to the shared oracle; patches applied to
+    /// it (the Definition 3.4 rewirings) are visible only through this
+    /// view. Off-patch queries hit the shared warm table, so sessions keep
+    /// the cross-session warmth without observing each other's rewirings.
+    pub fn session_view(&self, seed: u64, n: usize) -> PatchedOracle {
+        let base: Arc<dyn Oracle> = self.square(seed, n);
+        PatchedOracle::new(base)
+    }
+}
+
+impl std::fmt::Debug for OracleHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("OracleHub")
+            .field("capacity", &self.max_entries)
+            .field("len", &state.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mph_bits::BitVec;
+
+    #[test]
+    fn same_key_shares_one_table() {
+        let hub = OracleHub::new(4);
+        let a = hub.square(7, 16);
+        let b = hub.square(7, 16);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Warmth propagates: a miss through one handle is a hit through
+        // the other.
+        let q = BitVec::from_u64(3, 16);
+        a.query(&q);
+        b.query(&q);
+        assert_eq!(a.hits(), 1);
+        assert_eq!(a.misses(), 1);
+    }
+
+    #[test]
+    fn answers_match_the_bare_oracle() {
+        let hub = OracleHub::new(4);
+        let cached = hub.square(11, 16);
+        let bare = LazyOracle::square(11, 16);
+        for v in 0..32u64 {
+            let q = BitVec::from_u64(v, 16);
+            assert_eq!(cached.query(&q), bare.query(&q));
+        }
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_lru() {
+        let hub = OracleHub::new(2);
+        let a = hub.square(1, 16);
+        let _b = hub.square(2, 16);
+        // Touch seed 1 so seed 2 is the LRU entry, then overflow.
+        let a2 = hub.square(1, 16);
+        assert!(Arc::ptr_eq(&a, &a2));
+        let _c = hub.square(3, 16);
+        assert_eq!(hub.len(), 2);
+        // Seed 1 survived the eviction; seed 2 did not.
+        assert!(Arc::ptr_eq(&a, &hub.square(1, 16)));
+        let b2 = hub.square(2, 16);
+        assert_eq!(b2.hits() + b2.misses(), 0, "seed 2 should come back cold");
+        // An evicted table still answers identically when rebuilt.
+        let q = BitVec::from_u64(9, 16);
+        assert_eq!(b2.query(&q), LazyOracle::square(2, 16).query(&q));
+    }
+
+    #[test]
+    fn zero_capacity_is_normalized_to_one() {
+        let hub = OracleHub::new(0);
+        assert_eq!(hub.capacity(), 1);
+        let a = hub.square(5, 16);
+        assert!(Arc::ptr_eq(&a, &hub.square(5, 16)));
+    }
+
+    #[test]
+    fn session_views_patch_in_isolation() {
+        let hub = OracleHub::new(4);
+        let q = BitVec::from_u64(5, 16);
+        let shared_answer = hub.square(9, 16).query(&q);
+
+        let mut alice = hub.session_view(9, 16);
+        let mut bob = hub.session_view(9, 16);
+        let forged_a = BitVec::from_u64(0xAAAA, 16);
+        let forged_b = BitVec::from_u64(0xBBBB, 16);
+        alice.patch(q.clone(), forged_a.clone());
+        bob.patch(q.clone(), forged_b.clone());
+
+        assert_eq!(alice.query(&q), forged_a);
+        assert_eq!(bob.query(&q), forged_b);
+        // The shared table is untouched by either session's rewiring.
+        assert_eq!(hub.square(9, 16).query(&q), shared_answer);
+        // Off-patch queries agree with the shared oracle bit-for-bit.
+        let other = BitVec::from_u64(6, 16);
+        assert_eq!(alice.query(&other), hub.square(9, 16).query(&other));
+    }
+}

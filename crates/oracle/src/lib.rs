@@ -34,6 +34,9 @@
 //!   instantiation `h` of the random-oracle methodology: replacing `RO` by
 //!   a real hash, the step that turns the ideal hard function `f^RO` into
 //!   the concrete `f^h`.
+//! * [`OracleHub`] — a bounded registry of shared warm [`CachedOracle`]
+//!   tables for multi-session hosts (the `mphd` daemon), with per-session
+//!   [`PatchedOracle`] views so rewirings stay session-local.
 //! * [`RandomTape`] — the shared, read-only, multiple-access random tape
 //!   `𝒯` of Definition 2.1.
 //! * [`snapshot`] — the versioned, checksummed binary codec the
@@ -46,6 +49,7 @@
 pub mod cached;
 pub mod counting;
 pub mod hash;
+pub mod hub;
 pub mod lazy;
 pub mod patched;
 pub mod sha256;
@@ -58,6 +62,7 @@ pub mod transcript;
 pub use cached::CachedOracle;
 pub use counting::{CountingOracle, QueryBudgetExceeded};
 pub use hash::HashOracle;
+pub use hub::OracleHub;
 pub use lazy::LazyOracle;
 pub use patched::PatchedOracle;
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};

@@ -1,0 +1,438 @@
+//! The `mphd` wire protocol: line-delimited JSON-RPC.
+//!
+//! One request per line, one JSON object per response line (JSONL). A
+//! `submit` session streams `accepted` → `cell`* → `done`; every other
+//! outcome is a single `error` object with a typed code. The full
+//! protocol is documented in docs/SERVING.md; this module is the typed
+//! boundary between untrusted bytes and the experiment engine — every
+//! constructor here returns [`ProtoError`] instead of panicking.
+
+use crate::jsonio::{self, as_array, as_bool, as_str, as_u64, get};
+use mph_metrics::json::Json;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on one request line, in bytes. Longer lines are shed with a
+/// `bad_request` before any parsing happens.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Typed request-rejection codes, mirrored as the `code` string of an
+/// error response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    Parse,
+    /// The line was JSON but not a valid request.
+    BadRequest,
+    /// Admission control refused the session: all slots are in use.
+    Busy,
+    /// The server failed internally; the session is aborted.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A typed request rejection: the code plus a human-readable reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Which class of failure this is.
+    pub code: ErrorCode,
+    /// What exactly was wrong (safe to echo back to the client).
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A `bad_request` with the given reason.
+    pub fn bad(message: impl Into<String>) -> Self {
+        ProtoError { code: ErrorCode::BadRequest, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A validated experiment-grid request: one cell per window size over
+/// the standard demo instance (`setup::demo_pipeline`), mirroring the
+/// `exp_simline_rounds` family of sweeps.
+///
+/// All fields are resolved (defaults applied) — two specs that render
+/// the same [`GridSpec::canonical_json`] are the same session, which is
+/// what keys the daemon's durable checkpoint directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Report/label namespace, `[a-z0-9_-]{1,64}`.
+    pub exp: String,
+    /// `"line"` or `"simline"`.
+    pub target: String,
+    /// Line length `w` (nodes).
+    pub w: u64,
+    /// Number of input blocks `v`.
+    pub v: usize,
+    /// Machines per simulation.
+    pub m: usize,
+    /// One cell per window size (blocks replicated per machine).
+    pub windows: Vec<usize>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Base seed; trial `t` of every cell uses `seed + t`.
+    pub seed: u64,
+    /// Round cap per trial.
+    pub max_rounds: usize,
+    /// Whether the session checkpoints through the snapshot container
+    /// (durable sessions resume byte-identically after a server kill).
+    pub durable: bool,
+    /// Checkpoint cadence in completed cells (clamped to ≥ 1).
+    pub checkpoint_every: usize,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            exp: "serve_sweep".into(),
+            target: "simline".into(),
+            w: 48,
+            v: 8,
+            m: 4,
+            windows: vec![2, 3, 4],
+            trials: 3,
+            seed: 100,
+            max_rounds: 10_000,
+            durable: true,
+            checkpoint_every: 4,
+        }
+    }
+}
+
+/// Bounds on client-supplied sizes. These are generous for the demo
+/// instance family but keep one request from asking for a year of
+/// compute or an absurd allocation.
+mod limits {
+    pub const MAX_W: u64 = 1 << 20;
+    pub const MAX_V: usize = 4096;
+    pub const MAX_M: usize = 4096;
+    pub const MAX_WINDOWS: usize = 256;
+    pub const MAX_TRIALS: usize = 10_000;
+    pub const MAX_ROUNDS: usize = 10_000_000;
+}
+
+fn field_u64(params: &Json, key: &str, default: u64, max: u64) -> Result<u64, ProtoError> {
+    match get(params, key) {
+        None => Ok(default),
+        Some(v) => {
+            let n = as_u64(v)
+                .ok_or_else(|| ProtoError::bad(format!("{key} must be a non-negative integer")))?;
+            if n < 1 || n > max {
+                return Err(ProtoError::bad(format!("{key} must be in 1..={max}")));
+            }
+            Ok(n)
+        }
+    }
+}
+
+impl GridSpec {
+    /// Validates the `params` object of a `submit` request. Absent fields
+    /// take the defaults above; present fields are range-checked.
+    pub fn from_params(params: &Json) -> Result<GridSpec, ProtoError> {
+        if !matches!(params, Json::Object(_)) {
+            return Err(ProtoError::bad("params must be an object"));
+        }
+        let d = GridSpec::default();
+        let exp = match get(params, "exp") {
+            None => d.exp,
+            Some(v) => {
+                let s = as_str(v).ok_or_else(|| ProtoError::bad("exp must be a string"))?;
+                let ok = !s.is_empty()
+                    && s.len() <= 64
+                    && s.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_-".contains(c));
+                if !ok {
+                    return Err(ProtoError::bad("exp must match [a-z0-9_-]{1,64}"));
+                }
+                s.to_string()
+            }
+        };
+        let target = match get(params, "target") {
+            None => d.target,
+            Some(v) => match as_str(v) {
+                Some(t @ ("line" | "simline")) => t.to_string(),
+                _ => return Err(ProtoError::bad("target must be \"line\" or \"simline\"")),
+            },
+        };
+        let w = field_u64(params, "w", d.w, limits::MAX_W)?;
+        let v = field_u64(params, "v", d.v as u64, limits::MAX_V as u64)? as usize;
+        let m = field_u64(params, "m", d.m as u64, limits::MAX_M as u64)? as usize;
+        let windows = match get(params, "windows") {
+            None => d.windows,
+            Some(value) => {
+                let items =
+                    as_array(value).ok_or_else(|| ProtoError::bad("windows must be an array"))?;
+                if items.is_empty() || items.len() > limits::MAX_WINDOWS {
+                    return Err(ProtoError::bad(format!(
+                        "windows must hold 1..={} entries",
+                        limits::MAX_WINDOWS
+                    )));
+                }
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    let n = as_u64(item)
+                        .ok_or_else(|| ProtoError::bad("windows entries must be integers"))?;
+                    if n < 1 || n as usize > v {
+                        return Err(ProtoError::bad(format!(
+                            "windows entries must be in 1..={v} (v)"
+                        )));
+                    }
+                    out.push(n as usize);
+                }
+                out
+            }
+        };
+        let trials =
+            field_u64(params, "trials", d.trials as u64, limits::MAX_TRIALS as u64)? as usize;
+        let seed = match get(params, "seed") {
+            None => d.seed,
+            Some(v) => {
+                as_u64(v).ok_or_else(|| ProtoError::bad("seed must be a non-negative integer"))?
+            }
+        };
+        let max_rounds =
+            field_u64(params, "max_rounds", d.max_rounds as u64, limits::MAX_ROUNDS as u64)?
+                as usize;
+        let durable = match get(params, "durable") {
+            None => d.durable,
+            Some(v) => as_bool(v).ok_or_else(|| ProtoError::bad("durable must be a boolean"))?,
+        };
+        let checkpoint_every = match get(params, "checkpoint_every") {
+            None => d.checkpoint_every,
+            // 0 is accepted and clamped to 1 — the documented "at least
+            // one flush per cell" reading, matching the runner's clamp.
+            Some(v) => as_u64(v)
+                .ok_or_else(|| ProtoError::bad("checkpoint_every must be a non-negative integer"))?
+                .clamp(0, 1 << 20) as usize,
+        };
+        Ok(GridSpec {
+            exp,
+            target,
+            w,
+            v,
+            m,
+            windows,
+            trials,
+            seed,
+            max_rounds,
+            durable,
+            checkpoint_every,
+        })
+    }
+
+    /// The resolved spec as a canonical JSON object: every field, fixed
+    /// order. Equal specs — regardless of which fields the client spelled
+    /// out — render identical bytes, which keys the session.
+    pub fn canonical_json(&self) -> Json {
+        Json::object([
+            ("exp", Json::str(&self.exp)),
+            ("target", Json::str(&self.target)),
+            ("w", Json::u64(self.w)),
+            ("v", Json::u64(self.v as u64)),
+            ("m", Json::u64(self.m as u64)),
+            ("windows", Json::array(self.windows.iter().map(|&x| Json::u64(x as u64)))),
+            ("trials", Json::u64(self.trials as u64)),
+            ("seed", Json::u64(self.seed)),
+            ("max_rounds", Json::u64(self.max_rounds as u64)),
+        ])
+    }
+
+    /// The durable session key: FNV-1a over the canonical spec bytes,
+    /// hex. Resubmitting the same grid lands in the same checkpoint
+    /// directory — that is what makes a killed server resumable by a
+    /// client that simply retries its request. `durable` and
+    /// `checkpoint_every` change *how* a session persists, never *what*
+    /// it computes, so they stay out of the key.
+    pub fn session_key(&self) -> String {
+        let text = self.canonical_json().to_string();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in text.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+}
+
+/// A parsed request line: the client's `id` (echoed on every response)
+/// plus the method-specific payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: Json,
+    /// What the client asked for.
+    pub call: Call,
+}
+
+/// The methods `mphd` serves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Call {
+    /// Liveness probe; answered immediately.
+    Ping,
+    /// Run (or resume) an experiment grid, streaming progress.
+    Submit(Box<GridSpec>),
+}
+
+/// Parses one request line. The `id` of a malformed line is recovered
+/// when possible so the error response still correlates.
+pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err((
+            Json::Null,
+            ProtoError::bad(format!("request longer than {MAX_REQUEST_BYTES} bytes")),
+        ));
+    }
+    let doc = jsonio::parse(line)
+        .map_err(|e| (Json::Null, ProtoError { code: ErrorCode::Parse, message: e.to_string() }))?;
+    let id = get(&doc, "id").cloned().unwrap_or(Json::Null);
+    let fail = |message: String| (id.clone(), ProtoError::bad(message));
+    if !matches!(doc, Json::Object(_)) {
+        return Err(fail("request must be a JSON object".into()));
+    }
+    if let Some(v) = get(&doc, "v") {
+        if as_u64(v) != Some(PROTOCOL_VERSION) {
+            return Err(fail(format!(
+                "unsupported protocol version (this server speaks v{PROTOCOL_VERSION})"
+            )));
+        }
+    }
+    match get(&doc, "id") {
+        Some(Json::Str(_) | Json::U64(_)) => {}
+        _ => return Err(fail("id must be a string or integer".into())),
+    }
+    let method = get(&doc, "method")
+        .and_then(as_str)
+        .ok_or_else(|| fail("method must be a string".into()))?;
+    let call = match method {
+        "ping" => Call::Ping,
+        "submit" => {
+            let empty = Json::Object(Vec::new());
+            let params = get(&doc, "params").unwrap_or(&empty);
+            Call::Submit(Box::new(GridSpec::from_params(params).map_err(|e| (id.clone(), e))?))
+        }
+        other => return Err(fail(format!("unknown method {other:?}"))),
+    };
+    Ok(Request { id, call })
+}
+
+/// Renders an error response line (without trailing newline).
+pub fn error_response(id: &Json, err: &ProtoError, extra: &[(&str, Json)]) -> String {
+    let mut body = vec![
+        ("code".to_string(), Json::str(err.code.as_str())),
+        ("message".to_string(), Json::str(&err.message)),
+    ];
+    body.extend(extra.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    Json::object([("id", id.clone()), ("error", Json::Object(body))]).to_string()
+}
+
+/// Renders an event response line (without trailing newline): the echoed
+/// id, the event name, then `fields` in order.
+pub fn event_response(id: &Json, event: &str, fields: Vec<(String, Json)>) -> String {
+    let mut pairs = vec![("id".to_string(), id.clone()), ("event".to_string(), Json::str(event))];
+    pairs.extend(fields);
+    Json::Object(pairs).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let req = parse_request(r#"{"id":"a","method":"submit","params":{}}"#).expect("parses");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(*spec, GridSpec::default());
+        assert_eq!(req.id, Json::str("a"));
+    }
+
+    #[test]
+    fn explicit_defaults_share_the_session_key() {
+        let a = GridSpec::default();
+        let req =
+            parse_request(r#"{"id":1,"method":"submit","params":{"w":48,"trials":3,"seed":100}}"#)
+                .expect("parses");
+        let Call::Submit(b) = req.call else { panic!("expected submit") };
+        assert_eq!(a.session_key(), b.session_key());
+        // Durability knobs do not fork the session identity.
+        let mut c = a.clone();
+        c.durable = false;
+        c.checkpoint_every = 1;
+        assert_eq!(a.session_key(), c.session_key());
+        // A different grid does.
+        let mut d = a.clone();
+        d.seed = 101;
+        assert_ne!(a.session_key(), d.session_key());
+    }
+
+    #[test]
+    fn rejections_are_typed_not_panics() {
+        for (line, want) in [
+            ("not json", ErrorCode::Parse),
+            ("[]", ErrorCode::BadRequest),
+            (r#"{"id":"a"}"#, ErrorCode::BadRequest),
+            (r#"{"id":{},"method":"ping"}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"frobnicate"}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","v":2,"method":"ping"}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"trials":0}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"trials":99999}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"target":"cube"}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"windows":[]}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"windows":[99]}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"exp":"BAD NAME"}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"w":0}}"#, ErrorCode::BadRequest),
+        ] {
+            match parse_request(line) {
+                Err((_, e)) => assert_eq!(e.code, want, "line {line}"),
+                Ok(req) => panic!("{line} should be rejected, parsed {req:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn error_id_is_recovered_when_parseable() {
+        let (id, _) = parse_request(r#"{"id":"abc","method":"frobnicate"}"#).unwrap_err();
+        assert_eq!(id, Json::str("abc"));
+        let (id, _) = parse_request("garbage").unwrap_err();
+        assert_eq!(id, Json::Null);
+    }
+
+    #[test]
+    fn responses_render_stably() {
+        let err = ProtoError { code: ErrorCode::Busy, message: "3 sessions active".into() };
+        let line = error_response(&Json::str("x"), &err, &[("max_sessions", Json::u64(3))]);
+        assert_eq!(
+            line,
+            r#"{"id":"x","error":{"code":"busy","message":"3 sessions active","max_sessions":3}}"#
+        );
+        let line = event_response(&Json::u64(7), "accepted", vec![("cells".into(), Json::u64(3))]);
+        assert_eq!(line, r#"{"id":7,"event":"accepted","cells":3}"#);
+    }
+
+    #[test]
+    fn oversized_lines_are_shed() {
+        let huge =
+            format!(r#"{{"id":"a","method":"ping","pad":"{}"}}"#, "x".repeat(MAX_REQUEST_BYTES));
+        let (_, e) = parse_request(&huge).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+    }
+}

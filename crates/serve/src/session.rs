@@ -1,0 +1,316 @@
+//! One daemon session: a validated [`GridSpec`] turned into sweep cells,
+//! run (durably or not) on the shared worker pool, and rendered into the
+//! canonical report.
+//!
+//! Everything here is deterministic: two sessions running the same spec
+//! — concurrently, on different thread counts, with or without the
+//! shared [`OracleHub`], resumed from a checkpoint or computed fresh —
+//! produce byte-identical report JSON and markdown. That is the daemon's
+//! core contract, pinned by `tests/daemon_determinism.rs` and the CI
+//! `serve-smoke` job.
+
+use crate::proto::{GridSpec, ProtoError};
+use mph_core::algorithms::pipeline::Target;
+use mph_experiments::checkpoint::{self, CheckpointConfig};
+use mph_experiments::setup;
+use mph_experiments::sweep::{degraded, run_sweep, Cell, CellResult, CellStatus};
+use mph_experiments::Report;
+use mph_metrics::json::Json;
+use mph_oracle::OracleHub;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Renders a caught panic payload into a message (the two shapes
+/// `panic!` produces, then a fallback).
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "construction panicked (non-string payload)".to_string()
+    }
+}
+
+/// Builds the sweep grid for a spec: one cell per window size over the
+/// standard demo instance, labelled `window=<n>`, optionally checking
+/// oracle caches out of a shared hub.
+///
+/// Pipeline constructors assert on inconsistent geometry; a client must
+/// not be able to reach those asserts, so construction runs under
+/// `catch_unwind` and any panic comes back as a typed `bad_request`
+/// carrying the constructor's message.
+pub fn grid_for_spec(
+    spec: &GridSpec,
+    hub: Option<&Arc<OracleHub>>,
+) -> Result<Vec<Cell>, ProtoError> {
+    let target = match spec.target.as_str() {
+        "line" => Target::Line,
+        "simline" => Target::SimLine,
+        other => return Err(ProtoError::bad(format!("unknown target {other:?}"))),
+    };
+    catch_unwind(AssertUnwindSafe(|| {
+        spec.windows
+            .iter()
+            .map(|&window| {
+                let pipeline = setup::demo_pipeline(spec.w, spec.v, spec.m, window, target);
+                let cell = Cell::new(
+                    format!("window={window}"),
+                    pipeline,
+                    spec.trials,
+                    spec.seed,
+                    spec.max_rounds,
+                );
+                match hub {
+                    Some(hub) => cell.with_hub(Arc::clone(hub)),
+                    None => cell,
+                }
+            })
+            .collect()
+    }))
+    .map_err(|payload| {
+        ProtoError::bad(format!("grid construction rejected: {}", panic_reason(payload.as_ref())))
+    })
+}
+
+/// The wire spelling of a cell's status word (reasons travel separately).
+pub fn status_word(status: &CellStatus) -> &'static str {
+    match status {
+        CellStatus::Ok => "ok",
+        CellStatus::Failed { .. } => "failed",
+        CellStatus::Degraded { .. } => "degraded",
+    }
+}
+
+fn status_reason(status: &CellStatus) -> Option<&str> {
+    match status {
+        CellStatus::Ok => None,
+        CellStatus::Failed { reason } | CellStatus::Degraded { reason } => Some(reason),
+    }
+}
+
+/// The fields of a streamed `cell` progress event: the cell's index,
+/// label, status, aggregates, and its full `mph-metrics` telemetry
+/// snapshot (`null` when telemetry was off or the cell failed before
+/// recording).
+pub fn cell_event_fields(index: usize, result: &CellResult) -> Vec<(String, Json)> {
+    let mut fields = vec![
+        ("index".to_string(), Json::u64(index as u64)),
+        ("label".to_string(), Json::str(&result.label)),
+        ("status".to_string(), Json::str(status_word(&result.status))),
+    ];
+    if let Some(reason) = status_reason(&result.status) {
+        fields.push(("reason".to_string(), Json::str(reason)));
+    }
+    fields.push(("mean_rounds".to_string(), Json::f64(result.mean_rounds)));
+    fields.push(("correct_trials".to_string(), Json::u64(result.correct_trials() as u64)));
+    fields.push(("trials".to_string(), Json::u64(result.measurements.len() as u64)));
+    fields.push(("retries_used".to_string(), Json::u64(result.retries_used as u64)));
+    fields.push((
+        "snapshot".to_string(),
+        result.snapshot.as_ref().map(|s| s.to_json()).unwrap_or(Json::Null),
+    ));
+    fields
+}
+
+/// A completed session: the health flag, the canonical report document,
+/// and its markdown rendering.
+pub struct SessionOutcome {
+    /// Whether any cell failed or degraded (the report carries it too).
+    pub degraded: bool,
+    /// The report JSON document (schema-versioned envelope).
+    pub report: Json,
+    /// The aligned markdown rendering of the same data.
+    pub markdown: String,
+}
+
+/// Renders the canonical session report from completed cells. Both views
+/// are built from the same data in the same order, so equal results give
+/// byte-equal output.
+pub fn render_report(spec: &GridSpec, results: &[CellResult]) -> SessionOutcome {
+    let is_degraded = degraded(results);
+    let mut r = Report::new();
+    r.h1(&spec.exp);
+    r.kv("target", &spec.target)
+        .kv("w", spec.w)
+        .kv("v", spec.v)
+        .kv("m", spec.m)
+        .kv("trials", spec.trials)
+        .kv("seed", spec.seed)
+        .kv("max_rounds", spec.max_rounds)
+        .kv("session", spec.session_key())
+        .kv("degraded", is_degraded)
+        .end_block();
+    r.h2("sweep");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|res| {
+            vec![
+                res.label.clone(),
+                status_word(&res.status).to_string(),
+                setup::fmt(res.mean_rounds),
+                res.correct_trials().to_string(),
+                res.measurements.len().to_string(),
+                res.retries_used.to_string(),
+            ]
+        })
+        .collect();
+    r.table(&["window", "status", "mean_rounds", "correct", "trials", "retries"], &rows);
+    let cells = Json::array(results.iter().enumerate().map(|(i, res)| {
+        let mut fields = cell_event_fields(i, res);
+        // The report keeps the aggregates; the (large) per-cell snapshot
+        // already streamed as the session's progress events.
+        fields.retain(|(k, _)| k != "snapshot");
+        Json::Object(fields)
+    }));
+    r.json_extra("cells", cells);
+    let exp = spec.exp.clone();
+    SessionOutcome {
+        degraded: is_degraded,
+        report: r.to_json(&exp),
+        markdown: r.finish().to_string(),
+    }
+}
+
+/// Runs one session end to end: build the grid, run the sweep (durably
+/// through the checkpoint subsystem when `spec.durable` and a checkpoint
+/// root are both present), fire `on_cell` once per finalized cell —
+/// resumed cells first, in index order — and render the report.
+///
+/// The durable path keys its checkpoint directory by
+/// [`GridSpec::session_key`], so a client that resubmits the same grid
+/// to a restarted server resumes the completed cells instead of
+/// recomputing them — byte-identically, per the checkpoint contract.
+pub fn run_session(
+    spec: &GridSpec,
+    hub: Option<&Arc<OracleHub>>,
+    ckpt_root: Option<&Path>,
+    mut on_cell: impl FnMut(usize, &CellResult),
+) -> Result<SessionOutcome, ProtoError> {
+    let cells = grid_for_spec(spec, hub)?;
+    let results = match ckpt_root.filter(|_| spec.durable) {
+        Some(root) => {
+            let ckpt = CheckpointConfig {
+                dir: root.join(spec.session_key()),
+                every: spec.checkpoint_every.max(1),
+            };
+            match checkpoint::run_sweep_checkpointed_observed(cells, &ckpt, None, &mut on_cell) {
+                Some(results) => results,
+                // Unreachable without an abort budget, but a daemon never
+                // converts an engine surprise into a panic.
+                None => {
+                    return Err(ProtoError {
+                        code: crate::proto::ErrorCode::Internal,
+                        message: "sweep aborted unexpectedly".into(),
+                    })
+                }
+            }
+        }
+        None => {
+            let results = run_sweep(cells);
+            for (i, res) in results.iter().enumerate() {
+                on_cell(i, res);
+            }
+            results
+        }
+    };
+    Ok(render_report(spec, &results))
+}
+
+/// [`run_session`] without a hub or durability — the single-process
+/// reference run the daemon's output is compared against (`mphd_smoke
+/// --local`, the determinism tests, the CI `serve-smoke` job).
+pub fn run_local(spec: &GridSpec) -> Result<SessionOutcome, ProtoError> {
+    run_session(spec, None, None, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ErrorCode;
+    use std::path::PathBuf;
+
+    fn quick_spec() -> GridSpec {
+        GridSpec { windows: vec![2, 3], trials: 2, ..GridSpec::default() }
+    }
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mph_serve_{}_{}", name, std::process::id()));
+        checkpoint::clean_dir(&dir);
+        dir
+    }
+
+    #[test]
+    fn sessions_are_deterministic_and_hub_invisible() {
+        let spec = quick_spec();
+        let a = run_local(&spec).expect("local run");
+        let hub = Arc::new(OracleHub::new(16));
+        let b = run_session(&spec, Some(&hub), None, |_, _| {}).expect("hub run");
+        assert_eq!(a.report.to_string(), b.report.to_string());
+        assert_eq!(a.markdown, b.markdown);
+        assert!(!a.degraded);
+        assert!(a.report.to_string().contains(&spec.session_key()));
+    }
+
+    #[test]
+    fn cell_events_fire_once_per_cell_in_order() {
+        let spec = quick_spec();
+        let mut seen = Vec::new();
+        run_session(&spec, None, None, |i, res| seen.push((i, res.label.clone())))
+            .expect("session");
+        assert_eq!(seen, vec![(0, "window=2".to_string()), (1, "window=3".to_string())]);
+    }
+
+    #[test]
+    fn durable_sessions_resume_byte_identically() {
+        let spec = quick_spec();
+        let root = temp_root("resume");
+        let reference = run_local(&spec).expect("reference run");
+
+        // Simulate a killed server: a partial checkpoint directory with
+        // only the first cell completed.
+        let partial = CheckpointConfig { dir: root.join(spec.session_key()), every: 1 };
+        let cells = grid_for_spec(&spec, None).expect("grid");
+        assert!(checkpoint::run_sweep_checkpointed_with_abort(cells, &partial, Some(1)).is_none());
+
+        // The restarted server resumes cell 0 from disk, computes the
+        // rest, and the final report is byte-identical.
+        let mut seen = Vec::new();
+        let resumed = run_session(&spec, None, Some(&root), |i, _| seen.push(i)).expect("resume");
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(resumed.report.to_string(), reference.report.to_string());
+        assert_eq!(resumed.markdown, reference.markdown);
+        checkpoint::clean_dir(&root);
+    }
+
+    #[test]
+    fn hostile_geometry_is_a_typed_rejection_not_a_panic() {
+        // One machine holding a one-block window cannot cover v = 8
+        // blocks; whether the constructor asserts or the run degrades,
+        // the daemon path must never panic. Exercise grid construction
+        // under the worst plausible geometry.
+        let spec = GridSpec { m: 1, windows: vec![1], trials: 1, ..GridSpec::default() };
+        match grid_for_spec(&spec, None) {
+            Ok(cells) => assert_eq!(cells.len(), 1),
+            Err(e) => assert_eq!(e.code, ErrorCode::BadRequest),
+        }
+    }
+
+    #[test]
+    fn cell_event_fields_carry_status_and_snapshot() {
+        let spec = quick_spec();
+        let mut fields_of_first = None;
+        run_session(&spec, None, None, |i, res| {
+            if i == 0 {
+                fields_of_first = Some(cell_event_fields(i, res));
+            }
+        })
+        .expect("session");
+        let fields = fields_of_first.expect("cell 0 observed");
+        let doc = Json::Object(fields).to_string();
+        assert!(doc.contains(r#""label":"window=2""#), "doc: {doc}");
+        assert!(doc.contains(r#""status":"ok""#));
+        assert!(doc.contains(r#""snapshot":{"#), "telemetry snapshot should be embedded");
+    }
+}

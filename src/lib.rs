@@ -69,6 +69,7 @@
 //! | [`bounds`] | `mph-bounds` | all bound formulas in log₂-space, Tables 1–3 |
 //! | [`algos`] | `mph-mpc-algos` | parallelizable baselines (sort, sum, CC, wordcount) |
 //! | [`metrics`] | `mph-metrics` | structured telemetry: events, sinks, JSON reports |
+//! | [`serve`] | `mph-serve` | the `mphd` daemon: sweeps as a service over JSON-RPC |
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -82,6 +83,7 @@ pub use mph_mpc as mpc;
 pub use mph_mpc_algos as algos;
 pub use mph_oracle as oracle;
 pub use mph_ram as ram;
+pub use mph_serve as serve;
 
 /// The names most programs need.
 pub mod prelude {
