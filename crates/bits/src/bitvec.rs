@@ -90,6 +90,52 @@ impl BitVec {
         bv
     }
 
+    /// A bit vector adopting `len` bits from packed words — the inverse of
+    /// reading [`BitVec::words`]. Tail bits beyond `len` in the final word
+    /// are masked to zero, restoring the representation invariant.
+    ///
+    /// Panics unless `words.len() == len.div_ceil(64)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let original = BitVec::from_u64(0x5AA, 12);
+    /// let rebuilt = BitVec::from_words(original.words(), original.len());
+    /// assert_eq!(rebuilt, original);
+    /// ```
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "from_words: {} words cannot back {len} bits",
+            words.len()
+        );
+        let mut bv = BitVec { words: words.to_vec(), len };
+        bv.mask_tail();
+        bv
+    }
+
+    /// Overwrites `self` with `len` bits from packed words, reusing the
+    /// existing allocation when it is large enough — the zero-allocation
+    /// counterpart of [`BitVec::from_words`] for hot paths that recycle one
+    /// output buffer across calls (e.g. `Oracle::query_into`).
+    ///
+    /// Panics unless `words.len() == len.div_ceil(64)`.
+    pub fn copy_from_words(&mut self, words: &[u64], len: usize) {
+        assert_eq!(
+            words.len(),
+            len.div_ceil(WORD_BITS),
+            "copy_from_words: {} words cannot back {len} bits",
+            words.len()
+        );
+        self.words.clear();
+        self.words.extend_from_slice(words);
+        self.len = len;
+        self.mask_tail();
+    }
+
     /// Bit vector from bytes, `bytes[0]` providing bits `0..8` (bit 0 = LSB
     /// of `bytes[0]`). The length is `8 * bytes.len()`.
     pub fn from_bytes(bytes: &[u8]) -> Self {
@@ -370,6 +416,60 @@ impl BitVec {
         }
     }
 
+    /// Overwrites bits `start..start + len` with the low `len` bits of
+    /// packed `words` — the word-slice counterpart of [`BitVec::splice`],
+    /// so batch consumers can deposit fixed-width records straight from a
+    /// backing arena without materializing an intermediate `BitVec`.
+    ///
+    /// A word-aligned `start` copies whole words; any other offset falls
+    /// back to shift/mask chunks. Bits of `words` beyond `len` are
+    /// ignored.
+    ///
+    /// Panics if the range exceeds `len()` or `words` holds fewer than
+    /// `len` bits.
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let src = BitVec::from_u64(0x5AA, 12);
+    /// let mut dst = BitVec::zeros(100);
+    /// dst.write_words(37, src.words(), 12);
+    /// assert_eq!(dst.read_u64(37, 12), 0x5AA);
+    /// ```
+    pub fn write_words(&mut self, start: usize, words: &[u64], len: usize) {
+        assert!(
+            start + len <= self.len,
+            "write_words {start}..{} out of range (len {})",
+            start + len,
+            self.len
+        );
+        assert!(
+            words.len() * WORD_BITS >= len,
+            "write_words: {} words cannot supply {len} bits",
+            words.len()
+        );
+        if start.is_multiple_of(WORD_BITS) {
+            let w0 = start / WORD_BITS;
+            let full = len / WORD_BITS;
+            self.words[w0..w0 + full].copy_from_slice(&words[..full]);
+            let tail = len % WORD_BITS;
+            if tail != 0 {
+                self.write_raw(start + full * WORD_BITS, words[full] & ((1u64 << tail) - 1), tail);
+            }
+            return;
+        }
+        let mut done = 0;
+        while done < len {
+            let take = (len - done).min(WORD_BITS);
+            let mut chunk = words[done / WORD_BITS];
+            if take < WORD_BITS {
+                chunk &= (1u64 << take) - 1;
+            }
+            self.write_raw(start + done, chunk, take);
+            done += take;
+        }
+    }
+
     /// Reads bits `start..start + width` as a little-endian integer
     /// (`width <= 64`).
     ///
@@ -580,6 +680,27 @@ mod tests {
     use super::*;
 
     #[test]
+    fn write_words_matches_splice_at_any_offset() {
+        // Aligned (whole-word copy) and unaligned (shift/mask) paths must
+        // both agree with the bit-exact reference, and bits of the source
+        // words beyond `len` must be ignored.
+        for len in [12usize, 64, 100, 128] {
+            let mut src_words = vec![u64::MAX; len.div_ceil(64)];
+            for (i, w) in src_words.iter_mut().enumerate() {
+                *w = 0x9E37_79B9_7F4A_7C15u64.rotate_left(i as u32 * 7);
+            }
+            let src = BitVec::from_words(&src_words, len);
+            for start in [0usize, 64, 1, 37] {
+                let mut via_words = BitVec::ones(start + len + 5);
+                let mut via_splice = via_words.clone();
+                via_words.write_words(start, &src_words, len);
+                via_splice.splice(start, &src);
+                assert_eq!(via_words, via_splice, "start {start} len {len}");
+            }
+        }
+    }
+
+    #[test]
     fn zeros_and_ones() {
         let z = BitVec::zeros(130);
         assert_eq!(z.len(), 130);
@@ -632,6 +753,27 @@ mod tests {
         assert_eq!(bv.read_u64(60, 4), 0b1011);
         assert!(bv.get(60) && !bv.get(62));
         assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_words_and_copy_from_words_roundtrip() {
+        for len in [0usize, 1, 7, 63, 64, 65, 130] {
+            let original = BitVec::from_bools(&(0..len).map(|i| i % 3 != 1).collect::<Vec<_>>());
+            assert_eq!(BitVec::from_words(original.words(), len), original, "len {len}");
+            let mut reused = BitVec::ones(200); // stale content must be replaced
+            reused.copy_from_words(original.words(), len);
+            assert_eq!(reused, original, "len {len}");
+        }
+        // Unmasked tail words are cleaned up to preserve the invariant.
+        let dirty = [u64::MAX];
+        let bv = BitVec::from_words(&dirty, 5);
+        assert_eq!(bv.count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot back")]
+    fn from_words_rejects_wrong_word_count() {
+        let _ = BitVec::from_words(&[0, 0], 64);
     }
 
     #[test]

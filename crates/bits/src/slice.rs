@@ -137,6 +137,32 @@ impl<'a> BitSlice<'a> {
         self.len.div_ceil(WORD_BITS)
     }
 
+    /// The view's backing words, borrowed directly — available only when the
+    /// view is word-aligned at both ends (`start` and `len` both multiples
+    /// of 64), so every chunk equals [`BitSlice::read_word`] with no shift
+    /// or tail mask. Batch gather paths use this to turn a per-word
+    /// shift/mask loop into a `memcpy`; unaligned views fall back to
+    /// [`BitSlice::read_word`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mph_bits::BitVec;
+    ///
+    /// let bv = BitVec::from_u64(0xFEED, 64);
+    /// assert_eq!(bv.as_view().as_words(), Some(bv.words()));
+    /// assert_eq!(bv.view(1, 63).as_words(), None); // unaligned
+    /// ```
+    #[inline]
+    pub fn as_words(&self) -> Option<&'a [u64]> {
+        if self.start.is_multiple_of(WORD_BITS) && self.len.is_multiple_of(WORD_BITS) {
+            let w = self.start / WORD_BITS;
+            Some(&self.words[w..w + self.len / WORD_BITS])
+        } else {
+            None
+        }
+    }
+
     /// The sub-view of bits `start..start + width`.
     ///
     /// Panics if the range exceeds `len`. Sub-views borrow the same backing

@@ -356,6 +356,33 @@ impl Codec {
     pub fn token_i_width(&self) -> usize {
         self.token_i_width
     }
+
+    /// Number of block records in a window bundle: one or more block
+    /// records back to back, the wire shape a machine's persisted block
+    /// window travels in (a single block message is the `k = 1` case).
+    ///
+    /// Returns `None` when `payload` is not bundle-shaped — wrong length
+    /// granularity, or a leading tag that is not a block's. Tag bits lead
+    /// every wire record, so a bundle can never be confused with a token
+    /// even when their bit lengths coincide. A `Some` answer promises only
+    /// the shape; callers validate each record via
+    /// [`Codec::bundle_record`] + [`Codec::decode_view`].
+    pub fn bundle_records(&self, payload: &BitSlice<'_>) -> Option<usize> {
+        let bb = self.block_bits();
+        if payload.is_empty() || payload.len() % bb != 0 {
+            return None;
+        }
+        if payload.read_u64(0, TAG_WIDTH) != TAG_BLOCK {
+            return None;
+        }
+        Some(payload.len() / bb)
+    }
+
+    /// The `k`-th block record of a window bundle, zero-copy.
+    pub fn bundle_record<'a>(&self, payload: &BitSlice<'a>, k: usize) -> BitSlice<'a> {
+        let bb = self.block_bits();
+        payload.slice(k * bb, bb)
+    }
 }
 
 #[cfg(test)]

@@ -149,30 +149,49 @@ impl Pipeline {
         }
     }
 
-    /// One oracle step: query node `i` with block `x` and chain `r`,
-    /// returning the updated `(l, r, answer)`.
+    /// One oracle step: query node `i` with block `x` and chain
+    /// `scratch.r`, updating the scratch buffers in place and returning the
+    /// new pointer `ℓ`. Steady-state advances touch only the three reused
+    /// buffers — no allocation per step.
     fn advance(
         &self,
         ctx: &RoundCtx<'_>,
         i: u64,
-        x: &BitVec,
-        r: &BitVec,
-    ) -> Result<(usize, BitVec, BitVec), ModelViolation> {
-        let query = match self.target {
-            Target::Line => self.params.pack_query(i, x, r),
-            Target::SimLine => self.params.pack_simline_query(x, r),
-        };
-        let answer = ctx.query(&query)?;
-        let (l, r_next) = match self.target {
-            Target::Line => {
-                (self.params.extract_pointer(&answer), self.params.extract_chain(&answer))
-            }
+        x: &BitSlice<'_>,
+        scratch: &mut WalkScratch,
+    ) -> Result<usize, ModelViolation> {
+        let r = scratch.r.as_view();
+        match self.target {
+            Target::Line => self.params.pack_query_into(i, x, &r, &mut scratch.query),
+            Target::SimLine => self.params.pack_simline_query_into(x, &r, &mut scratch.query),
+        }
+        ctx.query_into(&scratch.query.as_view(), &mut scratch.answer)?;
+        let l = match self.target {
+            Target::Line => self.params.extract_pointer(&scratch.answer),
             // SimLine answers are (r, z): the chain value leads, and the
             // pointer is unused (the schedule is public).
-            Target::SimLine => (0, answer.slice(0, self.params.u)),
+            Target::SimLine => 0,
         };
-        Ok((l, r_next, answer))
+        // The chain field of the answer becomes the next step's r. Copy it
+        // out (u bits into a reused buffer) so the answer buffer is free to
+        // be overwritten by the next query.
+        let r_off = match self.target {
+            Target::Line => self.params.l_width(),
+            Target::SimLine => 0,
+        };
+        scratch.r.clear();
+        scratch.r.extend_from_view(&scratch.answer.view(r_off, self.params.u));
+        Ok(l)
     }
+}
+
+/// Reusable buffers for the token walk: the chain value, the packed query,
+/// and the oracle answer. One instance lives per `round` call; every
+/// advance reuses the same three allocations.
+struct WalkScratch {
+    r: BitVec,
+    query: BitVec,
+    answer: BitVec,
 }
 
 impl MachineLogic for Pipeline {
@@ -183,42 +202,85 @@ impl MachineLogic for Pipeline {
         out: &mut Outbox,
     ) -> Result<(), ModelViolation> {
         // Parse memory zero-copy: the block window and (possibly) the
-        // token stay as views into the round arena. Each block is
-        // persisted by forwarding its wire view to ourselves verbatim —
-        // the only legal way to keep state; the executor charges it
-        // against s — with no decode/re-encode round trip.
-        let mut local: Vec<Option<BitSlice<'_>>> = vec![None; self.params.v];
+        // token stay as views into the round arena. The window is
+        // persisted by re-bundling every held block record into ONE
+        // concatenated self-message — a machine's cross-round state is a
+        // single s-bit memory image, and shipping it as a single message
+        // costs one send record, one routing decision and one inbox entry
+        // per round instead of one per block (the wire bits are
+        // identical). Round-0 seeds arrive as single-block bundles and
+        // coalesce on the first forward. Only the token holder needs
+        // blocks *indexed*; every other machine — the common case, all
+        // but one per round — validates and forwards with no per-round
+        // block table at all.
         let mut token: Option<(u64, usize, BitSlice<'_>)> = None;
+        let mut holds_blocks = false;
         for msg in incoming.iter() {
-            match self.codec.decode_view(msg.payload) {
-                Some(ParsedView::Block { idx, x }) => {
-                    local[idx] = Some(x);
-                    out.push_view(ctx.machine(), msg.payload);
+            if let Some(records) = self.codec.bundle_records(&msg.payload) {
+                for k in 0..records {
+                    match self.codec.decode_view(self.codec.bundle_record(&msg.payload, k)) {
+                        Some(ParsedView::Block { .. }) => {}
+                        _ => {
+                            return Err(ctx.error(format!(
+                                "malformed block record in bundle ({} bits) in memory",
+                                msg.payload.len()
+                            )))
+                        }
+                    }
                 }
-                Some(ParsedView::Token { i, l, r }) => token = Some((i, l, r)),
-                None => {
-                    return Err(ctx.error(format!(
-                        "malformed message ({} bits) in memory",
-                        msg.payload.len()
-                    )))
+                holds_blocks = true;
+            } else {
+                match self.codec.decode_view(msg.payload) {
+                    Some(ParsedView::Token { i, l, r }) => token = Some((i, l, r)),
+                    _ => {
+                        return Err(ctx.error(format!(
+                            "malformed message ({} bits) in memory",
+                            msg.payload.len()
+                        )))
+                    }
                 }
             }
         }
+        if holds_blocks {
+            out.push_concat(
+                ctx.machine(),
+                incoming
+                    .iter()
+                    .filter(|msg| self.codec.bundle_records(&msg.payload).is_some())
+                    .map(|msg| msg.payload),
+            );
+        }
 
-        // Walk the line as far as local blocks allow.
+        // Walk the line as far as local blocks allow. Queried blocks stay
+        // zero-copy views into the round arena; the chain value, packed
+        // query, and oracle answer cycle through one reused buffer each, so
+        // a multi-advance visit allocates only on its first step.
         if let Some((mut i, mut l, r)) = token {
-            let mut r = r.to_bitvec();
+            // A second decode pass builds the block index — decoding a view
+            // is a header parse, and re-walking the one token holder's
+            // inbox is far cheaper than allocating an index on the
+            // machines that never consult one.
+            let mut local: Vec<Option<BitSlice<'_>>> = vec![None; self.params.v];
+            for msg in incoming.iter() {
+                let Some(records) = self.codec.bundle_records(&msg.payload) else {
+                    continue;
+                };
+                for k in 0..records {
+                    if let Some(ParsedView::Block { idx, x }) =
+                        self.codec.decode_view(self.codec.bundle_record(&msg.payload, k))
+                    {
+                        local[idx] = Some(x);
+                    }
+                }
+            }
+            let mut scratch =
+                WalkScratch { r: r.to_bitvec(), query: BitVec::new(), answer: BitVec::new() };
             loop {
                 debug_assert!(i <= self.params.w, "token index past the line");
                 let needed = self.needed_block(i, l);
                 match &local[needed] {
                     Some(x) => {
-                        // Materialize the queried block only here, at the
-                        // oracle boundary.
-                        let x = x.to_bitvec();
-                        let (l_next, r_next, answer) = self.advance(ctx, i, &x, &r)?;
-                        l = l_next;
-                        r = r_next;
+                        l = self.advance(ctx, i, x, &mut scratch)?;
                         i += 1;
                         if i > self.params.w {
                             // The answer to query w is the function output.
@@ -229,7 +291,7 @@ impl MachineLogic for Pipeline {
                             // bound.
                             let me = ctx.machine();
                             out.retain_sends(|to| to != me);
-                            out.emit(answer);
+                            out.emit(scratch.answer);
                             break;
                         }
                     }
@@ -240,7 +302,7 @@ impl MachineLogic for Pipeline {
                             ctx.machine(),
                             "routed to self for a block we do not hold"
                         );
-                        out.push(dest, &self.codec.encode_token(i, l, &r));
+                        out.push(dest, &self.codec.encode_token(i, l, &scratch.r));
                         break;
                     }
                 }

@@ -11,7 +11,7 @@
 //! encoders, and the bound calculators all read field widths from the same
 //! place, so the bit conventions cannot drift apart.
 
-use mph_bits::{bits_for_index, BitVec, FieldValue, Layout};
+use mph_bits::{bits_for_index, BitSlice, BitVec, FieldValue, Layout};
 use mph_ram::LineShape;
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +147,30 @@ impl LineParams {
             .expect("query fields sized by params")
     }
 
+    /// Packs a `Line` query `(i, x, r, 0^*)` into `out`, reusing its
+    /// allocation. Byte-identical to [`Self::pack_query`]; `x` and `r` are
+    /// borrowed views, so hot walks never materialize owned blocks.
+    pub fn pack_query_into(&self, i: u64, x: &BitSlice<'_>, r: &BitSlice<'_>, out: &mut BitVec) {
+        assert_eq!(x.len(), self.u, "block width mismatch");
+        assert_eq!(r.len(), self.u, "chain width mismatch");
+        out.clear();
+        out.push_u64(i, self.i_width());
+        out.extend_from_view(x);
+        out.extend_from_view(r);
+        out.extend_zeros(self.n - self.i_width() - 2 * self.u);
+    }
+
+    /// Packs a `SimLine` query `(x, r, 0^*)` into `out`, reusing its
+    /// allocation. Byte-identical to [`Self::pack_simline_query`].
+    pub fn pack_simline_query_into(&self, x: &BitSlice<'_>, r: &BitSlice<'_>, out: &mut BitVec) {
+        assert_eq!(x.len(), self.u, "block width mismatch");
+        assert_eq!(r.len(), self.u, "chain width mismatch");
+        out.clear();
+        out.extend_from_view(x);
+        out.extend_from_view(r);
+        out.extend_zeros(self.n - 2 * self.u);
+    }
+
     /// Extracts the pointer `ℓ` from an answer: the first `⌈log v⌉` bits
     /// reduced mod `v`, a 0-based block index.
     pub fn extract_pointer(&self, answer: &BitVec) -> usize {
@@ -259,6 +283,25 @@ mod tests {
 
         let sq = p.pack_simline_query(&x, &r);
         assert_eq!(p.simline_query_layout().extract(&sq, 0).unwrap(), x);
+    }
+
+    #[test]
+    fn pack_into_matches_allocating_pack() {
+        // The reusable-buffer packers must be byte-identical to the layout
+        // path, including for unaligned views and across buffer reuse.
+        let p = LineParams::new(64, 100, 15, 10);
+        let mut arena = BitVec::zeros(3);
+        let x = BitVec::from_u64(0x5A5A, 15);
+        let r = BitVec::from_u64(0x2BCD, 15);
+        arena.extend_from_view(&x.as_view());
+        arena.extend_from_view(&r.as_view());
+        let (xv, rv) = (arena.view(3, 15), arena.view(18, 15));
+
+        let mut out = BitVec::from_u64(u64::MAX, 64); // dirty buffer
+        p.pack_query_into(37, &xv, &rv, &mut out);
+        assert_eq!(out, p.pack_query(37, &x, &r));
+        p.pack_simline_query_into(&xv, &rv, &mut out);
+        assert_eq!(out, p.pack_simline_query(&x, &r));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::faults::{FaultKind, FaultPlan};
 use crate::machine::{MachineLogic, Outbox, RoundCtx};
 use crate::message::{Inbox, InboxEntry, MachineId, Message};
 use crate::snapshot::{FaultSnapshot, SimulationSnapshot};
+use crate::soa::{compute_min_len, MachinePlanes};
 use crate::stats::{RoundStats, SimStats};
 use mph_bits::BitVec;
 use mph_metrics::{emit, Event, MetricsSink};
@@ -164,6 +165,18 @@ pub struct Simulation {
     /// Last round's consumed entry lists, kept (emptied) so routing refills
     /// them without reallocating.
     scratch_entries: Vec<Vec<InboxEntry>>,
+    /// Dense per-machine planes (incoming bits, message counts) mirroring
+    /// `entries`, maintained at the same sites entries are created and
+    /// destroyed — the round-start memory check scans these words instead
+    /// of walking every entry list.
+    planes: MachinePlanes,
+    /// Next round's planes, filled by the router alongside
+    /// `scratch_entries`; swapped with `planes` at end of round.
+    scratch_planes: MachinePlanes,
+    /// Reusable per-machine compute results (queries made, or the round's
+    /// violation), written in place by the parallel pass so no result
+    /// vector is collected per round.
+    results_plane: Vec<Result<u64, ModelViolation>>,
     /// Per-recipient message counts from the routing count pass, reused
     /// across rounds.
     route_counts: Vec<usize>,
@@ -215,6 +228,9 @@ impl Simulation {
             in_arena: BitVec::new(),
             entries: vec![Vec::new(); m],
             scratch_entries: Vec::new(),
+            planes: MachinePlanes::new(m),
+            scratch_planes: MachinePlanes::new(m),
+            results_plane: Vec::new(),
             route_counts: Vec::new(),
             outboxes: Vec::new(),
             read_outboxes: Vec::new(),
@@ -244,6 +260,8 @@ impl Simulation {
         for entries in &mut self.entries {
             entries.clear();
         }
+        self.planes.reset();
+        self.scratch_planes.reset();
         for outbox in &mut self.read_outboxes {
             outbox.clear();
         }
@@ -353,6 +371,7 @@ impl Simulation {
         let len = payload.len();
         self.in_arena.extend_bits(&payload);
         self.entries[machine].push(InboxEntry { from: machine, offset, len, aux: true });
+        self.planes.add(machine, len);
         self
     }
 
@@ -447,6 +466,7 @@ impl Simulation {
                     len: bits,
                     aux: true,
                 });
+                self.planes.add(msg.to, bits);
             }
             for machine in 0..self.m {
                 if !fs.crashed[machine] && fs.plan.crashes_at(machine, round) {
@@ -457,17 +477,24 @@ impl Simulation {
                     // Entries go; the orphaned arena bits are unreachable
                     // and die with the arena at the end of the round.
                     self.entries[machine].clear();
+                    self.planes.clear_machine(machine);
                 }
             }
         }
 
         // 1. Delivery-time memory check (the paper bounds what a machine
-        //    may *receive*). Entry lists make this a metadata scan: no
-        //    payload word is touched.
+        //    may *receive*). The SoA planes make this a dense scan of
+        //    machine-indexed words: no entry list — let alone payload word
+        //    — is touched.
         let mut max_memory_bits = 0;
         let mut active = 0;
-        for (i, entries) in self.entries.iter().enumerate() {
-            let bits: usize = entries.iter().map(|e| e.len).sum();
+        for i in 0..self.m {
+            let bits = self.planes.bits(i);
+            debug_assert_eq!(
+                bits,
+                self.entries[i].iter().map(|e| e.len).sum::<usize>(),
+                "incoming-bits plane out of sync with entry list of machine {i}"
+            );
             if bits > self.s_bits {
                 return Err(self.observe(ModelViolation::MemoryExceeded {
                     machine: i,
@@ -483,8 +510,11 @@ impl Simulation {
                 });
             }
             max_memory_bits = max_memory_bits.max(bits);
-            if !entries.is_empty() {
+            if self.planes.is_active(i) {
+                debug_assert!(!self.entries[i].is_empty());
                 active += 1;
+            } else {
+                debug_assert!(self.entries[i].is_empty());
             }
         }
 
@@ -507,19 +537,27 @@ impl Simulation {
             faults.as_deref().map(|fs| (fs.crashed.as_slice(), fs.plan));
         let mut pool = std::mem::take(&mut self.outboxes);
         pool.resize_with(m, Outbox::new);
-        // Outboxes stay in place: the parallel pass works through `&mut`
-        // borrows, so only machine-word results cross the join — never the
-        // outboxes themselves (whose arenas would otherwise be memcpy'd
-        // through every intermediate collection).
-        let results: Vec<Result<u64, ModelViolation>> = (&mut pool)
+        let mut results = std::mem::take(&mut self.results_plane);
+        results.clear();
+        results.resize_with(m, || Ok(0));
+        // Outboxes and results stay in place: the parallel pass works
+        // through `&mut` borrows and writes each machine's result into its
+        // slot of the reused plane, so nothing crosses the join — not even
+        // machine words. The chunking hint groups idle machines into the
+        // active machines' chunks (a sparse round — the honest pipeline's
+        // single token walker — runs inline with no pool round-trip).
+        let min_len = compute_min_len(m, active);
+        (&mut pool)
             .into_par_iter()
+            .zip((&mut results).into_par_iter())
             .enumerate()
-            .map(|(id, out)| {
+            .with_min_len(min_len)
+            .map(|(id, (out, slot))| {
                 out.clear();
                 let inbox = Inbox::routed(aux_arena, read_boxes, &entries[id]);
                 if let Some((crashed, plan)) = fault_view {
                     if crashed[id] {
-                        return Ok(0);
+                        return;
                     }
                     if !inbox.is_empty() && plan.oracle_unavailable(id, round) {
                         // Oracle outage voids the round for this machine:
@@ -529,13 +567,13 @@ impl Simulation {
                         for msg in inbox.iter() {
                             out.push_view(id, msg.payload);
                         }
-                        return Ok(0);
+                        return;
                     }
                 }
                 let ctx = RoundCtx::new(id, round, m, oracle, tape, q);
-                machines[id].round(&ctx, &inbox, out).map(|()| ctx.queries_made())
+                *slot = machines[id].round(&ctx, &inbox, out).map(|()| ctx.queries_made());
             })
-            .collect();
+            .collect::<()>();
 
         // Outage events are emitted here, sequentially, by re-deciding the
         // same pure predicate — sinks see a deterministic event order.
@@ -555,12 +593,25 @@ impl Simulation {
         // Surface the first failure in machine order (the parallel pass is
         // deterministic, so "first" is well-defined and reproducible), and
         // fold the per-machine query counts into round totals while at it.
+        // The plane goes back to `self` first so its allocation survives
+        // even a violation round.
         let mut oracle_queries = 0;
         let mut max_queries_one_machine = 0;
-        for result in results {
-            let queries = result.map_err(|v| self.observe(v))?;
-            oracle_queries += queries;
-            max_queries_one_machine = max_queries_one_machine.max(queries);
+        let mut first_violation = None;
+        for slot in &mut results {
+            match std::mem::replace(slot, Ok(0)) {
+                Ok(queries) => {
+                    oracle_queries += queries;
+                    max_queries_one_machine = max_queries_one_machine.max(queries);
+                }
+                Err(v) => {
+                    first_violation.get_or_insert(v);
+                }
+            }
+        }
+        self.results_plane = results;
+        if let Some(v) = first_violation {
+            return Err(self.observe(v));
         }
 
         // 3. Route deterministically in machine order, in two passes.
@@ -611,14 +662,14 @@ impl Simulation {
             entries.reserve(count);
         }
         let outputs_before = self.outputs.len();
-        for (id, outbox) in pool.iter_mut().enumerate() {
-            // Network faults strike between compute and delivery. A
-            // straggling machine delays *all* its cross-machine traffic
-            // for the round; drop/corrupt decisions are per message.
-            let straggling = faults.as_deref().is_some_and(|fs| fs.plan.straggles(id, self.round));
-            for idx in 0..outbox.message_count() {
-                let send = outbox.sends()[idx];
-                if let Some(fs) = faults.as_deref_mut() {
+        if let Some(fs) = faults {
+            for (id, outbox) in pool.iter_mut().enumerate() {
+                // Network faults strike between compute and delivery. A
+                // straggling machine delays *all* its cross-machine traffic
+                // for the round; drop/corrupt decisions are per message.
+                let straggling = fs.plan.straggles(id, self.round);
+                for idx in 0..outbox.message_count() {
+                    let send = outbox.sends()[idx];
                     if fs.crashed[send.to] {
                         // The recipient's memory no longer exists.
                         continue;
@@ -655,19 +706,45 @@ impl Simulation {
                             self.observe_fault(FaultKind::MessageCorrupted, id, self.round);
                         }
                     }
+                    messages += 1;
+                    bits_sent += send.len;
+                    emit(&self.metrics, || Event::MessageRouted { bits: send.len as u64 });
+                    next_entries[send.to].push(InboxEntry {
+                        from: id,
+                        offset: send.offset,
+                        len: send.len,
+                        aux: false,
+                    });
+                    self.scratch_planes.add(send.to, send.len);
                 }
-                messages += 1;
-                bits_sent += send.len;
-                emit(&self.metrics, || Event::MessageRouted { bits: send.len as u64 });
-                next_entries[send.to].push(InboxEntry {
-                    from: id,
-                    offset: send.offset,
-                    len: send.len,
-                    aux: false,
-                });
+                if let Some(out) = outbox.output.take() {
+                    self.outputs.push((id, out));
+                }
             }
-            if let Some(out) = outbox.output.take() {
-                self.outputs.push((id, out));
+        } else {
+            // No fault plan installed — every send survives verbatim, so
+            // delivery is just the bookkeeping itself. This is the loop
+            // every fault-free round (all of them, for a plain
+            // `Simulation`) runs over `m × messages` sends; keeping the
+            // per-message fault decisions out of it is worth several
+            // nanoseconds on each of the window-persistence self-sends
+            // that dominate pipeline traffic.
+            for (id, outbox) in pool.iter_mut().enumerate() {
+                for &send in outbox.sends() {
+                    messages += 1;
+                    bits_sent += send.len;
+                    emit(&self.metrics, || Event::MessageRouted { bits: send.len as u64 });
+                    next_entries[send.to].push(InboxEntry {
+                        from: id,
+                        offset: send.offset,
+                        len: send.len,
+                        aux: false,
+                    });
+                    self.scratch_planes.add(send.to, send.len);
+                }
+                if let Some(out) = outbox.output.take() {
+                    self.outputs.push((id, out));
+                }
             }
         }
 
@@ -699,6 +776,8 @@ impl Simulation {
         self.outboxes = consumed;
         self.in_arena.clear();
         std::mem::swap(&mut self.entries, &mut next_entries);
+        std::mem::swap(&mut self.planes, &mut self.scratch_planes);
+        self.scratch_planes.reset();
         for entries in &mut next_entries {
             entries.clear();
         }
@@ -843,7 +922,9 @@ impl Simulation {
         for outbox in &mut self.read_outboxes {
             outbox.clear();
         }
-        for (entries, saved) in self.entries.iter_mut().zip(&snap.inboxes) {
+        self.planes.reset();
+        self.scratch_planes.reset();
+        for (to, (entries, saved)) in self.entries.iter_mut().zip(&snap.inboxes).enumerate() {
             entries.clear();
             for msg in saved {
                 let offset = arena.len();
@@ -854,6 +935,7 @@ impl Simulation {
                     len: msg.payload.len(),
                     aux: true,
                 });
+                self.planes.add(to, msg.payload.len());
             }
         }
         self.outputs = snap.outputs.clone();

@@ -37,6 +37,7 @@ pub mod input;
 pub mod machine;
 pub mod message;
 pub mod snapshot;
+mod soa;
 pub mod stats;
 
 pub use error::ModelViolation;

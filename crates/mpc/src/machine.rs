@@ -61,6 +61,30 @@ impl Outbox {
         self.sends.push(SendRecord { to, offset, len: payload.len() });
     }
 
+    /// Sends several borrowed views, concatenated back to back, as ONE
+    /// message to `to` — the state-bundling path: a machine persisting
+    /// multi-part cross-round state (e.g. its block window) ships it as a
+    /// single self-message, costing one send record, one routing decision
+    /// and one inbox entry instead of one of each per fragment. The bit
+    /// count on the wire is identical to sending the parts separately.
+    ///
+    /// Pushes nothing when `parts` yields no bits — a zero-length message
+    /// would still count as delivery traffic.
+    pub fn push_concat<'a>(
+        &mut self,
+        to: MachineId,
+        parts: impl IntoIterator<Item = BitSlice<'a>>,
+    ) {
+        let offset = self.payloads.len();
+        for part in parts {
+            self.payloads.extend_from_view(&part);
+        }
+        let len = self.payloads.len() - offset;
+        if len > 0 {
+            self.sends.push(SendRecord { to, offset, len });
+        }
+    }
+
     /// Sets the output contribution.
     pub fn emit(&mut self, output: BitVec) {
         self.output = Some(output);
@@ -189,6 +213,18 @@ impl<'a> RoundCtx<'a> {
     pub fn query_view(&self, input: &BitSlice<'_>) -> Result<BitVec, ModelViolation> {
         self.charge(1)?;
         Ok(self.oracle.query_slice(input))
+    }
+
+    /// Queries the random oracle on a borrowed view, writing the answer
+    /// into a caller-owned buffer — same budget and semantics as
+    /// [`RoundCtx::query_view`], but a caching oracle's warm hit copies the
+    /// interned answer words into `out` with no allocation at all. Loops
+    /// that query once per token (the honest pipeline's round walk) reuse
+    /// one answer buffer across the whole loop.
+    pub fn query_into(&self, input: &BitSlice<'_>, out: &mut BitVec) -> Result<(), ModelViolation> {
+        self.charge(1)?;
+        self.oracle.query_into(input, out);
+        Ok(())
     }
 
     /// Queries the random oracle on a batch of inputs, charging the whole
@@ -376,6 +412,26 @@ mod tests {
         let err = ctx.query_many_views(&views).unwrap_err();
         assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 4 });
         assert_eq!(ctx.queries_made(), 3);
+    }
+
+    #[test]
+    fn ctx_query_into_matches_query_and_charges_budget() {
+        let oracle = LazyOracle::square(1, 16);
+        let tape = RandomTape::new(0);
+        let ctx = RoundCtx::new(0, 0, 1, &oracle, &tape, Some(2));
+        let input = BitVec::from_u64(9, 16);
+        let mut out = BitVec::new();
+        ctx.query_into(&input.as_view(), &mut out).unwrap();
+        assert_eq!(out, oracle.query(&input));
+        assert_eq!(ctx.queries_made(), 1);
+        // The reused buffer is fully overwritten by the next answer.
+        let other = BitVec::from_u64(10, 16);
+        ctx.query_into(&other.as_view(), &mut out).unwrap();
+        assert_eq!(out, oracle.query(&other));
+        // Budget exhausted: the attempt is rejected and not counted.
+        let err = ctx.query_into(&input.as_view(), &mut out).unwrap_err();
+        assert_eq!(err, ModelViolation::QueryBudgetExceeded { machine: 0, round: 0, q: 2 });
+        assert_eq!(ctx.queries_made(), 2);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Dense structure-of-arrays planes of per-machine executor state.
+//!
+//! The executor's per-machine bookkeeping used to live implicitly in its
+//! `Vec<Vec<InboxEntry>>` memory images: the round-start memory check
+//! re-walked every entry list to sum payload lengths, and the parallel
+//! compute pass collected a fresh `Vec<Result<..>>` every round. Both are
+//! per-round costs proportional to structure, not to work.
+//!
+//! [`MachinePlanes`] replaces the walk with two dense `Vec<usize>` planes —
+//! incoming bits and message counts per machine — maintained incrementally
+//! at the few places entries are created or destroyed (seeding, routing,
+//! straggler delivery, crashes, restore). The round-start check becomes a
+//! linear scan of machine-indexed words; the planes are cross-checked
+//! against the entry lists in debug builds.
+
+/// Per-machine delivery-time state as dense machine-indexed planes.
+#[derive(Debug)]
+pub(crate) struct MachinePlanes {
+    /// Incoming bits pending delivery to each machine.
+    bits: Vec<usize>,
+    /// Incoming message count pending delivery to each machine.
+    msgs: Vec<usize>,
+}
+
+impl MachinePlanes {
+    /// Zeroed planes for `m` machines.
+    pub(crate) fn new(m: usize) -> Self {
+        MachinePlanes { bits: vec![0; m], msgs: vec![0; m] }
+    }
+
+    /// Records one pending message of `len` bits for `machine`.
+    pub(crate) fn add(&mut self, machine: usize, len: usize) {
+        self.bits[machine] += len;
+        self.msgs[machine] += 1;
+    }
+
+    /// Forgets everything pending for `machine` (crash-stop: its memory
+    /// image no longer exists).
+    pub(crate) fn clear_machine(&mut self, machine: usize) {
+        self.bits[machine] = 0;
+        self.msgs[machine] = 0;
+    }
+
+    /// Zeroes all planes, keeping their allocation.
+    pub(crate) fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = 0);
+        self.msgs.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Incoming bits pending for `machine`.
+    pub(crate) fn bits(&self, machine: usize) -> usize {
+        self.bits[machine]
+    }
+
+    /// Whether `machine` has any pending message (zero-length messages
+    /// count: an empty payload still activates its recipient).
+    pub(crate) fn is_active(&self, machine: usize) -> bool {
+        self.msgs[machine] > 0
+    }
+}
+
+/// Minimum items per parallel chunk for the compute pass.
+///
+/// The compute pass is a parallel map over all `m` machines, but its work
+/// is concentrated on the `active` machines that received messages — idle
+/// machines return immediately. Dispatching one scheduling unit per idle
+/// machine costs more than the machine's round. Two regimes:
+///
+/// * Small fleets (`m ≤ 8`) or a single active machine: one chunk — the
+///   whole pass runs inline on the calling thread, no pool round-trip.
+///   This is the honest token-walking pipeline's shape (one walker, `m−1`
+///   forwarders) and the per-trial shape under an outer trial-level
+///   parallel sweep, where inner parallelism only adds contention.
+/// * Otherwise: group `⌈m / active⌉` machines per chunk, so the number of
+///   scheduling units tracks the number of machines with actual work.
+///
+/// The choice affects scheduling only, never results: the compat pool
+/// preserves input order and machines are independent within a round.
+pub(crate) fn compute_min_len(m: usize, active: usize) -> usize {
+    const INLINE_MACHINES: usize = 8;
+    if m <= INLINE_MACHINES || active <= 1 {
+        m
+    } else {
+        m.div_ceil(active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_track_adds_and_clears() {
+        let mut p = MachinePlanes::new(3);
+        assert!(!p.is_active(0));
+        p.add(0, 10);
+        p.add(0, 0); // zero-length messages count as messages
+        p.add(2, 7);
+        assert_eq!(p.bits(0), 10);
+        assert!(p.is_active(0));
+        assert_eq!(p.bits(1), 0);
+        assert!(!p.is_active(1));
+        assert_eq!(p.bits(2), 7);
+        p.clear_machine(0);
+        assert_eq!(p.bits(0), 0);
+        assert!(!p.is_active(0));
+        assert!(p.is_active(2));
+        p.reset();
+        assert!(!p.is_active(2));
+        assert_eq!(p.bits(2), 0);
+    }
+
+    #[test]
+    fn min_len_inlines_small_or_sparse_rounds() {
+        // Small fleets and single-walker rounds collapse to one chunk.
+        assert_eq!(compute_min_len(8, 8), 8);
+        assert_eq!(compute_min_len(4, 4), 4);
+        assert_eq!(compute_min_len(64, 1), 64);
+        assert_eq!(compute_min_len(64, 0), 64);
+        // Dense large rounds keep fine-grained chunks.
+        assert_eq!(compute_min_len(64, 64), 1);
+        assert_eq!(compute_min_len(64, 16), 4);
+        // Chunk count tracks active machines, rounding machines up.
+        assert_eq!(compute_min_len(100, 7), 15);
+    }
+}

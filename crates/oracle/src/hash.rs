@@ -13,8 +13,8 @@
 //! evaluate `f^h` on its own.
 
 use crate::sha256::Sha256;
-use crate::traits::{check_input_width, Oracle};
-use mph_bits::BitVec;
+use crate::traits::{check_input_width, with_slice_words, Oracle};
+use mph_bits::{BitSlice, BitVec};
 
 /// A concrete hash function `h : {0,1}^{n_in} → {0,1}^{n_out}` from
 /// SHA-256 in counter mode.
@@ -59,6 +59,29 @@ impl HashOracle {
         let out_blocks = (self.n_out as u64).div_ceil(256);
         in_blocks * out_blocks
     }
+
+    /// Counter-mode expansion to `n_out` bits; `feed_input` supplies the
+    /// query bytes for each per-counter digest, so owned and view-based
+    /// queries funnel through identical byte streams.
+    fn expand(&self, feed_input: impl Fn(&mut Sha256)) -> BitVec {
+        let mut out = BitVec::with_capacity(self.n_out);
+        let mut counter: u64 = 0;
+        while out.len() < self.n_out {
+            let mut h = Sha256::new();
+            h.update(b"mph-oracle/hash/v1");
+            h.update(self.label.as_bytes());
+            h.update(&(self.label.len() as u64).to_le_bytes());
+            h.update(&(self.n_in as u64).to_le_bytes());
+            h.update(&(self.n_out as u64).to_le_bytes());
+            h.update(&counter.to_le_bytes());
+            feed_input(&mut h);
+            let digest = h.finalize();
+            let take = (self.n_out - out.len()).min(256);
+            out.extend_bits(&BitVec::from_bytes(&digest).slice(0, take));
+            counter += 1;
+        }
+        out
+    }
 }
 
 impl Oracle for HashOracle {
@@ -72,24 +95,22 @@ impl Oracle for HashOracle {
 
     fn query(&self, input: &BitVec) -> BitVec {
         check_input_width("HashOracle", self.n_in, input);
-        let input_bytes = input.to_bytes();
-        let mut out = BitVec::with_capacity(self.n_out);
-        let mut counter: u64 = 0;
-        while out.len() < self.n_out {
-            let mut h = Sha256::new();
-            h.update(b"mph-oracle/hash/v1");
-            h.update(self.label.as_bytes());
-            h.update(&(self.label.len() as u64).to_le_bytes());
-            h.update(&(self.n_in as u64).to_le_bytes());
-            h.update(&(self.n_out as u64).to_le_bytes());
-            h.update(&counter.to_le_bytes());
-            h.update(&input_bytes);
-            let digest = h.finalize();
-            let take = (self.n_out - out.len()).min(256);
-            out.extend_bits(&BitVec::from_bytes(&digest).slice(0, take));
-            counter += 1;
-        }
-        out
+        // `BitVec` keeps tail bits beyond `len` zero, so feeding the words
+        // directly reproduces the byte stream `to_bytes` used to build —
+        // one fewer `Vec` per query, and per counter block the input is
+        // re-fed word-wise straight into the compression function.
+        self.expand(|h| h.update_words(input.words(), input.len()))
+    }
+
+    fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
+        assert_eq!(
+            input.len(),
+            self.n_in,
+            "HashOracle: query width {} does not match oracle domain {}",
+            input.len(),
+            self.n_in
+        );
+        with_slice_words(input, |words| self.expand(|h| h.update_words(words, input.len())))
     }
 }
 
@@ -145,6 +166,25 @@ mod tests {
         assert!(wide_out > small);
         let wide_in = HashOracle::new("c", 1 << 12, 64).time_cost();
         assert!(wide_in > small);
+    }
+
+    #[test]
+    fn slice_queries_stream_identically() {
+        // Aligned and unaligned views of every width — including widths
+        // whose final byte is partial and widths needing counter-mode
+        // expansion — must answer exactly like the owned path.
+        for n in [1usize, 7, 8, 24, 63, 64, 65, 130, 300] {
+            let h = HashOracle::new("slice", n, 300);
+            let mut query = BitVec::zeros(n);
+            for i in (0..n).step_by(3) {
+                query.set(i, true);
+            }
+            let owned = h.query(&query);
+            assert_eq!(h.query_slice(&query.as_view()), owned, "aligned, n = {n}");
+            let mut arena = BitVec::from_u64(0b11, 2); // force unaligned offset
+            arena.extend_bits(&query);
+            assert_eq!(h.query_slice(&arena.view(2, n)), owned, "unaligned, n = {n}");
+        }
     }
 
     #[test]

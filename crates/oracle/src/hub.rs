@@ -214,6 +214,30 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_hub_swaps_cleanly_at_the_boundary() {
+        // The tightest hub: every checkout of a *different* identity evicts
+        // the sole resident table, while re-checkouts keep sharing it.
+        let hub = OracleHub::new(1);
+        let a = hub.square(1, 16);
+        let q = BitVec::from_u64(4, 16);
+        a.query(&q);
+        assert!(Arc::ptr_eq(&a, &hub.square(1, 16)), "re-checkout shares");
+        assert_eq!(hub.len(), 1);
+
+        // A second identity displaces the first — the hub never exceeds 1.
+        let b = hub.square(2, 16);
+        assert_eq!(hub.len(), 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        // The displaced table keeps working for holders of its Arc…
+        assert_eq!(a.query(&q), LazyOracle::square(1, 16).query(&q));
+        assert_eq!(a.hits(), 1);
+        // …but a re-checkout of its identity comes back cold, and correct.
+        let a2 = hub.square(1, 16);
+        assert_eq!(a2.hits() + a2.misses(), 0);
+        assert_eq!(a2.query(&q), LazyOracle::square(1, 16).query(&q));
+    }
+
+    #[test]
     fn session_views_patch_in_isolation() {
         let hub = OracleHub::new(4);
         let q = BitVec::from_u64(5, 16);

@@ -16,7 +16,7 @@
 //! experiments are bit-reproducible from `(seed, parameters)`.
 
 use crate::sha256::Sha256;
-use crate::traits::{check_input_width, Oracle};
+use crate::traits::{check_input_width, with_slice_words, Oracle};
 use mph_bits::{BitSlice, BitVec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -94,7 +94,10 @@ impl Oracle for LazyOracle {
 
     fn query(&self, input: &BitVec) -> BitVec {
         check_input_width("LazyOracle", self.n_in, input);
-        self.derive(|h| h.update(&input.to_bytes()))
+        // Feed the key schedule straight from the query's words — no
+        // intermediate byte `Vec`. `BitVec` keeps tail bits beyond `len`
+        // zero, so the word stream is byte-for-byte the old `to_bytes` feed.
+        self.derive(|h| h.update_words(input.words(), input.len()))
     }
 
     fn query_slice(&self, input: &BitSlice<'_>) -> BitVec {
@@ -106,17 +109,10 @@ impl Oracle for LazyOracle {
             self.n_in
         );
         // Stream the view's words into the digest without materializing the
-        // query: each 64-bit chunk contributes exactly the bytes
-        // `BitVec::to_bytes` would produce for it (final byte zero-padded),
-        // so the key — and therefore the answer — equals the owned path's.
-        self.derive(|h| {
-            let n_bytes = input.len().div_ceil(8);
-            for i in 0..input.n_words() {
-                let bytes = input.read_word(i).to_le_bytes();
-                let take = (n_bytes - i * 8).min(8);
-                h.update(&bytes[..take]);
-            }
-        })
+        // query: `read_word` masks tail bits to zero, so the gathered words
+        // contribute exactly the bytes `BitVec::to_bytes` would produce and
+        // the key — therefore the answer — equals the owned path's.
+        self.derive(|h| with_slice_words(input, |words| h.update_words(words, input.len())))
     }
 }
 

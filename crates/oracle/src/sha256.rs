@@ -100,6 +100,82 @@ impl Sha256 {
         }
     }
 
+    /// Absorbs `bit_len` bits presented as little-endian packed `u64`
+    /// words — the `mph-bits` backing representation, where byte `i` of
+    /// the message is byte `i % 8` of `words[i / 8]`.
+    ///
+    /// Exactly equivalent to [`Sha256::update`] on the packed byte
+    /// serialization (`BitVec::to_bytes`), without materializing it:
+    /// whole 64-byte blocks are fed to the compression function straight
+    /// from the words. When the stream is byte-misaligned inside the
+    /// words (the usual case after a domain-separation prefix), each
+    /// schedule word is the branch-free combination of two neighbouring
+    /// input words.
+    pub fn update_words(&mut self, words: &[u64], bit_len: usize) {
+        let n_bytes = bit_len.div_ceil(8);
+        debug_assert!(words.len() >= n_bytes.div_ceil(8), "word slice shorter than bit length");
+        self.total_len =
+            self.total_len.checked_add(n_bytes as u64).expect("SHA-256 message length overflow");
+
+        let mut pos = 0usize; // next message byte to consume
+                              // Route bytes through the byte buffer until it reaches a block
+                              // boundary (or the message ends).
+        if self.buffer_len > 0 {
+            while pos < n_bytes && self.buffer_len < 64 {
+                let bytes = words[pos / 8].to_le_bytes();
+                let in_word = pos % 8;
+                let take = (8 - in_word).min(n_bytes - pos).min(64 - self.buffer_len);
+                self.buffer[self.buffer_len..self.buffer_len + take]
+                    .copy_from_slice(&bytes[in_word..in_word + take]);
+                self.buffer_len += take;
+                pos += take;
+            }
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        // Whole 64-byte blocks straight from the words. `r` is the byte
+        // misalignment of the stream within the words — fixed from here
+        // on, so the schedule head is built without per-byte branches.
+        let r = pos % 8;
+        while n_bytes - pos >= 64 {
+            let base = pos / 8;
+            let mut block = [0u32; 16];
+            if r == 0 {
+                for i in 0..8 {
+                    let w = words[base + i];
+                    block[2 * i] = (w as u32).swap_bytes();
+                    block[2 * i + 1] = ((w >> 32) as u32).swap_bytes();
+                }
+            } else {
+                let shift = 8 * r as u32;
+                let mut prev = words[base] >> shift;
+                for i in 0..8 {
+                    let next = words[base + i + 1];
+                    let w = prev | (next << (64 - shift));
+                    block[2 * i] = (w as u32).swap_bytes();
+                    block[2 * i + 1] = ((w >> 32) as u32).swap_bytes();
+                    prev = next >> shift;
+                }
+            }
+            self.compress_words(&block);
+            pos += 64;
+        }
+        // Stash the sub-block tail in the byte buffer.
+        while pos < n_bytes {
+            let bytes = words[pos / 8].to_le_bytes();
+            let in_word = pos % 8;
+            let take = (8 - in_word).min(n_bytes - pos);
+            self.buffer[self.buffer_len..self.buffer_len + take]
+                .copy_from_slice(&bytes[in_word..in_word + take]);
+            self.buffer_len += take;
+            pos += take;
+        }
+        debug_assert!(self.buffer_len < 64);
+    }
+
     /// Completes the hash, returning the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
@@ -132,10 +208,18 @@ impl Sha256 {
 
     /// The SHA-256 compression function on one 64-byte block.
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
+        let mut head = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+            head[i] = u32::from_be_bytes(chunk.try_into().unwrap());
         }
+        self.compress_words(&head);
+    }
+
+    /// The compression function on one block given as its 16 big-endian
+    /// schedule head words (the word-streaming entry point).
+    fn compress_words(&mut self, head: &[u32; 16]) {
+        let mut w = [0u32; 64];
+        w[..16].copy_from_slice(head);
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
             let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
@@ -272,6 +356,79 @@ mod tests {
         let d1 = sha256(b"input-1");
         let d2 = sha256(b"input-2");
         assert_ne!(d1, d2);
+    }
+
+    /// Packs a byte message into little-endian u64 words, the `mph-bits`
+    /// backing layout.
+    fn to_words(bytes: &[u8]) -> Vec<u64> {
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        for (i, &b) in bytes.iter().enumerate() {
+            words[i / 8] |= u64::from(b) << (8 * (i % 8));
+        }
+        words
+    }
+
+    #[test]
+    fn update_words_equals_update_on_fips_vectors() {
+        let million = vec![b'a'; 1_000_000];
+        let vectors: [&[u8]; 4] =
+            [b"", b"abc", b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq", &million];
+        for msg in vectors {
+            let mut h = Sha256::new();
+            h.update_words(&to_words(msg), msg.len() * 8);
+            assert_eq!(h.finalize(), sha256(msg), "len {}", msg.len());
+        }
+    }
+
+    #[test]
+    fn update_words_equals_update_across_block_boundaries() {
+        // Every combination of a byte prefix (misaligning the buffer by
+        // 0..64 bytes, covering the domain-prefix case) and a word-fed
+        // message length straddling one/two/three blocks.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(0x9e37) >> 3) as u8).collect();
+        for prefix in [0usize, 1, 7, 8, 22, 42, 55, 56, 63] {
+            for len in [0usize, 1, 7, 8, 9, 21, 22, 63, 64, 65, 127, 128, 129, 200, 256, 300] {
+                let msg = &data[..len];
+                let mut via_words = Sha256::new();
+                via_words.update(&data[1000..1000 + prefix]);
+                via_words.update_words(&to_words(msg), len * 8);
+                let mut via_bytes = Sha256::new();
+                via_bytes.update(&data[1000..1000 + prefix]);
+                via_bytes.update(msg);
+                assert_eq!(via_words.finalize(), via_bytes.finalize(), "prefix {prefix} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn update_words_respects_sub_byte_bit_lengths() {
+        // A bit length that is not a whole number of bytes hashes exactly
+        // ceil(bit_len / 8) bytes — matching BitVec::to_bytes, whose
+        // trailing partial byte carries zero padding bits in the words.
+        for bit_len in [1usize, 3, 9, 17, 170, 513] {
+            let n_bytes = bit_len.div_ceil(8);
+            let mut bytes: Vec<u8> = (0..n_bytes as u32).map(|i| (i * 37 + 11) as u8).collect();
+            // Zero the padding bits of the last byte, as the BitVec
+            // invariant guarantees.
+            let tail_bits = bit_len % 8;
+            if tail_bits != 0 {
+                bytes[n_bytes - 1] &= (1u8 << tail_bits) - 1;
+            }
+            let mut h = Sha256::new();
+            h.update_words(&to_words(&bytes), bit_len);
+            assert_eq!(h.finalize(), sha256(&bytes), "bit_len {bit_len}");
+        }
+    }
+
+    #[test]
+    fn update_words_interleaves_with_update() {
+        // words → bytes → words chaining stays equivalent to one byte run.
+        let data: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        let mut mixed = Sha256::new();
+        mixed.update_words(&to_words(&data[..40]), 40 * 8);
+        mixed.update(&data[40..100]);
+        mixed.update_words(&to_words(&data[100..]), (data.len() - 100) * 8);
+        assert_eq!(mixed.finalize(), sha256(&data));
     }
 }
 

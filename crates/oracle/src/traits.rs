@@ -61,6 +61,42 @@ pub trait Oracle: Send + Sync {
     fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
         inputs.iter().map(|input| self.query_slice(input)).collect()
     }
+
+    /// Evaluates the oracle on a borrowed view, writing the answer into a
+    /// caller-owned buffer — the allocation-free entry point of the hot
+    /// query path.
+    ///
+    /// Semantically identical to `*out = self.query_slice(input)`; the
+    /// default does exactly that. [`crate::CachedOracle`] overrides this so
+    /// a warm hit copies the interned answer words straight into `out`
+    /// without allocating, letting callers that loop (`RoundCtx::query` in
+    /// the executor's compute phase) reuse one scratch `BitVec` across
+    /// queries.
+    fn query_into(&self, input: &BitSlice<'_>, out: &mut BitVec) {
+        *out = self.query_slice(input);
+    }
+
+    /// Evaluates the oracle on a batch of borrowed views, concatenating the
+    /// answers into one caller-owned buffer: answer `i` occupies bits
+    /// `i * n_out .. (i + 1) * n_out` of `out` (whose prior contents are
+    /// replaced).
+    ///
+    /// This is the batch counterpart of [`Oracle::query_into`]: one buffer
+    /// is (re)filled for the whole batch instead of one heap-owned answer
+    /// per query, so a caller that drains batches in a loop performs no
+    /// steady-state allocation. Semantically it is exactly
+    /// [`Oracle::query_many_slices`] flattened — the default resolves each
+    /// view through [`Oracle::query_into`] and appends. [`crate::CachedOracle`]
+    /// overrides it to copy warm answers from the memo arena straight into
+    /// `out`, skipping the per-answer `BitVec` entirely.
+    fn query_many_into(&self, inputs: &[BitSlice<'_>], out: &mut BitVec) {
+        out.clear();
+        let mut scratch = BitVec::new();
+        for input in inputs {
+            self.query_into(input, &mut scratch);
+            out.extend_bits(&scratch);
+        }
+    }
 }
 
 /// A shareable, dynamically typed oracle handle.
@@ -94,6 +130,14 @@ impl<T: Oracle + ?Sized> Oracle for Arc<T> {
     fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
         (**self).query_many_slices(inputs)
     }
+
+    fn query_into(&self, input: &BitSlice<'_>, out: &mut BitVec) {
+        (**self).query_into(input, out)
+    }
+
+    fn query_many_into(&self, inputs: &[BitSlice<'_>], out: &mut BitVec) {
+        (**self).query_many_into(inputs, out)
+    }
 }
 
 impl<T: Oracle + ?Sized> Oracle for &T {
@@ -119,6 +163,37 @@ impl<T: Oracle + ?Sized> Oracle for &T {
 
     fn query_many_slices(&self, inputs: &[BitSlice<'_>]) -> Vec<BitVec> {
         (**self).query_many_slices(inputs)
+    }
+
+    fn query_into(&self, input: &BitSlice<'_>, out: &mut BitVec) {
+        (**self).query_into(input, out)
+    }
+
+    fn query_many_into(&self, inputs: &[BitSlice<'_>], out: &mut BitVec) {
+        (**self).query_many_into(inputs, out)
+    }
+}
+
+/// Calls `f` with the words of `input` gathered into a contiguous slice,
+/// using a stack buffer for every realistic oracle width (≤ 2048 bits) and
+/// falling back to a heap allocation only beyond it.
+///
+/// The gathered words are exactly what `BitSlice::read_word` yields —
+/// tail bits beyond `input.len()` are zero — so feeding them to
+/// `Sha256::update_words` produces the byte stream `BitVec::to_bytes`
+/// would have produced for the owned copy of the view.
+#[inline]
+pub(crate) fn with_slice_words<R>(input: &BitSlice<'_>, f: impl FnOnce(&[u64]) -> R) -> R {
+    let n_words = input.n_words();
+    if n_words <= 32 {
+        let mut buf = [0u64; 32];
+        for (i, slot) in buf[..n_words].iter_mut().enumerate() {
+            *slot = input.read_word(i);
+        }
+        f(&buf[..n_words])
+    } else {
+        let words: Vec<u64> = (0..n_words).map(|i| input.read_word(i)).collect();
+        f(&words)
     }
 }
 
@@ -209,5 +284,64 @@ mod tests {
         assert_eq!(arc.query_slice(&views[1]), arc.query(&owned[1]));
         let r: &dyn Oracle = &*arc;
         assert_eq!((&r).query_many_slices(&views), arc.query_many(&owned));
+    }
+
+    #[test]
+    fn query_into_matches_query_through_every_forwarding_layer() {
+        let oracle = XorOracle { n: 8 };
+        let mut arena = BitVec::from_u64(0b101, 3);
+        arena.extend_bits(&BitVec::from_u64(0xA5, 8));
+        let view = arena.view(3, 8);
+        let expected = oracle.query(&view.to_bitvec());
+        let mut out = BitVec::zeros(1); // wrong width: query_into must replace it
+        oracle.query_into(&view, &mut out);
+        assert_eq!(out, expected);
+        let arc: DynOracle = Arc::new(XorOracle { n: 8 });
+        arc.query_into(&view, &mut out);
+        assert_eq!(out, expected);
+        let r: &dyn Oracle = &*arc;
+        (&r).query_into(&view, &mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn query_many_into_concatenates_answers() {
+        let oracle = XorOracle { n: 8 };
+        let inputs: Vec<BitVec> = (0..5).map(|i| BitVec::from_u64(i, 8)).collect();
+        let views: Vec<BitSlice<'_>> = inputs.iter().map(|q| q.as_view()).collect();
+        let mut out = BitVec::from_u64(1, 1); // prior contents must be replaced
+        oracle.query_many_into(&views, &mut out);
+        assert_eq!(out.len(), 5 * 8);
+        for (i, q) in inputs.iter().enumerate() {
+            assert_eq!(out.slice(i * 8, 8), oracle.query(q), "answer {i}");
+        }
+        // Arc and &T forwarding reach the same implementation.
+        let arc: DynOracle = Arc::new(XorOracle { n: 8 });
+        let mut forwarded = BitVec::new();
+        arc.query_many_into(&views, &mut forwarded);
+        assert_eq!(forwarded, out);
+        let r: &dyn Oracle = &*arc;
+        forwarded.clear();
+        (&r).query_many_into(&views, &mut forwarded);
+        assert_eq!(forwarded, out);
+    }
+
+    #[test]
+    fn with_slice_words_gathers_masked_words() {
+        // Small (stack) and large (heap) gathers both reproduce the owned
+        // word stream, tail bits zeroed.
+        for n in [5usize, 64, 130, 32 * 64, 32 * 64 + 7] {
+            let mut arena = BitVec::from_u64(0b1, 1);
+            let mut payload = BitVec::zeros(n);
+            for i in (0..n).step_by(3) {
+                payload.set(i, true);
+            }
+            arena.extend_bits(&payload);
+            let view = arena.view(1, n);
+            with_slice_words(&view, |words| {
+                assert_eq!(words.len(), payload.words().len(), "n = {n}");
+                assert_eq!(words, payload.words(), "n = {n}");
+            });
+        }
     }
 }

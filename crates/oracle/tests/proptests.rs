@@ -8,7 +8,114 @@ use mph_oracle::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Executable specification of the historic `CachedOracle`: FNV-sharded
+/// `HashMap` stripes with per-shard FIFO eviction. The fingerprint-index
+/// implementation must be observationally indistinguishable from this —
+/// answers, hit/miss totals, and canonical entry order included.
+struct ModelCache {
+    shards: Vec<(HashMap<BitVec, BitVec>, VecDeque<BitVec>)>,
+    capacity_per_shard: usize,
+    hits: u64,
+    misses: u64,
+}
+
+const MODEL_SHARDS: usize = 16;
+
+impl ModelCache {
+    fn new(capacity: usize) -> Self {
+        ModelCache {
+            shards: (0..MODEL_SHARDS).map(|_| Default::default()).collect(),
+            capacity_per_shard: capacity.div_ceil(MODEL_SHARDS),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn shard_index(input: &BitVec) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &word in input.words() {
+            h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ input.len() as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        (h as usize) & (MODEL_SHARDS - 1)
+    }
+
+    fn query(&mut self, input: &BitVec, inner: &impl Oracle) -> BitVec {
+        let (map, order) = &mut self.shards[Self::shard_index(input)];
+        if let Some(answer) = map.get(input) {
+            self.hits += 1;
+            return answer.clone();
+        }
+        self.misses += 1;
+        let answer = inner.query(input);
+        if map.len() >= self.capacity_per_shard {
+            if let Some(oldest) = order.pop_front() {
+                map.remove(&oldest);
+            }
+        }
+        map.insert(input.clone(), answer.clone());
+        order.push_back(input.clone());
+        answer
+    }
+
+    /// Shard-by-shard FIFO — the canonical order `entries()` pins.
+    fn entries(&self) -> Vec<(BitVec, BitVec)> {
+        let mut out = Vec::new();
+        for (map, order) in &self.shards {
+            for key in order {
+                out.push((key.clone(), map[key].clone()));
+            }
+        }
+        out
+    }
+
+    /// The grouped batch semantics of `CachedOracle::query_many`: shards in
+    /// index order, each shard's queries classified in batch order against
+    /// the shard state *at batch entry* (pending misses deduplicate as
+    /// hits), then every distinct miss derived once and interned in
+    /// first-occurrence order with FIFO eviction.
+    fn query_many(&mut self, batch: &[BitVec], inner: &impl Oracle) -> Vec<BitVec> {
+        let mut answers: Vec<Option<BitVec>> = vec![None; batch.len()];
+        for shard in 0..MODEL_SHARDS {
+            let mut uniq: Vec<usize> = Vec::new();
+            let mut members: Vec<(usize, usize)> = Vec::new();
+            for (i, qb) in batch.iter().enumerate() {
+                if Self::shard_index(qb) != shard {
+                    continue;
+                }
+                if let Some(answer) = self.shards[shard].0.get(qb) {
+                    self.hits += 1;
+                    answers[i] = Some(answer.clone());
+                } else if let Some(j) = uniq.iter().position(|&u| &batch[u] == qb) {
+                    self.hits += 1;
+                    members.push((i, j));
+                } else {
+                    self.misses += 1;
+                    members.push((i, uniq.len()));
+                    uniq.push(i);
+                }
+            }
+            let fresh: Vec<BitVec> = uniq.iter().map(|&u| inner.query(&batch[u])).collect();
+            for (&u, answer) in uniq.iter().zip(&fresh) {
+                let (map, order) = &mut self.shards[shard];
+                if map.len() >= self.capacity_per_shard {
+                    if let Some(oldest) = order.pop_front() {
+                        map.remove(&oldest);
+                    }
+                }
+                map.insert(batch[u].clone(), answer.clone());
+                order.push_back(batch[u].clone());
+            }
+            for (i, j) in members {
+                answers[i] = Some(fresh[j].clone());
+            }
+        }
+        answers.into_iter().map(|a| a.expect("every index resolved")).collect()
+    }
+}
 
 proptest! {
     /// A patched oracle agrees with its base everywhere off the patch set
@@ -128,6 +235,61 @@ proptest! {
             prop_assert_eq!(a, &bare.query(qb));
         }
         prop_assert_eq!(cached.hits() + cached.misses(), 2 * queries.len() as u64);
+    }
+
+    /// The fingerprint-index cache is byte-identical to the historic
+    /// HashMap cache on arbitrary single-query sequences: same answers,
+    /// same hit/miss totals, same eviction order (via the canonical
+    /// `entries()` listing), and the snapshot export/import round-trips.
+    #[test]
+    fn fingerprint_cache_matches_hashmap_model(
+        seed in any::<u64>(),
+        queries in prop::collection::vec(0u64..48, 1..120),
+        capacity in 1usize..80,
+    ) {
+        let bare = LazyOracle::square(seed, 18);
+        let cached = CachedOracle::with_capacity(LazyOracle::square(seed, 18), capacity);
+        let mut model = ModelCache::new(capacity);
+        for &q in &queries {
+            let qb = BitVec::from_u64(q, 18);
+            let expected = model.query(&qb, &bare);
+            prop_assert_eq!(cached.query(&qb), expected);
+        }
+        prop_assert_eq!((cached.hits(), cached.misses()), (model.hits, model.misses));
+        prop_assert_eq!(cached.entries(), model.entries());
+        // Snapshot round-trip: a restored cache carries the same entries in
+        // the same canonical order, and restoring counts nothing.
+        let restored = CachedOracle::with_capacity(LazyOracle::square(seed, 18), capacity);
+        restored.restore_entries(cached.entries());
+        prop_assert_eq!(restored.entries(), cached.entries());
+        prop_assert_eq!((restored.hits(), restored.misses()), (0, 0));
+    }
+
+    /// The grouped batch path matches its executable model over multiple
+    /// successive batches: answers equal the bare oracle's, hit/miss
+    /// classification and interning order (via `entries()`) follow the
+    /// documented grouped semantics, even under capacity pressure.
+    #[test]
+    fn batched_fingerprint_cache_matches_grouped_model(
+        seed in any::<u64>(),
+        queries in prop::collection::vec(0u64..32, 2..100),
+        capacity in 1usize..80,
+    ) {
+        let bare = LazyOracle::square(seed, 18);
+        let cached = CachedOracle::with_capacity(LazyOracle::square(seed, 18), capacity);
+        let mut model = ModelCache::new(capacity);
+        // Split into two batches so the second sees a warm, shared cache.
+        for chunk in queries.chunks(queries.len().div_ceil(2)) {
+            let batch: Vec<BitVec> = chunk.iter().map(|&q| BitVec::from_u64(q, 18)).collect();
+            let answers = cached.query_many(&batch);
+            let expected = model.query_many(&batch, &bare);
+            for ((qb, a), e) in batch.iter().zip(&answers).zip(&expected) {
+                prop_assert_eq!(a, e);
+                prop_assert_eq!(a, &bare.query(qb));
+            }
+        }
+        prop_assert_eq!((cached.hits(), cached.misses()), (model.hits, model.misses));
+        prop_assert_eq!(cached.entries(), model.entries());
     }
 
     /// The lazy oracle is a function: equal queries get equal answers; and

@@ -94,6 +94,11 @@ pub struct GridSpec {
     pub seed: u64,
     /// Round cap per trial.
     pub max_rounds: usize,
+    /// Per-machine memory override in bits; `None` runs every cell at
+    /// the pipeline's required memory (the historical behaviour).
+    pub s_bits: Option<usize>,
+    /// Per-round oracle query budget; `None` leaves it unenforced.
+    pub q: Option<u64>,
     /// Whether the session checkpoints through the snapshot container
     /// (durable sessions resume byte-identically after a server kill).
     pub durable: bool,
@@ -113,6 +118,8 @@ impl Default for GridSpec {
             trials: 3,
             seed: 100,
             max_rounds: 10_000,
+            s_bits: None,
+            q: None,
             durable: true,
             checkpoint_every: 4,
         }
@@ -129,6 +136,11 @@ mod limits {
     pub const MAX_WINDOWS: usize = 256;
     pub const MAX_TRIALS: usize = 10_000;
     pub const MAX_ROUNDS: usize = 10_000_000;
+    /// 8 MiB of per-machine memory — far above any demo-instance
+    /// `required_s`, far below an allocation a client could hurt us with.
+    pub const MAX_S_BITS: u64 = 1 << 26;
+    /// Query budgets above this can never bind on the demo family.
+    pub const MAX_Q: u64 = 1 << 32;
 }
 
 fn field_u64(params: &Json, key: &str, default: u64, max: u64) -> Result<u64, ProtoError> {
@@ -141,6 +153,22 @@ fn field_u64(params: &Json, key: &str, default: u64, max: u64) -> Result<u64, Pr
                 return Err(ProtoError::bad(format!("{key} must be in 1..={max}")));
             }
             Ok(n)
+        }
+    }
+}
+
+/// An optional field with no default: absent stays `None`, present is
+/// range-checked into `Some`.
+fn field_opt_u64(params: &Json, key: &str, max: u64) -> Result<Option<u64>, ProtoError> {
+    match get(params, key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = as_u64(v)
+                .ok_or_else(|| ProtoError::bad(format!("{key} must be a non-negative integer")))?;
+            if n < 1 || n > max {
+                return Err(ProtoError::bad(format!("{key} must be in 1..={max}")));
+            }
+            Ok(Some(n))
         }
     }
 }
@@ -213,6 +241,8 @@ impl GridSpec {
         let max_rounds =
             field_u64(params, "max_rounds", d.max_rounds as u64, limits::MAX_ROUNDS as u64)?
                 as usize;
+        let s_bits = field_opt_u64(params, "s_bits", limits::MAX_S_BITS)?.map(|n| n as usize);
+        let q = field_opt_u64(params, "q", limits::MAX_Q)?;
         let durable = match get(params, "durable") {
             None => d.durable,
             Some(v) => as_bool(v).ok_or_else(|| ProtoError::bad("durable must be a boolean"))?,
@@ -235,6 +265,8 @@ impl GridSpec {
             trials,
             seed,
             max_rounds,
+            s_bits,
+            q,
             durable,
             checkpoint_every,
         })
@@ -243,8 +275,12 @@ impl GridSpec {
     /// The resolved spec as a canonical JSON object: every field, fixed
     /// order. Equal specs — regardless of which fields the client spelled
     /// out — render identical bytes, which keys the session.
+    ///
+    /// `s_bits` and `q` appear only when set: a spec that leaves them at
+    /// their defaults renders the exact bytes it did before the fields
+    /// existed, so pre-existing durable sessions keep their keys.
     pub fn canonical_json(&self) -> Json {
-        Json::object([
+        let mut fields = vec![
             ("exp", Json::str(&self.exp)),
             ("target", Json::str(&self.target)),
             ("w", Json::u64(self.w)),
@@ -254,7 +290,14 @@ impl GridSpec {
             ("trials", Json::u64(self.trials as u64)),
             ("seed", Json::u64(self.seed)),
             ("max_rounds", Json::u64(self.max_rounds as u64)),
-        ])
+        ];
+        if let Some(s) = self.s_bits {
+            fields.push(("s_bits", Json::u64(s as u64)));
+        }
+        if let Some(q) = self.q {
+            fields.push(("q", Json::u64(q)));
+        }
+        Json::object(fields)
     }
 
     /// The durable session key: FNV-1a over the canonical spec bytes,
@@ -400,12 +443,45 @@ mod tests {
             (r#"{"id":"a","method":"submit","params":{"windows":[99]}}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"submit","params":{"exp":"BAD NAME"}}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"submit","params":{"w":0}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"s_bits":0}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"s_bits":67108865}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"s_bits":"big"}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"q":0}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"q":4294967297}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"q":true}}"#, ErrorCode::BadRequest),
         ] {
             match parse_request(line) {
                 Err((_, e)) => assert_eq!(e.code, want, "line {line}"),
                 Ok(req) => panic!("{line} should be rejected, parsed {req:?}"),
             }
         }
+    }
+
+    #[test]
+    fn overrides_parse_validate_and_fork_the_session_key() {
+        // Absent → None, and the canonical bytes carry neither key, so
+        // sessions created before the fields existed keep their keys.
+        let plain = GridSpec::default();
+        let rendered = plain.canonical_json().to_string();
+        assert!(!rendered.contains("s_bits") && !rendered.contains("\"q\""), "{rendered}");
+
+        // Present → parsed, range-checked, and part of the identity.
+        let req =
+            parse_request(r#"{"id":"a","method":"submit","params":{"s_bits":4096,"q":67108864}}"#)
+                .expect("parses");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(spec.s_bits, Some(4096));
+        assert_eq!(spec.q, Some(67_108_864));
+        assert_ne!(spec.session_key(), plain.session_key());
+
+        // The extreme legal values round-trip.
+        let req = parse_request(
+            r#"{"id":"a","method":"submit","params":{"s_bits":67108864,"q":4294967296}}"#,
+        )
+        .expect("max values parse");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(spec.s_bits, Some(1 << 26));
+        assert_eq!(spec.q, Some(1 << 32));
     }
 
     #[test]

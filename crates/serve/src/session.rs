@@ -55,13 +55,18 @@ pub fn grid_for_spec(
             .iter()
             .map(|&window| {
                 let pipeline = setup::demo_pipeline(spec.w, spec.v, spec.m, window, target);
-                let cell = Cell::new(
+                let mut cell = Cell::new(
                     format!("window={window}"),
                     pipeline,
                     spec.trials,
                     spec.seed,
                     spec.max_rounds,
                 );
+                // A too-small memory override is the experiment's data,
+                // not a protocol error: the cell degrades or fails with
+                // a reason, never a panic (pinned by the sweep tests).
+                cell.s_bits = spec.s_bits;
+                cell.q = spec.q;
                 match hub {
                     Some(hub) => cell.with_hub(Arc::clone(hub)),
                     None => cell,
@@ -138,10 +143,16 @@ pub fn render_report(spec: &GridSpec, results: &[CellResult]) -> SessionOutcome 
         .kv("m", spec.m)
         .kv("trials", spec.trials)
         .kv("seed", spec.seed)
-        .kv("max_rounds", spec.max_rounds)
-        .kv("session", spec.session_key())
-        .kv("degraded", is_degraded)
-        .end_block();
+        .kv("max_rounds", spec.max_rounds);
+    // Overrides render only when set, so default-spec reports keep their
+    // historical bytes (the determinism tests compare them verbatim).
+    if let Some(s) = spec.s_bits {
+        r.kv("s_bits", s);
+    }
+    if let Some(q) = spec.q {
+        r.kv("q", q);
+    }
+    r.kv("session", spec.session_key()).kv("degraded", is_degraded).end_block();
     r.h2("sweep");
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -282,6 +293,23 @@ mod tests {
         assert_eq!(resumed.report.to_string(), reference.report.to_string());
         assert_eq!(resumed.markdown, reference.markdown);
         checkpoint::clean_dir(&root);
+    }
+
+    #[test]
+    fn memory_and_query_overrides_reach_the_cells() {
+        let spec =
+            GridSpec { s_bits: Some(1), q: Some(64), windows: vec![2], ..GridSpec::default() };
+        let cells = grid_for_spec(&spec, None).expect("grid");
+        assert_eq!(cells[0].s_bits, Some(1));
+        assert_eq!(cells[0].q, Some(64));
+
+        // A starved memory budget is the experiment's data, not a crash:
+        // the sweep contains the cell's failure and the session completes
+        // degraded, with the override visible in the report.
+        let outcome = run_local(&spec).expect("session");
+        assert!(outcome.degraded);
+        assert!(outcome.markdown.contains("- s_bits: 1\n"), "markdown: {}", outcome.markdown);
+        assert!(outcome.report.to_string().contains(r#""s_bits":"1""#));
     }
 
     #[test]
