@@ -49,6 +49,14 @@
 //!    (`byte_identical`) — and the full run asserts the durability cost
 //!    stays under 1.05×.
 //!
+//! 7. **`sharded_pipeline`** — the same trials through the in-process
+//!    executor, the multi-process shard supervisor
+//!    ([`mph_experiments::shard`]: real worker processes over pipes),
+//!    and the supervisor with one SIGKILL per trial. Every sharded
+//!    measurement — clean and recovered — is asserted equal to the
+//!    in-process one (`byte_identical`); the record prices process
+//!    isolation and crash recovery.
+//!
 //! `--test` switches to tiny smoke sizes for CI: every correctness check
 //! still runs, the ≥ 2× speedup assertion is skipped (timings on
 //! micro-sizes are noise), and the report goes to
@@ -60,9 +68,11 @@ use mph_core::algorithms::BlockAssignment;
 use mph_core::theorem::RoundMeasurement;
 use mph_core::{theorem, LineParams};
 use mph_experiments::checkpoint::{self, CheckpointConfig, DEFAULT_EVERY};
+use mph_experiments::shard::{self, measure_sharded, ShardSpec};
 use mph_experiments::sweep::{run_sweep, Cell};
 use mph_metrics::json::Json;
 use mph_metrics::report::{envelope, write_report_to};
+use mph_mpc::shard::KillSpec;
 use mph_mpc::{FaultPlan, FaultSpec, Inbox, Outbox, RoundCtx, Simulation};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape};
 use rand::rngs::StdRng;
@@ -103,6 +113,7 @@ struct Sizes {
     sweep_windows: &'static [usize],
     sweep_trials: usize,
     sweep_reps: usize,
+    shard_trials: usize,
 }
 
 impl Sizes {
@@ -123,6 +134,7 @@ impl Sizes {
             sweep_windows: &[8, 16, 32],
             sweep_trials: 5,
             sweep_reps: 2,
+            shard_trials: 3,
         }
     }
 
@@ -141,6 +153,7 @@ impl Sizes {
             sweep_windows: &[4, 8],
             sweep_trials: 2,
             sweep_reps: 1,
+            shard_trials: 1,
         }
     }
 }
@@ -635,6 +648,84 @@ fn bench_checkpoint(sizes: &Sizes, strict: bool) -> (String, Json) {
     ("checkpoint_overhead".into(), body)
 }
 
+/// Workload 7: the multi-process shard supervisor vs the in-process
+/// executor — the same trials, three ways. Clean sharded runs price pure
+/// process isolation (spawn + handshake + per-round pipe framing); the
+/// killed runs add one SIGKILL per trial, so their delta over clean is
+/// the detect → respawn → replay recovery bill. All three paths must
+/// produce equal [`RoundMeasurement`]s — the supervisor contract
+/// (docs/ROBUSTNESS.md).
+fn bench_sharded(sizes: &Sizes) -> (String, Json) {
+    let shards = 4;
+    let base_seed = 3000u64;
+    let max_rounds = 10_000;
+    let spec = |seed: u64| ShardSpec {
+        target: Target::SimLine,
+        w: 48,
+        v: 8,
+        m: 7,
+        window: 2,
+        s_bits: None,
+        q: None,
+        seed,
+    };
+    let policy = theorem::RetryPolicy::for_retries(0);
+    let cfg = shard::supervisor_config(shards, &policy, shard::default_worker_cmd());
+
+    let pipeline = spec(base_seed).pipeline();
+    let (local_ns, reference) = time_ns(1, || -> Vec<RoundMeasurement> {
+        (0..sizes.shard_trials as u64)
+            .map(|t| theorem::measure_rounds(&pipeline, base_seed + t, None, None, max_rounds))
+            .collect()
+    });
+    assert!(reference.iter().all(|m| m.correct), "reference trials must be healthy");
+
+    let (clean_ns, clean) = time_ns(1, || -> Vec<RoundMeasurement> {
+        (0..sizes.shard_trials as u64)
+            .map(|t| {
+                measure_sharded(&spec(base_seed + t), &cfg, max_rounds, None)
+                    .expect("clean sharded trial")
+            })
+            .collect()
+    });
+    assert_eq!(clean, reference, "sharded transcripts must match the in-process executor");
+
+    let (killed_ns, killed) = time_ns(1, || -> Vec<RoundMeasurement> {
+        (0..sizes.shard_trials as u64)
+            .map(|t| {
+                let mut cfg = cfg.clone();
+                cfg.kills =
+                    vec![KillSpec { round: 1 + t as usize % 2, worker: t as usize % shards }];
+                measure_sharded(&spec(base_seed + t), &cfg, max_rounds, None)
+                    .expect("recovered sharded trial")
+            })
+            .collect()
+    });
+    assert_eq!(killed, reference, "recovery must be byte-identical to the in-process executor");
+
+    let isolation = clean_ns as f64 / local_ns.max(1) as f64;
+    let recovery_ns = killed_ns.saturating_sub(clean_ns);
+    println!(
+        "sharded_pipeline: {} trials on {shards} workers: in-process {local_ns} ns, sharded \
+         {clean_ns} ns ({isolation:.2}x), with 1 SIGKILL/trial {killed_ns} ns (+{recovery_ns} ns)",
+        sizes.shard_trials
+    );
+
+    let body = Json::object(vec![
+        ("shards", Json::u64(shards as u64)),
+        ("machines", Json::u64(7)),
+        ("trials", Json::u64(sizes.shard_trials as u64)),
+        ("kills_per_trial", Json::u64(1)),
+        ("in_process_ns", Json::u64(local_ns)),
+        ("sharded_ns", Json::u64(clean_ns)),
+        ("killed_ns", Json::u64(killed_ns)),
+        ("isolation_overhead", Json::f64(isolation)),
+        ("recovery_ns", Json::u64(recovery_ns)),
+        ("byte_identical", Json::Bool(true)),
+    ]);
+    ("sharded_pipeline".into(), body)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let sizes = if test_mode { Sizes::smoke() } else { Sizes::full() };
@@ -647,6 +738,7 @@ fn main() {
         bench_sweep(&sizes),
         bench_fault_overhead(&sizes, !test_mode),
         bench_checkpoint(&sizes, !test_mode),
+        bench_sharded(&sizes),
     ];
     let doc = envelope(
         "bench_mpc",

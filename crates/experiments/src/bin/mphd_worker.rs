@@ -1,0 +1,11 @@
+//! The shard worker process: one contiguous machine range of a
+//! supervised simulation (`mph_mpc::shard`), served over stdin/stdout.
+//!
+//! Spawned by the shard supervisor — one process per shard — and never
+//! run by hand: it speaks the length-prefixed shard frame protocol, not a
+//! CLI. Exits 0 when the supervisor closes the pipe, 1 on a transport
+//! error. See docs/ROBUSTNESS.md "Real processes, real crashes".
+
+fn main() {
+    std::process::exit(mph_experiments::shard::worker_main());
+}

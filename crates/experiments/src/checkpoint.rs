@@ -179,6 +179,14 @@ fn encode_metrics_snapshot(w: &mut SnapshotWriter, snap: &MetricsSnapshot) {
         }
     }
     w.put_u64(snap.timeouts);
+    // Appended after `timeouts` so payloads written before the worker
+    // tally existed decode as Truncated and silently degrade to
+    // recomputation — the codec's standing damaged-cell policy.
+    w.put_u64(snap.workers.len() as u64);
+    for (k, v) in &snap.workers {
+        w.put_str(k);
+        w.put_u64(*v);
+    }
 }
 
 fn decode_metrics_snapshot(r: &mut SnapshotReader<'_>) -> Result<MetricsSnapshot, SnapshotError> {
@@ -222,6 +230,11 @@ fn decode_metrics_snapshot(r: &mut SnapshotReader<'_>) -> Result<MetricsSnapshot
     }
     let [violations, faults] = maps;
     let timeouts = r.get_u64()?;
+    let mut workers = BTreeMap::new();
+    for _ in 0..r.get_u64()? {
+        let k = r.get_str()?;
+        workers.insert(k, r.get_u64()?);
+    }
     Ok(MetricsSnapshot {
         schema_version,
         tags,
@@ -232,6 +245,7 @@ fn decode_metrics_snapshot(r: &mut SnapshotReader<'_>) -> Result<MetricsSnapshot
         violations,
         faults,
         timeouts,
+        workers,
     })
 }
 
@@ -401,6 +415,31 @@ pub fn run_sweep_checkpointed_observed(
     abort_after: Option<usize>,
     observer: &mut dyn FnMut(usize, &CellResult),
 ) -> Option<Vec<CellResult>> {
+    run_checkpointed_inner(cells, ckpt, abort_after, None, observer)
+}
+
+/// [`run_sweep_checkpointed_observed`] with a cooperative cancel flag:
+/// the run stops (returning `None`) at the first batch boundary where
+/// `cancel` reads `true` — after the preceding batch's checkpoint flush,
+/// so everything already observed is durably on disk and a later run of
+/// the same grid resumes it byte-identically. This is the engine under
+/// the daemon's `cancel` method.
+pub fn run_sweep_checkpointed_cancellable(
+    cells: Vec<Cell>,
+    ckpt: &CheckpointConfig,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+    observer: &mut dyn FnMut(usize, &CellResult),
+) -> Option<Vec<CellResult>> {
+    run_checkpointed_inner(cells, ckpt, None, cancel, observer)
+}
+
+fn run_checkpointed_inner(
+    cells: Vec<Cell>,
+    ckpt: &CheckpointConfig,
+    abort_after: Option<usize>,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+    observer: &mut dyn FnMut(usize, &CellResult),
+) -> Option<Vec<CellResult>> {
     let total = cells.len();
     let every = ckpt.every.max(1);
     if let Err(e) = std::fs::create_dir_all(&ckpt.dir) {
@@ -420,6 +459,11 @@ pub fn run_sweep_checkpointed_observed(
 
     let mut computed = 0usize;
     for batch in pending.chunks(every) {
+        if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed)) {
+            // Cancelled at a batch boundary: everything computed so far
+            // is already flushed below, so the grid resumes from here.
+            return None;
+        }
         let batch_cells: Vec<(usize, Cell)> =
             batch.iter().filter_map(|&i| cells[i].take().map(|cell| (i, cell))).collect();
         let (indices, batch_cells): (Vec<usize>, Vec<Cell>) = batch_cells.into_iter().unzip();
@@ -670,6 +714,38 @@ mod tests {
         for (i, label) in &second {
             assert_eq!(label, &grid()[*i].label);
         }
+        clean_dir(&ckpt.dir);
+    }
+
+    #[test]
+    fn cancelled_sweeps_flush_and_resume_byte_identically() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let ckpt = tmp("cancel");
+        let baseline = sweep::run_sweep(grid());
+        // Cancel as soon as the first batch's cells are observed: the run
+        // stops at the next batch boundary with that batch flushed.
+        let flag = AtomicBool::new(false);
+        let mut first = Vec::new();
+        let outcome =
+            run_sweep_checkpointed_cancellable(grid(), &ckpt, Some(&flag), &mut |i, _| {
+                first.push(i);
+                flag.store(true, Ordering::Relaxed);
+            });
+        assert!(outcome.is_none(), "a cancelled run must not return results");
+        assert_eq!(first, vec![0, 1], "one batch (every = 2) completed before the cancel");
+        let (_, total, entries) =
+            decode_manifest(&std::fs::read(ckpt.manifest_bin()).unwrap()).unwrap();
+        assert_eq!((total, entries.len()), (5, 2), "the completed batch is on disk");
+        // A pre-set flag stops the run before any new computation.
+        let noop = run_sweep_checkpointed_cancellable(grid(), &ckpt, Some(&flag), &mut |_, _| {});
+        assert!(noop.is_none());
+        // Resubmission without the flag resumes the flushed prefix and
+        // lands byte-identical to an uninterrupted run.
+        flag.store(false, Ordering::Relaxed);
+        let resumed =
+            run_sweep_checkpointed_cancellable(grid(), &ckpt, Some(&flag), &mut |_, _| {})
+                .expect("uncancelled run completes");
+        assert_same(&baseline, &resumed);
         clean_dir(&ckpt.dir);
     }
 

@@ -19,6 +19,7 @@
 //! | `exp_success_cliff` | Pr[success within R rounds], Definition 2.5 (E11) |
 //! | `exp_fault_tolerance` | replication vs crash faults (E12) |
 //! | `exp_resume` | kill-and-resume checkpoint byte-identity (E13) |
+//! | `exp_shard_recovery` | SIGKILL recovery latency/overhead vs shard count (E14) |
 //!
 //! The shared [`report`] module renders aligned markdown tables so the
 //! binaries' stdout can be pasted into EXPERIMENTS.md verbatim. The
@@ -35,6 +36,7 @@
 pub mod checkpoint;
 pub mod report;
 pub mod setup;
+pub mod shard;
 pub mod sweep;
 
 pub use report::Report;

@@ -1,0 +1,151 @@
+//! Shard-boundary equivalence with real worker processes.
+//!
+//! The tentpole contract of the shard subsystem: a supervised
+//! multi-process run — at any shard count, with or without workers
+//! SIGKILLed mid-round — measures **byte-identically** to the in-process
+//! executor on the same trial. Every test here spawns genuine OS
+//! processes of the `mphd_worker` binary.
+
+use mph_core::algorithms::pipeline::Target;
+use mph_core::theorem;
+use mph_experiments::shard::{measure_sharded, run_cells_sharded, ShardCell, ShardSpec};
+use mph_experiments::sweep::{run_sweep, Cell, CellStatus};
+use mph_metrics::{MetricsSink, Recorder};
+use mph_mpc::shard::{KillSpec, ShardError, SupervisorConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_mphd_worker").to_string()]
+}
+
+fn config(shards: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        shards,
+        round_deadline: Some(Duration::from_secs(60)),
+        max_respawns: 3,
+        kills: Vec::new(),
+        worker_cmd: worker_cmd(),
+    }
+}
+
+/// m = 7 so shard counts 1, 2, 4, 7 cover even, uneven, and
+/// one-machine-per-worker partitions.
+fn spec(seed: u64) -> ShardSpec {
+    ShardSpec { target: Target::SimLine, w: 48, v: 8, m: 7, window: 2, s_bits: None, q: None, seed }
+}
+
+#[test]
+fn sharded_runs_match_in_process_across_shard_counts() {
+    let s = spec(100);
+    let expected = theorem::measure_rounds(&s.pipeline(), s.seed, s.s_bits, s.q, 10_000);
+    assert!(expected.correct, "reference trial must be healthy");
+    for shards in [1, 2, 4, 7] {
+        let got = measure_sharded(&s, &config(shards), 10_000, None)
+            .unwrap_or_else(|e| panic!("{shards} shards: {e}"));
+        assert_eq!(got, expected, "shards = {shards}");
+    }
+}
+
+#[test]
+fn sigkill_mid_round_recovers_byte_identically() {
+    let s = spec(101);
+    let expected = theorem::measure_rounds(&s.pipeline(), s.seed, s.s_bits, s.q, 10_000);
+    assert!(expected.rounds > 3, "need enough rounds to kill into (got {})", expected.rounds);
+    // Kill worker 1 in round 1 and worker 0 again in round 3 — real
+    // SIGKILLs delivered right after the round's batch hits the wire.
+    let mut cfg = config(4);
+    cfg.kills = vec![KillSpec { round: 1, worker: 1 }, KillSpec { round: 3, worker: 0 }];
+    let recorder = Arc::new(Recorder::new());
+    let sink: Arc<dyn MetricsSink> = recorder.clone();
+    let got = measure_sharded(&s, &cfg, 10_000, Some(sink)).expect("recovered run");
+    assert_eq!(got, expected, "post-recovery transcript must be byte-identical");
+    // The kills really happened: the supervisor observed the crashes and
+    // rolled replacements forward from the round barriers.
+    let workers = recorder.snapshot().workers;
+    assert!(workers["crash"] >= 2, "workers: {workers:?}");
+    assert_eq!(workers["crash"], workers["respawn"], "every crash respawns");
+    assert_eq!(workers["respawn"], workers["replay"], "every respawn replays");
+    assert!(workers["spawn"] >= 4, "initial fleet spawns recorded");
+    assert!(workers["heartbeat"] > 0, "per-round acks recorded");
+}
+
+#[test]
+fn respawn_budget_exhaustion_is_a_typed_error() {
+    let s = spec(102);
+    let mut cfg = config(2);
+    cfg.max_respawns = 0;
+    cfg.kills = vec![KillSpec { round: 0, worker: 0 }];
+    match measure_sharded(&s, &cfg, 10_000, None) {
+        Err(ShardError::WorkerDied { worker: 0, .. }) => {}
+        other => panic!("expected WorkerDied, got {other:?}"),
+    }
+}
+
+#[test]
+fn sharded_cells_match_the_sweep_engine() {
+    // Whole-cell comparison: run_cells_sharded vs run_sweep on the same
+    // grid — measurements, means, and statuses all equal (the report
+    // built from either is byte-identical).
+    let trials = 3;
+    let base_seed = 100;
+    let max_rounds = 10_000;
+    let windows = [2usize, 3];
+    let in_process: Vec<Cell> = windows
+        .iter()
+        .map(|&window| {
+            let s = ShardSpec { window, ..spec(0) };
+            Cell::new(format!("window={window}"), s.pipeline(), trials, base_seed, max_rounds)
+        })
+        .collect();
+    let expected = run_sweep(in_process);
+    let sharded: Vec<ShardCell> = windows
+        .iter()
+        .map(|&window| ShardCell {
+            label: format!("window={window}"),
+            spec: ShardSpec { window, ..spec(0) },
+            trials,
+            base_seed,
+            max_rounds,
+            telemetry: true,
+        })
+        .collect();
+    let got = run_cells_sharded(sharded, &config(4));
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(&expected) {
+        assert_eq!(g.label, e.label);
+        assert_eq!(g.status, CellStatus::Ok);
+        assert_eq!(g.status, e.status);
+        assert_eq!(g.measurements, e.measurements, "cell {}", g.label);
+        assert_eq!(g.mean_rounds, e.mean_rounds);
+        // Sharded telemetry carries the same tags plus worker tallies.
+        let snap = g.snapshot.as_ref().expect("telemetry");
+        assert_eq!(snap.tags, e.snapshot.as_ref().expect("telemetry").tags);
+        assert!(snap.workers["spawn"] >= 4);
+    }
+}
+
+#[test]
+fn worker_with_memory_starved_spec_fails_the_cell_not_the_process() {
+    // s_bits = 1 cannot hold the input delivery: the worker reports the
+    // model violation as a deterministic error ack and the supervisor
+    // fails the trial with a typed Worker error (no respawn loop — a
+    // deterministic failure would just recur).
+    let s = ShardSpec { s_bits: Some(1), ..spec(103) };
+    match measure_sharded(&s, &config(2), 10_000, None) {
+        Err(ShardError::Worker { .. }) => {}
+        other => panic!("expected a deterministic Worker error, got {other:?}"),
+    }
+    // And at the cell level it degrades to a Failed cell, like the
+    // in-process sweep engine's contract.
+    let cells = vec![ShardCell {
+        label: "starved".into(),
+        spec: ShardSpec { s_bits: Some(1), ..spec(103) },
+        trials: 2,
+        base_seed: 103,
+        max_rounds: 10_000,
+        telemetry: false,
+    }];
+    let results = run_cells_sharded(cells, &config(2));
+    assert!(results[0].status.is_failed(), "status: {:?}", results[0].status);
+}

@@ -116,6 +116,21 @@ pub enum Event {
         /// The deadline that was exceeded, in milliseconds.
         deadline_ms: u64,
     },
+    /// A worker-process lifecycle transition observed by the shard
+    /// supervisor (`mph_mpc::shard`): `spawn` when a worker process
+    /// starts, `heartbeat` per round acknowledgement received, `crash`
+    /// when EOF/timeout/a broken pipe reveals a dead worker, `respawn`
+    /// when a replacement process is started, and `replay` when the
+    /// replacement is rolled forward from the last round barrier.
+    Worker {
+        /// Stable short name of the transition
+        /// (`spawn`/`heartbeat`/`crash`/`respawn`/`replay`).
+        kind: &'static str,
+        /// The worker (shard) index.
+        worker: u64,
+        /// The supervisor round during which the transition happened.
+        round: u64,
+    },
 }
 
 impl Event {
@@ -131,6 +146,7 @@ impl Event {
             Event::ModelViolation { .. } => "model_violation",
             Event::Fault { .. } => "fault",
             Event::TrialTimeout { .. } => "trial_timeout",
+            Event::Worker { .. } => "worker",
         }
     }
 
@@ -190,6 +206,11 @@ impl Event {
             Event::TrialTimeout { attempt, deadline_ms } => {
                 pairs.push(("attempt".into(), Json::u64(attempt)));
                 pairs.push(("deadline_ms".into(), Json::u64(deadline_ms)));
+            }
+            Event::Worker { kind, worker, round } => {
+                pairs.push(("kind".into(), Json::str(kind)));
+                pairs.push(("worker".into(), Json::u64(worker)));
+                pairs.push(("round".into(), Json::u64(round)));
             }
         }
         Json::Object(pairs)

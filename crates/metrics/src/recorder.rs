@@ -59,6 +59,7 @@ struct Shard {
     violations: BTreeMap<&'static str, u64>,
     faults: BTreeMap<&'static str, u64>,
     timeouts: u64,
+    workers: BTreeMap<&'static str, u64>,
 }
 
 impl Shard {
@@ -107,6 +108,9 @@ impl Shard {
             }
             Event::TrialTimeout { .. } => {
                 self.timeouts += 1;
+            }
+            Event::Worker { kind, .. } => {
+                *self.workers.entry(kind).or_insert(0) += 1;
             }
         }
     }
@@ -192,6 +196,9 @@ impl Recorder {
                 *merged.faults.entry(kind).or_insert(0) += count;
             }
             merged.timeouts += s.timeouts;
+            for (kind, count) in &s.workers {
+                *merged.workers.entry(kind).or_insert(0) += count;
+            }
         }
 
         let rounds: Vec<RoundSnapshot> = merged
@@ -242,6 +249,7 @@ impl Recorder {
             violations: merged.violations.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             faults: merged.faults.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             timeouts: merged.timeouts,
+            workers: merged.workers.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
     }
 }

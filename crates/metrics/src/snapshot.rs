@@ -105,6 +105,11 @@ pub struct MetricsSnapshot {
     /// Trials aborted by the wall-clock watchdog
     /// (`Event::TrialTimeout`). Zero for every run without a deadline.
     pub timeouts: u64,
+    /// Worker-process lifecycle counts by transition kind
+    /// (`spawn`/`heartbeat`/`crash`/`respawn`/`replay`), sorted by kind.
+    /// Populated only by sharded multi-process runs (`mph_mpc::shard`);
+    /// empty for every in-process run.
+    pub workers: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -189,6 +194,16 @@ impl MetricsSnapshot {
                 pairs.push(("timeouts".into(), Json::u64(self.timeouts)));
             }
         }
+        if !self.workers.is_empty() {
+            if let Json::Object(pairs) = &mut doc {
+                pairs.push((
+                    "workers".into(),
+                    Json::Object(
+                        self.workers.iter().map(|(k, v)| (k.clone(), Json::u64(*v))).collect(),
+                    ),
+                ));
+            }
+        }
         doc
     }
 
@@ -215,6 +230,7 @@ mod tests {
             violations: BTreeMap::new(),
             faults: BTreeMap::new(),
             timeouts: 0,
+            workers: BTreeMap::new(),
         };
         let s = snap.to_json_string();
         assert!(s.starts_with(r#"{"schema_version":1,"tags":{},"rounds":[],"#), "{s}");
@@ -233,6 +249,7 @@ mod tests {
             violations: BTreeMap::new(),
             faults: BTreeMap::new(),
             timeouts: 0,
+            workers: BTreeMap::new(),
         };
         assert!(!snap.to_json_string().contains("faults"));
         snap.faults.insert("crash".into(), 2);

@@ -196,6 +196,27 @@ pub struct Simulation {
     faults: Option<FaultState>,
 }
 
+/// The owned product of one sharded round (see
+/// [`Simulation::step_shard`]): everything the shard's machines sent,
+/// output, and measured this round, materialized for the wire.
+///
+/// Unlike the in-process round, nothing here views into a live arena —
+/// the supervisor serializes it across a process boundary, so payloads
+/// are owned [`Message`]s in sender-major order (the exact order the
+/// in-process router would have delivered them in).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardRoundOutput {
+    /// Every message sent by a shard machine this round (including
+    /// self-messages and intra-shard traffic), in sender-major order.
+    pub messages: Vec<Message>,
+    /// Output contributions emitted this round, in machine order.
+    pub outputs: Vec<(MachineId, BitVec)>,
+    /// The shard-local statistics of this round (sums and maxima over the
+    /// shard's machines only; the supervisor merges shards into the
+    /// global round record).
+    pub stats: RoundStats,
+}
+
 /// A no-op machine used as the default program.
 struct IdleMachine;
 
@@ -947,6 +968,257 @@ impl Simulation {
             delayed: fs.delayed.clone(),
         });
         Ok(())
+    }
+
+    /// Drops every pending memory image outside `[lo, hi)` — the
+    /// preparation step of a sharded worker, which builds the full
+    /// `m`-machine simulation deterministically and then keeps only its
+    /// own contiguous shard's seeds. After this call the sharded-round
+    /// invariant holds: machines outside the shard carry nothing.
+    pub fn retain_shard(&mut self, lo: usize, hi: usize) -> &mut Self {
+        assert!(lo < hi && hi <= self.m, "shard [{lo}, {hi}) out of range (m = {})", self.m);
+        for machine in 0..self.m {
+            if machine < lo || machine >= hi {
+                self.entries[machine].clear();
+                self.planes.clear_machine(machine);
+            }
+        }
+        self
+    }
+
+    /// Appends `msgs` to their recipients' memory images as owned
+    /// auxiliary-arena deliveries — the sharded worker's delivery step for
+    /// the batch its supervisor routed to it. Recipients must be in range;
+    /// an out-of-range endpoint is a [`ModelViolation::BadRecipient`]
+    /// (malformed wire input must not corrupt the arena).
+    pub fn inject_messages(&mut self, msgs: &[Message]) -> Result<(), ModelViolation> {
+        for msg in msgs {
+            if msg.from >= self.m || msg.to >= self.m {
+                return Err(self.observe(ModelViolation::BadRecipient {
+                    machine: msg.from,
+                    round: self.round,
+                    to: msg.to,
+                    m: self.m,
+                }));
+            }
+        }
+        for msg in msgs {
+            let offset = self.in_arena.len();
+            let len = msg.payload.len();
+            self.in_arena.extend_bits(&msg.payload);
+            self.entries[msg.to].push(InboxEntry { from: msg.from, offset, len, aux: true });
+            self.planes.add(msg.to, len);
+        }
+        Ok(())
+    }
+
+    /// Executes one round for the contiguous shard `[lo, hi)` only,
+    /// returning everything the shard produced as owned data — the
+    /// supervised-worker round (`docs/ROBUSTNESS.md` "Real processes,
+    /// real crashes").
+    ///
+    /// The contract differs from [`Simulation::step`] in three ways:
+    ///
+    /// * Only machines in `[lo, hi)` compute; every other machine must be
+    ///   carrying an empty memory image (the invariant
+    ///   [`Simulation::retain_shard`] establishes and full extraction
+    ///   maintains).
+    /// * **All** of the shard's sends — self-messages and intra-shard
+    ///   traffic included — are extracted as owned [`Message`]s instead
+    ///   of being delivered locally, and round outputs are returned owned
+    ///   instead of accumulating in [`Simulation::outputs`]. The
+    ///   supervisor owns routing and the global transcript; at every
+    ///   round barrier the worker's own image is empty, which keeps its
+    ///   recovery snapshots minimal.
+    /// * Fault plans don't participate: sharded execution's fault model
+    ///   is real process crashes, so a non-inert plan here is a
+    ///   programming error (asserted).
+    ///
+    /// Model bounds are enforced exactly as in-process: memory at
+    /// delivery, `q` inside the round, recipient range and the
+    /// sender-side `s` bound over sends plus output bits.
+    pub fn step_shard(&mut self, lo: usize, hi: usize) -> Result<ShardRoundOutput, ModelViolation> {
+        assert!(lo < hi && hi <= self.m, "shard [{lo}, {hi}) out of range (m = {})", self.m);
+        assert!(
+            self.faults.as_ref().is_none_or(|fs| fs.plan.is_inert()),
+            "sharded execution does not compose with an injected fault plan; \
+             its fault model is real process crashes"
+        );
+        emit(&self.metrics, || Event::RoundStart { round: self.round as u64 });
+
+        // 1. Delivery-time memory check over the shard. Machines outside
+        //    it hold nothing by invariant, so the shard scan is the whole
+        //    check.
+        let mut max_memory_bits = 0;
+        let mut active = 0;
+        for i in lo..hi {
+            let bits = self.planes.bits(i);
+            if bits > self.s_bits {
+                return Err(self.observe(ModelViolation::MemoryExceeded {
+                    machine: i,
+                    round: self.round,
+                    incoming_bits: bits,
+                    s_bits: self.s_bits,
+                }));
+            }
+            if bits > 0 {
+                emit(&self.metrics, || Event::MemoryHighWater {
+                    machine: i as u64,
+                    bits: bits as u64,
+                });
+            }
+            max_memory_bits = max_memory_bits.max(bits);
+            if self.planes.is_active(i) {
+                active += 1;
+            }
+        }
+        #[cfg(debug_assertions)]
+        for i in (0..lo).chain(hi..self.m) {
+            debug_assert!(
+                self.entries[i].is_empty(),
+                "machine {i} outside shard [{lo}, {hi}) carries a memory image"
+            );
+        }
+
+        // 2. Run the shard's machines in parallel against zero-copy views,
+        //    exactly as the in-process round does — global machine ids,
+        //    global `m`, the same tape — so each machine's computation is
+        //    bit-identical to its in-process counterpart.
+        let round = self.round;
+        let oracle = &*self.oracle;
+        let tape = &self.tape;
+        let q = self.q;
+        let m = self.m;
+        let machines = &self.machines;
+        let aux_arena = &self.in_arena;
+        let read_boxes = &self.read_outboxes;
+        let entries = &self.entries;
+        let mut pool = std::mem::take(&mut self.outboxes);
+        pool.resize_with(m, Outbox::new);
+        let mut results = std::mem::take(&mut self.results_plane);
+        results.clear();
+        results.resize_with(hi - lo, || Ok(0));
+        let min_len = compute_min_len(hi - lo, active);
+        (&mut pool[lo..hi])
+            .into_par_iter()
+            .zip((&mut results).into_par_iter())
+            .enumerate()
+            .with_min_len(min_len)
+            .map(|(idx, (out, slot))| {
+                let id = lo + idx;
+                out.clear();
+                let inbox = Inbox::routed(aux_arena, read_boxes, &entries[id]);
+                let ctx = RoundCtx::new(id, round, m, oracle, tape, q);
+                *slot = machines[id].round(&ctx, &inbox, out).map(|()| ctx.queries_made());
+            })
+            .collect::<()>();
+
+        let mut oracle_queries = 0;
+        let mut max_queries_one_machine = 0;
+        let mut first_violation = None;
+        for slot in &mut results {
+            match std::mem::replace(slot, Ok(0)) {
+                Ok(queries) => {
+                    oracle_queries += queries;
+                    max_queries_one_machine = max_queries_one_machine.max(queries);
+                }
+                Err(v) => {
+                    first_violation.get_or_insert(v);
+                }
+            }
+        }
+        self.results_plane = results;
+        if let Some(v) = first_violation {
+            self.outboxes = pool;
+            return Err(self.observe(v));
+        }
+
+        // 3. Validate, then extract. Pass 1 is the same metadata scan as
+        //    the in-process router; pass 2 materializes every send as an
+        //    owned message in sender-major order — the exact order the
+        //    in-process router appends entries in, which is what makes
+        //    supervisor-side routing byte-identical.
+        for (idx, outbox) in pool[lo..hi].iter().enumerate() {
+            let id = lo + idx;
+            let mut outgoing_bits = 0;
+            for send in outbox.sends() {
+                if send.to >= self.m {
+                    let err = self.observe(ModelViolation::BadRecipient {
+                        machine: id,
+                        round: self.round,
+                        to: send.to,
+                        m: self.m,
+                    });
+                    self.outboxes = pool;
+                    return Err(err);
+                }
+                outgoing_bits += send.len;
+            }
+            outgoing_bits += outbox.output.as_ref().map_or(0, |out| out.len());
+            if outgoing_bits > self.s_bits {
+                let err = self.observe(ModelViolation::SendExceeded {
+                    machine: id,
+                    round: self.round,
+                    outgoing_bits,
+                    s_bits: self.s_bits,
+                });
+                self.outboxes = pool;
+                return Err(err);
+            }
+        }
+
+        let mut messages = Vec::new();
+        let mut outputs = Vec::new();
+        let mut bits_sent = 0;
+        for (idx, outbox) in pool[lo..hi].iter_mut().enumerate() {
+            let id = lo + idx;
+            for i in 0..outbox.message_count() {
+                let send = outbox.sends()[i];
+                bits_sent += send.len;
+                emit(&self.metrics, || Event::MessageRouted { bits: send.len as u64 });
+                messages.push(Message {
+                    from: id,
+                    to: send.to,
+                    payload: outbox.payload(&send).to_bitvec(),
+                });
+            }
+            if let Some(out) = outbox.output.take() {
+                outputs.push((id, out));
+            }
+        }
+
+        let round_stats = RoundStats {
+            round: self.round,
+            messages: messages.len(),
+            bits_sent,
+            oracle_queries,
+            max_queries_one_machine,
+            max_memory_bits,
+            active_machines: active,
+        };
+        emit(&self.metrics, || Event::RoundEnd {
+            round: round_stats.round as u64,
+            messages: round_stats.messages as u64,
+            bits_sent: round_stats.bits_sent as u64,
+            oracle_queries,
+            max_queries_one_machine,
+            max_memory_bits: max_memory_bits as u64,
+            active_machines: active as u64,
+        });
+        self.stats.rounds.push(round_stats.clone());
+
+        // Everything was extracted, so the round barrier leaves every
+        // memory image empty: consumed entries, the auxiliary arena, and
+        // the planes all clear, and the outbox pool returns whole (nothing
+        // views into it). A snapshot taken here is minimal by design.
+        for machine in lo..hi {
+            self.entries[machine].clear();
+        }
+        self.in_arena.clear();
+        self.planes.reset();
+        self.outboxes = pool;
+        self.round += 1;
+        Ok(ShardRoundOutput { messages, outputs, stats: round_stats })
     }
 
     /// Runs exactly `rounds` rounds (collecting any outputs along the way).

@@ -36,15 +36,19 @@ pub mod faults;
 pub mod input;
 pub mod machine;
 pub mod message;
+pub mod shard;
 pub mod snapshot;
 mod soa;
 pub mod stats;
 
 pub use error::ModelViolation;
-pub use executor::{RunOutcome, RunResult, Simulation};
+pub use executor::{RunOutcome, RunResult, ShardRoundOutput, Simulation};
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use input::{partition_blocks, Partition, PartitionStrategy};
 pub use machine::{MachineLogic, Outbox, RoundCtx, SendRecord};
 pub use message::{Inbox, InboxBuffer, InboxEntry, MachineId, Message, MsgRef};
+pub use shard::{
+    partition_shards, worker_serve, Ack, Frame, KillSpec, ShardError, Supervisor, SupervisorConfig,
+};
 pub use snapshot::{FaultSnapshot, SimulationSnapshot};
 pub use stats::{RoundStats, SimStats};

@@ -1,0 +1,1163 @@
+//! Supervised multi-process sharded execution.
+//!
+//! Partitions a simulation's `m` machines into contiguous shards, runs
+//! one **real OS worker process** per shard, and exchanges per-round
+//! message batches over pipes — the supervisor owns routing and the
+//! global transcript, each worker owns the compute of its shard. The
+//! in-process executor remains the correctness oracle: a sharded run's
+//! outputs and statistics are **byte-identical** to
+//! [`Simulation::run_until_output`] on the same build, and killing a
+//! worker with SIGKILL mid-round must not change a single bit of the
+//! final transcript (the recovery path replays the worker from its last
+//! round barrier). See docs/ROBUSTNESS.md "Real processes, real
+//! crashes".
+//!
+//! # Wire format
+//!
+//! One frame = a `u32` little-endian length prefix followed by one
+//! CRC32-framed snapshot container ([`mph_oracle::snapshot`]) holding a
+//! single section whose tag names the frame kind:
+//!
+//! | tag    | kind             | direction           | body                                  |
+//! |--------|------------------|---------------------|---------------------------------------|
+//! | `SHLO` | `SHARD_HELLO`    | supervisor → worker | shard `[lo, hi)`, opaque spec bytes   |
+//! | `RMSG` | `ROUND_MSGS`     | both                | round index, owned messages           |
+//! | `RACK` | `ROUND_ACK`      | worker → supervisor | round index, ready / stats / error    |
+//! | `SSNP` | `SHARD_SNAPSHOT` | both                | nested [`SimulationSnapshot`] bytes   |
+//!
+//! Every frame inherits the container's guarantees: magic, version, and
+//! a trailing CRC32, so a corrupted or truncated frame is a typed
+//! [`SnapshotError`], and a frame of an unknown kind is a typed
+//! [`ShardError::UnknownFrameKind`] (forward compatibility: an old
+//! supervisor rejects a new frame kind instead of misparsing it).
+//!
+//! # Round protocol
+//!
+//! After `SHARD_HELLO` (fresh build, round 0) or `SHARD_SNAPSHOT`
+//! (restore to a round barrier) the worker acknowledges with
+//! `ROUND_ACK(ready)`. Each round the supervisor sends the worker its
+//! inbound `ROUND_MSGS` batch; the worker injects it, steps its shard
+//! ([`Simulation::step_shard`] — **all** sends extracted owned, so the
+//! barrier state is empty), and replies with three frames: its outbound
+//! `ROUND_MSGS`, a `ROUND_ACK` carrying the shard's round statistics and
+//! outputs, and a `SHARD_SNAPSHOT` of the new barrier. A reply is
+//! complete only when all three arrive; a partial reply from a dying
+//! worker is discarded wholesale on recovery.
+//!
+//! # Crash detection and recovery
+//!
+//! A dedicated reader thread per worker feeds decoded frames into a
+//! channel; worker death surfaces as channel disconnect (pipe EOF), a
+//! round-deadline timeout ([`SupervisorConfig::round_deadline`]), or a
+//! broken-pipe write error — all three funnel into the same path:
+//! SIGKILL + reap the old process, respawn (bounded by
+//! [`SupervisorConfig::max_respawns`]), replay `SHARD_HELLO` → restore
+//! the last barrier `SHARD_SNAPSHOT` → resend the in-flight round's
+//! batch. Because workers are deterministic functions of (spec bytes,
+//! barrier, batch), the replayed round is bit-identical to the one the
+//! dead worker would have computed.
+
+use crate::error::ModelViolation;
+use crate::executor::{RunOutcome, RunResult, Simulation};
+use crate::message::{MachineId, Message};
+use crate::snapshot::SimulationSnapshot;
+use crate::stats::{RoundStats, SimStats};
+use mph_bits::BitVec;
+use mph_metrics::{emit, Event, MetricsSink};
+use mph_oracle::snapshot::{
+    SnapshotError, SnapshotReader, SnapshotWriter, SECTION_ROUND_ACK, SECTION_ROUND_MSGS,
+    SECTION_SHARD_HELLO, SECTION_SHARD_SNAPSHOT,
+};
+use std::io::{self, Read, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on one frame's container size. A corrupt length prefix
+/// must not convince the reader to allocate gigabytes.
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Why a sharded run failed. Everything the wire, the OS, or a worker
+/// can do wrong maps onto one of these — never a panic, and never a
+/// silently wrong transcript.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A pipe read/write failed (includes EOF mid-frame).
+    Io(io::Error),
+    /// A frame failed the container's magic/version/CRC/field checks.
+    Codec(SnapshotError),
+    /// A structurally valid container carried a section tag this build
+    /// does not know — a frame kind from a newer protocol revision.
+    UnknownFrameKind {
+        /// The unrecognized 4-byte section tag.
+        tag: [u8; 4],
+    },
+    /// A peer violated the round protocol (wrong frame at this point,
+    /// mismatched round index, oversized frame, …).
+    Protocol(String),
+    /// A worker reported a deterministic failure (model violation or
+    /// build error). Respawning would reproduce it, so the run aborts.
+    Worker {
+        /// The worker (shard) index.
+        worker: usize,
+        /// The worker's error message.
+        message: String,
+    },
+    /// A worker crashed and its respawn budget is exhausted.
+    WorkerDied {
+        /// The worker (shard) index.
+        worker: usize,
+        /// The round in flight when the final crash happened.
+        round: usize,
+        /// How the final crash was detected.
+        reason: String,
+    },
+    /// The shard computation itself violated a model bound.
+    Violation(ModelViolation),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard pipe I/O error: {e}"),
+            ShardError::Codec(e) => write!(f, "shard frame codec error: {e}"),
+            ShardError::UnknownFrameKind { tag } => {
+                write!(f, "unknown shard frame kind {:?}", String::from_utf8_lossy(tag))
+            }
+            ShardError::Protocol(why) => write!(f, "shard protocol violation: {why}"),
+            ShardError::Worker { worker, message } => {
+                write!(f, "worker {worker} failed deterministically: {message}")
+            }
+            ShardError::WorkerDied { worker, round, reason } => {
+                write!(f, "worker {worker} died in round {round} ({reason}), respawns exhausted")
+            }
+            ShardError::Violation(v) => write!(f, "model violation in sharded round: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for ShardError {
+    fn from(e: SnapshotError) -> Self {
+        ShardError::Codec(e)
+    }
+}
+
+/// A worker's round acknowledgement payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Ack {
+    /// The worker is at a round barrier and ready for the next batch
+    /// (sent after a hello build or a snapshot restore).
+    Ready,
+    /// The round completed; the shard's statistics and any outputs its
+    /// machines emitted.
+    Round {
+        /// Shard-local statistics of the acknowledged round.
+        stats: RoundStats,
+        /// Output contributions emitted this round, in machine order.
+        outputs: Vec<(MachineId, BitVec)>,
+    },
+    /// The worker failed deterministically (build error, model
+    /// violation, protocol misuse). The supervisor aborts the run.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// One frame of the shard wire protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// `SHARD_HELLO`: build a fresh simulation from the opaque `spec`
+    /// bytes and keep shard `[lo, hi)`.
+    Hello {
+        /// First machine of the shard (inclusive).
+        lo: usize,
+        /// One past the last machine of the shard.
+        hi: usize,
+        /// Opaque spec bytes the worker's builder decodes.
+        spec: Vec<u8>,
+    },
+    /// `ROUND_MSGS`: a round's message batch (inbound or outbound).
+    RoundMsgs {
+        /// The round these messages belong to.
+        round: usize,
+        /// The messages, in sender-major order.
+        msgs: Vec<Message>,
+    },
+    /// `ROUND_ACK`: a worker acknowledgement.
+    RoundAck {
+        /// The round being acknowledged (the barrier round for
+        /// [`Ack::Ready`]).
+        round: usize,
+        /// The acknowledgement payload.
+        ack: Ack,
+    },
+    /// `SHARD_SNAPSHOT`: a nested [`SimulationSnapshot`] container — a
+    /// worker's round barrier (worker → supervisor) or a restore order
+    /// (supervisor → worker).
+    Snapshot {
+        /// The nested snapshot container bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl Frame {
+    /// Serializes the frame as one CRC32-framed container (no length
+    /// prefix; [`write_frame`] adds it).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        match self {
+            Frame::Hello { lo, hi, spec } => {
+                let patch = w.begin_section(&SECTION_SHARD_HELLO);
+                w.put_u64(*lo as u64);
+                w.put_u64(*hi as u64);
+                w.put_bytes(spec);
+                w.end_section(patch);
+            }
+            Frame::RoundMsgs { round, msgs } => {
+                let patch = w.begin_section(&SECTION_ROUND_MSGS);
+                w.put_u64(*round as u64);
+                w.put_u64(msgs.len() as u64);
+                for msg in msgs {
+                    w.put_u64(msg.from as u64);
+                    w.put_u64(msg.to as u64);
+                    w.put_bitvec(&msg.payload);
+                }
+                w.end_section(patch);
+            }
+            Frame::RoundAck { round, ack } => {
+                let patch = w.begin_section(&SECTION_ROUND_ACK);
+                w.put_u64(*round as u64);
+                match ack {
+                    Ack::Ready => w.put_u8(0),
+                    Ack::Round { stats, outputs } => {
+                        w.put_u8(1);
+                        w.put_u64(stats.round as u64);
+                        w.put_u64(stats.messages as u64);
+                        w.put_u64(stats.bits_sent as u64);
+                        w.put_u64(stats.oracle_queries);
+                        w.put_u64(stats.max_queries_one_machine);
+                        w.put_u64(stats.max_memory_bits as u64);
+                        w.put_u64(stats.active_machines as u64);
+                        w.put_u64(outputs.len() as u64);
+                        for (machine, bits) in outputs {
+                            w.put_u64(*machine as u64);
+                            w.put_bitvec(bits);
+                        }
+                    }
+                    Ack::Error { message } => {
+                        w.put_u8(2);
+                        w.put_str(message);
+                    }
+                }
+                w.end_section(patch);
+            }
+            Frame::Snapshot { bytes } => {
+                let patch = w.begin_section(&SECTION_SHARD_SNAPSHOT);
+                w.put_bytes(bytes);
+                w.end_section(patch);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one container produced by [`Frame::to_bytes`]. An intact
+    /// container with an unrecognized section tag is
+    /// [`ShardError::UnknownFrameKind`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, ShardError> {
+        let mut r = SnapshotReader::new(bytes)?;
+        let tag = r.peek_section_tag()?;
+        match tag {
+            SECTION_SHARD_HELLO => {
+                r.begin_section(&SECTION_SHARD_HELLO)?;
+                let lo = decode_index(r.get_u64()?, "shard lo")?;
+                let hi = decode_index(r.get_u64()?, "shard hi")?;
+                let spec = r.get_bytes()?.to_vec();
+                Ok(Frame::Hello { lo, hi, spec })
+            }
+            SECTION_ROUND_MSGS => {
+                r.begin_section(&SECTION_ROUND_MSGS)?;
+                let round = decode_index(r.get_u64()?, "round")?;
+                let count = r.get_u64()?;
+                let mut msgs = Vec::new();
+                for _ in 0..count {
+                    let from = decode_index(r.get_u64()?, "message from")?;
+                    let to = decode_index(r.get_u64()?, "message to")?;
+                    let payload = r.get_bitvec()?;
+                    msgs.push(Message { from, to, payload });
+                }
+                Ok(Frame::RoundMsgs { round, msgs })
+            }
+            SECTION_ROUND_ACK => {
+                r.begin_section(&SECTION_ROUND_ACK)?;
+                let round = decode_index(r.get_u64()?, "round")?;
+                let ack = match r.get_u8()? {
+                    0 => Ack::Ready,
+                    1 => {
+                        let stats = RoundStats {
+                            round: decode_index(r.get_u64()?, "stats round")?,
+                            messages: decode_index(r.get_u64()?, "stats messages")?,
+                            bits_sent: decode_index(r.get_u64()?, "stats bits")?,
+                            oracle_queries: r.get_u64()?,
+                            max_queries_one_machine: r.get_u64()?,
+                            max_memory_bits: decode_index(r.get_u64()?, "stats memory")?,
+                            active_machines: decode_index(r.get_u64()?, "stats active")?,
+                        };
+                        let count = r.get_u64()?;
+                        let mut outputs = Vec::new();
+                        for _ in 0..count {
+                            let machine = decode_index(r.get_u64()?, "output machine")?;
+                            outputs.push((machine, r.get_bitvec()?));
+                        }
+                        Ack::Round { stats, outputs }
+                    }
+                    2 => Ack::Error { message: r.get_str()? },
+                    other => {
+                        return Err(ShardError::Codec(SnapshotError::Malformed(format!(
+                            "ack discriminant {other} (expected 0, 1, or 2)"
+                        ))))
+                    }
+                };
+                Ok(Frame::RoundAck { round, ack })
+            }
+            SECTION_SHARD_SNAPSHOT => {
+                r.begin_section(&SECTION_SHARD_SNAPSHOT)?;
+                Ok(Frame::Snapshot { bytes: r.get_bytes()?.to_vec() })
+            }
+            other => Err(ShardError::UnknownFrameKind { tag: other }),
+        }
+    }
+}
+
+fn decode_index(v: u64, what: &str) -> Result<usize, ShardError> {
+    usize::try_from(v).map_err(|_| {
+        ShardError::Codec(SnapshotError::Malformed(format!("{what} {v} exceeds usize")))
+    })
+}
+
+/// Writes one length-prefixed frame and flushes (round progress must not
+/// sit in a buffer while the peer waits).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let bytes = frame.to_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES);
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. EOF before the length prefix is a
+/// clean stream end ([`io::ErrorKind::UnexpectedEof`] inside
+/// [`ShardError::Io`]); the caller decides whether that is orderly.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ShardError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ShardError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Frame::from_bytes(&buf)
+}
+
+/// One kill order of a seeded crash schedule: SIGKILL `worker` right
+/// after its batch for `round` has been sent — mid-round, while it
+/// computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The round during which to kill.
+    pub round: usize,
+    /// The worker (shard) index to kill.
+    pub worker: usize,
+}
+
+/// Configuration of a supervised sharded run.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Number of worker processes (= shards). Must be `1..=m`.
+    pub shards: usize,
+    /// Per-reply deadline. A worker that neither answers nor dies within
+    /// it is declared crashed and recovered. `None` waits indefinitely
+    /// (EOF still detects real deaths immediately). Derive this from
+    /// `RetryPolicy::deadline` at the call site.
+    pub round_deadline: Option<Duration>,
+    /// How many times a single worker may be respawned over the whole
+    /// run before the supervisor gives up.
+    pub max_respawns: usize,
+    /// Seeded kill schedule, applied with real SIGKILLs.
+    pub kills: Vec<KillSpec>,
+    /// The worker process argv (`worker_cmd[0]` is the executable). The
+    /// process must run [`worker_serve`] over its stdin/stdout.
+    pub worker_cmd: Vec<String>,
+}
+
+/// Partitions `m` machines into `shards` contiguous, maximally even
+/// ranges (first `m % shards` shards get one extra machine).
+pub fn partition_shards(m: usize, shards: usize) -> Vec<(usize, usize)> {
+    assert!(shards >= 1 && shards <= m, "need 1..=m shards (m = {m}, shards = {shards})");
+    let base = m / shards;
+    let extra = m % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for i in 0..shards {
+        let hi = lo + base + usize::from(i < extra);
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    bounds
+}
+
+/// Serves one worker process: reads supervisor frames from `input`,
+/// executes them against a simulation built by `build` (from the opaque
+/// hello spec bytes), and writes replies to `output`. Returns `Ok(())`
+/// on orderly EOF — the supervisor closing the pipe is the shutdown
+/// signal.
+///
+/// Deterministic failures (build errors, model violations, protocol
+/// misuse) are reported to the supervisor as [`Ack::Error`] and the loop
+/// continues; only transport failures abort it.
+pub fn worker_serve(
+    input: impl Read,
+    output: impl Write,
+    mut build: impl FnMut(&[u8]) -> Result<Simulation, String>,
+) -> Result<(), ShardError> {
+    let mut input = input;
+    let mut output = output;
+    let mut state: Option<(Simulation, usize, usize)> = None;
+    loop {
+        let frame = match read_frame(&mut input) {
+            Ok(frame) => frame,
+            Err(ShardError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Frame::Hello { lo, hi, spec } => match build(&spec) {
+                Ok(mut sim) => {
+                    if lo < hi && hi <= sim.m() {
+                        sim.retain_shard(lo, hi);
+                        let round = sim.round();
+                        state = Some((sim, lo, hi));
+                        write_frame(&mut output, &Frame::RoundAck { round, ack: Ack::Ready })?;
+                    } else {
+                        state = None;
+                        let message = format!("shard [{lo}, {hi}) out of range (m = {})", sim.m());
+                        write_frame(&mut output, &err_ack(0, message))?;
+                    }
+                }
+                Err(message) => {
+                    state = None;
+                    write_frame(&mut output, &err_ack(0, format!("build failed: {message}")))?;
+                }
+            },
+            Frame::Snapshot { bytes } => {
+                let Some((sim, _, _)) = state.as_mut() else {
+                    write_frame(&mut output, &err_ack(0, "snapshot before hello".into()))?;
+                    continue;
+                };
+                let restored = SimulationSnapshot::from_bytes(&bytes)
+                    .and_then(|snap| sim.restore(&snap).map(|()| snap.round));
+                match restored {
+                    Ok(round) => {
+                        write_frame(&mut output, &Frame::RoundAck { round, ack: Ack::Ready })?
+                    }
+                    Err(e) => {
+                        write_frame(&mut output, &err_ack(0, format!("restore failed: {e}")))?
+                    }
+                }
+            }
+            Frame::RoundMsgs { round, msgs } => {
+                let Some((sim, lo, hi)) = state.as_mut() else {
+                    write_frame(&mut output, &err_ack(round, "round before hello".into()))?;
+                    continue;
+                };
+                if round != sim.round() {
+                    let message =
+                        format!("batch for round {round} but worker is at round {}", sim.round());
+                    write_frame(&mut output, &err_ack(round, message))?;
+                    continue;
+                }
+                let stepped = sim
+                    .inject_messages(&msgs)
+                    .and_then(|()| sim.step_shard(*lo, *hi))
+                    .map(|out| (out, sim.snapshot().to_bytes()));
+                match stepped {
+                    Ok((out, barrier)) => {
+                        write_frame(&mut output, &Frame::RoundMsgs { round, msgs: out.messages })?;
+                        write_frame(
+                            &mut output,
+                            &Frame::RoundAck {
+                                round,
+                                ack: Ack::Round { stats: out.stats, outputs: out.outputs },
+                            },
+                        )?;
+                        write_frame(&mut output, &Frame::Snapshot { bytes: barrier })?;
+                    }
+                    Err(violation) => {
+                        write_frame(&mut output, &err_ack(round, violation.to_string()))?;
+                    }
+                }
+            }
+            Frame::RoundAck { .. } => {
+                return Err(ShardError::Protocol(
+                    "worker received a ROUND_ACK (supervisor-bound frame)".into(),
+                ));
+            }
+        }
+    }
+}
+
+fn err_ack(round: usize, message: String) -> Frame {
+    Frame::RoundAck { round, ack: Ack::Error { message } }
+}
+
+/// A live worker process plus its reader thread and recovery state.
+///
+/// `Drop` reaps unconditionally — kill, wait, join the reader — so a
+/// worker can never outlive its handle as a zombie, no matter which
+/// error path dropped it (the handshake-failure audit of
+/// `crates/experiments/tests/shard_reap.rs` counts live children to
+/// prove it).
+struct WorkerHandle {
+    index: usize,
+    lo: usize,
+    hi: usize,
+    child: Child,
+    stdin: Option<ChildStdin>,
+    rx: Receiver<Frame>,
+    reader: Option<JoinHandle<()>>,
+    /// The latest round-barrier snapshot (container bytes). `None` until
+    /// the first round completes: before that, a fresh hello build *is*
+    /// the round-0 barrier.
+    barrier: Option<Vec<u8>>,
+    respawns: usize,
+}
+
+impl WorkerHandle {
+    fn spawn(cmd: &[String], index: usize, lo: usize, hi: usize) -> Result<Self, ShardError> {
+        assert!(!cmd.is_empty(), "worker_cmd must name an executable");
+        let mut child = Command::new(&cmd[0])
+            .args(&cmd[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let (tx, rx): (Sender<Frame>, Receiver<Frame>) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            // Decode in the reader so the supervisor thread only ever
+            // blocks on the channel. Any read/decode failure ends the
+            // thread; the dropped sender surfaces to the supervisor as a
+            // disconnect — the crash signal.
+            while let Ok(frame) = read_frame(&mut stdout) {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(WorkerHandle {
+            index,
+            lo,
+            hi,
+            child,
+            stdin: Some(stdin),
+            rx,
+            reader: Some(reader),
+            barrier: None,
+            respawns: 0,
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        let stdin = self
+            .stdin
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "stdin already closed"))?;
+        write_frame(stdin, frame)
+    }
+
+    /// Receives the next frame, honoring the round deadline. `Err` means
+    /// the worker is dead or hung — the crash signal.
+    fn recv(&mut self, deadline: Option<Duration>) -> Result<Frame, String> {
+        match deadline {
+            Some(limit) => self.rx.recv_timeout(limit).map_err(|e| match e {
+                RecvTimeoutError::Timeout => format!("round deadline {limit:?} exceeded"),
+                RecvTimeoutError::Disconnected => "pipe EOF".into(),
+            }),
+            None => self.rx.recv().map_err(|_| "pipe EOF".into()),
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        // Closing stdin first lets an orderly worker exit on EOF, but we
+        // do not wait for that courtesy: kill unconditionally, then reap.
+        drop(self.stdin.take());
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Waits for a [`Ack::Ready`] from a freshly-built or freshly-restored
+/// worker. Any other answer is fatal: a worker that cannot even reach a
+/// barrier would fail identically on respawn.
+fn expect_ready(deadline: Option<Duration>, worker: &mut WorkerHandle) -> Result<(), ShardError> {
+    match worker.recv(deadline) {
+        Ok(Frame::RoundAck { ack: Ack::Ready, .. }) => Ok(()),
+        Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
+            Err(ShardError::Worker { worker: worker.index, message })
+        }
+        Ok(other) => Err(ShardError::Protocol(format!(
+            "worker {} answered the handshake with {other:?}",
+            worker.index
+        ))),
+        Err(reason) => Err(ShardError::WorkerDied { worker: worker.index, round: 0, reason }),
+    }
+}
+
+/// One worker's complete round reply, collected by the supervisor.
+struct RoundReply {
+    msgs: Vec<Message>,
+    stats: RoundStats,
+    outputs: Vec<(MachineId, BitVec)>,
+    barrier: Vec<u8>,
+}
+
+/// The supervisor of a sharded run.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    spec: Vec<u8>,
+    m: usize,
+    metrics: Option<Arc<dyn MetricsSink>>,
+    workers: Vec<WorkerHandle>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl Supervisor {
+    /// Spawns one worker per shard and completes every handshake. The
+    /// spec bytes are opaque to the supervisor; workers decode them with
+    /// the builder they were started with.
+    pub fn new(
+        cfg: SupervisorConfig,
+        spec: Vec<u8>,
+        m: usize,
+        metrics: Option<Arc<dyn MetricsSink>>,
+    ) -> Result<Self, ShardError> {
+        assert!(!cfg.worker_cmd.is_empty(), "worker_cmd must name an executable");
+        let bounds = partition_shards(m, cfg.shards);
+        let mut sup =
+            Supervisor { cfg, spec, m, metrics, workers: Vec::with_capacity(bounds.len()), bounds };
+        for i in 0..sup.bounds.len() {
+            let (lo, hi) = sup.bounds[i];
+            let mut worker = WorkerHandle::spawn(&sup.cfg.worker_cmd, i, lo, hi)?;
+            sup.worker_event("spawn", i, 0);
+            sup.handshake(&mut worker)?;
+            sup.workers.push(worker);
+        }
+        Ok(sup)
+    }
+
+    fn worker_event(&self, kind: &'static str, worker: usize, round: usize) {
+        emit(&self.metrics, || Event::Worker { kind, worker: worker as u64, round: round as u64 });
+    }
+
+    /// Sends the hello and waits for the ready ack. Handshake failures
+    /// are fatal (a worker that cannot even build would fail identically
+    /// on respawn); the handle's `Drop` reaps the process.
+    fn handshake(&self, worker: &mut WorkerHandle) -> Result<(), ShardError> {
+        let hello = Frame::Hello { lo: worker.lo, hi: worker.hi, spec: self.spec.clone() };
+        worker.send(&hello)?;
+        expect_ready(self.cfg.round_deadline, worker)
+    }
+
+    /// Kills (SIGKILL) + reaps the dead incarnation, spawns a fresh
+    /// process for the same shard, and rolls it forward to the last
+    /// round barrier: hello (fresh build = round-0 barrier), then the
+    /// retained barrier snapshot if one exists, then the in-flight
+    /// round's batch again.
+    fn recover(
+        &mut self,
+        index: usize,
+        round: usize,
+        batch: &[Message],
+        reason: String,
+    ) -> Result<(), ShardError> {
+        self.worker_event("crash", index, round);
+        let old = &self.workers[index];
+        if old.respawns >= self.cfg.max_respawns {
+            return Err(ShardError::WorkerDied { worker: index, round, reason });
+        }
+        let (lo, hi) = self.bounds[index];
+        let mut fresh = WorkerHandle::spawn(&self.cfg.worker_cmd, index, lo, hi)?;
+        fresh.respawns = self.workers[index].respawns + 1;
+        fresh.barrier = self.workers[index].barrier.clone();
+        // Dropping the old handle reaps the dead process and joins its
+        // reader; stale frames from the dead incarnation die with its
+        // channel — the fresh channel only ever carries fresh frames.
+        self.workers[index] = fresh;
+        self.worker_event("respawn", index, round);
+        let deadline = self.cfg.round_deadline;
+        let hello = Frame::Hello { lo, hi, spec: self.spec.clone() };
+        let barrier = self.workers[index].barrier.clone();
+        let worker = &mut self.workers[index];
+        worker.send(&hello)?;
+        expect_ready(deadline, worker)?;
+        if let Some(barrier) = barrier {
+            worker.send(&Frame::Snapshot { bytes: barrier })?;
+            expect_ready(deadline, worker)?;
+        }
+        worker.send(&Frame::RoundMsgs { round, msgs: batch.to_vec() })?;
+        self.worker_event("replay", index, round);
+        Ok(())
+    }
+
+    /// Collects one worker's three-frame round reply, recovering through
+    /// crashes. Partial replies from a dead incarnation are discarded —
+    /// only a complete (msgs, ack, barrier) triple counts.
+    fn collect(
+        &mut self,
+        index: usize,
+        round: usize,
+        batch: &[Message],
+    ) -> Result<RoundReply, ShardError> {
+        'attempt: loop {
+            let deadline = self.cfg.round_deadline;
+            let msgs = match self.workers[index].recv(deadline) {
+                Ok(Frame::RoundMsgs { round: r, msgs }) if r == round => msgs,
+                Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
+                    return Err(ShardError::Worker { worker: index, message });
+                }
+                Ok(other) => {
+                    return Err(ShardError::Protocol(format!(
+                        "worker {index} sent {other:?} where round {round} messages were expected"
+                    )));
+                }
+                Err(reason) => {
+                    self.recover(index, round, batch, reason)?;
+                    continue 'attempt;
+                }
+            };
+            let (stats, outputs) = match self.workers[index].recv(deadline) {
+                Ok(Frame::RoundAck { round: r, ack: Ack::Round { stats, outputs } })
+                    if r == round =>
+                {
+                    (stats, outputs)
+                }
+                Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
+                    return Err(ShardError::Worker { worker: index, message });
+                }
+                Ok(other) => {
+                    return Err(ShardError::Protocol(format!(
+                        "worker {index} sent {other:?} where the round {round} ack was expected"
+                    )));
+                }
+                Err(reason) => {
+                    self.recover(index, round, batch, reason)?;
+                    continue 'attempt;
+                }
+            };
+            let barrier = match self.workers[index].recv(deadline) {
+                Ok(Frame::Snapshot { bytes }) => bytes,
+                Ok(other) => {
+                    return Err(ShardError::Protocol(format!(
+                        "worker {index} sent {other:?} where the round {round} barrier was expected"
+                    )));
+                }
+                Err(reason) => {
+                    self.recover(index, round, batch, reason)?;
+                    continue 'attempt;
+                }
+            };
+            self.worker_event("heartbeat", index, round);
+            return Ok(RoundReply { msgs, stats, outputs, barrier });
+        }
+    }
+
+    /// Runs the sharded computation until some machine emits an output
+    /// or `max_rounds` is reached — the supervised mirror of
+    /// [`Simulation::run_until_output`], with a byte-identical
+    /// [`RunResult`].
+    pub fn run_until_output(&mut self, max_rounds: usize) -> Result<RunResult, ShardError> {
+        let shards = self.bounds.len();
+        let mut batches: Vec<Vec<Message>> = vec![Vec::new(); shards];
+        let mut stats = SimStats::default();
+        let mut outputs: Vec<(MachineId, BitVec)> = Vec::new();
+        for round in 0..max_rounds {
+            // Send every worker its inbound batch; a write failure is a
+            // crash already visible at the pipe, recovered on the spot
+            // (recovery resends the batch itself).
+            for (i, slot) in batches.iter_mut().enumerate() {
+                let frame = Frame::RoundMsgs { round, msgs: std::mem::take(slot) };
+                let Frame::RoundMsgs { msgs, .. } = &frame else { unreachable!() };
+                let batch = msgs.clone();
+                if let Err(e) = self.workers[i].send(&frame) {
+                    self.recover(i, round, &batch, format!("write failed: {e}"))?;
+                }
+                *slot = batch;
+            }
+            // The seeded kill schedule strikes *after* the batch is on
+            // the wire: the worker dies mid-round, computing.
+            for kill in self.cfg.kills.clone() {
+                if kill.round == round && kill.worker < shards {
+                    let _ = self.workers[kill.worker].child.kill();
+                }
+            }
+            // Collect in worker order. Replies buffer in the per-worker
+            // channels, so sequential collection loses no parallelism —
+            // and worker order *is* sender-major machine order, which is
+            // what makes the merged transcript byte-identical to the
+            // in-process executor's.
+            let mut round_msgs: Vec<Message> = Vec::new();
+            let mut round_outputs: Vec<(MachineId, BitVec)> = Vec::new();
+            let mut merged: Option<RoundStats> = None;
+            for (i, slot) in batches.iter_mut().enumerate() {
+                let batch = std::mem::take(slot);
+                let reply = self.collect(i, round, &batch)?;
+                if reply.stats.round != round {
+                    return Err(ShardError::Protocol(format!(
+                        "worker {i} acked round {} during round {round}",
+                        reply.stats.round
+                    )));
+                }
+                round_msgs.extend(reply.msgs);
+                round_outputs.extend(reply.outputs);
+                merged = Some(match merged.take() {
+                    None => reply.stats,
+                    Some(mut acc) => {
+                        acc.messages += reply.stats.messages;
+                        acc.bits_sent += reply.stats.bits_sent;
+                        acc.oracle_queries += reply.stats.oracle_queries;
+                        acc.max_queries_one_machine =
+                            acc.max_queries_one_machine.max(reply.stats.max_queries_one_machine);
+                        acc.max_memory_bits = acc.max_memory_bits.max(reply.stats.max_memory_bits);
+                        acc.active_machines += reply.stats.active_machines;
+                        acc
+                    }
+                });
+                self.workers[i].barrier = Some(reply.barrier);
+            }
+            stats.rounds.push(merged.expect("at least one shard"));
+            let produced_output = !round_outputs.is_empty();
+            outputs.extend(round_outputs);
+            if produced_output {
+                return Ok(RunResult {
+                    outcome: RunOutcome::Completed { rounds: round + 1 },
+                    outputs,
+                    stats,
+                });
+            }
+            // Route: partition the concatenated sender-major stream by
+            // destination shard, preserving order within each batch.
+            for msg in round_msgs {
+                if msg.to >= self.m {
+                    return Err(ShardError::Protocol(format!(
+                        "worker message addressed to machine {} (m = {})",
+                        msg.to, self.m
+                    )));
+                }
+                let owner = self.bounds.partition_point(|&(_, hi)| hi <= msg.to);
+                batches[owner].push(msg);
+            }
+        }
+        Ok(RunResult { outcome: RunOutcome::RoundLimit { limit: max_rounds }, outputs, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Outbox, RoundCtx};
+    use crate::message::Inbox;
+    use mph_oracle::{LazyOracle, RandomTape};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { lo: 2, hi: 5, spec: vec![1, 2, 3, 255] },
+            Frame::RoundMsgs {
+                round: 7,
+                msgs: vec![
+                    Message { from: 0, to: 3, payload: BitVec::from_u64(0b101, 3) },
+                    Message { from: 4, to: 4, payload: BitVec::new() },
+                ],
+            },
+            Frame::RoundAck { round: 0, ack: Ack::Ready },
+            Frame::RoundAck {
+                round: 3,
+                ack: Ack::Round {
+                    stats: RoundStats {
+                        round: 3,
+                        messages: 2,
+                        bits_sent: 3,
+                        oracle_queries: 9,
+                        max_queries_one_machine: 5,
+                        max_memory_bits: 64,
+                        active_machines: 2,
+                    },
+                    outputs: vec![(1, BitVec::ones(4))],
+                },
+            },
+            Frame::RoundAck { round: 1, ack: Ack::Error { message: "boom".into() } },
+            Frame::Snapshot { bytes: b"nested container".to_vec() },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let bytes = frame.to_bytes();
+            assert_eq!(Frame::from_bytes(&bytes).unwrap(), frame, "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_typed() {
+        let mut w = SnapshotWriter::new();
+        let patch = w.begin_section(b"ZZZZ");
+        w.put_u64(1);
+        w.end_section(patch);
+        let bytes = w.finish();
+        match Frame::from_bytes(&bytes) {
+            Err(ShardError::UnknownFrameKind { tag }) => assert_eq!(tag, *b"ZZZZ"),
+            other => panic!("expected UnknownFrameKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_prefix_framing_round_trips() {
+        let mut wire = Vec::new();
+        for frame in sample_frames() {
+            write_frame(&mut wire, &frame).unwrap();
+        }
+        let mut r = &wire[..];
+        for frame in sample_frames() {
+            assert_eq!(read_frame(&mut r).unwrap(), frame);
+        }
+        // Clean EOF afterwards.
+        match read_frame(&mut r) {
+            Err(ShardError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        assert!(matches!(read_frame(&mut &wire[..]), Err(ShardError::Protocol(_))));
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_even() {
+        assert_eq!(partition_shards(4, 1), vec![(0, 4)]);
+        assert_eq!(partition_shards(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(partition_shards(7, 2), vec![(0, 4), (4, 7)]);
+        let bounds = partition_shards(10, 3);
+        assert_eq!(bounds, vec![(0, 4), (4, 7), (7, 10)]);
+        assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0));
+    }
+
+    /// A deterministic relay build for in-memory worker tests: machine i
+    /// forwards its inbox to machine (i + 1) % m, emitting once a
+    /// message has hopped `m` times.
+    fn relay_sim(m: usize) -> Simulation {
+        let mut sim =
+            Simulation::new(m, 256, Arc::new(LazyOracle::square(3, 16)), RandomTape::new(7));
+        sim.set_uniform_logic(Arc::new(
+            move |ctx: &RoundCtx<'_>, incoming: &Inbox<'_>, out: &mut Outbox| {
+                for msg in incoming.iter() {
+                    let mut payload = msg.payload.to_bitvec();
+                    payload.push(true);
+                    if payload.len() >= 8 {
+                        out.emit(payload);
+                    } else {
+                        out.push((ctx.machine() + 1) % ctx.m(), &payload);
+                    }
+                }
+                Ok(())
+            },
+        ));
+        sim.seed_memory(0, BitVec::from_u64(0b1, 4));
+        sim
+    }
+
+    /// Drives `worker_serve` over in-memory pipes with a scripted frame
+    /// sequence and returns the worker's reply frames.
+    fn drive_worker(input_frames: &[Frame], m: usize) -> Vec<Frame> {
+        let mut wire = Vec::new();
+        for frame in input_frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut replies = Vec::new();
+        worker_serve(&wire[..], &mut replies, |_spec| Ok(relay_sim(m))).unwrap();
+        let mut frames = Vec::new();
+        let mut r = &replies[..];
+        loop {
+            match read_frame(&mut r) {
+                Ok(frame) => frames.push(frame),
+                Err(ShardError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => panic!("worker reply stream corrupt: {e}"),
+            }
+        }
+        frames
+    }
+
+    #[test]
+    fn worker_round_trip_matches_in_process_round() {
+        // One worker owning the whole machine range: its per-round
+        // replies must carry exactly what the in-process executor's
+        // rounds produce.
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let r0 = Frame::RoundMsgs { round: 0, msgs: Vec::new() };
+        let replies = drive_worker(&[hello, r0], m);
+        assert!(matches!(replies[0], Frame::RoundAck { ack: Ack::Ready, .. }));
+        let Frame::RoundMsgs { round: 0, msgs } = &replies[1] else {
+            panic!("expected round 0 messages, got {:?}", replies[1]);
+        };
+        // Round 0: machine 0 relays its seed (one bit appended) to 1.
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].from, 0);
+        assert_eq!(msgs[0].to, 1);
+        assert_eq!(msgs[0].payload.len(), 5);
+        let Frame::RoundAck { round: 0, ack: Ack::Round { stats, outputs } } = &replies[2] else {
+            panic!("expected round 0 ack, got {:?}", replies[2]);
+        };
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.active_machines, 1);
+        assert!(outputs.is_empty());
+        let Frame::Snapshot { bytes } = &replies[3] else {
+            panic!("expected barrier snapshot, got {:?}", replies[3]);
+        };
+        let barrier = SimulationSnapshot::from_bytes(bytes).unwrap();
+        assert_eq!(barrier.round, 1);
+        // Full extraction: the barrier is empty — recovery state is the
+        // batch, not the image.
+        assert!(barrier.inboxes.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn worker_rejects_wrong_round_batch() {
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let bad = Frame::RoundMsgs { round: 5, msgs: Vec::new() };
+        let replies = drive_worker(&[hello, bad], m);
+        assert!(matches!(replies[0], Frame::RoundAck { ack: Ack::Ready, .. }));
+        let Frame::RoundAck { ack: Ack::Error { message }, .. } = &replies[1] else {
+            panic!("expected an error ack, got {:?}", replies[1]);
+        };
+        assert!(message.contains("round 5"), "{message}");
+    }
+
+    #[test]
+    fn worker_reports_build_failure_as_error_ack() {
+        let hello = Frame::Hello { lo: 0, hi: 1, spec: Vec::new() };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &hello).unwrap();
+        let mut replies = Vec::new();
+        worker_serve(&wire[..], &mut replies, |_spec| Err("no such pipeline".into())).unwrap();
+        let frame = read_frame(&mut &replies[..]).unwrap();
+        let Frame::RoundAck { ack: Ack::Error { message }, .. } = frame else {
+            panic!("expected an error ack, got {frame:?}");
+        };
+        assert!(message.contains("no such pipeline"), "{message}");
+    }
+
+    #[test]
+    fn worker_restores_snapshot_to_its_round() {
+        let m = 3;
+        // Run two rounds in-process on the shard API to get a genuine
+        // barrier snapshot, then hand it to a fresh worker.
+        let mut sim = relay_sim(m);
+        sim.retain_shard(0, m);
+        let out0 = sim.step_shard(0, m).unwrap();
+        sim.inject_messages(&out0.messages).unwrap();
+        sim.step_shard(0, m).unwrap();
+        let barrier = sim.snapshot().to_bytes();
+
+        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let restore = Frame::Snapshot { bytes: barrier };
+        let replies = drive_worker(&[hello, restore], m);
+        assert!(matches!(replies[0], Frame::RoundAck { round: 0, ack: Ack::Ready }));
+        assert!(
+            matches!(replies[1], Frame::RoundAck { round: 2, ack: Ack::Ready }),
+            "restore must report the barrier round: {:?}",
+            replies[1]
+        );
+    }
+
+    #[test]
+    fn sharded_rounds_reassemble_the_in_process_transcript() {
+        // Drive two workers by hand through the full protocol and check
+        // the merged transcript equals the in-process run, message for
+        // message and output for output.
+        let m = 4;
+        let mut reference = relay_sim(m);
+        let expected = reference.run_until_output(64).unwrap();
+
+        let shards = partition_shards(m, 2);
+        let mut sims: Vec<(Simulation, usize, usize)> = shards
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut sim = relay_sim(m);
+                sim.retain_shard(lo, hi);
+                (sim, lo, hi)
+            })
+            .collect();
+        let mut batches: Vec<Vec<Message>> = vec![Vec::new(); sims.len()];
+        let mut outputs = Vec::new();
+        let mut stats = SimStats::default();
+        let mut rounds = 0;
+        'run: for round in 0..64 {
+            let mut all_msgs = Vec::new();
+            let mut merged: Option<RoundStats> = None;
+            for (i, (sim, lo, hi)) in sims.iter_mut().enumerate() {
+                sim.inject_messages(&batches[i]).unwrap();
+                batches[i].clear();
+                let out = sim.step_shard(*lo, *hi).unwrap();
+                all_msgs.extend(out.messages);
+                outputs.extend(out.outputs);
+                merged = Some(match merged.take() {
+                    None => out.stats,
+                    Some(mut acc) => {
+                        acc.messages += out.stats.messages;
+                        acc.bits_sent += out.stats.bits_sent;
+                        acc.oracle_queries += out.stats.oracle_queries;
+                        acc.max_queries_one_machine =
+                            acc.max_queries_one_machine.max(out.stats.max_queries_one_machine);
+                        acc.max_memory_bits = acc.max_memory_bits.max(out.stats.max_memory_bits);
+                        acc.active_machines += out.stats.active_machines;
+                        acc
+                    }
+                });
+            }
+            stats.rounds.push(merged.unwrap());
+            if !outputs.is_empty() {
+                rounds = round + 1;
+                break 'run;
+            }
+            for msg in all_msgs {
+                let owner = shards.partition_point(|&(_, hi)| hi <= msg.to);
+                batches[owner].push(msg);
+            }
+        }
+        assert_eq!(RunOutcome::Completed { rounds }, expected.outcome);
+        assert_eq!(outputs, expected.outputs);
+        assert_eq!(stats, expected.stats);
+    }
+}

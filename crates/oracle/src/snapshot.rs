@@ -254,6 +254,19 @@ impl<'a> SnapshotReader<'a> {
         self.bytes.len() - self.pos
     }
 
+    /// Reads the next section's 4-byte tag without consuming it, so a
+    /// dispatcher can branch on the kind of frame it received (the shard
+    /// wire protocol does this) and reject unknown kinds with a typed
+    /// error instead of misparsing them.
+    pub fn peek_section_tag(&self) -> Result<[u8; 4], SnapshotError> {
+        if self.remaining() < 4 {
+            return Err(SnapshotError::Truncated { needed: 4, available: self.remaining() });
+        }
+        let mut tag = [0u8; 4];
+        tag.copy_from_slice(&self.bytes[self.pos..self.pos + 4]);
+        Ok(tag)
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated { needed: n, available: self.remaining() });
@@ -359,6 +372,18 @@ impl<'a> SnapshotReader<'a> {
 
 /// Section tag for a cached-oracle memo table.
 pub const SECTION_ORACLE_TABLE: [u8; 4] = *b"ORCL";
+
+/// Shard wire frame: supervisor → worker handshake (`SHARD_HELLO`).
+pub const SECTION_SHARD_HELLO: [u8; 4] = *b"SHLO";
+
+/// Shard wire frame: a round's message batch (`ROUND_MSGS`).
+pub const SECTION_ROUND_MSGS: [u8; 4] = *b"RMSG";
+
+/// Shard wire frame: a worker's round acknowledgement (`ROUND_ACK`).
+pub const SECTION_ROUND_ACK: [u8; 4] = *b"RACK";
+
+/// Shard wire frame: a worker's round-barrier snapshot (`SHARD_SNAPSHOT`).
+pub const SECTION_SHARD_SNAPSHOT: [u8; 4] = *b"SSNP";
 
 /// Section tag for a query transcript.
 pub const SECTION_TRANSCRIPT: [u8; 4] = *b"TRNS";
@@ -514,6 +539,21 @@ mod tests {
             let r = SnapshotReader::new(&bytes[..len]);
             assert!(r.is_err(), "truncation to {len} bytes went undetected");
         }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut w = SnapshotWriter::new();
+        let patch = w.begin_section(b"PEEK");
+        w.put_u64(5);
+        w.end_section(patch);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(r.peek_section_tag().unwrap(), *b"PEEK");
+        assert_eq!(r.peek_section_tag().unwrap(), *b"PEEK");
+        r.begin_section(b"PEEK").unwrap();
+        assert_eq!(r.get_u64().unwrap(), 5);
+        assert_eq!(r.peek_section_tag(), Err(SnapshotError::Truncated { needed: 4, available: 0 }));
     }
 
     #[test]

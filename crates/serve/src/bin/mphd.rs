@@ -3,6 +3,12 @@
 //! Binds a TCP listener, prints `mphd listening on <addr>` on stdout
 //! (so wrappers can wait for readiness and discover a port-0 bind), and
 //! serves line-delimited JSON-RPC forever. See docs/SERVING.md.
+//!
+//! The hidden `--shard-worker` flag (always the first argument) turns
+//! the process into a shard worker serving the frame protocol on
+//! stdin/stdout instead — how a deployed daemon with no `mphd_worker`
+//! binary alongside spawns workers for sharded sessions by re-executing
+//! itself. See docs/ROBUSTNESS.md.
 
 use mph_serve::server::{Server, ServerConfig};
 use std::path::PathBuf;
@@ -42,6 +48,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--shard-worker") {
+        std::process::exit(mph_experiments::shard::worker_main());
+    }
     let config = match parse_args(std::env::args().skip(1)) {
         Ok(config) => config,
         Err(msg) => {

@@ -75,6 +75,17 @@ pub fn as_u64(v: &Json) -> Option<u64> {
     }
 }
 
+/// A finite float out of `F64`/`U64`/`I64` (clients legitimately write
+/// rates like `0` or `1` as integers), `None` otherwise.
+pub fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::F64(x) => Some(*x),
+        Json::U64(n) => Some(*n as f64),
+        Json::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
 /// A bool, `None` otherwise.
 pub fn as_bool(v: &Json) -> Option<bool> {
     match v {
@@ -422,6 +433,10 @@ mod tests {
     fn accessors() {
         let doc = parse(r#"{"a":1,"b":"x","c":[true],"d":false}"#).unwrap();
         assert_eq!(get(&doc, "a").and_then(as_u64), Some(1));
+        assert_eq!(get(&doc, "a").and_then(as_f64), Some(1.0));
+        assert_eq!(as_f64(&Json::F64(0.25)), Some(0.25));
+        assert_eq!(as_f64(&Json::I64(-1)), Some(-1.0));
+        assert_eq!(as_f64(&Json::str("0.5")), None);
         assert_eq!(get(&doc, "b").and_then(as_str), Some("x"));
         assert_eq!(get(&doc, "c").and_then(as_array).map(<[Json]>::len), Some(1));
         assert_eq!(get(&doc, "d").and_then(as_bool), Some(false));

@@ -7,8 +7,9 @@
 //! boundary between untrusted bytes and the experiment engine — every
 //! constructor here returns [`ProtoError`] instead of panicking.
 
-use crate::jsonio::{self, as_array, as_bool, as_str, as_u64, get};
+use crate::jsonio::{self, as_array, as_bool, as_f64, as_str, as_u64, get};
 use mph_metrics::json::Json;
+use mph_mpc::FaultSpec;
 
 /// Protocol version spoken by this build.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -27,6 +28,8 @@ pub enum ErrorCode {
     BadRequest,
     /// Admission control refused the session: all slots are in use.
     Busy,
+    /// A `cancel` named a session that is not currently running.
+    NotFound,
     /// The server failed internally; the session is aborted.
     Internal,
 }
@@ -38,6 +41,7 @@ impl ErrorCode {
             ErrorCode::Parse => "parse",
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::Busy => "busy",
+            ErrorCode::NotFound => "not_found",
             ErrorCode::Internal => "internal",
         }
     }
@@ -74,7 +78,7 @@ impl std::error::Error for ProtoError {}
 /// All fields are resolved (defaults applied) — two specs that render
 /// the same [`GridSpec::canonical_json`] are the same session, which is
 /// what keys the daemon's durable checkpoint directory.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GridSpec {
     /// Report/label namespace, `[a-z0-9_-]{1,64}`.
     pub exp: String,
@@ -104,6 +108,28 @@ pub struct GridSpec {
     pub durable: bool,
     /// Checkpoint cadence in completed cells (clamped to ≥ 1).
     pub checkpoint_every: usize,
+    /// Worker processes per trial (`1` = the historical in-process run;
+    /// `> 1` routes the session through the shard supervisor). An
+    /// execution knob like `durable`: it changes *where* trials compute,
+    /// never *what* — sharded reports are byte-identical to in-process
+    /// ones — so it stays out of the canonical bytes and the session key.
+    pub shards: usize,
+    /// Per-(machine, round) crash probability injected into every trial;
+    /// `None` runs fault-free.
+    pub crash_rate: Option<f64>,
+    /// Per-message drop probability; `None` runs fault-free.
+    pub drop_rate: Option<f64>,
+    /// Per-message payload-bit-flip probability; `None` runs fault-free.
+    pub corrupt_rate: Option<f64>,
+    /// Per-(machine, round) straggler probability; `None` runs
+    /// fault-free.
+    pub straggler_rate: Option<f64>,
+    /// Base seed of the injected fault schedules. Only meaningful — and
+    /// only accepted — alongside at least one fault rate.
+    pub fault_seed: u64,
+    /// Extra attempts per faulty trial that fails. Only meaningful — and
+    /// only accepted — alongside at least one fault rate.
+    pub retries: usize,
 }
 
 impl Default for GridSpec {
@@ -122,6 +148,13 @@ impl Default for GridSpec {
             q: None,
             durable: true,
             checkpoint_every: 4,
+            shards: 1,
+            crash_rate: None,
+            drop_rate: None,
+            corrupt_rate: None,
+            straggler_rate: None,
+            fault_seed: 0,
+            retries: 0,
         }
     }
 }
@@ -141,6 +174,24 @@ mod limits {
     pub const MAX_S_BITS: u64 = 1 << 26;
     /// Query budgets above this can never bind on the demo family.
     pub const MAX_Q: u64 = 1 << 32;
+    /// Retry attempts per faulty trial: enough for any plausible fault
+    /// sweep, small enough that a cell cannot be made to run forever.
+    pub const MAX_RETRIES: u64 = 16;
+}
+
+/// Parses one optional fault-rate field: a finite number in `[0, 1]`
+/// (integer `0`/`1` accepted); absent stays `None`.
+fn field_rate(params: &Json, key: &str) -> Result<Option<f64>, ProtoError> {
+    match get(params, key) {
+        None => Ok(None),
+        Some(v) => {
+            let x = as_f64(v).ok_or_else(|| ProtoError::bad(format!("{key} must be a number")))?;
+            if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                return Err(ProtoError::bad(format!("{key} must be a probability in [0, 1]")));
+            }
+            Ok(Some(x))
+        }
+    }
 }
 
 fn field_u64(params: &Json, key: &str, default: u64, max: u64) -> Result<u64, ProtoError> {
@@ -255,6 +306,43 @@ impl GridSpec {
                 .ok_or_else(|| ProtoError::bad("checkpoint_every must be a non-negative integer"))?
                 .clamp(0, 1 << 20) as usize,
         };
+        let crash_rate = field_rate(params, "crash_rate")?;
+        let drop_rate = field_rate(params, "drop_rate")?;
+        let corrupt_rate = field_rate(params, "corrupt_rate")?;
+        let straggler_rate = field_rate(params, "straggler_rate")?;
+        let has_faults =
+            [crash_rate, drop_rate, corrupt_rate, straggler_rate].iter().any(Option::is_some);
+        let fault_seed = match get(params, "fault_seed") {
+            None => d.fault_seed,
+            Some(_) if !has_faults => {
+                return Err(ProtoError::bad("fault_seed requires at least one fault rate"));
+            }
+            Some(v) => as_u64(v)
+                .ok_or_else(|| ProtoError::bad("fault_seed must be a non-negative integer"))?,
+        };
+        let retries = match get(params, "retries") {
+            None => d.retries,
+            Some(_) if !has_faults => {
+                return Err(ProtoError::bad("retries requires at least one fault rate"));
+            }
+            Some(v) => {
+                let n = as_u64(v)
+                    .ok_or_else(|| ProtoError::bad("retries must be a non-negative integer"))?;
+                if n > limits::MAX_RETRIES {
+                    return Err(ProtoError::bad(format!(
+                        "retries must be in 0..={}",
+                        limits::MAX_RETRIES
+                    )));
+                }
+                n as usize
+            }
+        };
+        let shards = field_u64(params, "shards", 1, m as u64)? as usize;
+        if shards > 1 && has_faults {
+            // Injected faults are an in-process simulator feature; the
+            // shard plane's faults are real processes dying.
+            return Err(ProtoError::bad("sharded sessions do not support fault injection"));
+        }
         Ok(GridSpec {
             exp,
             target,
@@ -269,6 +357,32 @@ impl GridSpec {
             q,
             durable,
             checkpoint_every,
+            shards,
+            crash_rate,
+            drop_rate,
+            corrupt_rate,
+            straggler_rate,
+            fault_seed,
+            retries,
+        })
+    }
+
+    /// Whether any fault rate is set (the session then runs every trial
+    /// under an injected deterministic fault schedule).
+    pub fn has_faults(&self) -> bool {
+        [self.crash_rate, self.drop_rate, self.corrupt_rate, self.straggler_rate]
+            .iter()
+            .any(Option::is_some)
+    }
+
+    /// The injected-fault specification, when any rate is set.
+    pub fn fault_spec(&self) -> Option<FaultSpec> {
+        self.has_faults().then(|| FaultSpec {
+            crash_rate: self.crash_rate.unwrap_or(0.0),
+            drop_rate: self.drop_rate.unwrap_or(0.0),
+            corrupt_rate: self.corrupt_rate.unwrap_or(0.0),
+            straggler_rate: self.straggler_rate.unwrap_or(0.0),
+            ..FaultSpec::default()
         })
     }
 
@@ -276,9 +390,11 @@ impl GridSpec {
     /// order. Equal specs — regardless of which fields the client spelled
     /// out — render identical bytes, which keys the session.
     ///
-    /// `s_bits` and `q` appear only when set: a spec that leaves them at
-    /// their defaults renders the exact bytes it did before the fields
-    /// existed, so pre-existing durable sessions keep their keys.
+    /// `s_bits`, `q`, and the fault fields appear only when set: a spec
+    /// that leaves them at their defaults renders the exact bytes it did
+    /// before the fields existed, so pre-existing durable sessions keep
+    /// their keys. `shards` never appears — like `durable`, it changes
+    /// how a session executes, not what it computes.
     pub fn canonical_json(&self) -> Json {
         let mut fields = vec![
             ("exp", Json::str(&self.exp)),
@@ -296,6 +412,20 @@ impl GridSpec {
         }
         if let Some(q) = self.q {
             fields.push(("q", Json::u64(q)));
+        }
+        for (key, rate) in [
+            ("crash_rate", self.crash_rate),
+            ("drop_rate", self.drop_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("straggler_rate", self.straggler_rate),
+        ] {
+            if let Some(x) = rate {
+                fields.push((key, Json::f64(x)));
+            }
+        }
+        if self.has_faults() {
+            fields.push(("fault_seed", Json::u64(self.fault_seed)));
+            fields.push(("retries", Json::u64(self.retries as u64)));
         }
         Json::object(fields)
     }
@@ -334,6 +464,14 @@ pub enum Call {
     Ping,
     /// Run (or resume) an experiment grid, streaming progress.
     Submit(Box<GridSpec>),
+    /// Stop a running session (named by its key) at its next cell
+    /// boundary. The cancelled session's stream ends with a `cancelled`
+    /// event; durable work stays checkpointed, so resubmitting the grid
+    /// resumes the completed cells.
+    Cancel {
+        /// The [`GridSpec::session_key`] of the running session.
+        session: String,
+    },
 }
 
 /// Parses one request line. The `id` of a malformed line is recovered
@@ -372,6 +510,16 @@ pub fn parse_request(line: &str) -> Result<Request, (Json, ProtoError)> {
             let empty = Json::Object(Vec::new());
             let params = get(&doc, "params").unwrap_or(&empty);
             Call::Submit(Box::new(GridSpec::from_params(params).map_err(|e| (id.clone(), e))?))
+        }
+        "cancel" => {
+            let session = get(&doc, "params")
+                .and_then(|p| get(p, "session"))
+                .and_then(as_str)
+                .ok_or_else(|| fail("cancel params must carry a session key string".into()))?;
+            if session.is_empty() || session.len() > 64 {
+                return Err(fail("session key must be 1..=64 characters".into()));
+            }
+            Call::Cancel { session: session.to_string() }
         }
         other => return Err(fail(format!("unknown method {other:?}"))),
     };
@@ -449,6 +597,27 @@ mod tests {
             (r#"{"id":"a","method":"submit","params":{"q":0}}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"submit","params":{"q":4294967297}}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"submit","params":{"q":true}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"crash_rate":1.5}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"drop_rate":-0.1}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"id":"a","method":"submit","params":{"corrupt_rate":"x"}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"id":"a","method":"submit","params":{"fault_seed":7}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"retries":2}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"id":"a","method":"submit","params":{"crash_rate":0.1,"retries":17}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"id":"a","method":"submit","params":{"shards":0}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"shards":5}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"drop_rate":0.1}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"id":"a","method":"cancel"}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"cancel","params":{"session":""}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"cancel","params":{"session":7}}"#, ErrorCode::BadRequest),
         ] {
             match parse_request(line) {
                 Err((_, e)) => assert_eq!(e.code, want, "line {line}"),
@@ -482,6 +651,52 @@ mod tests {
         let Call::Submit(spec) = req.call else { panic!("expected submit") };
         assert_eq!(spec.s_bits, Some(1 << 26));
         assert_eq!(spec.q, Some(1 << 32));
+    }
+
+    #[test]
+    fn fault_params_parse_validate_and_fork_the_session_key() {
+        let plain = GridSpec::default();
+        let rendered = plain.canonical_json().to_string();
+        for absent in ["crash_rate", "drop_rate", "corrupt_rate", "straggler_rate", "fault_seed"] {
+            assert!(!rendered.contains(absent), "{rendered}");
+        }
+
+        let req = parse_request(
+            r#"{"id":"a","method":"submit","params":{"crash_rate":0.02,"drop_rate":1,"fault_seed":7,"retries":2}}"#,
+        )
+        .expect("parses");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(spec.crash_rate, Some(0.02));
+        assert_eq!(spec.drop_rate, Some(1.0), "integer-literal rates are accepted");
+        assert_eq!((spec.fault_seed, spec.retries), (7, 2));
+        assert_ne!(spec.session_key(), plain.session_key());
+        let fs = spec.fault_spec().expect("faults set");
+        assert_eq!((fs.crash_rate, fs.drop_rate, fs.corrupt_rate), (0.02, 1.0, 0.0));
+        let rendered = spec.canonical_json().to_string();
+        assert!(rendered.contains(r#""crash_rate":"#), "{rendered}");
+        assert!(rendered.contains(r#""fault_seed":7"#), "{rendered}");
+        assert!(rendered.contains(r#""retries":2"#), "{rendered}");
+
+        // Fault-free specs have no FaultSpec at all.
+        assert!(plain.fault_spec().is_none());
+    }
+
+    #[test]
+    fn shards_are_an_execution_knob_not_an_identity() {
+        let plain = GridSpec::default();
+        let req = parse_request(r#"{"id":"a","method":"submit","params":{"shards":4}}"#)
+            .expect("parses; default m = 4 admits 4 shards");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.session_key(), plain.session_key(), "shards must not fork the key");
+        assert!(!spec.canonical_json().to_string().contains("shards"));
+    }
+
+    #[test]
+    fn cancel_requests_parse() {
+        let req = parse_request(r#"{"id":"c","method":"cancel","params":{"session":"abc123"}}"#)
+            .expect("parses");
+        assert_eq!(req.call, Call::Cancel { session: "abc123".into() });
     }
 
     #[test]

@@ -18,13 +18,15 @@ use crate::proto::{
     error_response, event_response, parse_request, Call, ErrorCode, ProtoError, Request,
     MAX_REQUEST_BYTES, PROTOCOL_VERSION,
 };
-use crate::session;
+use crate::session::{self, SessionControl};
 use mph_metrics::json::Json;
 use mph_oracle::OracleHub;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// How a daemon instance is configured. `Default` gives the documented
@@ -62,6 +64,38 @@ struct Shared {
     active: Mutex<usize>,
     max_sessions: usize,
     ckpt_root: Option<PathBuf>,
+    /// Cancel flags of the sessions currently running, keyed by session
+    /// key. A `cancel` request (from any connection) sets the flag; the
+    /// running session observes it at its next cell boundary.
+    cancels: Mutex<BTreeMap<String, Arc<AtomicBool>>>,
+}
+
+/// Registration of a running session in the cancel registry; dropping it
+/// removes the entry on every exit path (done, cancelled, or error), so
+/// stale keys cannot accumulate.
+struct CancelRegistration<'a> {
+    shared: &'a Shared,
+    key: String,
+    flag: Arc<AtomicBool>,
+}
+
+impl<'a> CancelRegistration<'a> {
+    fn new(shared: &'a Shared, key: String) -> Self {
+        let flag = Arc::new(AtomicBool::new(false));
+        shared.cancels.lock().insert(key.clone(), Arc::clone(&flag));
+        CancelRegistration { shared, key, flag }
+    }
+}
+
+impl Drop for CancelRegistration<'_> {
+    fn drop(&mut self) {
+        let mut cancels = self.shared.cancels.lock();
+        // Two concurrent submits of the same grid share a key; only
+        // remove the entry if it is still ours.
+        if cancels.get(&self.key).is_some_and(|f| Arc::ptr_eq(f, &self.flag)) {
+            cancels.remove(&self.key);
+        }
+    }
 }
 
 /// An acquired admission slot; dropping it releases the slot even if the
@@ -106,6 +140,7 @@ impl Server {
                 active: Mutex::new(0),
                 max_sessions: config.max_sessions,
                 ckpt_root: config.ckpt_root,
+                cancels: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -278,12 +313,14 @@ fn serve_request(line: &str, shared: &Shared, writer: &mut impl Write) -> bool {
             // Stream progress as cells finalize. A mid-session write
             // failure must not abort the sweep: durable work keeps
             // checkpointing so the client's retry resumes it.
+            let registration = CancelRegistration::new(shared, spec.session_key());
             let mut peer_gone = false;
-            let outcome = session::run_session(
+            let outcome = session::run_session_with(
                 &spec,
                 Some(&shared.hub),
                 shared.ckpt_root.as_deref(),
-                |index, result| {
+                Some(&registration.flag),
+                &mut |index, result| {
                     if !peer_gone {
                         let event =
                             event_response(&id, "cell", session::cell_event_fields(index, result));
@@ -291,9 +328,10 @@ fn serve_request(line: &str, shared: &Shared, writer: &mut impl Write) -> bool {
                     }
                 },
             );
+            drop(registration);
             drop(slot);
             match outcome {
-                Ok(out) => {
+                Ok(SessionControl::Done(out)) => {
                     let done = event_response(
                         &id,
                         "done",
@@ -305,7 +343,35 @@ fn serve_request(line: &str, shared: &Shared, writer: &mut impl Write) -> bool {
                     );
                     !peer_gone && send_line(writer, &done)
                 }
+                Ok(SessionControl::Cancelled { completed }) => {
+                    let cancelled = event_response(
+                        &id,
+                        "cancelled",
+                        vec![
+                            ("session".to_string(), Json::str(spec.session_key())),
+                            ("cells_completed".to_string(), Json::u64(completed as u64)),
+                        ],
+                    );
+                    !peer_gone && send_line(writer, &cancelled)
+                }
                 Err(err) => !peer_gone && send_line(writer, &error_response(&id, &err, &[])),
+            }
+        }
+        Request { id, call: Call::Cancel { session } } => {
+            let flag = shared.cancels.lock().get(&session).cloned();
+            match flag {
+                Some(flag) => {
+                    flag.store(true, Ordering::Relaxed);
+                    let fields = vec![("session".to_string(), Json::str(&session))];
+                    send_line(writer, &event_response(&id, "cancelling", fields))
+                }
+                None => {
+                    let err = ProtoError {
+                        code: ErrorCode::NotFound,
+                        message: format!("no running session with key {session:?}"),
+                    };
+                    send_line(writer, &error_response(&id, &err, &[]))
+                }
             }
         }
     }
@@ -352,7 +418,7 @@ mod tests {
                 let terminal = jsonio::get(&doc, "error").is_some()
                     || matches!(
                         jsonio::get(&doc, "event").and_then(jsonio::as_str),
-                        Some("pong" | "done")
+                        Some("pong" | "done" | "cancelled" | "cancelling")
                     );
                 out.push(response);
                 if terminal {
@@ -424,6 +490,68 @@ mod tests {
             jsonio::get(&done, "markdown").and_then(jsonio::as_str),
             Some(local.markdown.as_str())
         );
+    }
+
+    #[test]
+    fn cancelling_an_unknown_session_is_not_found() {
+        let (addr, _h) = start(2);
+        let out =
+            talk(addr, &[r#"{"v":1,"id":"c","method":"cancel","params":{"session":"feed"}}"#]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains(r#""code":"not_found""#), "got: {}", out[0]);
+    }
+
+    #[test]
+    fn cancel_from_another_connection_stops_a_running_session() {
+        let (addr, _h) = start(2);
+        // Enough cells and trials that plenty of cell boundaries remain
+        // after the first `cell` event reaches the client.
+        let params = r#"{"windows":[2,3,4,5,6,7,8],"trials":16,"durable":false}"#;
+        let request = format!(r#"{{"v":1,"id":"s","method":"submit","params":{params}}}"#);
+
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(request.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        writer.flush().expect("flush");
+
+        let mut read_event = || {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0, "server hung up");
+            jsonio::parse(line.trim_end()).expect("server output parses")
+        };
+        let accepted = read_event();
+        assert_eq!(jsonio::get(&accepted, "event").and_then(jsonio::as_str), Some("accepted"));
+        let session = jsonio::get(&accepted, "session")
+            .and_then(jsonio::as_str)
+            .expect("accepted carries the session key")
+            .to_string();
+        let first = read_event();
+        assert_eq!(jsonio::get(&first, "event").and_then(jsonio::as_str), Some("cell"));
+
+        // Cancel from a second connection, by key.
+        let cancel =
+            format!(r#"{{"v":1,"id":"c","method":"cancel","params":{{"session":"{session}"}}}}"#);
+        let out = talk(addr, &[&cancel]);
+        assert!(out[0].contains(r#""event":"cancelling""#), "got: {}", out[0]);
+
+        // The submit stream ends with a typed `cancelled` event.
+        let terminal = loop {
+            let doc = read_event();
+            match jsonio::get(&doc, "event").and_then(jsonio::as_str) {
+                Some("cell") => continue,
+                _ => break doc,
+            }
+        };
+        assert_eq!(jsonio::get(&terminal, "event").and_then(jsonio::as_str), Some("cancelled"));
+        assert_eq!(jsonio::get(&terminal, "session").and_then(jsonio::as_str), Some(&*session));
+        let completed = jsonio::get(&terminal, "cells_completed").and_then(jsonio::as_u64);
+        assert!(completed.is_some_and(|c| (1..7).contains(&c)), "completed: {completed:?}");
+
+        // The registry entry is gone: a late cancel is not_found.
+        let out = talk(addr, &[&cancel]);
+        assert!(out[0].contains(r#""code":"not_found""#), "got: {}", out[0]);
     }
 
     #[test]

@@ -11,14 +11,19 @@
 
 use crate::proto::{GridSpec, ProtoError};
 use mph_core::algorithms::pipeline::Target;
+use mph_core::theorem::RetryPolicy;
 use mph_experiments::checkpoint::{self, CheckpointConfig};
 use mph_experiments::setup;
+use mph_experiments::shard::{
+    default_worker_cmd, run_cells_sharded, supervisor_config, ShardCell, ShardSpec,
+};
 use mph_experiments::sweep::{degraded, run_sweep, Cell, CellResult, CellStatus};
 use mph_experiments::Report;
 use mph_metrics::json::Json;
 use mph_oracle::OracleHub;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Renders a caught panic payload into a message (the two shapes
@@ -45,11 +50,7 @@ pub fn grid_for_spec(
     spec: &GridSpec,
     hub: Option<&Arc<OracleHub>>,
 ) -> Result<Vec<Cell>, ProtoError> {
-    let target = match spec.target.as_str() {
-        "line" => Target::Line,
-        "simline" => Target::SimLine,
-        other => return Err(ProtoError::bad(format!("unknown target {other:?}"))),
-    };
+    let target = spec_target(spec)?;
     catch_unwind(AssertUnwindSafe(|| {
         spec.windows
             .iter()
@@ -67,9 +68,57 @@ pub fn grid_for_spec(
                 // a reason, never a panic (pinned by the sweep tests).
                 cell.s_bits = spec.s_bits;
                 cell.q = spec.q;
+                if let Some(faults) = spec.fault_spec() {
+                    cell = cell.with_faults(faults, spec.fault_seed, spec.retries);
+                }
                 match hub {
                     Some(hub) => cell.with_hub(Arc::clone(hub)),
                     None => cell,
+                }
+            })
+            .collect()
+    }))
+    .map_err(|payload| {
+        ProtoError::bad(format!("grid construction rejected: {}", panic_reason(payload.as_ref())))
+    })
+}
+
+fn spec_target(spec: &GridSpec) -> Result<Target, ProtoError> {
+    match spec.target.as_str() {
+        "line" => Ok(Target::Line),
+        "simline" => Ok(Target::SimLine),
+        other => Err(ProtoError::bad(format!("unknown target {other:?}"))),
+    }
+}
+
+/// The sharded mirror of [`grid_for_spec`]: one [`ShardCell`] per window.
+/// Geometry is validated eagerly (each window's pipeline is constructed
+/// once under `catch_unwind`) so a hostile spec is a typed `bad_request`
+/// here instead of a panic inside the supervisor loop.
+pub fn shard_grid_for_spec(spec: &GridSpec) -> Result<Vec<ShardCell>, ProtoError> {
+    let target = spec_target(spec)?;
+    catch_unwind(AssertUnwindSafe(|| {
+        spec.windows
+            .iter()
+            .map(|&window| {
+                let shard_spec = ShardSpec {
+                    target,
+                    w: spec.w,
+                    v: spec.v,
+                    m: spec.m,
+                    window,
+                    s_bits: spec.s_bits,
+                    q: spec.q,
+                    seed: spec.seed,
+                };
+                shard_spec.pipeline(); // geometry check, panics contained
+                ShardCell {
+                    label: format!("window={window}"),
+                    spec: shard_spec,
+                    trials: spec.trials,
+                    base_seed: spec.seed,
+                    max_rounds: spec.max_rounds,
+                    telemetry: true,
                 }
             })
             .collect()
@@ -152,6 +201,19 @@ pub fn render_report(spec: &GridSpec, results: &[CellResult]) -> SessionOutcome 
     if let Some(q) = spec.q {
         r.kv("q", q);
     }
+    for (key, rate) in [
+        ("crash_rate", spec.crash_rate),
+        ("drop_rate", spec.drop_rate),
+        ("corrupt_rate", spec.corrupt_rate),
+        ("straggler_rate", spec.straggler_rate),
+    ] {
+        if let Some(x) = rate {
+            r.kv(key, x);
+        }
+    }
+    if spec.has_faults() {
+        r.kv("fault_seed", spec.fault_seed).kv("retries", spec.retries);
+    }
     r.kv("session", spec.session_key()).kv("degraded", is_degraded).end_block();
     r.h2("sweep");
     let rows: Vec<Vec<String>> = results
@@ -184,6 +246,18 @@ pub fn render_report(spec: &GridSpec, results: &[CellResult]) -> SessionOutcome 
     }
 }
 
+/// How a session ended: normally, or stopped early by a `cancel`.
+pub enum SessionControl {
+    /// The grid ran to completion; the report is rendered.
+    Done(SessionOutcome),
+    /// A cancel flag was observed at a cell boundary. Durable work up to
+    /// the boundary is checkpointed; resubmitting the grid resumes it.
+    Cancelled {
+        /// Cells finalized (and streamed) before the stop.
+        completed: usize,
+    },
+}
+
 /// Runs one session end to end: build the grid, run the sweep (durably
 /// through the checkpoint subsystem when `spec.durable` and a checkpoint
 /// root are both present), fire `on_cell` once per finalized cell —
@@ -199,6 +273,49 @@ pub fn run_session(
     ckpt_root: Option<&Path>,
     mut on_cell: impl FnMut(usize, &CellResult),
 ) -> Result<SessionOutcome, ProtoError> {
+    match run_session_with(spec, hub, ckpt_root, None, &mut on_cell)? {
+        SessionControl::Done(outcome) => Ok(outcome),
+        // Without a cancel flag nothing can stop the sweep early, but a
+        // daemon never converts an engine surprise into a panic.
+        SessionControl::Cancelled { .. } => Err(ProtoError {
+            code: crate::proto::ErrorCode::Internal,
+            message: "sweep aborted unexpectedly".into(),
+        }),
+    }
+}
+
+/// [`run_session`] with a cooperative cancel flag, checked at cell (or,
+/// durably, checkpoint-batch) boundaries. `spec.shards > 1` routes the
+/// session through the multi-process shard supervisor
+/// ([`mph_experiments::shard`]): one worker process per shard, crash
+/// recovery included, reports byte-identical to the in-process path.
+/// Sharded sessions run non-durably — the supervisor's own round
+/// barriers are the recovery mechanism.
+pub fn run_session_with(
+    spec: &GridSpec,
+    hub: Option<&Arc<OracleHub>>,
+    ckpt_root: Option<&Path>,
+    cancel: Option<&AtomicBool>,
+    on_cell: &mut dyn FnMut(usize, &CellResult),
+) -> Result<SessionControl, ProtoError> {
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    if spec.shards > 1 {
+        let cells = shard_grid_for_spec(spec)?;
+        let cfg =
+            supervisor_config(spec.shards, &RetryPolicy::for_retries(0), default_worker_cmd());
+        let mut results = Vec::with_capacity(cells.len());
+        for cell in cells {
+            if cancelled() {
+                return Ok(SessionControl::Cancelled { completed: results.len() });
+            }
+            let batch = run_cells_sharded(vec![cell], &cfg);
+            for result in batch {
+                on_cell(results.len(), &result);
+                results.push(result);
+            }
+        }
+        return Ok(SessionControl::Done(render_report(spec, &results)));
+    }
     let cells = grid_for_spec(spec, hub)?;
     let results = match ckpt_root.filter(|_| spec.durable) {
         Some(root) => {
@@ -206,17 +323,36 @@ pub fn run_session(
                 dir: root.join(spec.session_key()),
                 every: spec.checkpoint_every.max(1),
             };
-            match checkpoint::run_sweep_checkpointed_observed(cells, &ckpt, None, &mut on_cell) {
+            let mut completed = 0usize;
+            let outcome = checkpoint::run_sweep_checkpointed_cancellable(
+                cells,
+                &ckpt,
+                cancel,
+                &mut |i, res| {
+                    completed += 1;
+                    on_cell(i, res);
+                },
+            );
+            match outcome {
                 Some(results) => results,
-                // Unreachable without an abort budget, but a daemon never
-                // converts an engine surprise into a panic.
-                None => {
-                    return Err(ProtoError {
-                        code: crate::proto::ErrorCode::Internal,
-                        message: "sweep aborted unexpectedly".into(),
-                    })
+                None => return Ok(SessionControl::Cancelled { completed }),
+            }
+        }
+        None if cancel.is_some() => {
+            // Cell-at-a-time so the flag is honored at cell boundaries;
+            // byte-identical to one fused sweep (the determinism
+            // contract the checkpoint subsystem already leans on).
+            let mut results = Vec::with_capacity(cells.len());
+            for cell in cells {
+                if cancelled() {
+                    return Ok(SessionControl::Cancelled { completed: results.len() });
+                }
+                for result in run_sweep(vec![cell]) {
+                    on_cell(results.len(), &result);
+                    results.push(result);
                 }
             }
+            results
         }
         None => {
             let results = run_sweep(cells);
@@ -226,7 +362,7 @@ pub fn run_session(
             results
         }
     };
-    Ok(render_report(spec, &results))
+    Ok(SessionControl::Done(render_report(spec, &results)))
 }
 
 /// [`run_session`] without a hub or durability — the single-process
@@ -310,6 +446,80 @@ mod tests {
         assert!(outcome.degraded);
         assert!(outcome.markdown.contains("- s_bits: 1\n"), "markdown: {}", outcome.markdown);
         assert!(outcome.report.to_string().contains(r#""s_bits":"1""#));
+    }
+
+    #[test]
+    fn fault_params_flow_into_cells_and_the_report() {
+        let spec = GridSpec {
+            drop_rate: Some(0.05),
+            fault_seed: 7,
+            retries: 2,
+            windows: vec![2],
+            trials: 2,
+            ..GridSpec::default()
+        };
+        let cells = grid_for_spec(&spec, None).expect("grid");
+        let faults = cells[0].faults.as_ref().expect("fault spec reaches the cell");
+        assert_eq!(faults.drop_rate, 0.05);
+        assert_eq!((cells[0].fault_seed, cells[0].retries), (7, 2));
+
+        let outcome = run_local(&spec).expect("session");
+        assert!(outcome.markdown.contains("- drop_rate: 0.05\n"), "markdown: {}", outcome.markdown);
+        assert!(outcome.markdown.contains("- fault_seed: 7\n"));
+        assert!(outcome.markdown.contains("- retries: 2\n"));
+        assert!(outcome.report.to_string().contains(r#""drop_rate":"0.05""#));
+
+        // Fault-free reports keep their historical bytes.
+        let plain = run_local(&quick_spec()).expect("plain session");
+        assert!(!plain.markdown.contains("drop_rate"));
+        assert!(!plain.report.to_string().contains("fault_seed"));
+    }
+
+    #[test]
+    fn cancel_stops_nondurable_sessions_at_the_next_cell_boundary() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let spec = GridSpec { windows: vec![2, 3, 4], trials: 2, ..GridSpec::default() };
+        let flag = AtomicBool::new(false);
+        let mut seen = Vec::new();
+        let control = run_session_with(&spec, None, None, Some(&flag), &mut |i, _| {
+            seen.push(i);
+            flag.store(true, Ordering::Relaxed);
+        })
+        .expect("session");
+        match control {
+            SessionControl::Cancelled { completed } => {
+                assert_eq!(completed, 1, "stopped at the boundary after cell 0");
+                assert_eq!(seen, vec![0]);
+            }
+            SessionControl::Done(_) => panic!("session must observe the cancel"),
+        }
+    }
+
+    #[test]
+    fn cancelled_durable_sessions_resume_on_resubmit() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let spec = GridSpec { windows: vec![2, 3], trials: 2, checkpoint_every: 1, ..quick_spec() };
+        let root = temp_root("cancel_resume");
+        let reference = run_local(&spec).expect("reference");
+
+        let flag = AtomicBool::new(false);
+        let control = run_session_with(&spec, None, Some(&root), Some(&flag), &mut |_, _| {
+            flag.store(true, Ordering::Relaxed);
+        })
+        .expect("session");
+        let SessionControl::Cancelled { completed } = control else {
+            panic!("session must observe the cancel");
+        };
+        assert_eq!(completed, 1);
+
+        // The resubmitted grid resumes the flushed cell and finishes with
+        // the byte-identical report.
+        let mut seen = Vec::new();
+        let resumed = run_session(&spec, None, Some(&root), |i, _| seen.push(i)).expect("resume");
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(resumed.report.to_string(), reference.report.to_string());
+        assert_eq!(resumed.markdown, reference.markdown);
+        checkpoint::clean_dir(&root);
     }
 
     #[test]

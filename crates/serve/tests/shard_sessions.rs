@@ -1,0 +1,111 @@
+//! Sharded daemon sessions: `shards > 1` routes a session through the
+//! multi-process shard supervisor, and the resulting report is
+//! byte-identical to the single-process run of the same grid — the
+//! contract the CI `shard-smoke` job `cmp`s end to end.
+//!
+//! Workers here are real OS processes: `mphd --shard-worker`, the same
+//! self-exec fallback a deployed daemon uses, wired up via the
+//! `MPH_WORKER_BIN` override.
+
+use mph_serve::proto::{Call, GridSpec};
+use mph_serve::server::{Server, ServerConfig};
+use mph_serve::{jsonio, session};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn use_mphd_as_worker() {
+    std::env::set_var("MPH_WORKER_BIN", format!("{} --shard-worker", env!("CARGO_BIN_EXE_mphd")));
+}
+
+fn spec_from(params: &str) -> GridSpec {
+    let doc = jsonio::parse(params).expect("params parse");
+    GridSpec::from_params(&doc).expect("valid spec")
+}
+
+#[test]
+fn sharded_sessions_render_byte_identical_reports() {
+    use_mphd_as_worker();
+    let sharded = spec_from(r#"{"windows":[2,3],"trials":2,"shards":4,"durable":false}"#);
+    let baseline = spec_from(r#"{"windows":[2,3],"trials":2,"durable":false}"#);
+    assert_eq!(sharded.session_key(), baseline.session_key());
+
+    let reference = session::run_local(&baseline).expect("in-process run");
+    let mut seen = Vec::new();
+    let got = session::run_session(&sharded, None, None, |i, res| {
+        seen.push((i, res.label.clone()));
+    })
+    .expect("sharded run");
+    assert_eq!(seen, vec![(0, "window=2".to_string()), (1, "window=3".to_string())]);
+    assert_eq!(got.report.to_string(), reference.report.to_string());
+    assert_eq!(got.markdown, reference.markdown);
+    assert!(!got.degraded);
+}
+
+#[test]
+fn sharded_submits_stream_through_the_daemon() {
+    use_mphd_as_worker();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        max_sessions: 2,
+        hub_capacity: 16,
+        ckpt_root: None,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || {
+        let _ = server.serve();
+    });
+
+    let params = r#"{"windows":[2,3],"trials":2,"shards":2,"durable":false}"#;
+    let request = format!(r#"{{"v":1,"id":"s","method":"submit","params":{params}}}"#);
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(request.as_bytes()).expect("write");
+    writer.write_all(b"\n").expect("write");
+    writer.flush().expect("flush");
+
+    let mut events = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read") > 0, "server hung up");
+        let doc = jsonio::parse(line.trim_end()).expect("server output parses");
+        let kind = jsonio::get(&doc, "event").and_then(jsonio::as_str).map(str::to_string);
+        assert!(jsonio::get(&doc, "error").is_none(), "unexpected error: {line}");
+        let done = kind.as_deref() == Some("done");
+        events.push(doc);
+        if done {
+            break;
+        }
+    }
+    // accepted + one cell per window + done.
+    assert_eq!(events.len(), 4, "events: {events:?}");
+
+    // The sharded report must match the single-process baseline of the
+    // same grid, byte for byte.
+    let request_doc = jsonio::parse(params).expect("params parse");
+    let mut baseline = GridSpec::from_params(&request_doc).expect("spec");
+    baseline.shards = 1;
+    let local = session::run_local(&baseline).expect("local run");
+    let done = events.last().expect("done event");
+    assert_eq!(
+        jsonio::get(done, "report").expect("report field").to_string(),
+        local.report.to_string()
+    );
+    assert_eq!(
+        jsonio::get(done, "markdown").and_then(jsonio::as_str),
+        Some(local.markdown.as_str())
+    );
+
+    // The cell events carry worker-lifecycle telemetry: the sharded
+    // session really spawned processes.
+    let cell = &events[1];
+    let snapshot = jsonio::get(cell, "snapshot").expect("snapshot field").to_string();
+    assert!(snapshot.contains(r#""workers""#), "snapshot: {snapshot}");
+    assert!(snapshot.contains(r#""spawn""#), "snapshot: {snapshot}");
+
+    // Keep the parse surface honest: the same params parse to a Submit.
+    let full = format!(r#"{{"v":1,"id":"x","method":"submit","params":{params}}}"#);
+    let parsed = mph_serve::proto::parse_request(&full).expect("parses");
+    assert!(matches!(parsed.call, Call::Submit(_)));
+}

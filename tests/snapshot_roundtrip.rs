@@ -6,6 +6,7 @@
 //! States are generated from proptest-drawn seeds through a deterministic
 //! builder, so every reported failure reproduces from its seed alone.
 
+use mpc_hardness::mpc::shard::{Ack, Frame, ShardError};
 use mpc_hardness::mpc::{FaultSnapshot, Message, SimulationSnapshot};
 use mpc_hardness::mpc::{FaultSpec, RoundStats, SimStats};
 use mpc_hardness::oracle::snapshot::{
@@ -93,6 +94,59 @@ fn arb_records(seed: u64) -> Vec<QueryRecord> {
     (0..rng.gen_range(0..12usize))
         .map(|_| QueryRecord { input: arb_bitvec(&mut rng, 96), output: arb_bitvec(&mut rng, 96) })
         .collect()
+}
+
+fn arb_round_stats(rng: &mut StdRng) -> RoundStats {
+    RoundStats {
+        round: rng.gen_range(0..500),
+        messages: rng.gen_range(0..100),
+        bits_sent: rng.gen_range(0..10_000),
+        oracle_queries: rng.gen_range(0..50u64),
+        max_queries_one_machine: rng.gen_range(0..10u64),
+        max_memory_bits: rng.gen_range(0..4096),
+        active_machines: rng.gen_range(0..8),
+    }
+}
+
+/// A deterministic arbitrary shard wire frame covering all four kinds
+/// (SHLO/RMSG/RACK/SSNP) and all three ack payloads.
+fn arb_frame(seed: u64) -> Frame {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF7A3E);
+    match seed % 4 {
+        0 => {
+            let lo = rng.gen_range(0..32usize);
+            Frame::Hello {
+                lo,
+                hi: lo + rng.gen_range(1..8usize),
+                spec: (0..rng.gen_range(0..64usize)).map(|_| rng.gen::<u8>()).collect(),
+            }
+        }
+        1 => {
+            let m = rng.gen_range(1..8usize);
+            Frame::RoundMsgs {
+                round: rng.gen_range(0..500),
+                msgs: (0..rng.gen_range(0..10usize)).map(|_| arb_message(&mut rng, m)).collect(),
+            }
+        }
+        2 => {
+            let ack = match seed % 3 {
+                0 => Ack::Ready,
+                1 => Ack::Round {
+                    stats: arb_round_stats(&mut rng),
+                    outputs: (0..rng.gen_range(0..4usize))
+                        .map(|_| (rng.gen_range(0..8usize), arb_bitvec(&mut rng, 64)))
+                        .collect(),
+                },
+                _ => Ack::Error {
+                    message: (0..rng.gen_range(0..40u8))
+                        .map(|_| char::from(rng.gen_range(b' '..=b'~')))
+                        .collect(),
+                },
+            };
+            Frame::RoundAck { round: rng.gen_range(0..500), ack }
+        }
+        _ => Frame::Snapshot { bytes: arb_snapshot(seed ^ 0x5A5A).to_bytes() },
+    }
 }
 
 fn encode_table(entries: &[(BitVec, BitVec)]) -> Vec<u8> {
@@ -192,6 +246,64 @@ proptest! {
         let bytes = arb_snapshot(seed).to_bytes();
         let decoded = SimulationSnapshot::from_bytes(&bytes).expect("decodes");
         prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Shard wire frames (docs/ROBUSTNESS.md) round-trip bit-exactly,
+    /// and the codec is canonical, across all four frame kinds.
+    #[test]
+    fn shard_frames_round_trip(seed in any::<u64>()) {
+        let frame = arb_frame(seed);
+        let bytes = frame.to_bytes();
+        let decoded = Frame::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.to_bytes(), bytes);
+    }
+
+    /// Flipping any single byte of a shard frame is a typed error —
+    /// never a panic, never a silently different frame. A crashed
+    /// worker's half-written pipe output can never be mistaken for a
+    /// valid round message.
+    #[test]
+    fn mutated_shard_frames_never_decode(
+        seed in any::<u64>(),
+        victim in any::<u64>(),
+        flip in 1..=255u8,
+    ) {
+        let bytes = arb_frame(seed).to_bytes();
+        let mut bad = bytes.clone();
+        let at = (victim % bytes.len() as u64) as usize;
+        bad[at] ^= flip;
+        prop_assert!(
+            Frame::from_bytes(&bad).is_err(),
+            "flip {flip:#04x} at byte {at}/{} went undetected", bytes.len()
+        );
+    }
+
+    /// Truncating a shard frame at any length is always caught.
+    #[test]
+    fn truncated_shard_frames_never_decode(seed in any::<u64>(), cut in any::<u64>()) {
+        let bytes = arb_frame(seed).to_bytes();
+        let len = (cut % bytes.len() as u64) as usize;
+        prop_assert!(
+            Frame::from_bytes(&bytes[..len]).is_err(),
+            "truncation to {len}/{} went undetected", bytes.len()
+        );
+    }
+
+    /// An intact container whose section tag is not one of the four
+    /// shard kinds decodes to the *typed* [`ShardError::UnknownFrameKind`]
+    /// — the forward-compatibility contract: an old supervisor rejects a
+    /// new frame kind by name instead of misparsing its payload.
+    #[test]
+    fn unknown_shard_frame_kinds_are_a_typed_error(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut w = SnapshotWriter::new();
+        let patch = w.begin_section(b"ZZZZ");
+        w.put_bytes(&payload);
+        w.end_section(patch);
+        match Frame::from_bytes(&w.finish()) {
+            Err(ShardError::UnknownFrameKind { tag }) => prop_assert_eq!(&tag, b"ZZZZ"),
+            other => prop_assert!(false, "expected UnknownFrameKind, got {:?}", other),
+        }
     }
 }
 
