@@ -57,6 +57,14 @@
 //!    in-process one (`byte_identical`); the record prices process
 //!    isolation and crash recovery.
 //!
+//! 8. **`net_shard`** — the shard transports head to head: the same
+//!    trials over the stdio pipe pair, over TCP loopback, and over TCP
+//!    with an inert all-zero-rate chaos plane
+//!    ([`mph_mpc::ChaosSpec`]) wrapping every link. All three must be
+//!    byte-identical to the in-process executor; the full run asserts
+//!    the inert chaos plane stays close to free and TCP stays within a
+//!    loose multiple of pipes (ns/round for each).
+//!
 //! `--test` switches to tiny smoke sizes for CI: every correctness check
 //! still runs, the ≥ 2× speedup assertion is skipped (timings on
 //! micro-sizes are noise), and the report goes to
@@ -73,7 +81,9 @@ use mph_experiments::sweep::{run_sweep, Cell};
 use mph_metrics::json::Json;
 use mph_metrics::report::{envelope, write_report_to};
 use mph_mpc::shard::KillSpec;
-use mph_mpc::{FaultPlan, FaultSpec, Inbox, Outbox, RoundCtx, Simulation};
+use mph_mpc::{
+    ChaosSpec, FaultPlan, FaultSpec, Inbox, Outbox, RoundCtx, Simulation, TransportKind,
+};
 use mph_oracle::{CachedOracle, LazyOracle, Oracle, RandomTape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -726,6 +736,92 @@ fn bench_sharded(sizes: &Sizes) -> (String, Json) {
     ("sharded_pipeline".into(), body)
 }
 
+/// Workload 8: the shard transports priced per round — the same trials
+/// over the pipe pair, over TCP loopback, and over TCP with an inert
+/// (all-zero-rate) chaos plane installed on every link. All three must
+/// measure byte-identically to the in-process executor; the full run
+/// additionally asserts the inert chaos plane is close to free on top of
+/// TCP and the TCP link itself stays within a loose multiple of pipes
+/// (loopback adds syscalls, not semantics).
+fn bench_net_shard(sizes: &Sizes, strict: bool) -> (String, Json) {
+    let shards = 4;
+    let base_seed = 4000u64;
+    let max_rounds = 10_000;
+    let spec = |seed: u64| ShardSpec {
+        target: Target::SimLine,
+        w: 48,
+        v: 8,
+        m: 7,
+        window: 2,
+        s_bits: None,
+        q: None,
+        seed,
+    };
+    let policy = theorem::RetryPolicy::for_retries(0);
+    let cfg = shard::supervisor_config(shards, &policy, shard::default_worker_cmd());
+
+    let pipeline = spec(base_seed).pipeline();
+    let reference: Vec<RoundMeasurement> = (0..sizes.shard_trials as u64)
+        .map(|t| theorem::measure_rounds(&pipeline, base_seed + t, None, None, max_rounds))
+        .collect();
+    assert!(reference.iter().all(|m| m.correct), "reference trials must be healthy");
+    let total_rounds: u64 = reference.iter().map(|m| m.rounds as u64).sum();
+
+    let run = |cfg: &_| -> Vec<RoundMeasurement> {
+        (0..sizes.shard_trials as u64)
+            .map(|t| {
+                measure_sharded(&spec(base_seed + t), cfg, max_rounds, None).expect("sharded trial")
+            })
+            .collect()
+    };
+    let (pipe_ns, piped) = time_ns(1, || run(&cfg));
+    assert_eq!(piped, reference, "pipe transport must match the in-process executor");
+
+    let mut tcp_cfg = cfg.clone();
+    tcp_cfg.transport = TransportKind::Tcp;
+    let (tcp_ns, tcped) = time_ns(1, || run(&tcp_cfg));
+    assert_eq!(tcped, reference, "TCP transport must match the in-process executor");
+
+    let mut inert_cfg = tcp_cfg.clone();
+    inert_cfg.chaos = Some(ChaosSpec { seed: 42, ..ChaosSpec::default() });
+    let (inert_ns, inert) = time_ns(1, || run(&inert_cfg));
+    assert_eq!(inert, reference, "inert chaos must be byte-invisible");
+
+    let per_round = |ns: u64| ns / total_rounds.max(1);
+    let tcp_overhead = tcp_ns as f64 / pipe_ns.max(1) as f64;
+    let chaos_overhead = inert_ns as f64 / tcp_ns.max(1) as f64;
+    if strict {
+        assert!(
+            chaos_overhead < 1.30,
+            "inert chaos must stay close to free on TCP: {chaos_overhead:.2}x"
+        );
+        assert!(tcp_overhead < 5.0, "TCP loopback overhead out of bounds: {tcp_overhead:.2}x");
+    }
+    println!(
+        "net_shard: {} trials / {total_rounds} rounds on {shards} workers: pipe {} ns/round, \
+         tcp {} ns/round ({tcp_overhead:.2}x), tcp+inert-chaos {} ns/round ({chaos_overhead:.2}x \
+         over tcp)",
+        sizes.shard_trials,
+        per_round(pipe_ns),
+        per_round(tcp_ns),
+        per_round(inert_ns),
+    );
+
+    let body = Json::object(vec![
+        ("shards", Json::u64(shards as u64)),
+        ("machines", Json::u64(7)),
+        ("trials", Json::u64(sizes.shard_trials as u64)),
+        ("rounds", Json::u64(total_rounds)),
+        ("pipe_ns_per_round", Json::u64(per_round(pipe_ns))),
+        ("tcp_ns_per_round", Json::u64(per_round(tcp_ns))),
+        ("tcp_inert_chaos_ns_per_round", Json::u64(per_round(inert_ns))),
+        ("tcp_overhead", Json::f64(tcp_overhead)),
+        ("inert_chaos_overhead", Json::f64(chaos_overhead)),
+        ("byte_identical", Json::Bool(true)),
+    ]);
+    ("net_shard".into(), body)
+}
+
 fn main() {
     let test_mode = std::env::args().any(|arg| arg == "--test");
     let sizes = if test_mode { Sizes::smoke() } else { Sizes::full() };
@@ -739,6 +835,7 @@ fn main() {
         bench_fault_overhead(&sizes, !test_mode),
         bench_checkpoint(&sizes, !test_mode),
         bench_sharded(&sizes),
+        bench_net_shard(&sizes, !test_mode),
     ];
     let doc = envelope(
         "bench_mpc",

@@ -28,10 +28,13 @@ use mph_core::theorem::{
     self, draw_instance, reference_output, MeasurablePipeline, RetryPolicy, RoundMeasurement,
 };
 use mph_metrics::{MetricsSink, Recorder};
-use mph_mpc::shard::{worker_serve, ShardError, Supervisor, SupervisorConfig};
+use mph_mpc::shard::{
+    worker_serve, worker_serve_with, write_frame, Frame, ShardError, Supervisor, SupervisorConfig,
+};
 use mph_mpc::Simulation;
 use mph_oracle::snapshot::{SnapshotReader, SnapshotWriter};
 use mph_oracle::{CachedOracle, Oracle, OracleHub, RandomTape};
+use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
@@ -151,24 +154,72 @@ pub fn build_from_spec(bytes: &[u8], hub: Option<&Arc<OracleHub>>) -> Result<Sim
     .map_err(|_| format!("simulation build panicked for spec {spec:?}"))
 }
 
-/// The worker-process main loop: serve shard frames on stdin/stdout until
-/// the supervisor closes the pipe. Returns the process exit code.
+/// The worker-process main loop: serve shard frames on stdin/stdout
+/// (pipe transport) or, with `--connect <addr> --session <hex nonce>
+/// --worker <index>`, over a TCP connection back to the supervisor's
+/// listener — the first frame on a TCP link is `SHARD_CONNECT`, and the
+/// worker binds itself to the session nonce so a stray or stale
+/// supervisor's hello is refused. Returns the process exit code.
 ///
 /// The worker keeps one process-local [`OracleHub`] across hellos, so a
 /// respawned worker replaying a seed another incarnation of this process
-/// already walked — or consecutive trials of one sweep — answer from warm
+/// already walked — or consecutive trials of one sweep cell, rebound
+/// onto the same warm fleet by [`ShardedRunner`] — answer from warm
 /// tables, byte-identically.
 pub fn worker_main() -> i32 {
     let hub = Arc::new(OracleHub::new(64));
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    match worker_serve(stdin.lock(), stdout.lock(), |bytes| build_from_spec(bytes, Some(&hub))) {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| a != "--shard-worker").collect();
+    let mut connect: Option<String> = None;
+    let mut session: Option<u64> = None;
+    let mut worker: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            "--session" => session = it.next().and_then(|s| u64::from_str_radix(s, 16).ok()),
+            "--worker" => worker = it.next().and_then(|s| s.parse().ok()),
+            other => {
+                eprintln!("mphd-worker: unknown argument {other:?}");
+                return 2;
+            }
+        }
+    }
+    let served = match connect {
+        Some(addr) => serve_tcp(&addr, session, worker, |bytes| build_from_spec(bytes, Some(&hub))),
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            worker_serve(stdin.lock(), stdout.lock(), |bytes| build_from_spec(bytes, Some(&hub)))
+        }
+    };
+    match served {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("mphd-worker: {e}");
             1
         }
     }
+}
+
+/// Connects back to a supervisor listener, identifies this worker with a
+/// `SHARD_CONNECT` frame, and serves the shard protocol bound to the
+/// session nonce.
+fn serve_tcp(
+    addr: &str,
+    session: Option<u64>,
+    worker: Option<usize>,
+    build: impl FnMut(&[u8]) -> Result<Simulation, String>,
+) -> Result<(), ShardError> {
+    let (Some(nonce), Some(index)) = (session, worker) else {
+        return Err(ShardError::Protocol(
+            "--connect requires --session <hex nonce> and --worker <index>".into(),
+        ));
+    };
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let mut out = stream.try_clone()?;
+    write_frame(&mut out, &Frame::Connect { nonce, worker: index })?;
+    worker_serve_with(stream, out, Some(nonce), build)
 }
 
 /// Fallback round deadline when the retry policy carries none: generous
@@ -184,20 +235,21 @@ pub const MIN_RESPAWNS: usize = 3;
 
 /// Derives a [`SupervisorConfig`] from the shared [`RetryPolicy`]: the
 /// per-reply deadline is the policy deadline (with
-/// [`DEFAULT_ROUND_DEADLINE`] as the hang backstop) and the respawn
-/// budget is the larger of the policy's retry count and [`MIN_RESPAWNS`].
+/// [`DEFAULT_ROUND_DEADLINE`] as the hang backstop), the respawn budget
+/// is the larger of the policy's retry count and [`MIN_RESPAWNS`], and a
+/// nonzero policy base delay becomes the respawn backoff base.
 pub fn supervisor_config(
     shards: usize,
     policy: &RetryPolicy,
     worker_cmd: Vec<String>,
 ) -> SupervisorConfig {
-    SupervisorConfig {
-        shards,
-        round_deadline: Some(policy.deadline.unwrap_or(DEFAULT_ROUND_DEADLINE)),
-        max_respawns: (policy.effective_attempts() - 1).max(MIN_RESPAWNS),
-        kills: Vec::new(),
-        worker_cmd,
+    let mut cfg = SupervisorConfig::new(shards, worker_cmd);
+    cfg.round_deadline = Some(policy.deadline.unwrap_or(DEFAULT_ROUND_DEADLINE));
+    cfg.max_respawns = (policy.effective_attempts() - 1).max(MIN_RESPAWNS);
+    if !policy.base_delay.is_zero() {
+        cfg.backoff_base = policy.base_delay;
     }
+    cfg
 }
 
 /// Locates the worker executable for supervised runs:
@@ -233,31 +285,99 @@ pub fn default_worker_cmd() -> Vec<String> {
     vec!["mphd_worker".to_string()]
 }
 
-/// Runs one supervised trial and measures the paper's quantities —
-/// the sharded mirror of `TrialRunner::measure`, byte-identical on
-/// success: the supervisor's merged [`mph_mpc::RunResult`] equals the
-/// in-process one, so every derived field matches.
+/// A reusable sharded-measurement engine: one warm worker fleet serves
+/// consecutive trials of a sweep cell.
+///
+/// Between trials the supervisor *rebinds* the live fleet onto the next
+/// trial's spec instead of respawning processes, so each worker's
+/// process-local [`OracleHub`] stays warm across the cell — replays and
+/// sibling seeds answer from cached tables. Reuse is strictly
+/// observationally invisible: a rebind is attempted only when the
+/// machine count matches and the fleet is undegraded, and any rebind
+/// failure falls back to a fresh fleet. Measurements are byte-identical
+/// either way (pinned by the fleet-reuse equivalence test).
+///
+/// Every supervisor gets [`build_from_spec`] installed as its in-process
+/// fallback builder, so a fleet that loses *all* workers still completes
+/// the cell — degraded, not dead — and [`ShardedRunner::last_degradation`]
+/// reports the reason.
+pub struct ShardedRunner {
+    cfg: SupervisorConfig,
+    sink: Option<Arc<dyn MetricsSink>>,
+    sup: Option<Supervisor>,
+    degraded: Option<String>,
+}
+
+impl ShardedRunner {
+    /// Creates a runner; no workers are spawned until the first
+    /// [`ShardedRunner::measure`] call.
+    pub fn new(cfg: SupervisorConfig, sink: Option<Arc<dyn MetricsSink>>) -> Self {
+        ShardedRunner { cfg, sink, sup: None, degraded: None }
+    }
+
+    /// The degradation reason of the most recent [`ShardedRunner::measure`]
+    /// call, if its fleet shrank or fell back in-process.
+    pub fn last_degradation(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// Runs one supervised trial and measures the paper's quantities —
+    /// the sharded mirror of `TrialRunner::measure`, byte-identical on
+    /// success: the supervisor's merged [`mph_mpc::RunResult`] equals
+    /// the in-process one, so every derived field matches.
+    pub fn measure(
+        &mut self,
+        spec: &ShardSpec,
+        max_rounds: usize,
+    ) -> Result<RoundMeasurement, ShardError> {
+        let pipeline = spec.pipeline();
+        let (oracle, blocks) = draw_instance(pipeline.params(), spec.seed);
+        let oracle = Arc::new(CachedOracle::new(oracle));
+        let expected = reference_output(&*pipeline, &*oracle, &blocks);
+        let m = pipeline.machines();
+        let bytes = spec.encode();
+        let mut warm = None;
+        if let Some(mut prev) = self.sup.take() {
+            if prev.machine_count() == m && prev.rebind(bytes.clone()).is_ok() {
+                warm = Some(prev);
+            }
+        }
+        let mut sup = match warm {
+            Some(sup) => sup,
+            None => {
+                let mut sup = Supervisor::new(self.cfg.clone(), bytes, m, self.sink.clone())?;
+                sup.set_fallback_builder(Arc::new(|b: &[u8]| build_from_spec(b, None)));
+                sup
+            }
+        };
+        let run = sup.run_until_output(max_rounds);
+        self.degraded = sup.degradation().map(str::to_string);
+        if self.degraded.is_none() {
+            self.sup = Some(sup);
+        }
+        let run = run?;
+        let correct = run.completed() && run.unanimous_output() == Some(&expected);
+        Ok(RoundMeasurement {
+            rounds: run.rounds(),
+            completed: run.completed(),
+            correct,
+            total_queries: run.stats.total_queries(),
+            peak_memory_bits: run.stats.peak_memory_bits(),
+            total_comm_bits: run.stats.total_bits(),
+        })
+    }
+}
+
+/// Runs one supervised trial on a one-shot fleet — a convenience wrapper
+/// over [`ShardedRunner`] for callers (benches, tests) that measure a
+/// single spec and do not need cross-trial fleet reuse.
 pub fn measure_sharded(
     spec: &ShardSpec,
     cfg: &SupervisorConfig,
     max_rounds: usize,
     sink: Option<Arc<dyn MetricsSink>>,
 ) -> Result<RoundMeasurement, ShardError> {
-    let pipeline = spec.pipeline();
-    let (oracle, blocks) = draw_instance(pipeline.params(), spec.seed);
-    let oracle = Arc::new(CachedOracle::new(oracle));
-    let expected = reference_output(&*pipeline, &*oracle, &blocks);
-    let mut sup = Supervisor::new(cfg.clone(), spec.encode(), pipeline.machines(), sink)?;
-    let run = sup.run_until_output(max_rounds)?;
-    let correct = run.completed() && run.unanimous_output() == Some(&expected);
-    Ok(RoundMeasurement {
-        rounds: run.rounds(),
-        completed: run.completed(),
-        correct,
-        total_queries: run.stats.total_queries(),
-        peak_memory_bits: run.stats.peak_memory_bits(),
-        total_comm_bits: run.stats.total_bits(),
-    })
+    ShardedRunner::new(cfg.clone(), sink).measure(spec, max_rounds)
 }
 
 /// One parameter point of a sharded sweep: the spec template (its `seed`
@@ -283,10 +403,13 @@ pub struct ShardCell {
 /// Runs sharded cells sequentially (workers provide the parallelism) and
 /// returns [`CellResult`]s whose `measurements`, `mean_rounds`, and
 /// `status` are byte-identical to [`crate::sweep::run_sweep`] on the
-/// equivalent in-process cells. A supervisor failure (respawn budget
-/// exhausted, deterministic worker error) fails that cell with the reason
-/// and leaves the remaining cells to complete — the sweep engine's
-/// degrade-not-die contract.
+/// equivalent in-process cells. Each cell gets one [`ShardedRunner`], so
+/// its trials share a warm worker fleet. A supervisor failure (respawn
+/// budget exhausted with no fallback, deterministic worker error) fails
+/// that cell with the reason and leaves the remaining cells to complete;
+/// a cell whose fleet shrank or fell back in-process but still produced
+/// correct measurements is reported [`CellStatus::Degraded`] — the sweep
+/// engine's degrade-not-die contract.
 pub fn run_cells_sharded(cells: Vec<ShardCell>, cfg: &SupervisorConfig) -> Vec<CellResult> {
     cells
         .into_iter()
@@ -300,12 +423,19 @@ pub fn run_cells_sharded(cells: Vec<ShardCell>, cfg: &SupervisorConfig) -> Vec<C
             });
             let sink: Option<Arc<dyn MetricsSink>> =
                 recorder.clone().map(|r| r as Arc<dyn MetricsSink>);
+            let mut runner = ShardedRunner::new(cfg.clone(), sink);
             let mut measurements = Vec::with_capacity(cell.trials);
             let mut failure: Option<String> = None;
+            let mut degradations: Vec<String> = Vec::new();
             for t in 0..cell.trials as u64 {
                 let spec = ShardSpec { seed: cell.base_seed.wrapping_add(t), ..cell.spec.clone() };
-                match measure_sharded(&spec, cfg, cell.max_rounds, sink.clone()) {
-                    Ok(m) => measurements.push(m),
+                match runner.measure(&spec, cell.max_rounds) {
+                    Ok(m) => {
+                        if let Some(d) = runner.last_degradation() {
+                            degradations.push(format!("trial {t}: {d}"));
+                        }
+                        measurements.push(m);
+                    }
                     Err(e) => {
                         failure = Some(format!("trial {t}: {e}"));
                         break;
@@ -317,6 +447,9 @@ pub fn run_cells_sharded(cells: Vec<ShardCell>, cfg: &SupervisorConfig) -> Vec<C
                 None => match measurements.iter().position(|m| !m.correct) {
                     Some(t) => {
                         CellStatus::Failed { reason: format!("trial {t}: incorrect output") }
+                    }
+                    None if !degradations.is_empty() => {
+                        CellStatus::Degraded { reason: degradations.join("; ") }
                     }
                     None => CellStatus::Ok,
                 },

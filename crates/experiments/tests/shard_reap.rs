@@ -8,7 +8,7 @@
 use mph_core::algorithms::pipeline::Target;
 use mph_experiments::shard::{measure_sharded, ShardSpec};
 use mph_mpc::shard::{KillSpec, SupervisorConfig};
-use std::time::Duration;
+use mph_mpc::TransportKind;
 
 /// Lists this process's live children (tasks still parented to us —
 /// running workers and unreaped zombies alike) via
@@ -31,13 +31,7 @@ fn spec(seed: u64) -> ShardSpec {
 }
 
 fn config(shards: usize, worker_cmd: Vec<String>) -> SupervisorConfig {
-    SupervisorConfig {
-        shards,
-        round_deadline: Some(Duration::from_secs(60)),
-        max_respawns: 3,
-        kills: Vec::new(),
-        worker_cmd,
-    }
+    SupervisorConfig::new(shards, worker_cmd)
 }
 
 #[test]
@@ -58,17 +52,27 @@ fn no_scenario_leaks_a_child_process() {
         .expect_err("handshake with /bin/false must fail");
     assert_eq!(live_children(), [], "failed handshake leaked children");
 
-    // 3. Respawn budget exhausted mid-run: the error path abandons the
-    //    run with live healthy workers in other shards — all reaped.
+    // 3. Respawn budget exhausted mid-run: the degradation ladder
+    //    redistributes the dead shard onto survivors and completes —
+    //    the dead worker's corpse must be reaped at the moment of
+    //    removal, and the surviving fleet on supervisor drop.
     let mut cfg = config(4, real.clone());
     cfg.max_respawns = 0;
     cfg.kills = vec![KillSpec { round: 0, worker: 2 }];
-    measure_sharded(&spec(202), &cfg, 10_000, None).expect_err("budget 0 + kill must fail");
+    measure_sharded(&spec(202), &cfg, 10_000, None).expect("budget 0 + kill degrades, not dies");
     assert_eq!(live_children(), [], "exhausted-budget path leaked workers");
 
     // 4. Deterministic worker-side failure (memory too small to deliver
     //    the input): fatal Worker error, fleet reaped.
     let starved = ShardSpec { s_bits: Some(1), ..spec(203) };
-    measure_sharded(&starved, &config(2, real), 10_000, None).expect_err("starved spec must fail");
+    measure_sharded(&starved, &config(2, real.clone()), 10_000, None)
+        .expect_err("starved spec must fail");
     assert_eq!(live_children(), [], "worker-error path leaked workers");
+
+    // 5. TCP transport: workers hold sockets, not pipes — the reaping
+    //    contract is transport-independent.
+    let mut cfg = config(3, real);
+    cfg.transport = TransportKind::Tcp;
+    measure_sharded(&spec(204), &cfg, 10_000, None).expect("clean TCP run");
+    assert_eq!(live_children(), [], "TCP run leaked workers");
 }

@@ -118,13 +118,20 @@ pub enum Event {
     },
     /// A worker-process lifecycle transition observed by the shard
     /// supervisor (`mph_mpc::shard`): `spawn` when a worker process
-    /// starts, `heartbeat` per round acknowledgement received, `crash`
-    /// when EOF/timeout/a broken pipe reveals a dead worker, `respawn`
-    /// when a replacement process is started, and `replay` when the
-    /// replacement is rolled forward from the last round barrier.
+    /// starts, `round_ack` per round acknowledgement received, `crash`
+    /// when EOF/timeout/a broken link reveals a dead worker, `respawn`
+    /// when a replacement process is started (`reconnect` alongside it
+    /// when the replacement re-dials a TCP link), and `replay` when the
+    /// replacement is rolled forward from the last round barrier. The
+    /// liveness layer adds `heartbeat` per probe sent into a silent link
+    /// and `hb_echo` per echo received; the degradation ladder adds
+    /// `redistribute` when a dead shard's machine range is absorbed by a
+    /// survivor and `degrade` when the last worker is lost and the run
+    /// falls back in-process.
     Worker {
-        /// Stable short name of the transition
-        /// (`spawn`/`heartbeat`/`crash`/`respawn`/`replay`).
+        /// Stable short name of the transition (`spawn`/`round_ack`/
+        /// `crash`/`respawn`/`reconnect`/`replay`/`heartbeat`/`hb_echo`/
+        /// `redistribute`/`degrade`).
         kind: &'static str,
         /// The worker (shard) index.
         worker: u64,

@@ -106,7 +106,8 @@ pub struct MetricsSnapshot {
     /// (`Event::TrialTimeout`). Zero for every run without a deadline.
     pub timeouts: u64,
     /// Worker-process lifecycle counts by transition kind
-    /// (`spawn`/`heartbeat`/`crash`/`respawn`/`replay`), sorted by kind.
+    /// (`spawn`/`round_ack`/`crash`/`respawn`/`reconnect`/`replay`/
+    /// `heartbeat`/`hb_echo`/`redistribute`/`degrade`), sorted by kind.
     /// Populated only by sharded multi-process runs (`mph_mpc::shard`);
     /// empty for every in-process run.
     pub workers: BTreeMap<String, u64>,

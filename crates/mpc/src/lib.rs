@@ -40,6 +40,7 @@ pub mod shard;
 pub mod snapshot;
 mod soa;
 pub mod stats;
+pub mod transport;
 
 pub use error::ModelViolation;
 pub use executor::{RunOutcome, RunResult, ShardRoundOutput, Simulation};
@@ -48,7 +49,9 @@ pub use input::{partition_blocks, Partition, PartitionStrategy};
 pub use machine::{MachineLogic, Outbox, RoundCtx, SendRecord};
 pub use message::{Inbox, InboxBuffer, InboxEntry, MachineId, Message, MsgRef};
 pub use shard::{
-    partition_shards, worker_serve, Ack, Frame, KillSpec, ShardError, Supervisor, SupervisorConfig,
+    partition_shards, worker_serve, worker_serve_with, Ack, Frame, KillSpec, ShardError,
+    Supervisor, SupervisorConfig,
 };
 pub use snapshot::{FaultSnapshot, SimulationSnapshot};
 pub use stats::{RoundStats, SimStats};
+pub use transport::{ChaosDirection, ChaosFaultKind, ChaosSpec, ForcedFault, TransportKind};

@@ -2,15 +2,17 @@
 //!
 //! Partitions a simulation's `m` machines into contiguous shards, runs
 //! one **real OS worker process** per shard, and exchanges per-round
-//! message batches over pipes — the supervisor owns routing and the
-//! global transcript, each worker owns the compute of its shard. The
-//! in-process executor remains the correctness oracle: a sharded run's
-//! outputs and statistics are **byte-identical** to
-//! [`Simulation::run_until_output`] on the same build, and killing a
-//! worker with SIGKILL mid-round must not change a single bit of the
-//! final transcript (the recovery path replays the worker from its last
-//! round barrier). See docs/ROBUSTNESS.md "Real processes, real
-//! crashes".
+//! message batches over a pluggable transport ([`crate::transport`]) —
+//! the supervisor owns routing and the global transcript, each worker
+//! owns the compute of its shard. The in-process executor remains the
+//! correctness oracle: a sharded run's outputs and statistics are
+//! **byte-identical** to [`Simulation::run_until_output`] on the same
+//! build, and killing a worker with SIGKILL mid-round — or corrupting,
+//! truncating, duplicating, delaying, or severing its frames with the
+//! seeded chaos plane — must not change a single bit of the final
+//! transcript (the recovery path replays the worker from its last round
+//! barrier). See docs/ROBUSTNESS.md "Real processes, real crashes" and
+//! "Layer 6 — network faults and partitions".
 //!
 //! # Wire format
 //!
@@ -20,16 +22,31 @@
 //!
 //! | tag    | kind             | direction           | body                                  |
 //! |--------|------------------|---------------------|---------------------------------------|
-//! | `SHLO` | `SHARD_HELLO`    | supervisor → worker | shard `[lo, hi)`, opaque spec bytes   |
+//! | `SHLO` | `SHARD_HELLO`    | supervisor → worker | shard `[lo, hi)`, session nonce, spec |
 //! | `RMSG` | `ROUND_MSGS`     | both                | round index, owned messages           |
 //! | `RACK` | `ROUND_ACK`      | worker → supervisor | round index, ready / stats / error    |
 //! | `SSNP` | `SHARD_SNAPSHOT` | both                | nested [`SimulationSnapshot`] bytes   |
+//! | `HBEA` | `HEARTBEAT`      | both                | sequence number (probe and echo)      |
+//! | `CONN` | `SHARD_CONNECT`  | worker → supervisor | session nonce, worker index (TCP)     |
 //!
 //! Every frame inherits the container's guarantees: magic, version, and
 //! a trailing CRC32, so a corrupted or truncated frame is a typed
 //! [`SnapshotError`], and a frame of an unknown kind is a typed
 //! [`ShardError::UnknownFrameKind`] (forward compatibility: an old
 //! supervisor rejects a new frame kind instead of misparsing it).
+//!
+//! # Transports
+//!
+//! [`TransportKind::Pipe`] is the classic inherited stdin/stdout pair.
+//! [`TransportKind::Tcp`] binds a loopback listener on the supervisor
+//! and spawns workers with `--connect`; each worker's first frame is
+//! `SHARD_CONNECT` carrying the supervisor's session nonce and its own
+//! worker index, and a connection whose first frame does not match is
+//! dropped at accept time — a stray client or a worker from a stale
+//! supervisor incarnation cannot join the fleet. The hello also carries
+//! the nonce, so a worker that somehow reached the wrong supervisor
+//! refuses to build. Either transport can be wrapped in the
+//! deterministic seeded chaos plane ([`crate::transport::ChaosSpec`]).
 //!
 //! # Round protocol
 //!
@@ -42,49 +59,76 @@
 //! `ROUND_MSGS`, a `ROUND_ACK` carrying the shard's round statistics and
 //! outputs, and a `SHARD_SNAPSHOT` of the new barrier. A reply is
 //! complete only when all three arrive; a partial reply from a dying
-//! worker is discarded wholesale on recovery.
+//! worker is discarded wholesale on recovery. Both ends tolerate stale
+//! frames: the worker silently drops a batch for a round it has already
+//! stepped, and the supervisor skips duplicated reply frames — which is
+//! what makes chaos duplication and replay double-sends converge instead
+//! of wedging the protocol.
 //!
-//! # Crash detection and recovery
+//! # Liveness, crash detection, and recovery
 //!
 //! A dedicated reader thread per worker feeds decoded frames into a
-//! channel; worker death surfaces as channel disconnect (pipe EOF), a
-//! round-deadline timeout ([`SupervisorConfig::round_deadline`]), or a
-//! broken-pipe write error — all three funnel into the same path:
-//! SIGKILL + reap the old process, respawn (bounded by
+//! channel; worker death surfaces as channel disconnect (stream EOF or
+//! a frame that fails to decode), a round-deadline timeout, or a broken
+//! write — all funnel into one path: SIGKILL + reap the old process,
+//! wait out an exponential backoff ([`SupervisorConfig::backoff_base`] /
+//! [`SupervisorConfig::backoff_cap`]), respawn (bounded by
 //! [`SupervisorConfig::max_respawns`]), replay `SHARD_HELLO` → restore
 //! the last barrier `SHARD_SNAPSHOT` → resend the in-flight round's
-//! batch. Because workers are deterministic functions of (spec bytes,
-//! barrier, batch), the replayed round is bit-identical to the one the
-//! dead worker would have computed.
+//! batch. While waiting for a reply the supervisor probes the worker
+//! with `HEARTBEAT` frames every
+//! [`SupervisorConfig::heartbeat_interval`]; any frame (echo or reply)
+//! refreshes the worker's liveness, and the round deadline is measured
+//! from the **last sign of life** — a stalled or SIGSTOPped worker
+//! stops echoing and is declared dead once the deadline passes. Because
+//! workers are deterministic functions of (spec bytes, barrier, batch),
+//! a replayed round is bit-identical to the one the dead worker would
+//! have computed.
+//!
+//! # Graceful degradation
+//!
+//! When a worker exhausts its respawn budget the supervisor walks a
+//! ladder instead of failing: first **redistribute** — the dead shard's
+//! machine range is merged into an adjacent surviving worker and every
+//! survivor is resynced to the in-flight round's barrier; only when no
+//! workers survive does it **fall back** to in-process execution using
+//! the builder installed with [`Supervisor::set_fallback_builder`]. Both
+//! rungs preserve byte-identity (state lives in the barriers and the
+//! routed batches, not in the dead process); the run is marked
+//! [`Supervisor::degradation`] so callers can surface `Degraded` instead
+//! of an error.
 
 use crate::error::ModelViolation;
 use crate::executor::{RunOutcome, RunResult, Simulation};
 use crate::message::{MachineId, Message};
 use crate::snapshot::SimulationSnapshot;
 use crate::stats::{RoundStats, SimStats};
+pub use crate::transport::MAX_FRAME_BYTES;
+use crate::transport::{
+    apply_recv_chaos, read_image, send_image, splitmix64, ChaosSink, ChaosSpec, FrameSink,
+    FrameSource, ReadSource, RecvAction, TcpSink, TransportKind, WriteSink,
+};
 use mph_bits::BitVec;
 use mph_metrics::{emit, Event, MetricsSink};
 use mph_oracle::snapshot::{
-    SnapshotError, SnapshotReader, SnapshotWriter, SECTION_ROUND_ACK, SECTION_ROUND_MSGS,
-    SECTION_SHARD_HELLO, SECTION_SHARD_SNAPSHOT,
+    SnapshotError, SnapshotReader, SnapshotWriter, SECTION_HEARTBEAT, SECTION_ROUND_ACK,
+    SECTION_ROUND_MSGS, SECTION_SHARD_CONNECT, SECTION_SHARD_HELLO, SECTION_SHARD_SNAPSHOT,
 };
 use std::io::{self, Read, Write};
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// Upper bound on one frame's container size. A corrupt length prefix
-/// must not convince the reader to allocate gigabytes.
-pub const MAX_FRAME_BYTES: usize = 256 << 20;
+use std::time::{Duration, Instant};
 
 /// Why a sharded run failed. Everything the wire, the OS, or a worker
 /// can do wrong maps onto one of these — never a panic, and never a
 /// silently wrong transcript.
 #[derive(Debug)]
 pub enum ShardError {
-    /// A pipe read/write failed (includes EOF mid-frame).
+    /// A transport read/write failed (includes EOF mid-frame).
     Io(io::Error),
     /// A frame failed the container's magic/version/CRC/field checks.
     Codec(SnapshotError),
@@ -97,6 +141,14 @@ pub enum ShardError {
     /// A peer violated the round protocol (wrong frame at this point,
     /// mismatched round index, oversized frame, …).
     Protocol(String),
+    /// A worker process could not be spawned or connected (exec failure,
+    /// missing stdio pipes, no identified TCP connection in time).
+    Spawn {
+        /// The worker (shard) index.
+        worker: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// A worker reported a deterministic failure (model violation or
     /// build error). Respawning would reproduce it, so the run aborts.
     Worker {
@@ -121,12 +173,15 @@ pub enum ShardError {
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ShardError::Io(e) => write!(f, "shard pipe I/O error: {e}"),
+            ShardError::Io(e) => write!(f, "shard transport I/O error: {e}"),
             ShardError::Codec(e) => write!(f, "shard frame codec error: {e}"),
             ShardError::UnknownFrameKind { tag } => {
                 write!(f, "unknown shard frame kind {:?}", String::from_utf8_lossy(tag))
             }
             ShardError::Protocol(why) => write!(f, "shard protocol violation: {why}"),
+            ShardError::Spawn { worker, message } => {
+                write!(f, "worker {worker} could not be spawned: {message}")
+            }
             ShardError::Worker { worker, message } => {
                 write!(f, "worker {worker} failed deterministically: {message}")
             }
@@ -184,6 +239,9 @@ pub enum Frame {
         lo: usize,
         /// One past the last machine of the shard.
         hi: usize,
+        /// The supervisor's session nonce; a worker bound to a session
+        /// refuses a hello from anyone else.
+        nonce: u64,
         /// Opaque spec bytes the worker's builder decodes.
         spec: Vec<u8>,
     },
@@ -209,6 +267,20 @@ pub enum Frame {
         /// The nested snapshot container bytes.
         bytes: Vec<u8>,
     },
+    /// `HEARTBEAT`: a liveness probe (supervisor → worker) or its echo
+    /// (worker → supervisor), matched by sequence number.
+    Heartbeat {
+        /// Probe sequence number, echoed verbatim.
+        seq: u64,
+    },
+    /// `SHARD_CONNECT`: a TCP worker's first frame, identifying which
+    /// session and shard the connection belongs to.
+    Connect {
+        /// The session nonce the worker was spawned with.
+        nonce: u64,
+        /// The worker (shard) index the connection serves.
+        worker: usize,
+    },
 }
 
 impl Frame {
@@ -217,10 +289,11 @@ impl Frame {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
         match self {
-            Frame::Hello { lo, hi, spec } => {
+            Frame::Hello { lo, hi, nonce, spec } => {
                 let patch = w.begin_section(&SECTION_SHARD_HELLO);
                 w.put_u64(*lo as u64);
                 w.put_u64(*hi as u64);
+                w.put_u64(*nonce);
                 w.put_bytes(spec);
                 w.end_section(patch);
             }
@@ -267,6 +340,17 @@ impl Frame {
                 w.put_bytes(bytes);
                 w.end_section(patch);
             }
+            Frame::Heartbeat { seq } => {
+                let patch = w.begin_section(&SECTION_HEARTBEAT);
+                w.put_u64(*seq);
+                w.end_section(patch);
+            }
+            Frame::Connect { nonce, worker } => {
+                let patch = w.begin_section(&SECTION_SHARD_CONNECT);
+                w.put_u64(*nonce);
+                w.put_u64(*worker as u64);
+                w.end_section(patch);
+            }
         }
         w.finish()
     }
@@ -282,8 +366,9 @@ impl Frame {
                 r.begin_section(&SECTION_SHARD_HELLO)?;
                 let lo = decode_index(r.get_u64()?, "shard lo")?;
                 let hi = decode_index(r.get_u64()?, "shard hi")?;
+                let nonce = r.get_u64()?;
                 let spec = r.get_bytes()?.to_vec();
-                Ok(Frame::Hello { lo, hi, spec })
+                Ok(Frame::Hello { lo, hi, nonce, spec })
             }
             SECTION_ROUND_MSGS => {
                 r.begin_section(&SECTION_ROUND_MSGS)?;
@@ -334,6 +419,16 @@ impl Frame {
                 r.begin_section(&SECTION_SHARD_SNAPSHOT)?;
                 Ok(Frame::Snapshot { bytes: r.get_bytes()?.to_vec() })
             }
+            SECTION_HEARTBEAT => {
+                r.begin_section(&SECTION_HEARTBEAT)?;
+                Ok(Frame::Heartbeat { seq: r.get_u64()? })
+            }
+            SECTION_SHARD_CONNECT => {
+                r.begin_section(&SECTION_SHARD_CONNECT)?;
+                let nonce = r.get_u64()?;
+                let worker = decode_index(r.get_u64()?, "connect worker")?;
+                Ok(Frame::Connect { nonce, worker })
+            }
             other => Err(ShardError::UnknownFrameKind { tag: other }),
         }
     }
@@ -359,22 +454,14 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 /// clean stream end ([`io::ErrorKind::UnexpectedEof`] inside
 /// [`ShardError::Io`]); the caller decides whether that is orderly.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, ShardError> {
-    let mut len = [0u8; 4];
-    r.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(ShardError::Protocol(format!(
-            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
-        )));
-    }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    Frame::from_bytes(&buf)
+    let image = read_image(r)?;
+    Frame::from_bytes(&image)
 }
 
 /// One kill order of a seeded crash schedule: SIGKILL `worker` right
 /// after its batch for `round` has been sent — mid-round, while it
-/// computes.
+/// computes. Each order fires at most once, even if recovery retries
+/// the round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KillSpec {
     /// The round during which to kill.
@@ -383,24 +470,62 @@ pub struct KillSpec {
     pub worker: usize,
 }
 
-/// Configuration of a supervised sharded run.
+/// Configuration of a supervised sharded run. Build with
+/// [`SupervisorConfig::new`] and override fields as needed — the
+/// defaults are a pipe transport, no chaos, a 60 s round deadline, a
+/// 200 ms heartbeat, 3 respawns, and a 25 ms-base / 2 s-cap backoff.
 #[derive(Clone, Debug)]
 pub struct SupervisorConfig {
     /// Number of worker processes (= shards). Must be `1..=m`.
     pub shards: usize,
-    /// Per-reply deadline. A worker that neither answers nor dies within
-    /// it is declared crashed and recovered. `None` waits indefinitely
-    /// (EOF still detects real deaths immediately). Derive this from
-    /// `RetryPolicy::deadline` at the call site.
+    /// The wire workers speak ([`TransportKind::Pipe`] or
+    /// [`TransportKind::Tcp`]).
+    pub transport: TransportKind,
+    /// Deterministic seeded network-fault injection wrapped around the
+    /// transport; `None` runs clean.
+    pub chaos: Option<ChaosSpec>,
+    /// Per-reply deadline, measured from the worker's **last sign of
+    /// life** (any frame, heartbeat echoes included). A worker that
+    /// neither answers nor echoes within it is declared crashed and
+    /// recovered. `None` waits indefinitely (EOF still detects real
+    /// deaths immediately).
     pub round_deadline: Option<Duration>,
+    /// How often to probe a silent worker with a `HEARTBEAT` frame while
+    /// waiting on it. `None` disables probing (liveness then rests on
+    /// the deadline and EOF alone).
+    pub heartbeat_interval: Option<Duration>,
     /// How many times a single worker may be respawned over the whole
-    /// run before the supervisor gives up.
+    /// run before the supervisor walks the degradation ladder.
     pub max_respawns: usize,
+    /// First respawn backoff delay; doubles per consecutive respawn of
+    /// the same worker.
+    pub backoff_base: Duration,
+    /// Upper bound on the exponential backoff delay.
+    pub backoff_cap: Duration,
     /// Seeded kill schedule, applied with real SIGKILLs.
     pub kills: Vec<KillSpec>,
     /// The worker process argv (`worker_cmd[0]` is the executable). The
-    /// process must run [`worker_serve`] over its stdin/stdout.
+    /// process must run [`worker_serve`] over its stdin/stdout (pipe
+    /// transport) or honor `--connect` (TCP transport).
     pub worker_cmd: Vec<String>,
+}
+
+impl SupervisorConfig {
+    /// A default configuration for `shards` workers run as `worker_cmd`.
+    pub fn new(shards: usize, worker_cmd: Vec<String>) -> Self {
+        SupervisorConfig {
+            shards,
+            transport: TransportKind::Pipe,
+            chaos: None,
+            round_deadline: Some(Duration::from_secs(60)),
+            heartbeat_interval: Some(Duration::from_millis(200)),
+            max_respawns: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(2),
+            kills: Vec::new(),
+            worker_cmd,
+        }
+    }
 }
 
 /// Partitions `m` machines into `shards` contiguous, maximally even
@@ -419,18 +544,36 @@ pub fn partition_shards(m: usize, shards: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
-/// Serves one worker process: reads supervisor frames from `input`,
+/// Serves one worker process over any byte streams (classically the
+/// process's stdin/stdout): reads supervisor frames from `input`,
 /// executes them against a simulation built by `build` (from the opaque
 /// hello spec bytes), and writes replies to `output`. Returns `Ok(())`
-/// on orderly EOF — the supervisor closing the pipe is the shutdown
-/// signal.
-///
-/// Deterministic failures (build errors, model violations, protocol
-/// misuse) are reported to the supervisor as [`Ack::Error`] and the loop
-/// continues; only transport failures abort it.
+/// on orderly EOF — the supervisor closing the stream is the shutdown
+/// signal. Accepts hellos from any session; TCP workers bound to one
+/// session use [`worker_serve_with`].
 pub fn worker_serve(
     input: impl Read,
     output: impl Write,
+    build: impl FnMut(&[u8]) -> Result<Simulation, String>,
+) -> Result<(), ShardError> {
+    worker_serve_with(input, output, None, build)
+}
+
+/// [`worker_serve`] with an optional session binding: when
+/// `expected_nonce` is `Some`, a hello carrying any other nonce is a
+/// fatal protocol error — the worker refuses to compute for a stray or
+/// stale supervisor.
+///
+/// Deterministic failures (build errors, model violations, protocol
+/// misuse) are reported to the supervisor as [`Ack::Error`] and the loop
+/// continues; only transport failures abort it. `HEARTBEAT` probes are
+/// echoed verbatim, and a batch for a round the worker has already
+/// stepped is silently dropped — the stale-frame tolerance that lets
+/// duplicated frames and recovery double-sends converge.
+pub fn worker_serve_with(
+    input: impl Read,
+    output: impl Write,
+    expected_nonce: Option<u64>,
     mut build: impl FnMut(&[u8]) -> Result<Simulation, String>,
 ) -> Result<(), ShardError> {
     let mut input = input;
@@ -443,24 +586,38 @@ pub fn worker_serve(
             Err(e) => return Err(e),
         };
         match frame {
-            Frame::Hello { lo, hi, spec } => match build(&spec) {
-                Ok(mut sim) => {
-                    if lo < hi && hi <= sim.m() {
-                        sim.retain_shard(lo, hi);
-                        let round = sim.round();
-                        state = Some((sim, lo, hi));
-                        write_frame(&mut output, &Frame::RoundAck { round, ack: Ack::Ready })?;
-                    } else {
-                        state = None;
-                        let message = format!("shard [{lo}, {hi}) out of range (m = {})", sim.m());
-                        write_frame(&mut output, &err_ack(0, message))?;
+            Frame::Hello { lo, hi, nonce, spec } => {
+                if let Some(expected) = expected_nonce {
+                    if nonce != expected {
+                        return Err(ShardError::Protocol(format!(
+                            "session nonce mismatch: hello carries {nonce:#018x}, \
+                             this worker is bound to {expected:#018x}"
+                        )));
                     }
                 }
-                Err(message) => {
-                    state = None;
-                    write_frame(&mut output, &err_ack(0, format!("build failed: {message}")))?;
+                match build(&spec) {
+                    Ok(mut sim) => {
+                        if lo < hi && hi <= sim.m() {
+                            sim.retain_shard(lo, hi);
+                            let round = sim.round();
+                            state = Some((sim, lo, hi));
+                            write_frame(&mut output, &Frame::RoundAck { round, ack: Ack::Ready })?;
+                        } else {
+                            state = None;
+                            let message =
+                                format!("shard [{lo}, {hi}) out of range (m = {})", sim.m());
+                            write_frame(&mut output, &err_ack(0, message))?;
+                        }
+                    }
+                    Err(message) => {
+                        state = None;
+                        write_frame(&mut output, &err_ack(0, format!("build failed: {message}")))?;
+                    }
                 }
-            },
+            }
+            Frame::Heartbeat { seq } => {
+                write_frame(&mut output, &Frame::Heartbeat { seq })?;
+            }
             Frame::Snapshot { bytes } => {
                 let Some((sim, _, _)) = state.as_mut() else {
                     write_frame(&mut output, &err_ack(0, "snapshot before hello".into()))?;
@@ -482,6 +639,12 @@ pub fn worker_serve(
                     write_frame(&mut output, &err_ack(round, "round before hello".into()))?;
                     continue;
                 };
+                if round < sim.round() {
+                    // A stale or duplicated batch for a round this worker
+                    // already stepped: drop it silently. Replying again
+                    // would desynchronize the supervisor's collect.
+                    continue;
+                }
                 if round != sim.round() {
                     let message =
                         format!("batch for round {round} but worker is at round {}", sim.round());
@@ -514,6 +677,11 @@ pub fn worker_serve(
                     "worker received a ROUND_ACK (supervisor-bound frame)".into(),
                 ));
             }
+            Frame::Connect { .. } => {
+                return Err(ShardError::Protocol(
+                    "worker received a SHARD_CONNECT (supervisor-bound frame)".into(),
+                ));
+            }
         }
     }
 }
@@ -522,19 +690,24 @@ fn err_ack(round: usize, message: String) -> Frame {
     Frame::RoundAck { round, ack: Ack::Error { message } }
 }
 
+/// Heartbeat traffic observed while waiting on one worker.
+#[derive(Clone, Copy, Debug, Default)]
+struct Liveness {
+    probes: u64,
+    echoes: u64,
+}
+
 /// A live worker process plus its reader thread and recovery state.
 ///
-/// `Drop` reaps unconditionally — kill, wait, join the reader — so a
-/// worker can never outlive its handle as a zombie, no matter which
-/// error path dropped it (the handshake-failure audit of
+/// `Drop` reaps unconditionally — abort the sink, kill, wait, join the
+/// reader — so a worker can never outlive its handle as a zombie, no
+/// matter which error path dropped it (the handshake-failure audit of
 /// `crates/experiments/tests/shard_reap.rs` counts live children to
 /// prove it).
 struct WorkerHandle {
     index: usize,
-    lo: usize,
-    hi: usize,
     child: Child,
-    stdin: Option<ChildStdin>,
+    sink: Box<dyn FrameSink>,
     rx: Receiver<Frame>,
     reader: Option<JoinHandle<()>>,
     /// The latest round-barrier snapshot (container bytes). `None` until
@@ -542,91 +715,88 @@ struct WorkerHandle {
     /// the round-0 barrier.
     barrier: Option<Vec<u8>>,
     respawns: usize,
+    hb_seq: u64,
+    /// Chaos frame counters (send, recv). They live here — not in the
+    /// sink — so they survive respawns and a forced fault at frame `k`
+    /// strikes once, not once per fresh connection.
+    counters: (Arc<AtomicU64>, Arc<AtomicU64>),
 }
 
 impl WorkerHandle {
-    fn spawn(cmd: &[String], index: usize, lo: usize, hi: usize) -> Result<Self, ShardError> {
-        assert!(!cmd.is_empty(), "worker_cmd must name an executable");
-        let mut child = Command::new(&cmd[0])
-            .args(&cmd[1..])
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .spawn()?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let mut stdout = child.stdout.take().expect("piped stdout");
-        let (tx, rx): (Sender<Frame>, Receiver<Frame>) = std::sync::mpsc::channel();
-        let reader = std::thread::spawn(move || {
-            // Decode in the reader so the supervisor thread only ever
-            // blocks on the channel. Any read/decode failure ends the
-            // thread; the dropped sender surfaces to the supervisor as a
-            // disconnect — the crash signal.
-            while let Ok(frame) = read_frame(&mut stdout) {
-                if tx.send(frame).is_err() {
-                    break;
-                }
-            }
-        });
-        Ok(WorkerHandle {
-            index,
-            lo,
-            hi,
-            child,
-            stdin: Some(stdin),
-            rx,
-            reader: Some(reader),
-            barrier: None,
-            respawns: 0,
-        })
-    }
-
     fn send(&mut self, frame: &Frame) -> io::Result<()> {
-        let stdin = self
-            .stdin
-            .as_mut()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "stdin already closed"))?;
-        write_frame(stdin, frame)
+        send_image(self.sink.as_mut(), &frame.to_bytes())
     }
 
-    /// Receives the next frame, honoring the round deadline. `Err` means
-    /// the worker is dead or hung — the crash signal.
-    fn recv(&mut self, deadline: Option<Duration>) -> Result<Frame, String> {
-        match deadline {
-            Some(limit) => self.rx.recv_timeout(limit).map_err(|e| match e {
-                RecvTimeoutError::Timeout => format!("round deadline {limit:?} exceeded"),
-                RecvTimeoutError::Disconnected => "pipe EOF".into(),
-            }),
-            None => self.rx.recv().map_err(|_| "pipe EOF".into()),
+    /// Receives the next non-heartbeat frame, probing a silent worker at
+    /// the heartbeat interval and measuring the deadline from its last
+    /// sign of life. `Err` means the worker is dead or hung — the crash
+    /// signal.
+    fn recv_live(
+        &mut self,
+        deadline: Option<Duration>,
+        hb: Option<Duration>,
+    ) -> (Result<Frame, String>, Liveness) {
+        let mut live = Liveness::default();
+        let mut last_alive = Instant::now();
+        loop {
+            let remaining = match deadline {
+                Some(limit) => {
+                    let elapsed = last_alive.elapsed();
+                    if elapsed >= limit {
+                        return (Err(format!("round deadline {limit:?} exceeded")), live);
+                    }
+                    Some(limit - elapsed)
+                }
+                None => None,
+            };
+            let slice = match (hb, remaining) {
+                (Some(h), Some(r)) => h.min(r),
+                (Some(h), None) => h,
+                (None, Some(r)) => r,
+                (None, None) => {
+                    // No deadline, no probing: plain blocking receive.
+                    return match self.rx.recv() {
+                        Ok(Frame::Heartbeat { .. }) => continue,
+                        Ok(frame) => (Ok(frame), live),
+                        Err(_) => (Err("stream EOF".into()), live),
+                    };
+                }
+            };
+            match self.rx.recv_timeout(slice) {
+                Ok(Frame::Heartbeat { .. }) => {
+                    // An echo: the worker is alive even if its reply is
+                    // slow. Refresh the deadline.
+                    last_alive = Instant::now();
+                    live.echoes += 1;
+                }
+                Ok(frame) => return (Ok(frame), live),
+                Err(RecvTimeoutError::Timeout) => {
+                    if hb.is_some() {
+                        self.hb_seq += 1;
+                        let probe = Frame::Heartbeat { seq: self.hb_seq };
+                        if let Err(e) = self.send(&probe) {
+                            return (Err(format!("heartbeat write failed: {e}")), live);
+                        }
+                        live.probes += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return (Err("stream EOF".into()), live),
+            }
         }
     }
 }
 
 impl Drop for WorkerHandle {
     fn drop(&mut self) {
-        // Closing stdin first lets an orderly worker exit on EOF, but we
-        // do not wait for that courtesy: kill unconditionally, then reap.
-        drop(self.stdin.take());
+        // Aborting the sink first lets an orderly pipe worker exit on
+        // EOF (and unblocks a TCP reader), but we do not wait for that
+        // courtesy: kill unconditionally, then reap.
+        self.sink.abort();
         let _ = self.child.kill();
         let _ = self.child.wait();
         if let Some(reader) = self.reader.take() {
             let _ = reader.join();
         }
-    }
-}
-
-/// Waits for a [`Ack::Ready`] from a freshly-built or freshly-restored
-/// worker. Any other answer is fatal: a worker that cannot even reach a
-/// barrier would fail identically on respawn.
-fn expect_ready(deadline: Option<Duration>, worker: &mut WorkerHandle) -> Result<(), ShardError> {
-    match worker.recv(deadline) {
-        Ok(Frame::RoundAck { ack: Ack::Ready, .. }) => Ok(()),
-        Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
-            Err(ShardError::Worker { worker: worker.index, message })
-        }
-        Ok(other) => Err(ShardError::Protocol(format!(
-            "worker {} answered the handshake with {other:?}",
-            worker.index
-        ))),
-        Err(reason) => Err(ShardError::WorkerDied { worker: worker.index, round: 0, reason }),
     }
 }
 
@@ -638,6 +808,26 @@ struct RoundReply {
     barrier: Vec<u8>,
 }
 
+/// A fresh session nonce: unique per supervisor within a process tree,
+/// so a worker spawned by one supervisor incarnation cannot serve
+/// another.
+fn fresh_nonce() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let c = COUNTER.fetch_add(1, Ordering::Relaxed);
+    splitmix64(((std::process::id() as u64) << 32) ^ c)
+}
+
+fn backoff_delay(base: Duration, cap: Duration, attempt: usize) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let factor = 1u32 << attempt.min(16) as u32;
+    base.checked_mul(factor).unwrap_or(cap).min(cap)
+}
+
+/// The builder a supervisor uses for last-resort in-process fallback.
+pub type FallbackBuilder = Arc<dyn Fn(&[u8]) -> Result<Simulation, String> + Send + Sync>;
+
 /// The supervisor of a sharded run.
 pub struct Supervisor {
     cfg: SupervisorConfig,
@@ -646,6 +836,12 @@ pub struct Supervisor {
     metrics: Option<Arc<dyn MetricsSink>>,
     workers: Vec<WorkerHandle>,
     bounds: Vec<(usize, usize)>,
+    nonce: u64,
+    listener: Option<TcpListener>,
+    kills_fired: Vec<bool>,
+    builder: Option<FallbackBuilder>,
+    fallback: Option<Simulation>,
+    degraded: Option<String>,
 }
 
 impl Supervisor {
@@ -660,75 +856,481 @@ impl Supervisor {
     ) -> Result<Self, ShardError> {
         assert!(!cfg.worker_cmd.is_empty(), "worker_cmd must name an executable");
         let bounds = partition_shards(m, cfg.shards);
-        let mut sup =
-            Supervisor { cfg, spec, m, metrics, workers: Vec::with_capacity(bounds.len()), bounds };
+        let listener = match cfg.transport {
+            TransportKind::Tcp => {
+                let l = TcpListener::bind(("127.0.0.1", 0))?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            TransportKind::Pipe => None,
+        };
+        let kills_fired = vec![false; cfg.kills.len()];
+        let mut sup = Supervisor {
+            cfg,
+            spec,
+            m,
+            metrics,
+            workers: Vec::with_capacity(bounds.len()),
+            bounds,
+            nonce: fresh_nonce(),
+            listener,
+            kills_fired,
+            builder: None,
+            fallback: None,
+            degraded: None,
+        };
         for i in 0..sup.bounds.len() {
-            let (lo, hi) = sup.bounds[i];
-            let mut worker = WorkerHandle::spawn(&sup.cfg.worker_cmd, i, lo, hi)?;
+            let counters = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+            let worker = sup.spawn_worker(i, counters)?;
             sup.worker_event("spawn", i, 0);
-            sup.handshake(&mut worker)?;
             sup.workers.push(worker);
+            let (lo, hi) = sup.bounds[i];
+            let hello = Frame::Hello { lo, hi, nonce: sup.nonce, spec: sup.spec.clone() };
+            sup.send_to(i, 0, &hello)?;
+            sup.expect_ready_at(i, 0)?;
         }
         Ok(sup)
+    }
+
+    /// Installs the builder used for last-resort in-process fallback when
+    /// every worker has died. Without one, fleet exhaustion is a
+    /// [`ShardError::WorkerDied`] instead of a degraded completion.
+    pub fn set_fallback_builder(&mut self, builder: FallbackBuilder) {
+        self.builder = Some(builder);
+    }
+
+    /// How this run degraded, if it did: the reason recorded when the
+    /// first worker exhausted its respawn budget and the supervisor
+    /// redistributed its shard (or fell back in-process).
+    pub fn degradation(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// The machine count this supervisor was built for.
+    pub fn machine_count(&self) -> usize {
+        self.m
     }
 
     fn worker_event(&self, kind: &'static str, worker: usize, round: usize) {
         emit(&self.metrics, || Event::Worker { kind, worker: worker as u64, round: round as u64 });
     }
 
-    /// Sends the hello and waits for the ready ack. Handshake failures
-    /// are fatal (a worker that cannot even build would fail identically
-    /// on respawn); the handle's `Drop` reaps the process.
-    fn handshake(&self, worker: &mut WorkerHandle) -> Result<(), ShardError> {
-        let hello = Frame::Hello { lo: worker.lo, hi: worker.hi, spec: self.spec.clone() };
-        worker.send(&hello)?;
-        expect_ready(self.cfg.round_deadline, worker)
+    /// Spawns one worker process and wires up its transport: piped stdio
+    /// for [`TransportKind::Pipe`], or a spawn with `--connect` plus a
+    /// vetted accept for [`TransportKind::Tcp`]. Chaos, when configured,
+    /// wraps both directions here.
+    fn spawn_worker(
+        &self,
+        index: usize,
+        counters: (Arc<AtomicU64>, Arc<AtomicU64>),
+    ) -> Result<WorkerHandle, ShardError> {
+        let cmd = &self.cfg.worker_cmd;
+        let spawn_err = |message: String| ShardError::Spawn { worker: index, message };
+        match self.cfg.transport {
+            TransportKind::Pipe => {
+                let mut child = Command::new(&cmd[0])
+                    .args(&cmd[1..])
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .spawn()
+                    .map_err(|e| spawn_err(format!("spawn failed: {e}")))?;
+                let stdin = match child.stdin.take() {
+                    Some(stdin) => stdin,
+                    None => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(spawn_err("child stdin was not piped".into()));
+                    }
+                };
+                let stdout = match child.stdout.take() {
+                    Some(stdout) => stdout,
+                    None => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(spawn_err("child stdout was not piped".into()));
+                    }
+                };
+                Ok(self.finish_handle(
+                    index,
+                    child,
+                    Box::new(WriteSink::new(stdin)),
+                    Box::new(ReadSource(stdout)),
+                    counters,
+                ))
+            }
+            TransportKind::Tcp => {
+                let listener = self.listener.as_ref().expect("tcp transport has a listener");
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| spawn_err(format!("listener address: {e}")))?;
+                let mut argv = cmd.to_vec();
+                argv.extend([
+                    "--connect".into(),
+                    addr.to_string(),
+                    "--session".into(),
+                    format!("{:016x}", self.nonce),
+                    "--worker".into(),
+                    index.to_string(),
+                ]);
+                let mut child = Command::new(&argv[0])
+                    .args(&argv[1..])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .spawn()
+                    .map_err(|e| spawn_err(format!("spawn failed: {e}")))?;
+                let stream = match self.accept_worker(&mut child, index) {
+                    Ok(stream) => stream,
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(e);
+                    }
+                };
+                let sink_stream =
+                    stream.try_clone().map_err(|e| spawn_err(format!("stream clone: {e}")))?;
+                Ok(self.finish_handle(
+                    index,
+                    child,
+                    Box::new(TcpSink::new(sink_stream)),
+                    Box::new(ReadSource(stream)),
+                    counters,
+                ))
+            }
+        }
     }
 
-    /// Kills (SIGKILL) + reaps the dead incarnation, spawns a fresh
-    /// process for the same shard, and rolls it forward to the last
-    /// round barrier: hello (fresh build = round-0 barrier), then the
-    /// retained barrier snapshot if one exists, then the in-flight
-    /// round's batch again.
+    /// Polls the listener until worker `index` of **this session**
+    /// identifies itself with a `SHARD_CONNECT` frame. Stray clients,
+    /// stale-session workers, and wrong-index connections are dropped;
+    /// a child that exits before connecting is a typed spawn failure.
+    fn accept_worker(&self, child: &mut Child, index: usize) -> Result<TcpStream, ShardError> {
+        let listener = self.listener.as_ref().expect("tcp transport has a listener");
+        let limit = self.cfg.round_deadline.unwrap_or(Duration::from_secs(10));
+        let start = Instant::now();
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Some(vetted) = self.vet_connection(stream, index) {
+                        return Ok(vetted);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Ok(Some(status)) = child.try_wait() {
+                        return Err(ShardError::Spawn {
+                            worker: index,
+                            message: format!("worker exited before connecting: {status}"),
+                        });
+                    }
+                    if start.elapsed() > limit {
+                        return Err(ShardError::Spawn {
+                            worker: index,
+                            message: format!("no identified connection within {limit:?}"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(ShardError::Io(e)),
+            }
+        }
+    }
+
+    /// Reads a connection's first frame and keeps it only if it is a
+    /// `SHARD_CONNECT` for this session and shard.
+    fn vet_connection(&self, mut stream: TcpStream, index: usize) -> Option<TcpStream> {
+        stream.set_nonblocking(false).ok()?;
+        stream.set_read_timeout(Some(Duration::from_secs(1))).ok()?;
+        let image = read_image(&mut stream).ok()?;
+        match Frame::from_bytes(&image) {
+            Ok(Frame::Connect { nonce, worker }) if nonce == self.nonce && worker == index => {
+                stream.set_read_timeout(None).ok()?;
+                let _ = stream.set_nodelay(true);
+                Some(stream)
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the handle: reader thread (with recv-direction chaos),
+    /// chaos-wrapped sink, fresh channel.
+    fn finish_handle(
+        &self,
+        index: usize,
+        child: Child,
+        sink: Box<dyn FrameSink>,
+        mut source: Box<dyn FrameSource>,
+        counters: (Arc<AtomicU64>, Arc<AtomicU64>),
+    ) -> WorkerHandle {
+        let (tx, rx): (Sender<Frame>, Receiver<Frame>) = std::sync::mpsc::channel();
+        let chaos = self.cfg.chaos.clone();
+        let recv_counter = Arc::clone(&counters.1);
+        let reader = std::thread::spawn(move || {
+            // Decode in the reader so the supervisor thread only ever
+            // blocks on the channel. Any read/decode failure ends the
+            // thread; the dropped sender surfaces to the supervisor as a
+            // disconnect — the crash signal.
+            'read: while let Ok(image) = source.recv_image() {
+                let images = match &chaos {
+                    Some(spec) => match apply_recv_chaos(spec, index, &recv_counter, image) {
+                        RecvAction::Deliver(images) => images,
+                        RecvAction::Sever => break,
+                    },
+                    None => vec![image],
+                };
+                for image in images {
+                    let frame = match Frame::from_bytes(&image) {
+                        Ok(frame) => frame,
+                        Err(_) => break 'read,
+                    };
+                    if tx.send(frame).is_err() {
+                        break 'read;
+                    }
+                }
+            }
+        });
+        let sink: Box<dyn FrameSink> = match &self.cfg.chaos {
+            Some(spec) => {
+                Box::new(ChaosSink::new(sink, spec.clone(), index, Arc::clone(&counters.0)))
+            }
+            None => sink,
+        };
+        WorkerHandle {
+            index,
+            child,
+            sink,
+            rx,
+            reader: Some(reader),
+            barrier: None,
+            respawns: 0,
+            hb_seq: 0,
+            counters,
+        }
+    }
+
+    /// Sends one frame to a worker, mapping a write failure to the crash
+    /// signal for `round`.
+    fn send_to(&mut self, index: usize, round: usize, frame: &Frame) -> Result<(), ShardError> {
+        self.workers[index].send(frame).map_err(|e| ShardError::WorkerDied {
+            worker: index,
+            round,
+            reason: format!("write failed: {e}"),
+        })
+    }
+
+    /// Receives the next frame from a worker, emitting heartbeat
+    /// telemetry for any probes sent and echoes consumed while waiting.
+    fn recv_worker(&mut self, index: usize, round: usize) -> Result<Frame, String> {
+        let deadline = self.cfg.round_deadline;
+        let hb = self.cfg.heartbeat_interval;
+        let (res, live) = self.workers[index].recv_live(deadline, hb);
+        for _ in 0..live.probes {
+            self.worker_event("heartbeat", index, round);
+        }
+        for _ in 0..live.echoes {
+            self.worker_event("hb_echo", index, round);
+        }
+        res
+    }
+
+    /// Waits for an [`Ack::Ready`] at `expected_round` from a
+    /// freshly-built or freshly-restored worker, skipping stale frames.
+    /// An error ack is fatal: a worker that cannot even reach a barrier
+    /// would fail identically on respawn.
+    fn expect_ready_at(&mut self, index: usize, expected_round: usize) -> Result<(), ShardError> {
+        loop {
+            match self.recv_worker(index, expected_round) {
+                Ok(Frame::RoundAck { round, ack: Ack::Ready }) if round == expected_round => {
+                    return Ok(())
+                }
+                Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
+                    return Err(ShardError::Worker { worker: index, message })
+                }
+                Ok(_stale) => continue,
+                Err(reason) => {
+                    return Err(ShardError::WorkerDied {
+                        worker: index,
+                        round: expected_round,
+                        reason,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Rolls a fresh worker process forward to the in-flight round:
+    /// hello (fresh build = round-0 barrier), restore the retained
+    /// barrier if one exists, resend the round's batch.
+    fn roll_forward(
+        &mut self,
+        index: usize,
+        round: usize,
+        batch: &[Message],
+    ) -> Result<(), ShardError> {
+        let (lo, hi) = self.bounds[index];
+        let hello = Frame::Hello { lo, hi, nonce: self.nonce, spec: self.spec.clone() };
+        let barrier = self.workers[index].barrier.clone();
+        self.send_to(index, round, &hello)?;
+        self.expect_ready_at(index, 0)?;
+        if let Some(bytes) = barrier {
+            self.send_to(index, round, &Frame::Snapshot { bytes })?;
+            self.expect_ready_at(index, round)?;
+        }
+        self.send_to(index, round, &Frame::RoundMsgs { round, msgs: batch.to_vec() })?;
+        Ok(())
+    }
+
+    /// Recovers a crashed worker: backoff, respawn (budget-bounded),
+    /// roll forward, retrying until the budget is exhausted. Because
+    /// workers are deterministic functions of (spec, barrier, batch),
+    /// the replayed round is bit-identical to the lost one.
     fn recover(
         &mut self,
         index: usize,
         round: usize,
         batch: &[Message],
-        reason: String,
+        mut reason: String,
     ) -> Result<(), ShardError> {
-        self.worker_event("crash", index, round);
-        let old = &self.workers[index];
-        if old.respawns >= self.cfg.max_respawns {
-            return Err(ShardError::WorkerDied { worker: index, round, reason });
+        loop {
+            self.worker_event("crash", index, round);
+            let attempt = self.workers[index].respawns;
+            if attempt >= self.cfg.max_respawns {
+                return Err(ShardError::WorkerDied { worker: index, round, reason });
+            }
+            let delay = backoff_delay(self.cfg.backoff_base, self.cfg.backoff_cap, attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            let counters = self.workers[index].counters.clone();
+            match self.spawn_worker(index, counters) {
+                Ok(mut fresh) => {
+                    fresh.respawns = attempt + 1;
+                    fresh.barrier = self.workers[index].barrier.clone();
+                    // Dropping the old handle reaps the dead process and
+                    // joins its reader; stale frames from the dead
+                    // incarnation die with its channel.
+                    self.workers[index] = fresh;
+                    self.worker_event("respawn", index, round);
+                    if self.cfg.transport == TransportKind::Tcp {
+                        self.worker_event("reconnect", index, round);
+                    }
+                    match self.roll_forward(index, round, batch) {
+                        Ok(()) => {
+                            self.worker_event("replay", index, round);
+                            return Ok(());
+                        }
+                        Err(ShardError::WorkerDied { reason: r, .. }) => {
+                            reason = r;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(ShardError::Spawn { message, .. }) => {
+                    self.workers[index].respawns += 1;
+                    reason = format!("respawn failed: {message}");
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        let (lo, hi) = self.bounds[index];
-        let mut fresh = WorkerHandle::spawn(&self.cfg.worker_cmd, index, lo, hi)?;
-        fresh.respawns = self.workers[index].respawns + 1;
+    }
+
+    /// Respawns one worker **outside the respawn budget** and rolls it
+    /// forward — used to resync survivors after a redistribution, whose
+    /// channels may hold replies computed against the old shard map.
+    /// Single attempt: a failure here means the survivor is dead too,
+    /// and the caller walks the ladder again.
+    fn resync(&mut self, index: usize, round: usize, batch: &[Message]) -> Result<(), ShardError> {
+        let counters = self.workers[index].counters.clone();
+        let respawns = self.workers[index].respawns;
+        let mut fresh = self.spawn_worker(index, counters)?;
+        fresh.respawns = respawns;
         fresh.barrier = self.workers[index].barrier.clone();
-        // Dropping the old handle reaps the dead process and joins its
-        // reader; stale frames from the dead incarnation die with its
-        // channel — the fresh channel only ever carries fresh frames.
         self.workers[index] = fresh;
         self.worker_event("respawn", index, round);
-        let deadline = self.cfg.round_deadline;
-        let hello = Frame::Hello { lo, hi, spec: self.spec.clone() };
-        let barrier = self.workers[index].barrier.clone();
-        let worker = &mut self.workers[index];
-        worker.send(&hello)?;
-        expect_ready(deadline, worker)?;
-        if let Some(barrier) = barrier {
-            worker.send(&Frame::Snapshot { bytes: barrier })?;
-            expect_ready(deadline, worker)?;
+        if self.cfg.transport == TransportKind::Tcp {
+            self.worker_event("reconnect", index, round);
         }
-        worker.send(&Frame::RoundMsgs { round, msgs: batch.to_vec() })?;
+        self.roll_forward(index, round, batch)?;
         self.worker_event("replay", index, round);
         Ok(())
     }
 
+    /// Walks one rung of the degradation ladder for a worker whose
+    /// respawn budget is exhausted: redistribute its machine range to a
+    /// surviving neighbor (and resync all survivors to the in-flight
+    /// round), or — when no workers survive — fall back to in-process
+    /// execution. Non-death errors propagate unchanged.
+    fn degrade(
+        &mut self,
+        error: ShardError,
+        round: usize,
+        batches: &mut Vec<Vec<Message>>,
+    ) -> Result<(), ShardError> {
+        let (dead, reason) = match error {
+            ShardError::WorkerDied { worker, reason, .. } => (worker, reason),
+            ShardError::Spawn { worker, message } => (worker, message),
+            other => return Err(other),
+        };
+        if self.workers.len() > 1 {
+            let (dead_lo, dead_hi) = self.bounds[dead];
+            self.workers.remove(dead); // Drop reaps the dead process.
+            self.bounds.remove(dead);
+            let dead_batch = batches.remove(dead);
+            for (i, w) in self.workers.iter_mut().enumerate() {
+                w.index = i;
+            }
+            let absorber = if dead > 0 { dead - 1 } else { 0 };
+            let (alo, ahi) = self.bounds[absorber];
+            self.bounds[absorber] = (alo.min(dead_lo), ahi.max(dead_hi));
+            // Batch order across disjoint recipient ranges is
+            // irrelevant — only per-recipient order matters, and the two
+            // shards' recipients are disjoint.
+            batches[absorber].extend(dead_batch);
+            self.worker_event("redistribute", absorber, round);
+            if self.degraded.is_none() {
+                self.degraded = Some(format!(
+                    "worker {dead} exhausted its respawn budget in round {round} ({reason}); \
+                     machines [{dead_lo}, {dead_hi}) redistributed to a surviving worker"
+                ));
+            }
+            // Every survivor resyncs: its channel may hold replies (or
+            // partially collected state was discarded), and the absorber
+            // must rebuild with its widened range.
+            for (i, batch) in batches.iter().enumerate().take(self.workers.len()) {
+                self.resync(i, round, batch)?;
+            }
+            Ok(())
+        } else {
+            let Some(builder) = self.builder.clone() else {
+                return Err(ShardError::WorkerDied { worker: dead, round, reason });
+            };
+            let barrier = self.workers.first().and_then(|w| w.barrier.clone());
+            self.workers.clear(); // Drop reaps the last dead process.
+            let mut sim = builder(&self.spec)
+                .map_err(|message| ShardError::Worker { worker: dead, message })?;
+            if let Some(bytes) = barrier {
+                let snap = SimulationSnapshot::from_bytes(&bytes)?;
+                sim.restore(&snap)?;
+            }
+            let merged: Vec<Message> = batches.drain(..).flatten().collect();
+            batches.push(merged);
+            self.bounds = vec![(0, self.m)];
+            self.fallback = Some(sim);
+            self.worker_event("degrade", dead, round);
+            if self.degraded.is_none() {
+                self.degraded = Some(format!(
+                    "all workers dead by round {round} ({reason}); fell back to in-process \
+                     execution"
+                ));
+            }
+            Ok(())
+        }
+    }
+
     /// Collects one worker's three-frame round reply, recovering through
-    /// crashes. Partial replies from a dead incarnation are discarded —
-    /// only a complete (msgs, ack, barrier) triple counts.
+    /// crashes and skipping stale or duplicated frames. Partial replies
+    /// from a dead incarnation are discarded — only a complete
+    /// (msgs, ack, barrier) triple counts.
     fn collect(
         &mut self,
         index: usize,
@@ -736,122 +1338,163 @@ impl Supervisor {
         batch: &[Message],
     ) -> Result<RoundReply, ShardError> {
         'attempt: loop {
-            let deadline = self.cfg.round_deadline;
-            let msgs = match self.workers[index].recv(deadline) {
-                Ok(Frame::RoundMsgs { round: r, msgs }) if r == round => msgs,
-                Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
-                    return Err(ShardError::Worker { worker: index, message });
+            let mut msgs: Option<Vec<Message>> = None;
+            let mut acked: Option<(RoundStats, Vec<(MachineId, BitVec)>)> = None;
+            loop {
+                match self.recv_worker(index, round) {
+                    Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
+                        return Err(ShardError::Worker { worker: index, message });
+                    }
+                    // A stale handshake/restore ack (e.g. a duplicated
+                    // Ready consumed late): skip.
+                    Ok(Frame::RoundAck { ack: Ack::Ready, .. }) => continue,
+                    Ok(Frame::RoundMsgs { round: r, msgs: m }) => {
+                        if r == round && msgs.is_none() {
+                            msgs = Some(m);
+                        } else if r <= round {
+                            continue; // stale round or duplicated frame
+                        } else {
+                            return Err(ShardError::Protocol(format!(
+                                "worker {index} sent round {r} messages during round {round}"
+                            )));
+                        }
+                    }
+                    Ok(Frame::RoundAck { round: r, ack: Ack::Round { stats, outputs } }) => {
+                        if r == round && msgs.is_some() && acked.is_none() {
+                            acked = Some((stats, outputs));
+                        } else if r <= round {
+                            continue; // stale round or duplicated frame
+                        } else {
+                            return Err(ShardError::Protocol(format!(
+                                "worker {index} acked round {r} during round {round}"
+                            )));
+                        }
+                    }
+                    Ok(Frame::Snapshot { bytes }) => {
+                        if msgs.is_some() && acked.is_some() {
+                            let (stats, outputs) = acked.take().expect("checked");
+                            self.worker_event("round_ack", index, round);
+                            return Ok(RoundReply {
+                                msgs: msgs.take().expect("checked"),
+                                stats,
+                                outputs,
+                                barrier: bytes,
+                            });
+                        }
+                        continue; // a stale barrier (duplicated final frame)
+                    }
+                    Ok(other) => {
+                        return Err(ShardError::Protocol(format!(
+                            "worker {index} sent {other:?} during round {round} collection"
+                        )));
+                    }
+                    Err(reason) => {
+                        self.recover(index, round, batch, reason)?;
+                        continue 'attempt;
+                    }
                 }
-                Ok(other) => {
-                    return Err(ShardError::Protocol(format!(
-                        "worker {index} sent {other:?} where round {round} messages were expected"
-                    )));
-                }
-                Err(reason) => {
-                    self.recover(index, round, batch, reason)?;
-                    continue 'attempt;
-                }
-            };
-            let (stats, outputs) = match self.workers[index].recv(deadline) {
-                Ok(Frame::RoundAck { round: r, ack: Ack::Round { stats, outputs } })
-                    if r == round =>
-                {
-                    (stats, outputs)
-                }
-                Ok(Frame::RoundAck { ack: Ack::Error { message }, .. }) => {
-                    return Err(ShardError::Worker { worker: index, message });
-                }
-                Ok(other) => {
-                    return Err(ShardError::Protocol(format!(
-                        "worker {index} sent {other:?} where the round {round} ack was expected"
-                    )));
-                }
-                Err(reason) => {
-                    self.recover(index, round, batch, reason)?;
-                    continue 'attempt;
-                }
-            };
-            let barrier = match self.workers[index].recv(deadline) {
-                Ok(Frame::Snapshot { bytes }) => bytes,
-                Ok(other) => {
-                    return Err(ShardError::Protocol(format!(
-                        "worker {index} sent {other:?} where the round {round} barrier was expected"
-                    )));
-                }
-                Err(reason) => {
-                    self.recover(index, round, batch, reason)?;
-                    continue 'attempt;
-                }
-            };
-            self.worker_event("heartbeat", index, round);
-            return Ok(RoundReply { msgs, stats, outputs, barrier });
+            }
         }
+    }
+
+    /// Runs one full round: send batches, apply the kill schedule,
+    /// collect every reply, and commit barriers only once the whole
+    /// round succeeded (staged commit is what lets a redistribution
+    /// retry the round from intact barriers). Returns the round's merged
+    /// messages, outputs, and statistics.
+    #[allow(clippy::type_complexity)]
+    fn run_round(
+        &mut self,
+        round: usize,
+        batches: &[Vec<Message>],
+    ) -> Result<(Vec<Message>, Vec<(MachineId, BitVec)>, RoundStats), ShardError> {
+        let m = self.m;
+        if let Some(sim) = self.fallback.as_mut() {
+            let out = sim
+                .inject_messages(&batches[0])
+                .and_then(|()| sim.step_shard(0, m))
+                .map_err(ShardError::Violation)?;
+            return Ok((out.messages, out.outputs, out.stats));
+        }
+        // Send every worker its inbound batch; a write failure is a
+        // crash already visible at the transport, recovered on the spot
+        // (recovery resends the batch itself, and the worker-side stale
+        // drop absorbs the duplicate).
+        for (i, batch) in batches.iter().enumerate().take(self.workers.len()) {
+            let frame = Frame::RoundMsgs { round, msgs: batch.clone() };
+            if let Err(e) = self.workers[i].send(&frame) {
+                self.recover(i, round, batch, format!("write failed: {e}"))?;
+            }
+        }
+        // The seeded kill schedule strikes *after* the batch is on the
+        // wire: the worker dies mid-round, computing. Each order fires
+        // once — a degradation retry must not re-kill the fleet.
+        for k in 0..self.cfg.kills.len() {
+            let kill = self.cfg.kills[k];
+            if !self.kills_fired[k] && kill.round == round && kill.worker < self.workers.len() {
+                self.kills_fired[k] = true;
+                let _ = self.workers[kill.worker].child.kill();
+            }
+        }
+        // Collect in worker order. Replies buffer in the per-worker
+        // channels, so sequential collection loses no parallelism — and
+        // worker order *is* sender-major machine order, which is what
+        // makes the merged transcript byte-identical to the in-process
+        // executor's.
+        let mut round_msgs: Vec<Message> = Vec::new();
+        let mut round_outputs: Vec<(MachineId, BitVec)> = Vec::new();
+        let mut merged: Option<RoundStats> = None;
+        let mut barriers: Vec<Vec<u8>> = Vec::with_capacity(self.workers.len());
+        for (i, batch) in batches.iter().enumerate().take(self.workers.len()) {
+            let reply = self.collect(i, round, batch)?;
+            if reply.stats.round != round {
+                return Err(ShardError::Protocol(format!(
+                    "worker {i} acked round {} during round {round}",
+                    reply.stats.round
+                )));
+            }
+            round_msgs.extend(reply.msgs);
+            round_outputs.extend(reply.outputs);
+            merged = Some(match merged.take() {
+                None => reply.stats,
+                Some(mut acc) => {
+                    acc.messages += reply.stats.messages;
+                    acc.bits_sent += reply.stats.bits_sent;
+                    acc.oracle_queries += reply.stats.oracle_queries;
+                    acc.max_queries_one_machine =
+                        acc.max_queries_one_machine.max(reply.stats.max_queries_one_machine);
+                    acc.max_memory_bits = acc.max_memory_bits.max(reply.stats.max_memory_bits);
+                    acc.active_machines += reply.stats.active_machines;
+                    acc
+                }
+            });
+            barriers.push(reply.barrier);
+        }
+        for (w, barrier) in self.workers.iter_mut().zip(barriers) {
+            w.barrier = Some(barrier);
+        }
+        Ok((round_msgs, round_outputs, merged.expect("at least one shard")))
     }
 
     /// Runs the sharded computation until some machine emits an output
     /// or `max_rounds` is reached — the supervised mirror of
     /// [`Simulation::run_until_output`], with a byte-identical
-    /// [`RunResult`].
+    /// [`RunResult`]. Worker deaths beyond the respawn budget walk the
+    /// degradation ladder (check [`Supervisor::degradation`] afterward)
+    /// instead of failing, as long as a fallback builder is installed.
     pub fn run_until_output(&mut self, max_rounds: usize) -> Result<RunResult, ShardError> {
-        let shards = self.bounds.len();
-        let mut batches: Vec<Vec<Message>> = vec![Vec::new(); shards];
+        let mut batches: Vec<Vec<Message>> = vec![Vec::new(); self.bounds.len()];
         let mut stats = SimStats::default();
         let mut outputs: Vec<(MachineId, BitVec)> = Vec::new();
-        for round in 0..max_rounds {
-            // Send every worker its inbound batch; a write failure is a
-            // crash already visible at the pipe, recovered on the spot
-            // (recovery resends the batch itself).
-            for (i, slot) in batches.iter_mut().enumerate() {
-                let frame = Frame::RoundMsgs { round, msgs: std::mem::take(slot) };
-                let Frame::RoundMsgs { msgs, .. } = &frame else { unreachable!() };
-                let batch = msgs.clone();
-                if let Err(e) = self.workers[i].send(&frame) {
-                    self.recover(i, round, &batch, format!("write failed: {e}"))?;
+        let mut round = 0;
+        while round < max_rounds {
+            let (round_msgs, round_outputs, merged) = loop {
+                match self.run_round(round, &batches) {
+                    Ok(v) => break v,
+                    Err(e) => self.degrade(e, round, &mut batches)?,
                 }
-                *slot = batch;
-            }
-            // The seeded kill schedule strikes *after* the batch is on
-            // the wire: the worker dies mid-round, computing.
-            for kill in self.cfg.kills.clone() {
-                if kill.round == round && kill.worker < shards {
-                    let _ = self.workers[kill.worker].child.kill();
-                }
-            }
-            // Collect in worker order. Replies buffer in the per-worker
-            // channels, so sequential collection loses no parallelism —
-            // and worker order *is* sender-major machine order, which is
-            // what makes the merged transcript byte-identical to the
-            // in-process executor's.
-            let mut round_msgs: Vec<Message> = Vec::new();
-            let mut round_outputs: Vec<(MachineId, BitVec)> = Vec::new();
-            let mut merged: Option<RoundStats> = None;
-            for (i, slot) in batches.iter_mut().enumerate() {
-                let batch = std::mem::take(slot);
-                let reply = self.collect(i, round, &batch)?;
-                if reply.stats.round != round {
-                    return Err(ShardError::Protocol(format!(
-                        "worker {i} acked round {} during round {round}",
-                        reply.stats.round
-                    )));
-                }
-                round_msgs.extend(reply.msgs);
-                round_outputs.extend(reply.outputs);
-                merged = Some(match merged.take() {
-                    None => reply.stats,
-                    Some(mut acc) => {
-                        acc.messages += reply.stats.messages;
-                        acc.bits_sent += reply.stats.bits_sent;
-                        acc.oracle_queries += reply.stats.oracle_queries;
-                        acc.max_queries_one_machine =
-                            acc.max_queries_one_machine.max(reply.stats.max_queries_one_machine);
-                        acc.max_memory_bits = acc.max_memory_bits.max(reply.stats.max_memory_bits);
-                        acc.active_machines += reply.stats.active_machines;
-                        acc
-                    }
-                });
-                self.workers[i].barrier = Some(reply.barrier);
-            }
-            stats.rounds.push(merged.expect("at least one shard"));
+            };
+            stats.rounds.push(merged);
             let produced_output = !round_outputs.is_empty();
             outputs.extend(round_outputs);
             if produced_output {
@@ -863,6 +1506,9 @@ impl Supervisor {
             }
             // Route: partition the concatenated sender-major stream by
             // destination shard, preserving order within each batch.
+            for slot in batches.iter_mut() {
+                slot.clear();
+            }
             for msg in round_msgs {
                 if msg.to >= self.m {
                     return Err(ShardError::Protocol(format!(
@@ -873,8 +1519,37 @@ impl Supervisor {
                 let owner = self.bounds.partition_point(|&(_, hi)| hi <= msg.to);
                 batches[owner].push(msg);
             }
+            round += 1;
         }
         Ok(RunResult { outcome: RunOutcome::RoundLimit { limit: max_rounds }, outputs, stats })
+    }
+
+    /// Rebinds a **healthy, full-strength** fleet to a new spec without
+    /// respawning processes: every worker rebuilds from the new hello
+    /// (dropping its barrier and respawn count) — this is what lets one
+    /// warm fleet serve every trial of a sweep cell, keeping worker-side
+    /// oracle caches hot. Refuses on a degraded fleet; callers then
+    /// build a fresh supervisor instead.
+    pub fn rebind(&mut self, spec: Vec<u8>) -> Result<(), ShardError> {
+        if self.fallback.is_some()
+            || self.degraded.is_some()
+            || self.workers.len() != self.cfg.shards
+        {
+            return Err(ShardError::Protocol(
+                "cannot rebind a degraded fleet; build a fresh supervisor".into(),
+            ));
+        }
+        self.spec = spec;
+        self.kills_fired = vec![false; self.cfg.kills.len()];
+        for i in 0..self.workers.len() {
+            self.workers[i].barrier = None;
+            self.workers[i].respawns = 0;
+            let (lo, hi) = self.bounds[i];
+            let hello = Frame::Hello { lo, hi, nonce: self.nonce, spec: self.spec.clone() };
+            self.send_to(i, 0, &hello)?;
+            self.expect_ready_at(i, 0)?;
+        }
+        Ok(())
     }
 }
 
@@ -887,7 +1562,7 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame::Hello { lo: 2, hi: 5, spec: vec![1, 2, 3, 255] },
+            Frame::Hello { lo: 2, hi: 5, nonce: 0xdead_beef_cafe_f00d, spec: vec![1, 2, 3, 255] },
             Frame::RoundMsgs {
                 round: 7,
                 msgs: vec![
@@ -913,6 +1588,8 @@ mod tests {
             },
             Frame::RoundAck { round: 1, ack: Ack::Error { message: "boom".into() } },
             Frame::Snapshot { bytes: b"nested container".to_vec() },
+            Frame::Heartbeat { seq: 42 },
+            Frame::Connect { nonce: 0x1234_5678_9abc_def0, worker: 3 },
         ]
     }
 
@@ -972,6 +1649,25 @@ mod tests {
         assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0));
     }
 
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(2);
+        assert_eq!(backoff_delay(base, cap, 0), Duration::from_millis(25));
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(base, cap, 3), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, cap, 10), cap);
+        assert_eq!(backoff_delay(base, cap, 60), cap);
+        assert_eq!(backoff_delay(Duration::ZERO, cap, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn nonces_are_unique_per_supervisor() {
+        let a = fresh_nonce();
+        let b = fresh_nonce();
+        assert_ne!(a, b);
+    }
+
     /// A deterministic relay build for in-memory worker tests: machine i
     /// forwards its inbox to machine (i + 1) % m, emitting once a
     /// message has hopped `m` times.
@@ -996,15 +1692,19 @@ mod tests {
         sim
     }
 
-    /// Drives `worker_serve` over in-memory pipes with a scripted frame
-    /// sequence and returns the worker's reply frames.
-    fn drive_worker(input_frames: &[Frame], m: usize) -> Vec<Frame> {
+    /// Drives `worker_serve_with` over in-memory pipes with a scripted
+    /// frame sequence and returns the worker's reply frames.
+    fn drive_worker_bound(
+        input_frames: &[Frame],
+        m: usize,
+        expected_nonce: Option<u64>,
+    ) -> Result<Vec<Frame>, ShardError> {
         let mut wire = Vec::new();
         for frame in input_frames {
             write_frame(&mut wire, frame).unwrap();
         }
         let mut replies = Vec::new();
-        worker_serve(&wire[..], &mut replies, |_spec| Ok(relay_sim(m))).unwrap();
+        worker_serve_with(&wire[..], &mut replies, expected_nonce, |_spec| Ok(relay_sim(m)))?;
         let mut frames = Vec::new();
         let mut r = &replies[..];
         loop {
@@ -1014,7 +1714,11 @@ mod tests {
                 Err(e) => panic!("worker reply stream corrupt: {e}"),
             }
         }
-        frames
+        Ok(frames)
+    }
+
+    fn drive_worker(input_frames: &[Frame], m: usize) -> Vec<Frame> {
+        drive_worker_bound(input_frames, m, None).unwrap()
     }
 
     #[test]
@@ -1023,7 +1727,7 @@ mod tests {
         // replies must carry exactly what the in-process executor's
         // rounds produce.
         let m = 3;
-        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 0, spec: Vec::new() };
         let r0 = Frame::RoundMsgs { round: 0, msgs: Vec::new() };
         let replies = drive_worker(&[hello, r0], m);
         assert!(matches!(replies[0], Frame::RoundAck { ack: Ack::Ready, .. }));
@@ -1052,9 +1756,60 @@ mod tests {
     }
 
     #[test]
-    fn worker_rejects_wrong_round_batch() {
+    fn worker_echoes_heartbeats_any_time() {
         let m = 3;
-        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let frames = [
+            Frame::Heartbeat { seq: 1 }, // before hello
+            Frame::Hello { lo: 0, hi: m, nonce: 0, spec: Vec::new() },
+            Frame::Heartbeat { seq: 7 }, // between rounds
+            Frame::RoundMsgs { round: 0, msgs: Vec::new() },
+            Frame::Heartbeat { seq: 9 },
+        ];
+        let replies = drive_worker(&frames, m);
+        assert_eq!(replies[0], Frame::Heartbeat { seq: 1 });
+        assert!(matches!(replies[1], Frame::RoundAck { ack: Ack::Ready, .. }));
+        assert_eq!(replies[2], Frame::Heartbeat { seq: 7 });
+        assert_eq!(*replies.last().unwrap(), Frame::Heartbeat { seq: 9 });
+    }
+
+    #[test]
+    fn worker_drops_stale_batch_silently() {
+        // After stepping round 0, a duplicated round-0 batch must
+        // produce no reply at all — the stale-frame tolerance that makes
+        // chaos duplication and replay double-sends converge.
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 0, spec: Vec::new() };
+        let r0 = Frame::RoundMsgs { round: 0, msgs: Vec::new() };
+        let dup = Frame::RoundMsgs { round: 0, msgs: Vec::new() };
+        let probe = Frame::Heartbeat { seq: 5 };
+        let replies = drive_worker(&[hello, r0, dup, probe], m);
+        // Ready + 3 reply frames + echo; the duplicate contributes nothing.
+        assert_eq!(replies.len(), 5, "{replies:?}");
+        assert_eq!(*replies.last().unwrap(), Frame::Heartbeat { seq: 5 });
+    }
+
+    #[test]
+    fn worker_refuses_wrong_session_nonce() {
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 111, spec: Vec::new() };
+        match drive_worker_bound(&[hello], m, Some(222)) {
+            Err(ShardError::Protocol(why)) => assert!(why.contains("nonce"), "{why}"),
+            other => panic!("expected a nonce-mismatch protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_accepts_matching_session_nonce() {
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 222, spec: Vec::new() };
+        let replies = drive_worker_bound(&[hello], m, Some(222)).unwrap();
+        assert!(matches!(replies[0], Frame::RoundAck { ack: Ack::Ready, .. }));
+    }
+
+    #[test]
+    fn worker_rejects_future_round_batch() {
+        let m = 3;
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 0, spec: Vec::new() };
         let bad = Frame::RoundMsgs { round: 5, msgs: Vec::new() };
         let replies = drive_worker(&[hello, bad], m);
         assert!(matches!(replies[0], Frame::RoundAck { ack: Ack::Ready, .. }));
@@ -1066,7 +1821,7 @@ mod tests {
 
     #[test]
     fn worker_reports_build_failure_as_error_ack() {
-        let hello = Frame::Hello { lo: 0, hi: 1, spec: Vec::new() };
+        let hello = Frame::Hello { lo: 0, hi: 1, nonce: 0, spec: Vec::new() };
         let mut wire = Vec::new();
         write_frame(&mut wire, &hello).unwrap();
         let mut replies = Vec::new();
@@ -1090,7 +1845,7 @@ mod tests {
         sim.step_shard(0, m).unwrap();
         let barrier = sim.snapshot().to_bytes();
 
-        let hello = Frame::Hello { lo: 0, hi: m, spec: Vec::new() };
+        let hello = Frame::Hello { lo: 0, hi: m, nonce: 0, spec: Vec::new() };
         let restore = Frame::Snapshot { bytes: barrier };
         let replies = drive_worker(&[hello, restore], m);
         assert!(matches!(replies[0], Frame::RoundAck { round: 0, ack: Ack::Ready }));

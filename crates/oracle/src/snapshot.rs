@@ -385,6 +385,14 @@ pub const SECTION_ROUND_ACK: [u8; 4] = *b"RACK";
 /// Shard wire frame: a worker's round-barrier snapshot (`SHARD_SNAPSHOT`).
 pub const SECTION_SHARD_SNAPSHOT: [u8; 4] = *b"SSNP";
 
+/// Shard wire frame: a liveness heartbeat probe or echo (`HEARTBEAT`).
+pub const SECTION_HEARTBEAT: [u8; 4] = *b"HBEA";
+
+/// Shard wire frame: a TCP worker identifying its connection
+/// (`SHARD_CONNECT`) — session nonce plus worker index, so stray or
+/// stale connections are rejected at accept time.
+pub const SECTION_SHARD_CONNECT: [u8; 4] = *b"CONN";
+
 /// Section tag for a query transcript.
 pub const SECTION_TRANSCRIPT: [u8; 4] = *b"TRNS";
 

@@ -9,7 +9,8 @@
 
 use crate::jsonio::{self, as_array, as_bool, as_f64, as_str, as_u64, get};
 use mph_metrics::json::Json;
-use mph_mpc::FaultSpec;
+use mph_mpc::{ChaosSpec, FaultSpec, TransportKind};
+use std::time::Duration;
 
 /// Protocol version spoken by this build.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -130,6 +131,35 @@ pub struct GridSpec {
     /// Extra attempts per faulty trial that fails. Only meaningful — and
     /// only accepted — alongside at least one fault rate.
     pub retries: usize,
+    /// Shard transport: `"pipe"` (stdio pair, the default) or `"tcp"`
+    /// (workers dial back to a loopback listener). Only accepted with
+    /// `shards > 1`; an execution knob like `shards`, outside the
+    /// session identity.
+    pub transport: String,
+    /// Wire-chaos per-frame bit-corruption probability. All `chaos_*`
+    /// rates require `shards > 1` and are execution knobs: whatever the
+    /// chaos plane injects, recovery keeps the report byte-identical.
+    pub chaos_corrupt_rate: Option<f64>,
+    /// Wire-chaos per-frame truncation probability.
+    pub chaos_truncate_rate: Option<f64>,
+    /// Wire-chaos per-frame mid-frame-disconnect probability.
+    pub chaos_disconnect_rate: Option<f64>,
+    /// Wire-chaos per-frame duplication probability.
+    pub chaos_duplicate_rate: Option<f64>,
+    /// Wire-chaos per-frame bounded-delay probability.
+    pub chaos_delay_rate: Option<f64>,
+    /// Seed of the deterministic chaos plane. Only accepted alongside at
+    /// least one chaos rate.
+    pub chaos_seed: u64,
+    /// Upper bound of an injected delay, in milliseconds. Only accepted
+    /// alongside at least one chaos rate.
+    pub chaos_delay_ms: u64,
+    /// Per-reply supervisor deadline override in milliseconds (the
+    /// liveness layer's heartbeat timeout base). Requires `shards > 1`.
+    pub round_deadline_ms: Option<u64>,
+    /// Per-worker respawn budget override (`0` disables respawns, which
+    /// exercises the degradation ladder). Requires `shards > 1`.
+    pub respawns: Option<usize>,
 }
 
 impl Default for GridSpec {
@@ -155,6 +185,16 @@ impl Default for GridSpec {
             straggler_rate: None,
             fault_seed: 0,
             retries: 0,
+            transport: "pipe".into(),
+            chaos_corrupt_rate: None,
+            chaos_truncate_rate: None,
+            chaos_disconnect_rate: None,
+            chaos_duplicate_rate: None,
+            chaos_delay_rate: None,
+            chaos_seed: 0,
+            chaos_delay_ms: 5,
+            round_deadline_ms: None,
+            respawns: None,
         }
     }
 }
@@ -177,6 +217,13 @@ mod limits {
     /// Retry attempts per faulty trial: enough for any plausible fault
     /// sweep, small enough that a cell cannot be made to run forever.
     pub const MAX_RETRIES: u64 = 16;
+    /// Injected wire delays stay bounded: ten seconds is already far
+    /// past any sane round deadline.
+    pub const MAX_CHAOS_DELAY_MS: u64 = 10_000;
+    /// Per-reply deadline override cap — ten minutes.
+    pub const MAX_ROUND_DEADLINE_MS: u64 = 600_000;
+    /// Per-worker respawn budget cap.
+    pub const MAX_RESPAWNS: u64 = 64;
 }
 
 /// Parses one optional fault-rate field: a finite number in `[0, 1]`
@@ -343,6 +390,97 @@ impl GridSpec {
             // shard plane's faults are real processes dying.
             return Err(ProtoError::bad("sharded sessions do not support fault injection"));
         }
+        let transport = match get(params, "transport") {
+            None => d.transport,
+            Some(v) => match as_str(v) {
+                Some(t @ ("pipe" | "tcp")) => {
+                    if t == "tcp" && shards <= 1 {
+                        return Err(ProtoError::bad("transport \"tcp\" requires shards > 1"));
+                    }
+                    t.to_string()
+                }
+                _ => return Err(ProtoError::bad("transport must be \"pipe\" or \"tcp\"")),
+            },
+        };
+        let chaos_corrupt_rate = field_rate(params, "chaos_corrupt_rate")?;
+        let chaos_truncate_rate = field_rate(params, "chaos_truncate_rate")?;
+        let chaos_disconnect_rate = field_rate(params, "chaos_disconnect_rate")?;
+        let chaos_duplicate_rate = field_rate(params, "chaos_duplicate_rate")?;
+        let chaos_delay_rate = field_rate(params, "chaos_delay_rate")?;
+        let has_chaos = [
+            chaos_corrupt_rate,
+            chaos_truncate_rate,
+            chaos_disconnect_rate,
+            chaos_duplicate_rate,
+            chaos_delay_rate,
+        ]
+        .iter()
+        .any(Option::is_some);
+        if has_chaos && shards <= 1 {
+            return Err(ProtoError::bad("chaos rates require shards > 1"));
+        }
+        let chaos_seed = match get(params, "chaos_seed") {
+            None => d.chaos_seed,
+            Some(_) if !has_chaos => {
+                return Err(ProtoError::bad("chaos_seed requires at least one chaos rate"));
+            }
+            Some(v) => as_u64(v)
+                .ok_or_else(|| ProtoError::bad("chaos_seed must be a non-negative integer"))?,
+        };
+        let chaos_delay_ms = match get(params, "chaos_delay_ms") {
+            None => d.chaos_delay_ms,
+            Some(_) if !has_chaos => {
+                return Err(ProtoError::bad("chaos_delay_ms requires at least one chaos rate"));
+            }
+            Some(v) => {
+                let n = as_u64(v)
+                    .ok_or_else(|| ProtoError::bad("chaos_delay_ms must be a positive integer"))?;
+                if !(1..=limits::MAX_CHAOS_DELAY_MS).contains(&n) {
+                    return Err(ProtoError::bad(format!(
+                        "chaos_delay_ms must be in 1..={}",
+                        limits::MAX_CHAOS_DELAY_MS
+                    )));
+                }
+                n
+            }
+        };
+        let round_deadline_ms = match get(params, "round_deadline_ms") {
+            None => None,
+            Some(_) if shards <= 1 => {
+                return Err(ProtoError::bad("round_deadline_ms requires shards > 1"));
+            }
+            Some(v) => {
+                let n = as_u64(v).ok_or_else(|| {
+                    ProtoError::bad("round_deadline_ms must be a positive integer")
+                })?;
+                if !(1..=limits::MAX_ROUND_DEADLINE_MS).contains(&n) {
+                    return Err(ProtoError::bad(format!(
+                        "round_deadline_ms must be in 1..={}",
+                        limits::MAX_ROUND_DEADLINE_MS
+                    )));
+                }
+                Some(n)
+            }
+        };
+        let respawns = match get(params, "respawns") {
+            None => None,
+            Some(_) if shards <= 1 => {
+                return Err(ProtoError::bad("respawns requires shards > 1"));
+            }
+            Some(v) => {
+                // 0 is legal: it disables respawns entirely, which is how
+                // a client exercises the degradation ladder on purpose.
+                let n = as_u64(v)
+                    .ok_or_else(|| ProtoError::bad("respawns must be a non-negative integer"))?;
+                if n > limits::MAX_RESPAWNS {
+                    return Err(ProtoError::bad(format!(
+                        "respawns must be in 0..={}",
+                        limits::MAX_RESPAWNS
+                    )));
+                }
+                Some(n as usize)
+            }
+        };
         Ok(GridSpec {
             exp,
             target,
@@ -364,6 +502,16 @@ impl GridSpec {
             straggler_rate,
             fault_seed,
             retries,
+            transport,
+            chaos_corrupt_rate,
+            chaos_truncate_rate,
+            chaos_disconnect_rate,
+            chaos_duplicate_rate,
+            chaos_delay_rate,
+            chaos_seed,
+            chaos_delay_ms,
+            round_deadline_ms,
+            respawns,
         })
     }
 
@@ -386,6 +534,41 @@ impl GridSpec {
         })
     }
 
+    /// Whether any wire-chaos rate is set.
+    pub fn has_chaos(&self) -> bool {
+        [
+            self.chaos_corrupt_rate,
+            self.chaos_truncate_rate,
+            self.chaos_disconnect_rate,
+            self.chaos_duplicate_rate,
+            self.chaos_delay_rate,
+        ]
+        .iter()
+        .any(Option::is_some)
+    }
+
+    /// The deterministic wire-chaos plane, when any rate is set.
+    pub fn chaos_spec(&self) -> Option<ChaosSpec> {
+        self.has_chaos().then(|| ChaosSpec {
+            seed: self.chaos_seed,
+            corrupt_rate: self.chaos_corrupt_rate.unwrap_or(0.0),
+            truncate_rate: self.chaos_truncate_rate.unwrap_or(0.0),
+            disconnect_rate: self.chaos_disconnect_rate.unwrap_or(0.0),
+            duplicate_rate: self.chaos_duplicate_rate.unwrap_or(0.0),
+            delay_rate: self.chaos_delay_rate.unwrap_or(0.0),
+            max_delay: Duration::from_millis(self.chaos_delay_ms),
+            ..ChaosSpec::default()
+        })
+    }
+
+    /// The shard transport as the supervisor's enum.
+    pub fn transport_kind(&self) -> TransportKind {
+        match self.transport.as_str() {
+            "tcp" => TransportKind::Tcp,
+            _ => TransportKind::Pipe,
+        }
+    }
+
     /// The resolved spec as a canonical JSON object: every field, fixed
     /// order. Equal specs — regardless of which fields the client spelled
     /// out — render identical bytes, which keys the session.
@@ -393,8 +576,10 @@ impl GridSpec {
     /// `s_bits`, `q`, and the fault fields appear only when set: a spec
     /// that leaves them at their defaults renders the exact bytes it did
     /// before the fields existed, so pre-existing durable sessions keep
-    /// their keys. `shards` never appears — like `durable`, it changes
-    /// how a session executes, not what it computes.
+    /// their keys. `shards`, `transport`, the `chaos_*` knobs,
+    /// `round_deadline_ms`, and `respawns` never appear — like `durable`,
+    /// they change how a session executes, not what it computes (chaos
+    /// recovery keeps the report byte-identical by construction).
     pub fn canonical_json(&self) -> Json {
         let mut fields = vec![
             ("exp", Json::str(&self.exp)),
@@ -615,6 +800,45 @@ mod tests {
                 r#"{"id":"a","method":"submit","params":{"shards":2,"drop_rate":0.1}}"#,
                 ErrorCode::BadRequest,
             ),
+            (r#"{"id":"a","method":"submit","params":{"transport":"udp"}}"#, ErrorCode::BadRequest),
+            (r#"{"id":"a","method":"submit","params":{"transport":"tcp"}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"id":"a","method":"submit","params":{"chaos_corrupt_rate":0.1}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"chaos_corrupt_rate":1.5}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"chaos_seed":7}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"chaos_delay_ms":5}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"chaos_delay_rate":0.1,"chaos_delay_ms":10001}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"round_deadline_ms":500}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"round_deadline_ms":0}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"round_deadline_ms":600001}}"#,
+                ErrorCode::BadRequest,
+            ),
+            (r#"{"id":"a","method":"submit","params":{"respawns":3}}"#, ErrorCode::BadRequest),
+            (
+                r#"{"id":"a","method":"submit","params":{"shards":2,"respawns":65}}"#,
+                ErrorCode::BadRequest,
+            ),
             (r#"{"id":"a","method":"cancel"}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"cancel","params":{"session":""}}"#, ErrorCode::BadRequest),
             (r#"{"id":"a","method":"cancel","params":{"session":7}}"#, ErrorCode::BadRequest),
@@ -690,6 +914,35 @@ mod tests {
         assert_eq!(spec.shards, 4);
         assert_eq!(spec.session_key(), plain.session_key(), "shards must not fork the key");
         assert!(!spec.canonical_json().to_string().contains("shards"));
+    }
+
+    #[test]
+    fn transport_and_chaos_are_execution_knobs_not_identity() {
+        let plain = GridSpec::default();
+        let req = parse_request(
+            r#"{"id":"a","method":"submit","params":{"shards":2,"transport":"tcp","chaos_corrupt_rate":0.01,"chaos_delay_rate":0.05,"chaos_seed":9,"chaos_delay_ms":2,"round_deadline_ms":2000,"respawns":0}}"#,
+        )
+        .expect("parses");
+        let Call::Submit(spec) = req.call else { panic!("expected submit") };
+        assert_eq!(spec.transport, "tcp");
+        assert_eq!(spec.transport_kind(), TransportKind::Tcp);
+        assert_eq!(spec.chaos_corrupt_rate, Some(0.01));
+        assert_eq!((spec.chaos_seed, spec.chaos_delay_ms), (9, 2));
+        assert_eq!(spec.round_deadline_ms, Some(2000));
+        assert_eq!(spec.respawns, Some(0), "respawns: 0 is legal (degradation on purpose)");
+        let chaos = spec.chaos_spec().expect("chaos set");
+        assert_eq!((chaos.seed, chaos.corrupt_rate, chaos.delay_rate), (9, 0.01, 0.05));
+        assert_eq!(chaos.max_delay, Duration::from_millis(2));
+        assert_eq!(chaos.truncate_rate, 0.0);
+        // None of it forks the session identity or the canonical bytes.
+        assert_eq!(spec.session_key(), plain.session_key());
+        let rendered = spec.canonical_json().to_string();
+        for absent in ["transport", "chaos", "round_deadline_ms", "respawns"] {
+            assert!(!rendered.contains(absent), "{rendered}");
+        }
+        // No chaos rates → no ChaosSpec at all.
+        assert!(plain.chaos_spec().is_none());
+        assert_eq!(plain.transport_kind(), TransportKind::Pipe);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use mph_experiments::shard::{
 use mph_experiments::sweep::{degraded, run_sweep, Cell, CellResult, CellStatus};
 use mph_experiments::Report;
 use mph_metrics::json::Json;
+use mph_mpc::shard::SupervisorConfig;
 use mph_oracle::OracleHub;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -126,6 +127,25 @@ pub fn shard_grid_for_spec(spec: &GridSpec) -> Result<Vec<ShardCell>, ProtoError
     .map_err(|payload| {
         ProtoError::bad(format!("grid construction rejected: {}", panic_reason(payload.as_ref())))
     })
+}
+
+/// The supervisor configuration for a sharded session: the standard
+/// policy-derived config ([`supervisor_config`]) with the spec's
+/// execution knobs — transport, wire chaos, per-reply deadline, respawn
+/// budget — layered on top. All of them change *how* the session
+/// executes, never the report bytes.
+pub fn shard_supervisor_config(spec: &GridSpec) -> SupervisorConfig {
+    let mut cfg =
+        supervisor_config(spec.shards, &RetryPolicy::for_retries(0), default_worker_cmd());
+    cfg.transport = spec.transport_kind();
+    cfg.chaos = spec.chaos_spec();
+    if let Some(ms) = spec.round_deadline_ms {
+        cfg.round_deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = spec.respawns {
+        cfg.max_respawns = n;
+    }
+    cfg
 }
 
 /// The wire spelling of a cell's status word (reasons travel separately).
@@ -301,8 +321,7 @@ pub fn run_session_with(
     let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
     if spec.shards > 1 {
         let cells = shard_grid_for_spec(spec)?;
-        let cfg =
-            supervisor_config(spec.shards, &RetryPolicy::for_retries(0), default_worker_cmd());
+        let cfg = shard_supervisor_config(spec);
         let mut results = Vec::with_capacity(cells.len());
         for cell in cells {
             if cancelled() {

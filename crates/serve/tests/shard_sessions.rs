@@ -42,6 +42,30 @@ fn sharded_sessions_render_byte_identical_reports() {
 }
 
 #[test]
+fn tcp_chaos_sessions_render_byte_identical_reports() {
+    // Exercise the whole robustness surface through public params: TCP
+    // transport, live seeded chaos on every link, a tightened liveness
+    // deadline, and a respawn budget big enough that the fleet always
+    // recovers (so the report carries no degradation) — and the report
+    // must still match the plain in-process baseline byte for byte.
+    use_mphd_as_worker();
+    let chaotic = spec_from(
+        r#"{"windows":[2,3],"trials":2,"shards":2,"durable":false,
+            "transport":"tcp","chaos_corrupt_rate":0.01,"chaos_duplicate_rate":0.02,
+            "chaos_delay_rate":0.05,"chaos_seed":11,"chaos_delay_ms":2,
+            "round_deadline_ms":3000,"respawns":16}"#,
+    );
+    let baseline = spec_from(r#"{"windows":[2,3],"trials":2,"durable":false}"#);
+    assert_eq!(chaotic.session_key(), baseline.session_key());
+
+    let reference = session::run_local(&baseline).expect("in-process run");
+    let got = session::run_session(&chaotic, None, None, |_, _| {}).expect("chaotic run");
+    assert_eq!(got.report.to_string(), reference.report.to_string());
+    assert_eq!(got.markdown, reference.markdown);
+    assert!(!got.degraded, "budget 16 must absorb every injected fault");
+}
+
+#[test]
 fn sharded_submits_stream_through_the_daemon() {
     use_mphd_as_worker();
     let server = Server::bind(ServerConfig {

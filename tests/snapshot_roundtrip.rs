@@ -108,16 +108,17 @@ fn arb_round_stats(rng: &mut StdRng) -> RoundStats {
     }
 }
 
-/// A deterministic arbitrary shard wire frame covering all four kinds
-/// (SHLO/RMSG/RACK/SSNP) and all three ack payloads.
+/// A deterministic arbitrary shard wire frame covering all six kinds
+/// (SHLO/RMSG/RACK/SSNP/HBEA/CONN) and all three ack payloads.
 fn arb_frame(seed: u64) -> Frame {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF7A3E);
-    match seed % 4 {
+    match seed % 6 {
         0 => {
             let lo = rng.gen_range(0..32usize);
             Frame::Hello {
                 lo,
                 hi: lo + rng.gen_range(1..8usize),
+                nonce: rng.gen::<u64>(),
                 spec: (0..rng.gen_range(0..64usize)).map(|_| rng.gen::<u8>()).collect(),
             }
         }
@@ -145,7 +146,9 @@ fn arb_frame(seed: u64) -> Frame {
             };
             Frame::RoundAck { round: rng.gen_range(0..500), ack }
         }
-        _ => Frame::Snapshot { bytes: arb_snapshot(seed ^ 0x5A5A).to_bytes() },
+        3 => Frame::Snapshot { bytes: arb_snapshot(seed ^ 0x5A5A).to_bytes() },
+        4 => Frame::Heartbeat { seq: rng.gen::<u64>() },
+        _ => Frame::Connect { nonce: rng.gen::<u64>(), worker: rng.gen_range(0..32usize) },
     }
 }
 
